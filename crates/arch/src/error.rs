@@ -1,0 +1,90 @@
+//! Error types of the architecture crate.
+
+use std::error::Error;
+use std::fmt;
+
+/// Errors produced while constructing or simulating an ACIM macro.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ArchError {
+    /// A design specification violated one of the architectural constraints
+    /// of Equation 12 (H·W = ArraySize, H ≥ L, H/L ≥ 2^B_ADC, …).
+    InvalidSpec {
+        /// The constraint that was violated.
+        constraint: String,
+        /// Human-readable details.
+        details: String,
+    },
+    /// An input vector or index had the wrong dimensions for the macro.
+    DimensionMismatch {
+        /// What was being indexed or supplied.
+        what: String,
+        /// Expected size.
+        expected: usize,
+        /// Actual size.
+        actual: usize,
+    },
+    /// A simulation parameter was outside its valid range.
+    InvalidParameter {
+        /// Parameter name.
+        name: String,
+        /// Why the value was rejected.
+        reason: String,
+    },
+}
+
+impl ArchError {
+    /// Convenience constructor for specification-constraint violations.
+    pub fn invalid_spec(constraint: impl Into<String>, details: impl Into<String>) -> Self {
+        ArchError::InvalidSpec {
+            constraint: constraint.into(),
+            details: details.into(),
+        }
+    }
+}
+
+impl fmt::Display for ArchError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ArchError::InvalidSpec {
+                constraint,
+                details,
+            } => write!(f, "invalid ACIM specification ({constraint}): {details}"),
+            ArchError::DimensionMismatch {
+                what,
+                expected,
+                actual,
+            } => write!(
+                f,
+                "dimension mismatch for {what}: expected {expected}, got {actual}"
+            ),
+            ArchError::InvalidParameter { name, reason } => {
+                write!(f, "invalid parameter `{name}`: {reason}")
+            }
+        }
+    }
+}
+
+impl Error for ArchError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_is_informative() {
+        let e = ArchError::invalid_spec("H*W=ArraySize", "128*100 != 16384");
+        assert!(e.to_string().contains("H*W=ArraySize"));
+        let e = ArchError::DimensionMismatch {
+            what: "input vector".into(),
+            expected: 16,
+            actual: 8,
+        };
+        assert!(e.to_string().contains("expected 16"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ArchError>();
+    }
+}

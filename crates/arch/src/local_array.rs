@@ -1,0 +1,150 @@
+//! The local compute array: `L` 8T cells sharing one compute capacitor and
+//! its control circuit (Section 3.1).
+//!
+//! Giving every bit cell its own capacitor would dominate macro area, so the
+//! architecture amortises one metal-fringe capacitor `C_F`, one group
+//! control circuit and one slice of SAR switching logic over `L` cells.
+//! Only one of the `L` rows is selected per MAC cycle, so the choice of `L`
+//! trades area (fewer capacitors) against throughput (more cycles to cover
+//! all `H` rows).
+
+use crate::error::ArchError;
+use crate::sram::SramCell;
+
+/// Behavioural model of one local array.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LocalArray {
+    cells: Vec<SramCell>,
+}
+
+impl LocalArray {
+    /// Creates a local array of `size` cells, all storing `0`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::InvalidParameter`] when `size` is zero.
+    pub fn new(size: usize) -> Result<Self, ArchError> {
+        if size == 0 {
+            return Err(ArchError::InvalidParameter {
+                name: "local array size".into(),
+                reason: "must be at least 1".into(),
+            });
+        }
+        Ok(Self {
+            cells: vec![SramCell::new(); size],
+        })
+    }
+
+    /// Number of cells in the local array (`L`).
+    pub fn len(&self) -> usize {
+        self.cells.len()
+    }
+
+    /// Returns `true` when the local array has no cells (never the case for
+    /// arrays built through [`LocalArray::new`]).
+    pub fn is_empty(&self) -> bool {
+        self.cells.is_empty()
+    }
+
+    /// Writes the weight bit of the cell at `row` (0-based inside the local
+    /// array).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::DimensionMismatch`] when `row` is out of range.
+    pub fn write(&mut self, row: usize, value: bool) -> Result<(), ArchError> {
+        let len = self.cells.len();
+        self.cells
+            .get_mut(row)
+            .map(|c| c.write(value))
+            .ok_or(ArchError::DimensionMismatch {
+                what: "local array row".into(),
+                expected: len,
+                actual: row,
+            })
+    }
+
+    /// Reads the stored bit of the cell at `row`.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::DimensionMismatch`] when `row` is out of range.
+    pub fn read(&self, row: usize) -> Result<bool, ArchError> {
+        self.cells
+            .get(row)
+            .map(SramCell::read)
+            .ok_or(ArchError::DimensionMismatch {
+                what: "local array row".into(),
+                expected: self.cells.len(),
+                actual: row,
+            })
+    }
+
+    /// One MAC micro-operation: selects row `row` and returns the 1-bit
+    /// product of its stored weight and the broadcast `activation`.  The
+    /// result is the digital value that drives the top plate of the shared
+    /// compute capacitor to `V_DD` (true) or `V_SS` (false).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ArchError::DimensionMismatch`] when `row` is out of range.
+    pub fn mac(&self, row: usize, activation: bool) -> Result<bool, ArchError> {
+        self.cells
+            .get(row)
+            .and_then(|c| c.compute(true, activation))
+            .ok_or(ArchError::DimensionMismatch {
+                what: "local array row".into(),
+                expected: self.cells.len(),
+                actual: row,
+            })
+    }
+
+    /// Counts the stored ones (used by tests and netlist statistics).
+    pub fn popcount(&self) -> usize {
+        self.cells.iter().filter(|c| c.read()).count()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn new_rejects_zero_size() {
+        assert!(LocalArray::new(0).is_err());
+        assert_eq!(LocalArray::new(8).unwrap().len(), 8);
+    }
+
+    #[test]
+    fn write_read_roundtrip() {
+        let mut array = LocalArray::new(4).unwrap();
+        array.write(2, true).unwrap();
+        assert!(array.read(2).unwrap());
+        assert!(!array.read(0).unwrap());
+        assert_eq!(array.popcount(), 1);
+    }
+
+    #[test]
+    fn out_of_range_access_is_an_error() {
+        let mut array = LocalArray::new(4).unwrap();
+        assert!(array.write(4, true).is_err());
+        assert!(array.read(17).is_err());
+        assert!(array.mac(4, true).is_err());
+    }
+
+    #[test]
+    fn mac_computes_binary_product_of_selected_row() {
+        let mut array = LocalArray::new(4).unwrap();
+        array.write(1, true).unwrap();
+        // Selected row holds 1: product follows the activation.
+        assert!(array.mac(1, true).unwrap());
+        assert!(!array.mac(1, false).unwrap());
+        // Selected row holds 0: product is always 0.
+        assert!(!array.mac(0, true).unwrap());
+    }
+
+    #[test]
+    fn is_empty_is_false_for_valid_arrays() {
+        assert!(!LocalArray::new(2).unwrap().is_empty());
+    }
+}

@@ -1,0 +1,208 @@
+//! Monte-Carlo SNR measurement.
+//!
+//! The analytic SNR model (Equations 2–6 and 11 of the paper) predicts the
+//! signal-to-noise ratio of the macro's digitised dot products.  This module
+//! *measures* that SNR by simulation: it programs random weights, drives
+//! random activations, compares the digital outputs against the ideal dot
+//! products and reports `10·log10(σ²_signal / σ²_error)`.  The measurement
+//! stands in for the post-layout simulation the paper uses to validate its
+//! estimation model.
+
+use acim_tech::Technology;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::error::ArchError;
+use crate::macro_sim::{AcimMacro, NoiseConfig};
+use crate::spec::AcimSpec;
+
+/// Result of a Monte-Carlo SNR measurement.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SnrMeasurement {
+    /// Measured SNR in dB.
+    pub snr_db: f64,
+    /// Signal variance (ideal dot products, in normalised full-scale units).
+    pub signal_variance: f64,
+    /// Error variance (digital output minus ideal, same units).
+    pub error_variance: f64,
+    /// Number of (cycle, column) samples that contributed.
+    pub samples: usize,
+}
+
+/// Measures the output SNR of a specification by Monte-Carlo simulation.
+///
+/// `cycles` MAC + conversion cycles are simulated on a macro with random
+/// dense weights and random activations of density ~0.5.  The per-column
+/// digital outputs are compared with the ideal dot products, both normalised
+/// to full scale, and the ratio of variances is reported in dB.
+///
+/// The macro width is clamped to at most 32 columns to keep the measurement
+/// fast — SNR is a per-column property, so simulating every column of a wide
+/// array adds samples but no new information.
+///
+/// # Errors
+///
+/// Propagates [`ArchError`] from macro construction, and returns
+/// [`ArchError::InvalidParameter`] when `cycles` is zero.
+pub fn measure_snr(
+    spec: &AcimSpec,
+    tech: &Technology,
+    noise: NoiseConfig,
+    cycles: usize,
+    seed: u64,
+) -> Result<SnrMeasurement, ArchError> {
+    if cycles == 0 {
+        return Err(ArchError::InvalidParameter {
+            name: "cycles".into(),
+            reason: "at least one cycle is required".into(),
+        });
+    }
+    // Narrow the macro for speed; per-column behaviour is what matters.
+    let sim_width = spec.width().min(32);
+    let sim_spec = AcimSpec::new(
+        spec.height() * sim_width,
+        spec.height(),
+        sim_width,
+        spec.local_array(),
+        spec.adc_bits(),
+    )?;
+    let mut rng = StdRng::seed_from_u64(seed ^ 0x5EED_CAFE);
+    let mut macro_sim = AcimMacro::new(&sim_spec, tech, noise, seed)?;
+    macro_sim.program_with(|_, _| rng.gen::<bool>());
+
+    let n = sim_spec.dot_product_length();
+    let full_scale = f64::from((1u32 << sim_spec.adc_bits()) - 1);
+
+    let mut ideal_values = Vec::with_capacity(cycles * sim_width);
+    let mut errors = Vec::with_capacity(cycles * sim_width);
+    for cycle in 0..cycles {
+        let activations: Vec<bool> = (0..n).map(|_| rng.gen::<bool>()).collect();
+        let row_offset = cycle % sim_spec.local_array();
+        let outputs = macro_sim.mac_and_convert(&activations, row_offset)?;
+        let ideal = macro_sim.ideal_dot_products(&activations, row_offset)?;
+        for (code, ideal_sum) in outputs.iter().zip(&ideal) {
+            // Normalise both to the [0, 1] full-scale range.
+            let measured = f64::from(*code) / full_scale;
+            let reference = f64::from(*ideal_sum) / n as f64;
+            ideal_values.push(reference);
+            errors.push(measured - reference);
+        }
+    }
+
+    let signal_variance = variance(&ideal_values);
+    let error_variance = variance(&errors).max(1e-18);
+    let snr_db = 10.0 * (signal_variance / error_variance).log10();
+    Ok(SnrMeasurement {
+        snr_db,
+        signal_variance,
+        error_variance,
+        samples: ideal_values.len(),
+    })
+}
+
+fn variance(values: &[f64]) -> f64 {
+    if values.is_empty() {
+        return 0.0;
+    }
+    let mean = values.iter().sum::<f64>() / values.len() as f64;
+    values.iter().map(|v| (v - mean) * (v - mean)).sum::<f64>() / values.len() as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(h: usize, w: usize, l: usize, b: u32) -> AcimSpec {
+        AcimSpec::from_dimensions(h, w, l, b).unwrap()
+    }
+
+    #[test]
+    fn zero_cycles_is_an_error() {
+        let s = spec(64, 16, 4, 3);
+        assert!(measure_snr(&s, &Technology::s28(), NoiseConfig::noiseless(), 0, 1).is_err());
+    }
+
+    #[test]
+    fn higher_adc_precision_improves_snr() {
+        let tech = Technology::s28();
+        let low = measure_snr(
+            &spec(128, 16, 4, 3),
+            &tech,
+            NoiseConfig::noiseless(),
+            64,
+            3,
+        )
+        .unwrap();
+        let high = measure_snr(
+            &spec(128, 16, 4, 5),
+            &tech,
+            NoiseConfig::noiseless(),
+            64,
+            3,
+        )
+        .unwrap();
+        assert!(
+            high.snr_db > low.snr_db + 6.0,
+            "B=5 ({:.1} dB) should beat B=3 ({:.1} dB) by >6 dB",
+            high.snr_db,
+            low.snr_db
+        );
+    }
+
+    #[test]
+    fn noise_degrades_snr() {
+        let tech = Technology::s28();
+        let s = spec(128, 16, 4, 5);
+        let clean = measure_snr(&s, &tech, NoiseConfig::noiseless(), 64, 5).unwrap();
+        let noisy = measure_snr(&s, &tech, NoiseConfig::realistic(), 64, 5).unwrap();
+        assert!(
+            noisy.snr_db <= clean.snr_db + 0.5,
+            "noisy {:.1} dB should not beat noiseless {:.1} dB",
+            noisy.snr_db,
+            clean.snr_db
+        );
+    }
+
+    #[test]
+    fn measurement_is_deterministic_per_seed() {
+        let tech = Technology::s28();
+        let s = spec(64, 16, 4, 3);
+        let a = measure_snr(&s, &tech, NoiseConfig::realistic(), 32, 9).unwrap();
+        let b = measure_snr(&s, &tech, NoiseConfig::realistic(), 32, 9).unwrap();
+        assert_eq!(a.snr_db, b.snr_db);
+        assert_eq!(a.samples, b.samples);
+    }
+
+    #[test]
+    fn sample_count_matches_cycles_times_width() {
+        let tech = Technology::s28();
+        let s = spec(64, 16, 4, 3);
+        let m = measure_snr(&s, &tech, NoiseConfig::noiseless(), 10, 2).unwrap();
+        assert_eq!(m.samples, 10 * 16);
+    }
+
+    #[test]
+    fn snr_is_in_a_plausible_band() {
+        let tech = Technology::s28();
+        let m = measure_snr(
+            &spec(128, 16, 8, 4),
+            &tech,
+            NoiseConfig::realistic(),
+            64,
+            11,
+        )
+        .unwrap();
+        assert!(
+            m.snr_db > 5.0 && m.snr_db < 60.0,
+            "implausible SNR {:.1} dB",
+            m.snr_db
+        );
+    }
+
+    #[test]
+    fn variance_helper() {
+        assert_eq!(variance(&[]), 0.0);
+        assert_eq!(variance(&[2.0, 2.0, 2.0]), 0.0);
+        assert!((variance(&[1.0, -1.0]) - 1.0).abs() < 1e-12);
+    }
+}

@@ -1,0 +1,99 @@
+//! 8T SRAM bit-cell model.
+//!
+//! The storage element of the synthesizable architecture is a standard 8T
+//! cell: a 6T storage core plus a decoupled 2T read port (read word-line
+//! RWL, read bit-line RBL).  For the behavioural simulator only the logical
+//! behaviour matters: the cell stores one weight bit and, when its RWL is
+//! asserted, contributes the AND of the stored bit and the read-port input
+//! to the local compute node.
+
+use std::fmt;
+
+/// Behavioural model of one 8T SRAM bit cell.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct SramCell {
+    value: bool,
+}
+
+impl SramCell {
+    /// Creates a cell storing `0`.
+    pub fn new() -> Self {
+        Self { value: false }
+    }
+
+    /// Creates a cell storing the given bit.
+    pub fn with_value(value: bool) -> Self {
+        Self { value }
+    }
+
+    /// Writes a bit through the (6T) write port.
+    pub fn write(&mut self, value: bool) {
+        self.value = value;
+    }
+
+    /// Reads the stored bit (digital read through the write port, used when
+    /// the macro is operated as a plain SRAM).
+    pub fn read(&self) -> bool {
+        self.value
+    }
+
+    /// Compute-mode read: returns the 1-bit product of the stored weight and
+    /// the broadcast activation when the row is selected, `None` when the
+    /// row is not selected (the read port is off and the cell does not
+    /// disturb the local compute node).
+    pub fn compute(&self, row_selected: bool, activation: bool) -> Option<bool> {
+        if row_selected {
+            Some(self.value && activation)
+        } else {
+            None
+        }
+    }
+}
+
+impl fmt::Display for SramCell {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}", u8::from(self.value))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_cell_stores_zero() {
+        assert!(!SramCell::new().read());
+        assert_eq!(SramCell::default(), SramCell::new());
+    }
+
+    #[test]
+    fn write_then_read() {
+        let mut cell = SramCell::new();
+        cell.write(true);
+        assert!(cell.read());
+        cell.write(false);
+        assert!(!cell.read());
+    }
+
+    #[test]
+    fn compute_is_logical_and_when_selected() {
+        let one = SramCell::with_value(true);
+        let zero = SramCell::with_value(false);
+        assert_eq!(one.compute(true, true), Some(true));
+        assert_eq!(one.compute(true, false), Some(false));
+        assert_eq!(zero.compute(true, true), Some(false));
+        assert_eq!(zero.compute(true, false), Some(false));
+    }
+
+    #[test]
+    fn unselected_row_does_not_contribute() {
+        let cell = SramCell::with_value(true);
+        assert_eq!(cell.compute(false, true), None);
+    }
+
+    #[test]
+    fn display_prints_bit() {
+        assert_eq!(SramCell::with_value(true).to_string(), "1");
+        assert_eq!(SramCell::with_value(false).to_string(), "0");
+    }
+}

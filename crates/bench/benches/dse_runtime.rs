@@ -1,0 +1,35 @@
+//! Criterion bench backing the Table 2 design-time claim: the agile
+//! design-space exploration of a user-defined array size completes in
+//! seconds to minutes, not weeks.
+
+use acim_dse::{DesignSpaceExplorer, DseConfig};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+fn dse_runtime(c: &mut Criterion) {
+    let mut group = c.benchmark_group("dse_runtime");
+    group.sample_size(10);
+    for &array_size in &[4 * 1024usize, 16 * 1024] {
+        group.bench_with_input(
+            BenchmarkId::new("nsga2_explore", array_size),
+            &array_size,
+            |b, &array_size| {
+                let config = DseConfig {
+                    array_size,
+                    population_size: 40,
+                    generations: 20,
+                    ..DseConfig::default()
+                };
+                let explorer = DesignSpaceExplorer::new(config).expect("valid config");
+                b.iter(|| {
+                    let frontier = explorer.explore().expect("exploration succeeds");
+                    black_box(frontier.len())
+                });
+            },
+        );
+    }
+    group.finish();
+}
+
+criterion_group!(benches, dse_runtime);
+criterion_main!(benches);

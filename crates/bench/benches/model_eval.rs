@@ -1,0 +1,26 @@
+//! Criterion bench of the performance-estimation model (Equations 2–11).
+//!
+//! The estimation model is evaluated tens of thousands of times per
+//! exploration run, so its per-call cost is what makes the "agile" DSE
+//! agile; this bench tracks it for both the simplified and the detailed SNR
+//! path.
+
+use acim_arch::AcimSpec;
+use acim_model::{evaluate, snr_detailed_db, ModelParams};
+use criterion::{criterion_group, criterion_main, Criterion};
+use std::hint::black_box;
+
+fn model_eval(c: &mut Criterion) {
+    let params = ModelParams::s28_default();
+    let spec = AcimSpec::from_dimensions(128, 128, 8, 3).expect("valid spec");
+
+    c.bench_function("model_eval/four_objectives", |b| {
+        b.iter(|| black_box(evaluate(black_box(&spec), &params).expect("evaluates")))
+    });
+    c.bench_function("model_eval/detailed_snr", |b| {
+        b.iter(|| black_box(snr_detailed_db(black_box(&spec), &params).expect("evaluates")))
+    });
+}
+
+criterion_group!(benches, model_eval);
+criterion_main!(benches);

@@ -1,0 +1,78 @@
+//! Criterion bench of the NSGA-II engine in isolation (Section 3.2.2) and
+//! of its building blocks (fast non-dominated sort), plus the random-search
+//! baseline with the same evaluation budget — the runtime side of the
+//! optimiser-quality ablation reported in `tests/ablation_nsga2.rs`.
+
+use acim_moga::{
+    fast_non_dominated_sort, random_search, Evaluation, Individual, Nsga2, Nsga2Config, Problem,
+};
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use std::hint::black_box;
+
+/// ZDT1 benchmark problem used widely in the MOGA literature.
+struct Zdt1 {
+    variables: usize,
+}
+
+impl Problem for Zdt1 {
+    fn num_variables(&self) -> usize {
+        self.variables
+    }
+    fn num_objectives(&self) -> usize {
+        2
+    }
+    fn evaluate(&self, genes: &[f64]) -> Evaluation {
+        let f1 = genes[0];
+        let g = 1.0 + 9.0 * genes[1..].iter().sum::<f64>() / (genes.len() - 1) as f64;
+        Evaluation::unconstrained(vec![f1, g * (1.0 - (f1 / g).sqrt())])
+    }
+}
+
+fn nsga2_bench(c: &mut Criterion) {
+    let mut group = c.benchmark_group("nsga2");
+    group.sample_size(10);
+
+    for &(population, generations) in &[(40usize, 20usize), (80, 40)] {
+        group.bench_with_input(
+            BenchmarkId::new("zdt1", format!("{population}x{generations}")),
+            &(population, generations),
+            |b, &(population, generations)| {
+                let config = Nsga2Config {
+                    population_size: population,
+                    generations,
+                    ..Default::default()
+                };
+                b.iter(|| {
+                    let result = Nsga2::new(Zdt1 { variables: 8 }, config.clone())
+                        .with_seed(7)
+                        .run();
+                    black_box(result.pareto_front().len())
+                });
+            },
+        );
+    }
+
+    group.bench_function("random_search_same_budget", |b| {
+        b.iter(|| black_box(random_search(&Zdt1 { variables: 8 }, 40 * 21, 7).len()))
+    });
+
+    group.bench_function("fast_non_dominated_sort_500", |b| {
+        let population: Vec<Individual> = (0..500)
+            .map(|i| {
+                let x = f64::from(i) / 499.0;
+                Individual::new(
+                    vec![x],
+                    Evaluation::unconstrained(vec![x, 1.0 - x + f64::from(i % 7) * 0.01]),
+                )
+            })
+            .collect();
+        b.iter(|| {
+            let mut pop = population.clone();
+            black_box(fast_non_dominated_sort(&mut pop).len())
+        });
+    });
+    group.finish();
+}
+
+criterion_group!(benches, nsga2_bench);
+criterion_main!(benches);

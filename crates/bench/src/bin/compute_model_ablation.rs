@@ -1,0 +1,60 @@
+//! Ablation behind Section 2.1 / Figure 2: why EasyACIM picks the charge-
+//! redistribution (QR) compute model.
+//!
+//! The three in-memory compute models — charge summing (QS), current summing
+//! (IS) and charge redistribution (QR) — are swept across PVT corners with
+//! realistic element mismatch, and the RMS error of the normalised analog
+//! accumulation against the ideal value is reported.  The charge-domain
+//! models should stay flat across corners while the current-domain model
+//! degrades, which is the paper's robustness argument for QR.
+//!
+//! Run with `cargo run --release -p acim-bench --bin compute_model_ablation`.
+
+use acim_arch::compute_model::{ComputeModel, ComputeModelKind, PvtCondition};
+use acim_bench::{csv::results_dir, CsvWriter};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+fn rms_error(kind: ComputeModelKind, pvt: PvtCondition, trials: usize, seed: u64) -> f64 {
+    let n = 64;
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut sum_sq = 0.0;
+    for _ in 0..trials {
+        let model = ComputeModel::with_mismatch(kind, n, 0.01, &mut rng);
+        let products: Vec<bool> = (0..n).map(|_| rng.gen::<bool>()).collect();
+        let ideal = ComputeModel::ideal_accumulate(&products);
+        let actual = model.accumulate(&products, pvt);
+        sum_sq += (actual - ideal) * (actual - ideal);
+    }
+    (sum_sq / trials as f64).sqrt()
+}
+
+fn main() {
+    let corners = [
+        ("nominal", PvtCondition::nominal()),
+        ("vdd +5%", PvtCondition { supply_deviation: 0.05, temperature_delta_k: 0.0 }),
+        ("vdd -5%", PvtCondition { supply_deviation: -0.05, temperature_delta_k: 0.0 }),
+        ("hot +50K", PvtCondition { supply_deviation: 0.0, temperature_delta_k: 50.0 }),
+        ("vdd +10%, hot +50K", PvtCondition { supply_deviation: 0.10, temperature_delta_k: 50.0 }),
+    ];
+
+    println!("Compute-model robustness ablation (Section 2.1 / Figure 2)");
+    println!("RMS error of the normalised analog accumulation vs ideal, 64-element dot products");
+    println!("--------------------------------------------------------------------------");
+    println!("{:<22} {:>10} {:>10} {:>10}", "PVT corner", "QS", "IS", "QR");
+    let mut csv = CsvWriter::new("corner,qs_rms,is_rms,qr_rms");
+    for (name, pvt) in corners {
+        let qs = rms_error(ComputeModelKind::ChargeSumming, pvt, 400, 1);
+        let is = rms_error(ComputeModelKind::CurrentSumming, pvt, 400, 2);
+        let qr = rms_error(ComputeModelKind::ChargeRedistribution, pvt, 400, 3);
+        println!("{name:<22} {qs:>10.4} {is:>10.4} {qr:>10.4}");
+        csv.push_row(format!("{name},{qs:.5},{is:.5},{qr:.5}"));
+    }
+    println!("--------------------------------------------------------------------------");
+    println!("the charge-domain models (QS, QR) stay flat across corners; the current-domain");
+    println!("model degrades with supply and temperature - the robustness argument for QR,");
+    println!("which additionally supports bottom-plate redistribution and CDAC reuse.");
+    if let Ok(path) = csv.write_to(results_dir(), "compute_model_ablation.csv") {
+        println!("wrote {}", path.display());
+    }
+}

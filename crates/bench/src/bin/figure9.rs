@@ -1,0 +1,94 @@
+//! Reproduces Figure 9: the EasyACIM design space.
+//!
+//! Panels (a)(b) show the design space of several array sizes; panels
+//! (c)(d), (e)(f) and (g)(h) show the 16 kb space grouped by `H`, `L` and
+//! `B_ADC` respectively.  For every panel the binary emits the full scatter
+//! series as CSV (one file per grouping) and prints the per-group summary
+//! statistics that carry the paper's qualitative claims:
+//!
+//! * larger arrays reach higher SNR and throughput, smaller arrays are more
+//!   efficient and denser,
+//! * smaller `H` caps the achievable SNR and costs area,
+//! * smaller `L` raises throughput and the SNR upper bound but costs area,
+//! * smaller `B_ADC` improves energy efficiency but lowers SNR.
+//!
+//! Run with `cargo run --release -p acim-bench --bin figure9`.
+
+use acim_bench::{csv::results_dir, CsvWriter};
+use acim_dse::sweep::SweepParameter;
+use acim_dse::{sweep_by_array_size, sweep_by_parameter, DesignPoint, SweepSeries};
+use acim_model::ModelParams;
+
+fn dump_series(csv: &mut CsvWriter, series: &[SweepSeries]) {
+    for group in series {
+        for point in &group.points {
+            csv.push_row(format!(
+                "{},{},{}",
+                group.parameter,
+                group.value,
+                point.to_csv_row()
+            ));
+        }
+    }
+}
+
+fn summarise(title: &str, series: &[SweepSeries]) {
+    println!("{title}");
+    println!(
+        "  {:>10} {:>8} {:>12} {:>12} {:>14} {:>14}",
+        "group", "points", "max SNR(dB)", "max TOPS", "best TOPS/W", "min F2/bit"
+    );
+    for group in series {
+        let max_snr = group
+            .points
+            .iter()
+            .map(|p| p.metrics.snr_db)
+            .fold(f64::NEG_INFINITY, f64::max);
+        let best_eff = group
+            .points
+            .iter()
+            .map(|p| p.metrics.tops_per_watt)
+            .fold(f64::NEG_INFINITY, f64::max);
+        println!(
+            "  {:>10} {:>8} {:>12.1} {:>12.3} {:>14.0} {:>14.0}",
+            group.value,
+            group.points.len(),
+            max_snr,
+            group.max_throughput_tops(),
+            best_eff,
+            group.min_area_f2_per_bit()
+        );
+    }
+    println!();
+}
+
+fn main() {
+    let params = ModelParams::s28_default();
+    let header = format!("parameter,group,{}", DesignPoint::csv_header());
+
+    // Panels (a)(b): by array size.
+    let sizes = [4 * 1024, 16 * 1024, 64 * 1024];
+    let by_size = sweep_by_array_size(&sizes, &params).expect("array-size sweep succeeds");
+    summarise("Figure 9(a)(b): design space by array size (4 kb / 16 kb / 64 kb)", &by_size);
+    let mut csv = CsvWriter::new(header.clone());
+    dump_series(&mut csv, &by_size);
+    if let Ok(path) = csv.write_to(results_dir(), "figure9_ab_by_array_size.csv") {
+        println!("wrote {}\n", path.display());
+    }
+
+    // Panels (c)-(h): 16 kb array grouped by H, L and B_ADC.
+    let groupings = [
+        (SweepParameter::Height, "Figure 9(c)(d): 16 kb design space by H", "figure9_cd_by_h.csv"),
+        (SweepParameter::LocalArray, "Figure 9(e)(f): 16 kb design space by L", "figure9_ef_by_l.csv"),
+        (SweepParameter::AdcBits, "Figure 9(g)(h): 16 kb design space by B_ADC", "figure9_gh_by_b.csv"),
+    ];
+    for (parameter, title, file) in groupings {
+        let series = sweep_by_parameter(16 * 1024, parameter, &params).expect("sweep succeeds");
+        summarise(title, &series);
+        let mut csv = CsvWriter::new(header.clone());
+        dump_series(&mut csv, &series);
+        if let Ok(path) = csv.write_to(results_dir(), file) {
+            println!("wrote {}\n", path.display());
+        }
+    }
+}

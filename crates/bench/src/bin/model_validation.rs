@@ -1,0 +1,93 @@
+//! Validates the analytic estimation model against the behavioural
+//! simulator (the reproduction's stand-in for the paper's post-layout
+//! simulation, Section 3.2.1).
+//!
+//! Two calibrations are reported:
+//!
+//! * the simplified-SNR offset of Equation 11 is fitted against Monte-Carlo
+//!   SNR measurements of several (H, L, B_ADC) points and the residual is
+//!   printed per point,
+//! * the ADC-energy constants k1/k2 of Equation 9 are re-fitted from
+//!   sampled energies and compared with the model's own constants.
+//!
+//! Run with `cargo run --release -p acim-bench --bin model_validation`.
+
+use acim_bench::{csv::results_dir, CsvWriter};
+use acim_model::calibrate::{apply_snr_offset, calibrate_adc_energy, calibrate_snr_offset};
+use acim_model::{snr_simplified_db, ModelParams};
+use easyacim::prelude::*;
+
+fn main() {
+    let tech = Technology::s28();
+    let specs: Vec<AcimSpec> = [
+        (64usize, 16usize, 4usize, 3u32),
+        (128, 16, 4, 3),
+        (128, 16, 4, 5),
+        (128, 16, 8, 3),
+        (256, 16, 8, 4),
+        (256, 16, 2, 6),
+    ]
+    .iter()
+    .map(|&(h, w, l, b)| AcimSpec::from_dimensions(h, w, l, b).expect("valid spec"))
+    .collect();
+
+    println!("SNR model calibration against Monte-Carlo simulation");
+    println!("-----------------------------------------------------");
+    let report = calibrate_snr_offset(&specs, &tech, 96, 42).expect("calibration succeeds");
+    let mut params = ModelParams::s28_default();
+    apply_snr_offset(&mut params, report.fitted[0]);
+    println!(
+        "fitted offset: {:.2} dB, rms residual {:.2} dB over {} points",
+        report.fitted[0], report.rms_residual, report.samples
+    );
+    println!(
+        "  {:>18} {:>14} {:>14} {:>10}",
+        "spec", "model (dB)", "measured (dB)", "error"
+    );
+    let mut csv = CsvWriter::new("height,local_array,adc_bits,model_snr_db,measured_snr_db");
+    for (spec, (predicted, measured)) in specs.iter().zip(&report.pairs) {
+        let model = snr_simplified_db(spec, &params).expect("model evaluation succeeds");
+        println!(
+            "  {:>18} {:>14.1} {:>14.1} {:>10.1}",
+            spec.to_string(),
+            model,
+            measured,
+            model - measured
+        );
+        let _ = predicted;
+        csv.push_row(format!(
+            "{},{},{},{:.2},{:.2}",
+            spec.height(),
+            spec.local_array(),
+            spec.adc_bits(),
+            model,
+            measured
+        ));
+    }
+    if let Ok(path) = csv.write_to(results_dir(), "model_validation_snr.csv") {
+        println!("wrote {}", path.display());
+    }
+
+    println!("\nADC energy model fit (Equation 9)");
+    println!("---------------------------------");
+    let truth = acim_arch::EnergyModelParams::s28_default();
+    let samples: Vec<(u32, f64)> = (2..=8)
+        .map(|bits| (bits, truth.adc_energy(bits).expect("valid bits").value()))
+        .collect();
+    let fit = calibrate_adc_energy(&samples, truth.vdd).expect("fit succeeds");
+    println!(
+        "fitted k1 = {:.2} fJ (model {:.2}), k2 = {:.3} fJ (model {:.3}), rms residual {:.3} fJ",
+        fit.fitted[0],
+        truth.k1.value(),
+        fit.fitted[1],
+        truth.k2.value(),
+        fit.rms_residual
+    );
+    let mut energy_csv = CsvWriter::new("adc_bits,energy_fj,fitted_fj");
+    for ((bits, energy), (fitted, _)) in samples.iter().zip(&fit.pairs) {
+        energy_csv.push_row(format!("{bits},{energy:.2},{fitted:.2}"));
+    }
+    if let Ok(path) = energy_csv.write_to(results_dir(), "model_validation_adc_energy.csv") {
+        println!("wrote {}", path.display());
+    }
+}

@@ -1,0 +1,95 @@
+//! Minimal CSV output helper used by the experiment binaries.
+
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Accumulates rows and writes them as a CSV file under a results directory.
+#[derive(Debug, Clone)]
+pub struct CsvWriter {
+    header: String,
+    rows: Vec<String>,
+}
+
+impl CsvWriter {
+    /// Creates a writer with a header line (comma-separated column names).
+    pub fn new(header: impl Into<String>) -> Self {
+        Self {
+            header: header.into(),
+            rows: Vec::new(),
+        }
+    }
+
+    /// Appends one pre-formatted row.
+    pub fn push_row(&mut self, row: impl Into<String>) {
+        self.rows.push(row.into());
+    }
+
+    /// Number of data rows.
+    pub fn len(&self) -> usize {
+        self.rows.len()
+    }
+
+    /// Returns `true` when no rows have been added.
+    pub fn is_empty(&self) -> bool {
+        self.rows.is_empty()
+    }
+
+    /// Renders the full CSV contents.
+    pub fn to_csv_string(&self) -> String {
+        let mut out = String::with_capacity((self.rows.len() + 1) * 32);
+        out.push_str(&self.header);
+        out.push('\n');
+        for row in &self.rows {
+            out.push_str(row);
+            out.push('\n');
+        }
+        out
+    }
+
+    /// Writes the CSV under `dir/name`, creating the directory if needed,
+    /// and returns the written path.
+    ///
+    /// # Errors
+    ///
+    /// Returns any I/O error from creating the directory or writing the
+    /// file.
+    pub fn write_to(&self, dir: impl AsRef<Path>, name: &str) -> io::Result<PathBuf> {
+        let dir = dir.as_ref();
+        fs::create_dir_all(dir)?;
+        let path = dir.join(name);
+        fs::write(&path, self.to_csv_string())?;
+        Ok(path)
+    }
+}
+
+/// The default results directory used by the experiment binaries.
+pub fn results_dir() -> PathBuf {
+    PathBuf::from("results")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn csv_rendering() {
+        let mut w = CsvWriter::new("a,b");
+        assert!(w.is_empty());
+        w.push_row("1,2");
+        w.push_row("3,4");
+        assert_eq!(w.len(), 2);
+        assert_eq!(w.to_csv_string(), "a,b\n1,2\n3,4\n");
+    }
+
+    #[test]
+    fn write_to_creates_file() {
+        let dir = std::env::temp_dir().join("acim_bench_csv_test");
+        let mut w = CsvWriter::new("x");
+        w.push_row("42");
+        let path = w.write_to(&dir, "t.csv").unwrap();
+        let content = std::fs::read_to_string(path).unwrap();
+        assert!(content.contains("42"));
+        let _ = std::fs::remove_dir_all(dir);
+    }
+}

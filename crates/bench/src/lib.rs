@@ -1,0 +1,29 @@
+//! # acim-bench
+//!
+//! The experiment harness of the EasyACIM reproduction.
+//!
+//! Every table and figure of the paper's evaluation section has a matching
+//! binary in `src/bin/` that regenerates it (printing the same rows/series
+//! the paper reports and writing CSVs under `results/`), plus Criterion
+//! benches in `benches/` for the runtime claims:
+//!
+//! | paper item | binary |
+//! |---|---|
+//! | Table 2 (flow comparison, design time) | `table2` |
+//! | Figure 8 (16 kb layouts, dimensions, TOPS, F²/bit) | `figure8` |
+//! | Figure 9 (design-space scatter by array size / H / L / B) | `figure9` |
+//! | Figure 10 (efficiency vs area vs SOTA, Pareto frontier) | `figure10` |
+//! | model-vs-simulation validation (Sec. 3.2.1) | `model_validation` |
+//!
+//! The [`sota`] module holds the published metric points of the SOTA
+//! designs A/B/C the paper compares against in Figure 10, and [`csv`] is a
+//! tiny CSV writer shared by the binaries.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod csv;
+pub mod sota;
+
+pub use csv::CsvWriter;
+pub use sota::{sota_designs, SotaDesign};

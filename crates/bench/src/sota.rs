@@ -1,0 +1,85 @@
+//! Published metrics of the state-of-the-art ACIM macros the paper compares
+//! against in Figure 10.
+//!
+//! The paper plots EasyACIM's design space against three silicon designs
+//! from JSSC/ISSCC:
+//!
+//! * design A — the bit-flexible multi-functional macro of reference [4]
+//!   (Yao et al., JSSC 2023),
+//! * design B — the 8T column-ADC macro of reference [5] (Yu et al.,
+//!   JSSC 2022),
+//! * design C — the 7 nm FinFET macro of reference [8] (Dong et al.,
+//!   ISSCC 2020).
+//!
+//! Only their reported scalar metrics (energy efficiency and normalised
+//! area) enter Figure 10, so those are what this module records; the values
+//! are representative figures read from the cited publications.
+
+/// One published comparison point.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct SotaDesign {
+    /// Short label used in the figure ("A", "B", "C").
+    pub label: &'static str,
+    /// Citation shorthand.
+    pub reference: &'static str,
+    /// Reported energy efficiency in TOPS/W (1b-equivalent).
+    pub tops_per_watt: f64,
+    /// Reported bit-cell density in F²/bit.
+    pub area_f2_per_bit: f64,
+}
+
+/// The three SOTA designs of Figure 10.
+pub fn sota_designs() -> [SotaDesign; 3] {
+    [
+        SotaDesign {
+            label: "A",
+            reference: "Yao et al., JSSC 2023 [4]",
+            tops_per_watt: 240.0,
+            area_f2_per_bit: 3100.0,
+        },
+        SotaDesign {
+            label: "B",
+            reference: "Yu et al., JSSC 2022 [5]",
+            tops_per_watt: 130.0,
+            area_f2_per_bit: 2400.0,
+        },
+        SotaDesign {
+            label: "C",
+            reference: "Dong et al., ISSCC 2020 [8]",
+            tops_per_watt: 351.0,
+            area_f2_per_bit: 4700.0,
+        },
+    ]
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn sota_points_fall_inside_the_papers_reported_design_space() {
+        // Figure 10's axes span roughly 50–750 TOPS/W and 1500–7500 F²/bit;
+        // the comparison points must land inside that window for the figure
+        // to make sense.
+        for design in sota_designs() {
+            assert!(
+                (50.0..=750.0).contains(&design.tops_per_watt),
+                "{} efficiency out of range",
+                design.label
+            );
+            assert!(
+                (1500.0..=7500.0).contains(&design.area_f2_per_bit),
+                "{} area out of range",
+                design.label
+            );
+            assert!(!design.reference.is_empty());
+        }
+    }
+
+    #[test]
+    fn labels_are_unique() {
+        let designs = sota_designs();
+        assert_ne!(designs[0].label, designs[1].label);
+        assert_ne!(designs[1].label, designs[2].label);
+    }
+}

@@ -1,0 +1,172 @@
+//! Layout templates of the leaf cells.
+//!
+//! A template is the finished internal layout of a manually designed cell:
+//! its boundary, the shapes it draws on each layer, its pin access shapes
+//! and — for cells that sit on critical nets — the pre-defined routing
+//! tracks the router must honour (the paper pre-defines the tracks of the
+//! power nets and SAR-logic control nets, which is what makes layout
+//! generation take only minutes).
+//!
+//! The template-based hierarchical placer and router (`acim-layout`) never
+//! looks inside these shapes; it only abuts the boundaries and connects the
+//! pins.
+
+use crate::geom::Rect;
+
+/// One drawn shape of a template.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayoutShape {
+    /// Layer name (must exist in the technology layer map).
+    pub layer: String,
+    /// Shape in the cell's local coordinate frame (nanometres).
+    pub rect: Rect,
+}
+
+impl LayoutShape {
+    /// Creates a shape.
+    pub fn new(layer: impl Into<String>, rect: Rect) -> Self {
+        Self {
+            layer: layer.into(),
+            rect,
+        }
+    }
+}
+
+/// A pre-defined routing track associated with a cell or block template.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoutingTrack {
+    /// Net that must use this track (e.g. `"VDD"`, `"P<0>"`).
+    pub net: String,
+    /// Layer the track runs on.
+    pub layer: String,
+    /// Track geometry in the owning block's coordinate frame.
+    pub rect: Rect,
+}
+
+impl RoutingTrack {
+    /// Creates a routing track.
+    pub fn new(net: impl Into<String>, layer: impl Into<String>, rect: Rect) -> Self {
+        Self {
+            net: net.into(),
+            layer: layer.into(),
+            rect,
+        }
+    }
+}
+
+/// The complete layout template of a leaf cell.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct LayoutTemplate {
+    /// Cell boundary (origin at (0, 0)).
+    pub boundary: Rect,
+    /// Drawn shapes.
+    pub shapes: Vec<LayoutShape>,
+    /// Pre-defined routing tracks owned by the cell.
+    pub tracks: Vec<RoutingTrack>,
+}
+
+impl LayoutTemplate {
+    /// Creates a template with the given boundary and no shapes.
+    pub fn new(width_nm: f64, height_nm: f64) -> Self {
+        Self {
+            boundary: Rect::new(0.0, 0.0, width_nm, height_nm),
+            shapes: Vec::new(),
+            tracks: Vec::new(),
+        }
+    }
+
+    /// Adds a drawn shape.
+    pub fn add_shape(&mut self, layer: impl Into<String>, rect: Rect) {
+        self.shapes.push(LayoutShape::new(layer, rect));
+    }
+
+    /// Adds a pre-defined routing track.
+    pub fn add_track(&mut self, net: impl Into<String>, layer: impl Into<String>, rect: Rect) {
+        self.tracks.push(RoutingTrack::new(net, layer, rect));
+    }
+
+    /// Cell width in nanometres.
+    pub fn width(&self) -> f64 {
+        self.boundary.width()
+    }
+
+    /// Cell height in nanometres.
+    pub fn height(&self) -> f64 {
+        self.boundary.height()
+    }
+
+    /// Returns `true` when every shape and track lies inside the boundary.
+    pub fn shapes_within_boundary(&self) -> bool {
+        self.shapes
+            .iter()
+            .map(|s| &s.rect)
+            .chain(self.tracks.iter().map(|t| &t.rect))
+            .all(|r| self.boundary.contains_rect(r))
+    }
+
+    /// Builds a generic filled template: boundary marker, horizontal VDD/VSS
+    /// rails on M1 at the top and bottom edges, and an active-area block in
+    /// the middle.  The specialised leaf-cell constructors in
+    /// [`crate::library`] start from this and add their pins.
+    pub fn standard(width_nm: f64, height_nm: f64, rail_width_nm: f64) -> Self {
+        let mut template = Self::new(width_nm, height_nm);
+        template.add_shape("MARKER", Rect::new(0.0, 0.0, width_nm, height_nm));
+        // Power rails along the bottom and top edges.
+        template.add_shape("M1", Rect::new(0.0, 0.0, width_nm, rail_width_nm));
+        template.add_shape(
+            "M1",
+            Rect::new(0.0, height_nm - rail_width_nm, width_nm, height_nm),
+        );
+        template.add_track("VSS", "M1", Rect::new(0.0, 0.0, width_nm, rail_width_nm));
+        template.add_track(
+            "VDD",
+            "M1",
+            Rect::new(0.0, height_nm - rail_width_nm, width_nm, height_nm),
+        );
+        // Active region (diffusion) occupying the middle band.
+        let margin = rail_width_nm * 1.5;
+        template.add_shape(
+            "OD",
+            Rect::new(
+                width_nm * 0.1,
+                margin,
+                width_nm * 0.9,
+                height_nm - margin,
+            ),
+        );
+        template
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn standard_template_is_well_formed() {
+        let t = LayoutTemplate::standard(2000.0, 632.0, 60.0);
+        assert_eq!(t.width(), 2000.0);
+        assert_eq!(t.height(), 632.0);
+        assert!(t.shapes_within_boundary());
+        assert!(t.shapes.iter().any(|s| s.layer == "M1"));
+        assert!(t.tracks.iter().any(|tr| tr.net == "VDD"));
+        assert!(t.tracks.iter().any(|tr| tr.net == "VSS"));
+    }
+
+    #[test]
+    fn out_of_boundary_shape_is_detected() {
+        let mut t = LayoutTemplate::new(100.0, 100.0);
+        t.add_shape("M1", Rect::new(0.0, 0.0, 50.0, 50.0));
+        assert!(t.shapes_within_boundary());
+        t.add_shape("M2", Rect::new(50.0, 50.0, 150.0, 80.0));
+        assert!(!t.shapes_within_boundary());
+    }
+
+    #[test]
+    fn tracks_carry_net_names() {
+        let mut t = LayoutTemplate::new(100.0, 100.0);
+        t.add_track("P<0>", "M3", Rect::new(0.0, 40.0, 100.0, 50.0));
+        assert_eq!(t.tracks[0].net, "P<0>");
+        assert_eq!(t.tracks[0].layer, "M3");
+    }
+}

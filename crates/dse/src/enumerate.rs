@@ -1,0 +1,130 @@
+//! Exhaustive enumeration of the design space.
+//!
+//! The discrete (H, L, B_ADC) space for one array size is small (tens to a
+//! few hundred combinations), so it can be enumerated exactly.  The
+//! enumeration serves two purposes:
+//!
+//! * it is the ground-truth Pareto front against which the NSGA-II explorer
+//!   is validated in the ablation benchmarks,
+//! * it generates the dense scatter clouds of Figure 9 (the figure shows the
+//!   whole design space, not only the frontier).
+
+use acim_arch::AcimSpec;
+use acim_model::{evaluate, ModelParams};
+use acim_moga::dominance::non_dominated_indices;
+
+use crate::error::DseError;
+use crate::solution::DesignPoint;
+
+/// Enumerates every feasible design point of one array size.
+///
+/// Heights are the power-of-two divisors of `array_size` in
+/// `[min_height, max_height]`; local sizes are the powers of two in
+/// `[2, 32]`; ADC precisions are `1..=8`.
+///
+/// # Errors
+///
+/// Returns [`DseError::EmptyDesignSpace`] when no feasible design exists.
+pub fn enumerate_design_space(
+    array_size: usize,
+    min_height: usize,
+    max_height: usize,
+    params: &ModelParams,
+) -> Result<Vec<DesignPoint>, DseError> {
+    params.validate()?;
+    let mut points = Vec::new();
+    for (height, width) in AcimSpec::factorizations(array_size, min_height, max_height) {
+        for k in 1..=5usize {
+            let local = 1usize << k;
+            for bits in 1..=8u32 {
+                let Ok(spec) = AcimSpec::new(array_size, height, width, local, bits) else {
+                    continue;
+                };
+                let metrics = evaluate(&spec, params)?;
+                points.push(DesignPoint::new(spec, metrics));
+            }
+        }
+    }
+    if points.is_empty() {
+        return Err(DseError::EmptyDesignSpace { array_size });
+    }
+    Ok(points)
+}
+
+/// Extracts the exact Pareto front (in the four-objective sense of
+/// Equation 12) from a set of design points.
+pub fn exact_pareto_front(points: &[DesignPoint]) -> Vec<DesignPoint> {
+    let objectives: Vec<Vec<f64>> = points.iter().map(DesignPoint::objective_vector).collect();
+    non_dominated_indices(&objectives)
+        .into_iter()
+        .map(|i| points[i])
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acim_moga::dominates;
+
+    #[test]
+    fn enumeration_covers_figure8_points() {
+        let points =
+            enumerate_design_space(16 * 1024, 16, 1024, &ModelParams::s28_default()).unwrap();
+        assert!(points.len() > 50, "only {} points", points.len());
+        let has = |h: usize, l: usize, b: u32| {
+            points.iter().any(|p| {
+                p.spec.height() == h && p.spec.local_array() == l && p.spec.adc_bits() == b
+            })
+        };
+        assert!(has(128, 2, 3));
+        assert!(has(128, 8, 3));
+        assert!(has(64, 8, 3));
+    }
+
+    #[test]
+    fn every_enumerated_point_is_feasible() {
+        let points =
+            enumerate_design_space(4 * 1024, 16, 1024, &ModelParams::s28_default()).unwrap();
+        for p in &points {
+            assert_eq!(p.spec.array_size(), 4 * 1024);
+            assert!(p.spec.capacitors_per_column() >= (1 << p.spec.adc_bits()));
+        }
+    }
+
+    #[test]
+    fn pareto_front_is_non_dominated_and_nonempty() {
+        let points =
+            enumerate_design_space(16 * 1024, 16, 1024, &ModelParams::s28_default()).unwrap();
+        let front = exact_pareto_front(&points);
+        assert!(!front.is_empty());
+        assert!(front.len() < points.len());
+        for a in &front {
+            for b in &front {
+                if a.spec != b.spec {
+                    assert!(!dominates(&a.objective_vector(), &b.objective_vector()));
+                }
+            }
+        }
+        // Every dominated point must be dominated by some front member.
+        for p in &points {
+            let on_front = front.iter().any(|f| f.spec == p.spec);
+            if !on_front {
+                assert!(
+                    front
+                        .iter()
+                        .any(|f| dominates(&f.objective_vector(), &p.objective_vector())),
+                    "point {p} is neither on the front nor dominated"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn impossible_array_size_is_an_error() {
+        // A prime array size has no power-of-two factorisation above 16.
+        assert!(matches!(
+            enumerate_design_space(9973, 16, 1024, &ModelParams::s28_default()),
+            Err(DseError::InvalidConfig(_)) | Err(DseError::EmptyDesignSpace { .. })
+        ));
+    }
+}

@@ -1,0 +1,81 @@
+//! Error type of the design-space explorer.
+
+use std::error::Error;
+use std::fmt;
+
+use acim_arch::ArchError;
+use acim_model::ModelError;
+
+/// Errors produced by the design-space explorer.
+#[derive(Debug, Clone, PartialEq)]
+pub enum DseError {
+    /// The exploration configuration is invalid (e.g. array size with no
+    /// valid factorisation, zero population, …).
+    InvalidConfig(String),
+    /// No feasible design exists for the requested array size and bounds.
+    EmptyDesignSpace {
+        /// The requested array size.
+        array_size: usize,
+    },
+    /// An error bubbled up from the estimation model.
+    Model(ModelError),
+    /// An error bubbled up from the architecture crate.
+    Arch(ArchError),
+}
+
+impl fmt::Display for DseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DseError::InvalidConfig(reason) => write!(f, "invalid DSE configuration: {reason}"),
+            DseError::EmptyDesignSpace { array_size } => {
+                write!(f, "no feasible ACIM design exists for array size {array_size}")
+            }
+            DseError::Model(err) => write!(f, "estimation model error: {err}"),
+            DseError::Arch(err) => write!(f, "architecture error: {err}"),
+        }
+    }
+}
+
+impl Error for DseError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            DseError::Model(err) => Some(err),
+            DseError::Arch(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<ModelError> for DseError {
+    fn from(err: ModelError) -> Self {
+        DseError::Model(err)
+    }
+}
+
+impl From<ArchError> for DseError {
+    fn from(err: ArchError) -> Self {
+        DseError::Arch(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: DseError = ModelError::InsufficientData("x".into()).into();
+        assert!(e.to_string().contains("estimation model error"));
+        let e: DseError = ArchError::invalid_spec("c", "d").into();
+        assert!(e.to_string().contains("architecture error"));
+        assert!(DseError::EmptyDesignSpace { array_size: 77 }
+            .to_string()
+            .contains("77"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<DseError>();
+    }
+}

@@ -1,0 +1,262 @@
+//! The MOGA-based design-space explorer (Figure 4, "MOGA-based Design Space
+//! Explorer (NSGA-II)").
+
+use acim_model::ModelParams;
+use acim_moga::{Nsga2, Nsga2Config, ParetoArchive};
+
+use crate::error::DseError;
+use crate::problem::AcimDesignProblem;
+use crate::solution::DesignPoint;
+
+/// Configuration of one exploration run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DseConfig {
+    /// User-defined array size (`H · W`).
+    pub array_size: usize,
+    /// Smallest array height considered.
+    pub min_height: usize,
+    /// Largest array height considered.
+    pub max_height: usize,
+    /// NSGA-II population size.
+    pub population_size: usize,
+    /// NSGA-II generation count.
+    pub generations: usize,
+    /// RNG seed (exploration is deterministic per seed).
+    pub seed: u64,
+    /// Estimation-model parameters.
+    pub params: ModelParams,
+}
+
+impl Default for DseConfig {
+    fn default() -> Self {
+        Self {
+            array_size: 16 * 1024,
+            min_height: 16,
+            max_height: 1024,
+            population_size: 80,
+            generations: 60,
+            seed: 0xACE5,
+            params: ModelParams::s28_default(),
+        }
+    }
+}
+
+/// The Pareto-frontier set produced by an exploration run: every feasible,
+/// mutually non-dominated design encountered during the search.
+#[derive(Debug, Clone, Default)]
+pub struct ParetoFrontierSet {
+    points: Vec<DesignPoint>,
+    /// Number of objective evaluations spent by the optimiser.
+    pub evaluations: usize,
+}
+
+impl ParetoFrontierSet {
+    /// The frontier design points.
+    pub fn points(&self) -> &[DesignPoint] {
+        &self.points
+    }
+
+    /// Number of frontier points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Returns `true` when the frontier is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Iterates over the frontier points.
+    pub fn iter(&self) -> impl Iterator<Item = &DesignPoint> {
+        self.points.iter()
+    }
+
+    /// Consumes the set and returns the points.
+    pub fn into_points(self) -> Vec<DesignPoint> {
+        self.points
+    }
+
+    /// The point with the best (largest) value of a metric selected by
+    /// `key`, if the frontier is non-empty.
+    pub fn best_by<F: Fn(&DesignPoint) -> f64>(&self, key: F) -> Option<&DesignPoint> {
+        self.points.iter().max_by(|a, b| {
+            key(a)
+                .partial_cmp(&key(b))
+                .expect("metrics must not be NaN")
+        })
+    }
+}
+
+/// The design-space explorer: NSGA-II over [`AcimDesignProblem`] with a
+/// global archive of every feasible non-dominated design evaluated.
+#[derive(Debug, Clone)]
+pub struct DesignSpaceExplorer {
+    config: DseConfig,
+    problem: AcimDesignProblem,
+}
+
+impl DesignSpaceExplorer {
+    /// Creates an explorer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DseError::InvalidConfig`] when the configuration is
+    /// inconsistent (no valid heights, zero population, …).
+    pub fn new(config: DseConfig) -> Result<Self, DseError> {
+        if config.population_size < 4 || config.population_size % 2 != 0 {
+            return Err(DseError::InvalidConfig(
+                "population size must be an even number >= 4".into(),
+            ));
+        }
+        if config.generations == 0 {
+            return Err(DseError::InvalidConfig(
+                "generation count must be at least 1".into(),
+            ));
+        }
+        let problem = AcimDesignProblem::new(
+            config.array_size,
+            config.min_height,
+            config.max_height,
+            config.params,
+        )?;
+        Ok(Self { config, problem })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &DseConfig {
+        &self.config
+    }
+
+    /// Runs the exploration and returns the Pareto-frontier set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DseError::EmptyDesignSpace`] when the optimiser never found
+    /// a feasible design (which indicates an over-constrained array size).
+    pub fn explore(&self) -> Result<ParetoFrontierSet, DseError> {
+        let nsga_config = Nsga2Config {
+            population_size: self.config.population_size,
+            generations: self.config.generations,
+            ..Default::default()
+        };
+        // Archive every feasible design seen in any generation, keyed by the
+        // decoded spec, so the frontier is not limited to the final
+        // population.
+        let mut archive: ParetoArchive<DesignPoint> = ParetoArchive::new();
+        let problem = &self.problem;
+        let result = Nsga2::new(problem, nsga_config)
+            .with_seed(self.config.seed)
+            .run_with_observer(|_generation, population| {
+                for individual in population {
+                    if !individual.is_feasible() {
+                        continue;
+                    }
+                    if let Some(point) = problem.decode_point(&individual.genes) {
+                        archive.insert(point.objective_vector(), point);
+                    }
+                }
+            });
+
+        // The final population may contain points the observer never saw at
+        // an archive-worthy moment; fold it in too.
+        for individual in &result.population {
+            if individual.is_feasible() {
+                if let Some(point) = problem.decode_point(&individual.genes) {
+                    archive.insert(point.objective_vector(), point);
+                }
+            }
+        }
+
+        let points: Vec<DesignPoint> = archive.into_entries().into_iter().map(|e| e.payload).collect();
+        if points.is_empty() {
+            return Err(DseError::EmptyDesignSpace {
+                array_size: self.config.array_size,
+            });
+        }
+        Ok(ParetoFrontierSet {
+            points,
+            evaluations: result.evaluations,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acim_moga::dominates;
+
+    fn quick_config() -> DseConfig {
+        DseConfig {
+            population_size: 32,
+            generations: 20,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn exploration_finds_a_diverse_frontier() {
+        let explorer = DesignSpaceExplorer::new(quick_config()).unwrap();
+        let frontier = explorer.explore().unwrap();
+        assert!(frontier.len() >= 5, "only {} frontier points", frontier.len());
+        // Frontier must be mutually non-dominated.
+        for a in frontier.iter() {
+            for b in frontier.iter() {
+                if a.spec != b.spec {
+                    assert!(!dominates(&a.objective_vector(), &b.objective_vector()));
+                }
+            }
+        }
+        // It should span multiple ADC precisions (diversity across the
+        // SNR/energy trade-off).
+        let precisions: std::collections::BTreeSet<u32> =
+            frontier.iter().map(|p| p.spec.adc_bits()).collect();
+        assert!(precisions.len() >= 3, "precisions found: {precisions:?}");
+    }
+
+    #[test]
+    fn exploration_is_deterministic_per_seed() {
+        let explorer = DesignSpaceExplorer::new(quick_config()).unwrap();
+        let a = explorer.explore().unwrap();
+        let b = explorer.explore().unwrap();
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.evaluations, b.evaluations);
+    }
+
+    #[test]
+    fn every_frontier_point_respects_constraints() {
+        let explorer = DesignSpaceExplorer::new(quick_config()).unwrap();
+        let frontier = explorer.explore().unwrap();
+        for p in frontier.iter() {
+            assert_eq!(p.spec.array_size(), 16 * 1024);
+            assert!(p.spec.height() >= p.spec.local_array());
+            assert!(p.spec.capacitors_per_column() >= 1 << p.spec.adc_bits());
+        }
+    }
+
+    #[test]
+    fn best_by_selects_extremes() {
+        let explorer = DesignSpaceExplorer::new(quick_config()).unwrap();
+        let frontier = explorer.explore().unwrap();
+        let best_throughput = frontier
+            .best_by(|p| p.metrics.throughput_tops)
+            .unwrap()
+            .metrics
+            .throughput_tops;
+        for p in frontier.iter() {
+            assert!(p.metrics.throughput_tops <= best_throughput + 1e-12);
+        }
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut config = quick_config();
+        config.population_size = 7;
+        assert!(DesignSpaceExplorer::new(config).is_err());
+        let mut config = quick_config();
+        config.generations = 0;
+        assert!(DesignSpaceExplorer::new(config).is_err());
+        let mut config = quick_config();
+        config.array_size = 9973;
+        assert!(DesignSpaceExplorer::new(config).is_err());
+    }
+}

@@ -1,0 +1,65 @@
+//! # acim-dse
+//!
+//! The MOGA-based design-space explorer of EasyACIM (Section 3.2).
+//!
+//! Given a user-defined array size, the explorer searches the
+//! (H, W, L, B_ADC) space for the Pareto frontier of the four objectives
+//! `[−SNR, −throughput, energy, area]` (Equation 12), subject to
+//!
+//! * `H · W = ArraySize`,
+//! * `H ≥ L`, `L | H`, `2 ≤ L ≤ 32`,
+//! * `H / L ≥ 2^B_ADC`, `1 ≤ B_ADC ≤ 8`.
+//!
+//! The pieces:
+//!
+//! * [`encoding`] — maps a real-coded NSGA-II genome to a candidate
+//!   (H, W, L, B_ADC) tuple,
+//! * [`problem`] — the [`acim_moga::Problem`] implementation that evaluates
+//!   candidates with the analytic model of `acim-model`,
+//! * [`explorer`] — runs NSGA-II and collects every feasible non-dominated
+//!   design it ever evaluates into a [`ParetoFrontierSet`],
+//! * [`enumerate`] — exhaustive enumeration of the (small) discrete space,
+//!   used as ground truth in the ablation benchmarks,
+//! * [`distill`] — the "user distillation" step of Figure 4: filtering the
+//!   frontier with application requirements,
+//! * [`sweep`] — the parameter sweeps behind Figure 9.
+//!
+//! # Example
+//!
+//! ```
+//! use acim_dse::{DseConfig, DesignSpaceExplorer};
+//!
+//! # fn main() -> Result<(), acim_dse::DseError> {
+//! let config = DseConfig {
+//!     array_size: 16 * 1024,
+//!     population_size: 40,
+//!     generations: 20,
+//!     ..Default::default()
+//! };
+//! let explorer = DesignSpaceExplorer::new(config)?;
+//! let frontier = explorer.explore()?;
+//! assert!(!frontier.is_empty());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod distill;
+pub mod encoding;
+pub mod enumerate;
+pub mod error;
+pub mod explorer;
+pub mod problem;
+pub mod solution;
+pub mod sweep;
+
+pub use distill::UserRequirements;
+pub use encoding::DesignEncoding;
+pub use enumerate::enumerate_design_space;
+pub use error::DseError;
+pub use explorer::{DesignSpaceExplorer, DseConfig, ParetoFrontierSet};
+pub use problem::AcimDesignProblem;
+pub use solution::DesignPoint;
+pub use sweep::{sweep_by_array_size, sweep_by_parameter, SweepSeries};

@@ -1,0 +1,142 @@
+//! The ACIM design problem as an [`acim_moga::Problem`].
+
+use acim_model::{evaluate, ModelParams};
+use acim_moga::{Evaluation, Problem};
+
+use crate::encoding::DesignEncoding;
+use crate::error::DseError;
+use crate::solution::DesignPoint;
+
+/// The four-objective, constrained ACIM parameter-selection problem of
+/// Equation 12, evaluated with the analytic estimation model.
+#[derive(Debug, Clone)]
+pub struct AcimDesignProblem {
+    encoding: DesignEncoding,
+    params: ModelParams,
+}
+
+impl AcimDesignProblem {
+    /// Creates the problem for one array size.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DseError::InvalidConfig`] when the encoding cannot be built
+    /// or the model parameters are invalid.
+    pub fn new(
+        array_size: usize,
+        min_height: usize,
+        max_height: usize,
+        params: ModelParams,
+    ) -> Result<Self, DseError> {
+        params.validate()?;
+        let encoding = DesignEncoding::new(array_size, min_height, max_height)?;
+        Ok(Self { encoding, params })
+    }
+
+    /// The genome encoding in use.
+    pub fn encoding(&self) -> &DesignEncoding {
+        &self.encoding
+    }
+
+    /// The model parameters in use.
+    pub fn params(&self) -> &ModelParams {
+        &self.params
+    }
+
+    /// Decodes a genome into a full [`DesignPoint`] when it is feasible.
+    pub fn decode_point(&self, genes: &[f64]) -> Option<DesignPoint> {
+        let candidate = self.encoding.decode(genes);
+        let spec = candidate.into_spec(self.encoding.array_size()).ok()?;
+        let metrics = evaluate(&spec, &self.params).ok()?;
+        Some(DesignPoint::new(spec, metrics))
+    }
+}
+
+impl Problem for AcimDesignProblem {
+    fn num_variables(&self) -> usize {
+        self.encoding.num_genes()
+    }
+
+    fn num_objectives(&self) -> usize {
+        4
+    }
+
+    fn evaluate(&self, genes: &[f64]) -> Evaluation {
+        let candidate = self.encoding.decode(genes);
+        match candidate.into_spec(self.encoding.array_size()) {
+            Ok(spec) => match evaluate(&spec, &self.params) {
+                Ok(metrics) => Evaluation::unconstrained(metrics.objective_vector()),
+                // Model failures are treated as heavily infeasible rather
+                // than aborting the whole optimisation run.
+                Err(_) => Evaluation::new(vec![f64::MAX; 4], 10.0),
+            },
+            Err(violation) => Evaluation::new(vec![f64::MAX; 4], violation),
+        }
+    }
+
+    fn name(&self) -> &str {
+        "easyacim design-space exploration"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn problem() -> AcimDesignProblem {
+        AcimDesignProblem::new(16 * 1024, 16, 1024, ModelParams::s28_default()).unwrap()
+    }
+
+    #[test]
+    fn problem_shape() {
+        let p = problem();
+        assert_eq!(p.num_variables(), 3);
+        assert_eq!(p.num_objectives(), 4);
+        assert!(p.name().contains("easyacim"));
+    }
+
+    #[test]
+    fn feasible_genome_evaluates_to_finite_objectives() {
+        let p = problem();
+        let genes = p
+            .encoding()
+            .encode(&crate::encoding::Candidate {
+                height: 128,
+                width: 128,
+                local_array: 8,
+                adc_bits: 3,
+            })
+            .unwrap();
+        let eval = p.evaluate(&genes);
+        assert!(eval.is_feasible());
+        assert!(eval.objectives.iter().all(|o| o.is_finite()));
+        let point = p.decode_point(&genes).expect("feasible point decodes");
+        assert_eq!(point.spec.local_array(), 8);
+    }
+
+    #[test]
+    fn infeasible_genome_reports_violation() {
+        let p = problem();
+        // L = 32 with B = 8 violates the CDAC constraint for every height of
+        // a 16 kb array except very tall ones; pick H = 32 explicitly.
+        let genes = p
+            .encoding()
+            .encode(&crate::encoding::Candidate {
+                height: 32,
+                width: 512,
+                local_array: 32,
+                adc_bits: 8,
+            })
+            .unwrap();
+        let eval = p.evaluate(&genes);
+        assert!(!eval.is_feasible());
+        assert!(p.decode_point(&genes).is_none());
+    }
+
+    #[test]
+    fn invalid_model_params_rejected_up_front() {
+        let mut params = ModelParams::s28_default();
+        params.snr.k3 = -1.0;
+        assert!(AcimDesignProblem::new(16 * 1024, 16, 1024, params).is_err());
+    }
+}

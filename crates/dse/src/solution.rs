@@ -1,0 +1,101 @@
+//! Design points: a specification plus its estimated metrics.
+
+use std::fmt;
+
+use acim_arch::AcimSpec;
+use acim_model::DesignMetrics;
+
+/// One explored design: the (H, W, L, B_ADC) specification and the four
+/// estimated figures of merit.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DesignPoint {
+    /// The validated specification.
+    pub spec: AcimSpec,
+    /// The estimated metrics (analytic model).
+    pub metrics: DesignMetrics,
+}
+
+impl DesignPoint {
+    /// Creates a design point.
+    pub fn new(spec: AcimSpec, metrics: DesignMetrics) -> Self {
+        Self { spec, metrics }
+    }
+
+    /// Objective vector `[−SNR, −T, E, A]` (Equation 12).
+    pub fn objective_vector(&self) -> Vec<f64> {
+        self.metrics.objective_vector()
+    }
+
+    /// CSV header matching [`DesignPoint::to_csv_row`].
+    pub fn csv_header() -> &'static str {
+        "array_size,height,width,local_array,adc_bits,snr_db,throughput_tops,energy_per_mac_fj,tops_per_watt,area_f2_per_bit"
+    }
+
+    /// Serialises the point as one CSV row (used by the figure-reproduction
+    /// binaries).
+    pub fn to_csv_row(&self) -> String {
+        format!(
+            "{},{},{},{},{},{:.3},{:.4},{:.3},{:.1},{:.1}",
+            self.spec.array_size(),
+            self.spec.height(),
+            self.spec.width(),
+            self.spec.local_array(),
+            self.spec.adc_bits(),
+            self.metrics.snr_db,
+            self.metrics.throughput_tops,
+            self.metrics.energy_per_mac_fj,
+            self.metrics.tops_per_watt,
+            self.metrics.area_f2_per_bit,
+        )
+    }
+}
+
+impl fmt::Display for DesignPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} SNR={:.1}dB T={:.3}TOPS E={:.2}fJ ({:.0}TOPS/W) A={:.0}F2/bit",
+            self.spec,
+            self.metrics.snr_db,
+            self.metrics.throughput_tops,
+            self.metrics.energy_per_mac_fj,
+            self.metrics.tops_per_watt,
+            self.metrics.area_f2_per_bit
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acim_model::{evaluate, ModelParams};
+
+    fn point() -> DesignPoint {
+        let spec = AcimSpec::from_dimensions(128, 128, 8, 3).unwrap();
+        let metrics = evaluate(&spec, &ModelParams::s28_default()).unwrap();
+        DesignPoint::new(spec, metrics)
+    }
+
+    #[test]
+    fn csv_row_has_same_field_count_as_header() {
+        let p = point();
+        let header_fields = DesignPoint::csv_header().split(',').count();
+        let row_fields = p.to_csv_row().split(',').count();
+        assert_eq!(header_fields, row_fields);
+        assert_eq!(header_fields, 10);
+    }
+
+    #[test]
+    fn display_mentions_the_key_metrics() {
+        let text = point().to_string();
+        assert!(text.contains("TOPS"));
+        assert!(text.contains("dB"));
+        assert!(text.contains("F2/bit"));
+    }
+
+    #[test]
+    fn objective_vector_delegates_to_metrics() {
+        let p = point();
+        assert_eq!(p.objective_vector(), p.metrics.objective_vector());
+    }
+}

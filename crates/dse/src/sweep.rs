@@ -1,0 +1,227 @@
+//! Parameter sweeps for the design-space figures (Figure 9).
+//!
+//! Figure 9 shows the whole design space as scatter plots in two metric
+//! planes — (throughput, SNR) and (area, energy efficiency) — with the
+//! points grouped by array size (panels a, b), by `H` (c, d), by `L` (e, f)
+//! and by `B_ADC` (g, h).  This module produces exactly those groupings as
+//! labelled series of design points.
+
+use acim_model::ModelParams;
+
+use crate::enumerate::enumerate_design_space;
+use crate::error::DseError;
+use crate::solution::DesignPoint;
+
+/// Which design parameter a sweep groups by.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum SweepParameter {
+    /// Group by array height `H` (Figure 9 c, d).
+    Height,
+    /// Group by local-array size `L` (Figure 9 e, f).
+    LocalArray,
+    /// Group by ADC precision `B_ADC` (Figure 9 g, h).
+    AdcBits,
+}
+
+impl SweepParameter {
+    /// The grouping key of a design point under this parameter.
+    pub fn key(self, point: &DesignPoint) -> usize {
+        match self {
+            SweepParameter::Height => point.spec.height(),
+            SweepParameter::LocalArray => point.spec.local_array(),
+            SweepParameter::AdcBits => point.spec.adc_bits() as usize,
+        }
+    }
+
+    /// Human-readable label used in CSV/report output.
+    pub fn label(self) -> &'static str {
+        match self {
+            SweepParameter::Height => "H",
+            SweepParameter::LocalArray => "L",
+            SweepParameter::AdcBits => "B_ADC",
+        }
+    }
+}
+
+/// One labelled series of a sweep: every design point sharing the same value
+/// of the grouping key.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepSeries {
+    /// Name of the grouping parameter (`"H"`, `"L"`, `"B_ADC"`,
+    /// `"array_size"`).
+    pub parameter: String,
+    /// Value of the grouping key for this series.
+    pub value: usize,
+    /// The design points of the series.
+    pub points: Vec<DesignPoint>,
+}
+
+impl SweepSeries {
+    /// Mean energy efficiency of the series in TOPS/W.
+    pub fn mean_tops_per_watt(&self) -> f64 {
+        mean(self.points.iter().map(|p| p.metrics.tops_per_watt))
+    }
+
+    /// Mean SNR of the series in dB.
+    pub fn mean_snr_db(&self) -> f64 {
+        mean(self.points.iter().map(|p| p.metrics.snr_db))
+    }
+
+    /// Maximum throughput of the series in TOPS.
+    pub fn max_throughput_tops(&self) -> f64 {
+        self.points
+            .iter()
+            .map(|p| p.metrics.throughput_tops)
+            .fold(f64::NEG_INFINITY, f64::max)
+    }
+
+    /// Minimum area of the series in F²/bit.
+    pub fn min_area_f2_per_bit(&self) -> f64 {
+        self.points
+            .iter()
+            .map(|p| p.metrics.area_f2_per_bit)
+            .fold(f64::INFINITY, f64::min)
+    }
+}
+
+fn mean(values: impl Iterator<Item = f64>) -> f64 {
+    let collected: Vec<f64> = values.collect();
+    if collected.is_empty() {
+        return f64::NAN;
+    }
+    collected.iter().sum::<f64>() / collected.len() as f64
+}
+
+/// Enumerates the design space of one array size and groups it by a design
+/// parameter (Figure 9 panels c–h).
+///
+/// # Errors
+///
+/// Propagates [`DseError`] from the enumeration.
+pub fn sweep_by_parameter(
+    array_size: usize,
+    parameter: SweepParameter,
+    params: &ModelParams,
+) -> Result<Vec<SweepSeries>, DseError> {
+    let points = enumerate_design_space(array_size, 16, 1024, params)?;
+    let mut keys: Vec<usize> = points.iter().map(|p| parameter.key(p)).collect();
+    keys.sort_unstable();
+    keys.dedup();
+    Ok(keys
+        .into_iter()
+        .map(|value| SweepSeries {
+            parameter: parameter.label().to_string(),
+            value,
+            points: points
+                .iter()
+                .copied()
+                .filter(|p| parameter.key(p) == value)
+                .collect(),
+        })
+        .collect())
+}
+
+/// Enumerates several array sizes and groups the combined space by array
+/// size (Figure 9 panels a, b).
+///
+/// # Errors
+///
+/// Propagates [`DseError`] from the enumeration.
+pub fn sweep_by_array_size(
+    array_sizes: &[usize],
+    params: &ModelParams,
+) -> Result<Vec<SweepSeries>, DseError> {
+    let mut series = Vec::with_capacity(array_sizes.len());
+    for &array_size in array_sizes {
+        let points = enumerate_design_space(array_size, 16, 1024, params)?;
+        series.push(SweepSeries {
+            parameter: "array_size".to_string(),
+            value: array_size,
+            points,
+        });
+    }
+    Ok(series)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn params() -> ModelParams {
+        ModelParams::s28_default()
+    }
+
+    #[test]
+    fn sweep_by_l_reproduces_figure9ef_trend() {
+        // Figure 9(e)(f): reducing L raises throughput and the SNR upper
+        // bound but costs area.
+        let series = sweep_by_parameter(16 * 1024, SweepParameter::LocalArray, &params()).unwrap();
+        assert!(series.len() >= 3);
+        let l2 = series.iter().find(|s| s.value == 2).unwrap();
+        let l8 = series.iter().find(|s| s.value == 8).unwrap();
+        assert!(l2.max_throughput_tops() > l8.max_throughput_tops());
+        assert!(l2.min_area_f2_per_bit() > l8.min_area_f2_per_bit());
+    }
+
+    #[test]
+    fn sweep_by_h_reproduces_figure9cd_trend() {
+        // Figure 9(c)(d): a smaller H keeps the highest throughput reachable
+        // (throughput depends on ArraySize/L, not on H directly) but caps the
+        // achievable SNR (fewer capacitors bound B_ADC) and costs area.
+        let series = sweep_by_parameter(16 * 1024, SweepParameter::Height, &params()).unwrap();
+        let smallest = series.first().unwrap();
+        let largest = series.last().unwrap();
+        assert!(smallest.value < largest.value);
+        assert!(smallest.max_throughput_tops() >= largest.max_throughput_tops());
+        assert!(smallest.min_area_f2_per_bit() > largest.min_area_f2_per_bit());
+        let max_snr = |s: &SweepSeries| {
+            s.points
+                .iter()
+                .map(|p| p.metrics.snr_db)
+                .fold(f64::NEG_INFINITY, f64::max)
+        };
+        assert!(max_snr(smallest) < max_snr(largest));
+    }
+
+    #[test]
+    fn sweep_by_b_reproduces_figure9gh_trend() {
+        // Figure 9(g)(h): reducing B_ADC improves energy efficiency but
+        // lowers SNR.
+        let series = sweep_by_parameter(16 * 1024, SweepParameter::AdcBits, &params()).unwrap();
+        let low = series.iter().find(|s| s.value == 2).unwrap();
+        let high = series.iter().find(|s| s.value == 6).unwrap();
+        assert!(low.mean_tops_per_watt() > high.mean_tops_per_watt());
+        assert!(low.mean_snr_db() < high.mean_snr_db());
+    }
+
+    #[test]
+    fn sweep_by_array_size_reproduces_figure9ab_trend() {
+        // Figure 9(a)(b): larger arrays reach higher SNR and throughput,
+        // smaller arrays prioritise energy efficiency and area.
+        let sizes = [4 * 1024, 16 * 1024, 64 * 1024];
+        let series = sweep_by_array_size(&sizes, &params()).unwrap();
+        assert_eq!(series.len(), 3);
+        let small = &series[0];
+        let large = &series[2];
+        assert!(large.max_throughput_tops() > small.max_throughput_tops());
+        let best_snr = |s: &SweepSeries| {
+            s.points
+                .iter()
+                .map(|p| p.metrics.snr_db)
+                .fold(f64::NEG_INFINITY, f64::max)
+        };
+        assert!(best_snr(large) >= best_snr(small));
+    }
+
+    #[test]
+    fn series_partition_the_space() {
+        let series = sweep_by_parameter(16 * 1024, SweepParameter::AdcBits, &params()).unwrap();
+        let total: usize = series.iter().map(|s| s.points.len()).sum();
+        let all = enumerate_design_space(16 * 1024, 16, 1024, &params()).unwrap();
+        assert_eq!(total, all.len());
+        for s in &series {
+            assert!(!s.points.is_empty());
+            assert!(s.points.iter().all(|p| p.spec.adc_bits() as usize == s.value));
+        }
+    }
+}

@@ -1,0 +1,84 @@
+//! Error type of the end-to-end flow.
+
+use std::error::Error;
+use std::fmt;
+
+use acim_dse::DseError;
+use acim_layout::LayoutError;
+use acim_netlist::NetlistError;
+
+/// Errors produced by the top flow controller.
+#[derive(Debug, Clone, PartialEq)]
+pub enum FlowError {
+    /// The flow configuration is inconsistent.
+    InvalidConfig(String),
+    /// The user distillation removed every Pareto-frontier solution.
+    EmptyDistilledSet,
+    /// An error from the design-space explorer.
+    Dse(DseError),
+    /// An error from the netlist generator.
+    Netlist(NetlistError),
+    /// An error from the placer/router.
+    Layout(LayoutError),
+}
+
+impl fmt::Display for FlowError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            FlowError::InvalidConfig(reason) => write!(f, "invalid flow configuration: {reason}"),
+            FlowError::EmptyDistilledSet => {
+                write!(f, "user distillation removed every Pareto-frontier solution")
+            }
+            FlowError::Dse(err) => write!(f, "design-space exploration failed: {err}"),
+            FlowError::Netlist(err) => write!(f, "netlist generation failed: {err}"),
+            FlowError::Layout(err) => write!(f, "layout generation failed: {err}"),
+        }
+    }
+}
+
+impl Error for FlowError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            FlowError::Dse(err) => Some(err),
+            FlowError::Netlist(err) => Some(err),
+            FlowError::Layout(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<DseError> for FlowError {
+    fn from(err: DseError) -> Self {
+        FlowError::Dse(err)
+    }
+}
+
+impl From<NetlistError> for FlowError {
+    fn from(err: NetlistError) -> Self {
+        FlowError::Netlist(err)
+    }
+}
+
+impl From<LayoutError> for FlowError {
+    fn from(err: LayoutError) -> Self {
+        FlowError::Layout(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: FlowError = DseError::InvalidConfig("x".into()).into();
+        assert!(e.to_string().contains("design-space exploration"));
+        assert!(FlowError::EmptyDistilledSet.to_string().contains("distillation"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<FlowError>();
+    }
+}

@@ -1,0 +1,203 @@
+//! The top flow controller (Figure 4).
+
+use std::time::{Duration, Instant};
+
+use acim_cell::CellLibrary;
+use acim_dse::{DesignPoint, DesignSpaceExplorer, ParetoFrontierSet};
+use acim_layout::{LayoutFlow, MacroLayout};
+use acim_netlist::{design_stats, write_spice, Design, DesignStats, NetlistGenerator};
+
+use crate::config::FlowConfig;
+use crate::error::FlowError;
+
+/// One fully generated design: the distilled Pareto point, its hierarchical
+/// netlist and its layout.
+#[derive(Debug, Clone)]
+pub struct GeneratedDesign {
+    /// The design point (spec + estimated metrics).
+    pub point: DesignPoint,
+    /// The hierarchical netlist.
+    pub netlist: Design,
+    /// Netlist statistics (cell/transistor counts).
+    pub netlist_stats: DesignStats,
+    /// The generated macro layout and its measured metrics.
+    pub layout: MacroLayout,
+    /// SPICE text of the netlist, when `emit_files` was requested.
+    pub spice: Option<String>,
+    /// Wall-clock time spent generating this design's netlist and layout.
+    pub generation_time: Duration,
+}
+
+/// The result of an end-to-end run.
+#[derive(Debug, Clone)]
+pub struct FlowResult {
+    /// The full Pareto-frontier set found by the explorer.
+    pub frontier: Vec<DesignPoint>,
+    /// The frontier after user distillation.
+    pub distilled: Vec<DesignPoint>,
+    /// Netlists + layouts for the distilled solutions (up to `max_layouts`).
+    pub designs: Vec<GeneratedDesign>,
+    /// Wall-clock time of the design-space exploration.
+    pub exploration_time: Duration,
+    /// Total wall-clock time of the run.
+    pub total_time: Duration,
+    /// Number of objective evaluations spent by the explorer.
+    pub evaluations: usize,
+}
+
+/// The EasyACIM top flow controller.
+#[derive(Debug, Clone)]
+pub struct TopFlowController {
+    config: FlowConfig,
+    library: CellLibrary,
+}
+
+impl TopFlowController {
+    /// Creates the controller, building the customized cell library for the
+    /// configured technology.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::InvalidConfig`] when the configuration is
+    /// inconsistent.
+    pub fn new(config: FlowConfig) -> Result<Self, FlowError> {
+        config.validate()?;
+        let library = CellLibrary::s28_default(&config.technology);
+        Ok(Self { config, library })
+    }
+
+    /// The cell library used by the flow.
+    pub fn library(&self) -> &CellLibrary {
+        &self.library
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &FlowConfig {
+        &self.config
+    }
+
+    /// Runs the full flow: exploration → distillation → netlist → layout.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError`] when any stage fails, or
+    /// [`FlowError::EmptyDistilledSet`] when the user requirements reject
+    /// every frontier solution.
+    pub fn run(&self) -> Result<FlowResult, FlowError> {
+        let start = Instant::now();
+
+        // 1. MOGA-based design-space exploration.
+        let explorer = DesignSpaceExplorer::new(self.config.dse.clone())?;
+        let frontier_set: ParetoFrontierSet = explorer.explore()?;
+        let exploration_time = start.elapsed();
+        let evaluations = frontier_set.evaluations;
+        let frontier = frontier_set.into_points();
+
+        // 2. User distillation.
+        let distilled = self.config.requirements.distill(&frontier);
+        if distilled.is_empty() {
+            return Err(FlowError::EmptyDistilledSet);
+        }
+
+        // 3-4. Netlist generation and template-based P&R for each distilled
+        // solution (bounded by `max_layouts`).
+        let limit = if self.config.max_layouts == 0 {
+            distilled.len()
+        } else {
+            self.config.max_layouts.min(distilled.len())
+        };
+        let generator = NetlistGenerator::new(&self.library);
+        let layout_flow = LayoutFlow::new(&self.config.technology, &self.library);
+        let mut designs = Vec::with_capacity(limit);
+        for point in distilled.iter().take(limit) {
+            let design_start = Instant::now();
+            let netlist = generator.generate(&point.spec)?;
+            let netlist_stats = design_stats(&netlist, &self.library)?;
+            let layout = layout_flow.generate(&point.spec)?;
+            let spice = if self.config.emit_files {
+                Some(write_spice(&netlist, &self.library)?)
+            } else {
+                None
+            };
+            designs.push(GeneratedDesign {
+                point: *point,
+                netlist,
+                netlist_stats,
+                layout,
+                spice,
+                generation_time: design_start.elapsed(),
+            });
+        }
+
+        Ok(FlowResult {
+            frontier,
+            distilled,
+            designs,
+            exploration_time,
+            total_time: start.elapsed(),
+            evaluations,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acim_dse::UserRequirements;
+
+    fn quick_config(array_size: usize) -> FlowConfig {
+        let mut config = FlowConfig::new(array_size);
+        config.dse.population_size = 24;
+        config.dse.generations = 12;
+        config.max_layouts = 2;
+        config
+    }
+
+    #[test]
+    fn end_to_end_flow_produces_designs() {
+        let controller = TopFlowController::new(quick_config(4 * 1024)).unwrap();
+        let result = controller.run().unwrap();
+        assert!(!result.frontier.is_empty());
+        assert!(!result.distilled.is_empty());
+        assert!(!result.designs.is_empty());
+        assert!(result.designs.len() <= 2);
+        assert!(result.evaluations > 0);
+        assert!(result.total_time >= result.exploration_time);
+        for design in &result.designs {
+            assert_eq!(
+                design.netlist_stats.sram_cells,
+                design.point.spec.array_size()
+            );
+            assert!(design.layout.metrics.core_area_f2_per_bit > 1000.0);
+            assert!(design.spice.is_none());
+        }
+    }
+
+    #[test]
+    fn distillation_filters_and_can_empty_the_set() {
+        let mut config = quick_config(4 * 1024);
+        config.requirements = UserRequirements {
+            min_snr_db: Some(500.0),
+            ..UserRequirements::none()
+        };
+        let controller = TopFlowController::new(config).unwrap();
+        assert!(matches!(controller.run(), Err(FlowError::EmptyDistilledSet)));
+    }
+
+    #[test]
+    fn emit_files_produces_spice_text() {
+        let mut config = quick_config(4 * 1024);
+        config.max_layouts = 1;
+        config.emit_files = true;
+        let result = TopFlowController::new(config).unwrap().run().unwrap();
+        let spice = result.designs[0].spice.as_ref().expect("spice emitted");
+        assert!(spice.contains(".SUBCKT ACIM_TOP"));
+    }
+
+    #[test]
+    fn library_has_all_cells() {
+        let controller = TopFlowController::new(quick_config(1024)).unwrap();
+        assert_eq!(controller.library().len(), 7);
+        assert_eq!(controller.config().dse.array_size, 1024);
+    }
+}

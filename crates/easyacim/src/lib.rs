@@ -1,0 +1,71 @@
+//! # easyacim
+//!
+//! The end-to-end automated ACIM flow of the paper *"EasyACIM: An End-to-End
+//! Automated Analog CIM with Synthesizable Architecture and Agile Design
+//! Space Exploration"* (DAC 2024), reproduced in Rust.
+//!
+//! The crate wires the sub-crates of this workspace into the flow of the
+//! paper's Figure 4:
+//!
+//! ```text
+//! customized cell library ──┐
+//! synthesizable architecture ├─> MOGA-based DSE (NSGA-II) ─> Pareto-frontier set
+//! technology files ─────────┘            │ user distillation
+//!                                         v
+//!                template-based netlist generator ─> template-based
+//!                hierarchical placer & router ─> ACIM layouts + reports
+//! ```
+//!
+//! * [`FlowConfig`] collects the three inputs (technology, cell library,
+//!   array size) and the exploration/distillation settings,
+//! * [`TopFlowController::run`] executes the whole flow and returns a
+//!   [`FlowResult`] with the frontier, the distilled set and one
+//!   [`GeneratedDesign`] (netlist + layout + metrics) per distilled
+//!   solution,
+//! * the sub-crates are re-exported under [`prelude`] so downstream users
+//!   need a single dependency.
+//!
+//! # Example
+//!
+//! ```
+//! use easyacim::{FlowConfig, TopFlowController};
+//!
+//! # fn main() -> Result<(), easyacim::FlowError> {
+//! let mut config = FlowConfig::new(4 * 1024);
+//! config.dse.population_size = 24;
+//! config.dse.generations = 10;
+//! config.max_layouts = 1;
+//! let result = TopFlowController::new(config)?.run()?;
+//! assert!(!result.frontier.is_empty());
+//! assert!(!result.designs.is_empty());
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod config;
+pub mod error;
+pub mod flow;
+pub mod report;
+
+pub use config::FlowConfig;
+pub use error::FlowError;
+pub use flow::{FlowResult, GeneratedDesign, TopFlowController};
+pub use report::{design_report, frontier_table};
+
+/// Convenience re-exports of the whole EasyACIM workspace.
+pub mod prelude {
+    pub use acim_arch::{AcimMacro, AcimSpec, NoiseConfig};
+    pub use acim_cell::{CellKind, CellLibrary};
+    pub use acim_dse::{DesignPoint, DesignSpaceExplorer, DseConfig, UserRequirements};
+    pub use acim_layout::{LayoutFlow, MacroLayout};
+    pub use acim_model::{evaluate, DesignMetrics, ModelParams};
+    pub use acim_moga::{Nsga2, Nsga2Config, Problem};
+    pub use acim_netlist::{write_spice, NetlistGenerator};
+    pub use acim_tech::Technology;
+    pub use acim_workloads::{ApplicationProfile, MacroMapper};
+
+    pub use crate::{FlowConfig, FlowResult, GeneratedDesign, TopFlowController};
+}

@@ -1,0 +1,110 @@
+//! Human-readable reports of flow results.
+
+use acim_dse::DesignPoint;
+
+use crate::flow::{FlowResult, GeneratedDesign};
+
+/// Formats a Pareto frontier (or any list of design points) as an aligned
+/// text table, one row per design.
+pub fn frontier_table(points: &[DesignPoint]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "  H      W      L   B  | SNR(dB)  T(TOPS)   E(fJ/MAC)  eff(TOPS/W)  area(F2/bit)\n",
+    );
+    out.push_str(
+        "-------------------------------------------------------------------------------\n",
+    );
+    for p in points {
+        out.push_str(&format!(
+            "{:>5} {:>6} {:>4} {:>3}  | {:>7.1} {:>8.3} {:>10.2} {:>12.0} {:>13.0}\n",
+            p.spec.height(),
+            p.spec.width(),
+            p.spec.local_array(),
+            p.spec.adc_bits(),
+            p.metrics.snr_db,
+            p.metrics.throughput_tops,
+            p.metrics.energy_per_mac_fj,
+            p.metrics.tops_per_watt,
+            p.metrics.area_f2_per_bit,
+        ));
+    }
+    out
+}
+
+/// Formats one generated design (netlist + layout) as a report block.
+pub fn design_report(design: &GeneratedDesign) -> String {
+    let m = &design.layout.metrics;
+    let s = &design.netlist_stats;
+    format!(
+        "design {spec}\n\
+         \x20 estimated: {point}\n\
+         \x20 netlist  : {cells} SRAM cells, {lc} compute cells, {tr} transistors, {caps} capacitors\n\
+         \x20 layout   : core {w:.0} x {h:.0} um ({density:.0} F2/bit), total {tw:.0} x {th:.0} um\n\
+         \x20 wiring   : {wl:.0} um routed, {vias} vias, {inst} placed instances\n\
+         \x20 runtime  : {ms} ms netlist+layout generation\n",
+        spec = design.point.spec,
+        point = design.point,
+        cells = s.sram_cells,
+        lc = s.compute_cells,
+        tr = s.transistors,
+        caps = s.capacitors,
+        w = m.core_width_um,
+        h = m.core_height_um,
+        density = m.core_area_f2_per_bit,
+        tw = m.total_width_um,
+        th = m.total_height_um,
+        wl = m.wirelength_um,
+        vias = m.via_count,
+        inst = m.instance_count,
+        ms = design.generation_time.as_millis(),
+    )
+}
+
+/// Summarises a whole flow run (frontier size, timings, generated designs).
+pub fn flow_summary(result: &FlowResult) -> String {
+    let mut out = format!(
+        "EasyACIM flow: {} frontier points, {} after distillation, {} layouts generated\n\
+         exploration: {} evaluations in {:.2} s; total runtime {:.2} s\n",
+        result.frontier.len(),
+        result.distilled.len(),
+        result.designs.len(),
+        result.evaluations,
+        result.exploration_time.as_secs_f64(),
+        result.total_time.as_secs_f64(),
+    );
+    for design in &result.designs {
+        out.push_str(&design_report(design));
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acim_arch::AcimSpec;
+    use acim_model::{evaluate, ModelParams};
+
+    fn points() -> Vec<DesignPoint> {
+        [(128usize, 128usize, 8usize, 3u32), (64, 256, 8, 3)]
+            .iter()
+            .map(|&(h, w, l, b)| {
+                let spec = AcimSpec::from_dimensions(h, w, l, b).unwrap();
+                DesignPoint::new(spec, evaluate(&spec, &ModelParams::s28_default()).unwrap())
+            })
+            .collect()
+    }
+
+    #[test]
+    fn frontier_table_has_one_row_per_point_plus_header() {
+        let table = frontier_table(&points());
+        assert_eq!(table.lines().count(), 2 + 2);
+        assert!(table.contains("TOPS/W"));
+        assert!(table.contains("128"));
+    }
+
+    #[test]
+    fn empty_frontier_renders_header_only() {
+        let table = frontier_table(&[]);
+        assert_eq!(table.lines().count(), 2);
+    }
+}

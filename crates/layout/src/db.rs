@@ -1,0 +1,248 @@
+//! The layout database: placed instances, wires, vias and exported pins.
+
+use acim_cell::{Orientation, Point, Rect};
+
+/// A placed leaf-cell (or block) instance.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PlacedInstance {
+    /// Instance name (hierarchical, e.g. `"COL_3/XLA_0/XSRAM_2"`).
+    pub name: String,
+    /// Name of the placed cell or block template.
+    pub cell: String,
+    /// Lower-left placement origin in nanometres.
+    pub origin: Point,
+    /// Placement orientation.
+    pub orientation: Orientation,
+    /// Cell width in nanometres (in the cell's own frame).
+    pub width: f64,
+    /// Cell height in nanometres.
+    pub height: f64,
+}
+
+impl PlacedInstance {
+    /// The axis-aligned footprint of the placed instance.
+    pub fn boundary(&self) -> Rect {
+        // The orientations used here (R0/MX/MY/R180) never swap width and
+        // height, so the footprint is origin + size.
+        Rect::from_size(self.origin, self.width, self.height)
+    }
+}
+
+/// A routed wire segment.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Wire {
+    /// Net name.
+    pub net: String,
+    /// Metal layer name.
+    pub layer: String,
+    /// Wire geometry in nanometres.
+    pub rect: Rect,
+}
+
+/// A via between two adjacent metal layers.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Via {
+    /// Net name.
+    pub net: String,
+    /// Lower metal layer name.
+    pub from_layer: String,
+    /// Upper metal layer name.
+    pub to_layer: String,
+    /// Via centre.
+    pub at: Point,
+}
+
+/// A pin exported by a layout block (used when the block is itself placed at
+/// the next hierarchy level).
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayoutPin {
+    /// Net / pin name.
+    pub net: String,
+    /// Metal layer of the access shape.
+    pub layer: String,
+    /// Access shape.
+    pub rect: Rect,
+}
+
+/// A layout block: boundary, placed instances, routed wires/vias and
+/// exported pins.  Used both for intermediate blocks (the column template)
+/// and the final macro.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct Layout {
+    /// Block name.
+    pub name: String,
+    /// Block boundary (origin at (0, 0)).
+    pub boundary: Rect,
+    /// Placed instances.
+    pub instances: Vec<PlacedInstance>,
+    /// Routed wires.
+    pub wires: Vec<Wire>,
+    /// Vias.
+    pub vias: Vec<Via>,
+    /// Exported pins.
+    pub pins: Vec<LayoutPin>,
+}
+
+impl Layout {
+    /// Creates an empty layout with the given boundary.
+    pub fn new(name: impl Into<String>, width_nm: f64, height_nm: f64) -> Self {
+        Self {
+            name: name.into(),
+            boundary: Rect::new(0.0, 0.0, width_nm, height_nm),
+            ..Self::default()
+        }
+    }
+
+    /// Width in nanometres.
+    pub fn width(&self) -> f64 {
+        self.boundary.width()
+    }
+
+    /// Height in nanometres.
+    pub fn height(&self) -> f64 {
+        self.boundary.height()
+    }
+
+    /// Total routed wire length in nanometres (sum of the long dimension of
+    /// every wire segment).
+    pub fn total_wirelength(&self) -> f64 {
+        self.wires
+            .iter()
+            .map(|w| w.rect.width().max(w.rect.height()))
+            .sum()
+    }
+
+    /// Merges another layout into this one, translating it by (dx, dy) and
+    /// prefixing its instance names with `prefix`.
+    pub fn merge_translated(&mut self, other: &Layout, dx: f64, dy: f64, prefix: &str) {
+        for instance in &other.instances {
+            self.instances.push(PlacedInstance {
+                name: format!("{prefix}{}", instance.name),
+                cell: instance.cell.clone(),
+                origin: instance.origin.translated(dx, dy),
+                orientation: instance.orientation,
+                width: instance.width,
+                height: instance.height,
+            });
+        }
+        for wire in &other.wires {
+            self.wires.push(Wire {
+                net: format!("{prefix}{}", wire.net),
+                layer: wire.layer.clone(),
+                rect: wire.rect.translated(dx, dy),
+            });
+        }
+        for via in &other.vias {
+            self.vias.push(Via {
+                net: format!("{prefix}{}", via.net),
+                from_layer: via.from_layer.clone(),
+                to_layer: via.to_layer.clone(),
+                at: via.at.translated(dx, dy),
+            });
+        }
+        self.boundary = self
+            .boundary
+            .union(&other.boundary.translated(dx, dy));
+    }
+
+    /// Finds an exported pin by net name.
+    pub fn pin(&self, net: &str) -> Option<&LayoutPin> {
+        self.pins.iter().find(|p| p.net == net)
+    }
+
+    /// Bounding box of everything actually drawn (instances and wires),
+    /// which can be smaller than the declared boundary.
+    pub fn drawn_bounding_box(&self) -> Option<Rect> {
+        let mut boxes = self
+            .instances
+            .iter()
+            .map(PlacedInstance::boundary)
+            .chain(self.wires.iter().map(|w| w.rect));
+        let first = boxes.next()?;
+        Some(boxes.fold(first, |acc, r| acc.union(&r)))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn instance(name: &str, x: f64, y: f64) -> PlacedInstance {
+        PlacedInstance {
+            name: name.into(),
+            cell: "SRAM8T".into(),
+            origin: Point::new(x, y),
+            orientation: Orientation::R0,
+            width: 2000.0,
+            height: 632.0,
+        }
+    }
+
+    #[test]
+    fn instance_boundary() {
+        let inst = instance("X0", 100.0, 200.0);
+        let b = inst.boundary();
+        assert_eq!(b.min, Point::new(100.0, 200.0));
+        assert_eq!(b.max, Point::new(2100.0, 832.0));
+    }
+
+    #[test]
+    fn wirelength_sums_long_dimensions() {
+        let mut layout = Layout::new("test", 10_000.0, 10_000.0);
+        layout.wires.push(Wire {
+            net: "A".into(),
+            layer: "M2".into(),
+            rect: Rect::new(0.0, 0.0, 50.0, 1000.0),
+        });
+        layout.wires.push(Wire {
+            net: "B".into(),
+            layer: "M3".into(),
+            rect: Rect::new(0.0, 0.0, 2000.0, 56.0),
+        });
+        assert_eq!(layout.total_wirelength(), 3000.0);
+    }
+
+    #[test]
+    fn merge_translates_and_prefixes() {
+        let mut column = Layout::new("COLUMN", 2000.0, 5000.0);
+        column.instances.push(instance("XSRAM_0", 0.0, 0.0));
+        column.wires.push(Wire {
+            net: "RBL".into(),
+            layer: "M2".into(),
+            rect: Rect::new(1900.0, 0.0, 1950.0, 5000.0),
+        });
+
+        let mut top = Layout::new("TOP", 4000.0, 5000.0);
+        top.merge_translated(&column, 2000.0, 0.0, "COL_1/");
+        assert_eq!(top.instances.len(), 1);
+        assert_eq!(top.instances[0].name, "COL_1/XSRAM_0");
+        assert_eq!(top.instances[0].origin, Point::new(2000.0, 0.0));
+        assert_eq!(top.wires[0].net, "COL_1/RBL");
+        assert_eq!(top.wires[0].rect.min.x, 3900.0);
+        // Boundary grows to cover the merged content.
+        assert!(top.boundary.max.x >= 4000.0);
+    }
+
+    #[test]
+    fn drawn_bounding_box_covers_content() {
+        let mut layout = Layout::new("test", 100_000.0, 100_000.0);
+        assert!(layout.drawn_bounding_box().is_none());
+        layout.instances.push(instance("X0", 0.0, 0.0));
+        layout.instances.push(instance("X1", 0.0, 632.0));
+        let bbox = layout.drawn_bounding_box().unwrap();
+        assert_eq!(bbox.max.y, 1264.0);
+        assert_eq!(bbox.max.x, 2000.0);
+    }
+
+    #[test]
+    fn pin_lookup() {
+        let mut layout = Layout::new("test", 1000.0, 1000.0);
+        layout.pins.push(LayoutPin {
+            net: "CLK".into(),
+            layer: "M3".into(),
+            rect: Rect::new(0.0, 0.0, 100.0, 100.0),
+        });
+        assert!(layout.pin("CLK").is_some());
+        assert!(layout.pin("MISSING").is_none());
+    }
+}

@@ -1,0 +1,351 @@
+//! Macro assembly: the top level of the template-based hierarchical flow.
+//!
+//! `W` copies of the column template are abutted into the core, the
+//! input-buffer column and output-buffer rows are placed as peripheries,
+//! the shared word-lines and control nets are dropped on pre-defined
+//! horizontal tracks, a power grid is added on the top metals, and the
+//! column outputs are stitched down to the output buffers.  The result is a
+//! flat [`Layout`] plus the [`LayoutMetrics`] reported by the Figure 8
+//! reproduction.
+
+use acim_arch::AcimSpec;
+use acim_cell::{CellKind, CellLibrary, Orientation, Point, Rect};
+use acim_tech::Technology;
+
+use crate::column::ColumnTemplate;
+use crate::db::{Layout, LayoutPin, PlacedInstance, Wire};
+use crate::error::LayoutError;
+use crate::metrics::LayoutMetrics;
+
+/// The generated macro layout and its metrics.
+#[derive(Debug, Clone)]
+pub struct MacroLayout {
+    /// The assembled layout.
+    pub layout: Layout,
+    /// Extracted metrics (dimensions, density, wire length).
+    pub metrics: LayoutMetrics,
+    /// The column template the macro was assembled from.
+    pub column: ColumnTemplate,
+}
+
+/// The template-based hierarchical layout flow.
+#[derive(Debug, Clone)]
+pub struct LayoutFlow<'a> {
+    tech: &'a Technology,
+    library: &'a CellLibrary,
+}
+
+impl<'a> LayoutFlow<'a> {
+    /// Creates a flow bound to a technology and cell library.
+    pub fn new(tech: &'a Technology, library: &'a CellLibrary) -> Self {
+        Self { tech, library }
+    }
+
+    /// Generates the full macro layout for a specification.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LayoutError`] when a leaf cell is missing or any net cannot
+    /// be routed.
+    pub fn generate(&self, spec: &AcimSpec) -> Result<MacroLayout, LayoutError> {
+        let column = ColumnTemplate::build(spec, self.tech, self.library)?;
+        let buffer = self.library.require(CellKind::Buffer)?;
+
+        let column_width = column.layout.width();
+        let column_height = column.layout.height();
+        let bits = spec.adc_bits() as usize;
+
+        // Periphery geometry: input buffers in a left strip, output buffers
+        // in a bottom strip of `bits` rows.
+        let left_strip = buffer.width_nm();
+        let bottom_strip = buffer.height_nm() * bits as f64;
+        let core_origin = Point::new(left_strip, bottom_strip);
+        let core_width = column_width * spec.width() as f64;
+        let total_width = left_strip + core_width;
+        let total_height = bottom_strip + column_height;
+
+        let mut layout = Layout::new(
+            format!(
+                "ACIM_{}x{}_l{}_b{}",
+                spec.height(),
+                spec.width(),
+                spec.local_array(),
+                spec.adc_bits()
+            ),
+            total_width,
+            total_height,
+        );
+
+        // --- Core: abutted column instances ---------------------------------
+        for col in 0..spec.width() {
+            let dx = core_origin.x + col as f64 * column_width;
+            layout.merge_translated(&column.layout, dx, core_origin.y, &format!("COL_{col}/"));
+        }
+
+        // --- Input buffers (one per read word-line) -------------------------
+        for row in 0..spec.height() {
+            let y = core_origin.y + column.rwl_pin_y[row] - buffer.height_nm() / 2.0;
+            layout.instances.push(PlacedInstance {
+                name: format!("XIBUF_{row}"),
+                cell: buffer.name().to_string(),
+                origin: Point::new(0.0, y.max(0.0)),
+                orientation: Orientation::R0,
+                width: buffer.width_nm(),
+                height: buffer.height_nm(),
+            });
+        }
+
+        // --- Output buffers (one per column output bit) ---------------------
+        for col in 0..spec.width() {
+            for bit in 0..bits {
+                layout.instances.push(PlacedInstance {
+                    name: format!("XOBUF_{col}_{bit}"),
+                    cell: buffer.name().to_string(),
+                    origin: Point::new(
+                        core_origin.x + col as f64 * column_width,
+                        bit as f64 * buffer.height_nm(),
+                    ),
+                    orientation: Orientation::R0,
+                    width: buffer.width_nm(),
+                    height: buffer.height_nm(),
+                });
+            }
+        }
+
+        // --- Pre-defined horizontal tracks -----------------------------------
+        let m3_width = self
+            .tech
+            .rules()
+            .layer_rule("M3")
+            .map(|r| r.min_width.value())
+            .unwrap_or(56.0);
+        // Read word-lines: from the input buffer output across the full core.
+        for row in 0..spec.height() {
+            let y = core_origin.y + column.rwl_pin_y[row];
+            layout.wires.push(Wire {
+                net: format!("RWL_{row}"),
+                layer: "M3".into(),
+                rect: Rect::new(
+                    left_strip * 0.5,
+                    y - m3_width / 2.0,
+                    total_width,
+                    y + m3_width / 2.0,
+                ),
+            });
+        }
+        // Control nets distributed along the bottom of the core on M5.
+        let m5_width = self
+            .tech
+            .rules()
+            .layer_rule("M5")
+            .map(|r| r.min_width.value())
+            .unwrap_or(90.0);
+        for (i, net) in ["CLK", "PCH", "RST", "START"].iter().enumerate() {
+            let y = core_origin.y + (i as f64 + 1.0) * 4.0 * m5_width;
+            layout.wires.push(Wire {
+                net: (*net).to_string(),
+                layer: "M5".into(),
+                rect: Rect::new(0.0, y - m5_width / 2.0, total_width, y + m5_width / 2.0),
+            });
+        }
+        // Column outputs stitched down to the output buffers on M4.
+        let m4_width = self
+            .tech
+            .rules()
+            .layer_rule("M4")
+            .map(|r| r.min_width.value())
+            .unwrap_or(56.0);
+        for col in 0..spec.width() {
+            let base_x = core_origin.x + col as f64 * column_width;
+            for bit in 0..bits {
+                if let Some(pin) = column.layout.pin(&format!("DOUT_{bit}")) {
+                    let x = base_x + pin.rect.center().x;
+                    let y_top = core_origin.y + pin.rect.center().y;
+                    let y_bottom = bit as f64 * buffer.height_nm() + buffer.height_nm() / 2.0;
+                    layout.wires.push(Wire {
+                        net: format!("OUT_{col}_{bit}"),
+                        layer: "M4".into(),
+                        rect: Rect::new(
+                            x - m4_width / 2.0,
+                            y_bottom,
+                            x + m4_width / 2.0,
+                            y_top,
+                        ),
+                    });
+                }
+            }
+        }
+        // Power grid: vertical M6 stripes every eight columns plus top and
+        // bottom M5 rails.
+        let m6_width = self
+            .tech
+            .rules()
+            .layer_rule("M6")
+            .map(|r| r.min_width.value())
+            .unwrap_or(400.0);
+        let stripe_step = 8usize.max(1);
+        for (index, col) in (0..spec.width()).step_by(stripe_step).enumerate() {
+            let x = core_origin.x + col as f64 * column_width + column_width / 2.0;
+            let net = if index % 2 == 0 { "VDD" } else { "VSS" };
+            layout.wires.push(Wire {
+                net: net.to_string(),
+                layer: "M6".into(),
+                rect: Rect::new(x - m6_width / 2.0, 0.0, x + m6_width / 2.0, total_height),
+            });
+        }
+        for (net, y) in [("VSS", 0.0), ("VDD", total_height - 2.0 * m5_width)] {
+            layout.wires.push(Wire {
+                net: net.to_string(),
+                layer: "M5".into(),
+                rect: Rect::new(0.0, y, total_width, y + 2.0 * m5_width),
+            });
+        }
+
+        // --- Exported macro pins ---------------------------------------------
+        for row in 0..spec.height() {
+            let y = core_origin.y + column.rwl_pin_y[row];
+            layout.pins.push(LayoutPin {
+                net: format!("IN_{row}"),
+                layer: "M3".into(),
+                rect: Rect::new(0.0, y - 60.0, 120.0, y + 60.0),
+            });
+        }
+        for net in ["CLK", "PCH", "RST", "START", "VDD", "VSS"] {
+            layout.pins.push(LayoutPin {
+                net: net.to_string(),
+                layer: "M5".into(),
+                rect: Rect::new(0.0, 0.0, 200.0, 200.0),
+            });
+        }
+
+        let core_region = Rect::new(
+            core_origin.x,
+            core_origin.y,
+            core_origin.x + core_width,
+            core_origin.y + column_height,
+        );
+        let metrics = LayoutMetrics::compute(
+            spec,
+            self.tech,
+            core_region,
+            layout.boundary,
+            layout.total_wirelength(),
+            layout.vias.len(),
+            layout.instances.len(),
+        );
+        Ok(MacroLayout {
+            layout,
+            metrics,
+            column,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn generate(h: usize, w: usize, l: usize, b: u32) -> MacroLayout {
+        let tech = Technology::s28();
+        let library = CellLibrary::s28_default(&tech);
+        let spec = AcimSpec::from_dimensions(h, w, l, b).unwrap();
+        LayoutFlow::new(&tech, &library).generate(&spec).unwrap()
+    }
+
+    #[test]
+    fn small_macro_assembles_with_expected_instance_count() {
+        let m = generate(32, 8, 4, 3);
+        // 8 columns × (32 SRAM + 8 LC + 6 periphery) + 32 input buffers +
+        // 8·3 output buffers.
+        let per_column = 32 + 8 + 3 + 1 + 1 + 1;
+        assert_eq!(
+            m.layout.instances.len(),
+            8 * per_column + 32 + 24
+        );
+        assert_eq!(m.metrics.instance_count, m.layout.instances.len());
+    }
+
+    #[test]
+    fn figure8b_dimensions_reproduce_within_tolerance() {
+        // Paper: 128×128, L = 8, B = 3 → 256 µm × 131 µm, 2610 F²/bit.
+        let m = generate(128, 128, 8, 3);
+        assert!(
+            (m.metrics.core_width_um - 256.0).abs() / 256.0 < 0.02,
+            "core width {:.1} µm",
+            m.metrics.core_width_um
+        );
+        assert!(
+            (m.metrics.core_height_um - 131.0).abs() / 131.0 < 0.05,
+            "core height {:.1} µm",
+            m.metrics.core_height_um
+        );
+        assert!(
+            (m.metrics.core_area_f2_per_bit - 2610.0).abs() / 2610.0 < 0.07,
+            "density {:.0} F²/bit",
+            m.metrics.core_area_f2_per_bit
+        );
+    }
+
+    #[test]
+    fn figure8a_and_8c_shapes_hold() {
+        // (a) L = 2 costs area relative to (b); (c) 64×256 is wide and flat.
+        let a = generate(128, 128, 2, 3);
+        let b = generate(128, 128, 8, 3);
+        let c = generate(64, 256, 8, 3);
+        assert!(a.metrics.core_area_f2_per_bit > b.metrics.core_area_f2_per_bit);
+        assert!(c.metrics.core_width_um > 2.0 * b.metrics.core_width_um * 0.95);
+        assert!(c.metrics.core_height_um < b.metrics.core_height_um);
+        assert!(
+            (a.metrics.core_height_um - 226.0).abs() / 226.0 < 0.05,
+            "fig 8(a) core height {:.1} µm",
+            a.metrics.core_height_um
+        );
+    }
+
+    #[test]
+    fn every_rwl_track_crosses_every_column() {
+        let m = generate(32, 8, 4, 3);
+        let rwl_wires: Vec<_> = m
+            .layout
+            .wires
+            .iter()
+            .filter(|w| w.net.starts_with("RWL_") && w.layer == "M3")
+            .collect();
+        assert_eq!(rwl_wires.len(), 32);
+        for wire in rwl_wires {
+            assert!(wire.rect.max.x >= m.layout.boundary.max.x - 1.0);
+        }
+    }
+
+    #[test]
+    fn output_stitches_exist_for_every_column_bit() {
+        let m = generate(32, 8, 4, 3);
+        for col in 0..8 {
+            for bit in 0..3 {
+                assert!(
+                    m.layout
+                        .wires
+                        .iter()
+                        .any(|w| w.net == format!("OUT_{col}_{bit}")),
+                    "missing OUT_{col}_{bit}"
+                );
+            }
+        }
+    }
+
+    #[test]
+    fn macro_exports_interface_pins() {
+        let m = generate(32, 8, 4, 3);
+        assert!(m.layout.pin("IN_0").is_some());
+        assert!(m.layout.pin("IN_31").is_some());
+        assert!(m.layout.pin("CLK").is_some());
+        assert!(m.layout.pin("VDD").is_some());
+    }
+
+    #[test]
+    fn power_grid_present_on_top_metals() {
+        let m = generate(32, 8, 4, 3);
+        assert!(m.layout.wires.iter().any(|w| w.layer == "M6" && w.net == "VDD"));
+        assert!(m.layout.wires.iter().any(|w| w.layer == "M5" && w.net == "VSS"));
+    }
+}

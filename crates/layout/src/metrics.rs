@@ -1,0 +1,101 @@
+//! Layout metric extraction.
+//!
+//! Figure 8 of the paper characterises each generated layout by its physical
+//! dimensions (µm) and its bit density (F²/bit).  The metrics distinguish
+//! the *core* (the W abutted columns, which is what the paper's area model
+//! and Figure 8 annotations describe) from the *total* macro including the
+//! input/output buffer peripheries.
+
+use acim_arch::AcimSpec;
+use acim_cell::Rect;
+use acim_tech::Technology;
+
+/// Physical metrics of a generated macro layout.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct LayoutMetrics {
+    /// Core (column array) width in µm.
+    pub core_width_um: f64,
+    /// Core height in µm.
+    pub core_height_um: f64,
+    /// Core area in µm².
+    pub core_area_um2: f64,
+    /// Core density in F² per bit cell.
+    pub core_area_f2_per_bit: f64,
+    /// Total macro width in µm (including buffer peripheries).
+    pub total_width_um: f64,
+    /// Total macro height in µm.
+    pub total_height_um: f64,
+    /// Total macro area in µm².
+    pub total_area_um2: f64,
+    /// Total routed wire length in µm.
+    pub wirelength_um: f64,
+    /// Number of vias.
+    pub via_count: usize,
+    /// Number of placed leaf-cell instances.
+    pub instance_count: usize,
+}
+
+impl LayoutMetrics {
+    /// Computes the metrics from the core region, the full boundary and the
+    /// routing content of a macro layout.
+    pub fn compute(
+        spec: &AcimSpec,
+        tech: &Technology,
+        core_region: Rect,
+        total_boundary: Rect,
+        wirelength_nm: f64,
+        via_count: usize,
+        instance_count: usize,
+    ) -> Self {
+        let f_um = tech.feature_size_nm() / 1000.0;
+        let core_width_um = core_region.width() / 1000.0;
+        let core_height_um = core_region.height() / 1000.0;
+        let core_area_um2 = core_width_um * core_height_um;
+        let core_area_f2_per_bit = core_area_um2 / (f_um * f_um) / spec.array_size() as f64;
+        Self {
+            core_width_um,
+            core_height_um,
+            core_area_um2,
+            core_area_f2_per_bit,
+            total_width_um: total_boundary.width() / 1000.0,
+            total_height_um: total_boundary.height() / 1000.0,
+            total_area_um2: total_boundary.width() * total_boundary.height() / 1e6,
+            wirelength_um: wirelength_nm / 1000.0,
+            via_count,
+            instance_count,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn figure8b_style_numbers() {
+        // A 256 µm × 131 µm core for a 16 kb array is ≈2610 F²/bit at 28 nm.
+        let spec = AcimSpec::from_dimensions(128, 128, 8, 3).unwrap();
+        let tech = Technology::s28();
+        let core = Rect::new(0.0, 0.0, 256_000.0, 131_000.0);
+        let total = Rect::new(0.0, 0.0, 260_000.0, 133_000.0);
+        let m = LayoutMetrics::compute(&spec, &tech, core, total, 5_000_000.0, 1234, 20_000);
+        assert!((m.core_width_um - 256.0).abs() < 1e-9);
+        assert!((m.core_height_um - 131.0).abs() < 1e-9);
+        assert!((m.core_area_f2_per_bit - 2610.0).abs() < 10.0);
+        assert!(m.total_area_um2 > m.core_area_um2);
+        assert!((m.wirelength_um - 5000.0).abs() < 1e-9);
+        assert_eq!(m.via_count, 1234);
+        assert_eq!(m.instance_count, 20_000);
+    }
+
+    #[test]
+    fn density_scales_inversely_with_array_size() {
+        let tech = Technology::s28();
+        let core = Rect::new(0.0, 0.0, 100_000.0, 100_000.0);
+        let small = AcimSpec::from_dimensions(64, 64, 4, 3).unwrap();
+        let large = AcimSpec::from_dimensions(128, 128, 4, 3).unwrap();
+        let m_small = LayoutMetrics::compute(&small, &tech, core, core, 0.0, 0, 0);
+        let m_large = LayoutMetrics::compute(&large, &tech, core, core, 0.0, 0, 0);
+        assert!((m_small.core_area_f2_per_bit / m_large.core_area_f2_per_bit - 4.0).abs() < 1e-9);
+    }
+}

@@ -1,0 +1,522 @@
+//! Grid-based maze router.
+//!
+//! A Dijkstra search over the 3-D routing grid (Figure 3 of the paper).
+//! Moves along a layer's preferred direction cost 1, non-preferred moves
+//! cost more, and layer changes (vias) cost more still, which steers routes
+//! onto alternating horizontal/vertical layers the way real detailed
+//! routers do.  Multi-terminal nets are routed by sequentially connecting
+//! each terminal to the tree built so far; failed nets are retried after
+//! rip-up of their own previous segments (simple rip-up and re-route).
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use acim_cell::{Point, Rect};
+
+use crate::db::{Via, Wire};
+use crate::error::LayoutError;
+use crate::grid::{GridCell, GridNode, RoutingGrid};
+
+/// A net to route: name, numeric id and its terminals.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RouteRequest {
+    /// Net name (used for the produced wires).
+    pub net: String,
+    /// Unique numeric net id (used for grid ownership).
+    pub net_id: u32,
+    /// Terminals: (routing-layer index, physical location).
+    pub terminals: Vec<(usize, Point)>,
+}
+
+/// Statistics of a routing run.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct RouterStats {
+    /// Nets successfully routed.
+    pub routed_nets: usize,
+    /// Total grid segments used.
+    pub segments: usize,
+    /// Total vias inserted.
+    pub vias: usize,
+    /// Nets that needed a rip-up retry.
+    pub retried_nets: usize,
+}
+
+/// Cost of a move against the layer's preferred direction.
+const NON_PREFERRED_COST: u32 = 4;
+/// Cost of a layer change.
+const VIA_COST: u32 = 8;
+
+/// The maze router, owning a routing grid plus layer metadata.
+#[derive(Debug, Clone)]
+pub struct MazeRouter {
+    grid: RoutingGrid,
+    /// Physical layer names, indexed by routing-layer index.
+    layer_names: Vec<String>,
+    /// `true` when the layer's preferred direction is horizontal.
+    horizontal: Vec<bool>,
+    /// Drawn wire width per routing layer, in nanometres.
+    wire_widths: Vec<f64>,
+    stats: RouterStats,
+}
+
+impl MazeRouter {
+    /// Creates a router over `grid`.
+    ///
+    /// `layer_names[i]` is the technology layer name of routing layer `i`;
+    /// `horizontal[i]` is its preferred direction; `wire_widths[i]` is the
+    /// drawn width of wires produced on that layer, in nanometres.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LayoutError::InvalidParameter`] when the metadata lengths
+    /// do not match the grid's layer count or a width is not positive.
+    pub fn new(
+        grid: RoutingGrid,
+        layer_names: Vec<String>,
+        horizontal: Vec<bool>,
+        wire_widths: Vec<f64>,
+    ) -> Result<Self, LayoutError> {
+        if layer_names.len() != grid.layers()
+            || horizontal.len() != grid.layers()
+            || wire_widths.len() != grid.layers()
+        {
+            return Err(LayoutError::InvalidParameter {
+                name: "layer metadata".into(),
+                reason: format!(
+                    "expected {} entries, got {} names / {} directions / {} widths",
+                    grid.layers(),
+                    layer_names.len(),
+                    horizontal.len(),
+                    wire_widths.len()
+                ),
+            });
+        }
+        if wire_widths.iter().any(|w| *w <= 0.0) {
+            return Err(LayoutError::InvalidParameter {
+                name: "wire width".into(),
+                reason: "every layer width must be positive".into(),
+            });
+        }
+        Ok(Self {
+            grid,
+            layer_names,
+            horizontal,
+            wire_widths,
+            stats: RouterStats::default(),
+        })
+    }
+
+    /// Immutable access to the grid (for congestion reporting).
+    pub fn grid(&self) -> &RoutingGrid {
+        &self.grid
+    }
+
+    /// Mutable access to the grid (for blocking obstacles before routing).
+    pub fn grid_mut(&mut self) -> &mut RoutingGrid {
+        &mut self.grid
+    }
+
+    /// Routing statistics accumulated so far.
+    pub fn stats(&self) -> RouterStats {
+        self.stats
+    }
+
+    /// Reserves the terminal nodes of every request for its own net, so that
+    /// no other net can later route straight over a pin it does not own.
+    /// Call this once with all requests before routing them.
+    pub fn reserve_terminals(&mut self, requests: &[RouteRequest]) {
+        for request in requests {
+            for terminal in &request.terminals {
+                let node = self.terminal_node(terminal);
+                if self.grid.cell(node) == GridCell::Free {
+                    self.grid.set_cell(node, GridCell::Net(request.net_id));
+                }
+            }
+        }
+    }
+
+    /// Routes one net, producing wires and vias.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`LayoutError::Unroutable`] when no path exists even after a
+    /// rip-up retry of this net's own segments.
+    pub fn route(&mut self, request: &RouteRequest) -> Result<(Vec<Wire>, Vec<Via>), LayoutError> {
+        if request.terminals.len() < 2 {
+            // A single-terminal net needs no wiring.
+            return Ok((Vec::new(), Vec::new()));
+        }
+        match self.route_attempt(request) {
+            Ok(result) => {
+                self.stats.routed_nets += 1;
+                Ok(result)
+            }
+            Err(_) => {
+                // Rip up this net's own claims and retry once.
+                self.rip_up(request.net_id);
+                self.stats.retried_nets += 1;
+                let result = self.route_attempt(request)?;
+                self.stats.routed_nets += 1;
+                Ok(result)
+            }
+        }
+    }
+
+    fn rip_up(&mut self, net_id: u32) {
+        for layer in 0..self.grid.layers() {
+            for row in 0..self.grid.rows() {
+                for col in 0..self.grid.cols() {
+                    let node = GridNode { layer, col, row };
+                    if self.grid.cell(node) == GridCell::Net(net_id) {
+                        self.grid.set_cell(node, GridCell::Free);
+                    }
+                }
+            }
+        }
+    }
+
+    fn route_attempt(
+        &mut self,
+        request: &RouteRequest,
+    ) -> Result<(Vec<Wire>, Vec<Via>), LayoutError> {
+        let mut tree: Vec<GridNode> = Vec::new();
+        // Each terminal produces its own contiguous path from the existing
+        // tree; geometry is emitted per path so no phantom segment is drawn
+        // between unrelated path endpoints.
+        let mut paths: Vec<Vec<GridNode>> = Vec::new();
+
+        // Seed the tree with the first terminal.
+        let mut terminals = request.terminals.iter();
+        let first = terminals.next().expect("at least two terminals");
+        let seed = self.terminal_node(first);
+        self.grid.set_cell(seed, GridCell::Net(request.net_id));
+        tree.push(seed);
+
+        for terminal in terminals {
+            let target = self.terminal_node(terminal);
+            let path = self
+                .search(&tree, target, request.net_id)
+                .ok_or_else(|| LayoutError::Unroutable {
+                    net: request.net.clone(),
+                    context: "maze routing".into(),
+                })?;
+            for &node in &path {
+                self.grid.set_cell(node, GridCell::Net(request.net_id));
+                tree.push(node);
+            }
+            paths.push(path);
+        }
+
+        let mut wires = Vec::new();
+        let mut vias = Vec::new();
+        for path in &paths {
+            let (w, v) = self.emit_geometry(&request.net, path);
+            wires.extend(w);
+            vias.extend(v);
+        }
+        Ok((wires, vias))
+    }
+
+    fn terminal_node(&self, terminal: &(usize, Point)) -> GridNode {
+        let (layer, point) = terminal;
+        let (col, row) = self.grid.snap(*point);
+        GridNode {
+            layer: (*layer).min(self.grid.layers() - 1),
+            col,
+            row,
+        }
+    }
+
+    /// Dijkstra from the existing tree to `target`.
+    fn search(&self, tree: &[GridNode], target: GridNode, net_id: u32) -> Option<Vec<GridNode>> {
+        let cols = self.grid.cols();
+        let rows = self.grid.rows();
+        let layers = self.grid.layers();
+        let size = cols * rows * layers;
+        let index =
+            |n: GridNode| -> usize { (n.layer * rows + n.row) * cols + n.col };
+
+        let mut dist = vec![u32::MAX; size];
+        let mut previous = vec![u32::MAX; size];
+        let mut heap: BinaryHeap<Reverse<(u32, u32)>> = BinaryHeap::new();
+
+        for &node in tree {
+            let i = index(node);
+            dist[i] = 0;
+            heap.push(Reverse((0, i as u32)));
+        }
+        let target_index = index(target);
+        if !self.grid.usable_by(target, net_id) {
+            return None;
+        }
+
+        while let Some(Reverse((cost, current))) = heap.pop() {
+            let current = current as usize;
+            if cost > dist[current] {
+                continue;
+            }
+            if current == target_index {
+                break;
+            }
+            let layer = current / (rows * cols);
+            let rem = current % (rows * cols);
+            let row = rem / cols;
+            let col = rem % cols;
+
+            let mut neighbours: Vec<(GridNode, u32)> = Vec::with_capacity(6);
+            let preferred_horizontal = self.horizontal[layer];
+            if col + 1 < cols {
+                let step = if preferred_horizontal { 1 } else { NON_PREFERRED_COST };
+                neighbours.push((GridNode { layer, col: col + 1, row }, step));
+            }
+            if col > 0 {
+                let step = if preferred_horizontal { 1 } else { NON_PREFERRED_COST };
+                neighbours.push((GridNode { layer, col: col - 1, row }, step));
+            }
+            if row + 1 < rows {
+                let step = if preferred_horizontal { NON_PREFERRED_COST } else { 1 };
+                neighbours.push((GridNode { layer, col, row: row + 1 }, step));
+            }
+            if row > 0 {
+                let step = if preferred_horizontal { NON_PREFERRED_COST } else { 1 };
+                neighbours.push((GridNode { layer, col, row: row - 1 }, step));
+            }
+            if layer + 1 < layers {
+                neighbours.push((GridNode { layer: layer + 1, col, row }, VIA_COST));
+            }
+            if layer > 0 {
+                neighbours.push((GridNode { layer: layer - 1, col, row }, VIA_COST));
+            }
+
+            for (next, step) in neighbours {
+                if !self.grid.usable_by(next, net_id) {
+                    continue;
+                }
+                let next_index = index(next);
+                let next_cost = cost.saturating_add(step);
+                if next_cost < dist[next_index] {
+                    dist[next_index] = next_cost;
+                    previous[next_index] = current as u32;
+                    heap.push(Reverse((next_cost, next_index as u32)));
+                }
+            }
+        }
+
+        if dist[target_index] == u32::MAX {
+            return None;
+        }
+        // Trace back from the target to the tree, including the tree node the
+        // path attaches to so the emitted geometry is contiguous.
+        let mut path = Vec::new();
+        let mut current = target_index;
+        loop {
+            let layer = current / (rows * cols);
+            let rem = current % (rows * cols);
+            path.push(GridNode {
+                layer,
+                col: rem % cols,
+                row: rem / cols,
+            });
+            if previous[current] == u32::MAX {
+                break;
+            }
+            current = previous[current] as usize;
+        }
+        path.reverse();
+        Some(path)
+    }
+
+    /// Converts a set of path nodes into merged wire segments and vias.
+    fn emit_geometry(&mut self, net: &str, nodes: &[GridNode]) -> (Vec<Wire>, Vec<Via>) {
+        let mut wires = Vec::new();
+        let mut vias = Vec::new();
+        // Consecutive nodes on the same layer become wire segments;
+        // consecutive nodes on different layers become vias.  Callers that
+        // need all wires strictly inside a block should inset the routing
+        // region by at least half a wire width when building the grid.
+        for pair in nodes.windows(2) {
+            let (a, b) = (pair[0], pair[1]);
+            let pa = self.grid.position(a);
+            let pb = self.grid.position(b);
+            if a.layer == b.layer {
+                let half = self.wire_widths[a.layer] / 2.0;
+                let rect = Rect::new(
+                    pa.x.min(pb.x) - half,
+                    pa.y.min(pb.y) - half,
+                    pa.x.max(pb.x) + half,
+                    pa.y.max(pb.y) + half,
+                );
+                wires.push(Wire {
+                    net: net.to_string(),
+                    layer: self.layer_names[a.layer].clone(),
+                    rect,
+                });
+                self.stats.segments += 1;
+            } else if a.col == b.col && a.row == b.row {
+                let (low, high) = if a.layer < b.layer { (a, b) } else { (b, a) };
+                vias.push(Via {
+                    net: net.to_string(),
+                    from_layer: self.layer_names[low.layer].clone(),
+                    to_layer: self.layer_names[high.layer].clone(),
+                    at: pa,
+                });
+                self.stats.vias += 1;
+            }
+        }
+        (wires, vias)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn router(width: f64, height: f64) -> MazeRouter {
+        let grid = RoutingGrid::new(Rect::new(0.0, 0.0, width, height), 100.0, 3).unwrap();
+        MazeRouter::new(
+            grid,
+            vec!["M2".into(), "M3".into(), "M4".into()],
+            vec![false, true, false],
+            vec![50.0, 50.0, 50.0],
+        )
+        .unwrap()
+    }
+
+    fn request(net: &str, id: u32, terminals: &[(usize, (f64, f64))]) -> RouteRequest {
+        RouteRequest {
+            net: net.into(),
+            net_id: id,
+            terminals: terminals
+                .iter()
+                .map(|&(l, (x, y))| (l, Point::new(x, y)))
+                .collect(),
+        }
+    }
+
+    #[test]
+    fn routes_a_simple_two_terminal_net() {
+        let mut r = router(2000.0, 2000.0);
+        let (wires, vias) = r
+            .route(&request("A", 1, &[(0, (0.0, 0.0)), (0, (0.0, 1000.0))]))
+            .unwrap();
+        assert!(!wires.is_empty());
+        // Same column, vertical-preferred layer 0: no vias needed.
+        assert!(vias.is_empty());
+        assert_eq!(r.stats().routed_nets, 1);
+        // Total routed length covers the 1000 nm span.
+        let length: f64 = wires.iter().map(|w| w.rect.height().max(w.rect.width())).sum();
+        assert!(length >= 1000.0);
+    }
+
+    #[test]
+    fn l_shaped_route_prefers_layer_directions() {
+        let mut r = router(2000.0, 2000.0);
+        let (wires, vias) = r
+            .route(&request("B", 2, &[(0, (0.0, 0.0)), (0, (1000.0, 1000.0))]))
+            .unwrap();
+        assert!(!wires.is_empty());
+        // The horizontal leg should end up on the horizontal-preferred M3,
+        // which requires at least one via.
+        assert!(!vias.is_empty());
+        assert!(wires.iter().any(|w| w.layer == "M3"));
+    }
+
+    #[test]
+    fn multi_terminal_net_builds_a_tree() {
+        let mut r = router(2000.0, 2000.0);
+        let (wires, _vias) = r
+            .route(&request(
+                "CLK",
+                3,
+                &[(0, (0.0, 0.0)), (0, (0.0, 1500.0)), (0, (1500.0, 0.0))],
+            ))
+            .unwrap();
+        let length: f64 = wires.iter().map(|w| w.rect.height().max(w.rect.width())).sum();
+        // A Steiner-ish tree should be much shorter than routing both sinks
+        // independently from scratch twice over.
+        assert!(length >= 3000.0);
+        assert!(length < 6000.0);
+    }
+
+    #[test]
+    fn obstacles_force_detours() {
+        let mut r = router(2000.0, 2000.0);
+        // Wall across the middle of every layer except a gap at x=1900.
+        for layer in 0..3 {
+            r.grid_mut()
+                .block_rect(layer, &Rect::new(0.0, 900.0, 1700.0, 1100.0));
+        }
+        let (wires, _) = r
+            .route(&request("D", 4, &[(0, (0.0, 0.0)), (0, (0.0, 2000.0))]))
+            .unwrap();
+        let length: f64 = wires.iter().map(|w| w.rect.height().max(w.rect.width())).sum();
+        // Must detour around the wall: noticeably longer than the direct 2000.
+        assert!(length > 3000.0, "detour length {length}");
+    }
+
+    #[test]
+    fn fully_blocked_net_is_unroutable() {
+        let mut r = router(1000.0, 1000.0);
+        for layer in 0..3 {
+            r.grid_mut()
+                .block_rect(layer, &Rect::new(0.0, 400.0, 1000.0, 600.0));
+        }
+        let err = r
+            .route(&request("E", 5, &[(0, (0.0, 0.0)), (0, (0.0, 1000.0))]))
+            .unwrap_err();
+        assert!(matches!(err, LayoutError::Unroutable { net, .. } if net == "E"));
+    }
+
+    #[test]
+    fn nets_do_not_short_each_other() {
+        let mut r = router(2000.0, 2000.0);
+        let (wires_a, _) = r
+            .route(&request("A", 1, &[(0, (500.0, 0.0)), (0, (500.0, 2000.0))]))
+            .unwrap();
+        let (wires_b, _) = r
+            .route(&request("B", 2, &[(1, (0.0, 500.0)), (1, (2000.0, 500.0))]))
+            .unwrap();
+        // The second net crosses the first; it must not reuse layer-0 nodes
+        // owned by net A at the crossing.
+        for wa in &wires_a {
+            for wb in &wires_b {
+                if wa.layer == wb.layer {
+                    assert!(
+                        !wa.rect.overlaps(&wb.rect),
+                        "nets A and B short on {}",
+                        wa.layer
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn single_terminal_nets_need_no_wires() {
+        let mut r = router(1000.0, 1000.0);
+        let (wires, vias) = r
+            .route(&request("F", 9, &[(0, (100.0, 100.0))]))
+            .unwrap();
+        assert!(wires.is_empty());
+        assert!(vias.is_empty());
+    }
+
+    #[test]
+    fn bad_metadata_is_rejected() {
+        let grid = RoutingGrid::new(Rect::new(0.0, 0.0, 1000.0, 1000.0), 100.0, 2).unwrap();
+        assert!(MazeRouter::new(
+            grid.clone(),
+            vec!["M2".into()],
+            vec![false, true],
+            vec![50.0, 50.0]
+        )
+        .is_err());
+        assert!(MazeRouter::new(
+            grid,
+            vec!["M2".into(), "M3".into()],
+            vec![false, true],
+            vec![50.0, 0.0]
+        )
+        .is_err());
+    }
+}

@@ -1,0 +1,81 @@
+//! Energy estimation (Equations 8–9): the estimation-model facade over the
+//! shared energy model in `acim-arch`.
+
+use acim_arch::AcimSpec;
+
+use crate::error::ModelError;
+use crate::params::ModelParams;
+
+/// Average energy per 1-bit MAC in femtojoules (Equation 8).
+///
+/// # Errors
+///
+/// Returns [`ModelError`] when the energy parameters are invalid.
+pub fn energy_per_mac_fj(spec: &AcimSpec, params: &ModelParams) -> Result<f64, ModelError> {
+    Ok(params.energy.energy_per_mac(spec)?.value())
+}
+
+/// Energy efficiency in TOPS/W (two operations per MAC).
+///
+/// # Errors
+///
+/// Returns [`ModelError`] when the energy parameters are invalid.
+pub fn tops_per_watt(spec: &AcimSpec, params: &ModelParams) -> Result<f64, ModelError> {
+    Ok(params.energy.tops_per_watt(spec)?)
+}
+
+/// ADC conversion energy in femtojoules (Equation 9).
+///
+/// # Errors
+///
+/// Returns [`ModelError`] when the energy parameters are invalid.
+pub fn adc_energy_fj(adc_bits: u32, params: &ModelParams) -> Result<f64, ModelError> {
+    Ok(params.energy.adc_energy(adc_bits)?.value())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(h: usize, w: usize, l: usize, b: u32) -> AcimSpec {
+        AcimSpec::from_dimensions(h, w, l, b).unwrap()
+    }
+
+    #[test]
+    fn efficiency_and_energy_are_reciprocal() {
+        let params = ModelParams::s28_default();
+        let s = spec(128, 128, 8, 3);
+        let e = energy_per_mac_fj(&s, &params).unwrap();
+        let eff = tops_per_watt(&s, &params).unwrap();
+        assert!((eff - 2.0 / e * 1000.0).abs() < 1e-9);
+    }
+
+    #[test]
+    fn lower_precision_is_more_efficient() {
+        let params = ModelParams::s28_default();
+        let low = tops_per_watt(&spec(512, 32, 2, 2), &params).unwrap();
+        let high = tops_per_watt(&spec(512, 32, 2, 8), &params).unwrap();
+        assert!(low > high);
+    }
+
+    #[test]
+    fn adc_energy_matches_equation9_shape() {
+        let params = ModelParams::s28_default();
+        let e4 = adc_energy_fj(4, &params).unwrap();
+        let e6 = adc_energy_fj(6, &params).unwrap();
+        // The 4^B term grows 16x between B=4 and B=6; with the linear term
+        // the total should grow by at least 4x but less than 16x.
+        let ratio = e6 / e4;
+        assert!(ratio > 4.0 && ratio < 16.0, "ratio = {ratio}");
+    }
+
+    #[test]
+    fn efficiency_span_covers_papers_range() {
+        // Figure 10 reports 50–750 TOPS/W across the design space.
+        let params = ModelParams::s28_default();
+        let best = tops_per_watt(&spec(1024, 16, 2, 2), &params).unwrap();
+        let worst = tops_per_watt(&spec(512, 32, 2, 8), &params).unwrap();
+        assert!(best > 600.0, "best = {best:.0} TOPS/W");
+        assert!(worst < 80.0, "worst = {worst:.0} TOPS/W");
+    }
+}

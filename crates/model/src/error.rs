@@ -1,0 +1,71 @@
+//! Error type of the estimation-model crate.
+
+use std::error::Error;
+use std::fmt;
+
+use acim_arch::ArchError;
+
+/// Errors produced while evaluating or calibrating the estimation model.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ModelError {
+    /// A model parameter was outside its valid range.
+    InvalidParameter {
+        /// Parameter name.
+        name: String,
+        /// Why it was rejected.
+        reason: String,
+    },
+    /// Calibration was asked to fit against an empty or degenerate data set.
+    InsufficientData(String),
+    /// An error bubbled up from the architecture crate (spec validation or
+    /// behavioural simulation).
+    Arch(ArchError),
+}
+
+impl fmt::Display for ModelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ModelError::InvalidParameter { name, reason } => {
+                write!(f, "invalid model parameter `{name}`: {reason}")
+            }
+            ModelError::InsufficientData(what) => {
+                write!(f, "insufficient calibration data: {what}")
+            }
+            ModelError::Arch(err) => write!(f, "architecture error: {err}"),
+        }
+    }
+}
+
+impl Error for ModelError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ModelError::Arch(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<ArchError> for ModelError {
+    fn from(err: ArchError) -> Self {
+        ModelError::Arch(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn arch_errors_convert() {
+        let arch = ArchError::invalid_spec("H-L>=0", "H=4 < L=8");
+        let model: ModelError = arch.clone().into();
+        assert!(model.to_string().contains("architecture error"));
+        assert!(matches!(model, ModelError::Arch(inner) if inner == arch));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ModelError>();
+    }
+}

@@ -1,0 +1,130 @@
+//! The four-objective evaluation used by the design-space explorer
+//! (Equation 12).
+//!
+//! ```text
+//! min F(H, W, L, B_ADC) = [ −f_SNR, −f_T, f_E, f_A ]
+//! ```
+//!
+//! SNR and throughput are maximised (hence the sign flip); energy per MAC and
+//! area per bit are minimised.
+
+use acim_arch::AcimSpec;
+
+use crate::area::area_f2_per_bit;
+use crate::energy::{energy_per_mac_fj, tops_per_watt};
+use crate::error::ModelError;
+use crate::params::ModelParams;
+use crate::snr::snr_simplified_db;
+use crate::throughput::throughput_tops;
+
+/// All estimated figures of merit for one design specification.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct DesignMetrics {
+    /// Estimated SNR in dB (simplified model, Equation 11).
+    pub snr_db: f64,
+    /// Estimated throughput in TOPS (Equation 7).
+    pub throughput_tops: f64,
+    /// Estimated energy per 1-bit MAC in fJ (Equation 8).
+    pub energy_per_mac_fj: f64,
+    /// Energy efficiency in TOPS/W.
+    pub tops_per_watt: f64,
+    /// Estimated area per bit in F² (Equation 10).
+    pub area_f2_per_bit: f64,
+}
+
+impl DesignMetrics {
+    /// Objective vector in the minimisation form of Equation 12:
+    /// `[−SNR, −T, E, A]`.
+    pub fn objective_vector(&self) -> Vec<f64> {
+        vec![
+            -self.snr_db,
+            -self.throughput_tops,
+            self.energy_per_mac_fj,
+            self.area_f2_per_bit,
+        ]
+    }
+
+    /// The (energy-efficiency, area) pair used by Figure 10, as a
+    /// minimisation vector `[−TOPS/W, F²/bit]`.
+    pub fn efficiency_area_vector(&self) -> Vec<f64> {
+        vec![-self.tops_per_watt, self.area_f2_per_bit]
+    }
+}
+
+/// Evaluates all four objectives for a specification.
+///
+/// # Errors
+///
+/// Returns [`ModelError`] when the parameter set is invalid.
+pub fn evaluate(spec: &AcimSpec, params: &ModelParams) -> Result<DesignMetrics, ModelError> {
+    Ok(DesignMetrics {
+        snr_db: snr_simplified_db(spec, params)?,
+        throughput_tops: throughput_tops(spec, params)?,
+        energy_per_mac_fj: energy_per_mac_fj(spec, params)?,
+        tops_per_watt: tops_per_watt(spec, params)?,
+        area_f2_per_bit: area_f2_per_bit(spec, params)?,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(h: usize, w: usize, l: usize, b: u32) -> AcimSpec {
+        AcimSpec::from_dimensions(h, w, l, b).unwrap()
+    }
+
+    #[test]
+    fn evaluate_produces_consistent_metrics() {
+        let params = ModelParams::s28_default();
+        let m = evaluate(&spec(128, 128, 8, 3), &params).unwrap();
+        assert!(m.snr_db > 0.0);
+        assert!(m.throughput_tops > 0.0);
+        assert!(m.energy_per_mac_fj > 0.0);
+        assert!(m.area_f2_per_bit > 1500.0);
+        assert!((m.tops_per_watt - 2000.0 / m.energy_per_mac_fj).abs() < 1e-9);
+    }
+
+    #[test]
+    fn objective_vector_signs() {
+        let params = ModelParams::s28_default();
+        let m = evaluate(&spec(128, 128, 8, 3), &params).unwrap();
+        let v = m.objective_vector();
+        assert_eq!(v.len(), 4);
+        assert!(v[0] < 0.0, "-SNR must be negative for positive SNR");
+        assert!(v[1] < 0.0, "-T must be negative");
+        assert!(v[2] > 0.0);
+        assert!(v[3] > 0.0);
+        let ea = m.efficiency_area_vector();
+        assert_eq!(ea.len(), 2);
+        assert!(ea[0] < 0.0);
+    }
+
+    #[test]
+    fn known_tradeoff_l_small_vs_large() {
+        // Reducing L raises throughput and SNR but costs area — the central
+        // trade-off of Section 3.1.
+        let params = ModelParams::s28_default();
+        let l2 = evaluate(&spec(128, 128, 2, 3), &params).unwrap();
+        let l8 = evaluate(&spec(128, 128, 8, 3), &params).unwrap();
+        assert!(l2.throughput_tops > l8.throughput_tops);
+        assert!(l2.area_f2_per_bit > l8.area_f2_per_bit);
+        assert!(l2.snr_db < l8.snr_db, "larger N lowers SNR at fixed B");
+    }
+
+    #[test]
+    fn neither_point_dominates_the_other() {
+        // The L=2 and L=8 variants must be mutually non-dominated in the
+        // 4-objective space — this is what makes the problem multi-objective.
+        let params = ModelParams::s28_default();
+        let a = evaluate(&spec(128, 128, 2, 3), &params)
+            .unwrap()
+            .objective_vector();
+        let b = evaluate(&spec(128, 128, 8, 3), &params)
+            .unwrap()
+            .objective_vector();
+        let a_dominates = a.iter().zip(&b).all(|(x, y)| x <= y);
+        let b_dominates = b.iter().zip(&a).all(|(x, y)| x <= y);
+        assert!(!a_dominates && !b_dominates);
+    }
+}

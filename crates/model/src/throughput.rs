@@ -1,0 +1,66 @@
+//! Throughput estimation (Equation 7).
+//!
+//! ```text
+//! T = (H / L) · W / (t_com + t_set + t_conv)
+//! ```
+//!
+//! One MAC counts as two operations when reporting TOPS.  The timing model
+//! itself lives in `acim-arch` (it is shared with the behavioural
+//! simulator); this module is the thin estimation-model facade over it.
+
+use acim_arch::AcimSpec;
+
+use crate::error::ModelError;
+use crate::params::ModelParams;
+
+/// Estimated throughput in TOPS (Equation 7).
+///
+/// # Errors
+///
+/// Returns [`ModelError`] when the timing parameters are invalid.
+pub fn throughput_tops(spec: &AcimSpec, params: &ModelParams) -> Result<f64, ModelError> {
+    Ok(params.timing.throughput_tops(spec)?)
+}
+
+/// Estimated conversion-cycle time in nanoseconds.
+pub fn cycle_time_ns(spec: &AcimSpec, params: &ModelParams) -> f64 {
+    params.timing.cycle_time(spec.adc_bits()).value() / 1000.0
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn spec(h: usize, w: usize, l: usize, b: u32) -> AcimSpec {
+        AcimSpec::from_dimensions(h, w, l, b).unwrap()
+    }
+
+    #[test]
+    fn figure8_throughput_anchors() {
+        let params = ModelParams::s28_default();
+        let a = throughput_tops(&spec(128, 128, 2, 3), &params).unwrap();
+        let b = throughput_tops(&spec(128, 128, 8, 3), &params).unwrap();
+        let c = throughput_tops(&spec(64, 256, 8, 3), &params).unwrap();
+        assert!((a - 3.277).abs() < 0.15, "fig 8(a): {a:.3} TOPS");
+        assert!((b - 0.813).abs() < 0.05, "fig 8(b): {b:.3} TOPS");
+        // Figure 8(c) has the same throughput as (b): same H/L·W product.
+        assert!((c - b).abs() < 1e-9);
+    }
+
+    #[test]
+    fn throughput_decreases_with_adc_precision() {
+        let params = ModelParams::s28_default();
+        let fast = throughput_tops(&spec(512, 32, 2, 2), &params).unwrap();
+        let slow = throughput_tops(&spec(512, 32, 2, 8), &params).unwrap();
+        assert!(fast > slow);
+    }
+
+    #[test]
+    fn cycle_time_grows_with_precision() {
+        let params = ModelParams::s28_default();
+        assert!(cycle_time_ns(&spec(512, 32, 2, 8), &params) > cycle_time_ns(&spec(512, 32, 2, 2), &params));
+        // B = 3 cycle is about 5 ns with the default timing.
+        let t = cycle_time_ns(&spec(128, 128, 8, 3), &params);
+        assert!((t - 5.0).abs() < 0.3, "cycle time {t:.2} ns");
+    }
+}

@@ -1,0 +1,127 @@
+//! Crowding-distance assignment.
+//!
+//! NSGA-II preserves diversity inside a front by preferring individuals whose
+//! neighbours (in objective space) are far away.  Boundary individuals of
+//! each objective get an infinite distance so they always survive truncation.
+
+use crate::individual::Individual;
+
+/// Assigns the crowding distance to every individual referenced by `front`
+/// (a list of indices into `population`).
+///
+/// The distance of an individual is the sum over objectives of the
+/// normalised span between its two neighbours when the front is sorted along
+/// that objective; extremes get `f64::INFINITY`.
+pub fn assign_crowding_distance(population: &mut [Individual], front: &[usize]) {
+    if front.is_empty() {
+        return;
+    }
+    for &i in front {
+        population[i].crowding_distance = 0.0;
+    }
+    if front.len() <= 2 {
+        for &i in front {
+            population[i].crowding_distance = f64::INFINITY;
+        }
+        return;
+    }
+    let num_objectives = population[front[0]].objectives.len();
+    let mut order: Vec<usize> = front.to_vec();
+    for m in 0..num_objectives {
+        order.sort_by(|&a, &b| {
+            population[a].objectives[m]
+                .partial_cmp(&population[b].objectives[m])
+                .expect("objective values must not be NaN")
+        });
+        let min = population[order[0]].objectives[m];
+        let max = population[*order.last().expect("front not empty")].objectives[m];
+        let span = max - min;
+        population[order[0]].crowding_distance = f64::INFINITY;
+        population[*order.last().expect("front not empty")].crowding_distance = f64::INFINITY;
+        if span <= f64::EPSILON {
+            // Degenerate objective: every solution has the same value, no
+            // contribution to the distance.
+            continue;
+        }
+        for w in 1..order.len() - 1 {
+            let prev = population[order[w - 1]].objectives[m];
+            let next = population[order[w + 1]].objectives[m];
+            let idx = order[w];
+            if population[idx].crowding_distance.is_finite() {
+                population[idx].crowding_distance += (next - prev) / span;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::Evaluation;
+
+    fn pop_from(objs: &[(f64, f64)]) -> Vec<Individual> {
+        objs.iter()
+            .map(|&(a, b)| Individual::new(vec![0.0], Evaluation::unconstrained(vec![a, b])))
+            .collect()
+    }
+
+    #[test]
+    fn extremes_get_infinite_distance() {
+        let mut pop = pop_from(&[(0.0, 4.0), (1.0, 3.0), (2.0, 2.0), (3.0, 1.0), (4.0, 0.0)]);
+        let front: Vec<usize> = (0..pop.len()).collect();
+        assign_crowding_distance(&mut pop, &front);
+        assert!(pop[0].crowding_distance.is_infinite());
+        assert!(pop[4].crowding_distance.is_infinite());
+        for ind in &pop[1..4] {
+            assert!(ind.crowding_distance.is_finite());
+            assert!(ind.crowding_distance > 0.0);
+        }
+    }
+
+    #[test]
+    fn evenly_spaced_points_have_equal_interior_distance() {
+        let mut pop = pop_from(&[(0.0, 4.0), (1.0, 3.0), (2.0, 2.0), (3.0, 1.0), (4.0, 0.0)]);
+        let front: Vec<usize> = (0..pop.len()).collect();
+        assign_crowding_distance(&mut pop, &front);
+        let d1 = pop[1].crowding_distance;
+        let d2 = pop[2].crowding_distance;
+        let d3 = pop[3].crowding_distance;
+        assert!((d1 - d2).abs() < 1e-12);
+        assert!((d2 - d3).abs() < 1e-12);
+    }
+
+    #[test]
+    fn crowded_region_scores_lower() {
+        // Points 1 and 2 are close together; point 3 is isolated.
+        let mut pop = pop_from(&[(0.0, 10.0), (1.0, 5.0), (1.2, 4.8), (8.0, 1.0), (10.0, 0.0)]);
+        let front: Vec<usize> = (0..pop.len()).collect();
+        assign_crowding_distance(&mut pop, &front);
+        assert!(pop[3].crowding_distance > pop[2].crowding_distance);
+    }
+
+    #[test]
+    fn tiny_fronts_are_all_infinite() {
+        let mut pop = pop_from(&[(1.0, 2.0), (2.0, 1.0)]);
+        let front = vec![0, 1];
+        assign_crowding_distance(&mut pop, &front);
+        assert!(pop[0].crowding_distance.is_infinite());
+        assert!(pop[1].crowding_distance.is_infinite());
+    }
+
+    #[test]
+    fn degenerate_objective_does_not_produce_nan() {
+        let mut pop = pop_from(&[(1.0, 5.0), (1.0, 3.0), (1.0, 1.0)]);
+        let front = vec![0, 1, 2];
+        assign_crowding_distance(&mut pop, &front);
+        for ind in &pop {
+            assert!(!ind.crowding_distance.is_nan());
+        }
+    }
+
+    #[test]
+    fn empty_front_is_a_no_op() {
+        let mut pop = pop_from(&[(1.0, 2.0)]);
+        assign_crowding_distance(&mut pop, &[]);
+        assert_eq!(pop[0].crowding_distance, 0.0);
+    }
+}

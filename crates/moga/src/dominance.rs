@@ -1,0 +1,216 @@
+//! Pareto dominance and fast non-dominated sorting.
+//!
+//! Implements Equation 1 of the paper (Pareto dominance in a minimisation
+//! context) plus Deb's constrained-domination extension and the O(M·N²)
+//! fast non-dominated sort from the original NSGA-II paper.
+
+use crate::individual::Individual;
+
+/// Returns `true` when objective vector `u` Pareto-dominates `v` in a
+/// minimisation context: `u` is no worse in every objective and strictly
+/// better in at least one (Equation 1 of the paper).
+///
+/// # Panics
+///
+/// Panics if the two vectors have different lengths or are empty.
+pub fn dominates(u: &[f64], v: &[f64]) -> bool {
+    assert_eq!(u.len(), v.len(), "objective vectors must have equal length");
+    assert!(!u.is_empty(), "objective vectors must not be empty");
+    let mut strictly_better = false;
+    for (a, b) in u.iter().zip(v.iter()) {
+        if a > b {
+            return false;
+        }
+        if a < b {
+            strictly_better = true;
+        }
+    }
+    strictly_better
+}
+
+/// Deb's constrained-domination rule:
+///
+/// 1. a feasible solution dominates any infeasible solution,
+/// 2. between two infeasible solutions the one with the smaller constraint
+///    violation dominates,
+/// 3. between two feasible solutions ordinary Pareto dominance applies.
+pub fn constrained_dominates(a: &Individual, b: &Individual) -> bool {
+    match (a.is_feasible(), b.is_feasible()) {
+        (true, false) => true,
+        (false, true) => false,
+        (false, false) => a.constraint_violation < b.constraint_violation,
+        (true, true) => dominates(&a.objectives, &b.objectives),
+    }
+}
+
+/// Fast non-dominated sort.  Assigns `rank` to every individual in
+/// `population` and returns the fronts as index lists (front 0 first).
+///
+/// The sort uses [`constrained_dominates`], so infeasible individuals are
+/// pushed to later fronts automatically.
+pub fn fast_non_dominated_sort(population: &mut [Individual]) -> Vec<Vec<usize>> {
+    let n = population.len();
+    if n == 0 {
+        return Vec::new();
+    }
+    // dominated_by[i]: how many individuals dominate i.
+    // dominates_set[i]: indices that i dominates.
+    let mut dominated_by = vec![0usize; n];
+    let mut dominates_set: Vec<Vec<usize>> = vec![Vec::new(); n];
+
+    for i in 0..n {
+        for j in (i + 1)..n {
+            if constrained_dominates(&population[i], &population[j]) {
+                dominates_set[i].push(j);
+                dominated_by[j] += 1;
+            } else if constrained_dominates(&population[j], &population[i]) {
+                dominates_set[j].push(i);
+                dominated_by[i] += 1;
+            }
+        }
+    }
+
+    let mut fronts: Vec<Vec<usize>> = Vec::new();
+    let mut current: Vec<usize> = (0..n).filter(|&i| dominated_by[i] == 0).collect();
+    let mut rank = 0;
+    while !current.is_empty() {
+        for &i in &current {
+            population[i].rank = rank;
+        }
+        let mut next = Vec::new();
+        for &i in &current {
+            for &j in &dominates_set[i] {
+                dominated_by[j] -= 1;
+                if dominated_by[j] == 0 {
+                    next.push(j);
+                }
+            }
+        }
+        fronts.push(current);
+        current = next;
+        rank += 1;
+    }
+    fronts
+}
+
+/// Extracts the non-dominated subset of a set of objective vectors
+/// (indices into `points`), using plain Pareto dominance.
+pub fn non_dominated_indices(points: &[Vec<f64>]) -> Vec<usize> {
+    let mut result = Vec::new();
+    'outer: for (i, p) in points.iter().enumerate() {
+        for (j, q) in points.iter().enumerate() {
+            if i != j && dominates(q, p) {
+                continue 'outer;
+            }
+        }
+        result.push(i);
+    }
+    result
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::Evaluation;
+
+    fn ind(objs: Vec<f64>, violation: f64) -> Individual {
+        Individual::new(vec![0.0], Evaluation::new(objs, violation))
+    }
+
+    #[test]
+    fn dominance_basic_cases() {
+        assert!(dominates(&[1.0, 1.0], &[2.0, 2.0]));
+        assert!(dominates(&[1.0, 2.0], &[1.0, 3.0]));
+        assert!(!dominates(&[1.0, 3.0], &[2.0, 2.0])); // trade-off
+        assert!(!dominates(&[1.0, 1.0], &[1.0, 1.0])); // equal: not strict
+    }
+
+    #[test]
+    #[should_panic(expected = "equal length")]
+    fn dominance_length_mismatch_panics() {
+        let _ = dominates(&[1.0], &[1.0, 2.0]);
+    }
+
+    #[test]
+    fn constrained_dominance_prefers_feasible() {
+        let feasible = ind(vec![10.0, 10.0], 0.0);
+        let infeasible = ind(vec![0.0, 0.0], 1.0);
+        assert!(constrained_dominates(&feasible, &infeasible));
+        assert!(!constrained_dominates(&infeasible, &feasible));
+    }
+
+    #[test]
+    fn constrained_dominance_ranks_infeasible_by_violation() {
+        let a = ind(vec![5.0], 1.0);
+        let b = ind(vec![1.0], 2.0);
+        assert!(constrained_dominates(&a, &b));
+        assert!(!constrained_dominates(&b, &a));
+    }
+
+    #[test]
+    fn sort_produces_expected_fronts() {
+        // Points: (1,1) dominates everything; (2,3) and (3,2) are mutually
+        // non-dominated; (4,4) is dominated by all.
+        let mut pop = vec![
+            ind(vec![2.0, 3.0], 0.0),
+            ind(vec![1.0, 1.0], 0.0),
+            ind(vec![3.0, 2.0], 0.0),
+            ind(vec![4.0, 4.0], 0.0),
+        ];
+        let fronts = fast_non_dominated_sort(&mut pop);
+        assert_eq!(fronts.len(), 3);
+        assert_eq!(fronts[0], vec![1]);
+        let mut f1 = fronts[1].clone();
+        f1.sort_unstable();
+        assert_eq!(f1, vec![0, 2]);
+        assert_eq!(fronts[2], vec![3]);
+        assert_eq!(pop[1].rank, 0);
+        assert_eq!(pop[0].rank, 1);
+        assert_eq!(pop[3].rank, 2);
+    }
+
+    #[test]
+    fn sort_handles_empty_population() {
+        let mut pop: Vec<Individual> = Vec::new();
+        assert!(fast_non_dominated_sort(&mut pop).is_empty());
+    }
+
+    #[test]
+    fn sort_pushes_infeasible_to_later_fronts() {
+        let mut pop = vec![
+            ind(vec![0.0, 0.0], 5.0), // infeasible even though objectives are best
+            ind(vec![3.0, 3.0], 0.0),
+        ];
+        let fronts = fast_non_dominated_sort(&mut pop);
+        assert_eq!(fronts[0], vec![1]);
+        assert_eq!(fronts[1], vec![0]);
+    }
+
+    #[test]
+    fn non_dominated_indices_extracts_front() {
+        let points = vec![
+            vec![1.0, 5.0],
+            vec![2.0, 2.0],
+            vec![5.0, 1.0],
+            vec![4.0, 4.0],
+        ];
+        let nd = non_dominated_indices(&points);
+        assert_eq!(nd, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn every_individual_is_assigned_exactly_one_front() {
+        let mut pop: Vec<Individual> = (0..25)
+            .map(|i| {
+                let x = f64::from(i) / 24.0;
+                ind(vec![x, 1.0 - x + (f64::from(i % 5)) * 0.1], 0.0)
+            })
+            .collect();
+        let fronts = fast_non_dominated_sort(&mut pop);
+        let total: usize = fronts.iter().map(Vec::len).sum();
+        assert_eq!(total, pop.len());
+        for ind in &pop {
+            assert_ne!(ind.rank, usize::MAX);
+        }
+    }
+}

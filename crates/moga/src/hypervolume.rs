@@ -1,0 +1,172 @@
+//! Hypervolume indicators.
+//!
+//! Hypervolume (the measure of objective space dominated by a front, bounded
+//! by a reference point) is the standard scalar quality indicator for
+//! multi-objective optimisers.  The ablation benchmarks use it to compare
+//! NSGA-II against exhaustive enumeration and random search.
+//!
+//! * [`hypervolume_2d`] — exact sweep-line computation for bi-objective
+//!   fronts.
+//! * [`hypervolume_monte_carlo`] — seeded Monte-Carlo estimate for any
+//!   number of objectives (used for the 4-objective ACIM problem).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::dominance::dominates;
+
+/// Exact hypervolume of a bi-objective front with respect to a reference
+/// point (minimisation).  Points that do not dominate the reference point
+/// contribute nothing.
+///
+/// # Panics
+///
+/// Panics if any point or the reference point does not have exactly two
+/// objectives.
+pub fn hypervolume_2d(front: &[Vec<f64>], reference: &[f64]) -> f64 {
+    assert_eq!(reference.len(), 2, "reference point must be 2-D");
+    let mut pts: Vec<(f64, f64)> = front
+        .iter()
+        .map(|p| {
+            assert_eq!(p.len(), 2, "front points must be 2-D");
+            (p[0], p[1])
+        })
+        .filter(|&(a, b)| a < reference[0] && b < reference[1])
+        .collect();
+    if pts.is_empty() {
+        return 0.0;
+    }
+    // Sort by the first objective ascending; sweep and accumulate boxes.
+    pts.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("objectives must not be NaN"));
+    let mut volume = 0.0;
+    let mut best_f2 = reference[1];
+    for (f1, f2) in pts {
+        if f2 < best_f2 {
+            volume += (reference[0] - f1) * (best_f2 - f2);
+            best_f2 = f2;
+        }
+    }
+    volume
+}
+
+/// Monte-Carlo hypervolume estimate for fronts with any number of
+/// objectives.  `samples` uniform points are drawn in the axis-aligned box
+/// `[ideal, reference]` (where `ideal` is the component-wise minimum of the
+/// front); the estimate is the dominated fraction times the box volume.
+///
+/// The estimate is deterministic for a fixed `seed`.
+///
+/// # Panics
+///
+/// Panics if the front is empty, if dimensions disagree, or if `samples`
+/// is zero.
+pub fn hypervolume_monte_carlo(front: &[Vec<f64>], reference: &[f64], samples: usize, seed: u64) -> f64 {
+    assert!(!front.is_empty(), "front must not be empty");
+    assert!(samples > 0, "sample count must be positive");
+    let dim = reference.len();
+    for p in front {
+        assert_eq!(p.len(), dim, "front point dimension mismatch");
+    }
+    // Ideal point: component-wise minimum, clipped to the reference box.
+    let mut ideal = vec![f64::INFINITY; dim];
+    for p in front {
+        for (i, &v) in p.iter().enumerate() {
+            ideal[i] = ideal[i].min(v);
+        }
+    }
+    let mut box_volume = 1.0;
+    for i in 0..dim {
+        let span = reference[i] - ideal[i];
+        if span <= 0.0 {
+            return 0.0;
+        }
+        box_volume *= span;
+    }
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut dominated = 0usize;
+    let mut sample = vec![0.0; dim];
+    for _ in 0..samples {
+        for i in 0..dim {
+            sample[i] = ideal[i] + rng.gen::<f64>() * (reference[i] - ideal[i]);
+        }
+        if front
+            .iter()
+            .any(|p| dominates(p, &sample) || p == &sample)
+        {
+            dominated += 1;
+        }
+    }
+    box_volume * dominated as f64 / samples as f64
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn single_point_2d_volume_is_a_box() {
+        let hv = hypervolume_2d(&[vec![1.0, 1.0]], &[3.0, 3.0]);
+        assert!((hv - 4.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn staircase_2d_volume() {
+        // Points (1,2) and (2,1) against reference (3,3):
+        // union of boxes = 2*1 + 1*2 - overlap 1*1 = 3.
+        let hv = hypervolume_2d(&[vec![1.0, 2.0], vec![2.0, 1.0]], &[3.0, 3.0]);
+        assert!((hv - 3.0).abs() < 1e-12);
+    }
+
+    #[test]
+    fn dominated_points_do_not_add_volume() {
+        let lone = hypervolume_2d(&[vec![1.0, 1.0]], &[3.0, 3.0]);
+        let with_dominated = hypervolume_2d(&[vec![1.0, 1.0], vec![2.0, 2.0]], &[3.0, 3.0]);
+        assert!((lone - with_dominated).abs() < 1e-12);
+    }
+
+    #[test]
+    fn points_outside_reference_contribute_nothing() {
+        let hv = hypervolume_2d(&[vec![4.0, 4.0]], &[3.0, 3.0]);
+        assert_eq!(hv, 0.0);
+    }
+
+    #[test]
+    fn larger_front_has_larger_volume() {
+        let small = hypervolume_2d(&[vec![2.0, 2.0]], &[4.0, 4.0]);
+        let large = hypervolume_2d(&[vec![2.0, 2.0], vec![1.0, 3.5], vec![3.5, 1.0]], &[4.0, 4.0]);
+        assert!(large > small);
+    }
+
+    #[test]
+    fn monte_carlo_agrees_with_exact_2d() {
+        let front = vec![vec![1.0, 2.0], vec![2.0, 1.0]];
+        let reference = vec![3.0, 3.0];
+        let exact = hypervolume_2d(&front, &reference);
+        let estimate = hypervolume_monte_carlo(&front, &reference, 200_000, 99);
+        assert!(
+            (exact - estimate).abs() / exact < 0.02,
+            "exact {exact} vs estimate {estimate}"
+        );
+    }
+
+    #[test]
+    fn monte_carlo_is_deterministic_per_seed() {
+        let front = vec![vec![0.2, 0.8, 0.5], vec![0.8, 0.2, 0.5]];
+        let reference = vec![1.0, 1.0, 1.0];
+        let a = hypervolume_monte_carlo(&front, &reference, 10_000, 5);
+        let b = hypervolume_monte_carlo(&front, &reference, 10_000, 5);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn degenerate_reference_gives_zero() {
+        let front = vec![vec![1.0, 1.0]];
+        assert_eq!(hypervolume_monte_carlo(&front, &[1.0, 1.0], 100, 1), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be empty")]
+    fn monte_carlo_rejects_empty_front() {
+        let _ = hypervolume_monte_carlo(&[], &[1.0, 1.0], 100, 1);
+    }
+}

@@ -1,0 +1,348 @@
+//! The NSGA-II main loop.
+
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+use crate::crowding::assign_crowding_distance;
+use crate::dominance::fast_non_dominated_sort;
+use crate::individual::Individual;
+use crate::operators::{polynomial_mutation, random_genome, sbx_crossover};
+use crate::problem::Problem;
+use crate::selection::binary_tournament;
+
+/// Configuration of an NSGA-II run.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Nsga2Config {
+    /// Population size (must be even and ≥ 4).
+    pub population_size: usize,
+    /// Number of generations.
+    pub generations: usize,
+    /// SBX crossover probability per gene.
+    pub crossover_probability: f64,
+    /// SBX distribution index.
+    pub crossover_eta: f64,
+    /// Per-gene mutation probability.  `None` means `1 / num_variables`.
+    pub mutation_probability: Option<f64>,
+    /// Polynomial-mutation distribution index.
+    pub mutation_eta: f64,
+}
+
+impl Default for Nsga2Config {
+    fn default() -> Self {
+        Self {
+            population_size: 100,
+            generations: 100,
+            crossover_probability: 0.9,
+            crossover_eta: 15.0,
+            mutation_probability: None,
+            mutation_eta: 20.0,
+        }
+    }
+}
+
+/// Result of an NSGA-II run.
+#[derive(Debug, Clone)]
+pub struct Nsga2Result {
+    /// Final population after the last environmental selection.
+    pub population: Vec<Individual>,
+    /// Number of objective evaluations performed.
+    pub evaluations: usize,
+    /// Number of generations executed.
+    pub generations: usize,
+}
+
+impl Nsga2Result {
+    /// Returns the feasible, non-dominated individuals of the final
+    /// population (rank 0).
+    pub fn pareto_front(&self) -> Vec<&Individual> {
+        self.population
+            .iter()
+            .filter(|ind| ind.rank == 0 && ind.is_feasible())
+            .collect()
+    }
+
+    /// Returns the objective vectors of the Pareto front.
+    pub fn pareto_objectives(&self) -> Vec<Vec<f64>> {
+        self.pareto_front()
+            .into_iter()
+            .map(|ind| ind.objectives.clone())
+            .collect()
+    }
+}
+
+/// NSGA-II optimiser over a [`Problem`].
+///
+/// # Example
+///
+/// See the crate-level example.
+#[derive(Debug)]
+pub struct Nsga2<P: Problem> {
+    problem: P,
+    config: Nsga2Config,
+    seed: u64,
+}
+
+impl<P: Problem> Nsga2<P> {
+    /// Creates a new optimiser with the given configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the population size is smaller than 4 or odd, or if the
+    /// problem has zero variables or objectives.
+    pub fn new(problem: P, config: Nsga2Config) -> Self {
+        assert!(
+            config.population_size >= 4 && config.population_size % 2 == 0,
+            "population size must be an even number >= 4"
+        );
+        assert!(problem.num_variables() > 0, "problem must have variables");
+        assert!(problem.num_objectives() > 0, "problem must have objectives");
+        Self {
+            problem,
+            config,
+            seed: 0xEA57_AC1B,
+        }
+    }
+
+    /// Sets the RNG seed (runs are deterministic for a fixed seed).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Returns the configuration.
+    pub fn config(&self) -> &Nsga2Config {
+        &self.config
+    }
+
+    /// Runs the optimisation and returns the final population.
+    pub fn run(&self) -> Nsga2Result {
+        self.run_with_observer(|_, _| {})
+    }
+
+    /// Runs the optimisation, invoking `observer(generation, population)`
+    /// after every environmental selection (used for convergence studies).
+    pub fn run_with_observer<F>(&self, mut observer: F) -> Nsga2Result
+    where
+        F: FnMut(usize, &[Individual]),
+    {
+        let mut rng = StdRng::seed_from_u64(self.seed);
+        let n_var = self.problem.num_variables();
+        let pop_size = self.config.population_size;
+        let mutation_p = self
+            .config
+            .mutation_probability
+            .unwrap_or(1.0 / n_var as f64);
+        let mut evaluations = 0usize;
+
+        // Initial random population.
+        let mut population: Vec<Individual> = (0..pop_size)
+            .map(|_| {
+                let genes = random_genome(&mut rng, n_var);
+                let eval = self.problem.evaluate(&genes);
+                evaluations += 1;
+                Individual::new(genes, eval)
+            })
+            .collect();
+        let fronts = fast_non_dominated_sort(&mut population);
+        for front in &fronts {
+            assign_crowding_distance(&mut population, front);
+        }
+
+        for generation in 0..self.config.generations {
+            // Offspring generation.
+            let mut offspring: Vec<Individual> = Vec::with_capacity(pop_size);
+            while offspring.len() < pop_size {
+                let parent_a = binary_tournament(&mut rng, &population);
+                let parent_b = binary_tournament(&mut rng, &population);
+                let (mut child_a, mut child_b) = sbx_crossover(
+                    &mut rng,
+                    &population[parent_a].genes,
+                    &population[parent_b].genes,
+                    self.config.crossover_eta,
+                    self.config.crossover_probability,
+                );
+                polynomial_mutation(&mut rng, &mut child_a, self.config.mutation_eta, mutation_p);
+                polynomial_mutation(&mut rng, &mut child_b, self.config.mutation_eta, mutation_p);
+                for child in [child_a, child_b] {
+                    if offspring.len() >= pop_size {
+                        break;
+                    }
+                    let eval = self.problem.evaluate(&child);
+                    evaluations += 1;
+                    offspring.push(Individual::new(child, eval));
+                }
+            }
+
+            // Environmental selection over parents ∪ offspring.
+            let mut combined = population;
+            combined.append(&mut offspring);
+            let fronts = fast_non_dominated_sort(&mut combined);
+            let mut next: Vec<Individual> = Vec::with_capacity(pop_size);
+            for front in &fronts {
+                assign_crowding_distance(&mut combined, front);
+                if next.len() + front.len() <= pop_size {
+                    for &i in front {
+                        next.push(combined[i].clone());
+                    }
+                } else {
+                    let mut sorted: Vec<usize> = front.clone();
+                    sorted.sort_by(|&a, &b| {
+                        combined[b]
+                            .crowding_distance
+                            .partial_cmp(&combined[a].crowding_distance)
+                            .expect("crowding distance is never NaN")
+                    });
+                    for &i in sorted.iter().take(pop_size - next.len()) {
+                        next.push(combined[i].clone());
+                    }
+                    break;
+                }
+            }
+            population = next;
+            // Re-rank the trimmed population so observers and the final
+            // result see consistent rank/crowding values.
+            let fronts = fast_non_dominated_sort(&mut population);
+            for front in &fronts {
+                assign_crowding_distance(&mut population, front);
+            }
+            observer(generation, &population);
+        }
+
+        Nsga2Result {
+            population,
+            evaluations,
+            generations: self.config.generations,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::Evaluation;
+
+    /// ZDT1-like bi-objective benchmark on 5 variables.
+    struct Zdt1;
+
+    impl Problem for Zdt1 {
+        fn num_variables(&self) -> usize {
+            5
+        }
+        fn num_objectives(&self) -> usize {
+            2
+        }
+        fn evaluate(&self, genes: &[f64]) -> Evaluation {
+            let f1 = genes[0];
+            let g = 1.0 + 9.0 * genes[1..].iter().sum::<f64>() / (genes.len() - 1) as f64;
+            let f2 = g * (1.0 - (f1 / g).sqrt());
+            Evaluation::unconstrained(vec![f1, f2])
+        }
+        fn name(&self) -> &str {
+            "zdt1"
+        }
+    }
+
+    /// Constrained problem: minimise (x, y) subject to x + y >= 1.
+    struct ConstrainedSum;
+
+    impl Problem for ConstrainedSum {
+        fn num_variables(&self) -> usize {
+            2
+        }
+        fn num_objectives(&self) -> usize {
+            2
+        }
+        fn evaluate(&self, genes: &[f64]) -> Evaluation {
+            let violation = (1.0 - (genes[0] + genes[1])).max(0.0);
+            Evaluation::new(vec![genes[0], genes[1]], violation)
+        }
+    }
+
+    fn small_config() -> Nsga2Config {
+        Nsga2Config {
+            population_size: 40,
+            generations: 40,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn converges_towards_zdt1_front() {
+        let result = Nsga2::new(Zdt1, small_config()).with_seed(11).run();
+        let front = result.pareto_front();
+        assert!(front.len() >= 10, "front too small: {}", front.len());
+        // On the true ZDT1 front, g = 1 and f2 = 1 - sqrt(f1).  Check the
+        // population got reasonably close.
+        let mean_gap: f64 = front
+            .iter()
+            .map(|ind| {
+                let f1 = ind.objectives[0];
+                let f2 = ind.objectives[1];
+                (f2 - (1.0 - f1.sqrt())).abs()
+            })
+            .sum::<f64>()
+            / front.len() as f64;
+        assert!(mean_gap < 0.25, "mean gap to true front is {mean_gap}");
+    }
+
+    #[test]
+    fn runs_are_deterministic_for_fixed_seed() {
+        let a = Nsga2::new(Zdt1, small_config()).with_seed(3).run();
+        let b = Nsga2::new(Zdt1, small_config()).with_seed(3).run();
+        assert_eq!(a.pareto_objectives(), b.pareto_objectives());
+        let c = Nsga2::new(Zdt1, small_config()).with_seed(4).run();
+        assert_ne!(a.pareto_objectives(), c.pareto_objectives());
+    }
+
+    #[test]
+    fn evaluation_count_matches_schedule() {
+        let config = small_config();
+        let expected = config.population_size * (config.generations + 1);
+        let result = Nsga2::new(Zdt1, config).with_seed(5).run();
+        assert_eq!(result.evaluations, expected);
+    }
+
+    #[test]
+    fn constrained_problem_yields_feasible_front() {
+        let result = Nsga2::new(ConstrainedSum, small_config()).with_seed(7).run();
+        let front = result.pareto_front();
+        assert!(!front.is_empty());
+        for ind in &front {
+            assert!(ind.is_feasible());
+            // Feasible front lies on x + y = 1 (within mutation noise).
+            let sum = ind.objectives[0] + ind.objectives[1];
+            assert!(sum >= 1.0 - 1e-9, "infeasible point on front: sum = {sum}");
+            assert!(sum < 1.2, "front did not converge to the boundary: {sum}");
+        }
+    }
+
+    #[test]
+    fn observer_sees_every_generation() {
+        let mut seen = Vec::new();
+        let _ = Nsga2::new(Zdt1, small_config())
+            .with_seed(9)
+            .run_with_observer(|generation, pop| {
+                assert_eq!(pop.len(), 40);
+                seen.push(generation);
+            });
+        assert_eq!(seen.len(), 40);
+        assert_eq!(seen[0], 0);
+        assert_eq!(*seen.last().unwrap(), 39);
+    }
+
+    #[test]
+    #[should_panic(expected = "even number")]
+    fn odd_population_size_is_rejected() {
+        let config = Nsga2Config {
+            population_size: 11,
+            ..Default::default()
+        };
+        let _ = Nsga2::new(Zdt1, config);
+    }
+
+    #[test]
+    fn final_population_has_exact_size() {
+        let result = Nsga2::new(Zdt1, small_config()).with_seed(13).run();
+        assert_eq!(result.population.len(), 40);
+    }
+}

@@ -1,0 +1,181 @@
+//! Variation operators: simulated-binary crossover (SBX) and polynomial
+//! mutation, both operating on real-coded genes clamped to `[0, 1]`.
+
+use rand::Rng;
+
+/// Clamps a gene to the unit interval.
+fn clamp01(x: f64) -> f64 {
+    x.clamp(0.0, 1.0)
+}
+
+/// Simulated-binary crossover (Deb & Agrawal, 1995).
+///
+/// Produces two children from two parents.  `eta` is the distribution index:
+/// larger values keep children closer to their parents (typical range 10–30).
+/// `crossover_probability` is applied per gene pair.
+///
+/// # Panics
+///
+/// Panics if the parents have different lengths.
+pub fn sbx_crossover<R: Rng + ?Sized>(
+    rng: &mut R,
+    parent_a: &[f64],
+    parent_b: &[f64],
+    eta: f64,
+    crossover_probability: f64,
+) -> (Vec<f64>, Vec<f64>) {
+    assert_eq!(
+        parent_a.len(),
+        parent_b.len(),
+        "parents must have the same number of genes"
+    );
+    let mut child_a = parent_a.to_vec();
+    let mut child_b = parent_b.to_vec();
+    for i in 0..parent_a.len() {
+        if rng.gen::<f64>() > crossover_probability {
+            continue;
+        }
+        let (x1, x2) = (parent_a[i], parent_b[i]);
+        if (x1 - x2).abs() < 1e-14 {
+            continue;
+        }
+        let u: f64 = rng.gen();
+        let beta = if u <= 0.5 {
+            (2.0 * u).powf(1.0 / (eta + 1.0))
+        } else {
+            (1.0 / (2.0 * (1.0 - u))).powf(1.0 / (eta + 1.0))
+        };
+        let c1 = 0.5 * ((1.0 + beta) * x1 + (1.0 - beta) * x2);
+        let c2 = 0.5 * ((1.0 - beta) * x1 + (1.0 + beta) * x2);
+        child_a[i] = clamp01(c1);
+        child_b[i] = clamp01(c2);
+    }
+    (child_a, child_b)
+}
+
+/// Polynomial mutation (Deb).
+///
+/// Each gene mutates with probability `mutation_probability`; `eta` is the
+/// distribution index (typical 10–50, larger = smaller perturbations).
+pub fn polynomial_mutation<R: Rng + ?Sized>(
+    rng: &mut R,
+    genes: &mut [f64],
+    eta: f64,
+    mutation_probability: f64,
+) {
+    for gene in genes.iter_mut() {
+        if rng.gen::<f64>() > mutation_probability {
+            continue;
+        }
+        let x = *gene;
+        let u: f64 = rng.gen();
+        let delta = if u < 0.5 {
+            let b = 2.0 * u + (1.0 - 2.0 * u) * (1.0 - x).powf(eta + 1.0);
+            b.powf(1.0 / (eta + 1.0)) - 1.0
+        } else {
+            let b = 2.0 * (1.0 - u) + 2.0 * (u - 0.5) * x.powf(eta + 1.0);
+            1.0 - b.powf(1.0 / (eta + 1.0))
+        };
+        *gene = clamp01(x + delta);
+    }
+}
+
+/// Uniform random genome in `[0, 1]^n`.
+pub fn random_genome<R: Rng + ?Sized>(rng: &mut R, num_variables: usize) -> Vec<f64> {
+    (0..num_variables).map(|_| rng.gen::<f64>()).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn rng() -> StdRng {
+        StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn sbx_children_stay_in_unit_interval() {
+        let mut rng = rng();
+        let a = vec![0.05, 0.5, 0.95];
+        let b = vec![0.95, 0.5, 0.05];
+        for _ in 0..200 {
+            let (c1, c2) = sbx_crossover(&mut rng, &a, &b, 15.0, 1.0);
+            for g in c1.iter().chain(c2.iter()) {
+                assert!((0.0..=1.0).contains(g), "gene {g} escaped [0,1]");
+            }
+        }
+    }
+
+    #[test]
+    fn sbx_preserves_mean_of_parents_per_gene() {
+        // SBX is mean-preserving before clamping; for interior parents the
+        // clamp rarely triggers, so child means stay close to parent means.
+        let mut rng = rng();
+        let a = vec![0.3];
+        let b = vec![0.7];
+        let mut mean_sum = 0.0;
+        let trials = 3000;
+        for _ in 0..trials {
+            let (c1, c2) = sbx_crossover(&mut rng, &a, &b, 20.0, 1.0);
+            mean_sum += (c1[0] + c2[0]) / 2.0;
+        }
+        let grand_mean = mean_sum / f64::from(trials);
+        assert!((grand_mean - 0.5).abs() < 0.01, "mean drifted to {grand_mean}");
+    }
+
+    #[test]
+    fn sbx_with_zero_probability_copies_parents() {
+        let mut rng = rng();
+        let a = vec![0.2, 0.4];
+        let b = vec![0.8, 0.6];
+        let (c1, c2) = sbx_crossover(&mut rng, &a, &b, 15.0, 0.0);
+        assert_eq!(c1, a);
+        assert_eq!(c2, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "same number of genes")]
+    fn sbx_rejects_length_mismatch() {
+        let mut rng = rng();
+        let _ = sbx_crossover(&mut rng, &[0.5], &[0.5, 0.5], 15.0, 1.0);
+    }
+
+    #[test]
+    fn mutation_keeps_genes_in_unit_interval() {
+        let mut rng = rng();
+        for _ in 0..200 {
+            let mut genes = vec![0.0, 0.5, 1.0];
+            polynomial_mutation(&mut rng, &mut genes, 20.0, 1.0);
+            for g in &genes {
+                assert!((0.0..=1.0).contains(g));
+            }
+        }
+    }
+
+    #[test]
+    fn mutation_with_zero_probability_is_identity() {
+        let mut rng = rng();
+        let mut genes = vec![0.1, 0.9];
+        polynomial_mutation(&mut rng, &mut genes, 20.0, 0.0);
+        assert_eq!(genes, vec![0.1, 0.9]);
+    }
+
+    #[test]
+    fn mutation_actually_perturbs_with_probability_one() {
+        let mut rng = rng();
+        let original = vec![0.5; 16];
+        let mut genes = original.clone();
+        polynomial_mutation(&mut rng, &mut genes, 20.0, 1.0);
+        assert_ne!(genes, original);
+    }
+
+    #[test]
+    fn random_genome_has_requested_length_and_range() {
+        let mut rng = rng();
+        let g = random_genome(&mut rng, 10);
+        assert_eq!(g.len(), 10);
+        assert!(g.iter().all(|x| (0.0..=1.0).contains(x)));
+    }
+}

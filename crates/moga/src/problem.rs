@@ -1,0 +1,138 @@
+//! The [`Problem`] trait and evaluation result type.
+
+/// The result of evaluating a genome: objective values (all minimised) and an
+/// aggregate constraint violation.
+///
+/// A violation of `0.0` means the solution is feasible; larger values mean
+/// "more infeasible".  NSGA-II uses Deb's constrained-domination rule: any
+/// feasible solution dominates any infeasible one, and among infeasible
+/// solutions the one with the smaller violation wins.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Evaluation {
+    /// Objective values, all to be minimised.
+    pub objectives: Vec<f64>,
+    /// Aggregate constraint violation (`0.0` = feasible).
+    pub constraint_violation: f64,
+}
+
+impl Evaluation {
+    /// Creates an evaluation with an explicit constraint violation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `constraint_violation` is negative or NaN.
+    pub fn new(objectives: Vec<f64>, constraint_violation: f64) -> Self {
+        assert!(
+            constraint_violation >= 0.0,
+            "constraint violation must be non-negative, got {constraint_violation}"
+        );
+        Self {
+            objectives,
+            constraint_violation,
+        }
+    }
+
+    /// Creates a feasible (unconstrained) evaluation.
+    pub fn unconstrained(objectives: Vec<f64>) -> Self {
+        Self::new(objectives, 0.0)
+    }
+
+    /// Returns `true` when the solution satisfies all constraints.
+    pub fn is_feasible(&self) -> bool {
+        self.constraint_violation == 0.0
+    }
+}
+
+/// A multi-objective optimisation problem over a real-coded genome.
+///
+/// Genomes are vectors in `[0, 1]^n`; the problem is responsible for decoding
+/// them into its native parameter space inside [`Problem::evaluate`].  This
+/// keeps the variation operators (SBX, polynomial mutation) problem-agnostic,
+/// which is how the EasyACIM design-space explorer drives mixed
+/// integer/categorical parameters such as (H, W, L, B_ADC).
+pub trait Problem {
+    /// Number of genes.
+    fn num_variables(&self) -> usize;
+
+    /// Number of objectives (all minimised).
+    fn num_objectives(&self) -> usize;
+
+    /// Evaluates a genome.  `genes.len() == self.num_variables()`.
+    fn evaluate(&self, genes: &[f64]) -> Evaluation;
+
+    /// Optional human-readable problem name (used in benchmark reports).
+    fn name(&self) -> &str {
+        "unnamed problem"
+    }
+}
+
+impl<P: Problem + ?Sized> Problem for &P {
+    fn num_variables(&self) -> usize {
+        (**self).num_variables()
+    }
+    fn num_objectives(&self) -> usize {
+        (**self).num_objectives()
+    }
+    fn evaluate(&self, genes: &[f64]) -> Evaluation {
+        (**self).evaluate(genes)
+    }
+    fn name(&self) -> &str {
+        (**self).name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Sphere;
+
+    impl Problem for Sphere {
+        fn num_variables(&self) -> usize {
+            2
+        }
+        fn num_objectives(&self) -> usize {
+            1
+        }
+        fn evaluate(&self, genes: &[f64]) -> Evaluation {
+            Evaluation::unconstrained(vec![genes.iter().map(|g| g * g).sum()])
+        }
+        fn name(&self) -> &str {
+            "sphere"
+        }
+    }
+
+    #[test]
+    fn unconstrained_evaluations_are_feasible() {
+        let eval = Evaluation::unconstrained(vec![1.0, 2.0]);
+        assert!(eval.is_feasible());
+        assert_eq!(eval.objectives, vec![1.0, 2.0]);
+    }
+
+    #[test]
+    fn constrained_evaluation_tracks_violation() {
+        let eval = Evaluation::new(vec![1.0], 3.5);
+        assert!(!eval.is_feasible());
+        assert_eq!(eval.constraint_violation, 3.5);
+    }
+
+    #[test]
+    #[should_panic(expected = "non-negative")]
+    fn negative_violation_panics() {
+        let _ = Evaluation::new(vec![1.0], -1.0);
+    }
+
+    #[test]
+    fn problem_impl_for_references() {
+        fn takes_problem<P: Problem>(p: P) -> usize {
+            p.num_variables()
+        }
+        let sphere = Sphere;
+        assert_eq!(takes_problem(&sphere), 2);
+        assert_eq!((&sphere).name(), "sphere");
+        assert_eq!(
+            (&sphere).evaluate(&[0.5, 0.5]).objectives[0],
+            0.5f64 * 0.5 + 0.5 * 0.5
+        );
+    }
+}

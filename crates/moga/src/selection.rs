@@ -1,0 +1,137 @@
+//! Parent selection.
+
+use rand::Rng;
+
+use crate::dominance::constrained_dominates;
+use crate::individual::Individual;
+
+/// Binary tournament selection with constrained-crowded comparison:
+///
+/// 1. if one candidate constrained-dominates the other, it wins,
+/// 2. otherwise the crowded-comparison operator (rank, then crowding
+///    distance) decides,
+/// 3. ties are broken randomly.
+///
+/// Returns the index of the winner within `population`.
+///
+/// # Panics
+///
+/// Panics if the population is empty.
+pub fn binary_tournament<R: Rng + ?Sized>(rng: &mut R, population: &[Individual]) -> usize {
+    assert!(!population.is_empty(), "population must not be empty");
+    let a = rng.gen_range(0..population.len());
+    let b = rng.gen_range(0..population.len());
+    tournament_winner(rng, population, a, b)
+}
+
+/// Decides the winner between two explicit candidates (exposed for tests and
+/// for mating-pool construction with pre-shuffled index pairs).
+pub fn tournament_winner<R: Rng + ?Sized>(
+    rng: &mut R,
+    population: &[Individual],
+    a: usize,
+    b: usize,
+) -> usize {
+    let ind_a = &population[a];
+    let ind_b = &population[b];
+    if constrained_dominates(ind_a, ind_b) {
+        return a;
+    }
+    if constrained_dominates(ind_b, ind_a) {
+        return b;
+    }
+    if ind_a.crowded_compare(ind_b) {
+        return a;
+    }
+    if ind_b.crowded_compare(ind_a) {
+        return b;
+    }
+    if rng.gen::<bool>() {
+        a
+    } else {
+        b
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::problem::Evaluation;
+    use rand::rngs::StdRng;
+    use rand::SeedableRng;
+
+    fn ind(objs: Vec<f64>, violation: f64, rank: usize, crowd: f64) -> Individual {
+        let mut i = Individual::new(vec![0.0], Evaluation::new(objs, violation));
+        i.rank = rank;
+        i.crowding_distance = crowd;
+        i
+    }
+
+    #[test]
+    fn dominating_candidate_always_wins() {
+        let mut rng = StdRng::seed_from_u64(1);
+        let pop = vec![
+            ind(vec![1.0, 1.0], 0.0, 0, 1.0),
+            ind(vec![2.0, 2.0], 0.0, 0, 100.0),
+        ];
+        for _ in 0..20 {
+            assert_eq!(tournament_winner(&mut rng, &pop, 0, 1), 0);
+            assert_eq!(tournament_winner(&mut rng, &pop, 1, 0), 0);
+        }
+    }
+
+    #[test]
+    fn feasible_beats_infeasible() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let pop = vec![
+            ind(vec![9.0, 9.0], 0.0, 3, 0.0),
+            ind(vec![0.0, 0.0], 1.0, 0, f64::INFINITY),
+        ];
+        assert_eq!(tournament_winner(&mut rng, &pop, 0, 1), 0);
+    }
+
+    #[test]
+    fn crowding_breaks_rank_ties() {
+        let mut rng = StdRng::seed_from_u64(3);
+        // Mutually non-dominated, same rank, different crowding.
+        let pop = vec![
+            ind(vec![1.0, 3.0], 0.0, 1, 0.5),
+            ind(vec![3.0, 1.0], 0.0, 1, 2.0),
+        ];
+        assert_eq!(tournament_winner(&mut rng, &pop, 0, 1), 1);
+    }
+
+    #[test]
+    fn exact_ties_are_broken_randomly_but_valid() {
+        let mut rng = StdRng::seed_from_u64(4);
+        let pop = vec![
+            ind(vec![1.0, 3.0], 0.0, 1, 1.0),
+            ind(vec![3.0, 1.0], 0.0, 1, 1.0),
+        ];
+        let mut seen = [false, false];
+        for _ in 0..64 {
+            seen[tournament_winner(&mut rng, &pop, 0, 1)] = true;
+        }
+        assert!(seen[0] && seen[1], "both candidates should win sometimes");
+    }
+
+    #[test]
+    fn binary_tournament_returns_valid_index() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let pop: Vec<Individual> = (0..10)
+            .map(|i| ind(vec![f64::from(i), 10.0 - f64::from(i)], 0.0, 0, 1.0))
+            .collect();
+        for _ in 0..100 {
+            let w = binary_tournament(&mut rng, &pop);
+            assert!(w < pop.len());
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "must not be empty")]
+    fn empty_population_panics() {
+        let mut rng = StdRng::seed_from_u64(6);
+        let pop: Vec<Individual> = Vec::new();
+        let _ = binary_tournament(&mut rng, &pop);
+    }
+}

@@ -1,0 +1,102 @@
+//! Error types of the netlist crate.
+
+use std::error::Error;
+use std::fmt;
+
+use acim_arch::ArchError;
+use acim_cell::CellError;
+
+/// Errors produced while building or generating netlists.
+#[derive(Debug, Clone, PartialEq)]
+pub enum NetlistError {
+    /// A module with the same name already exists in the design.
+    DuplicateModule(String),
+    /// A referenced module or leaf cell does not exist.
+    UnknownReference {
+        /// Name of the missing module/cell.
+        name: String,
+        /// Where it was referenced from.
+        referenced_from: String,
+    },
+    /// An instance connection does not match the target's port list.
+    PortMismatch {
+        /// Instance name.
+        instance: String,
+        /// Target module/cell name.
+        target: String,
+        /// Details of the mismatch.
+        details: String,
+    },
+    /// An error bubbled up from the cell library.
+    Cell(CellError),
+    /// An error bubbled up from the architecture crate (spec validation).
+    Arch(ArchError),
+}
+
+impl fmt::Display for NetlistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            NetlistError::DuplicateModule(name) => write!(f, "duplicate module `{name}`"),
+            NetlistError::UnknownReference {
+                name,
+                referenced_from,
+            } => write!(f, "unknown module or cell `{name}` referenced from `{referenced_from}`"),
+            NetlistError::PortMismatch {
+                instance,
+                target,
+                details,
+            } => write!(
+                f,
+                "instance `{instance}` of `{target}` has mismatched connections: {details}"
+            ),
+            NetlistError::Cell(err) => write!(f, "cell library error: {err}"),
+            NetlistError::Arch(err) => write!(f, "architecture error: {err}"),
+        }
+    }
+}
+
+impl Error for NetlistError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            NetlistError::Cell(err) => Some(err),
+            NetlistError::Arch(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<CellError> for NetlistError {
+    fn from(err: CellError) -> Self {
+        NetlistError::Cell(err)
+    }
+}
+
+impl From<ArchError> for NetlistError {
+    fn from(err: ArchError) -> Self {
+        NetlistError::Arch(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn conversions_and_display() {
+        let e: NetlistError = CellError::UnknownCell("X".into()).into();
+        assert!(e.to_string().contains("cell library error"));
+        let e: NetlistError = ArchError::invalid_spec("c", "d").into();
+        assert!(e.to_string().contains("architecture error"));
+        let e = NetlistError::UnknownReference {
+            name: "FOO".into(),
+            referenced_from: "TOP".into(),
+        };
+        assert!(e.to_string().contains("FOO") && e.to_string().contains("TOP"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<NetlistError>();
+    }
+}

@@ -1,0 +1,438 @@
+//! Template-based ACIM netlist generator (Section 3.3).
+//!
+//! The generator expands a validated [`AcimSpec`] into a three-level
+//! hierarchy built from the leaf cells of the customized cell library:
+//!
+//! * `LOCAL_ARRAY` — `L` 8T SRAM cells sharing one compute cell,
+//! * `COLUMN` — `H / L` local arrays, the CMOS isolation switch, the
+//!   comparator / sense amplifier, the SAR control logic and `B_ADC`
+//!   flip-flops; local arrays are wired to the SAR group-control signals
+//!   `P_k` / `N_k` according to the binary CDAC grouping,
+//! * `ACIM_TOP` — `W` columns plus the CIM input buffers (one per read
+//!   word-line) and the output buffers (one per column output bit).
+
+use acim_arch::AcimSpec;
+use acim_cell::{CellKind, CellLibrary};
+
+use crate::design::Design;
+use crate::error::NetlistError;
+use crate::module::{Instance, InstanceRef, Module, PortDirection};
+
+/// Module names produced by the generator.
+pub mod names {
+    /// The local-array module.
+    pub const LOCAL_ARRAY: &str = "LOCAL_ARRAY";
+    /// The column module.
+    pub const COLUMN: &str = "COLUMN";
+    /// The top-level macro module.
+    pub const TOP: &str = "ACIM_TOP";
+}
+
+/// Template-based netlist generator bound to a cell library.
+#[derive(Debug, Clone)]
+pub struct NetlistGenerator<'a> {
+    library: &'a CellLibrary,
+}
+
+impl<'a> NetlistGenerator<'a> {
+    /// Creates a generator using `library` for leaf cells.
+    pub fn new(library: &'a CellLibrary) -> Self {
+        Self { library }
+    }
+
+    /// Generates the full hierarchical netlist for a specification.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`NetlistError`] when a required leaf cell is missing from
+    /// the library or the generated design fails validation.
+    pub fn generate(&self, spec: &AcimSpec) -> Result<Design, NetlistError> {
+        // Fail early if any required cell is missing.
+        for kind in CellKind::all() {
+            self.library.require(kind)?;
+        }
+
+        let mut design = Design::new(format!(
+            "acim_{}x{}_l{}_b{}",
+            spec.height(),
+            spec.width(),
+            spec.local_array(),
+            spec.adc_bits()
+        ));
+        design.add_module(self.local_array_module(spec))?;
+        design.add_module(self.column_module(spec))?;
+        design.add_module(self.top_module(spec))?;
+        design.set_top(names::TOP)?;
+        design.validate(self.library)?;
+        Ok(design)
+    }
+
+    /// `LOCAL_ARRAY`: `L` SRAM cells plus the shared compute cell.
+    fn local_array_module(&self, spec: &AcimSpec) -> Module {
+        let l = spec.local_array();
+        let mut m = Module::new(names::LOCAL_ARRAY);
+        for i in 0..l {
+            m.add_port(format!("RWL_{i}"), PortDirection::Input);
+            m.add_port(format!("WL_{i}"), PortDirection::Input);
+        }
+        for port in ["BL", "BLB", "RBL", "PCH", "RST", "P", "N", "VCM", "VDD", "VSS"] {
+            let direction = match port {
+                "PCH" | "RST" | "P" | "N" => PortDirection::Input,
+                _ => PortDirection::Inout,
+            };
+            m.add_port(port, direction);
+        }
+        // The local compute node shared by the read ports of the L cells and
+        // the top plate of the compute capacitor.
+        m.add_net("LBL");
+        for i in 0..l {
+            m.add_instance(Instance::new(
+                format!("XSRAM_{i}"),
+                InstanceRef::LeafCell(CellKind::Sram8T.cell_name().into()),
+                [
+                    ("WL".to_string(), format!("WL_{i}")),
+                    ("RWL".to_string(), format!("RWL_{i}")),
+                    ("BL".to_string(), "BL".to_string()),
+                    ("BLB".to_string(), "BLB".to_string()),
+                    ("RBL".to_string(), "LBL".to_string()),
+                    ("VDD".to_string(), "VDD".to_string()),
+                    ("VSS".to_string(), "VSS".to_string()),
+                ],
+            ));
+        }
+        m.add_instance(Instance::new(
+            "XLC",
+            InstanceRef::LeafCell(CellKind::ComputeCell.cell_name().into()),
+            [
+                ("MOUT".to_string(), "LBL".to_string()),
+                ("RBL".to_string(), "RBL".to_string()),
+                ("PCH".to_string(), "PCH".to_string()),
+                ("RST".to_string(), "RST".to_string()),
+                ("P".to_string(), "P".to_string()),
+                ("N".to_string(), "N".to_string()),
+                ("VCM".to_string(), "VCM".to_string()),
+                ("VDD".to_string(), "VDD".to_string()),
+                ("VSS".to_string(), "VSS".to_string()),
+            ],
+        ));
+        m
+    }
+
+    /// `COLUMN`: `H / L` local arrays, CDAC isolation switch, comparator,
+    /// SAR logic and `B_ADC` flip-flops.
+    fn column_module(&self, spec: &AcimSpec) -> Module {
+        let l = spec.local_array();
+        let n_local = spec.capacitors_per_column();
+        let bits = spec.adc_bits() as usize;
+        let mut m = Module::new(names::COLUMN);
+
+        for row in 0..spec.height() {
+            m.add_port(format!("RWL_{row}"), PortDirection::Input);
+            m.add_port(format!("WL_{row}"), PortDirection::Input);
+        }
+        for bit in 0..bits {
+            m.add_port(format!("DOUT_{bit}"), PortDirection::Output);
+        }
+        for port in ["BL", "BLB", "PCH", "RST", "CLK", "START", "VCM", "VDD", "VSS"] {
+            let direction = match port {
+                "BL" | "BLB" | "VCM" | "VDD" | "VSS" => PortDirection::Inout,
+                _ => PortDirection::Input,
+            };
+            m.add_port(port, direction);
+        }
+        // The column read bit-line every compute cell redistributes onto.
+        m.add_net("RBL");
+
+        // Assign local arrays to SAR groups: group k gets
+        // `sar_group_sizes()[k]` consecutive local arrays; any spare local
+        // arrays beyond 2^B reuse the last group's controls (they are
+        // isolated by the CMOS switch during conversion).
+        let group_sizes = spec.sar_group_sizes();
+        let mut group_of_local = Vec::with_capacity(n_local);
+        for (group, &size) in group_sizes.iter().enumerate() {
+            for _ in 0..size {
+                group_of_local.push(group);
+            }
+        }
+        while group_of_local.len() < n_local {
+            group_of_local.push(group_sizes.len() - 1);
+        }
+
+        for (j, &group) in group_of_local.iter().enumerate().take(n_local) {
+            let mut connections = vec![
+                ("BL".to_string(), "BL".to_string()),
+                ("BLB".to_string(), "BLB".to_string()),
+                ("RBL".to_string(), "RBL".to_string()),
+                ("PCH".to_string(), "PCH".to_string()),
+                ("RST".to_string(), "RST".to_string()),
+                ("P".to_string(), format!("P_{group}")),
+                ("N".to_string(), format!("N_{group}")),
+                ("VCM".to_string(), "VCM".to_string()),
+                ("VDD".to_string(), "VDD".to_string()),
+                ("VSS".to_string(), "VSS".to_string()),
+            ];
+            for i in 0..l {
+                let row = j * l + i;
+                connections.push((format!("RWL_{i}"), format!("RWL_{row}")));
+                connections.push((format!("WL_{i}"), format!("WL_{row}")));
+            }
+            m.add_instance(Instance::new(
+                format!("XLA_{j}"),
+                InstanceRef::Module(names::LOCAL_ARRAY.into()),
+                connections,
+            ));
+        }
+
+        // CMOS switch separating the spare (non-CDAC) capacitance from the
+        // RBL during conversion (Section 3.1).
+        m.add_instance(Instance::new(
+            "XSW",
+            InstanceRef::LeafCell(CellKind::CmosSwitch.cell_name().into()),
+            [
+                ("A".to_string(), "RBL".to_string()),
+                ("B".to_string(), "RBL_SPARE".to_string()),
+                ("EN".to_string(), "RST".to_string()),
+                ("ENB".to_string(), "PCH".to_string()),
+                ("VDD".to_string(), "VDD".to_string()),
+                ("VSS".to_string(), "VSS".to_string()),
+            ],
+        ));
+
+        // Comparator / sense amplifier.
+        m.add_instance(Instance::new(
+            "XCOMP",
+            InstanceRef::LeafCell(CellKind::Comparator.cell_name().into()),
+            [
+                ("INP".to_string(), "RBL".to_string()),
+                ("INN".to_string(), "VCM".to_string()),
+                ("CLK".to_string(), "CLK".to_string()),
+                ("COM".to_string(), "COM".to_string()),
+                ("COMB".to_string(), "COMB".to_string()),
+                ("VDD".to_string(), "VDD".to_string()),
+                ("VSS".to_string(), "VSS".to_string()),
+            ],
+        ));
+
+        // SAR sequencing logic.
+        m.add_instance(Instance::new(
+            "XSARCTRL",
+            InstanceRef::LeafCell(CellKind::SarLogic.cell_name().into()),
+            [
+                ("CLK".to_string(), "CLK".to_string()),
+                ("COM".to_string(), "COM".to_string()),
+                ("COMB".to_string(), "COMB".to_string()),
+                ("START".to_string(), "START".to_string()),
+                ("DONE".to_string(), "SAR_DONE".to_string()),
+                ("VDD".to_string(), "VDD".to_string()),
+                ("VSS".to_string(), "VSS".to_string()),
+            ],
+        ));
+
+        // One DFF per output bit; Q drives the data output and the P/N
+        // group-control signal of the matching SAR group.
+        for bit in 0..bits {
+            m.add_instance(Instance::new(
+                format!("XDFF_{bit}"),
+                InstanceRef::LeafCell(CellKind::SarDff.cell_name().into()),
+                [
+                    ("D".to_string(), "COM".to_string()),
+                    ("CLK".to_string(), "CLK".to_string()),
+                    ("Q".to_string(), format!("DOUT_{bit}")),
+                    ("QB".to_string(), format!("N_{}", bit + 1)),
+                    ("VDD".to_string(), "VDD".to_string()),
+                    ("VSS".to_string(), "VSS".to_string()),
+                ],
+            ));
+            // The positive group control is the DFF output itself.
+            m.add_net(format!("P_{}", bit + 1));
+        }
+        // Group 0 (the LSB dummy group) is tied to the reset phase controls.
+        m.add_net("P_0");
+        m.add_net("N_0");
+        m
+    }
+
+    /// `ACIM_TOP`: `W` columns plus input and output buffers.
+    fn top_module(&self, spec: &AcimSpec) -> Module {
+        let bits = spec.adc_bits() as usize;
+        let mut m = Module::new(names::TOP);
+        for row in 0..spec.height() {
+            m.add_port(format!("IN_{row}"), PortDirection::Input);
+            m.add_port(format!("WL_{row}"), PortDirection::Input);
+        }
+        for col in 0..spec.width() {
+            for bit in 0..bits {
+                m.add_port(format!("OUT_{col}_{bit}"), PortDirection::Output);
+            }
+            m.add_port(format!("BL_{col}"), PortDirection::Inout);
+            m.add_port(format!("BLB_{col}"), PortDirection::Inout);
+        }
+        for port in ["PCH", "RST", "CLK", "START", "VCM", "VDD", "VSS"] {
+            let direction = match port {
+                "VCM" | "VDD" | "VSS" => PortDirection::Inout,
+                _ => PortDirection::Input,
+            };
+            m.add_port(port, direction);
+        }
+
+        // CIM input buffers: one per read word-line, driving the buffered
+        // RWL distributed to every column.
+        for row in 0..spec.height() {
+            m.add_instance(Instance::new(
+                format!("XIBUF_{row}"),
+                InstanceRef::LeafCell(CellKind::Buffer.cell_name().into()),
+                [
+                    ("A".to_string(), format!("IN_{row}")),
+                    ("Y".to_string(), format!("RWL_{row}")),
+                    ("VDD".to_string(), "VDD".to_string()),
+                    ("VSS".to_string(), "VSS".to_string()),
+                ],
+            ));
+        }
+
+        // Columns.
+        for col in 0..spec.width() {
+            let mut connections = vec![
+                ("BL".to_string(), format!("BL_{col}")),
+                ("BLB".to_string(), format!("BLB_{col}")),
+                ("PCH".to_string(), "PCH".to_string()),
+                ("RST".to_string(), "RST".to_string()),
+                ("CLK".to_string(), "CLK".to_string()),
+                ("START".to_string(), "START".to_string()),
+                ("VCM".to_string(), "VCM".to_string()),
+                ("VDD".to_string(), "VDD".to_string()),
+                ("VSS".to_string(), "VSS".to_string()),
+            ];
+            for row in 0..spec.height() {
+                connections.push((format!("RWL_{row}"), format!("RWL_{row}")));
+                connections.push((format!("WL_{row}"), format!("WL_{row}")));
+            }
+            for bit in 0..bits {
+                connections.push((format!("DOUT_{bit}"), format!("D_{col}_{bit}")));
+            }
+            m.add_instance(Instance::new(
+                format!("XCOL_{col}"),
+                InstanceRef::Module(names::COLUMN.into()),
+                connections,
+            ));
+        }
+
+        // CIM output buffers: one per column output bit.
+        for col in 0..spec.width() {
+            for bit in 0..bits {
+                m.add_instance(Instance::new(
+                    format!("XOBUF_{col}_{bit}"),
+                    InstanceRef::LeafCell(CellKind::Buffer.cell_name().into()),
+                    [
+                        ("A".to_string(), format!("D_{col}_{bit}")),
+                        ("Y".to_string(), format!("OUT_{col}_{bit}")),
+                        ("VDD".to_string(), "VDD".to_string()),
+                        ("VSS".to_string(), "VSS".to_string()),
+                    ],
+                ));
+            }
+        }
+        m
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acim_tech::Technology;
+
+    fn generate(h: usize, w: usize, l: usize, b: u32) -> Design {
+        let tech = Technology::s28();
+        let library = CellLibrary::s28_default(&tech);
+        let spec = AcimSpec::from_dimensions(h, w, l, b).unwrap();
+        NetlistGenerator::new(&library).generate(&spec).unwrap()
+    }
+
+    #[test]
+    fn generated_design_validates_and_has_three_levels() {
+        let design = generate(64, 16, 4, 3);
+        assert_eq!(design.module_count(), 3);
+        assert!(design.module(names::LOCAL_ARRAY).is_some());
+        assert!(design.module(names::COLUMN).is_some());
+        assert_eq!(design.top().unwrap().name(), names::TOP);
+    }
+
+    #[test]
+    fn leaf_instance_counts_match_the_architecture() {
+        let (h, w, l, b) = (64usize, 16usize, 4usize, 3u32);
+        let design = generate(h, w, l, b);
+        // One SRAM cell per bit.
+        assert_eq!(design.count_leaf_instances("SRAM8T"), h * w);
+        // One compute cell per local array.
+        assert_eq!(design.count_leaf_instances("LC_CELL"), (h / l) * w);
+        // One comparator, switch and SAR controller per column.
+        assert_eq!(design.count_leaf_instances("COMP_SA"), w);
+        assert_eq!(design.count_leaf_instances("CSW"), w);
+        assert_eq!(design.count_leaf_instances("SAR_CTRL"), w);
+        // B_ADC flip-flops per column.
+        assert_eq!(design.count_leaf_instances("SAR_DFF"), w * b as usize);
+        // H input buffers + W·B output buffers.
+        assert_eq!(
+            design.count_leaf_instances("BUF"),
+            h + w * b as usize
+        );
+    }
+
+    #[test]
+    fn column_module_wires_sar_groups_binary() {
+        let design = generate(128, 16, 8, 3);
+        let column = design.module(names::COLUMN).unwrap();
+        // 16 local arrays; group sizes 1,1,2,4 fill 8, the remaining 8 spare
+        // local arrays reuse the last group.
+        let p_of = |j: usize| {
+            column
+                .instance(&format!("XLA_{j}"))
+                .unwrap()
+                .net_for("P")
+                .unwrap()
+                .to_string()
+        };
+        assert_eq!(p_of(0), "P_0");
+        assert_eq!(p_of(1), "P_1");
+        assert_eq!(p_of(2), "P_2");
+        assert_eq!(p_of(3), "P_2");
+        assert_eq!(p_of(4), "P_3");
+        assert_eq!(p_of(7), "P_3");
+        assert_eq!(p_of(8), "P_3", "spare local arrays reuse the last group");
+        assert_eq!(p_of(15), "P_3");
+    }
+
+    #[test]
+    fn local_array_has_l_sram_cells_and_one_compute_cell() {
+        let design = generate(64, 16, 4, 3);
+        let la = design.module(names::LOCAL_ARRAY).unwrap();
+        assert_eq!(la.count_instances_of("SRAM8T"), 4);
+        assert_eq!(la.count_instances_of("LC_CELL"), 1);
+        // All SRAM read ports share the local bit-line.
+        for i in 0..4 {
+            assert_eq!(
+                la.instance(&format!("XSRAM_{i}")).unwrap().net_for("RBL"),
+                Some("LBL")
+            );
+        }
+        assert_eq!(la.instance("XLC").unwrap().net_for("MOUT"), Some("LBL"));
+    }
+
+    #[test]
+    fn top_module_exposes_the_expected_interface() {
+        let design = generate(64, 16, 4, 3);
+        let top = design.top().unwrap();
+        let ports = top.port_names();
+        assert!(ports.contains(&"IN_0"));
+        assert!(ports.contains(&"IN_63"));
+        assert!(ports.contains(&"OUT_15_2"));
+        assert!(ports.contains(&"CLK"));
+        assert_eq!(top.count_instances_of(names::COLUMN), 16);
+    }
+
+    #[test]
+    fn design_name_encodes_the_spec() {
+        let design = generate(128, 128, 8, 3);
+        assert_eq!(design.name(), "acim_128x128_l8_b3");
+    }
+}

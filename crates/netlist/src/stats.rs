@@ -1,0 +1,134 @@
+//! Netlist statistics.
+//!
+//! Device and instance counts for a generated design — used by reports, by
+//! the Table 2 reproduction (design-complexity context) and by tests that
+//! check the generator scales correctly with (H, W, L, B_ADC).
+
+use acim_cell::CellLibrary;
+
+use crate::design::Design;
+use crate::error::NetlistError;
+
+/// Aggregate statistics of a hierarchical design, fully elaborated from the
+/// top module.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct DesignStats {
+    /// Number of 8T SRAM bit cells.
+    pub sram_cells: usize,
+    /// Number of local-array compute cells.
+    pub compute_cells: usize,
+    /// Number of comparators / sense amplifiers.
+    pub comparators: usize,
+    /// Number of SAR flip-flops.
+    pub sar_dffs: usize,
+    /// Number of buffers.
+    pub buffers: usize,
+    /// Total leaf-cell instances (all kinds).
+    pub total_leaf_instances: usize,
+    /// Total transistor count (elaborated).
+    pub transistors: usize,
+    /// Total compute/CDAC capacitor count (elaborated).
+    pub capacitors: usize,
+}
+
+/// Computes the statistics of a design against a cell library.
+///
+/// # Errors
+///
+/// Returns [`NetlistError::UnknownReference`] when the design references a
+/// leaf cell missing from the library.
+pub fn design_stats(design: &Design, library: &CellLibrary) -> Result<DesignStats, NetlistError> {
+    let mut stats = DesignStats::default();
+    let count = |cell_name: &str| -> Result<usize, NetlistError> {
+        let instances = design.count_leaf_instances(cell_name);
+        if instances > 0 && library.cell_by_name(cell_name).is_none() {
+            return Err(NetlistError::UnknownReference {
+                name: cell_name.to_string(),
+                referenced_from: "design_stats".to_string(),
+            });
+        }
+        Ok(instances)
+    };
+    stats.sram_cells = count("SRAM8T")?;
+    stats.compute_cells = count("LC_CELL")?;
+    stats.comparators = count("COMP_SA")?;
+    stats.sar_dffs = count("SAR_DFF")?;
+    stats.buffers = count("BUF")?;
+    let switches = count("CSW")?;
+    let sar_ctrl = count("SAR_CTRL")?;
+    stats.total_leaf_instances = stats.sram_cells
+        + stats.compute_cells
+        + stats.comparators
+        + stats.sar_dffs
+        + stats.buffers
+        + switches
+        + sar_ctrl;
+
+    // Elaborated transistor/capacitor counts from the leaf netlists.
+    for (name, instances) in [
+        ("SRAM8T", stats.sram_cells),
+        ("LC_CELL", stats.compute_cells),
+        ("COMP_SA", stats.comparators),
+        ("SAR_DFF", stats.sar_dffs),
+        ("BUF", stats.buffers),
+        ("CSW", switches),
+        ("SAR_CTRL", sar_ctrl),
+    ] {
+        if instances == 0 {
+            continue;
+        }
+        let cell = library
+            .cell_by_name(name)
+            .ok_or_else(|| NetlistError::UnknownReference {
+                name: name.to_string(),
+                referenced_from: "design_stats".to_string(),
+            })?;
+        stats.transistors += instances * cell.netlist().transistor_count();
+        stats.capacitors += instances * cell.netlist().capacitor_count();
+    }
+    Ok(stats)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::generator::NetlistGenerator;
+    use acim_arch::AcimSpec;
+    use acim_tech::Technology;
+
+    fn stats_for(h: usize, w: usize, l: usize, b: u32) -> DesignStats {
+        let tech = Technology::s28();
+        let library = CellLibrary::s28_default(&tech);
+        let spec = AcimSpec::from_dimensions(h, w, l, b).unwrap();
+        let design = NetlistGenerator::new(&library).generate(&spec).unwrap();
+        design_stats(&design, &library).unwrap()
+    }
+
+    #[test]
+    fn counts_scale_with_the_spec() {
+        let s = stats_for(64, 16, 4, 3);
+        assert_eq!(s.sram_cells, 64 * 16);
+        assert_eq!(s.compute_cells, 16 * 16);
+        assert_eq!(s.comparators, 16);
+        assert_eq!(s.sar_dffs, 16 * 3);
+        assert_eq!(s.capacitors, s.compute_cells, "one C_F per compute cell");
+        assert!(s.transistors > 8 * s.sram_cells);
+        assert!(s.total_leaf_instances > s.sram_cells);
+    }
+
+    #[test]
+    fn larger_array_has_proportionally_more_cells() {
+        let small = stats_for(64, 16, 4, 3);
+        let large = stats_for(64, 64, 4, 3);
+        assert_eq!(large.sram_cells, 4 * small.sram_cells);
+        assert_eq!(large.comparators, 4 * small.comparators);
+    }
+
+    #[test]
+    fn higher_precision_adds_dffs_only_per_column() {
+        let b3 = stats_for(64, 16, 4, 3);
+        let b4 = stats_for(64, 16, 4, 4);
+        assert_eq!(b4.sar_dffs - b3.sar_dffs, 16);
+        assert_eq!(b4.sram_cells, b3.sram_cells);
+    }
+}

@@ -1,0 +1,232 @@
+//! The [`Technology`] aggregate: everything the EasyACIM flow needs to know
+//! about the target process.
+
+use crate::device::{CapacitorModel, ComparatorModel, TransistorModel};
+use crate::error::TechError;
+use crate::layers::LayerMap;
+use crate::rules::DesignRules;
+use crate::units::{micron_sq_to_square_f, Kelvin, MicronSq, SquareF, Volt};
+use crate::{DEFAULT_VCM, DEFAULT_VDD};
+
+/// A complete technology description ("technology files" input of Figure 4).
+///
+/// # Example
+///
+/// ```
+/// use acim_tech::Technology;
+///
+/// let tech = Technology::s28();
+/// let f2 = tech.normalize_area(acim_tech::MicronSq::new(1.0));
+/// assert!(f2.value() > 1000.0);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Technology {
+    name: String,
+    feature_size_nm: f64,
+    vdd: Volt,
+    vcm: Volt,
+    temperature: Kelvin,
+    layers: LayerMap,
+    rules: DesignRules,
+    nmos: TransistorModel,
+    pmos: TransistorModel,
+    capacitor: CapacitorModel,
+    comparator: ComparatorModel,
+}
+
+impl Technology {
+    /// Builds the synthetic 28 nm-class technology used throughout the
+    /// reproduction (substitute for the paper's TSMC28 PDK).
+    pub fn s28() -> Self {
+        let layers = LayerMap::s28();
+        let rules = DesignRules::s28(&layers);
+        Self {
+            name: "S28".to_string(),
+            feature_size_nm: 28.0,
+            vdd: Volt::new(DEFAULT_VDD),
+            vcm: Volt::new(DEFAULT_VCM),
+            temperature: Kelvin::new(300.0),
+            layers,
+            rules,
+            nmos: TransistorModel::s28_nmos(),
+            pmos: TransistorModel::s28_pmos(),
+            capacitor: CapacitorModel::s28_mom(),
+            comparator: ComparatorModel::s28(),
+        }
+    }
+
+    /// Builds a scaled variant of the synthetic technology with a different
+    /// feature size (used by ablation studies).  All geometric rules are the
+    /// S28 rules scaled linearly; device statistics are kept.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TechError::InvalidParameter`] when `feature_size_nm` is not
+    /// strictly positive.
+    pub fn scaled(feature_size_nm: f64) -> Result<Self, TechError> {
+        if feature_size_nm <= 0.0 || !feature_size_nm.is_finite() {
+            return Err(TechError::InvalidParameter {
+                name: "feature_size".into(),
+                reason: "must be a positive finite number of nanometres".into(),
+            });
+        }
+        let mut tech = Self::s28();
+        tech.name = format!("S{}", feature_size_nm.round() as u32);
+        tech.feature_size_nm = feature_size_nm;
+        Ok(tech)
+    }
+
+    /// Technology name, e.g. `"S28"`.
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// Minimum feature size F in nanometres.
+    pub fn feature_size_nm(&self) -> f64 {
+        self.feature_size_nm
+    }
+
+    /// Nominal supply voltage.
+    pub fn vdd(&self) -> Volt {
+        self.vdd
+    }
+
+    /// Common-mode voltage used by the charge-redistribution compute model.
+    pub fn vcm(&self) -> Volt {
+        self.vcm
+    }
+
+    /// Nominal operating temperature.
+    pub fn temperature(&self) -> Kelvin {
+        self.temperature
+    }
+
+    /// Layer map.
+    pub fn layers(&self) -> &LayerMap {
+        &self.layers
+    }
+
+    /// Design rules.
+    pub fn rules(&self) -> &DesignRules {
+        &self.rules
+    }
+
+    /// NMOS transistor model.
+    pub fn nmos(&self) -> &TransistorModel {
+        &self.nmos
+    }
+
+    /// PMOS transistor model.
+    pub fn pmos(&self) -> &TransistorModel {
+        &self.pmos
+    }
+
+    /// Compute/CDAC capacitor model.
+    pub fn capacitor(&self) -> &CapacitorModel {
+        &self.capacitor
+    }
+
+    /// Dynamic-comparator model.
+    pub fn comparator(&self) -> &ComparatorModel {
+        &self.comparator
+    }
+
+    /// Overrides the supply voltage (used by low-voltage sweeps).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TechError::InvalidParameter`] when the voltage is not in the
+    /// physically sensible range (0.4 V, 1.5 V].
+    pub fn with_vdd(mut self, vdd: Volt) -> Result<Self, TechError> {
+        if vdd.value() <= 0.4 || vdd.value() > 1.5 {
+            return Err(TechError::InvalidParameter {
+                name: "vdd".into(),
+                reason: format!("{} is outside (0.4 V, 1.5 V]", vdd),
+            });
+        }
+        self.vcm = Volt::new(vdd.value() / 2.0);
+        self.vdd = vdd;
+        Ok(self)
+    }
+
+    /// Overrides the operating temperature.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TechError::InvalidParameter`] when the temperature is not
+    /// strictly positive Kelvin.
+    pub fn with_temperature(mut self, temperature: Kelvin) -> Result<Self, TechError> {
+        if temperature.value() <= 0.0 {
+            return Err(TechError::InvalidParameter {
+                name: "temperature".into(),
+                reason: "must be positive Kelvin".into(),
+            });
+        }
+        self.temperature = temperature;
+        Ok(self)
+    }
+
+    /// Normalises a physical area to F² using this technology's feature size.
+    pub fn normalize_area(&self, area: MicronSq) -> SquareF {
+        micron_sq_to_square_f(area, self.feature_size_nm)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn s28_defaults() {
+        let tech = Technology::s28();
+        assert_eq!(tech.name(), "S28");
+        assert_eq!(tech.feature_size_nm(), 28.0);
+        assert!((tech.vdd().value() - 0.9).abs() < 1e-12);
+        assert!((tech.vcm().value() - 0.45).abs() < 1e-12);
+        assert!((tech.temperature().value() - 300.0).abs() < 1e-12);
+        assert_eq!(tech.layers().metal_count(), 6);
+        assert!(tech.rules().rule_count() > 10);
+    }
+
+    #[test]
+    fn scaled_technology_changes_normalisation() {
+        let t28 = Technology::s28();
+        let t16 = Technology::scaled(16.0).expect("valid feature size");
+        let area = MicronSq::new(2.0);
+        assert!(t16.normalize_area(area).value() > t28.normalize_area(area).value());
+        assert_eq!(t16.name(), "S16");
+    }
+
+    #[test]
+    fn scaled_rejects_nonpositive_feature_size() {
+        assert!(Technology::scaled(0.0).is_err());
+        assert!(Technology::scaled(-5.0).is_err());
+        assert!(Technology::scaled(f64::NAN).is_err());
+    }
+
+    #[test]
+    fn with_vdd_validates_and_recentres_vcm() {
+        let tech = Technology::s28().with_vdd(Volt::new(0.8)).expect("valid vdd");
+        assert!((tech.vdd().value() - 0.8).abs() < 1e-12);
+        assert!((tech.vcm().value() - 0.4).abs() < 1e-12);
+        assert!(Technology::s28().with_vdd(Volt::new(0.2)).is_err());
+        assert!(Technology::s28().with_vdd(Volt::new(2.0)).is_err());
+    }
+
+    #[test]
+    fn with_temperature_validates() {
+        assert!(Technology::s28()
+            .with_temperature(Kelvin::new(350.0))
+            .is_ok());
+        assert!(Technology::s28()
+            .with_temperature(Kelvin::new(0.0))
+            .is_err());
+    }
+
+    #[test]
+    fn one_square_micron_in_f2_at_28nm() {
+        let tech = Technology::s28();
+        let f2 = tech.normalize_area(MicronSq::new(1.0));
+        assert!((f2.value() - 1275.51).abs() < 0.1);
+    }
+}

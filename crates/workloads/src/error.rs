@@ -1,0 +1,87 @@
+//! Error type of the workloads crate.
+
+use std::error::Error;
+use std::fmt;
+
+use acim_arch::ArchError;
+
+/// Errors produced while building or mapping workloads.
+#[derive(Debug, Clone, PartialEq)]
+pub enum WorkloadError {
+    /// Two operands have incompatible shapes.
+    ShapeMismatch {
+        /// Description of the operation.
+        operation: String,
+        /// Left-hand shape.
+        left: (usize, usize),
+        /// Right-hand shape.
+        right: (usize, usize),
+    },
+    /// A workload parameter was invalid.
+    InvalidParameter {
+        /// Parameter name.
+        name: String,
+        /// Why it was rejected.
+        reason: String,
+    },
+    /// An error bubbled up from the architecture crate.
+    Arch(ArchError),
+}
+
+impl fmt::Display for WorkloadError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            WorkloadError::ShapeMismatch {
+                operation,
+                left,
+                right,
+            } => write!(
+                f,
+                "shape mismatch in {operation}: {}x{} vs {}x{}",
+                left.0, left.1, right.0, right.1
+            ),
+            WorkloadError::InvalidParameter { name, reason } => {
+                write!(f, "invalid workload parameter `{name}`: {reason}")
+            }
+            WorkloadError::Arch(err) => write!(f, "architecture error: {err}"),
+        }
+    }
+}
+
+impl Error for WorkloadError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            WorkloadError::Arch(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<ArchError> for WorkloadError {
+    fn from(err: ArchError) -> Self {
+        WorkloadError::Arch(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        let e = WorkloadError::ShapeMismatch {
+            operation: "matmul".into(),
+            left: (3, 4),
+            right: (5, 6),
+        };
+        assert!(e.to_string().contains("3x4"));
+        let e: WorkloadError = ArchError::invalid_spec("x", "y").into();
+        assert!(e.to_string().contains("architecture error"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<WorkloadError>();
+    }
+}

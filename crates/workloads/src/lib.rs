@@ -1,0 +1,56 @@
+//! # acim-workloads
+//!
+//! Application workloads for the EasyACIM reproduction.
+//!
+//! Figure 1 of the paper motivates the synthesizable architecture with the
+//! mismatch between a fixed ACIM macro and the very different accuracy /
+//! throughput / energy requirements of edge applications — transformers,
+//! CNNs and SNNs.  This crate provides exactly those three workload
+//! families, a binary quantiser, and the machinery to map their
+//! matrix-vector products onto the behavioural macro of `acim-arch`:
+//!
+//! * [`tensor`] — a minimal dense matrix type,
+//! * [`quantize`] — binarisation / bit-slicing of activations and weights,
+//! * [`cnn`], [`transformer`], [`snn`] — synthetic layer workloads that
+//!   generate realistic MVM shapes,
+//! * [`mapping`] — tiling of an arbitrary MVM onto the (H, W, L, B_ADC)
+//!   macro, cycle/energy accounting and accuracy measurement,
+//! * [`requirements`] — per-application requirement profiles used by the
+//!   user-distillation step of the design-space explorer.
+//!
+//! # Example
+//!
+//! ```
+//! use acim_workloads::{cnn::CnnLayer, mapping::MacroMapper};
+//! use acim_arch::AcimSpec;
+//!
+//! # fn main() -> Result<(), acim_workloads::WorkloadError> {
+//! let layer = CnnLayer::small(7);
+//! let workload = layer.to_workload(3)?;
+//! let spec = AcimSpec::from_dimensions(64, 16, 4, 3)?;
+//! let report = MacroMapper::new(&spec)?.run(&workload, 5)?;
+//! assert!(report.relative_error >= 0.0);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod cnn;
+pub mod error;
+pub mod mapping;
+pub mod quantize;
+pub mod requirements;
+pub mod snn;
+pub mod tensor;
+pub mod transformer;
+
+pub use cnn::CnnLayer;
+pub use error::WorkloadError;
+pub use mapping::{MacroMapper, MappingReport};
+pub use quantize::{binarize_activations, binarize_weights, BinaryMvm};
+pub use requirements::ApplicationProfile;
+pub use snn::SnnLayer;
+pub use tensor::Matrix;
+pub use transformer::AttentionProjection;

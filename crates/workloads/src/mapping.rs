@@ -1,0 +1,212 @@
+//! Mapping an MVM workload onto the behavioural ACIM macro.
+//!
+//! A workload's weight matrix rarely matches the macro shape exactly, so the
+//! mapper tiles it: output rows map to columns of the macro (one column
+//! computes one output), and the dot-product dimension is split into chunks
+//! of `H / L` elements, one chunk per MAC cycle, accumulated digitally.
+//! The report carries cycle counts, energy, and the error of the macro's
+//! digitised outputs against the exact binary dot products — the quantity
+//! that decides whether a candidate design meets an application's accuracy
+//! requirement.
+
+use acim_arch::{AcimMacro, AcimSpec, NoiseConfig};
+use acim_tech::Technology;
+
+use crate::error::WorkloadError;
+use crate::quantize::BinaryMvm;
+
+/// Result of running a workload on the macro.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MappingReport {
+    /// Workload label.
+    pub workload: String,
+    /// Number of macro MAC+conversion cycles used.
+    pub cycles: u64,
+    /// Number of column-tiles the outputs were split into.
+    pub output_tiles: usize,
+    /// Mean absolute error of the macro outputs against the exact binary dot
+    /// products, normalised to the dot-product length (0 = perfect).
+    pub relative_error: f64,
+    /// Total energy in femtojoules charged by the macro's energy model.
+    pub energy_fj: f64,
+    /// Estimated latency in nanoseconds (cycles × cycle time).
+    pub latency_ns: f64,
+}
+
+/// Maps workloads onto one macro specification.
+#[derive(Debug)]
+pub struct MacroMapper {
+    spec: AcimSpec,
+    tech: Technology,
+    noise: NoiseConfig,
+}
+
+impl MacroMapper {
+    /// Creates a mapper for a specification with realistic noise.
+    ///
+    /// # Errors
+    ///
+    /// Currently infallible for valid specs; returns [`WorkloadError`] for
+    /// interface uniformity with future mappers.
+    pub fn new(spec: &AcimSpec) -> Result<Self, WorkloadError> {
+        Ok(Self {
+            spec: *spec,
+            tech: Technology::s28(),
+            noise: NoiseConfig::realistic(),
+        })
+    }
+
+    /// Uses a noiseless macro (isolates pure quantisation effects).
+    pub fn noiseless(mut self) -> Self {
+        self.noise = NoiseConfig::noiseless();
+        self
+    }
+
+    /// Runs a binary MVM on the macro and reports accuracy/cost.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`WorkloadError`] when the workload is empty or the macro
+    /// simulation rejects the generated tiles.
+    pub fn run(&self, workload: &BinaryMvm, seed: u64) -> Result<MappingReport, WorkloadError> {
+        if workload.rows() == 0 || workload.cols() == 0 {
+            return Err(WorkloadError::InvalidParameter {
+                name: "workload".into(),
+                reason: "workload must have at least one row and column".into(),
+            });
+        }
+        let chunk = self.spec.dot_product_length();
+        let width = self.spec.width();
+        let ideal = workload.ideal_binary_outputs();
+        let full_scale = f64::from((1u32 << self.spec.adc_bits()) - 1);
+
+        let mut macro_sim = AcimMacro::new(&self.spec, &self.tech, self.noise, seed)?;
+        let mut total_error = 0.0f64;
+        let mut cycles = 0u64;
+        let output_tiles = workload.rows().div_ceil(width);
+
+        for tile in 0..output_tiles {
+            let row_base = tile * width;
+            let rows_in_tile = (workload.rows() - row_base).min(width);
+            let chunks = workload.cols().div_ceil(chunk);
+            let mut accumulated = vec![0.0f64; rows_in_tile];
+
+            for chunk_index in 0..chunks {
+                let col_base = chunk_index * chunk;
+                let cols_in_chunk = (workload.cols() - col_base).min(chunk);
+
+                // Program the tile: macro column c holds workload row
+                // (row_base + c); the chunk's weights go into row offset 0 of
+                // each local array, padding with zeros.
+                macro_sim.program_with(|macro_row, macro_col| {
+                    let local = macro_row / self.spec.local_array();
+                    let offset = macro_row % self.spec.local_array();
+                    if offset != 0 || macro_col >= rows_in_tile || local >= cols_in_chunk {
+                        return false;
+                    }
+                    workload.weights[row_base + macro_col][col_base + local]
+                });
+                let mut activations = vec![false; chunk];
+                for (i, slot) in activations.iter_mut().enumerate().take(cols_in_chunk) {
+                    *slot = workload.activations[col_base + i];
+                }
+
+                let codes = macro_sim.mac_and_convert(&activations, 0)?;
+                cycles += 1;
+                for (c, acc) in accumulated.iter_mut().enumerate() {
+                    // De-quantise the ADC code back to a partial dot product.
+                    *acc += f64::from(codes[c]) / full_scale * chunk as f64;
+                }
+            }
+
+            for (c, acc) in accumulated.iter().enumerate() {
+                let exact = f64::from(ideal[row_base + c]);
+                total_error += (acc - exact).abs();
+            }
+        }
+
+        let relative_error = total_error / workload.rows() as f64 / workload.cols() as f64;
+        let energy_fj = macro_sim
+            .stats()
+            .energy
+            .total()
+            .value();
+        let cycle_ns = macro_sim.timing().cycle_time(self.spec.adc_bits()).value() / 1000.0;
+        Ok(MappingReport {
+            workload: workload.label.clone(),
+            cycles,
+            output_tiles,
+            relative_error,
+            energy_fj,
+            latency_ns: cycles as f64 * cycle_ns,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::cnn::CnnLayer;
+    use crate::transformer::{AttentionProjection, ProjectionKind};
+
+    fn spec(h: usize, w: usize, l: usize, b: u32) -> AcimSpec {
+        AcimSpec::from_dimensions(h, w, l, b).unwrap()
+    }
+
+    #[test]
+    fn cnn_workload_maps_and_reports_cost() {
+        let workload = CnnLayer::small(3).to_workload(1).unwrap();
+        let mapper = MacroMapper::new(&spec(64, 16, 4, 4)).unwrap();
+        let report = mapper.run(&workload, 9).unwrap();
+        assert_eq!(report.output_tiles, 1, "16 outputs fit in 16 columns");
+        // 72-long dot product in chunks of 16 → 5 cycles.
+        assert_eq!(report.cycles, 5);
+        assert!(report.energy_fj > 0.0);
+        assert!(report.latency_ns > 0.0);
+        assert!(report.relative_error < 0.2, "error {}", report.relative_error);
+    }
+
+    #[test]
+    fn wide_workload_needs_multiple_tiles() {
+        let workload = AttentionProjection::edge(ProjectionKind::Query)
+            .to_workload(2)
+            .unwrap();
+        let mapper = MacroMapper::new(&spec(64, 16, 4, 4)).unwrap();
+        let report = mapper.run(&workload, 3).unwrap();
+        assert_eq!(report.output_tiles, 2, "32 outputs over 16 columns");
+        assert!(report.cycles >= 16);
+    }
+
+    #[test]
+    fn higher_adc_precision_reduces_error() {
+        let workload = CnnLayer::mobile().to_workload(4).unwrap();
+        let low = MacroMapper::new(&spec(128, 32, 4, 2))
+            .unwrap()
+            .noiseless()
+            .run(&workload, 5)
+            .unwrap();
+        let high = MacroMapper::new(&spec(128, 32, 4, 5))
+            .unwrap()
+            .noiseless()
+            .run(&workload, 5)
+            .unwrap();
+        assert!(
+            high.relative_error < low.relative_error,
+            "B=5 error {} should beat B=2 error {}",
+            high.relative_error,
+            low.relative_error
+        );
+    }
+
+    #[test]
+    fn empty_workload_rejected() {
+        let mapper = MacroMapper::new(&spec(64, 16, 4, 3)).unwrap();
+        let empty = BinaryMvm {
+            weights: vec![],
+            activations: vec![],
+            reference: vec![],
+            label: "empty".into(),
+        };
+        assert!(mapper.run(&empty, 1).is_err());
+    }
+}

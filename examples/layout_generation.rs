@@ -1,0 +1,64 @@
+//! Template-based netlist and layout generation for a hand-picked
+//! specification, with SPICE / DEF / GDS-text output and a DRC run —
+//! the back half of the EasyACIM flow in isolation.
+//!
+//! ```bash
+//! cargo run --release --example layout_generation
+//! ```
+
+use std::fs;
+
+use acim_layout::{check_layout, write_def, write_gds_text};
+use acim_netlist::design_stats;
+use easyacim::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // The Figure 8(b) design point: 16 kb, 128 x 128, L = 8, B_ADC = 3.
+    let spec = AcimSpec::from_dimensions(128, 128, 8, 3)?;
+    let tech = Technology::s28();
+    let library = CellLibrary::s28_default(&tech);
+
+    // Template-based netlist generation.
+    let netlist = NetlistGenerator::new(&library).generate(&spec)?;
+    let stats = design_stats(&netlist, &library)?;
+    println!(
+        "netlist `{}`: {} SRAM cells, {} compute cells, {} transistors, {} capacitors",
+        netlist.name(),
+        stats.sram_cells,
+        stats.compute_cells,
+        stats.transistors,
+        stats.capacitors
+    );
+
+    // Template-based hierarchical placement and routing.
+    let macro_layout = LayoutFlow::new(&tech, &library).generate(&spec)?;
+    let m = &macro_layout.metrics;
+    println!(
+        "layout core: {:.0} x {:.0} um = {:.0} F2/bit (paper figure 8(b): 256 x 131 um, 2610 F2/bit)",
+        m.core_width_um, m.core_height_um, m.core_area_f2_per_bit
+    );
+    println!(
+        "routing: {:.0} um of wire, {} vias, {} placed instances",
+        m.wirelength_um, m.via_count, m.instance_count
+    );
+
+    // Lightweight DRC on the column template (the repeated tile).
+    let report = check_layout(&macro_layout.column.layout, &tech);
+    println!(
+        "column-template DRC: {} objects checked, {} violations",
+        report.checked_objects,
+        report.violations.len()
+    );
+
+    // Emit the exchange files.
+    let out_dir = std::path::Path::new("results");
+    fs::create_dir_all(out_dir)?;
+    fs::write(out_dir.join("figure8b.spice"), write_spice(&netlist, &library)?)?;
+    fs::write(out_dir.join("figure8b.def"), write_def(&macro_layout.layout))?;
+    fs::write(
+        out_dir.join("figure8b.gds.txt"),
+        write_gds_text(&macro_layout.layout, &tech),
+    )?;
+    println!("wrote results/figure8b.spice, results/figure8b.def, results/figure8b.gds.txt");
+    Ok(())
+}

@@ -1,0 +1,59 @@
+//! Agile design-space exploration and user distillation for three
+//! application scenarios (the motivation of Figure 1).
+//!
+//! The example explores a 16 kb array once, then distils the Pareto
+//! frontier three times with different requirement profiles — a
+//! high-accuracy transformer, a balanced CNN and an efficiency-first SNN —
+//! showing how the same frontier serves very different operating points.
+//!
+//! ```bash
+//! cargo run --release --example pareto_exploration
+//! ```
+
+use easyacim::frontier_table;
+use easyacim::prelude::*;
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let config = DseConfig {
+        array_size: 16 * 1024,
+        population_size: 60,
+        generations: 40,
+        ..DseConfig::default()
+    };
+    let explorer = DesignSpaceExplorer::new(config)?;
+    let frontier = explorer.explore()?;
+    println!(
+        "explored a 16 kb array: {} evaluations, {} Pareto-frontier points\n",
+        frontier.evaluations,
+        frontier.len()
+    );
+    println!("{}", frontier_table(frontier.points()));
+
+    let scenarios = [
+        ("transformer (accuracy-first)", UserRequirements {
+            min_snr_db: Some(ApplicationProfile::Transformer.min_snr_db()),
+            min_throughput_tops: Some(ApplicationProfile::Transformer.min_throughput_tops()),
+            ..UserRequirements::none()
+        }),
+        ("cnn (balanced)", UserRequirements {
+            min_snr_db: Some(ApplicationProfile::Cnn.min_snr_db()),
+            min_throughput_tops: Some(ApplicationProfile::Cnn.min_throughput_tops()),
+            min_tops_per_watt: Some(ApplicationProfile::Cnn.min_tops_per_watt()),
+            ..UserRequirements::none()
+        }),
+        ("snn (efficiency-first)", UserRequirements {
+            min_tops_per_watt: Some(ApplicationProfile::Snn.min_tops_per_watt()),
+            ..UserRequirements::none()
+        }),
+    ];
+
+    for (name, requirements) in scenarios {
+        let distilled = requirements.distill(frontier.points());
+        println!("user distillation for {name}: {} of {} points survive", distilled.len(), frontier.len());
+        if let Some(best) = distilled.first() {
+            println!("  e.g. {best}");
+        }
+        println!();
+    }
+    Ok(())
+}

@@ -1,0 +1,33 @@
+//! Quickstart: run the complete EasyACIM flow on a 4 kb array.
+//!
+//! The flow mirrors Figure 4 of the paper: design-space exploration with
+//! NSGA-II, user distillation, template-based netlist generation and
+//! template-based hierarchical placement & routing.
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+use easyacim::report::flow_summary;
+use easyacim::{FlowConfig, FlowError, TopFlowController};
+
+fn main() -> Result<(), FlowError> {
+    // 1. Configure the flow: user-defined array size plus exploration
+    //    settings.  The defaults match the paper's setup (B_ADC <= 8,
+    //    L in [2, 32]); the population/generation counts are reduced here so
+    //    the example finishes in seconds.
+    let mut config = FlowConfig::new(4 * 1024);
+    config.dse.population_size = 40;
+    config.dse.generations = 25;
+    config.max_layouts = 2;
+
+    // 2. Run it.
+    let controller = TopFlowController::new(config)?;
+    let result = controller.run()?;
+
+    // 3. Report.
+    println!("{}", flow_summary(&result));
+    println!("Pareto frontier ({} points):", result.frontier.len());
+    println!("{}", easyacim::frontier_table(&result.frontier));
+    Ok(())
+}

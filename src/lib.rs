@@ -1,0 +1,28 @@
+//! # easyacim-suite
+//!
+//! Umbrella crate of the EasyACIM reproduction workspace.  It exists to host
+//! the runnable examples in `examples/` and the cross-crate integration
+//! tests in `tests/`; the actual functionality lives in the member crates
+//! and is re-exported by [`easyacim`] (see `easyacim::prelude`).
+//!
+//! Start with the `quickstart` example:
+//!
+//! ```bash
+//! cargo run --release --example quickstart
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub use easyacim::prelude;
+
+/// The workspace version, shared by every member crate.
+pub const VERSION: &str = env!("CARGO_PKG_VERSION");
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn version_is_nonempty() {
+        assert!(!super::VERSION.is_empty());
+    }
+}

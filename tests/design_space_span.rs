@@ -1,0 +1,64 @@
+//! Integration test for the paper's headline claim (Section 4 / Figure 10):
+//! the generated design space spans roughly 50–750 TOPS/W in energy
+//! efficiency and 1500–7500 F²/bit in area, and the trade-off trends of
+//! Figure 9 hold.
+
+use acim_dse::sweep::SweepParameter;
+use acim_dse::{enumerate_design_space, sweep_by_parameter};
+use acim_model::ModelParams;
+
+#[test]
+fn efficiency_and_area_spans_match_the_paper_shape() {
+    let params = ModelParams::s28_default();
+    let mut efficiency = Vec::new();
+    let mut area = Vec::new();
+    for array_size in [4 * 1024, 16 * 1024, 64 * 1024] {
+        for point in enumerate_design_space(array_size, 16, 1024, &params).expect("enumerates") {
+            efficiency.push(point.metrics.tops_per_watt);
+            area.push(point.metrics.area_f2_per_bit);
+        }
+    }
+    let min_eff = efficiency.iter().copied().fold(f64::INFINITY, f64::min);
+    let max_eff = efficiency.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+    let min_area = area.iter().copied().fold(f64::INFINITY, f64::min);
+    let max_area = area.iter().copied().fold(f64::NEG_INFINITY, f64::max);
+
+    // Paper: 50–750 TOPS/W and 1500–7500 F²/bit.  The reproduction must span
+    // at least an order of magnitude in efficiency with comparable endpoints,
+    // and the same area band.
+    assert!(min_eff < 80.0, "least efficient design {min_eff:.0} TOPS/W");
+    assert!(max_eff > 600.0, "most efficient design {max_eff:.0} TOPS/W");
+    assert!(max_eff / min_eff > 8.0, "efficiency span too narrow");
+    assert!(min_area < 2200.0, "densest design {min_area:.0} F2/bit");
+    assert!(max_area > 4000.0, "largest design {max_area:.0} F2/bit");
+    assert!(max_area < 12_000.0, "area blew past the paper's band");
+}
+
+#[test]
+fn figure9_parameter_trends_hold_jointly() {
+    let params = ModelParams::s28_default();
+    // L trend: throughput and area both fall as L grows.
+    let by_l = sweep_by_parameter(16 * 1024, SweepParameter::LocalArray, &params).expect("sweep");
+    let mut last_throughput = f64::INFINITY;
+    let mut last_area = f64::INFINITY;
+    for series in &by_l {
+        let throughput = series.max_throughput_tops();
+        let area = series.min_area_f2_per_bit();
+        assert!(throughput <= last_throughput + 1e-9, "throughput not monotone in L");
+        assert!(area <= last_area + 1e-9, "area not monotone in L");
+        last_throughput = throughput;
+        last_area = area;
+    }
+    // B trend: efficiency falls and SNR rises as B grows.
+    let by_b = sweep_by_parameter(16 * 1024, SweepParameter::AdcBits, &params).expect("sweep");
+    let mut last_eff = f64::INFINITY;
+    let mut last_snr = f64::NEG_INFINITY;
+    for series in &by_b {
+        let eff = series.mean_tops_per_watt();
+        let snr = series.mean_snr_db();
+        assert!(eff <= last_eff + 1e-9, "efficiency not monotone in B_ADC");
+        assert!(snr >= last_snr - 1e-9, "SNR not monotone in B_ADC");
+        last_eff = eff;
+        last_snr = snr;
+    }
+}

@@ -1,0 +1,75 @@
+//! Integration test: the analytic estimation model (Equations 2–11) agrees
+//! with the behavioural simulator it is calibrated against — the
+//! reproduction's equivalent of validating the model against post-layout
+//! simulation (Section 3.2.1).
+
+use acim_arch::{measure_snr, AcimSpec, EnergyModelParams, NoiseConfig};
+use acim_model::calibrate::{apply_snr_offset, calibrate_adc_energy, calibrate_snr_offset};
+use acim_model::{snr_simplified_db, ModelParams};
+use acim_tech::Technology;
+
+#[test]
+fn calibrated_snr_model_tracks_simulation_within_a_few_db() {
+    let tech = Technology::s28();
+    let specs: Vec<AcimSpec> = [
+        (64usize, 16usize, 4usize, 3u32),
+        (128, 16, 4, 4),
+        (128, 16, 8, 3),
+        (256, 16, 8, 5),
+    ]
+    .iter()
+    .map(|&(h, w, l, b)| AcimSpec::from_dimensions(h, w, l, b).expect("valid"))
+    .collect();
+
+    let report = calibrate_snr_offset(&specs, &tech, 64, 7).expect("calibration runs");
+    let mut params = ModelParams::s28_default();
+    apply_snr_offset(&mut params, report.fitted[0]);
+
+    // Each individual point must be predicted within a few dB once the
+    // single offset is fitted — the structural terms do the real work.
+    for (i, spec) in specs.iter().enumerate() {
+        let predicted = snr_simplified_db(spec, &params).expect("model evaluates");
+        let measured = measure_snr(spec, &tech, NoiseConfig::realistic(), 64, 7 + i as u64)
+            .expect("simulation runs")
+            .snr_db;
+        assert!(
+            (predicted - measured).abs() < 6.0,
+            "{spec}: model {predicted:.1} dB vs simulation {measured:.1} dB"
+        );
+    }
+    assert!(report.rms_residual < 5.0, "rms residual {:.2} dB", report.rms_residual);
+}
+
+#[test]
+fn simulation_and_model_rank_designs_identically_on_snr() {
+    // Even without calibration the *ordering* of designs by SNR must agree,
+    // otherwise the DSE would optimise the wrong thing.
+    let tech = Technology::s28();
+    let params = ModelParams::s28_default();
+    let low = AcimSpec::from_dimensions(256, 16, 2, 3).expect("valid"); // long dot product
+    let high = AcimSpec::from_dimensions(256, 16, 8, 5).expect("valid"); // short, precise
+    let model_low = snr_simplified_db(&low, &params).expect("evaluates");
+    let model_high = snr_simplified_db(&high, &params).expect("evaluates");
+    let sim_low = measure_snr(&low, &tech, NoiseConfig::realistic(), 64, 3)
+        .expect("runs")
+        .snr_db;
+    let sim_high = measure_snr(&high, &tech, NoiseConfig::realistic(), 64, 4)
+        .expect("runs")
+        .snr_db;
+    assert!(model_high > model_low);
+    assert!(
+        sim_high > sim_low,
+        "simulation disagrees with the model's ranking: {sim_high:.1} vs {sim_low:.1} dB"
+    );
+}
+
+#[test]
+fn adc_energy_constants_are_recoverable_from_samples() {
+    let truth = EnergyModelParams::s28_default();
+    let samples: Vec<(u32, f64)> = (1..=8)
+        .map(|b| (b, truth.adc_energy(b).expect("valid").value()))
+        .collect();
+    let fit = calibrate_adc_energy(&samples, truth.vdd).expect("fit runs");
+    assert!((fit.fitted[0] - truth.k1.value()).abs() < 1.0);
+    assert!((fit.fitted[1] - truth.k2.value()).abs() < 0.02);
+}
