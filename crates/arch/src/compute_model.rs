@@ -113,9 +113,7 @@ impl ComputeModel {
         sigma_rel: f64,
         rng: &mut R,
     ) -> Self {
-        let element_mismatch = (0..n)
-            .map(|_| 1.0 + gaussian(rng) * sigma_rel)
-            .collect();
+        let element_mismatch = (0..n).map(|_| 1.0 + gaussian(rng) * sigma_rel).collect();
         Self {
             kind,
             element_mismatch,
@@ -247,8 +245,8 @@ mod tests {
         };
         let qr = ComputeModel::ideal(ComputeModelKind::ChargeRedistribution, 16)
             .accumulate(&products, corner);
-        let is = ComputeModel::ideal(ComputeModelKind::CurrentSumming, 16)
-            .accumulate(&products, corner);
+        let is =
+            ComputeModel::ideal(ComputeModelKind::CurrentSumming, 16).accumulate(&products, corner);
         let qr_err = (qr - 1.0).abs();
         let is_err = (is - 1.0).abs();
         assert!(

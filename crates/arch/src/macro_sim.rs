@@ -140,8 +140,9 @@ impl AcimMacro {
         let mut compute = Vec::with_capacity(spec.width());
         let mut adcs = Vec::with_capacity(spec.width());
         for _ in 0..spec.width() {
-            let column: Result<Vec<LocalArray>, ArchError> =
-                (0..n).map(|_| LocalArray::new(spec.local_array())).collect();
+            let column: Result<Vec<LocalArray>, ArchError> = (0..n)
+                .map(|_| LocalArray::new(spec.local_array()))
+                .collect();
             columns.push(column?);
 
             let model = if noise.capacitor_mismatch {
@@ -169,7 +170,8 @@ impl AcimMacro {
 
         // kT/C noise of the total column capacitance, referred to full scale.
         let total_caps = n as u32;
-        let thermal_sigma_rel = cap_model.thermal_noise_sigma_v(total_caps, tech.temperature().value()) / vdd;
+        let thermal_sigma_rel =
+            cap_model.thermal_noise_sigma_v(total_caps, tech.temperature().value()) / vdd;
 
         Ok(Self {
             spec: *spec,
@@ -512,12 +514,17 @@ mod tests {
     #[test]
     fn deterministic_for_fixed_seed() {
         let run = |seed: u64| {
-            let mut m =
-                AcimMacro::new(&small_spec(), &Technology::s28(), NoiseConfig::realistic(), seed)
-                    .unwrap();
+            let mut m = AcimMacro::new(
+                &small_spec(),
+                &Technology::s28(),
+                NoiseConfig::realistic(),
+                seed,
+            )
+            .unwrap();
             m.program_with(|row, col| (row + col) % 2 == 0);
-            let activations: Vec<bool> =
-                (0..m.spec().dot_product_length()).map(|i| i % 2 == 1).collect();
+            let activations: Vec<bool> = (0..m.spec().dot_product_length())
+                .map(|i| i % 2 == 1)
+                .collect();
             m.mac_and_convert(&activations, 2).unwrap()
         };
         assert_eq!(run(7), run(7));

@@ -125,22 +125,10 @@ mod tests {
     #[test]
     fn higher_adc_precision_improves_snr() {
         let tech = Technology::s28();
-        let low = measure_snr(
-            &spec(128, 16, 4, 3),
-            &tech,
-            NoiseConfig::noiseless(),
-            64,
-            3,
-        )
-        .unwrap();
-        let high = measure_snr(
-            &spec(128, 16, 4, 5),
-            &tech,
-            NoiseConfig::noiseless(),
-            64,
-            3,
-        )
-        .unwrap();
+        let low =
+            measure_snr(&spec(128, 16, 4, 3), &tech, NoiseConfig::noiseless(), 64, 3).unwrap();
+        let high =
+            measure_snr(&spec(128, 16, 4, 5), &tech, NoiseConfig::noiseless(), 64, 3).unwrap();
         assert!(
             high.snr_db > low.snr_db + 6.0,
             "B=5 ({:.1} dB) should beat B=3 ({:.1} dB) by >6 dB",

@@ -89,7 +89,7 @@ impl AcimSpec {
                 format!("H={height} < L={local_array}"),
             ));
         }
-        if height % local_array != 0 {
+        if !height.is_multiple_of(local_array) {
             return Err(ArchError::invalid_spec(
                 "L divides H",
                 format!("H={height} is not a multiple of L={local_array}"),
@@ -105,10 +105,7 @@ impl AcimSpec {
         if caps_per_column < (1usize << adc_bits) {
             return Err(ArchError::invalid_spec(
                 "H/L - 2^B_ADC >= 0",
-                format!(
-                    "H/L={caps_per_column} < 2^B_ADC={}",
-                    1usize << adc_bits
-                ),
+                format!("H/L={caps_per_column} < 2^B_ADC={}", 1usize << adc_bits),
             ));
         }
         Ok(Self {
@@ -214,11 +211,15 @@ impl AcimSpec {
     /// Returns all valid (H, W) factorisations of `array_size` with `H` a
     /// power of two between `min_height` and `max_height` — the candidate
     /// set enumerated by the design-space explorer.
-    pub fn factorizations(array_size: usize, min_height: usize, max_height: usize) -> Vec<(usize, usize)> {
+    pub fn factorizations(
+        array_size: usize,
+        min_height: usize,
+        max_height: usize,
+    ) -> Vec<(usize, usize)> {
         let mut result = Vec::new();
         let mut h = 1usize;
         while h <= max_height {
-            if h >= min_height && array_size % h == 0 {
+            if h >= min_height && array_size.is_multiple_of(h) {
                 result.push((h, array_size / h));
             }
             h *= 2;
@@ -261,7 +262,9 @@ mod tests {
     #[test]
     fn array_size_mismatch_rejected() {
         let err = AcimSpec::new(16 * 1024, 128, 100, 8, 3).unwrap_err();
-        assert!(matches!(err, ArchError::InvalidSpec { constraint, .. } if constraint.contains("ArraySize")));
+        assert!(
+            matches!(err, ArchError::InvalidSpec { constraint, .. } if constraint.contains("ArraySize"))
+        );
     }
 
     #[test]
@@ -275,7 +278,9 @@ mod tests {
     fn adc_capacity_constraint_enforced() {
         // H/L = 16 but 2^5 = 32 > 16 → invalid.
         let err = AcimSpec::from_dimensions(128, 128, 8, 5).unwrap_err();
-        assert!(matches!(err, ArchError::InvalidSpec { constraint, .. } if constraint.contains("2^B_ADC")));
+        assert!(
+            matches!(err, ArchError::InvalidSpec { constraint, .. } if constraint.contains("2^B_ADC"))
+        );
         // H/L = 16 and 2^4 = 16 → exactly enough.
         assert!(AcimSpec::from_dimensions(128, 128, 8, 4).is_ok());
     }

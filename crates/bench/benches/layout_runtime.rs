@@ -18,16 +18,26 @@ fn layout_runtime(c: &mut Criterion) {
     group.sample_size(10);
 
     let specs = [
-        ("1kb_64x16_l4_b3", AcimSpec::from_dimensions(64, 16, 4, 3).expect("valid")),
-        ("16kb_128x128_l8_b3", AcimSpec::from_dimensions(128, 128, 8, 3).expect("valid")),
+        (
+            "1kb_64x16_l4_b3",
+            AcimSpec::from_dimensions(64, 16, 4, 3).expect("valid"),
+        ),
+        (
+            "16kb_128x128_l8_b3",
+            AcimSpec::from_dimensions(128, 128, 8, 3).expect("valid"),
+        ),
     ];
     for (name, spec) in &specs {
-        group.bench_with_input(BenchmarkId::new("column_template", name), spec, |b, spec| {
-            b.iter(|| {
-                let template = ColumnTemplate::build(spec, &tech, &library).expect("builds");
-                black_box(template.layout.instances.len())
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("column_template", name),
+            spec,
+            |b, spec| {
+                b.iter(|| {
+                    let template = ColumnTemplate::build(spec, &tech, &library).expect("builds");
+                    black_box(template.layout.instances.len())
+                });
+            },
+        );
         group.bench_with_input(BenchmarkId::new("full_macro", name), spec, |b, spec| {
             let flow = LayoutFlow::new(&tech, &library);
             b.iter(|| {

@@ -12,21 +12,28 @@ fn macro_sim(c: &mut Criterion) {
     let mut group = c.benchmark_group("macro_sim");
     group.sample_size(10);
 
-    for &(name, h, w, l, b) in &[("64x16_b3", 64usize, 16usize, 4usize, 3u32), ("128x32_b5", 128, 32, 4, 5)] {
+    for &(name, h, w, l, b) in &[
+        ("64x16_b3", 64usize, 16usize, 4usize, 3u32),
+        ("128x32_b5", 128, 32, 4, 5),
+    ] {
         let spec = AcimSpec::from_dimensions(h, w, l, b).expect("valid spec");
-        group.bench_with_input(BenchmarkId::new("mac_and_convert", name), &spec, |bench, spec| {
-            let mut macro_sim =
-                AcimMacro::new(spec, &tech, NoiseConfig::realistic(), 7).expect("macro builds");
-            macro_sim.program_with(|row, col| (row * 13 + col * 7) % 3 == 0);
-            let activations: Vec<bool> =
-                (0..spec.dot_product_length()).map(|i| i % 2 == 0).collect();
-            bench.iter(|| {
-                let out = macro_sim
-                    .mac_and_convert(black_box(&activations), 0)
-                    .expect("cycle runs");
-                black_box(out[0])
-            });
-        });
+        group.bench_with_input(
+            BenchmarkId::new("mac_and_convert", name),
+            &spec,
+            |bench, spec| {
+                let mut macro_sim =
+                    AcimMacro::new(spec, &tech, NoiseConfig::realistic(), 7).expect("macro builds");
+                macro_sim.program_with(|row, col| (row * 13 + col * 7) % 3 == 0);
+                let activations: Vec<bool> =
+                    (0..spec.dot_product_length()).map(|i| i % 2 == 0).collect();
+                bench.iter(|| {
+                    let out = macro_sim
+                        .mac_and_convert(black_box(&activations), 0)
+                        .expect("cycle runs");
+                    black_box(out[0])
+                });
+            },
+        );
     }
 
     group.bench_function("measure_snr_32_cycles", |b| {

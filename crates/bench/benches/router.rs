@@ -9,8 +9,8 @@ use criterion::{criterion_group, criterion_main, Criterion};
 use std::hint::black_box;
 
 fn build_router(block_tracks: bool) -> MazeRouter {
-    let grid = RoutingGrid::new(Rect::new(0.0, 0.0, 20_000.0, 20_000.0), 100.0, 3)
-        .expect("grid builds");
+    let grid =
+        RoutingGrid::new(Rect::new(0.0, 0.0, 20_000.0, 20_000.0), 100.0, 3).expect("grid builds");
     let mut router = MazeRouter::new(
         grid,
         vec!["M2".into(), "M3".into(), "M4".into()],

@@ -32,16 +32,43 @@ fn rms_error(kind: ComputeModelKind, pvt: PvtCondition, trials: usize, seed: u64
 fn main() {
     let corners = [
         ("nominal", PvtCondition::nominal()),
-        ("vdd +5%", PvtCondition { supply_deviation: 0.05, temperature_delta_k: 0.0 }),
-        ("vdd -5%", PvtCondition { supply_deviation: -0.05, temperature_delta_k: 0.0 }),
-        ("hot +50K", PvtCondition { supply_deviation: 0.0, temperature_delta_k: 50.0 }),
-        ("vdd +10%, hot +50K", PvtCondition { supply_deviation: 0.10, temperature_delta_k: 50.0 }),
+        (
+            "vdd +5%",
+            PvtCondition {
+                supply_deviation: 0.05,
+                temperature_delta_k: 0.0,
+            },
+        ),
+        (
+            "vdd -5%",
+            PvtCondition {
+                supply_deviation: -0.05,
+                temperature_delta_k: 0.0,
+            },
+        ),
+        (
+            "hot +50K",
+            PvtCondition {
+                supply_deviation: 0.0,
+                temperature_delta_k: 50.0,
+            },
+        ),
+        (
+            "vdd +10%, hot +50K",
+            PvtCondition {
+                supply_deviation: 0.10,
+                temperature_delta_k: 50.0,
+            },
+        ),
     ];
 
     println!("Compute-model robustness ablation (Section 2.1 / Figure 2)");
     println!("RMS error of the normalised analog accumulation vs ideal, 64-element dot products");
     println!("--------------------------------------------------------------------------");
-    println!("{:<22} {:>10} {:>10} {:>10}", "PVT corner", "QS", "IS", "QR");
+    println!(
+        "{:<22} {:>10} {:>10} {:>10}",
+        "PVT corner", "QS", "IS", "QR"
+    );
     let mut csv = CsvWriter::new("corner,qs_rms,is_rms,qr_rms");
     for (name, pvt) in corners {
         let qs = rms_error(ComputeModelKind::ChargeSumming, pvt, 400, 1);

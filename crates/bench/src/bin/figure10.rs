@@ -24,10 +24,22 @@ fn main() {
     }
 
     // Efficiency/area ranges of the whole design space.
-    let eff_min = space.iter().map(|p| p.metrics.tops_per_watt).fold(f64::INFINITY, f64::min);
-    let eff_max = space.iter().map(|p| p.metrics.tops_per_watt).fold(f64::NEG_INFINITY, f64::max);
-    let area_min = space.iter().map(|p| p.metrics.area_f2_per_bit).fold(f64::INFINITY, f64::min);
-    let area_max = space.iter().map(|p| p.metrics.area_f2_per_bit).fold(f64::NEG_INFINITY, f64::max);
+    let eff_min = space
+        .iter()
+        .map(|p| p.metrics.tops_per_watt)
+        .fold(f64::INFINITY, f64::min);
+    let eff_max = space
+        .iter()
+        .map(|p| p.metrics.tops_per_watt)
+        .fold(f64::NEG_INFINITY, f64::max);
+    let area_min = space
+        .iter()
+        .map(|p| p.metrics.area_f2_per_bit)
+        .fold(f64::INFINITY, f64::min);
+    let area_max = space
+        .iter()
+        .map(|p| p.metrics.area_f2_per_bit)
+        .fold(f64::NEG_INFINITY, f64::max);
 
     // Pareto frontier in the (−TOPS/W, F²/bit) minimisation plane.
     let objectives: Vec<Vec<f64>> = space
@@ -60,7 +72,11 @@ fn main() {
     let span_ok = eff_min <= 80.0 && eff_max >= 600.0 && area_min <= 2200.0 && area_max >= 4500.0;
     println!(
         "headline span check: {}",
-        if span_ok { "holds (same order and shape as the paper)" } else { "VIOLATED" }
+        if span_ok {
+            "holds (same order and shape as the paper)"
+        } else {
+            "VIOLATED"
+        }
     );
 
     println!("\nPareto frontier (efficiency vs area):");

@@ -29,9 +29,36 @@ struct Panel {
 
 fn main() {
     let panels = [
-        Panel { name: "(a)", h: 128, w: 128, l: 2, paper_tops: 3.277, paper_f2_per_bit: 4504.0, paper_width_um: Some(256.0), paper_height_um: 226.0 },
-        Panel { name: "(b)", h: 128, w: 128, l: 8, paper_tops: 0.813, paper_f2_per_bit: 2610.0, paper_width_um: Some(256.0), paper_height_um: 131.0 },
-        Panel { name: "(c)", h: 64, w: 256, l: 8, paper_tops: 0.813, paper_f2_per_bit: 2977.0, paper_width_um: Some(510.0), paper_height_um: 75.0 },
+        Panel {
+            name: "(a)",
+            h: 128,
+            w: 128,
+            l: 2,
+            paper_tops: 3.277,
+            paper_f2_per_bit: 4504.0,
+            paper_width_um: Some(256.0),
+            paper_height_um: 226.0,
+        },
+        Panel {
+            name: "(b)",
+            h: 128,
+            w: 128,
+            l: 8,
+            paper_tops: 0.813,
+            paper_f2_per_bit: 2610.0,
+            paper_width_um: Some(256.0),
+            paper_height_um: 131.0,
+        },
+        Panel {
+            name: "(c)",
+            h: 64,
+            w: 256,
+            l: 8,
+            paper_tops: 0.813,
+            paper_f2_per_bit: 2977.0,
+            paper_width_um: Some(510.0),
+            paper_height_um: 75.0,
+        },
     ];
 
     let tech = Technology::s28();
@@ -53,7 +80,9 @@ fn main() {
     for panel in &panels {
         let spec = AcimSpec::from_dimensions(panel.h, panel.w, panel.l, 3).expect("valid spec");
         let metrics = evaluate(&spec, &params).expect("model evaluation succeeds");
-        let netlist = generator.generate(&spec).expect("netlist generation succeeds");
+        let netlist = generator
+            .generate(&spec)
+            .expect("netlist generation succeeds");
         let stats = acim_netlist::design_stats(&netlist, &library).expect("stats");
         let layout = flow.generate(&spec).expect("layout generation succeeds");
         let m = &layout.metrics;
@@ -98,7 +127,9 @@ fn main() {
         ));
     }
     println!("--------------------------------------------------------------------------------------------");
-    println!("shape checks: (a) trades area for 4x the throughput of (b); (c) matches (b)'s throughput");
+    println!(
+        "shape checks: (a) trades area for 4x the throughput of (b); (c) matches (b)'s throughput"
+    );
     println!("with higher SNR (shorter dot product) at ~14% more area - as reported in the paper.");
     if let Ok(path) = csv.write_to(results_dir(), "figure8_layouts.csv") {
         println!("wrote {}", path.display());

@@ -69,7 +69,10 @@ fn main() {
     // Panels (a)(b): by array size.
     let sizes = [4 * 1024, 16 * 1024, 64 * 1024];
     let by_size = sweep_by_array_size(&sizes, &params).expect("array-size sweep succeeds");
-    summarise("Figure 9(a)(b): design space by array size (4 kb / 16 kb / 64 kb)", &by_size);
+    summarise(
+        "Figure 9(a)(b): design space by array size (4 kb / 16 kb / 64 kb)",
+        &by_size,
+    );
     let mut csv = CsvWriter::new(header.clone());
     dump_series(&mut csv, &by_size);
     if let Ok(path) = csv.write_to(results_dir(), "figure9_ab_by_array_size.csv") {
@@ -78,9 +81,21 @@ fn main() {
 
     // Panels (c)-(h): 16 kb array grouped by H, L and B_ADC.
     let groupings = [
-        (SweepParameter::Height, "Figure 9(c)(d): 16 kb design space by H", "figure9_cd_by_h.csv"),
-        (SweepParameter::LocalArray, "Figure 9(e)(f): 16 kb design space by L", "figure9_ef_by_l.csv"),
-        (SweepParameter::AdcBits, "Figure 9(g)(h): 16 kb design space by B_ADC", "figure9_gh_by_b.csv"),
+        (
+            SweepParameter::Height,
+            "Figure 9(c)(d): 16 kb design space by H",
+            "figure9_cd_by_h.csv",
+        ),
+        (
+            SweepParameter::LocalArray,
+            "Figure 9(e)(f): 16 kb design space by L",
+            "figure9_ef_by_l.csv",
+        ),
+        (
+            SweepParameter::AdcBits,
+            "Figure 9(g)(h): 16 kb design space by B_ADC",
+            "figure9_gh_by_b.csv",
+        ),
     ];
     for (parameter, title, file) in groupings {
         let series = sweep_by_parameter(16 * 1024, parameter, &params).expect("sweep succeeds");

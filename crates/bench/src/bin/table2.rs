@@ -45,18 +45,37 @@ fn main() {
 
     println!("Table 2: Comparison with other CIM design flows");
     println!("------------------------------------------------------------------------------");
-    println!("{:<28} {:<22} {:<16} {:<16}", "Entry", "Traditional flow", "AutoDCIM", "EasyACIM (this repo)");
-    println!("{:<28} {:<22} {:<16} {:<16}", "Design type", "Analog or Digital", "Digital", "Analog");
-    println!("{:<28} {:<22} {:<16} {:<16}", "Design of layout", "Manual", "Automatic", "Automatic");
+    println!(
+        "{:<28} {:<22} {:<16} {:<16}",
+        "Entry", "Traditional flow", "AutoDCIM", "EasyACIM (this repo)"
+    );
+    println!(
+        "{:<28} {:<22} {:<16} {:<16}",
+        "Design type", "Analog or Digital", "Digital", "Analog"
+    );
+    println!(
+        "{:<28} {:<22} {:<16} {:<16}",
+        "Design of layout", "Manual", "Automatic", "Automatic"
+    );
     println!(
         "{:<28} {:<22} {:<16} {:<16}",
         "Design time",
         "1-2 months",
         "NA",
-        format!("{:.1} s DSE + {:.1} s layout", dse_time.as_secs_f64(), layout_time.as_secs_f64())
+        format!(
+            "{:.1} s DSE + {:.1} s layout",
+            dse_time.as_secs_f64(),
+            layout_time.as_secs_f64()
+        )
     );
-    println!("{:<28} {:<22} {:<16} {:<16}", "Design space", "Fixed", "Unoptimized", "Pareto frontier");
-    println!("{:<28} {:<22} {:<16} {:<16}", "Parameter determination", "Manual", "User-defined", "Automatic");
+    println!(
+        "{:<28} {:<22} {:<16} {:<16}",
+        "Design space", "Fixed", "Unoptimized", "Pareto frontier"
+    );
+    println!(
+        "{:<28} {:<22} {:<16} {:<16}",
+        "Parameter determination", "Manual", "User-defined", "Automatic"
+    );
     println!("------------------------------------------------------------------------------");
     println!(
         "measured: {} objective evaluations, {} Pareto-frontier points for a {} kb array",

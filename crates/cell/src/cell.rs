@@ -171,17 +171,42 @@ mod tests {
 
     fn buffer_pins() -> Vec<Pin> {
         vec![
-            Pin::new("A", PinDirection::Input, "M1", Rect::new(50.0, 250.0, 100.0, 300.0)),
-            Pin::new("Y", PinDirection::Output, "M1", Rect::new(400.0, 250.0, 450.0, 300.0)),
-            Pin::new("VDD", PinDirection::Power, "M1", Rect::new(0.0, 550.0, 500.0, 600.0)),
-            Pin::new("VSS", PinDirection::Ground, "M1", Rect::new(0.0, 0.0, 500.0, 50.0)),
+            Pin::new(
+                "A",
+                PinDirection::Input,
+                "M1",
+                Rect::new(50.0, 250.0, 100.0, 300.0),
+            ),
+            Pin::new(
+                "Y",
+                PinDirection::Output,
+                "M1",
+                Rect::new(400.0, 250.0, 450.0, 300.0),
+            ),
+            Pin::new(
+                "VDD",
+                PinDirection::Power,
+                "M1",
+                Rect::new(0.0, 550.0, 500.0, 600.0),
+            ),
+            Pin::new(
+                "VSS",
+                PinDirection::Ground,
+                "M1",
+                Rect::new(0.0, 0.0, 500.0, 50.0),
+            ),
         ]
     }
 
     #[test]
     fn valid_cell_assembles() {
-        let cell = LeafCell::new(CellKind::Buffer, buffer_netlist(), buffer_layout(), buffer_pins())
-            .unwrap();
+        let cell = LeafCell::new(
+            CellKind::Buffer,
+            buffer_netlist(),
+            buffer_layout(),
+            buffer_pins(),
+        )
+        .unwrap();
         assert_eq!(cell.name(), "BUF");
         assert_eq!(cell.width_nm(), 500.0);
         assert!(cell.pin("A").is_some());
@@ -198,8 +223,8 @@ mod tests {
             "M1",
             Rect::new(0.0, 0.0, 10.0, 10.0),
         ));
-        let err = LeafCell::new(CellKind::Buffer, buffer_netlist(), buffer_layout(), pins)
-            .unwrap_err();
+        let err =
+            LeafCell::new(CellKind::Buffer, buffer_netlist(), buffer_layout(), pins).unwrap_err();
         assert!(matches!(err, CellError::UnknownPinPort { pin, .. } if pin == "NOT_A_PORT"));
     }
 
@@ -212,8 +237,8 @@ mod tests {
             "M1",
             Rect::new(490.0, 0.0, 700.0, 50.0),
         ));
-        let err = LeafCell::new(CellKind::Buffer, buffer_netlist(), buffer_layout(), pins)
-            .unwrap_err();
+        let err =
+            LeafCell::new(CellKind::Buffer, buffer_netlist(), buffer_layout(), pins).unwrap_err();
         assert!(matches!(err, CellError::PinOutsideBoundary { .. }));
     }
 

@@ -36,7 +36,10 @@ impl fmt::Display for CellError {
                 write!(f, "pin `{pin}` of cell `{cell}` references an unknown port")
             }
             CellError::PinOutsideBoundary { cell, pin } => {
-                write!(f, "pin `{pin}` of cell `{cell}` lies outside the cell boundary")
+                write!(
+                    f,
+                    "pin `{pin}` of cell `{cell}` lies outside the cell boundary"
+                )
             }
             CellError::ShapeOutsideBoundary { cell } => {
                 write!(f, "cell `{cell}` has layout shapes outside its boundary")

@@ -123,8 +123,12 @@ impl Rect {
     /// distance between their closest edges); `0` when they overlap or
     /// touch.
     pub fn spacing_to(&self, other: &Rect) -> f64 {
-        let dx = (other.min.x - self.max.x).max(self.min.x - other.max.x).max(0.0);
-        let dy = (other.min.y - self.max.y).max(self.min.y - other.max.y).max(0.0);
+        let dx = (other.min.x - self.max.x)
+            .max(self.min.x - other.max.x)
+            .max(0.0);
+        let dy = (other.min.y - self.max.y)
+            .max(self.min.y - other.max.y)
+            .max(0.0);
         (dx * dx + dy * dy).sqrt()
     }
 
@@ -264,7 +268,12 @@ mod tests {
     #[test]
     fn orientations_preserve_size() {
         let r = Rect::new(1.0, 2.0, 3.0, 5.0);
-        for o in [Orientation::R0, Orientation::MX, Orientation::MY, Orientation::R180] {
+        for o in [
+            Orientation::R0,
+            Orientation::MX,
+            Orientation::MY,
+            Orientation::R180,
+        ] {
             let t = o.apply(&r, 10.0, 10.0);
             assert!((t.width() - r.width()).abs() < 1e-12);
             assert!((t.height() - r.height()).abs() < 1e-12);

@@ -127,12 +127,7 @@ impl LayoutTemplate {
         let margin = rail_width_nm * 1.5;
         template.add_shape(
             "OD",
-            Rect::new(
-                width_nm * 0.1,
-                margin,
-                width_nm * 0.9,
-                height_nm - margin,
-            ),
+            Rect::new(width_nm * 0.1, margin, width_nm * 0.9, height_nm - margin),
         );
         template
     }

@@ -93,11 +93,16 @@ impl CellLibrary {
     /// which would be a bug in this crate.
     pub fn s28_default(tech: &Technology) -> Self {
         let mut library = Self::new();
-        let rail = tech.rules().layer_rule("M1").map(|r| r.min_width.value()).unwrap_or(50.0);
+        let rail = tech
+            .rules()
+            .layer_rule("M1")
+            .map(|r| r.min_width.value())
+            .unwrap_or(50.0);
         let cap_ff = tech.capacitor().unit_cap.value();
 
         library.insert(build_sram_cell(rail).expect("SRAM template is consistent"));
-        library.insert(build_compute_cell(rail, cap_ff).expect("compute-cell template is consistent"));
+        library
+            .insert(build_compute_cell(rail, cap_ff).expect("compute-cell template is consistent"));
         library.insert(build_comparator(rail).expect("comparator template is consistent"));
         library.insert(build_sar_dff(rail).expect("DFF template is consistent"));
         library.insert(build_sar_logic(rail).expect("SAR-logic template is consistent"));
@@ -121,12 +126,22 @@ fn edge_pin(
     let pin_w = 120.0;
     let y = (height_nm - pin_h) * fraction;
     let x0 = if left { 0.0 } else { width_nm - pin_w };
-    Pin::new(name, direction, layer, Rect::new(x0, y, x0 + pin_w, y + pin_h))
+    Pin::new(
+        name,
+        direction,
+        layer,
+        Rect::new(x0, y, x0 + pin_w, y + pin_h),
+    )
 }
 
 fn supply_pins(width_nm: f64, height_nm: f64, rail: f64) -> Vec<Pin> {
     vec![
-        Pin::new("VSS", PinDirection::Ground, "M1", Rect::new(0.0, 0.0, width_nm, rail)),
+        Pin::new(
+            "VSS",
+            PinDirection::Ground,
+            "M1",
+            Rect::new(0.0, 0.0, width_nm, rail),
+        ),
         Pin::new(
             "VDD",
             PinDirection::Power,

@@ -143,16 +143,80 @@ pub fn sram_8t_netlist() -> CellNetlist {
             .collect(),
     );
     // Storage inverters.
-    netlist.push(Device::mosfet("MPU0", DeviceKind::Pmos, "Q", "QB", "VDD", "VDD", 1.0));
-    netlist.push(Device::mosfet("MPD0", DeviceKind::Nmos, "Q", "QB", "VSS", "VSS", 1.0));
-    netlist.push(Device::mosfet("MPU1", DeviceKind::Pmos, "QB", "Q", "VDD", "VDD", 1.0));
-    netlist.push(Device::mosfet("MPD1", DeviceKind::Nmos, "QB", "Q", "VSS", "VSS", 1.0));
+    netlist.push(Device::mosfet(
+        "MPU0",
+        DeviceKind::Pmos,
+        "Q",
+        "QB",
+        "VDD",
+        "VDD",
+        1.0,
+    ));
+    netlist.push(Device::mosfet(
+        "MPD0",
+        DeviceKind::Nmos,
+        "Q",
+        "QB",
+        "VSS",
+        "VSS",
+        1.0,
+    ));
+    netlist.push(Device::mosfet(
+        "MPU1",
+        DeviceKind::Pmos,
+        "QB",
+        "Q",
+        "VDD",
+        "VDD",
+        1.0,
+    ));
+    netlist.push(Device::mosfet(
+        "MPD1",
+        DeviceKind::Nmos,
+        "QB",
+        "Q",
+        "VSS",
+        "VSS",
+        1.0,
+    ));
     // Write access transistors.
-    netlist.push(Device::mosfet("MWA0", DeviceKind::Nmos, "BL", "WL", "Q", "VSS", 1.2));
-    netlist.push(Device::mosfet("MWA1", DeviceKind::Nmos, "BLB", "WL", "QB", "VSS", 1.2));
+    netlist.push(Device::mosfet(
+        "MWA0",
+        DeviceKind::Nmos,
+        "BL",
+        "WL",
+        "Q",
+        "VSS",
+        1.2,
+    ));
+    netlist.push(Device::mosfet(
+        "MWA1",
+        DeviceKind::Nmos,
+        "BLB",
+        "WL",
+        "QB",
+        "VSS",
+        1.2,
+    ));
     // Decoupled read port.
-    netlist.push(Device::mosfet("MRD0", DeviceKind::Nmos, "RDINT", "QB", "VSS", "VSS", 1.5));
-    netlist.push(Device::mosfet("MRD1", DeviceKind::Nmos, "RBL", "RWL", "RDINT", "VSS", 1.5));
+    netlist.push(Device::mosfet(
+        "MRD0",
+        DeviceKind::Nmos,
+        "RDINT",
+        "QB",
+        "VSS",
+        "VSS",
+        1.5,
+    ));
+    netlist.push(Device::mosfet(
+        "MRD1",
+        DeviceKind::Nmos,
+        "RBL",
+        "RWL",
+        "RDINT",
+        "VSS",
+        1.5,
+    ));
     netlist
 }
 
@@ -168,14 +232,54 @@ pub fn compute_cell_netlist(cap_ff: f64) -> CellNetlist {
     );
     netlist.push(Device::capacitor("CF", "MOUT", "CBOT", cap_ff));
     // Top-plate reset to VCM.
-    netlist.push(Device::mosfet("MRST", DeviceKind::Nmos, "MOUT", "RST", "VCM", "VSS", 1.0));
+    netlist.push(Device::mosfet(
+        "MRST",
+        DeviceKind::Nmos,
+        "MOUT",
+        "RST",
+        "VCM",
+        "VSS",
+        1.0,
+    ));
     // Precharge of the read bit-line.
-    netlist.push(Device::mosfet("MPCH", DeviceKind::Pmos, "RBL", "PCH", "VDD", "VDD", 2.0));
+    netlist.push(Device::mosfet(
+        "MPCH",
+        DeviceKind::Pmos,
+        "RBL",
+        "PCH",
+        "VDD",
+        "VDD",
+        2.0,
+    ));
     // Bottom-plate switching for the SAR groups: P switch to VDD, N switch
     // to VSS, plus the redistribution switch onto the RBL.
-    netlist.push(Device::mosfet("MSWP", DeviceKind::Pmos, "CBOT", "P", "VDD", "VDD", 2.0));
-    netlist.push(Device::mosfet("MSWN", DeviceKind::Nmos, "CBOT", "N", "VSS", "VSS", 2.0));
-    netlist.push(Device::mosfet("MSHR", DeviceKind::Nmos, "CBOT", "RST", "RBL", "VSS", 2.0));
+    netlist.push(Device::mosfet(
+        "MSWP",
+        DeviceKind::Pmos,
+        "CBOT",
+        "P",
+        "VDD",
+        "VDD",
+        2.0,
+    ));
+    netlist.push(Device::mosfet(
+        "MSWN",
+        DeviceKind::Nmos,
+        "CBOT",
+        "N",
+        "VSS",
+        "VSS",
+        2.0,
+    ));
+    netlist.push(Device::mosfet(
+        "MSHR",
+        DeviceKind::Nmos,
+        "CBOT",
+        "RST",
+        "RBL",
+        "VSS",
+        2.0,
+    ));
     netlist
 }
 
@@ -188,15 +292,87 @@ pub fn comparator_netlist() -> CellNetlist {
             .map(|s| s.to_string())
             .collect(),
     );
-    netlist.push(Device::mosfet("MTAIL", DeviceKind::Nmos, "TAIL", "CLK", "VSS", "VSS", 4.0));
-    netlist.push(Device::mosfet("MINP", DeviceKind::Nmos, "X", "INP", "TAIL", "VSS", 3.0));
-    netlist.push(Device::mosfet("MINN", DeviceKind::Nmos, "Y", "INN", "TAIL", "VSS", 3.0));
-    netlist.push(Device::mosfet("MCCN0", DeviceKind::Nmos, "COM", "COMB", "X", "VSS", 2.0));
-    netlist.push(Device::mosfet("MCCN1", DeviceKind::Nmos, "COMB", "COM", "Y", "VSS", 2.0));
-    netlist.push(Device::mosfet("MCCP0", DeviceKind::Pmos, "COM", "COMB", "VDD", "VDD", 2.0));
-    netlist.push(Device::mosfet("MCCP1", DeviceKind::Pmos, "COMB", "COM", "VDD", "VDD", 2.0));
-    netlist.push(Device::mosfet("MRSP0", DeviceKind::Pmos, "COM", "CLK", "VDD", "VDD", 1.0));
-    netlist.push(Device::mosfet("MRSP1", DeviceKind::Pmos, "COMB", "CLK", "VDD", "VDD", 1.0));
+    netlist.push(Device::mosfet(
+        "MTAIL",
+        DeviceKind::Nmos,
+        "TAIL",
+        "CLK",
+        "VSS",
+        "VSS",
+        4.0,
+    ));
+    netlist.push(Device::mosfet(
+        "MINP",
+        DeviceKind::Nmos,
+        "X",
+        "INP",
+        "TAIL",
+        "VSS",
+        3.0,
+    ));
+    netlist.push(Device::mosfet(
+        "MINN",
+        DeviceKind::Nmos,
+        "Y",
+        "INN",
+        "TAIL",
+        "VSS",
+        3.0,
+    ));
+    netlist.push(Device::mosfet(
+        "MCCN0",
+        DeviceKind::Nmos,
+        "COM",
+        "COMB",
+        "X",
+        "VSS",
+        2.0,
+    ));
+    netlist.push(Device::mosfet(
+        "MCCN1",
+        DeviceKind::Nmos,
+        "COMB",
+        "COM",
+        "Y",
+        "VSS",
+        2.0,
+    ));
+    netlist.push(Device::mosfet(
+        "MCCP0",
+        DeviceKind::Pmos,
+        "COM",
+        "COMB",
+        "VDD",
+        "VDD",
+        2.0,
+    ));
+    netlist.push(Device::mosfet(
+        "MCCP1",
+        DeviceKind::Pmos,
+        "COMB",
+        "COM",
+        "VDD",
+        "VDD",
+        2.0,
+    ));
+    netlist.push(Device::mosfet(
+        "MRSP0",
+        DeviceKind::Pmos,
+        "COM",
+        "CLK",
+        "VDD",
+        "VDD",
+        1.0,
+    ));
+    netlist.push(Device::mosfet(
+        "MRSP1",
+        DeviceKind::Pmos,
+        "COMB",
+        "CLK",
+        "VDD",
+        "VDD",
+        1.0,
+    ));
     netlist
 }
 
@@ -209,15 +385,87 @@ pub fn dff_netlist() -> CellNetlist {
             .map(|s| s.to_string())
             .collect(),
     );
-    netlist.push(Device::mosfet("MP0", DeviceKind::Pmos, "N1", "D", "VDD", "VDD", 1.0));
-    netlist.push(Device::mosfet("MN0", DeviceKind::Nmos, "N1", "CLK", "N2", "VSS", 1.0));
-    netlist.push(Device::mosfet("MN1", DeviceKind::Nmos, "N2", "D", "VSS", "VSS", 1.0));
-    netlist.push(Device::mosfet("MP1", DeviceKind::Pmos, "N3", "CLK", "VDD", "VDD", 1.0));
-    netlist.push(Device::mosfet("MN2", DeviceKind::Nmos, "N3", "N1", "VSS", "VSS", 1.0));
-    netlist.push(Device::mosfet("MP2", DeviceKind::Pmos, "Q", "N3", "VDD", "VDD", 1.5));
-    netlist.push(Device::mosfet("MN3", DeviceKind::Nmos, "Q", "N3", "VSS", "VSS", 1.5));
-    netlist.push(Device::mosfet("MP3", DeviceKind::Pmos, "QB", "Q", "VDD", "VDD", 1.0));
-    netlist.push(Device::mosfet("MN4", DeviceKind::Nmos, "QB", "Q", "VSS", "VSS", 1.0));
+    netlist.push(Device::mosfet(
+        "MP0",
+        DeviceKind::Pmos,
+        "N1",
+        "D",
+        "VDD",
+        "VDD",
+        1.0,
+    ));
+    netlist.push(Device::mosfet(
+        "MN0",
+        DeviceKind::Nmos,
+        "N1",
+        "CLK",
+        "N2",
+        "VSS",
+        1.0,
+    ));
+    netlist.push(Device::mosfet(
+        "MN1",
+        DeviceKind::Nmos,
+        "N2",
+        "D",
+        "VSS",
+        "VSS",
+        1.0,
+    ));
+    netlist.push(Device::mosfet(
+        "MP1",
+        DeviceKind::Pmos,
+        "N3",
+        "CLK",
+        "VDD",
+        "VDD",
+        1.0,
+    ));
+    netlist.push(Device::mosfet(
+        "MN2",
+        DeviceKind::Nmos,
+        "N3",
+        "N1",
+        "VSS",
+        "VSS",
+        1.0,
+    ));
+    netlist.push(Device::mosfet(
+        "MP2",
+        DeviceKind::Pmos,
+        "Q",
+        "N3",
+        "VDD",
+        "VDD",
+        1.5,
+    ));
+    netlist.push(Device::mosfet(
+        "MN3",
+        DeviceKind::Nmos,
+        "Q",
+        "N3",
+        "VSS",
+        "VSS",
+        1.5,
+    ));
+    netlist.push(Device::mosfet(
+        "MP3",
+        DeviceKind::Pmos,
+        "QB",
+        "Q",
+        "VDD",
+        "VDD",
+        1.0,
+    ));
+    netlist.push(Device::mosfet(
+        "MN4",
+        DeviceKind::Nmos,
+        "QB",
+        "Q",
+        "VSS",
+        "VSS",
+        1.0,
+    ));
     netlist
 }
 
@@ -230,8 +478,24 @@ pub fn cmos_switch_netlist() -> CellNetlist {
             .map(|s| s.to_string())
             .collect(),
     );
-    netlist.push(Device::mosfet("MTGN", DeviceKind::Nmos, "A", "EN", "B", "VSS", 3.0));
-    netlist.push(Device::mosfet("MTGP", DeviceKind::Pmos, "A", "ENB", "B", "VDD", 3.0));
+    netlist.push(Device::mosfet(
+        "MTGN",
+        DeviceKind::Nmos,
+        "A",
+        "EN",
+        "B",
+        "VSS",
+        3.0,
+    ));
+    netlist.push(Device::mosfet(
+        "MTGP",
+        DeviceKind::Pmos,
+        "A",
+        "ENB",
+        "B",
+        "VDD",
+        3.0,
+    ));
     netlist
 }
 
@@ -239,12 +503,47 @@ pub fn cmos_switch_netlist() -> CellNetlist {
 /// buffers and clock drivers).
 pub fn buffer_netlist() -> CellNetlist {
     let mut netlist = CellNetlist::new(
-        ["A", "Y", "VDD", "VSS"].iter().map(|s| s.to_string()).collect(),
+        ["A", "Y", "VDD", "VSS"]
+            .iter()
+            .map(|s| s.to_string())
+            .collect(),
     );
-    netlist.push(Device::mosfet("MP0", DeviceKind::Pmos, "MID", "A", "VDD", "VDD", 2.0));
-    netlist.push(Device::mosfet("MN0", DeviceKind::Nmos, "MID", "A", "VSS", "VSS", 1.0));
-    netlist.push(Device::mosfet("MP1", DeviceKind::Pmos, "Y", "MID", "VDD", "VDD", 4.0));
-    netlist.push(Device::mosfet("MN1", DeviceKind::Nmos, "Y", "MID", "VSS", "VSS", 2.0));
+    netlist.push(Device::mosfet(
+        "MP0",
+        DeviceKind::Pmos,
+        "MID",
+        "A",
+        "VDD",
+        "VDD",
+        2.0,
+    ));
+    netlist.push(Device::mosfet(
+        "MN0",
+        DeviceKind::Nmos,
+        "MID",
+        "A",
+        "VSS",
+        "VSS",
+        1.0,
+    ));
+    netlist.push(Device::mosfet(
+        "MP1",
+        DeviceKind::Pmos,
+        "Y",
+        "MID",
+        "VDD",
+        "VDD",
+        4.0,
+    ));
+    netlist.push(Device::mosfet(
+        "MN1",
+        DeviceKind::Nmos,
+        "Y",
+        "MID",
+        "VSS",
+        "VSS",
+        2.0,
+    ));
     netlist
 }
 
@@ -258,11 +557,51 @@ pub fn sar_logic_netlist() -> CellNetlist {
             .map(|s| s.to_string())
             .collect(),
     );
-    netlist.push(Device::mosfet("MP0", DeviceKind::Pmos, "SEQ", "START", "VDD", "VDD", 1.0));
-    netlist.push(Device::mosfet("MN0", DeviceKind::Nmos, "SEQ", "CLK", "SEQ1", "VSS", 1.0));
-    netlist.push(Device::mosfet("MN1", DeviceKind::Nmos, "SEQ1", "COM", "VSS", "VSS", 1.0));
-    netlist.push(Device::mosfet("MP1", DeviceKind::Pmos, "DONE", "SEQ", "VDD", "VDD", 1.0));
-    netlist.push(Device::mosfet("MN2", DeviceKind::Nmos, "DONE", "SEQ", "VSS", "VSS", 1.0));
+    netlist.push(Device::mosfet(
+        "MP0",
+        DeviceKind::Pmos,
+        "SEQ",
+        "START",
+        "VDD",
+        "VDD",
+        1.0,
+    ));
+    netlist.push(Device::mosfet(
+        "MN0",
+        DeviceKind::Nmos,
+        "SEQ",
+        "CLK",
+        "SEQ1",
+        "VSS",
+        1.0,
+    ));
+    netlist.push(Device::mosfet(
+        "MN1",
+        DeviceKind::Nmos,
+        "SEQ1",
+        "COM",
+        "VSS",
+        "VSS",
+        1.0,
+    ));
+    netlist.push(Device::mosfet(
+        "MP1",
+        DeviceKind::Pmos,
+        "DONE",
+        "SEQ",
+        "VDD",
+        "VDD",
+        1.0,
+    ));
+    netlist.push(Device::mosfet(
+        "MN2",
+        DeviceKind::Nmos,
+        "DONE",
+        "SEQ",
+        "VSS",
+        "VSS",
+        1.0,
+    ));
     netlist
 }
 

@@ -1,0 +1,97 @@
+//! Error type of the chip crate.
+
+use std::error::Error;
+use std::fmt;
+
+use acim_arch::ArchError;
+use acim_model::ModelError;
+use acim_workloads::WorkloadError;
+
+/// Errors produced while composing or evaluating a chip.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ChipError {
+    /// A chip-level parameter was invalid.
+    InvalidConfig {
+        /// Parameter name.
+        name: String,
+        /// Why it was rejected.
+        reason: String,
+    },
+    /// An error bubbled up from the architecture crate.
+    Arch(ArchError),
+    /// An error bubbled up from the estimation model.
+    Model(ModelError),
+    /// An error bubbled up from the workloads crate.
+    Workload(WorkloadError),
+}
+
+impl ChipError {
+    /// Convenience constructor for configuration errors.
+    pub fn invalid_config(name: impl Into<String>, reason: impl Into<String>) -> Self {
+        ChipError::InvalidConfig {
+            name: name.into(),
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for ChipError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ChipError::InvalidConfig { name, reason } => {
+                write!(f, "invalid chip parameter `{name}`: {reason}")
+            }
+            ChipError::Arch(err) => write!(f, "architecture error: {err}"),
+            ChipError::Model(err) => write!(f, "estimation-model error: {err}"),
+            ChipError::Workload(err) => write!(f, "workload error: {err}"),
+        }
+    }
+}
+
+impl Error for ChipError {
+    fn source(&self) -> Option<&(dyn Error + 'static)> {
+        match self {
+            ChipError::Arch(err) => Some(err),
+            ChipError::Model(err) => Some(err),
+            ChipError::Workload(err) => Some(err),
+            ChipError::InvalidConfig { .. } => None,
+        }
+    }
+}
+
+impl From<ArchError> for ChipError {
+    fn from(err: ArchError) -> Self {
+        ChipError::Arch(err)
+    }
+}
+
+impl From<ModelError> for ChipError {
+    fn from(err: ModelError) -> Self {
+        ChipError::Model(err)
+    }
+}
+
+impl From<WorkloadError> for ChipError {
+    fn from(err: WorkloadError) -> Self {
+        ChipError::Workload(err)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_and_conversion() {
+        let e = ChipError::invalid_config("grid", "must be non-empty");
+        assert!(e.to_string().contains("grid"));
+        let e: ChipError = ArchError::invalid_spec("x", "y").into();
+        assert!(e.to_string().contains("architecture error"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<ChipError>();
+    }
+}

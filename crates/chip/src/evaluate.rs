@@ -1,0 +1,475 @@
+//! The chip-level analytic evaluator.
+//!
+//! Composes the macro estimation model of `acim-model` with the
+//! interconnect / global-buffer / accumulation cost model of
+//! [`crate::interconnect`] into four chip-level objectives:
+//!
+//! * **throughput** — effective TOPS over one inference (layer latencies
+//!   are serial, tile execution within a layer is parallel),
+//! * **energy per inference** — macro MAC energy + digital accumulation +
+//!   buffer traffic + NoC traffic + buffer leakage,
+//! * **area** — macro arrays + global buffer + routers + adder trees,
+//! * **accuracy proxy** — the worst per-layer SNR after the requantisation
+//!   penalty of deep partial-sum accumulation.
+//!
+//! Layer evaluation is embarrassingly parallel and runs under `rayon`;
+//! every per-layer quantity is a pure function of `(chip, network, params)`
+//! so the parallel result is bit-identical to the sequential one.
+
+use std::fmt;
+
+use acim_model::{
+    evaluate as evaluate_macro, throughput::cycle_time_ns, DesignMetrics, ModelParams,
+};
+use rayon::prelude::*;
+
+use crate::error::ChipError;
+use crate::grid::MacroGrid;
+use crate::interconnect::ChipCostParams;
+use crate::network::Network;
+use crate::partition::{partition_network, LayerPartition};
+
+/// A complete chip specification: the macro grid plus the sizing of the
+/// shared global buffer.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChipSpec {
+    /// The macro grid.
+    pub grid: MacroGrid,
+    /// Global-buffer capacity in KiB.
+    pub buffer_kib: usize,
+}
+
+impl ChipSpec {
+    /// Creates a chip specification.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChipError::InvalidConfig`] when the buffer capacity is
+    /// zero.
+    pub fn new(grid: MacroGrid, buffer_kib: usize) -> Result<Self, ChipError> {
+        if buffer_kib == 0 {
+            return Err(ChipError::invalid_config(
+                "buffer_kib",
+                "global buffer capacity must be positive",
+            ));
+        }
+        Ok(Self { grid, buffer_kib })
+    }
+
+    /// Buffer capacity in bits.
+    pub fn buffer_bits(&self) -> usize {
+        self.buffer_kib * 1024 * 8
+    }
+}
+
+impl fmt::Display for ChipSpec {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "CHIP[{} buf={}KiB]", self.grid, self.buffer_kib)
+    }
+}
+
+/// Estimated cost of one layer on the chip.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerCost {
+    /// Layer name.
+    pub name: String,
+    /// Compute latency (slowest macro) in ns.
+    pub compute_ns: f64,
+    /// Buffer/NoC traffic latency in ns.
+    pub traffic_ns: f64,
+    /// Layer latency in ns (compute/traffic overlap, plus NoC fill).
+    pub latency_ns: f64,
+    /// Macro MAC energy in fJ.
+    pub mac_energy_fj: f64,
+    /// Digital partial-sum accumulation energy in fJ.
+    pub accumulation_energy_fj: f64,
+    /// Global-buffer access energy in fJ.
+    pub buffer_energy_fj: f64,
+    /// Mesh-interconnect energy in fJ.
+    pub noc_energy_fj: f64,
+    /// How many times the layer's weights are re-staged through the
+    /// buffer (1 = fits in one residency).
+    pub refetch_factor: usize,
+    /// Accuracy proxy: worst macro SNR on this layer after the
+    /// requantisation penalty, in dB.
+    pub snr_db: f64,
+    /// Useful MACs over issued MACs in `(0, 1]`.
+    pub utilization: f64,
+}
+
+impl LayerCost {
+    /// Total layer energy in fJ.
+    pub fn energy_fj(&self) -> f64 {
+        self.mac_energy_fj
+            + self.accumulation_energy_fj
+            + self.buffer_energy_fj
+            + self.noc_energy_fj
+    }
+}
+
+/// Chip-level figures of merit for one network.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChipMetrics {
+    /// End-to-end latency of one inference in ns.
+    pub latency_ns: f64,
+    /// Inferences per second.
+    pub inferences_per_s: f64,
+    /// Effective throughput in TOPS (2 ops per useful MAC).
+    pub throughput_tops: f64,
+    /// Energy per inference in pJ (including buffer leakage).
+    pub energy_per_inference_pj: f64,
+    /// Total chip area in MF² (millions of squared feature sizes).
+    pub area_mf2: f64,
+    /// End-to-end accuracy proxy: the worst layer SNR in dB.
+    pub accuracy_db: f64,
+    /// Mean layer utilization.
+    pub mean_utilization: f64,
+    /// Per-layer cost breakdown, in network order.
+    pub layers: Vec<LayerCost>,
+}
+
+impl ChipMetrics {
+    /// Objective vector in the minimisation form matching the macro-level
+    /// Equation 12 ordering: `[−accuracy, −throughput, energy, area]`.
+    pub fn objective_vector(&self) -> Vec<f64> {
+        vec![
+            -self.accuracy_db,
+            -self.throughput_tops,
+            self.energy_per_inference_pj,
+            self.area_mf2,
+        ]
+    }
+}
+
+/// Evaluates chip specifications against networks with the analytic model.
+#[derive(Debug, Clone)]
+pub struct ChipEvaluator {
+    params: ModelParams,
+    cost: ChipCostParams,
+}
+
+impl ChipEvaluator {
+    /// Creates an evaluator.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChipError`] when either parameter set is invalid.
+    pub fn new(params: ModelParams, cost: ChipCostParams) -> Result<Self, ChipError> {
+        params.validate()?;
+        cost.validate()?;
+        Ok(Self { params, cost })
+    }
+
+    /// Evaluator with the default 28 nm parameters.
+    pub fn s28_default() -> Self {
+        Self {
+            params: ModelParams::s28_default(),
+            cost: ChipCostParams::s28_default(),
+        }
+    }
+
+    /// The macro estimation-model parameters in use.
+    pub fn params(&self) -> &ModelParams {
+        &self.params
+    }
+
+    /// The chip cost parameters in use.
+    pub fn cost(&self) -> &ChipCostParams {
+        &self.cost
+    }
+
+    /// Evaluates one chip on one network.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChipError`] when the network is empty or a macro
+    /// specification fails the estimation model.
+    pub fn evaluate(&self, chip: &ChipSpec, network: &Network) -> Result<ChipMetrics, ChipError> {
+        let grid = &chip.grid;
+        let macro_metrics: Vec<DesignMetrics> = grid
+            .specs()
+            .iter()
+            .map(|spec| evaluate_macro(spec, &self.params))
+            .collect::<Result<_, _>>()?;
+        let cycle_ns: Vec<f64> = grid
+            .specs()
+            .iter()
+            .map(|spec| cycle_time_ns(spec, &self.params))
+            .collect();
+        let partition = partition_network(grid, network, &cycle_ns)?;
+
+        // Per-layer costs are independent — evaluate them in parallel.
+        // Order is preserved by `collect`, keeping results deterministic.
+        let layers: Vec<LayerCost> = partition
+            .layers
+            .par_iter()
+            .map(|placement| self.layer_cost(chip, network, placement, &macro_metrics))
+            .collect();
+
+        let compute_latency_ns: f64 = layers.iter().map(|l| l.latency_ns).sum();
+        let latency_ns = compute_latency_ns.max(f64::MIN_POSITIVE);
+        let leakage_fj =
+            self.cost.buffer.leakage_fj_per_ns_per_kib * chip.buffer_kib as f64 * latency_ns;
+        let energy_fj: f64 = layers.iter().map(LayerCost::energy_fj).sum::<f64>() + leakage_fj;
+
+        let useful_macs = network.total_macs() as f64;
+        let throughput_tops = 2.0 * useful_macs / latency_ns / 1000.0;
+        let accuracy_db = layers
+            .iter()
+            .map(|l| l.snr_db)
+            .fold(f64::INFINITY, f64::min);
+        let mean_utilization =
+            layers.iter().map(|l| l.utilization).sum::<f64>() / layers.len() as f64;
+
+        Ok(ChipMetrics {
+            latency_ns,
+            inferences_per_s: 1e9 / latency_ns,
+            throughput_tops,
+            energy_per_inference_pj: energy_fj / 1000.0,
+            area_mf2: self.chip_area_f2(chip) / 1e6,
+            accuracy_db,
+            mean_utilization,
+            layers,
+        })
+    }
+
+    /// Total chip area in F²: macro arrays + buffer + routers + adders.
+    fn chip_area_f2(&self, chip: &ChipSpec) -> f64 {
+        let macro_area: f64 = chip
+            .grid
+            .specs()
+            .iter()
+            .map(|spec| {
+                // area_f2_per_bit already amortises the macro periphery.
+                acim_model::area_f2_per_bit(spec, &self.params)
+                    .map(|a| a * spec.array_size() as f64)
+                    .unwrap_or(f64::INFINITY)
+            })
+            .sum();
+        let buffer_area = chip.buffer_bits() as f64 * self.cost.buffer.area_f2_per_bit;
+        let router_area = chip.grid.num_macros() as f64 * self.cost.interconnect.router_area_f2;
+        let adder_area: f64 = chip
+            .grid
+            .specs()
+            .iter()
+            .map(|spec| spec.width() as f64 * self.cost.accumulator.adder_area_f2_per_column)
+            .sum();
+        macro_area + buffer_area + router_area + adder_area
+    }
+
+    /// Costs one layer's placement.
+    fn layer_cost(
+        &self,
+        chip: &ChipSpec,
+        network: &Network,
+        placement: &LayerPartition,
+        macro_metrics: &[DesignMetrics],
+    ) -> LayerCost {
+        let layer = &network.layers[placement.layer];
+        let (outputs, dot_length) = placement.shape;
+        let weight_bits = (outputs * dot_length) as f64;
+
+        // Working set: the layer's weights plus one activation vector and
+        // one output vector (32-bit partials).  When it exceeds the buffer,
+        // weights are re-staged `refetch_factor` times.
+        let working_set_bits = weight_bits + dot_length as f64 + 32.0 * outputs as f64;
+        let refetch_factor = (working_set_bits / chip.buffer_bits() as f64)
+            .ceil()
+            .max(1.0);
+
+        let mut mac_energy_fj = 0.0;
+        let mut accumulation_energy_fj = 0.0;
+        let mut buffer_read_bits = 0.0;
+        let mut buffer_write_bits = 0.0;
+        let mut noc_bit_hops = 0.0;
+        let mut issued_macs = 0.0;
+        for tile in &placement.tiles {
+            let spec = chip.grid.spec(tile.macro_index);
+            let metrics = &macro_metrics[tile.macro_index];
+            let chunks = tile.cycles as f64;
+            // The macro switches its whole array every cycle regardless of
+            // how many columns the tile fills.
+            issued_macs += chunks * spec.macs_per_cycle() as f64;
+            mac_energy_fj += chunks * spec.macs_per_cycle() as f64 * metrics.energy_per_mac_fj;
+            // One digital add folds each chunk's ADC code per output row.
+            accumulation_energy_fj +=
+                chunks * tile.rows as f64 * self.cost.accumulator.add_energy_fj;
+
+            // Traffic per tile: weights in, activations in, codes out.
+            let tile_weight_bits = (tile.rows * dot_length) as f64 * refetch_factor;
+            let activation_bits = dot_length as f64;
+            let code_bits = chunks * tile.rows as f64 * f64::from(spec.adc_bits());
+            buffer_read_bits += tile_weight_bits + activation_bits;
+            buffer_write_bits += code_bits;
+            let hops = chip.grid.hops_from_buffer(tile.macro_index) as f64;
+            noc_bit_hops += (tile_weight_bits + activation_bits + code_bits) * hops;
+        }
+
+        let buffer_energy_fj = buffer_read_bits * self.cost.buffer.read_energy_fj_per_bit
+            + buffer_write_bits * self.cost.buffer.write_energy_fj_per_bit;
+        let noc_energy_fj = noc_bit_hops * self.cost.interconnect.hop_energy_fj_per_bit;
+
+        let compute_ns = placement.compute_ns();
+        let traffic_ns =
+            (buffer_read_bits + buffer_write_bits) / self.cost.buffer.bandwidth_bits_per_ns;
+        // Double buffering overlaps compute and traffic; the mesh adds a
+        // pipeline-fill delay to the farthest used macro.
+        let fill_ns = placement
+            .tiles
+            .iter()
+            .map(|t| chip.grid.hops_from_buffer(t.macro_index))
+            .max()
+            .unwrap_or(0) as f64
+            * self.cost.interconnect.hop_latency_ns;
+        let latency_ns = compute_ns.max(traffic_ns) + fill_ns;
+
+        // Accuracy proxy: the worst macro SNR on this layer, degraded by
+        // the requantisation loss of accumulating many chunks.
+        let snr_db = placement
+            .tiles
+            .iter()
+            .map(|tile| {
+                let chunks = tile.cycles as f64;
+                macro_metrics[tile.macro_index].snr_db
+                    - self.cost.accumulator.requant_penalty_db_per_doubling * chunks.log2().max(0.0)
+            })
+            .fold(f64::INFINITY, f64::min);
+
+        LayerCost {
+            name: layer.name.clone(),
+            compute_ns,
+            traffic_ns,
+            latency_ns,
+            mac_energy_fj,
+            accumulation_energy_fj,
+            buffer_energy_fj,
+            noc_energy_fj,
+            refetch_factor: refetch_factor as usize,
+            snr_db,
+            utilization: (weight_bits / issued_macs).min(1.0),
+        }
+    }
+
+    /// Evaluates many chips at once (used by the DSE problem); parallel
+    /// across chips via `rayon`, deterministic in input order.
+    pub fn evaluate_batch(
+        &self,
+        chips: &[ChipSpec],
+        network: &Network,
+    ) -> Vec<Result<ChipMetrics, ChipError>> {
+        chips
+            .par_iter()
+            .map(|chip| self.evaluate(chip, network))
+            .collect()
+    }
+}
+
+/// Convenience: partitions and evaluates in one call with default
+/// parameters (used by examples and benches).
+///
+/// # Errors
+///
+/// Returns [`ChipError`] when evaluation fails.
+pub fn evaluate_chip(chip: &ChipSpec, network: &Network) -> Result<ChipMetrics, ChipError> {
+    ChipEvaluator::s28_default().evaluate(chip, network)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acim_arch::AcimSpec;
+
+    fn spec(h: usize, w: usize, l: usize, b: u32) -> AcimSpec {
+        AcimSpec::from_dimensions(h, w, l, b).unwrap()
+    }
+
+    fn chip(rows: usize, cols: usize, buffer_kib: usize) -> ChipSpec {
+        ChipSpec::new(
+            MacroGrid::uniform(rows, cols, spec(128, 32, 4, 4)).unwrap(),
+            buffer_kib,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn evaluation_produces_finite_positive_metrics() {
+        let metrics = evaluate_chip(&chip(2, 2, 64), &Network::edge_cnn(2)).unwrap();
+        assert!(metrics.latency_ns > 0.0 && metrics.latency_ns.is_finite());
+        assert!(metrics.throughput_tops > 0.0);
+        assert!(metrics.energy_per_inference_pj > 0.0);
+        assert!(metrics.area_mf2 > 0.0);
+        assert!(metrics.accuracy_db.is_finite());
+        assert!(metrics.mean_utilization > 0.0 && metrics.mean_utilization <= 1.0);
+        assert_eq!(metrics.layers.len(), 4);
+        let v = metrics.objective_vector();
+        assert_eq!(v.len(), 4);
+        assert!(v.iter().all(|o| o.is_finite()));
+    }
+
+    #[test]
+    fn more_macros_cut_latency_but_cost_area() {
+        let small = evaluate_chip(&chip(1, 1, 64), &Network::edge_cnn(2)).unwrap();
+        let big = evaluate_chip(&chip(2, 2, 64), &Network::edge_cnn(2)).unwrap();
+        assert!(
+            big.latency_ns < small.latency_ns,
+            "grid should parallelise tiles"
+        );
+        assert!(big.area_mf2 > small.area_mf2);
+    }
+
+    #[test]
+    fn tiny_buffers_refetch_and_pay_energy() {
+        let net = Network::edge_cnn(2);
+        // block layers hold 64×288 = 18 KiB of weight bits ≈ 2.25 KiB.
+        let tight = evaluate_chip(&chip(2, 2, 1), &net).unwrap();
+        let roomy = evaluate_chip(&chip(2, 2, 64), &net).unwrap();
+        assert!(tight.layers.iter().any(|l| l.refetch_factor > 1));
+        assert!(roomy.layers.iter().all(|l| l.refetch_factor == 1));
+        let tight_buffer: f64 = tight.layers.iter().map(|l| l.buffer_energy_fj).sum();
+        let roomy_buffer: f64 = roomy.layers.iter().map(|l| l.buffer_energy_fj).sum();
+        assert!(tight_buffer > roomy_buffer);
+        // …but the big buffer costs area.
+        assert!(roomy.area_mf2 > tight.area_mf2);
+    }
+
+    #[test]
+    fn evaluation_is_deterministic_with_parallel_layers() {
+        let chip = chip(2, 3, 32);
+        let net = Network::edge_cnn(4);
+        let evaluator = ChipEvaluator::s28_default();
+        let a = evaluator.evaluate(&chip, &net).unwrap();
+        let b = evaluator.evaluate(&chip, &net).unwrap();
+        assert_eq!(a, b, "parallel evaluation must be bit-deterministic");
+    }
+
+    #[test]
+    fn batch_evaluation_matches_individual_runs() {
+        let chips = vec![chip(1, 1, 32), chip(1, 2, 32), chip(2, 2, 32)];
+        let net = Network::transformer_block();
+        let evaluator = ChipEvaluator::s28_default();
+        let batch = evaluator.evaluate_batch(&chips, &net);
+        for (chip, result) in chips.iter().zip(batch) {
+            assert_eq!(result.unwrap(), evaluator.evaluate(chip, &net).unwrap());
+        }
+    }
+
+    #[test]
+    fn accuracy_proxy_tracks_macro_snr() {
+        let net = Network::transformer_block();
+        let low_b =
+            ChipSpec::new(MacroGrid::uniform(1, 2, spec(128, 32, 4, 2)).unwrap(), 32).unwrap();
+        let high_b =
+            ChipSpec::new(MacroGrid::uniform(1, 2, spec(128, 32, 4, 5)).unwrap(), 32).unwrap();
+        let low = evaluate_chip(&low_b, &net).unwrap();
+        let high = evaluate_chip(&high_b, &net).unwrap();
+        assert!(high.accuracy_db > low.accuracy_db);
+    }
+
+    #[test]
+    fn empty_network_and_zero_buffer_rejected() {
+        assert!(ChipSpec::new(MacroGrid::uniform(1, 1, spec(128, 32, 4, 4)).unwrap(), 0).is_err());
+        let evaluator = ChipEvaluator::s28_default();
+        let empty = Network::new("empty", vec![]);
+        assert!(evaluator.evaluate(&chip(1, 1, 32), &empty).is_err());
+    }
+}

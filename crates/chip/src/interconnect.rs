@@ -1,0 +1,185 @@
+//! Chip-level cost parameters: mesh interconnect, global buffer, and
+//! digital accumulation.
+//!
+//! The macro-level model of `acim-model` stops at the array boundary.  At
+//! chip level three more costs dominate the off-macro picture:
+//!
+//! * **interconnect** — moving activation/weight/result bits over the mesh
+//!   between the global buffer and the macros (energy per bit per hop,
+//!   latency per hop),
+//! * **global buffer** — an SRAM holding the current layer's weights and
+//!   activations (read/write energy per bit, finite bandwidth, area), and
+//! * **digital accumulation** — the adder tree that folds the per-chunk
+//!   ADC codes into full dot products.
+//!
+//! Defaults are derived from the same 28 nm operating point as
+//! `ModelParams::s28_default`; all energies are in femtojoules so they
+//! compose directly with the macro energy model.
+
+use crate::error::ChipError;
+
+/// Mesh-interconnect cost parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct InterconnectParams {
+    /// Energy to move one bit across one mesh hop, in fJ.
+    pub hop_energy_fj_per_bit: f64,
+    /// Latency of one mesh hop in ns (store-and-forward per flit batch).
+    pub hop_latency_ns: f64,
+    /// Link width in bits (one flit).
+    pub link_width_bits: usize,
+    /// Router area per mesh node in F².
+    pub router_area_f2: f64,
+}
+
+/// Global-buffer (SRAM) cost parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct BufferParams {
+    /// Read energy per bit in fJ.
+    pub read_energy_fj_per_bit: f64,
+    /// Write energy per bit in fJ.
+    pub write_energy_fj_per_bit: f64,
+    /// Sustained bandwidth in bits per ns.
+    pub bandwidth_bits_per_ns: f64,
+    /// Area per bit of buffer capacity in F².
+    pub area_f2_per_bit: f64,
+    /// Static leakage power in fJ per ns (i.e. µW-scale leakage) per KiB.
+    pub leakage_fj_per_ns_per_kib: f64,
+}
+
+/// Digital-accumulation cost parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct AccumulatorParams {
+    /// Energy of one partial-sum add in fJ.
+    pub add_energy_fj: f64,
+    /// Adder-tree area per macro column in F².
+    pub adder_area_f2_per_column: f64,
+    /// SNR penalty applied per doubling of accumulated chunks, in dB —
+    /// models the requantisation loss of folding many low-precision
+    /// partial sums (0 disables the penalty).
+    pub requant_penalty_db_per_doubling: f64,
+}
+
+/// All chip-level cost parameters.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct ChipCostParams {
+    /// Mesh interconnect.
+    pub interconnect: InterconnectParams,
+    /// Global buffer.
+    pub buffer: BufferParams,
+    /// Digital accumulation.
+    pub accumulator: AccumulatorParams,
+}
+
+impl ChipCostParams {
+    /// Default chip-cost parameters at the 28 nm operating point.
+    pub fn s28_default() -> Self {
+        Self {
+            interconnect: InterconnectParams {
+                hop_energy_fj_per_bit: 0.8,
+                hop_latency_ns: 0.5,
+                link_width_bits: 64,
+                router_area_f2: 1.2e6,
+            },
+            buffer: BufferParams {
+                read_energy_fj_per_bit: 0.6,
+                write_energy_fj_per_bit: 0.8,
+                bandwidth_bits_per_ns: 256.0,
+                area_f2_per_bit: 140.0,
+                leakage_fj_per_ns_per_kib: 0.02,
+            },
+            accumulator: AccumulatorParams {
+                add_energy_fj: 3.0,
+                adder_area_f2_per_column: 9.0e3,
+                requant_penalty_db_per_doubling: 0.75,
+            },
+        }
+    }
+
+    /// Validates the parameter set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChipError::InvalidConfig`] when any cost is negative or a
+    /// required rate is not positive.
+    pub fn validate(&self) -> Result<(), ChipError> {
+        let nonnegative = [
+            (
+                "hop_energy_fj_per_bit",
+                self.interconnect.hop_energy_fj_per_bit,
+            ),
+            ("hop_latency_ns", self.interconnect.hop_latency_ns),
+            ("router_area_f2", self.interconnect.router_area_f2),
+            ("read_energy_fj_per_bit", self.buffer.read_energy_fj_per_bit),
+            (
+                "write_energy_fj_per_bit",
+                self.buffer.write_energy_fj_per_bit,
+            ),
+            ("area_f2_per_bit", self.buffer.area_f2_per_bit),
+            (
+                "leakage_fj_per_ns_per_kib",
+                self.buffer.leakage_fj_per_ns_per_kib,
+            ),
+            ("add_energy_fj", self.accumulator.add_energy_fj),
+            (
+                "adder_area_f2_per_column",
+                self.accumulator.adder_area_f2_per_column,
+            ),
+            (
+                "requant_penalty_db_per_doubling",
+                self.accumulator.requant_penalty_db_per_doubling,
+            ),
+        ];
+        for (name, value) in nonnegative {
+            if !value.is_finite() || value < 0.0 {
+                return Err(ChipError::invalid_config(
+                    name,
+                    format!("{value} must be >= 0"),
+                ));
+            }
+        }
+        if self.buffer.bandwidth_bits_per_ns <= 0.0
+            || !self.buffer.bandwidth_bits_per_ns.is_finite()
+        {
+            return Err(ChipError::invalid_config(
+                "bandwidth_bits_per_ns",
+                "bandwidth must be positive",
+            ));
+        }
+        if self.interconnect.link_width_bits == 0 {
+            return Err(ChipError::invalid_config(
+                "link_width_bits",
+                "link width must be positive",
+            ));
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_validate() {
+        assert!(ChipCostParams::s28_default().validate().is_ok());
+    }
+
+    #[test]
+    fn negative_or_zero_parameters_rejected() {
+        let mut params = ChipCostParams::s28_default();
+        params.interconnect.hop_energy_fj_per_bit = -1.0;
+        assert!(params.validate().is_err());
+
+        let mut params = ChipCostParams::s28_default();
+        params.buffer.bandwidth_bits_per_ns = 0.0;
+        assert!(params.validate().is_err());
+
+        let mut params = ChipCostParams::s28_default();
+        params.interconnect.link_width_bits = 0;
+        assert!(params.validate().is_err());
+
+        let mut params = ChipCostParams::s28_default();
+        params.accumulator.add_energy_fj = f64::NAN;
+        assert!(params.validate().is_err());
+    }
+}

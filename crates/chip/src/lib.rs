@@ -1,0 +1,63 @@
+//! # acim-chip
+//!
+//! Chip-level multi-macro accelerator model for the EasyACIM
+//! reproduction.
+//!
+//! The paper's flow produces *one* distilled ACIM macro, but the
+//! applications that motivate it (Figure 1's transformers, CNNs and SNNs)
+//! never fit a single array.  This crate composes distilled macros into a
+//! full accelerator and turns per-macro figures of merit into end-to-end
+//! network objectives:
+//!
+//! * [`grid`] — a mesh of (possibly heterogeneous) macro instances,
+//! * [`network`] — whole-network workloads built from the single-MVM
+//!   generators of `acim-workloads`,
+//! * [`partition`] — deterministic least-finish-time tiling of every
+//!   layer across the grid (the multi-macro generalisation of
+//!   `acim-workloads::mapping`),
+//! * [`interconnect`] — mesh, global-buffer and digital-accumulation cost
+//!   parameters,
+//! * [`evaluate`] — the analytic chip evaluator: throughput, energy per
+//!   inference, area and an accuracy proxy, with rayon-parallel (and
+//!   bit-deterministic) layer evaluation,
+//! * [`simulate`] — the behavioural validation path, driving one
+//!   `acim_arch::AcimMacro` per grid position.
+//!
+//! `acim-dse` builds a `ChipDesignProblem` on top of this crate so NSGA-II
+//! can co-explore macro shape × macro count × buffer sizing, and
+//! `easyacim` exposes it as a `ChipFlow` stage.
+//!
+//! # Example
+//!
+//! ```
+//! use acim_arch::AcimSpec;
+//! use acim_chip::{evaluate_chip, ChipSpec, MacroGrid, Network};
+//!
+//! # fn main() -> Result<(), acim_chip::ChipError> {
+//! let spec = AcimSpec::from_dimensions(128, 32, 4, 4)?;
+//! let chip = ChipSpec::new(MacroGrid::uniform(2, 2, spec)?, 64)?;
+//! let metrics = evaluate_chip(&chip, &Network::edge_cnn(2))?;
+//! assert!(metrics.throughput_tops > 0.0);
+//! assert!(metrics.layers.len() == 4);
+//! # Ok(())
+//! # }
+//! ```
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod error;
+pub mod evaluate;
+pub mod grid;
+pub mod interconnect;
+pub mod network;
+pub mod partition;
+pub mod simulate;
+
+pub use error::ChipError;
+pub use evaluate::{evaluate_chip, ChipEvaluator, ChipMetrics, ChipSpec, LayerCost};
+pub use grid::MacroGrid;
+pub use interconnect::{AccumulatorParams, BufferParams, ChipCostParams, InterconnectParams};
+pub use network::{LayerKind, Network, NetworkLayer};
+pub use partition::{partition_network, LayerPartition, Partition, TileAssignment};
+pub use simulate::{simulate_network, ChipSimReport, LayerSimReport};

@@ -1,0 +1,258 @@
+//! Partitioning a network's layers across the macro grid.
+//!
+//! This generalises `acim-workloads::mapping` from one matrix on one macro
+//! to a whole network on a grid: each layer's weight matrix is cut into
+//! **output tiles** (a contiguous run of output rows no wider than the
+//! target macro's column count `W`), and every tile costs
+//! `ceil(D / N)` MAC+conversion cycles on its macro, where `D` is the
+//! layer's dot-product length and `N` the macro's per-cycle dot-product
+//! length.  Tiles of one layer run concurrently on different macros; layers
+//! run sequentially because layer `i + 1` consumes layer `i`'s outputs.
+//!
+//! Tiles are placed with deterministic least-finish-time scheduling: the
+//! next tile goes to the macro that currently finishes earliest (ties
+//! broken by macro index), using per-macro cycle times so heterogeneous
+//! grids balance by *time*, not cycle count.
+
+use crate::error::ChipError;
+use crate::grid::MacroGrid;
+use crate::network::Network;
+
+/// One tile of one layer assigned to one macro.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TileAssignment {
+    /// Index of the layer in the network.
+    pub layer: usize,
+    /// Tile ordinal within the layer.
+    pub tile: usize,
+    /// First output row covered by the tile.
+    pub row_base: usize,
+    /// Number of output rows in the tile (≤ the macro's width).
+    pub rows: usize,
+    /// Flat index of the macro executing the tile.
+    pub macro_index: usize,
+    /// MAC+conversion cycles the tile costs on that macro
+    /// (`ceil(D / N)`).
+    pub cycles: u64,
+}
+
+/// The placement of one layer: its tiles and the per-macro busy time.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerPartition {
+    /// Index of the layer in the network.
+    pub layer: usize,
+    /// MVM shape `(outputs, dot_length)` of the layer.
+    pub shape: (usize, usize),
+    /// The layer's tiles in placement order.
+    pub tiles: Vec<TileAssignment>,
+    /// Busy time in ns per macro (zero for unused macros).
+    pub busy_ns: Vec<f64>,
+}
+
+impl LayerPartition {
+    /// The layer's compute latency: the slowest macro's busy time.
+    pub fn compute_ns(&self) -> f64 {
+        self.busy_ns.iter().copied().fold(0.0, f64::max)
+    }
+
+    /// Number of distinct macros used by the layer.
+    pub fn macros_used(&self) -> usize {
+        self.busy_ns.iter().filter(|&&ns| ns > 0.0).count()
+    }
+}
+
+/// The placement of a whole network onto a grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Partition {
+    /// Per-layer placements, in network order.
+    pub layers: Vec<LayerPartition>,
+}
+
+impl Partition {
+    /// Total tiles across all layers.
+    pub fn total_tiles(&self) -> usize {
+        self.layers.iter().map(|l| l.tiles.len()).sum()
+    }
+}
+
+/// Partitions every layer of `network` across `grid`.
+///
+/// `cycle_time_ns[m]` is the conversion-cycle time of macro `m`; callers
+/// derive it from the estimation model (fast path) or the behavioural
+/// timing model (validation path) so both agree on the placement.
+///
+/// # Errors
+///
+/// Returns [`ChipError::InvalidConfig`] when the network is empty, a layer
+/// has a degenerate shape, or `cycle_time_ns` does not match the grid.
+pub fn partition_network(
+    grid: &MacroGrid,
+    network: &Network,
+    cycle_time_ns: &[f64],
+) -> Result<Partition, ChipError> {
+    if network.is_empty() {
+        return Err(ChipError::invalid_config(
+            "network",
+            "network must have at least one layer",
+        ));
+    }
+    if cycle_time_ns.len() != grid.num_macros() {
+        return Err(ChipError::invalid_config(
+            "cycle_time_ns",
+            format!(
+                "{} cycle times for {} macros",
+                cycle_time_ns.len(),
+                grid.num_macros()
+            ),
+        ));
+    }
+    if let Some(&bad) = cycle_time_ns.iter().find(|&&t| !t.is_finite() || t <= 0.0) {
+        return Err(ChipError::invalid_config(
+            "cycle_time_ns",
+            format!("cycle times must be positive and finite, got {bad}"),
+        ));
+    }
+
+    let mut layers = Vec::with_capacity(network.len());
+    for (layer_index, layer) in network.layers.iter().enumerate() {
+        let (outputs, dot_length) = layer.shape();
+        if outputs == 0 || dot_length == 0 {
+            return Err(ChipError::invalid_config(
+                "layer",
+                format!(
+                    "layer `{}` has a degenerate {outputs}x{dot_length} shape",
+                    layer.name
+                ),
+            ));
+        }
+
+        let mut busy_ns = vec![0.0f64; grid.num_macros()];
+        let mut tiles = Vec::new();
+        let mut row_base = 0usize;
+        let mut tile = 0usize;
+        while row_base < outputs {
+            // Least-finish-time macro, ties broken by index for determinism.
+            let macro_index = (0..grid.num_macros())
+                .min_by(|&a, &b| {
+                    busy_ns[a]
+                        .partial_cmp(&busy_ns[b])
+                        .expect("busy times are finite")
+                })
+                .expect("grid is non-empty");
+            let spec = grid.spec(macro_index);
+            let rows = (outputs - row_base).min(spec.width());
+            let cycles = dot_length.div_ceil(spec.dot_product_length()) as u64;
+            busy_ns[macro_index] += cycles as f64 * cycle_time_ns[macro_index];
+            tiles.push(TileAssignment {
+                layer: layer_index,
+                tile,
+                row_base,
+                rows,
+                macro_index,
+                cycles,
+            });
+            row_base += rows;
+            tile += 1;
+        }
+
+        layers.push(LayerPartition {
+            layer: layer_index,
+            shape: (outputs, dot_length),
+            tiles,
+            busy_ns,
+        });
+    }
+    Ok(Partition { layers })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acim_arch::AcimSpec;
+
+    fn spec(h: usize, w: usize, l: usize, b: u32) -> AcimSpec {
+        AcimSpec::from_dimensions(h, w, l, b).unwrap()
+    }
+
+    fn uniform_grid(rows: usize, cols: usize) -> MacroGrid {
+        MacroGrid::uniform(rows, cols, spec(64, 16, 4, 4)).unwrap()
+    }
+
+    #[test]
+    fn tiles_cover_every_output_row_exactly_once() {
+        let grid = uniform_grid(2, 2);
+        let network = Network::edge_cnn(2);
+        let partition = partition_network(&grid, &network, &[5.0; 4]).unwrap();
+        assert_eq!(partition.layers.len(), network.len());
+        for (layer, placement) in network.layers.iter().zip(&partition.layers) {
+            let (outputs, _) = layer.shape();
+            let covered: usize = placement.tiles.iter().map(|t| t.rows).sum();
+            assert_eq!(covered, outputs, "layer {}", layer.name);
+            let mut next_row = 0;
+            for tile in &placement.tiles {
+                assert_eq!(tile.row_base, next_row);
+                assert!(tile.rows <= 16);
+                assert!(tile.cycles > 0);
+                next_row += tile.rows;
+            }
+        }
+    }
+
+    #[test]
+    fn wide_layers_spread_across_macros() {
+        let grid = uniform_grid(2, 2);
+        // 64 outputs over width-16 macros → 4 tiles → all 4 macros busy.
+        let network = Network::new("wide", vec![Network::edge_cnn(1).layers[1].clone()]);
+        let partition = partition_network(&grid, &network, &[5.0; 4]).unwrap();
+        assert_eq!(partition.layers[0].tiles.len(), 4);
+        assert_eq!(partition.layers[0].macros_used(), 4);
+    }
+
+    #[test]
+    fn heterogeneous_grids_balance_by_time() {
+        // Macro 0 is 4x slower per cycle but has the same shape; the
+        // scheduler should push most tiles to macro 1.
+        let grid = MacroGrid::from_specs(1, 2, vec![spec(64, 16, 4, 4); 2]).unwrap();
+        let network = Network::new("wide", vec![Network::edge_cnn(1).layers[1].clone()]);
+        let partition = partition_network(&grid, &network, &[20.0, 5.0]).unwrap();
+        let placement = &partition.layers[0];
+        let tiles_on_fast = placement
+            .tiles
+            .iter()
+            .filter(|t| t.macro_index == 1)
+            .count();
+        assert!(
+            tiles_on_fast >= 3,
+            "fast macro got only {tiles_on_fast} of 4 tiles"
+        );
+        // 288-long dot product in chunks of 16 → 18 cycles per tile; the
+        // slow macro takes one tile (18 × 20 ns), the fast one three
+        // (54 × 5 ns), so the layer finishes in 360 ns instead of the
+        // 1440 ns serial-on-slow worst case.
+        assert!(placement.compute_ns() <= 360.0 + 1e-9);
+    }
+
+    #[test]
+    fn single_macro_grid_degenerates_to_macro_mapper_tiling() {
+        let grid = uniform_grid(1, 1);
+        let network = Network::new("one", vec![Network::edge_cnn(1).layers[0].clone()]);
+        let partition = partition_network(&grid, &network, &[5.0]).unwrap();
+        let placement = &partition.layers[0];
+        // 16 outputs on a width-16 macro: one tile; 200-long dot product in
+        // chunks of 16 → 13 cycles (matches MacroMapper's div_ceil tiling).
+        assert_eq!(placement.tiles.len(), 1);
+        assert_eq!(placement.tiles[0].cycles, 13);
+        assert_eq!(placement.macros_used(), 1);
+    }
+
+    #[test]
+    fn invalid_inputs_rejected() {
+        let grid = uniform_grid(1, 1);
+        let empty = Network::new("empty", vec![]);
+        assert!(partition_network(&grid, &empty, &[5.0]).is_err());
+        let network = Network::edge_cnn(1);
+        assert!(partition_network(&grid, &network, &[5.0, 5.0]).is_err());
+        assert!(partition_network(&grid, &network, &[0.0]).is_err());
+        assert!(partition_network(&grid, &network, &[f64::NAN]).is_err());
+    }
+}

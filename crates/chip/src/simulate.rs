@@ -1,0 +1,229 @@
+//! Behavioural multi-macro simulation: the validation path behind the
+//! analytic chip evaluator.
+//!
+//! Lowers every network layer to a concrete [`BinaryMvm`], places its
+//! tiles with the same partitioner the analytic model uses, then drives
+//! one behavioural [`AcimMacro`] per grid position through the
+//! program → MAC → convert sequence of `acim-workloads::mapping`,
+//! accumulating de-quantised partial sums digitally.  The result carries
+//! the *measured* end-to-end error of the whole network on the grid —
+//! the ground truth the analytic accuracy proxy approximates.
+//!
+//! [`BinaryMvm`]: acim_workloads::quantize::BinaryMvm
+
+use acim_arch::{AcimMacro, NoiseConfig};
+use acim_tech::Technology;
+use acim_workloads::run_output_tile;
+
+use crate::error::ChipError;
+use crate::evaluate::ChipSpec;
+use crate::network::Network;
+use crate::partition::partition_network;
+
+/// Measured behaviour of one layer on the grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LayerSimReport {
+    /// Layer name.
+    pub name: String,
+    /// Total MAC+conversion cycles across all macros.
+    pub cycles: u64,
+    /// Number of tiles the layer was split into.
+    pub tiles: usize,
+    /// Number of distinct macros used.
+    pub macros_used: usize,
+    /// Mean absolute error of the de-quantised outputs against the exact
+    /// binary dot products, normalised like
+    /// `acim_workloads::MappingReport::relative_error`.
+    pub relative_error: f64,
+    /// Measured macro energy in fJ.
+    pub energy_fj: f64,
+    /// Layer latency in ns (slowest macro's busy time).
+    pub latency_ns: f64,
+}
+
+/// Measured behaviour of a whole network on a chip.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChipSimReport {
+    /// Per-layer reports, in network order.
+    pub layers: Vec<LayerSimReport>,
+    /// Sum of layer latencies in ns.
+    pub total_latency_ns: f64,
+    /// Sum of measured macro energies in fJ.
+    pub total_energy_fj: f64,
+}
+
+impl ChipSimReport {
+    /// The worst per-layer relative error — the behavioural counterpart
+    /// of the analytic accuracy proxy.
+    pub fn max_relative_error(&self) -> f64 {
+        self.layers
+            .iter()
+            .map(|l| l.relative_error)
+            .fold(0.0, f64::max)
+    }
+}
+
+/// Runs every layer of `network` on `chip` behaviourally.
+///
+/// Deterministic per `seed`: layer workloads and each macro's noise stream
+/// derive from it reproducibly.
+///
+/// # Errors
+///
+/// Returns [`ChipError`] when a layer cannot be lowered or a macro
+/// simulation rejects its tiles.
+pub fn simulate_network(
+    chip: &ChipSpec,
+    network: &Network,
+    seed: u64,
+) -> Result<ChipSimReport, ChipError> {
+    let grid = &chip.grid;
+    let tech = Technology::s28();
+    let noise = NoiseConfig::realistic();
+    let cycle_ns: Vec<f64> = grid
+        .specs()
+        .iter()
+        .map(|spec| {
+            acim_arch::TimingModel::s28_default()
+                .cycle_time(spec.adc_bits())
+                .value()
+                / 1000.0
+        })
+        .collect();
+    let partition = partition_network(grid, network, &cycle_ns)?;
+
+    let mut layers = Vec::with_capacity(network.len());
+    for placement in &partition.layers {
+        let layer = &network.layers[placement.layer];
+        let workload = layer.to_workload(seed ^ (placement.layer as u64 + 1))?;
+        let ideal = workload.ideal_binary_outputs();
+        let (outputs, dot_length) = placement.shape;
+
+        let mut total_error = 0.0f64;
+        let mut cycles = 0u64;
+        let mut energy_fj = 0.0f64;
+        let mut busy_ns = vec![0.0f64; grid.num_macros()];
+
+        // Group tiles by macro so each macro is instantiated once and its
+        // energy statistics accumulate over all its tiles.
+        for macro_index in 0..grid.num_macros() {
+            let tiles: Vec<_> = placement
+                .tiles
+                .iter()
+                .filter(|t| t.macro_index == macro_index)
+                .collect();
+            if tiles.is_empty() {
+                continue;
+            }
+            let spec = grid.spec(macro_index);
+            let mut macro_sim = AcimMacro::new(
+                spec,
+                &tech,
+                noise,
+                seed ^ ((placement.layer as u64) << 16) ^ (macro_index as u64 + 1),
+            )?;
+
+            for tile in &tiles {
+                let (accumulated, tile_cycles) =
+                    run_output_tile(&mut macro_sim, spec, &workload, tile.row_base, tile.rows)?;
+                cycles += tile_cycles;
+                busy_ns[macro_index] += tile_cycles as f64 * cycle_ns[macro_index];
+                for (c, acc) in accumulated.iter().enumerate() {
+                    let exact = f64::from(ideal[tile.row_base + c]);
+                    total_error += (acc - exact).abs();
+                }
+            }
+            energy_fj += macro_sim.stats().energy.total().value();
+        }
+
+        layers.push(LayerSimReport {
+            name: layer.name.clone(),
+            cycles,
+            tiles: placement.tiles.len(),
+            macros_used: placement.macros_used(),
+            relative_error: total_error / outputs as f64 / dot_length as f64,
+            energy_fj,
+            latency_ns: busy_ns.iter().copied().fold(0.0, f64::max),
+        });
+    }
+
+    Ok(ChipSimReport {
+        total_latency_ns: layers.iter().map(|l| l.latency_ns).sum(),
+        total_energy_fj: layers.iter().map(|l| l.energy_fj).sum(),
+        layers,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::grid::MacroGrid;
+    use acim_arch::AcimSpec;
+    use acim_workloads::MacroMapper;
+
+    fn spec(h: usize, w: usize, l: usize, b: u32) -> AcimSpec {
+        AcimSpec::from_dimensions(h, w, l, b).unwrap()
+    }
+
+    fn chip(rows: usize, cols: usize) -> ChipSpec {
+        ChipSpec::new(
+            MacroGrid::uniform(rows, cols, spec(64, 16, 4, 4)).unwrap(),
+            64,
+        )
+        .unwrap()
+    }
+
+    #[test]
+    fn network_simulation_reports_small_error() {
+        let report = simulate_network(&chip(2, 2), &Network::edge_cnn(1), 11).unwrap();
+        assert_eq!(report.layers.len(), 3);
+        for layer in &report.layers {
+            assert!(layer.cycles > 0);
+            assert!(layer.energy_fj > 0.0);
+            assert!(layer.latency_ns > 0.0);
+            assert!(
+                layer.relative_error < 0.2,
+                "{}: error {}",
+                layer.name,
+                layer.relative_error
+            );
+        }
+        assert!(report.total_latency_ns > 0.0);
+        assert!(report.max_relative_error() < 0.2);
+    }
+
+    #[test]
+    fn simulation_is_deterministic_per_seed() {
+        let a = simulate_network(&chip(2, 2), &Network::transformer_block(), 3).unwrap();
+        let b = simulate_network(&chip(2, 2), &Network::transformer_block(), 3).unwrap();
+        let c = simulate_network(&chip(2, 2), &Network::transformer_block(), 4).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn single_macro_chip_matches_macro_mapper_cycle_count() {
+        // On a 1×1 grid the chip partitioner degenerates to MacroMapper's
+        // tiling, so total cycles must agree exactly.
+        let network = Network::edge_cnn(1);
+        let report = simulate_network(&chip(1, 1), &network, 5).unwrap();
+        for (layer, sim) in network.layers.iter().zip(&report.layers) {
+            // Cycle counts depend only on the layer shape, not the seed.
+            let workload = layer.to_workload(9).unwrap();
+            let mapper_report = MacroMapper::new(&spec(64, 16, 4, 4))
+                .unwrap()
+                .run(&workload, 7)
+                .unwrap();
+            assert_eq!(sim.cycles, mapper_report.cycles, "layer {}", layer.name);
+        }
+    }
+
+    #[test]
+    fn more_macros_reduce_layer_latency() {
+        let network = Network::new("wide", vec![Network::edge_cnn(1).layers[1].clone()]);
+        let one = simulate_network(&chip(1, 1), &network, 2).unwrap();
+        let four = simulate_network(&chip(2, 2), &network, 2).unwrap();
+        assert!(four.layers[0].macros_used > 1);
+        assert!(four.total_latency_ns < one.total_latency_ns);
+    }
+}

@@ -1,0 +1,581 @@
+//! Chip-level design-space exploration: macro shape × macro count ×
+//! buffer sizing, co-explored by NSGA-II.
+//!
+//! The macro-level problem of [`crate::problem`] asks "what is the best
+//! (H, W, L, B_ADC)?"; this module asks the question the chip architect
+//! actually has: "what macro, **how many of them**, and **how much global
+//! buffer** serve this network best?"  The genome extends the three macro
+//! genes with three chip genes (grid rows, grid cols, buffer capacity),
+//! and each candidate is scored by `acim-chip`'s analytic evaluator —
+//! whose per-layer objective evaluation runs in parallel under `rayon`
+//! while staying bit-deterministic, so exploration remains reproducible
+//! per seed.
+
+use std::fmt;
+
+use acim_chip::{
+    ChipCostParams, ChipError, ChipEvaluator, ChipMetrics, ChipSpec, MacroGrid, Network,
+};
+use acim_model::ModelParams;
+use acim_moga::{Evaluation, Nsga2, Nsga2Config, ParetoArchive, Problem};
+
+use crate::encoding::{gene_from_index, index_from_gene, DesignEncoding};
+use crate::error::DseError;
+
+/// Configuration of one chip-level exploration run.
+#[derive(Debug, Clone)]
+pub struct ChipDseConfig {
+    /// Per-macro array size (`H · W`) of every grid position.
+    pub array_size: usize,
+    /// Smallest macro height considered.
+    pub min_height: usize,
+    /// Largest macro height considered.
+    pub max_height: usize,
+    /// Candidate grid row counts (e.g. `[1, 2, 3, 4]`).
+    pub grid_rows: Vec<usize>,
+    /// Candidate grid column counts.
+    pub grid_cols: Vec<usize>,
+    /// Candidate global-buffer capacities in KiB.
+    pub buffer_kib: Vec<usize>,
+    /// The target network.
+    pub network: Network,
+    /// NSGA-II population size.
+    pub population_size: usize,
+    /// NSGA-II generation count.
+    pub generations: usize,
+    /// RNG seed (exploration is deterministic per seed).
+    pub seed: u64,
+    /// Macro estimation-model parameters.
+    pub params: ModelParams,
+    /// Chip-level cost parameters.
+    pub cost: ChipCostParams,
+}
+
+impl ChipDseConfig {
+    /// A default configuration targeting `network`.
+    pub fn for_network(network: Network) -> Self {
+        Self {
+            array_size: 4 * 1024,
+            min_height: 16,
+            max_height: 512,
+            grid_rows: vec![1, 2, 3, 4],
+            grid_cols: vec![1, 2, 3, 4],
+            buffer_kib: vec![4, 8, 16, 32, 64, 128],
+            network,
+            population_size: 60,
+            generations: 40,
+            seed: 0xC41F,
+            params: ModelParams::s28_default(),
+            cost: ChipCostParams::s28_default(),
+        }
+    }
+}
+
+/// One explored chip design: the chip specification, its per-macro spec,
+/// and the chip-level metrics.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ChipDesignPoint {
+    /// The chip (macro grid + buffer).
+    pub chip: ChipSpec,
+    /// The chip-level metrics.
+    pub metrics: ChipMetrics,
+}
+
+impl ChipDesignPoint {
+    /// Objective vector `[−accuracy, −throughput, energy, area]`.
+    pub fn objective_vector(&self) -> Vec<f64> {
+        self.metrics.objective_vector()
+    }
+
+    /// CSV header matching [`ChipDesignPoint::to_csv_row`].
+    pub fn csv_header() -> &'static str {
+        "grid_rows,grid_cols,height,width,local_array,adc_bits,buffer_kib,accuracy_db,throughput_tops,energy_per_inference_pj,area_mf2,latency_ns"
+    }
+
+    /// Serialises the point as one CSV row.  The per-macro columns read
+    /// `mixed` for heterogeneous grids, which have no single macro shape.
+    pub fn to_csv_row(&self) -> String {
+        let macro_columns = if self.chip.grid.is_uniform() {
+            let spec = self.chip.grid.spec(0);
+            format!(
+                "{},{},{},{}",
+                spec.height(),
+                spec.width(),
+                spec.local_array(),
+                spec.adc_bits(),
+            )
+        } else {
+            "mixed,mixed,mixed,mixed".into()
+        };
+        format!(
+            "{},{},{},{},{:.3},{:.4},{:.2},{:.2},{:.1}",
+            self.chip.grid.rows(),
+            self.chip.grid.cols(),
+            macro_columns,
+            self.chip.buffer_kib,
+            self.metrics.accuracy_db,
+            self.metrics.throughput_tops,
+            self.metrics.energy_per_inference_pj,
+            self.metrics.area_mf2,
+            self.metrics.latency_ns,
+        )
+    }
+}
+
+impl fmt::Display for ChipDesignPoint {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} acc={:.1}dB T={:.3}TOPS E={:.1}pJ/inf A={:.1}MF2",
+            self.chip,
+            self.metrics.accuracy_db,
+            self.metrics.throughput_tops,
+            self.metrics.energy_per_inference_pj,
+            self.metrics.area_mf2,
+        )
+    }
+}
+
+/// The six-gene chip design problem: macro (H, L, B_ADC) plus grid rows,
+/// grid cols and buffer capacity, evaluated against one network.
+#[derive(Debug, Clone)]
+pub struct ChipDesignProblem {
+    encoding: DesignEncoding,
+    grid_rows: Vec<usize>,
+    grid_cols: Vec<usize>,
+    buffer_kib: Vec<usize>,
+    evaluator: ChipEvaluator,
+    network: Network,
+}
+
+impl ChipDesignProblem {
+    /// Creates the problem from a configuration.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DseError::InvalidConfig`] when the macro encoding cannot
+    /// be built, a candidate list is empty, or the parameters are invalid.
+    pub fn new(config: &ChipDseConfig) -> Result<Self, DseError> {
+        let encoding =
+            DesignEncoding::new(config.array_size, config.min_height, config.max_height)?;
+        for (name, list) in [
+            ("grid_rows", &config.grid_rows),
+            ("grid_cols", &config.grid_cols),
+            ("buffer_kib", &config.buffer_kib),
+        ] {
+            if list.is_empty() {
+                return Err(DseError::InvalidConfig(format!("{name} must not be empty")));
+            }
+            if list.contains(&0) {
+                return Err(DseError::InvalidConfig(format!(
+                    "{name} must not contain 0"
+                )));
+            }
+        }
+        if config.network.is_empty() {
+            return Err(DseError::InvalidConfig("network must have layers".into()));
+        }
+        let evaluator = ChipEvaluator::new(config.params, config.cost)
+            .map_err(|e| DseError::InvalidConfig(e.to_string()))?;
+        Ok(Self {
+            encoding,
+            grid_rows: config.grid_rows.clone(),
+            grid_cols: config.grid_cols.clone(),
+            buffer_kib: config.buffer_kib.clone(),
+            evaluator,
+            network: config.network.clone(),
+        })
+    }
+
+    /// The macro genome encoding in use.
+    pub fn encoding(&self) -> &DesignEncoding {
+        &self.encoding
+    }
+
+    /// The target network.
+    pub fn network(&self) -> &Network {
+        &self.network
+    }
+
+    /// Decodes the chip genes into `(rows, cols, buffer_kib)`.
+    fn decode_chip_genes(&self, genes: &[f64]) -> (usize, usize, usize) {
+        (
+            self.grid_rows[index_from_gene(genes[3], self.grid_rows.len())],
+            self.grid_cols[index_from_gene(genes[4], self.grid_cols.len())],
+            self.buffer_kib[index_from_gene(genes[5], self.buffer_kib.len())],
+        )
+    }
+
+    /// Encodes an explicit design into gene space (bucket centres), for
+    /// seeding or testing; returns `None` when a value is not part of the
+    /// catalogue.
+    pub fn encode(
+        &self,
+        candidate: &crate::encoding::Candidate,
+        rows: usize,
+        cols: usize,
+        buffer_kib: usize,
+    ) -> Option<Vec<f64>> {
+        let mut genes = self.encoding.encode(candidate)?;
+        let ri = self.grid_rows.iter().position(|&r| r == rows)?;
+        let ci = self.grid_cols.iter().position(|&c| c == cols)?;
+        let bi = self.buffer_kib.iter().position(|&b| b == buffer_kib)?;
+        genes.push(gene_from_index(ri, self.grid_rows.len()));
+        genes.push(gene_from_index(ci, self.grid_cols.len()));
+        genes.push(gene_from_index(bi, self.buffer_kib.len()));
+        Some(genes)
+    }
+
+    /// Builds the chip a genome describes, when the macro is feasible.
+    ///
+    /// # Errors
+    ///
+    /// Returns the constraint violation for infeasible macros (as in
+    /// [`crate::encoding::Candidate::into_spec`]) wrapped in `Err(Some)`,
+    /// or `Err(None)` for chip-construction failures.
+    fn decode_chip(&self, genes: &[f64]) -> Result<ChipSpec, Option<f64>> {
+        let candidate = self.encoding.decode(&genes[..3]);
+        let spec = candidate
+            .into_spec(self.encoding.array_size())
+            .map_err(Some)?;
+        let (rows, cols, buffer_kib) = self.decode_chip_genes(genes);
+        let grid = MacroGrid::uniform(rows, cols, spec).map_err(|_| None)?;
+        ChipSpec::new(grid, buffer_kib).map_err(|_| None)
+    }
+
+    /// Decodes a genome into a full [`ChipDesignPoint`] when feasible.
+    pub fn decode_point(&self, genes: &[f64]) -> Option<ChipDesignPoint> {
+        let chip = self.decode_chip(genes).ok()?;
+        let metrics = self.evaluator.evaluate(&chip, &self.network).ok()?;
+        Some(ChipDesignPoint { chip, metrics })
+    }
+
+    /// Evaluates one chip explicitly (used by benches and reports).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChipError`] when the evaluation fails.
+    pub fn evaluate_chip(&self, chip: &ChipSpec) -> Result<ChipMetrics, ChipError> {
+        self.evaluator.evaluate(chip, &self.network)
+    }
+}
+
+impl Problem for ChipDesignProblem {
+    fn num_variables(&self) -> usize {
+        6
+    }
+
+    fn num_objectives(&self) -> usize {
+        4
+    }
+
+    fn evaluate(&self, genes: &[f64]) -> Evaluation {
+        match self.decode_chip(genes) {
+            Ok(chip) => match self.evaluator.evaluate(&chip, &self.network) {
+                Ok(metrics) => Evaluation::unconstrained(metrics.objective_vector()),
+                // Model failures are heavily infeasible rather than fatal,
+                // matching AcimDesignProblem.
+                Err(_) => Evaluation::new(vec![f64::MAX; 4], 10.0),
+            },
+            Err(Some(violation)) => Evaluation::new(vec![f64::MAX; 4], violation),
+            Err(None) => Evaluation::new(vec![f64::MAX; 4], 10.0),
+        }
+    }
+
+    fn name(&self) -> &str {
+        "easyacim chip-level design-space exploration"
+    }
+}
+
+/// The Pareto set of a chip exploration run.
+#[derive(Debug, Clone, Default)]
+pub struct ChipParetoSet {
+    points: Vec<ChipDesignPoint>,
+    /// Number of objective evaluations spent by the optimiser.
+    pub evaluations: usize,
+}
+
+impl ChipParetoSet {
+    /// The frontier points.
+    pub fn points(&self) -> &[ChipDesignPoint] {
+        &self.points
+    }
+
+    /// Number of frontier points.
+    pub fn len(&self) -> usize {
+        self.points.len()
+    }
+
+    /// Returns `true` when the frontier is empty.
+    pub fn is_empty(&self) -> bool {
+        self.points.is_empty()
+    }
+
+    /// Iterates over the frontier points.
+    pub fn iter(&self) -> impl Iterator<Item = &ChipDesignPoint> {
+        self.points.iter()
+    }
+
+    /// Consumes the set and returns the points.
+    pub fn into_points(self) -> Vec<ChipDesignPoint> {
+        self.points
+    }
+
+    /// The point with the best (largest) value of `key`.
+    pub fn best_by<F: Fn(&ChipDesignPoint) -> f64>(&self, key: F) -> Option<&ChipDesignPoint> {
+        self.points.iter().max_by(|a, b| {
+            key(a)
+                .partial_cmp(&key(b))
+                .expect("metrics must not be NaN")
+        })
+    }
+}
+
+/// The chip-level explorer: NSGA-II over [`ChipDesignProblem`] with an
+/// archive of every feasible non-dominated chip evaluated.
+#[derive(Debug, Clone)]
+pub struct ChipExplorer {
+    config: ChipDseConfig,
+    problem: ChipDesignProblem,
+}
+
+impl ChipExplorer {
+    /// Creates an explorer.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DseError::InvalidConfig`] when the configuration is
+    /// inconsistent.
+    pub fn new(config: ChipDseConfig) -> Result<Self, DseError> {
+        if config.population_size < 4 || !config.population_size.is_multiple_of(2) {
+            return Err(DseError::InvalidConfig(
+                "population size must be an even number >= 4".into(),
+            ));
+        }
+        if config.generations == 0 {
+            return Err(DseError::InvalidConfig(
+                "generation count must be at least 1".into(),
+            ));
+        }
+        let problem = ChipDesignProblem::new(&config)?;
+        Ok(Self { config, problem })
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ChipDseConfig {
+        &self.config
+    }
+
+    /// The underlying problem.
+    pub fn problem(&self) -> &ChipDesignProblem {
+        &self.problem
+    }
+
+    /// Runs the exploration and returns the chip Pareto set.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DseError::EmptyDesignSpace`] when no feasible chip was
+    /// ever found.
+    pub fn explore(&self) -> Result<ChipParetoSet, DseError> {
+        let nsga_config = Nsga2Config {
+            population_size: self.config.population_size,
+            generations: self.config.generations,
+            ..Default::default()
+        };
+        // Archive genomes against the objectives NSGA-II already computed;
+        // decoding a genome into a `ChipDesignPoint` repeats the full chip
+        // evaluation, so it is deferred to the surviving archive entries.
+        let mut archive: ParetoArchive<Vec<f64>> = ParetoArchive::new();
+        let problem = &self.problem;
+        let result = Nsga2::new(problem, nsga_config)
+            .with_seed(self.config.seed)
+            .run_with_observer(|_generation, population| {
+                for individual in population {
+                    if individual.is_feasible() {
+                        archive.insert(individual.objectives.clone(), individual.genes.clone());
+                    }
+                }
+            });
+        for individual in &result.population {
+            if individual.is_feasible() {
+                archive.insert(individual.objectives.clone(), individual.genes.clone());
+            }
+        }
+
+        let points: Vec<ChipDesignPoint> = archive
+            .into_entries()
+            .into_iter()
+            .filter_map(|e| problem.decode_point(&e.payload))
+            .collect();
+        if points.is_empty() {
+            return Err(DseError::EmptyDesignSpace {
+                array_size: self.config.array_size,
+            });
+        }
+        Ok(ChipParetoSet {
+            points,
+            evaluations: result.evaluations,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::encoding::Candidate;
+    use acim_moga::dominates;
+
+    fn quick_config() -> ChipDseConfig {
+        ChipDseConfig {
+            population_size: 24,
+            generations: 10,
+            grid_rows: vec![1, 2],
+            grid_cols: vec![1, 2],
+            buffer_kib: vec![8, 32],
+            ..ChipDseConfig::for_network(Network::edge_cnn(1))
+        }
+    }
+
+    #[test]
+    fn problem_shape_and_name() {
+        let problem = ChipDesignProblem::new(&quick_config()).unwrap();
+        assert_eq!(problem.num_variables(), 6);
+        assert_eq!(problem.num_objectives(), 4);
+        assert!(problem.name().contains("chip"));
+    }
+
+    #[test]
+    fn feasible_genome_round_trips_to_a_chip_point() {
+        let problem = ChipDesignProblem::new(&quick_config()).unwrap();
+        let genes = problem
+            .encode(
+                &Candidate {
+                    height: 128,
+                    width: 32,
+                    local_array: 4,
+                    adc_bits: 3,
+                },
+                2,
+                2,
+                32,
+            )
+            .expect("catalogue values encode");
+        let eval = Problem::evaluate(&problem, &genes);
+        assert!(eval.is_feasible());
+        assert!(eval.objectives.iter().all(|o| o.is_finite()));
+        let point = problem
+            .decode_point(&genes)
+            .expect("feasible point decodes");
+        assert_eq!(point.chip.grid.num_macros(), 4);
+        assert_eq!(point.chip.buffer_kib, 32);
+        assert_eq!(point.chip.grid.spec(0).local_array(), 4);
+        assert!(
+            point.to_csv_row().split(',').count()
+                == ChipDesignPoint::csv_header().split(',').count()
+        );
+    }
+
+    #[test]
+    fn infeasible_macro_reports_violation() {
+        let problem = ChipDesignProblem::new(&quick_config()).unwrap();
+        // L = 32 and B = 8 violates H/L ≥ 2^B for every height of a 4 kb
+        // array; encode via a feasible macro then poison the L/B genes.
+        let mut genes = problem
+            .encode(
+                &Candidate {
+                    height: 128,
+                    width: 32,
+                    local_array: 4,
+                    adc_bits: 3,
+                },
+                1,
+                1,
+                8,
+            )
+            .unwrap();
+        genes[1] = 0.99; // L = 32
+        genes[2] = 0.99; // B = 8
+        let eval = Problem::evaluate(&problem, &genes);
+        assert!(!eval.is_feasible());
+        assert!(problem.decode_point(&genes).is_none());
+    }
+
+    #[test]
+    fn invalid_configs_rejected() {
+        let mut config = quick_config();
+        config.population_size = 7;
+        assert!(ChipExplorer::new(config).is_err());
+
+        let mut config = quick_config();
+        config.grid_rows.clear();
+        assert!(ChipDesignProblem::new(&config).is_err());
+
+        let mut config = quick_config();
+        config.buffer_kib = vec![0];
+        assert!(ChipDesignProblem::new(&config).is_err());
+
+        let mut config = quick_config();
+        config.network = Network::new("empty", vec![]);
+        assert!(ChipDesignProblem::new(&config).is_err());
+    }
+
+    #[test]
+    fn exploration_finds_a_mutually_non_dominated_front() {
+        let frontier = ChipExplorer::new(quick_config())
+            .unwrap()
+            .explore()
+            .unwrap();
+        assert!(!frontier.is_empty());
+        assert!(frontier.evaluations > 0);
+        for a in frontier.iter() {
+            for b in frontier.iter() {
+                if a != b {
+                    assert!(!dominates(&a.objective_vector(), &b.objective_vector()));
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn exploration_is_deterministic_per_seed() {
+        let explorer = ChipExplorer::new(quick_config()).unwrap();
+        let a = explorer.explore().unwrap();
+        let b = explorer.explore().unwrap();
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.evaluations, b.evaluations);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.objective_vector(), y.objective_vector());
+        }
+    }
+
+    #[test]
+    fn exploration_spans_multiple_grid_sizes() {
+        let frontier = ChipExplorer::new(quick_config())
+            .unwrap()
+            .explore()
+            .unwrap();
+        let grid_sizes: std::collections::BTreeSet<usize> =
+            frontier.iter().map(|p| p.chip.grid.num_macros()).collect();
+        assert!(
+            grid_sizes.len() >= 2,
+            "frontier should trade throughput against area: {grid_sizes:?}"
+        );
+    }
+
+    #[test]
+    fn best_by_selects_the_extreme() {
+        let frontier = ChipExplorer::new(quick_config())
+            .unwrap()
+            .explore()
+            .unwrap();
+        let best = frontier
+            .best_by(|p| p.metrics.throughput_tops)
+            .unwrap()
+            .metrics
+            .throughput_tops;
+        for p in frontier.iter() {
+            assert!(p.metrics.throughput_tops <= best + 1e-12);
+        }
+    }
+}

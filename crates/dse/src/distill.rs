@@ -107,17 +107,20 @@ mod tests {
 
     fn sample_frontier() -> Vec<DesignPoint> {
         vec![
-            point(128, 128, 2, 3),  // high throughput
-            point(128, 128, 8, 3),  // balanced
-            point(512, 32, 2, 8),   // high SNR, power hungry
-            point(1024, 16, 2, 2),  // ultra efficient, low SNR
+            point(128, 128, 2, 3), // high throughput
+            point(128, 128, 8, 3), // balanced
+            point(512, 32, 2, 8),  // high SNR, power hungry
+            point(1024, 16, 2, 2), // ultra efficient, low SNR
         ]
     }
 
     #[test]
     fn no_requirements_keeps_everything() {
         let frontier = sample_frontier();
-        assert_eq!(UserRequirements::none().distill(&frontier).len(), frontier.len());
+        assert_eq!(
+            UserRequirements::none().distill(&frontier).len(),
+            frontier.len()
+        );
     }
 
     #[test]

@@ -60,11 +60,10 @@ impl Candidate {
         if self.height < self.local_array {
             violation += 1.0 + (self.local_array - self.height) as f64 / self.local_array as f64;
         }
-        if self.local_array == 0 || self.height % self.local_array.max(1) != 0 {
+        if self.local_array == 0 || !self.height.is_multiple_of(self.local_array.max(1)) {
             violation += 1.0;
         }
-        if self.local_array > 0 {
-            let caps = self.height / self.local_array;
+        if let Some(caps) = self.height.checked_div(self.local_array) {
             let needed = 1usize << self.adc_bits;
             if caps < needed {
                 violation += 1.0 + (needed - caps) as f64 / needed as f64;
@@ -167,7 +166,10 @@ impl DesignEncoding {
             .local_sizes
             .iter()
             .position(|&l| l == candidate.local_array)?;
-        let bi = self.adc_bits.iter().position(|&b| b == candidate.adc_bits)?;
+        let bi = self
+            .adc_bits
+            .iter()
+            .position(|&b| b == candidate.adc_bits)?;
         Some(vec![
             gene_from_index(hi, self.heights.len()),
             gene_from_index(li, self.local_sizes.len()),
@@ -177,12 +179,12 @@ impl DesignEncoding {
 }
 
 /// Maps a gene in `[0, 1]` to a bucket index in `[0, count)`.
-fn index_from_gene(gene: f64, count: usize) -> usize {
+pub(crate) fn index_from_gene(gene: f64, count: usize) -> usize {
     ((gene.clamp(0.0, 1.0) * count as f64) as usize).min(count - 1)
 }
 
 /// Centre of bucket `index` in gene space.
-fn gene_from_index(index: usize, count: usize) -> f64 {
+pub(crate) fn gene_from_index(index: usize, count: usize) -> f64 {
     (index as f64 + 0.5) / count as f64
 }
 

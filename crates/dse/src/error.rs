@@ -28,7 +28,10 @@ impl fmt::Display for DseError {
         match self {
             DseError::InvalidConfig(reason) => write!(f, "invalid DSE configuration: {reason}"),
             DseError::EmptyDesignSpace { array_size } => {
-                write!(f, "no feasible ACIM design exists for array size {array_size}")
+                write!(
+                    f,
+                    "no feasible ACIM design exists for array size {array_size}"
+                )
             }
             DseError::Model(err) => write!(f, "estimation model error: {err}"),
             DseError::Arch(err) => write!(f, "architecture error: {err}"),

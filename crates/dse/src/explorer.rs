@@ -103,7 +103,7 @@ impl DesignSpaceExplorer {
     /// Returns [`DseError::InvalidConfig`] when the configuration is
     /// inconsistent (no valid heights, zero population, …).
     pub fn new(config: DseConfig) -> Result<Self, DseError> {
-        if config.population_size < 4 || config.population_size % 2 != 0 {
+        if config.population_size < 4 || !config.population_size.is_multiple_of(2) {
             return Err(DseError::InvalidConfig(
                 "population size must be an even number >= 4".into(),
             ));
@@ -167,7 +167,11 @@ impl DesignSpaceExplorer {
             }
         }
 
-        let points: Vec<DesignPoint> = archive.into_entries().into_iter().map(|e| e.payload).collect();
+        let points: Vec<DesignPoint> = archive
+            .into_entries()
+            .into_iter()
+            .map(|e| e.payload)
+            .collect();
         if points.is_empty() {
             return Err(DseError::EmptyDesignSpace {
                 array_size: self.config.array_size,
@@ -197,7 +201,11 @@ mod tests {
     fn exploration_finds_a_diverse_frontier() {
         let explorer = DesignSpaceExplorer::new(quick_config()).unwrap();
         let frontier = explorer.explore().unwrap();
-        assert!(frontier.len() >= 5, "only {} frontier points", frontier.len());
+        assert!(
+            frontier.len() >= 5,
+            "only {} frontier points",
+            frontier.len()
+        );
         // Frontier must be mutually non-dominated.
         for a in frontier.iter() {
             for b in frontier.iter() {

@@ -22,6 +22,8 @@
 //!   used as ground truth in the ablation benchmarks,
 //! * [`distill`] — the "user distillation" step of Figure 4: filtering the
 //!   frontier with application requirements,
+//! * [`chip`] — the chip-level co-exploration problem (macro shape ×
+//!   macro count × buffer sizing) built on `acim-chip`,
 //! * [`sweep`] — the parameter sweeps behind Figure 9.
 //!
 //! # Example
@@ -46,6 +48,7 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chip;
 pub mod distill;
 pub mod encoding;
 pub mod enumerate;
@@ -55,6 +58,7 @@ pub mod problem;
 pub mod solution;
 pub mod sweep;
 
+pub use chip::{ChipDesignPoint, ChipDesignProblem, ChipDseConfig, ChipExplorer, ChipParetoSet};
 pub use distill::UserRequirements;
 pub use encoding::DesignEncoding;
 pub use enumerate::enumerate_design_space;

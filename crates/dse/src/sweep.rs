@@ -221,7 +221,10 @@ mod tests {
         assert_eq!(total, all.len());
         for s in &series {
             assert!(!s.points.is_empty());
-            assert!(s.points.iter().all(|p| p.spec.adc_bits() as usize == s.value));
+            assert!(s
+                .points
+                .iter()
+                .all(|p| p.spec.adc_bits() as usize == s.value));
         }
     }
 }

@@ -1,0 +1,153 @@
+//! The chip-composition stage of the flow: from a distilled macro space
+//! to a full multi-macro accelerator.
+//!
+//! The macro flow of [`crate::flow`] ends with netlists and layouts for
+//! single macros.  `ChipFlow` continues where it stops: it runs the
+//! chip-level co-exploration of `acim-dse` (macro shape × macro count ×
+//! global-buffer sizing against a whole network) and, optionally,
+//! validates the best chip behaviourally by simulating every layer on the
+//! macro grid.
+
+use std::time::{Duration, Instant};
+
+use acim_chip::{simulate_network, ChipSimReport, Network};
+use acim_dse::{ChipDesignPoint, ChipDseConfig, ChipExplorer, ChipParetoSet};
+
+use crate::error::FlowError;
+
+/// Configuration of the chip-composition stage.
+#[derive(Debug, Clone)]
+pub struct ChipFlowConfig {
+    /// The chip-level exploration settings (network, grid/buffer
+    /// candidates, NSGA-II parameters).
+    pub dse: ChipDseConfig,
+    /// Behaviourally validate the highest-throughput frontier chip by
+    /// simulating the network on its macro grid.
+    pub validate_best: bool,
+    /// Seed of the behavioural validation run.
+    pub validation_seed: u64,
+}
+
+impl ChipFlowConfig {
+    /// Default chip stage for a network: explore, then validate the best
+    /// chip behaviourally.
+    pub fn for_network(network: Network) -> Self {
+        Self {
+            dse: ChipDseConfig::for_network(network),
+            validate_best: true,
+            validation_seed: 0xC812,
+        }
+    }
+}
+
+/// The result of the chip-composition stage.
+#[derive(Debug, Clone)]
+pub struct ChipFlowResult {
+    /// The chip-level Pareto front.
+    pub front: Vec<ChipDesignPoint>,
+    /// Objective evaluations spent by the chip explorer.
+    pub evaluations: usize,
+    /// Wall-clock time of the chip exploration.
+    pub exploration_time: Duration,
+    /// The behavioural validation of the best-throughput chip, when
+    /// requested.
+    pub validation: Option<ChipSimReport>,
+}
+
+impl ChipFlowResult {
+    /// The frontier point with the highest throughput.
+    pub fn best_throughput(&self) -> Option<&ChipDesignPoint> {
+        self.front.iter().max_by(|a, b| {
+            a.metrics
+                .throughput_tops
+                .partial_cmp(&b.metrics.throughput_tops)
+                .expect("throughput must not be NaN")
+        })
+    }
+}
+
+/// The chip-composition stage runner.
+#[derive(Debug, Clone)]
+pub struct ChipFlow {
+    config: ChipFlowConfig,
+}
+
+impl ChipFlow {
+    /// Creates the stage.
+    pub fn new(config: ChipFlowConfig) -> Self {
+        Self { config }
+    }
+
+    /// The configuration.
+    pub fn config(&self) -> &ChipFlowConfig {
+        &self.config
+    }
+
+    /// Runs chip exploration (and optional behavioural validation).
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError`] when the exploration or the validation
+    /// simulation fails.
+    pub fn run(&self) -> Result<ChipFlowResult, FlowError> {
+        let start = Instant::now();
+        let explorer = ChipExplorer::new(self.config.dse.clone())?;
+        let frontier: ChipParetoSet = explorer.explore()?;
+        let evaluations = frontier.evaluations;
+        let front = frontier.into_points();
+        let exploration_time = start.elapsed();
+
+        let mut result = ChipFlowResult {
+            front,
+            evaluations,
+            exploration_time,
+            validation: None,
+        };
+        if self.config.validate_best {
+            if let Some(best) = result.best_throughput() {
+                let report = simulate_network(
+                    &best.chip,
+                    explorer.problem().network(),
+                    self.config.validation_seed,
+                )?;
+                result.validation = Some(report);
+            }
+        }
+        Ok(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quick_config() -> ChipFlowConfig {
+        let mut config = ChipFlowConfig::for_network(Network::edge_cnn(1));
+        config.dse.population_size = 16;
+        config.dse.generations = 6;
+        config.dse.grid_rows = vec![1, 2];
+        config.dse.grid_cols = vec![1, 2];
+        config.dse.buffer_kib = vec![8, 32];
+        config
+    }
+
+    #[test]
+    fn chip_stage_produces_front_and_validation() {
+        let result = ChipFlow::new(quick_config()).run().unwrap();
+        assert!(!result.front.is_empty());
+        assert!(result.evaluations > 0);
+        let validation = result.validation.as_ref().expect("validation requested");
+        assert_eq!(validation.layers.len(), 3);
+        assert!(validation.max_relative_error() < 0.5);
+        let best = result.best_throughput().unwrap();
+        assert!(best.metrics.throughput_tops > 0.0);
+    }
+
+    #[test]
+    fn validation_can_be_disabled() {
+        let mut config = quick_config();
+        config.validate_best = false;
+        let result = ChipFlow::new(config).run().unwrap();
+        assert!(result.validation.is_none());
+    }
+}

@@ -1,8 +1,9 @@
 //! Flow configuration.
 
-use acim_dse::{DseConfig, UserRequirements};
+use acim_dse::{ChipExplorer, DseConfig, UserRequirements};
 use acim_tech::Technology;
 
+use crate::chip::ChipFlowConfig;
 use crate::error::FlowError;
 
 /// Configuration of one end-to-end EasyACIM run.
@@ -20,6 +21,9 @@ pub struct FlowConfig {
     pub max_layouts: usize,
     /// Whether to emit SPICE/DEF/GDS text alongside the in-memory results.
     pub emit_files: bool,
+    /// Optional chip-composition stage: co-explore macro shape × macro
+    /// count × buffer sizing against a whole network after the macro flow.
+    pub chip: Option<ChipFlowConfig>,
 }
 
 impl FlowConfig {
@@ -36,7 +40,14 @@ impl FlowConfig {
             requirements: UserRequirements::none(),
             max_layouts: 3,
             emit_files: false,
+            chip: None,
         }
+    }
+
+    /// Enables the chip-composition stage with the given settings.
+    pub fn with_chip_stage(mut self, chip: ChipFlowConfig) -> Self {
+        self.chip = Some(chip);
+        self
     }
 
     /// Validates the configuration.
@@ -47,12 +58,20 @@ impl FlowConfig {
     /// settings; deeper validation happens inside the explorer.
     pub fn validate(&self) -> Result<(), FlowError> {
         if self.dse.array_size == 0 {
-            return Err(FlowError::InvalidConfig("array size must be positive".into()));
+            return Err(FlowError::InvalidConfig(
+                "array size must be positive".into(),
+            ));
         }
         if self.dse.population_size < 4 {
             return Err(FlowError::InvalidConfig(
                 "population size must be at least 4".into(),
             ));
+        }
+        if let Some(chip) = &self.chip {
+            // Build the chip explorer eagerly so an inconsistent chip stage
+            // is rejected before the expensive macro flow runs.
+            ChipExplorer::new(chip.dse.clone())
+                .map_err(|e| FlowError::InvalidConfig(format!("chip stage: {e}")))?;
         }
         Ok(())
     }
@@ -77,5 +96,17 @@ mod tests {
         config = FlowConfig::new(1024);
         config.dse.population_size = 2;
         assert!(config.validate().is_err());
+    }
+
+    #[test]
+    fn invalid_chip_stage_rejected_up_front() {
+        let mut chip = ChipFlowConfig::for_network(acim_chip::Network::edge_cnn(1));
+        chip.dse.population_size = 7;
+        let config = FlowConfig::new(16 * 1024).with_chip_stage(chip);
+        assert!(config.validate().is_err());
+
+        let chip = ChipFlowConfig::for_network(acim_chip::Network::edge_cnn(1));
+        let config = FlowConfig::new(16 * 1024).with_chip_stage(chip);
+        assert!(config.validate().is_ok());
     }
 }

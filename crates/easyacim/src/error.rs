@@ -3,6 +3,7 @@
 use std::error::Error;
 use std::fmt;
 
+use acim_chip::ChipError;
 use acim_dse::DseError;
 use acim_layout::LayoutError;
 use acim_netlist::NetlistError;
@@ -20,6 +21,8 @@ pub enum FlowError {
     Netlist(NetlistError),
     /// An error from the placer/router.
     Layout(LayoutError),
+    /// An error from the chip-composition stage.
+    Chip(ChipError),
 }
 
 impl fmt::Display for FlowError {
@@ -27,11 +30,15 @@ impl fmt::Display for FlowError {
         match self {
             FlowError::InvalidConfig(reason) => write!(f, "invalid flow configuration: {reason}"),
             FlowError::EmptyDistilledSet => {
-                write!(f, "user distillation removed every Pareto-frontier solution")
+                write!(
+                    f,
+                    "user distillation removed every Pareto-frontier solution"
+                )
             }
             FlowError::Dse(err) => write!(f, "design-space exploration failed: {err}"),
             FlowError::Netlist(err) => write!(f, "netlist generation failed: {err}"),
             FlowError::Layout(err) => write!(f, "layout generation failed: {err}"),
+            FlowError::Chip(err) => write!(f, "chip composition failed: {err}"),
         }
     }
 }
@@ -42,6 +49,7 @@ impl Error for FlowError {
             FlowError::Dse(err) => Some(err),
             FlowError::Netlist(err) => Some(err),
             FlowError::Layout(err) => Some(err),
+            FlowError::Chip(err) => Some(err),
             _ => None,
         }
     }
@@ -65,6 +73,12 @@ impl From<LayoutError> for FlowError {
     }
 }
 
+impl From<ChipError> for FlowError {
+    fn from(err: ChipError) -> Self {
+        FlowError::Chip(err)
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -73,7 +87,9 @@ mod tests {
     fn conversions_and_display() {
         let e: FlowError = DseError::InvalidConfig("x".into()).into();
         assert!(e.to_string().contains("design-space exploration"));
-        assert!(FlowError::EmptyDistilledSet.to_string().contains("distillation"));
+        assert!(FlowError::EmptyDistilledSet
+            .to_string()
+            .contains("distillation"));
     }
 
     #[test]

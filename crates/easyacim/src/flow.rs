@@ -7,6 +7,7 @@ use acim_dse::{DesignPoint, DesignSpaceExplorer, ParetoFrontierSet};
 use acim_layout::{LayoutFlow, MacroLayout};
 use acim_netlist::{design_stats, write_spice, Design, DesignStats, NetlistGenerator};
 
+use crate::chip::{ChipFlow, ChipFlowResult};
 use crate::config::FlowConfig;
 use crate::error::FlowError;
 
@@ -43,6 +44,8 @@ pub struct FlowResult {
     pub total_time: Duration,
     /// Number of objective evaluations spent by the explorer.
     pub evaluations: usize,
+    /// The chip-composition stage result, when the stage was configured.
+    pub chip: Option<ChipFlowResult>,
 }
 
 /// The EasyACIM top flow controller.
@@ -129,6 +132,13 @@ impl TopFlowController {
             });
         }
 
+        // 5. Optional chip composition: macro × count × buffer
+        // co-exploration against a whole network.
+        let chip = match &self.config.chip {
+            Some(chip_config) => Some(ChipFlow::new(chip_config.clone()).run()?),
+            None => None,
+        };
+
         Ok(FlowResult {
             frontier,
             distilled,
@@ -136,6 +146,7 @@ impl TopFlowController {
             exploration_time,
             total_time: start.elapsed(),
             evaluations,
+            chip,
         })
     }
 }
@@ -181,7 +192,10 @@ mod tests {
             ..UserRequirements::none()
         };
         let controller = TopFlowController::new(config).unwrap();
-        assert!(matches!(controller.run(), Err(FlowError::EmptyDistilledSet)));
+        assert!(matches!(
+            controller.run(),
+            Err(FlowError::EmptyDistilledSet)
+        ));
     }
 
     #[test]
@@ -192,6 +206,26 @@ mod tests {
         let result = TopFlowController::new(config).unwrap().run().unwrap();
         let spice = result.designs[0].spice.as_ref().expect("spice emitted");
         assert!(spice.contains(".SUBCKT ACIM_TOP"));
+    }
+
+    #[test]
+    fn chip_stage_runs_when_configured() {
+        use crate::chip::ChipFlowConfig;
+        use acim_chip::Network;
+
+        let mut chip_config = ChipFlowConfig::for_network(Network::edge_cnn(1));
+        chip_config.dse.population_size = 16;
+        chip_config.dse.generations = 5;
+        chip_config.dse.grid_rows = vec![1, 2];
+        chip_config.dse.grid_cols = vec![1, 2];
+        chip_config.dse.buffer_kib = vec![8, 32];
+        chip_config.validate_best = false;
+        let config = quick_config(4 * 1024).with_chip_stage(chip_config);
+        let result = TopFlowController::new(config).unwrap().run().unwrap();
+        let chip = result.chip.as_ref().expect("chip stage ran");
+        assert!(!chip.front.is_empty());
+        // The macro flow is untouched by the chip stage.
+        assert!(!result.designs.is_empty());
     }
 
     #[test]

@@ -45,21 +45,29 @@
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
+pub mod chip;
 pub mod config;
 pub mod error;
 pub mod flow;
 pub mod report;
 
+pub use chip::{ChipFlow, ChipFlowConfig, ChipFlowResult};
 pub use config::FlowConfig;
 pub use error::FlowError;
 pub use flow::{FlowResult, GeneratedDesign, TopFlowController};
-pub use report::{design_report, frontier_table};
+pub use report::{chip_frontier_table, chip_report, design_report, frontier_table};
 
 /// Convenience re-exports of the whole EasyACIM workspace.
 pub mod prelude {
     pub use acim_arch::{AcimMacro, AcimSpec, NoiseConfig};
     pub use acim_cell::{CellKind, CellLibrary};
-    pub use acim_dse::{DesignPoint, DesignSpaceExplorer, DseConfig, UserRequirements};
+    pub use acim_chip::{
+        evaluate_chip, simulate_network, ChipEvaluator, ChipMetrics, ChipSpec, MacroGrid, Network,
+    };
+    pub use acim_dse::{
+        ChipDesignPoint, ChipDseConfig, ChipExplorer, DesignPoint, DesignSpaceExplorer, DseConfig,
+        UserRequirements,
+    };
     pub use acim_layout::{LayoutFlow, MacroLayout};
     pub use acim_model::{evaluate, DesignMetrics, ModelParams};
     pub use acim_moga::{Nsga2, Nsga2Config, Problem};
@@ -67,5 +75,8 @@ pub mod prelude {
     pub use acim_tech::Technology;
     pub use acim_workloads::{ApplicationProfile, MacroMapper};
 
-    pub use crate::{FlowConfig, FlowResult, GeneratedDesign, TopFlowController};
+    pub use crate::{
+        ChipFlow, ChipFlowConfig, ChipFlowResult, FlowConfig, FlowResult, GeneratedDesign,
+        TopFlowController,
+    };
 }

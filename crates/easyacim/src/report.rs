@@ -1,7 +1,8 @@
 //! Human-readable reports of flow results.
 
-use acim_dse::DesignPoint;
+use acim_dse::{ChipDesignPoint, DesignPoint};
 
+use crate::chip::ChipFlowResult;
 use crate::flow::{FlowResult, GeneratedDesign};
 
 /// Formats a Pareto frontier (or any list of design points) as an aligned
@@ -60,6 +61,75 @@ pub fn design_report(design: &GeneratedDesign) -> String {
     )
 }
 
+/// Formats a chip-level Pareto front as an aligned text table, one row
+/// per chip.
+pub fn chip_frontier_table(points: &[ChipDesignPoint]) -> String {
+    let mut out = String::new();
+    out.push_str(
+        "grid    macro          buf(KiB) | acc(dB)  T(TOPS)  E(pJ/inf)  area(MF2)  lat(ns)\n",
+    );
+    out.push_str(
+        "---------------------------------------------------------------------------------\n",
+    );
+    for p in points {
+        let macro_desc = if p.chip.grid.is_uniform() {
+            let spec = p.chip.grid.spec(0);
+            format!(
+                "{:>4}x{:<4} L={:<2} B={}",
+                spec.height(),
+                spec.width(),
+                spec.local_array(),
+                spec.adc_bits(),
+            )
+        } else {
+            format!("{:<18}", "heterogeneous")
+        };
+        out.push_str(&format!(
+            "{:>2}x{:<2}  {} {:>6}  | {:>7.1} {:>8.3} {:>10.1} {:>10.1} {:>8.1}\n",
+            p.chip.grid.rows(),
+            p.chip.grid.cols(),
+            macro_desc,
+            p.chip.buffer_kib,
+            p.metrics.accuracy_db,
+            p.metrics.throughput_tops,
+            p.metrics.energy_per_inference_pj,
+            p.metrics.area_mf2,
+            p.metrics.latency_ns,
+        ));
+    }
+    out
+}
+
+/// Summarises the chip-composition stage: the front, the best chip, and
+/// the behavioural validation when present.
+pub fn chip_report(result: &ChipFlowResult) -> String {
+    let mut out = format!(
+        "chip composition: {} frontier chips ({} evaluations in {:.2} s)\n{}",
+        result.front.len(),
+        result.evaluations,
+        result.exploration_time.as_secs_f64(),
+        chip_frontier_table(&result.front),
+    );
+    if let Some(best) = result.best_throughput() {
+        out.push_str(&format!("best throughput: {best}\n"));
+    }
+    if let Some(validation) = &result.validation {
+        out.push_str(&format!(
+            "behavioural validation: {} layers, {} total cycles, max relative error {:.4}\n",
+            validation.layers.len(),
+            validation.layers.iter().map(|l| l.cycles).sum::<u64>(),
+            validation.max_relative_error(),
+        ));
+        for layer in &validation.layers {
+            out.push_str(&format!(
+                "  {:<12} {:>4} tiles on {} macros, {:>6} cycles, err {:.4}\n",
+                layer.name, layer.tiles, layer.macros_used, layer.cycles, layer.relative_error,
+            ));
+        }
+    }
+    out
+}
+
 /// Summarises a whole flow run (frontier size, timings, generated designs).
 pub fn flow_summary(result: &FlowResult) -> String {
     let mut out = format!(
@@ -74,6 +144,9 @@ pub fn flow_summary(result: &FlowResult) -> String {
     );
     for design in &result.designs {
         out.push_str(&design_report(design));
+    }
+    if let Some(chip) = &result.chip {
+        out.push_str(&chip_report(chip));
     }
     out
 }

@@ -137,7 +137,12 @@ impl ColumnTemplate {
         let height = cursor;
 
         let mut layout = Layout::new(
-            format!("COLUMN_{}x1_l{}_b{}", spec.height(), spec.local_array(), spec.adc_bits()),
+            format!(
+                "COLUMN_{}x1_l{}_b{}",
+                spec.height(),
+                spec.local_array(),
+                spec.adc_bits()
+            ),
             width,
             height,
         );

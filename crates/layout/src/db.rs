@@ -140,9 +140,7 @@ impl Layout {
                 at: via.at.translated(dx, dy),
             });
         }
-        self.boundary = self
-            .boundary
-            .union(&other.boundary.translated(dx, dy));
+        self.boundary = self.boundary.union(&other.boundary.translated(dx, dy));
     }
 
     /// Finds an exported pin by net name.

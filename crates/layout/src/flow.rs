@@ -165,12 +165,7 @@ impl<'a> LayoutFlow<'a> {
                     layout.wires.push(Wire {
                         net: format!("OUT_{col}_{bit}"),
                         layer: "M4".into(),
-                        rect: Rect::new(
-                            x - m4_width / 2.0,
-                            y_bottom,
-                            x + m4_width / 2.0,
-                            y_top,
-                        ),
+                        rect: Rect::new(x - m4_width / 2.0, y_bottom, x + m4_width / 2.0, y_top),
                     });
                 }
             }
@@ -183,7 +178,7 @@ impl<'a> LayoutFlow<'a> {
             .layer_rule("M6")
             .map(|r| r.min_width.value())
             .unwrap_or(400.0);
-        let stripe_step = 8usize.max(1);
+        let stripe_step = 8usize;
         for (index, col) in (0..spec.width()).step_by(stripe_step).enumerate() {
             let x = core_origin.x + col as f64 * column_width + column_width / 2.0;
             let net = if index % 2 == 0 { "VDD" } else { "VSS" };
@@ -258,10 +253,7 @@ mod tests {
         // 8 columns × (32 SRAM + 8 LC + 6 periphery) + 32 input buffers +
         // 8·3 output buffers.
         let per_column = 32 + 8 + 3 + 1 + 1 + 1;
-        assert_eq!(
-            m.layout.instances.len(),
-            8 * per_column + 32 + 24
-        );
+        assert_eq!(m.layout.instances.len(), 8 * per_column + 32 + 24);
         assert_eq!(m.metrics.instance_count, m.layout.instances.len());
     }
 
@@ -345,7 +337,15 @@ mod tests {
     #[test]
     fn power_grid_present_on_top_metals() {
         let m = generate(32, 8, 4, 3);
-        assert!(m.layout.wires.iter().any(|w| w.layer == "M6" && w.net == "VDD"));
-        assert!(m.layout.wires.iter().any(|w| w.layer == "M5" && w.net == "VSS"));
+        assert!(m
+            .layout
+            .wires
+            .iter()
+            .any(|w| w.layer == "M6" && w.net == "VDD"));
+        assert!(m
+            .layout
+            .wires
+            .iter()
+            .any(|w| w.layer == "M5" && w.net == "VSS"));
     }
 }

@@ -31,7 +31,11 @@ pub fn write_gds_text(layout: &Layout, tech: &Technology) -> String {
         let _ = writeln!(
             out,
             "SREF {} {} {:.0} {:.0} {:?}",
-            instance.cell, instance.name, instance.origin.x, instance.origin.y, instance.orientation
+            instance.cell,
+            instance.name,
+            instance.origin.x,
+            instance.origin.y,
+            instance.orientation
         );
     }
     for wire in &layout.wires {
@@ -75,7 +79,11 @@ pub fn write_def(layout: &Layout) -> String {
         let _ = writeln!(
             out,
             "- {} {} + PLACED ( {:.0} {:.0} ) {:?} ;",
-            instance.name, instance.cell, instance.origin.x, instance.origin.y, instance.orientation
+            instance.name,
+            instance.cell,
+            instance.origin.x,
+            instance.origin.y,
+            instance.orientation
         );
     }
     let _ = writeln!(out, "END COMPONENTS");
@@ -85,7 +93,13 @@ pub fn write_def(layout: &Layout) -> String {
         let _ = writeln!(
             out,
             "- {} + NET {} + LAYER {} ( {:.0} {:.0} ) ( {:.0} {:.0} ) ;",
-            pin.net, pin.net, pin.layer, pin.rect.min.x, pin.rect.min.y, pin.rect.max.x, pin.rect.max.y
+            pin.net,
+            pin.net,
+            pin.layer,
+            pin.rect.min.x,
+            pin.rect.min.y,
+            pin.rect.max.x,
+            pin.rect.max.y
         );
     }
     let _ = writeln!(out, "END PINS");
@@ -95,7 +109,12 @@ pub fn write_def(layout: &Layout) -> String {
         let _ = writeln!(
             out,
             "- {} + ROUTED {} ( {:.0} {:.0} ) ( {:.0} {:.0} ) ;",
-            wire.net, wire.layer, wire.rect.min.x, wire.rect.min.y, wire.rect.max.x, wire.rect.max.y
+            wire.net,
+            wire.layer,
+            wire.rect.min.x,
+            wire.rect.min.y,
+            wire.rect.max.x,
+            wire.rect.max.y
         );
     }
     let _ = writeln!(out, "END SPECIALNETS");

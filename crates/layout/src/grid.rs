@@ -160,10 +160,7 @@ impl RoutingGrid {
         let (c1, r1) = self.snap(rect.max);
         for row in r0..=r1 {
             for col in c0..=c1 {
-                self.set_cell(
-                    GridNode { layer, col, row },
-                    GridCell::Obstacle,
-                );
+                self.set_cell(GridNode { layer, col, row }, GridCell::Obstacle);
             }
         }
     }
@@ -245,15 +242,40 @@ mod tests {
     fn blocking_and_claiming() {
         let mut g = grid();
         g.block_rect(0, &Rect::new(0.0, 0.0, 300.0, 100.0));
-        assert_eq!(g.cell(GridNode { layer: 0, col: 1, row: 0 }), GridCell::Obstacle);
-        assert_eq!(g.cell(GridNode { layer: 1, col: 1, row: 0 }), GridCell::Free);
+        assert_eq!(
+            g.cell(GridNode {
+                layer: 0,
+                col: 1,
+                row: 0
+            }),
+            GridCell::Obstacle
+        );
+        assert_eq!(
+            g.cell(GridNode {
+                layer: 1,
+                col: 1,
+                row: 0
+            }),
+            GridCell::Free
+        );
 
         g.claim_rect(1, &Rect::new(400.0, 200.0, 600.0, 200.0), 7);
-        let node = GridNode { layer: 1, col: 5, row: 2 };
+        let node = GridNode {
+            layer: 1,
+            col: 5,
+            row: 2,
+        };
         assert_eq!(g.cell(node), GridCell::Net(7));
         assert!(g.usable_by(node, 7));
         assert!(!g.usable_by(node, 8));
-        assert!(!g.usable_by(GridNode { layer: 0, col: 1, row: 0 }, 7));
+        assert!(!g.usable_by(
+            GridNode {
+                layer: 0,
+                col: 1,
+                row: 0
+            },
+            7
+        ));
         assert!(g.occupancy_ratio() > 0.0);
     }
 

@@ -169,8 +169,8 @@ impl AnnealingPlacer {
                 (other, snapshot.0, snapshot.1)
             };
             let new_cost = self.cost(items, nets, constraints, &origins);
-            let accept = new_cost <= cost
-                || rng.gen::<f64>() < ((cost - new_cost) / temperature).exp();
+            let accept =
+                new_cost <= cost || rng.gen::<f64>() < ((cost - new_cost) / temperature).exp();
             if accept {
                 cost = new_cost;
                 if cost < best_cost {
@@ -434,8 +434,10 @@ mod tests {
 
     #[test]
     fn invalid_config_rejected() {
-        let mut c = PlacerConfig::default();
-        c.grid_pitch = 0.0;
+        let c = PlacerConfig {
+            grid_pitch: 0.0,
+            ..Default::default()
+        };
         assert!(AnnealingPlacer::new(c).is_err());
     }
 }

@@ -194,12 +194,12 @@ impl MazeRouter {
 
         for terminal in terminals {
             let target = self.terminal_node(terminal);
-            let path = self
-                .search(&tree, target, request.net_id)
-                .ok_or_else(|| LayoutError::Unroutable {
+            let path = self.search(&tree, target, request.net_id).ok_or_else(|| {
+                LayoutError::Unroutable {
                     net: request.net.clone(),
                     context: "maze routing".into(),
-                })?;
+                }
+            })?;
             for &node in &path {
                 self.grid.set_cell(node, GridCell::Net(request.net_id));
                 tree.push(node);
@@ -233,8 +233,7 @@ impl MazeRouter {
         let rows = self.grid.rows();
         let layers = self.grid.layers();
         let size = cols * rows * layers;
-        let index =
-            |n: GridNode| -> usize { (n.layer * rows + n.row) * cols + n.col };
+        let index = |n: GridNode| -> usize { (n.layer * rows + n.row) * cols + n.col };
 
         let mut dist = vec![u32::MAX; size];
         let mut previous = vec![u32::MAX; size];
@@ -266,26 +265,84 @@ impl MazeRouter {
             let mut neighbours: Vec<(GridNode, u32)> = Vec::with_capacity(6);
             let preferred_horizontal = self.horizontal[layer];
             if col + 1 < cols {
-                let step = if preferred_horizontal { 1 } else { NON_PREFERRED_COST };
-                neighbours.push((GridNode { layer, col: col + 1, row }, step));
+                let step = if preferred_horizontal {
+                    1
+                } else {
+                    NON_PREFERRED_COST
+                };
+                neighbours.push((
+                    GridNode {
+                        layer,
+                        col: col + 1,
+                        row,
+                    },
+                    step,
+                ));
             }
             if col > 0 {
-                let step = if preferred_horizontal { 1 } else { NON_PREFERRED_COST };
-                neighbours.push((GridNode { layer, col: col - 1, row }, step));
+                let step = if preferred_horizontal {
+                    1
+                } else {
+                    NON_PREFERRED_COST
+                };
+                neighbours.push((
+                    GridNode {
+                        layer,
+                        col: col - 1,
+                        row,
+                    },
+                    step,
+                ));
             }
             if row + 1 < rows {
-                let step = if preferred_horizontal { NON_PREFERRED_COST } else { 1 };
-                neighbours.push((GridNode { layer, col, row: row + 1 }, step));
+                let step = if preferred_horizontal {
+                    NON_PREFERRED_COST
+                } else {
+                    1
+                };
+                neighbours.push((
+                    GridNode {
+                        layer,
+                        col,
+                        row: row + 1,
+                    },
+                    step,
+                ));
             }
             if row > 0 {
-                let step = if preferred_horizontal { NON_PREFERRED_COST } else { 1 };
-                neighbours.push((GridNode { layer, col, row: row - 1 }, step));
+                let step = if preferred_horizontal {
+                    NON_PREFERRED_COST
+                } else {
+                    1
+                };
+                neighbours.push((
+                    GridNode {
+                        layer,
+                        col,
+                        row: row - 1,
+                    },
+                    step,
+                ));
             }
             if layer + 1 < layers {
-                neighbours.push((GridNode { layer: layer + 1, col, row }, VIA_COST));
+                neighbours.push((
+                    GridNode {
+                        layer: layer + 1,
+                        col,
+                        row,
+                    },
+                    VIA_COST,
+                ));
             }
             if layer > 0 {
-                neighbours.push((GridNode { layer: layer - 1, col, row }, VIA_COST));
+                neighbours.push((
+                    GridNode {
+                        layer: layer - 1,
+                        col,
+                        row,
+                    },
+                    VIA_COST,
+                ));
             }
 
             for (next, step) in neighbours {
@@ -404,7 +461,10 @@ mod tests {
         assert!(vias.is_empty());
         assert_eq!(r.stats().routed_nets, 1);
         // Total routed length covers the 1000 nm span.
-        let length: f64 = wires.iter().map(|w| w.rect.height().max(w.rect.width())).sum();
+        let length: f64 = wires
+            .iter()
+            .map(|w| w.rect.height().max(w.rect.width()))
+            .sum();
         assert!(length >= 1000.0);
     }
 
@@ -431,7 +491,10 @@ mod tests {
                 &[(0, (0.0, 0.0)), (0, (0.0, 1500.0)), (0, (1500.0, 0.0))],
             ))
             .unwrap();
-        let length: f64 = wires.iter().map(|w| w.rect.height().max(w.rect.width())).sum();
+        let length: f64 = wires
+            .iter()
+            .map(|w| w.rect.height().max(w.rect.width()))
+            .sum();
         // A Steiner-ish tree should be much shorter than routing both sinks
         // independently from scratch twice over.
         assert!(length >= 3000.0);
@@ -449,7 +512,10 @@ mod tests {
         let (wires, _) = r
             .route(&request("D", 4, &[(0, (0.0, 0.0)), (0, (0.0, 2000.0))]))
             .unwrap();
-        let length: f64 = wires.iter().map(|w| w.rect.height().max(w.rect.width())).sum();
+        let length: f64 = wires
+            .iter()
+            .map(|w| w.rect.height().max(w.rect.width()))
+            .sum();
         // Must detour around the wall: noticeably longer than the direct 2000.
         assert!(length > 3000.0, "detour length {length}");
     }
@@ -494,9 +560,7 @@ mod tests {
     #[test]
     fn single_terminal_nets_need_no_wires() {
         let mut r = router(1000.0, 1000.0);
-        let (wires, vias) = r
-            .route(&request("F", 9, &[(0, (100.0, 100.0))]))
-            .unwrap();
+        let (wires, vias) = r.route(&request("F", 9, &[(0, (100.0, 100.0))])).unwrap();
         assert!(wires.is_empty());
         assert!(vias.is_empty());
     }

@@ -61,7 +61,13 @@ pub fn calibrate_snr_offset(
     let mut structurals = Vec::with_capacity(specs.len());
     let mut measured = Vec::with_capacity(specs.len());
     for (i, spec) in specs.iter().enumerate() {
-        let m = measure_snr(spec, tech, NoiseConfig::realistic(), cycles, seed + i as u64)?;
+        let m = measure_snr(
+            spec,
+            tech,
+            NoiseConfig::realistic(),
+            cycles,
+            seed + i as u64,
+        )?;
         let structural =
             6.0 * f64::from(spec.adc_bits()) - 10.0 * (spec.dot_product_length() as f64).log10();
         offsets.push(m.snr_db - structural);
@@ -74,12 +80,8 @@ pub fn calibrate_snr_offset(
         .zip(&measured)
         .map(|(s, m)| (s + offset, *m))
         .collect();
-    let rms_residual = (pairs
-        .iter()
-        .map(|(p, m)| (p - m) * (p - m))
-        .sum::<f64>()
-        / pairs.len() as f64)
-        .sqrt();
+    let rms_residual =
+        (pairs.iter().map(|(p, m)| (p - m) * (p - m)).sum::<f64>() / pairs.len() as f64).sqrt();
     Ok(CalibrationReport {
         fitted: vec![offset],
         rms_residual,
@@ -138,12 +140,8 @@ pub fn calibrate_adc_energy(
         .iter()
         .map(|&(u, v, y)| (k1 * u + k2 * v, y))
         .collect();
-    let rms_residual = (pairs
-        .iter()
-        .map(|(p, m)| (p - m) * (p - m))
-        .sum::<f64>()
-        / pairs.len() as f64)
-        .sqrt();
+    let rms_residual =
+        (pairs.iter().map(|(p, m)| (p - m) * (p - m)).sum::<f64>() / pairs.len() as f64).sqrt();
     Ok(CalibrationReport {
         fitted: vec![k1, k2],
         rms_residual,
@@ -167,8 +165,16 @@ mod tests {
             .collect();
         let report = calibrate_adc_energy(&samples, truth.vdd).unwrap();
         assert_eq!(report.samples, samples.len());
-        assert!((report.fitted[0] - truth.k1.value()).abs() < 0.5, "k1 = {}", report.fitted[0]);
-        assert!((report.fitted[1] - truth.k2.value()).abs() < 0.01, "k2 = {}", report.fitted[1]);
+        assert!(
+            (report.fitted[0] - truth.k1.value()).abs() < 0.5,
+            "k1 = {}",
+            report.fitted[0]
+        );
+        assert!(
+            (report.fitted[1] - truth.k2.value()).abs() < 0.01,
+            "k2 = {}",
+            report.fitted[1]
+        );
         assert!(report.rms_residual < 1.0);
     }
 

@@ -86,8 +86,7 @@ pub fn snr_detailed_db(spec: &AcimSpec, params: &ModelParams) -> Result<SnrBreak
 
     // Equation 6: output quantisation SNR.
     let b_y = f64::from(spec.adc_bits());
-    let sqnr_y_db =
-        6.0 * b_y + 4.8 - (data.zeta_x_db() + data.zeta_w_db()) - 10.0 * n.log10();
+    let sqnr_y_db = 6.0 * b_y + 4.8 - (data.zeta_x_db() + data.zeta_w_db()) - 10.0 * n.log10();
 
     // Equation 2: total.
     let snr_total = 1.0 / (1.0 / from_db(snr_pre_db) + 1.0 / from_db(sqnr_y_db));
@@ -116,8 +115,10 @@ pub fn snr_simplified_db(spec: &AcimSpec, params: &ModelParams) -> Result<f64, M
     params.validate()?;
     let n = spec.dot_product_length() as f64;
     let b = f64::from(spec.adc_bits());
-    Ok(6.0 * b - 10.0 * n.log10() - 10.0 * (params.snr.k3 / params.snr.c_o.value()).log10()
-        + params.snr.k4)
+    Ok(
+        6.0 * b - 10.0 * n.log10() - 10.0 * (params.snr.k3 / params.snr.c_o.value()).log10()
+            + params.snr.k4,
+    )
 }
 
 #[cfg(test)]
@@ -144,7 +145,13 @@ mod tests {
     #[test]
     fn simplified_snr_lands_in_plausible_band() {
         let params = ModelParams::s28_default();
-        for (h, l, b) in [(128, 2, 3), (128, 8, 3), (64, 8, 3), (512, 2, 8), (64, 32, 1)] {
+        for (h, l, b) in [
+            (128, 2, 3),
+            (128, 8, 3),
+            (64, 8, 3),
+            (512, 2, 8),
+            (64, 32, 1),
+        ] {
             let snr = snr_simplified_db(&spec(h, l, b), &params).unwrap();
             assert!(
                 (0.0..60.0).contains(&snr),

@@ -58,7 +58,10 @@ mod tests {
     #[test]
     fn cycle_time_grows_with_precision() {
         let params = ModelParams::s28_default();
-        assert!(cycle_time_ns(&spec(512, 32, 2, 8), &params) > cycle_time_ns(&spec(512, 32, 2, 2), &params));
+        assert!(
+            cycle_time_ns(&spec(512, 32, 2, 8), &params)
+                > cycle_time_ns(&spec(512, 32, 2, 2), &params)
+        );
         // B = 3 cycle is about 5 ns with the default timing.
         let t = cycle_time_ns(&spec(128, 128, 8, 3), &params);
         assert!((t - 5.0).abs() < 0.3, "cycle time {t:.2} ns");

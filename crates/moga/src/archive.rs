@@ -43,7 +43,8 @@ impl<T> ParetoArchive<T> {
                 return false;
             }
         }
-        self.entries.retain(|e| !dominates(&objectives, &e.objectives));
+        self.entries
+            .retain(|e| !dominates(&objectives, &e.objectives));
         self.entries.push(ArchiveEntry {
             objectives,
             payload,

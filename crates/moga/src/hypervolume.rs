@@ -60,7 +60,12 @@ pub fn hypervolume_2d(front: &[Vec<f64>], reference: &[f64]) -> f64 {
 ///
 /// Panics if the front is empty, if dimensions disagree, or if `samples`
 /// is zero.
-pub fn hypervolume_monte_carlo(front: &[Vec<f64>], reference: &[f64], samples: usize, seed: u64) -> f64 {
+pub fn hypervolume_monte_carlo(
+    front: &[Vec<f64>],
+    reference: &[f64],
+    samples: usize,
+    seed: u64,
+) -> f64 {
     assert!(!front.is_empty(), "front must not be empty");
     assert!(samples > 0, "sample count must be positive");
     let dim = reference.len();
@@ -89,10 +94,7 @@ pub fn hypervolume_monte_carlo(front: &[Vec<f64>], reference: &[f64], samples: u
         for i in 0..dim {
             sample[i] = ideal[i] + rng.gen::<f64>() * (reference[i] - ideal[i]);
         }
-        if front
-            .iter()
-            .any(|p| dominates(p, &sample) || p == &sample)
-        {
+        if front.iter().any(|p| dominates(p, &sample) || p == &sample) {
             dominated += 1;
         }
     }
@@ -133,7 +135,10 @@ mod tests {
     #[test]
     fn larger_front_has_larger_volume() {
         let small = hypervolume_2d(&[vec![2.0, 2.0]], &[4.0, 4.0]);
-        let large = hypervolume_2d(&[vec![2.0, 2.0], vec![1.0, 3.5], vec![3.5, 1.0]], &[4.0, 4.0]);
+        let large = hypervolume_2d(
+            &[vec![2.0, 2.0], vec![1.0, 3.5], vec![3.5, 1.0]],
+            &[4.0, 4.0],
+        );
         assert!(large > small);
     }
 

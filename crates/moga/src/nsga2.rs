@@ -91,7 +91,7 @@ impl<P: Problem> Nsga2<P> {
     /// problem has zero variables or objectives.
     pub fn new(problem: P, config: Nsga2Config) -> Self {
         assert!(
-            config.population_size >= 4 && config.population_size % 2 == 0,
+            config.population_size >= 4 && config.population_size.is_multiple_of(2),
             "population size must be an even number >= 4"
         );
         assert!(problem.num_variables() > 0, "problem must have variables");
@@ -304,7 +304,9 @@ mod tests {
 
     #[test]
     fn constrained_problem_yields_feasible_front() {
-        let result = Nsga2::new(ConstrainedSum, small_config()).with_seed(7).run();
+        let result = Nsga2::new(ConstrainedSum, small_config())
+            .with_seed(7)
+            .run();
         let front = result.pareto_front();
         assert!(!front.is_empty());
         for ind in &front {

@@ -122,7 +122,10 @@ mod tests {
             mean_sum += (c1[0] + c2[0]) / 2.0;
         }
         let grand_mean = mean_sum / f64::from(trials);
-        assert!((grand_mean - 0.5).abs() < 0.01, "mean drifted to {grand_mean}");
+        assert!(
+            (grand_mean - 0.5).abs() < 0.01,
+            "mean drifted to {grand_mean}"
+        );
     }
 
     #[test]

@@ -129,9 +129,9 @@ mod tests {
         }
         let sphere = Sphere;
         assert_eq!(takes_problem(&sphere), 2);
-        assert_eq!((&sphere).name(), "sphere");
+        assert_eq!(sphere.name(), "sphere");
         assert_eq!(
-            (&sphere).evaluate(&[0.5, 0.5]).objectives[0],
+            sphere.evaluate(&[0.5, 0.5]).objectives[0],
             0.5f64 * 0.5 + 0.5 * 0.5
         );
     }

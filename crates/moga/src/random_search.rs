@@ -16,7 +16,11 @@ use crate::problem::Problem;
 /// non-dominated subset as an archive of individuals.
 ///
 /// Deterministic for a fixed `seed`.
-pub fn random_search<P: Problem>(problem: &P, budget: usize, seed: u64) -> ParetoArchive<Individual> {
+pub fn random_search<P: Problem>(
+    problem: &P,
+    budget: usize,
+    seed: u64,
+) -> ParetoArchive<Individual> {
     let mut rng = StdRng::seed_from_u64(seed);
     let mut archive = ParetoArchive::new();
     for _ in 0..budget {

@@ -40,7 +40,10 @@ impl fmt::Display for NetlistError {
             NetlistError::UnknownReference {
                 name,
                 referenced_from,
-            } => write!(f, "unknown module or cell `{name}` referenced from `{referenced_from}`"),
+            } => write!(
+                f,
+                "unknown module or cell `{name}` referenced from `{referenced_from}`"
+            ),
             NetlistError::PortMismatch {
                 instance,
                 target,

@@ -75,7 +75,9 @@ impl<'a> NetlistGenerator<'a> {
             m.add_port(format!("RWL_{i}"), PortDirection::Input);
             m.add_port(format!("WL_{i}"), PortDirection::Input);
         }
-        for port in ["BL", "BLB", "RBL", "PCH", "RST", "P", "N", "VCM", "VDD", "VSS"] {
+        for port in [
+            "BL", "BLB", "RBL", "PCH", "RST", "P", "N", "VCM", "VDD", "VSS",
+        ] {
             let direction = match port {
                 "PCH" | "RST" | "P" | "N" => PortDirection::Input,
                 _ => PortDirection::Inout,
@@ -133,7 +135,9 @@ impl<'a> NetlistGenerator<'a> {
         for bit in 0..bits {
             m.add_port(format!("DOUT_{bit}"), PortDirection::Output);
         }
-        for port in ["BL", "BLB", "PCH", "RST", "CLK", "START", "VCM", "VDD", "VSS"] {
+        for port in [
+            "BL", "BLB", "PCH", "RST", "CLK", "START", "VCM", "VDD", "VSS",
+        ] {
             let direction = match port {
                 "BL" | "BLB" | "VCM" | "VDD" | "VSS" => PortDirection::Inout,
                 _ => PortDirection::Input,
@@ -372,10 +376,7 @@ mod tests {
         // B_ADC flip-flops per column.
         assert_eq!(design.count_leaf_instances("SAR_DFF"), w * b as usize);
         // H input buffers + W·B output buffers.
-        assert_eq!(
-            design.count_leaf_instances("BUF"),
-            h + w * b as usize
-        );
+        assert_eq!(design.count_leaf_instances("BUF"), h + w * b as usize);
     }
 
     #[test]

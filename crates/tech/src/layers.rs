@@ -188,7 +188,8 @@ impl LayerMap {
         if self.by_name.contains_key(layer.name()) {
             return Err(TechError::DuplicateLayer(layer.name().to_string()));
         }
-        self.by_name.insert(layer.name().to_string(), self.layers.len());
+        self.by_name
+            .insert(layer.name().to_string(), self.layers.len());
         self.layers.push(layer);
         Ok(())
     }
@@ -215,10 +216,7 @@ impl LayerMap {
 
     /// Number of routing metal layers.
     pub fn metal_count(&self) -> usize {
-        self.layers
-            .iter()
-            .filter(|l| l.kind().is_routing())
-            .count()
+        self.layers.iter().filter(|l| l.kind().is_routing()).count()
     }
 
     /// Total number of layers.
@@ -389,10 +387,22 @@ mod tests {
     #[test]
     fn preferred_directions_alternate() {
         let map = LayerMap::s28();
-        assert_eq!(map.metal(1).unwrap().direction(), RoutingDirection::Horizontal);
-        assert_eq!(map.metal(2).unwrap().direction(), RoutingDirection::Vertical);
-        assert_eq!(map.metal(3).unwrap().direction(), RoutingDirection::Horizontal);
-        assert_eq!(map.metal(4).unwrap().direction(), RoutingDirection::Vertical);
+        assert_eq!(
+            map.metal(1).unwrap().direction(),
+            RoutingDirection::Horizontal
+        );
+        assert_eq!(
+            map.metal(2).unwrap().direction(),
+            RoutingDirection::Vertical
+        );
+        assert_eq!(
+            map.metal(3).unwrap().direction(),
+            RoutingDirection::Horizontal
+        );
+        assert_eq!(
+            map.metal(4).unwrap().direction(),
+            RoutingDirection::Vertical
+        );
     }
 
     #[test]

@@ -206,7 +206,9 @@ mod tests {
 
     #[test]
     fn with_vdd_validates_and_recentres_vcm() {
-        let tech = Technology::s28().with_vdd(Volt::new(0.8)).expect("valid vdd");
+        let tech = Technology::s28()
+            .with_vdd(Volt::new(0.8))
+            .expect("valid vdd");
         assert!((tech.vdd().value() - 0.8).abs() < 1e-12);
         assert!((tech.vcm().value() - 0.4).abs() < 1e-12);
         assert!(Technology::s28().with_vdd(Volt::new(0.2)).is_err());

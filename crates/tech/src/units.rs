@@ -315,7 +315,7 @@ mod tests {
         // 1 µm² at F = 28 nm is (1000/28)² ≈ 1275.5 F².
         let area = MicronSq::new(1.0);
         let f2 = micron_sq_to_square_f(area, 28.0);
-        assert!((f2.value() - 1275.510_204).abs() < 1e-3);
+        assert!((f2.value() - 1275.510204).abs() < 1e-3);
         let back = square_f_to_micron_sq(f2, 28.0);
         assert!((back.value() - 1.0).abs() < 1e-9);
     }

@@ -66,7 +66,14 @@ impl CnnLayer {
         let activations: Vec<f64> = (0..cols)
             .map(|i| pseudo_random(seed ^ 0xFEED, i).max(0.0)) // post-ReLU style
             .collect();
-        binarize_mvm(&format!("cnn_{}x{}x{}", self.out_channels, self.in_channels, self.kernel), &weights, &activations)
+        binarize_mvm(
+            &format!(
+                "cnn_{}x{}x{}",
+                self.out_channels, self.in_channels, self.kernel
+            ),
+            &weights,
+            &activations,
+        )
     }
 }
 

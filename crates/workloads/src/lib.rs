@@ -48,7 +48,7 @@ pub mod transformer;
 
 pub use cnn::CnnLayer;
 pub use error::WorkloadError;
-pub use mapping::{MacroMapper, MappingReport};
+pub use mapping::{run_output_tile, MacroMapper, MappingReport};
 pub use quantize::{binarize_activations, binarize_weights, BinaryMvm};
 pub use requirements::ApplicationProfile;
 pub use snn::SnnLayer;

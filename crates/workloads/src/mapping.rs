@@ -33,6 +33,62 @@ pub struct MappingReport {
     pub latency_ns: f64,
 }
 
+/// Programs one output tile — workload rows `row_base .. row_base +
+/// rows_in_tile`, one row per macro column — onto `macro_sim`, runs one
+/// MAC+conversion cycle per dot-product chunk, and returns the de-quantised
+/// partial-sum accumulators together with the cycles spent.
+///
+/// The tile layout is the contract shared by [`MacroMapper`] and the
+/// chip-level behavioural simulator: the chunk's weights occupy row offset 0
+/// of each local array, zero-padded when the dot-product length does not
+/// divide the chunk size.
+///
+/// # Errors
+///
+/// Returns [`WorkloadError`] when the macro simulation rejects a tile.
+pub fn run_output_tile(
+    macro_sim: &mut AcimMacro,
+    spec: &AcimSpec,
+    workload: &BinaryMvm,
+    row_base: usize,
+    rows_in_tile: usize,
+) -> Result<(Vec<f64>, u64), WorkloadError> {
+    let chunk = spec.dot_product_length();
+    let full_scale = f64::from((1u32 << spec.adc_bits()) - 1);
+    let chunks = workload.cols().div_ceil(chunk);
+    let mut accumulated = vec![0.0f64; rows_in_tile];
+    let mut cycles = 0u64;
+
+    for chunk_index in 0..chunks {
+        let col_base = chunk_index * chunk;
+        let cols_in_chunk = (workload.cols() - col_base).min(chunk);
+
+        // Program the tile: macro column c holds workload row
+        // (row_base + c); the chunk's weights go into row offset 0 of
+        // each local array, padding with zeros.
+        macro_sim.program_with(|macro_row, macro_col| {
+            let local = macro_row / spec.local_array();
+            let offset = macro_row % spec.local_array();
+            if offset != 0 || macro_col >= rows_in_tile || local >= cols_in_chunk {
+                return false;
+            }
+            workload.weights[row_base + macro_col][col_base + local]
+        });
+        let mut activations = vec![false; chunk];
+        for (i, slot) in activations.iter_mut().enumerate().take(cols_in_chunk) {
+            *slot = workload.activations[col_base + i];
+        }
+
+        let codes = macro_sim.mac_and_convert(&activations, 0)?;
+        cycles += 1;
+        for (c, acc) in accumulated.iter_mut().enumerate() {
+            // De-quantise the ADC code back to a partial dot product.
+            *acc += f64::from(codes[c]) / full_scale * chunk as f64;
+        }
+    }
+    Ok((accumulated, cycles))
+}
+
 /// Maps workloads onto one macro specification.
 #[derive(Debug)]
 pub struct MacroMapper {
@@ -75,10 +131,8 @@ impl MacroMapper {
                 reason: "workload must have at least one row and column".into(),
             });
         }
-        let chunk = self.spec.dot_product_length();
         let width = self.spec.width();
         let ideal = workload.ideal_binary_outputs();
-        let full_scale = f64::from((1u32 << self.spec.adc_bits()) - 1);
 
         let mut macro_sim = AcimMacro::new(&self.spec, &self.tech, self.noise, seed)?;
         let mut total_error = 0.0f64;
@@ -88,36 +142,9 @@ impl MacroMapper {
         for tile in 0..output_tiles {
             let row_base = tile * width;
             let rows_in_tile = (workload.rows() - row_base).min(width);
-            let chunks = workload.cols().div_ceil(chunk);
-            let mut accumulated = vec![0.0f64; rows_in_tile];
-
-            for chunk_index in 0..chunks {
-                let col_base = chunk_index * chunk;
-                let cols_in_chunk = (workload.cols() - col_base).min(chunk);
-
-                // Program the tile: macro column c holds workload row
-                // (row_base + c); the chunk's weights go into row offset 0 of
-                // each local array, padding with zeros.
-                macro_sim.program_with(|macro_row, macro_col| {
-                    let local = macro_row / self.spec.local_array();
-                    let offset = macro_row % self.spec.local_array();
-                    if offset != 0 || macro_col >= rows_in_tile || local >= cols_in_chunk {
-                        return false;
-                    }
-                    workload.weights[row_base + macro_col][col_base + local]
-                });
-                let mut activations = vec![false; chunk];
-                for (i, slot) in activations.iter_mut().enumerate().take(cols_in_chunk) {
-                    *slot = workload.activations[col_base + i];
-                }
-
-                let codes = macro_sim.mac_and_convert(&activations, 0)?;
-                cycles += 1;
-                for (c, acc) in accumulated.iter_mut().enumerate() {
-                    // De-quantise the ADC code back to a partial dot product.
-                    *acc += f64::from(codes[c]) / full_scale * chunk as f64;
-                }
-            }
+            let (accumulated, tile_cycles) =
+                run_output_tile(&mut macro_sim, &self.spec, workload, row_base, rows_in_tile)?;
+            cycles += tile_cycles;
 
             for (c, acc) in accumulated.iter().enumerate() {
                 let exact = f64::from(ideal[row_base + c]);
@@ -126,11 +153,7 @@ impl MacroMapper {
         }
 
         let relative_error = total_error / workload.rows() as f64 / workload.cols() as f64;
-        let energy_fj = macro_sim
-            .stats()
-            .energy
-            .total()
-            .value();
+        let energy_fj = macro_sim.stats().energy.total().value();
         let cycle_ns = macro_sim.timing().cycle_time(self.spec.adc_bits()).value() / 1000.0;
         Ok(MappingReport {
             workload: workload.label.clone(),
@@ -163,7 +186,11 @@ mod tests {
         assert_eq!(report.cycles, 5);
         assert!(report.energy_fj > 0.0);
         assert!(report.latency_ns > 0.0);
-        assert!(report.relative_error < 0.2, "error {}", report.relative_error);
+        assert!(
+            report.relative_error < 0.2,
+            "error {}",
+            report.relative_error
+        );
     }
 
     #[test]
@@ -195,6 +222,79 @@ mod tests {
             "B=5 error {} should beat B=2 error {}",
             high.relative_error,
             low.relative_error
+        );
+    }
+
+    /// Builds a dense all-ones MVM of an arbitrary shape, so tiling edge
+    /// cases can be exercised with exact expected outputs.
+    fn ones_mvm(rows: usize, cols: usize) -> BinaryMvm {
+        BinaryMvm {
+            weights: vec![vec![true; cols]; rows],
+            activations: vec![true; cols],
+            reference: vec![cols as f64; rows],
+            label: format!("ones_{rows}x{cols}"),
+        }
+    }
+
+    #[test]
+    fn rows_not_dividing_width_pad_the_last_tile() {
+        // 18 outputs on a width-16 macro: one full tile + a 2-row tail.
+        let mapper = MacroMapper::new(&spec(64, 16, 4, 4)).unwrap().noiseless();
+        let report = mapper.run(&ones_mvm(18, 16), 3).unwrap();
+        assert_eq!(report.output_tiles, 2);
+        // Dot length equals the chunk, so each tile costs one cycle.
+        assert_eq!(report.cycles, 2);
+        // All-ones operands saturate the ADC: outputs are exact.
+        assert!(
+            report.relative_error < 1e-9,
+            "error {}",
+            report.relative_error
+        );
+    }
+
+    #[test]
+    fn dot_length_not_dividing_chunk_pads_the_last_chunk() {
+        // 50-long dot products in chunks of 16: 3 full chunks + a 2-wide
+        // tail chunk that must be zero-padded, not dropped.
+        let mapper = MacroMapper::new(&spec(64, 16, 4, 4)).unwrap().noiseless();
+        let report = mapper.run(&ones_mvm(16, 50), 3).unwrap();
+        assert_eq!(report.output_tiles, 1);
+        assert_eq!(report.cycles, 4);
+        // The tail chunk contributes 2/16 of full scale; dequantisation is
+        // still within one LSB per chunk of the exact 50.
+        assert!(
+            report.relative_error < 4.0 * (16.0 / 15.0) / 50.0,
+            "error {}",
+            report.relative_error
+        );
+    }
+
+    #[test]
+    fn neither_dimension_divides_evenly() {
+        // 19 outputs x 37-long dot products on a 16-wide, 16-chunk macro:
+        // ragged in both directions at once.
+        let mapper = MacroMapper::new(&spec(64, 16, 4, 4)).unwrap().noiseless();
+        let report = mapper.run(&ones_mvm(19, 37), 5).unwrap();
+        assert_eq!(report.output_tiles, 2);
+        assert_eq!(report.cycles, 2 * 3);
+        assert!(report.latency_ns > 0.0);
+        assert!(report.energy_fj > 0.0);
+    }
+
+    #[test]
+    fn single_tile_single_chunk_degenerate_case() {
+        // A 1x1 workload occupies one column of one tile for one cycle —
+        // the smallest mappable MVM.
+        let mapper = MacroMapper::new(&spec(64, 16, 4, 4)).unwrap().noiseless();
+        let report = mapper.run(&ones_mvm(1, 1), 3).unwrap();
+        assert_eq!(report.output_tiles, 1);
+        assert_eq!(report.cycles, 1);
+        // One active cell out of a 16-long chunk: the dequantised output
+        // must round-trip to 1 within one code step.
+        assert!(
+            report.relative_error <= 16.0 / 15.0,
+            "error {}",
+            report.relative_error
         );
     }
 

@@ -111,7 +111,10 @@ mod tests {
         let acts = vec![0.1, 0.9, 0.5, 0.2, 0.8, 0.7];
         let bits = binarize_activations(&acts);
         let ones = bits.iter().filter(|&&b| b).count();
-        assert!(ones >= 2 && ones <= 4, "roughly half should be ones, got {ones}");
+        assert!(
+            (2..=4).contains(&ones),
+            "roughly half should be ones, got {ones}"
+        );
         assert!(bits[1] && bits[4], "largest values must binarise to 1");
         assert!(!bits[0], "smallest value must binarise to 0");
         assert!(binarize_activations(&[]).is_empty());

@@ -102,7 +102,10 @@ mod tests {
         assert_eq!(mvm.rows(), 32);
         assert_eq!(mvm.cols(), 64);
         let ones = mvm.activations.iter().filter(|&&b| b).count();
-        assert!(ones > 5 && ones < 35, "spike count {ones} implausible for rate 0.3");
+        assert!(
+            ones > 5 && ones < 35,
+            "spike count {ones} implausible for rate 0.3"
+        );
     }
 
     #[test]

@@ -66,7 +66,10 @@ impl Matrix {
     ///
     /// Panics when the indices are out of range.
     pub fn get(&self, row: usize, col: usize) -> f64 {
-        assert!(row < self.rows && col < self.cols, "matrix index out of range");
+        assert!(
+            row < self.rows && col < self.cols,
+            "matrix index out of range"
+        );
         self.data[row * self.cols + col]
     }
 
@@ -76,7 +79,10 @@ impl Matrix {
     ///
     /// Panics when the indices are out of range.
     pub fn set(&mut self, row: usize, col: usize, value: f64) {
-        assert!(row < self.rows && col < self.cols, "matrix index out of range");
+        assert!(
+            row < self.rows && col < self.cols,
+            "matrix index out of range"
+        );
         self.data[row * self.cols + col] = value;
     }
 

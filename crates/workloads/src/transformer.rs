@@ -55,7 +55,7 @@ impl AttentionProjection {
     ///
     /// Returns [`WorkloadError`] when the shape is degenerate.
     pub fn to_workload(&self, seed: u64) -> Result<BinaryMvm, WorkloadError> {
-        if self.d_model == 0 || self.heads == 0 || self.d_model % self.heads != 0 {
+        if self.d_model == 0 || self.heads == 0 || !self.d_model.is_multiple_of(self.heads) {
             return Err(WorkloadError::InvalidParameter {
                 name: "attention projection".into(),
                 reason: "d_model must be a positive multiple of the head count".into(),
@@ -75,7 +75,10 @@ impl AttentionProjection {
         let activations: Vec<f64> = (0..cols)
             .map(|i| pseudo_random(seed ^ 0x70CE, i) - 0.5)
             .collect();
-        let label = format!("attention_{:?}_{}d_{}h", self.kind, self.d_model, self.heads);
+        let label = format!(
+            "attention_{:?}_{}d_{}h",
+            self.kind, self.d_model, self.heads
+        );
         binarize_mvm(&label, &weights, &activations)
     }
 }

@@ -19,7 +19,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let params = ModelParams::s28_default();
 
     println!("candidate macros:");
-    for (name, spec) in [("accuracy-oriented", &accurate), ("efficiency-oriented", &efficient)] {
+    for (name, spec) in [
+        ("accuracy-oriented", &accurate),
+        ("efficiency-oriented", &efficient),
+    ] {
         let metrics = evaluate(spec, &params)?;
         println!(
             "  {name:<22} {spec}  SNR {:.1} dB, {:.0} TOPS/W, {:.0} F2/bit",
@@ -34,7 +37,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     for profile in ApplicationProfile::all() {
         let workload = profile.representative_workload(2024)?;
-        for (name, spec) in [("accuracy-oriented", &accurate), ("efficiency-oriented", &efficient)] {
+        for (name, spec) in [
+            ("accuracy-oriented", &accurate),
+            ("efficiency-oriented", &efficient),
+        ] {
             let report = MacroMapper::new(spec)?.run(&workload, 7)?;
             let meets = report.relative_error <= profile.max_relative_error();
             println!(

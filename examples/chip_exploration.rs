@@ -1,0 +1,65 @@
+//! Chip-level co-exploration: macro shape × macro count × buffer sizing
+//! for a multi-layer edge CNN.
+//!
+//! The single-macro flow answers "what is the best macro?"; this example
+//! answers the architect's next question: "how many of them, behind how
+//! much buffer, serve my *network* best?"  It runs the chip-level NSGA-II
+//! exploration twice to demonstrate seed-determinism (the per-layer
+//! objective evaluation is rayon-parallel yet bit-reproducible), prints
+//! the chip Pareto front, and finally maps the CNN onto the winning macro
+//! grid behaviourally, layer by layer.
+//!
+//! ```bash
+//! cargo run --release --example chip_exploration
+//! ```
+
+use easyacim::prelude::*;
+use easyacim::{chip_frontier_table, chip_report};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let network = Network::edge_cnn(3);
+    println!("target network: {network}");
+    for layer in &network.layers {
+        let (outputs, dot_length) = layer.shape();
+        println!(
+            "  {:<8} {:>4} outputs x {:>4}-long dot products",
+            layer.name, outputs, dot_length
+        );
+    }
+    println!();
+
+    // Co-explore macro (H, L, B_ADC) x grid (rows, cols) x buffer KiB.
+    let mut dse = ChipDseConfig::for_network(network.clone());
+    dse.population_size = 48;
+    dse.generations = 30;
+    let explorer = ChipExplorer::new(dse.clone())?;
+    let frontier = explorer.explore()?;
+    println!(
+        "chip exploration: {} evaluations, {} Pareto-frontier chips",
+        frontier.evaluations,
+        frontier.len()
+    );
+
+    // Determinism: the same seed reproduces the same front even though
+    // each objective evaluation fans layers out across worker threads.
+    let replay = ChipExplorer::new(dse)?.explore()?;
+    let identical = frontier.len() == replay.len()
+        && frontier
+            .iter()
+            .zip(replay.iter())
+            .all(|(a, b)| a.objective_vector() == b.objective_vector());
+    println!("replay with the same seed is identical: {identical}\n");
+    assert!(identical, "chip exploration must be deterministic per seed");
+
+    println!("{}", chip_frontier_table(frontier.points()));
+
+    // Run the full flow stage (exploration + behavioural validation of the
+    // best-throughput chip): every CNN layer is tiled across the macro
+    // grid and simulated on the behavioural macro model.
+    let mut stage = ChipFlowConfig::for_network(network);
+    stage.dse.population_size = 48;
+    stage.dse.generations = 30;
+    let result = ChipFlow::new(stage).run()?;
+    println!("{}", chip_report(&result));
+    Ok(())
+}

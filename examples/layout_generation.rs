@@ -53,8 +53,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // Emit the exchange files.
     let out_dir = std::path::Path::new("results");
     fs::create_dir_all(out_dir)?;
-    fs::write(out_dir.join("figure8b.spice"), write_spice(&netlist, &library)?)?;
-    fs::write(out_dir.join("figure8b.def"), write_def(&macro_layout.layout))?;
+    fs::write(
+        out_dir.join("figure8b.spice"),
+        write_spice(&netlist, &library)?,
+    )?;
+    fs::write(
+        out_dir.join("figure8b.def"),
+        write_def(&macro_layout.layout),
+    )?;
     fs::write(
         out_dir.join("figure8b.gds.txt"),
         write_gds_text(&macro_layout.layout, &tech),

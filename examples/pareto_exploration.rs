@@ -30,26 +30,39 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     println!("{}", frontier_table(frontier.points()));
 
     let scenarios = [
-        ("transformer (accuracy-first)", UserRequirements {
-            min_snr_db: Some(ApplicationProfile::Transformer.min_snr_db()),
-            min_throughput_tops: Some(ApplicationProfile::Transformer.min_throughput_tops()),
-            ..UserRequirements::none()
-        }),
-        ("cnn (balanced)", UserRequirements {
-            min_snr_db: Some(ApplicationProfile::Cnn.min_snr_db()),
-            min_throughput_tops: Some(ApplicationProfile::Cnn.min_throughput_tops()),
-            min_tops_per_watt: Some(ApplicationProfile::Cnn.min_tops_per_watt()),
-            ..UserRequirements::none()
-        }),
-        ("snn (efficiency-first)", UserRequirements {
-            min_tops_per_watt: Some(ApplicationProfile::Snn.min_tops_per_watt()),
-            ..UserRequirements::none()
-        }),
+        (
+            "transformer (accuracy-first)",
+            UserRequirements {
+                min_snr_db: Some(ApplicationProfile::Transformer.min_snr_db()),
+                min_throughput_tops: Some(ApplicationProfile::Transformer.min_throughput_tops()),
+                ..UserRequirements::none()
+            },
+        ),
+        (
+            "cnn (balanced)",
+            UserRequirements {
+                min_snr_db: Some(ApplicationProfile::Cnn.min_snr_db()),
+                min_throughput_tops: Some(ApplicationProfile::Cnn.min_throughput_tops()),
+                min_tops_per_watt: Some(ApplicationProfile::Cnn.min_tops_per_watt()),
+                ..UserRequirements::none()
+            },
+        ),
+        (
+            "snn (efficiency-first)",
+            UserRequirements {
+                min_tops_per_watt: Some(ApplicationProfile::Snn.min_tops_per_watt()),
+                ..UserRequirements::none()
+            },
+        ),
     ];
 
     for (name, requirements) in scenarios {
         let distilled = requirements.distill(frontier.points());
-        println!("user distillation for {name}: {} of {} points survive", distilled.len(), frontier.len());
+        println!(
+            "user distillation for {name}: {} of {} points survive",
+            distilled.len(),
+            frontier.len()
+        );
         if let Some(best) = distilled.first() {
             println!("  e.g. {best}");
         }

@@ -40,7 +40,11 @@ fn nsga2_recovers_most_of_the_exact_front() {
     .expect("explorer builds");
     let found = explorer.explore().expect("explores");
 
-    let objs: Vec<Vec<f64>> = found.points().iter().map(|p| p.objective_vector()).collect();
+    let objs: Vec<Vec<f64>> = found
+        .points()
+        .iter()
+        .map(|p| p.objective_vector())
+        .collect();
     let hv = hypervolume_monte_carlo(&objs, &REFERENCE, 50_000, 1);
     assert!(
         hv >= 0.95 * hv_exact,
@@ -74,11 +78,14 @@ fn nsga2_with_a_small_budget_stays_competitive_with_random_search() {
     let frontier = explorer.explore().expect("explores");
     let budget = frontier.evaluations;
 
-    let nsga_objs: Vec<Vec<f64>> = frontier.points().iter().map(|p| p.objective_vector()).collect();
+    let nsga_objs: Vec<Vec<f64>> = frontier
+        .points()
+        .iter()
+        .map(|p| p.objective_vector())
+        .collect();
     let hv_nsga = hypervolume_monte_carlo(&nsga_objs, &REFERENCE, 50_000, 1);
 
-    let problem =
-        AcimDesignProblem::new(16 * 1024, 16, 1024, params).expect("problem builds");
+    let problem = AcimDesignProblem::new(16 * 1024, 16, 1024, params).expect("problem builds");
     let random = random_search(&problem, budget, 99);
     assert!(!random.is_empty(), "random search found nothing feasible");
     let hv_random = hypervolume_monte_carlo(&random.objectives(), &REFERENCE, 50_000, 1);

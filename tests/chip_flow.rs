@@ -1,0 +1,135 @@
+//! Cross-crate integration tests of the chip-level subsystem: network
+//! partitioning onto a macro grid, analytic evaluation, NSGA-II
+//! co-exploration, behavioural validation, and the easyacim flow stage.
+
+use acim_arch::AcimSpec;
+use acim_chip::{evaluate_chip, simulate_network, ChipEvaluator, ChipSpec, MacroGrid, Network};
+use acim_dse::{ChipDseConfig, ChipExplorer};
+use easyacim::{chip_report, ChipFlow, ChipFlowConfig, FlowConfig, TopFlowController};
+
+fn quick_dse(network: Network) -> ChipDseConfig {
+    let mut config = ChipDseConfig::for_network(network);
+    config.population_size = 24;
+    config.generations = 10;
+    config.grid_rows = vec![1, 2];
+    config.grid_cols = vec![1, 2];
+    config.buffer_kib = vec![8, 32];
+    config
+}
+
+#[test]
+fn cnn_maps_onto_macro_grid_end_to_end() {
+    let spec = AcimSpec::from_dimensions(64, 16, 4, 4).unwrap();
+    let chip = ChipSpec::new(MacroGrid::uniform(2, 2, spec).unwrap(), 32).unwrap();
+    let network = Network::edge_cnn(2);
+
+    // Analytic path.
+    let metrics = evaluate_chip(&chip, &network).unwrap();
+    assert_eq!(metrics.layers.len(), network.len());
+    assert!(metrics.throughput_tops > 0.0);
+    assert!(metrics.energy_per_inference_pj > 0.0);
+
+    // Behavioural path: every layer runs on the grid with bounded error.
+    let sim = simulate_network(&chip, &network, 17).unwrap();
+    assert_eq!(sim.layers.len(), network.len());
+    assert!(
+        sim.max_relative_error() < 0.2,
+        "error {}",
+        sim.max_relative_error()
+    );
+    // The wide middle layers must actually use several macros.
+    assert!(sim.layers.iter().any(|l| l.macros_used > 1));
+    // Analytic and measured latency agree on the workload scale (same
+    // partitioner, same cycle counts; timing models differ slightly).
+    let ratio = metrics.latency_ns / sim.total_latency_ns;
+    assert!((0.2..5.0).contains(&ratio), "latency ratio {ratio}");
+}
+
+#[test]
+fn chip_exploration_is_deterministic_with_parallel_evaluation() {
+    let config = quick_dse(Network::edge_cnn(1));
+    let a = ChipExplorer::new(config.clone())
+        .unwrap()
+        .explore()
+        .unwrap();
+    let b = ChipExplorer::new(config).unwrap().explore().unwrap();
+    assert_eq!(a.len(), b.len());
+    assert_eq!(a.evaluations, b.evaluations);
+    for (x, y) in a.iter().zip(b.iter()) {
+        assert_eq!(x.objective_vector(), y.objective_vector());
+        assert_eq!(x.chip, y.chip);
+    }
+}
+
+#[test]
+fn different_seeds_explore_differently() {
+    let base = quick_dse(Network::transformer_block());
+    let mut reseeded = base.clone();
+    reseeded.seed = base.seed ^ 0xDEAD;
+    let a = ChipExplorer::new(base).unwrap().explore().unwrap();
+    let b = ChipExplorer::new(reseeded).unwrap().explore().unwrap();
+    // Either the fronts differ or (rarely) both converged to the same
+    // set; the evaluation budget at least must match the configuration.
+    assert_eq!(a.evaluations, b.evaluations);
+}
+
+#[test]
+fn heterogeneous_grid_evaluates_and_simulates() {
+    let fast = AcimSpec::from_dimensions(128, 32, 2, 3).unwrap();
+    let dense = AcimSpec::from_dimensions(64, 64, 8, 3).unwrap();
+    let chip = ChipSpec::new(MacroGrid::from_specs(1, 2, vec![fast, dense]).unwrap(), 32).unwrap();
+    let network = Network::transformer_block();
+    let metrics = evaluate_chip(&chip, &network).unwrap();
+    assert!(metrics.accuracy_db.is_finite());
+    let sim = simulate_network(&chip, &network, 5).unwrap();
+    assert!(sim.max_relative_error() < 0.3);
+}
+
+#[test]
+fn all_three_workload_families_run_on_a_chip() {
+    let spec = AcimSpec::from_dimensions(64, 16, 4, 4).unwrap();
+    let chip = ChipSpec::new(MacroGrid::uniform(2, 2, spec).unwrap(), 16).unwrap();
+    let evaluator = ChipEvaluator::s28_default();
+    for network in [
+        Network::edge_cnn(1),
+        Network::transformer_block(),
+        Network::snn_pipeline(),
+    ] {
+        let metrics = evaluator.evaluate(&chip, &network).unwrap();
+        assert!(metrics.latency_ns > 0.0, "{}", network.name);
+        assert!(metrics.mean_utilization > 0.0, "{}", network.name);
+    }
+}
+
+#[test]
+fn chip_flow_stage_reports_front_and_validation() {
+    let mut config = ChipFlowConfig::for_network(Network::edge_cnn(1));
+    config.dse = quick_dse(Network::edge_cnn(1));
+    let result = ChipFlow::new(config).run().unwrap();
+    assert!(!result.front.is_empty());
+    let report = chip_report(&result);
+    assert!(report.contains("frontier chips"));
+    assert!(report.contains("behavioural validation"));
+    let validation = result.validation.expect("validation enabled by default");
+    assert!(validation.max_relative_error() < 0.5);
+}
+
+#[test]
+fn top_flow_controller_composes_macro_and_chip_stages() {
+    let mut flow_config = FlowConfig::new(4 * 1024);
+    flow_config.dse.population_size = 24;
+    flow_config.dse.generations = 10;
+    flow_config.max_layouts = 1;
+    let mut chip_config = ChipFlowConfig::for_network(Network::edge_cnn(1));
+    chip_config.dse = quick_dse(Network::edge_cnn(1));
+    chip_config.validate_best = false;
+    let result = TopFlowController::new(flow_config.with_chip_stage(chip_config))
+        .unwrap()
+        .run()
+        .unwrap();
+    assert!(
+        !result.designs.is_empty(),
+        "macro flow still produces layouts"
+    );
+    assert!(!result.chip.as_ref().unwrap().front.is_empty());
+}

@@ -44,7 +44,10 @@ fn figure9_parameter_trends_hold_jointly() {
     for series in &by_l {
         let throughput = series.max_throughput_tops();
         let area = series.min_area_f2_per_bit();
-        assert!(throughput <= last_throughput + 1e-9, "throughput not monotone in L");
+        assert!(
+            throughput <= last_throughput + 1e-9,
+            "throughput not monotone in L"
+        );
         assert!(area <= last_area + 1e-9, "area not monotone in L");
         last_throughput = throughput;
         last_area = area;

@@ -75,7 +75,10 @@ fn distillation_profiles_select_different_corners() {
     }
     .distill(&frontier);
 
-    assert!(!transformer.is_empty(), "transformer profile found no design");
+    assert!(
+        !transformer.is_empty(),
+        "transformer profile found no design"
+    );
     assert!(!snn.is_empty(), "snn profile found no design");
     let min_bits_transformer = transformer.iter().map(|p| p.spec.adc_bits()).min().unwrap();
     let max_bits_snn = snn.iter().map(|p| p.spec.adc_bits()).max().unwrap();

@@ -37,7 +37,11 @@ fn calibrated_snr_model_tracks_simulation_within_a_few_db() {
             "{spec}: model {predicted:.1} dB vs simulation {measured:.1} dB"
         );
     }
-    assert!(report.rms_residual < 5.0, "rms residual {:.2} dB", report.rms_residual);
+    assert!(
+        report.rms_residual < 5.0,
+        "rms residual {:.2} dB",
+        report.rms_residual
+    );
 }
 
 #[test]

@@ -3,11 +3,11 @@
 //! describe the same macro (same leaf-cell population), the column template
 //! must be DRC-clean, and the SPICE writer must emit a balanced deck.
 
+use acim_arch::AcimSpec;
 use acim_cell::CellLibrary;
 use acim_layout::{check_layout, ColumnTemplate, LayoutFlow};
 use acim_netlist::{design_stats, write_spice, NetlistGenerator};
 use acim_tech::Technology;
-use acim_arch::AcimSpec;
 use proptest::prelude::*;
 
 /// Small-but-varied valid specifications (kept small so the property test

@@ -1,0 +1,63 @@
+//! Collection strategies (`prop::collection::vec`).
+
+use std::ops::Range;
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+use crate::strategy::Strategy;
+
+/// Length specification for [`vec`]: a fixed length or a range of lengths.
+pub trait SizeRange {
+    /// Samples a concrete length.
+    fn sample_len(&self, rng: &mut StdRng) -> usize;
+}
+
+impl SizeRange for usize {
+    fn sample_len(&self, _rng: &mut StdRng) -> usize {
+        *self
+    }
+}
+
+impl SizeRange for Range<usize> {
+    fn sample_len(&self, rng: &mut StdRng) -> usize {
+        rng.gen_range(self.clone())
+    }
+}
+
+/// Strategy for vectors of values from an element strategy.
+#[derive(Debug, Clone)]
+pub struct VecStrategy<S, L> {
+    element: S,
+    len: L,
+}
+
+impl<S: Strategy, L: SizeRange> Strategy for VecStrategy<S, L> {
+    type Value = Vec<S::Value>;
+
+    fn sample(&self, rng: &mut StdRng) -> Self::Value {
+        let len = self.len.sample_len(rng);
+        (0..len).map(|_| self.element.sample(rng)).collect()
+    }
+}
+
+/// Creates a strategy producing vectors whose elements come from
+/// `element` and whose length follows `len` (a `usize` or `Range<usize>`).
+pub fn vec<S: Strategy, L: SizeRange>(element: S, len: L) -> VecStrategy<S, L> {
+    VecStrategy { element, len }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn nested_vecs_sample_recursively() {
+        let mut rng = StdRng::seed_from_u64(5);
+        let strategy = vec(vec(0.0..1.0f64, 2), 3..6);
+        let value = strategy.sample(&mut rng);
+        assert!((3..6).contains(&value.len()));
+        assert!(value.iter().all(|inner| inner.len() == 2));
+    }
+}

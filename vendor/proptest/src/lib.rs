@@ -1,0 +1,155 @@
+//! Offline vendored shim of the `proptest` API surface used by this
+//! workspace's property tests.
+//!
+//! The build environment has no access to crates.io, so this crate provides
+//! a deterministic random-testing harness with proptest's call shapes: the
+//! [`proptest!`] macro, [`strategy::Strategy`] implemented for ranges,
+//! tuples and [`collection::vec`], plus `prop_filter_map` and the
+//! `prop_assert*` macros.  Unlike real proptest there is no shrinking —
+//! a failing case panics with the sampled values still visible in the
+//! assertion message — but case generation is reproducible (fixed seed per
+//! test function).
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+pub mod collection;
+pub mod strategy;
+
+/// Configuration accepted via `#![proptest_config(..)]`.
+#[derive(Debug, Clone)]
+pub struct ProptestConfig {
+    /// Number of random cases to run per test function.
+    pub cases: u32,
+}
+
+impl ProptestConfig {
+    /// Creates a configuration running `cases` random cases.
+    pub fn with_cases(cases: u32) -> Self {
+        Self { cases }
+    }
+}
+
+impl Default for ProptestConfig {
+    fn default() -> Self {
+        Self { cases: 256 }
+    }
+}
+
+/// Namespace mirror of proptest's `prop` module (`prop::collection::vec`).
+pub mod prop {
+    pub use crate::collection;
+}
+
+/// The proptest prelude: the [`Strategy`](crate::strategy::Strategy) trait,
+/// config type, macros, and the `prop` namespace.
+pub mod prelude {
+    pub use crate::prop;
+    pub use crate::strategy::Strategy;
+    pub use crate::ProptestConfig;
+    pub use crate::{prop_assert, prop_assert_eq, prop_assert_ne, proptest};
+}
+
+/// Asserts a condition inside a property test.
+#[macro_export]
+macro_rules! prop_assert {
+    ($($args:tt)*) => { assert!($($args)*) };
+}
+
+/// Asserts equality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_eq {
+    ($($args:tt)*) => { assert_eq!($($args)*) };
+}
+
+/// Asserts inequality inside a property test.
+#[macro_export]
+macro_rules! prop_assert_ne {
+    ($($args:tt)*) => { assert_ne!($($args)*) };
+}
+
+/// Declares property-test functions over sampled inputs.
+///
+/// Supports the subset of proptest's grammar this workspace uses: an
+/// optional leading `#![proptest_config(expr)]`, then `#[test]` functions
+/// whose arguments are `pattern in strategy` pairs.
+#[macro_export]
+macro_rules! proptest {
+    (#![proptest_config($config:expr)] $($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $config; $($rest)* }
+    };
+    ($($rest:tt)*) => {
+        $crate::__proptest_impl! { config = $crate::ProptestConfig::default(); $($rest)* }
+    };
+}
+
+/// Implementation detail of [`proptest!`].
+#[doc(hidden)]
+#[macro_export]
+macro_rules! __proptest_impl {
+    (config = $config:expr; $(
+        $(#[$meta:meta])*
+        fn $name:ident( $($pat:pat in $strategy:expr),* $(,)? ) $body:block
+    )*) => {$(
+        $(#[$meta])*
+        fn $name() {
+            let config: $crate::ProptestConfig = $config;
+            // Per-function deterministic seed so failures reproduce.
+            let seed = stringify!($name)
+                .bytes()
+                .fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
+                    (h ^ u64::from(b)).wrapping_mul(0x100_0000_01b3)
+                });
+            let mut rng = <rand::rngs::StdRng as rand::SeedableRng>::seed_from_u64(seed);
+            for _case in 0..config.cases {
+                let ( $($pat,)* ) =
+                    ( $($crate::strategy::Strategy::sample(&$strategy, &mut rng),)* );
+                $body
+            }
+        }
+    )*};
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::prelude::*;
+
+    proptest! {
+        #![proptest_config(ProptestConfig::with_cases(32))]
+
+        #[test]
+        fn ranges_and_tuples_sample_in_bounds(
+            x in 0.5..2.5f64,
+            (a, b) in (1u32..=4, 10usize..20),
+        ) {
+            prop_assert!((0.5..2.5).contains(&x));
+            prop_assert!((1..=4).contains(&a));
+            prop_assert!((10..20).contains(&b));
+        }
+
+        #[test]
+        fn vec_lengths_follow_the_len_argument(
+            fixed in prop::collection::vec(0.0..1.0f64, 4),
+            ranged in prop::collection::vec(0u32..9, 1..5),
+        ) {
+            prop_assert_eq!(fixed.len(), 4);
+            prop_assert!((1..5).contains(&ranged.len()));
+            prop_assert!(ranged.iter().all(|&v| v < 9));
+        }
+
+        #[test]
+        fn filter_map_transforms_and_filters(
+            even in (0u32..100).prop_filter_map("must be even", |v| {
+                (v % 2 == 0).then_some(v * 10)
+            }),
+        ) {
+            prop_assert_eq!(even % 20, 0);
+        }
+
+        #[test]
+        fn mutable_bindings_work(mut xs in prop::collection::vec(0usize..5, 2..4)) {
+            xs.push(7);
+            prop_assert_eq!(*xs.last().unwrap(), 7);
+        }
+    }
+}

@@ -1,0 +1,179 @@
+//! Value-generation strategies.
+
+use std::ops::{Range, RangeInclusive};
+
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// How many resamples a filtering strategy attempts before giving up.
+const MAX_FILTER_ATTEMPTS: usize = 10_000;
+
+/// A source of random test values.
+pub trait Strategy {
+    /// The type of generated values.
+    type Value;
+
+    /// Samples one value.
+    fn sample(&self, rng: &mut StdRng) -> Self::Value;
+
+    /// Maps sampled values through `f`, resampling whenever it returns
+    /// `None`.  `reason` labels the rejection in the panic message when the
+    /// filter never accepts.
+    fn prop_filter_map<O, F>(self, reason: &'static str, f: F) -> FilterMap<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> Option<O>,
+    {
+        FilterMap {
+            base: self,
+            f,
+            reason,
+        }
+    }
+
+    /// Maps sampled values through `f`.
+    fn prop_map<O, F>(self, f: F) -> Map<Self, F>
+    where
+        Self: Sized,
+        F: Fn(Self::Value) -> O,
+    {
+        Map { base: self, f }
+    }
+}
+
+impl<S: Strategy + ?Sized> Strategy for &S {
+    type Value = S::Value;
+
+    fn sample(&self, rng: &mut StdRng) -> Self::Value {
+        (**self).sample(rng)
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_filter_map`].
+#[derive(Debug, Clone)]
+pub struct FilterMap<S, F> {
+    base: S,
+    f: F,
+    reason: &'static str,
+}
+
+impl<S, O, F> Strategy for FilterMap<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> Option<O>,
+{
+    type Value = O;
+
+    fn sample(&self, rng: &mut StdRng) -> O {
+        for _ in 0..MAX_FILTER_ATTEMPTS {
+            if let Some(value) = (self.f)(self.base.sample(rng)) {
+                return value;
+            }
+        }
+        panic!(
+            "prop_filter_map rejected {MAX_FILTER_ATTEMPTS} samples in a row: {}",
+            self.reason
+        );
+    }
+}
+
+/// Strategy produced by [`Strategy::prop_map`].
+#[derive(Debug, Clone)]
+pub struct Map<S, F> {
+    base: S,
+    f: F,
+}
+
+impl<S, O, F> Strategy for Map<S, F>
+where
+    S: Strategy,
+    F: Fn(S::Value) -> O,
+{
+    type Value = O;
+
+    fn sample(&self, rng: &mut StdRng) -> O {
+        (self.f)(self.base.sample(rng))
+    }
+}
+
+/// Always produces a clone of one value.
+#[derive(Debug, Clone)]
+pub struct Just<T>(pub T);
+
+impl<T: Clone> Strategy for Just<T> {
+    type Value = T;
+
+    fn sample(&self, _rng: &mut StdRng) -> T {
+        self.0.clone()
+    }
+}
+
+macro_rules! range_strategy {
+    ($($t:ty),*) => {$(
+        impl Strategy for Range<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+
+        impl Strategy for RangeInclusive<$t> {
+            type Value = $t;
+
+            fn sample(&self, rng: &mut StdRng) -> $t {
+                rng.gen_range(self.clone())
+            }
+        }
+    )*};
+}
+
+range_strategy!(u8, u16, u32, u64, usize, f32, f64);
+
+macro_rules! tuple_strategy {
+    ($(($($s:ident . $idx:tt),+))*) => {$(
+        impl<$($s: Strategy),+> Strategy for ($($s,)+) {
+            type Value = ($($s::Value,)+);
+
+            fn sample(&self, rng: &mut StdRng) -> Self::Value {
+                ($(self.$idx.sample(rng),)+)
+            }
+        }
+    )*};
+}
+
+tuple_strategy! {
+    (S0.0)
+    (S0.0, S1.1)
+    (S0.0, S1.1, S2.2)
+    (S0.0, S1.1, S2.2, S3.3)
+    (S0.0, S1.1, S2.2, S3.3, S4.4)
+    (S0.0, S1.1, S2.2, S3.3, S4.4, S5.5)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn just_returns_the_value() {
+        let mut rng = StdRng::seed_from_u64(1);
+        assert_eq!(Just(17u32).sample(&mut rng), 17);
+    }
+
+    #[test]
+    fn prop_map_transforms() {
+        let mut rng = StdRng::seed_from_u64(2);
+        let doubled = (1u32..5).prop_map(|v| v * 2).sample(&mut rng);
+        assert!(doubled % 2 == 0 && (2..10).contains(&doubled));
+    }
+
+    #[test]
+    #[should_panic(expected = "never accepts")]
+    fn impossible_filter_panics_with_reason() {
+        let mut rng = StdRng::seed_from_u64(3);
+        let strategy = (0u32..10).prop_filter_map("never accepts", |_| None::<u32>);
+        let _ = strategy.sample(&mut rng);
+    }
+}

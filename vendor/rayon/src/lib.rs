@@ -1,0 +1,143 @@
+//! Offline vendored shim of the `rayon` API surface used by this
+//! workspace.
+//!
+//! The build environment has no access to crates.io, so this crate provides
+//! the `par_iter().map(..).collect()` shape on slices, executed on real OS
+//! threads via [`std::thread::scope`].  Items are split into contiguous
+//! chunks, one per available core, and results are stitched back together in
+//! input order — so a `collect` here is observably identical to the
+//! sequential `iter().map(..).collect()`, just faster.  Swapping in the real
+//! `rayon` later only requires deleting this shim from the workspace.
+
+#![forbid(unsafe_code)]
+#![warn(missing_docs)]
+
+use std::num::NonZeroUsize;
+
+/// Rayon-style prelude: import the traits to get `par_iter` on slices.
+pub mod prelude {
+    pub use crate::{IntoParallelRefIterator, ParallelIterator};
+}
+
+/// Returns the number of worker threads used for parallel operations.
+pub fn current_num_threads() -> usize {
+    std::thread::available_parallelism()
+        .map(NonZeroUsize::get)
+        .unwrap_or(1)
+}
+
+/// Conversion of `&collection` into a parallel iterator.
+pub trait IntoParallelRefIterator<'a> {
+    /// The parallel iterator type.
+    type Iter;
+
+    /// Creates a parallel iterator over borrowed items.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Iter = ParSliceIter<'a, T>;
+
+    fn par_iter(&'a self) -> Self::Iter {
+        ParSliceIter { items: self }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Iter = ParSliceIter<'a, T>;
+
+    fn par_iter(&'a self) -> Self::Iter {
+        ParSliceIter { items: self }
+    }
+}
+
+/// A parallel iterator over a slice.
+#[derive(Debug)]
+pub struct ParSliceIter<'a, T> {
+    items: &'a [T],
+}
+
+/// The subset of rayon's `ParallelIterator` the workspace uses: `map`
+/// followed by an order-preserving `collect`.
+pub trait ParallelIterator: Sized {
+    /// Item type produced by this iterator.
+    type Item;
+
+    /// Maps each item through `f`, to be evaluated in parallel at `collect`.
+    fn map<O, F>(self, f: F) -> ParMap<Self, F>
+    where
+        F: Fn(Self::Item) -> O + Sync,
+        O: Send,
+    {
+        ParMap { base: self, f }
+    }
+}
+
+impl<'a, T: Sync> ParallelIterator for ParSliceIter<'a, T> {
+    type Item = &'a T;
+}
+
+/// A mapped parallel iterator (the only adaptor the workspace needs).
+#[derive(Debug)]
+pub struct ParMap<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<'a, T, O, F> ParMap<ParSliceIter<'a, T>, F>
+where
+    T: Sync,
+    O: Send,
+    F: Fn(&'a T) -> O + Sync,
+{
+    /// Evaluates the map on all items across `current_num_threads` threads
+    /// and collects the results **in input order**.
+    pub fn collect<C: FromIterator<O>>(self) -> C {
+        let items = self.base.items;
+        let f = &self.f;
+        if items.len() <= 1 || current_num_threads() == 1 {
+            return items.iter().map(f).collect();
+        }
+        let threads = current_num_threads().min(items.len());
+        let chunk_size = items.len().div_ceil(threads);
+        let chunk_results: Vec<Vec<O>> = std::thread::scope(|scope| {
+            let handles: Vec<_> = items
+                .chunks(chunk_size)
+                .map(|chunk| scope.spawn(move || chunk.iter().map(f).collect::<Vec<O>>()))
+                .collect();
+            handles
+                .into_iter()
+                .map(|h| h.join().expect("parallel map worker panicked"))
+                .collect()
+        });
+        chunk_results.into_iter().flatten().collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::prelude::*;
+
+    #[test]
+    fn parallel_map_preserves_order() {
+        let input: Vec<u64> = (0..1000).collect();
+        let sequential: Vec<u64> = input.iter().map(|x| x * x).collect();
+        let parallel: Vec<u64> = input.par_iter().map(|x| x * x).collect();
+        assert_eq!(sequential, parallel);
+    }
+
+    #[test]
+    fn empty_and_single_inputs_work() {
+        let empty: Vec<u32> = Vec::new();
+        let out: Vec<u32> = empty.par_iter().map(|x| x + 1).collect();
+        assert!(out.is_empty());
+        let one = [41u32];
+        let out: Vec<u32> = one.par_iter().map(|x| x + 1).collect();
+        assert_eq!(out, vec![42]);
+    }
+
+    #[test]
+    fn num_threads_is_positive() {
+        assert!(super::current_num_threads() >= 1);
+    }
+}
