@@ -79,7 +79,7 @@ fn main() {
     println!("------------------------------------------------------------------------------");
     println!(
         "measured: {} objective evaluations, {} Pareto-frontier points for a {} kb array",
-        frontier.evaluations,
+        frontier.engine.evaluations,
         frontier.len(),
         array_size / 1024
     );

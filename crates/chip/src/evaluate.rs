@@ -178,13 +178,43 @@ impl ChipEvaluator {
         &self.cost
     }
 
-    /// Evaluates one chip on one network.
+    /// Evaluates one chip on one network, fanning the per-layer costs out
+    /// across worker threads.
     ///
     /// # Errors
     ///
     /// Returns [`ChipError`] when the network is empty or a macro
     /// specification fails the estimation model.
     pub fn evaluate(&self, chip: &ChipSpec, network: &Network) -> Result<ChipMetrics, ChipError> {
+        self.evaluate_impl(chip, network, true)
+    }
+
+    /// Evaluates one chip on one network without spawning worker threads.
+    ///
+    /// Bit-identical to [`ChipEvaluator::evaluate`] (the parallel map is
+    /// order-preserving over pure per-layer functions).  Batch callers use
+    /// this inside their own population-level fan-out: parallelising
+    /// across chips scales better than across a handful of layers, and
+    /// nesting both oversubscribes the cores.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChipError`] when the network is empty or a macro
+    /// specification fails the estimation model.
+    pub fn evaluate_serial(
+        &self,
+        chip: &ChipSpec,
+        network: &Network,
+    ) -> Result<ChipMetrics, ChipError> {
+        self.evaluate_impl(chip, network, false)
+    }
+
+    fn evaluate_impl(
+        &self,
+        chip: &ChipSpec,
+        network: &Network,
+        parallel: bool,
+    ) -> Result<ChipMetrics, ChipError> {
         let grid = &chip.grid;
         let macro_metrics: Vec<DesignMetrics> = grid
             .specs()
@@ -198,13 +228,22 @@ impl ChipEvaluator {
             .collect();
         let partition = partition_network(grid, network, &cycle_ns)?;
 
-        // Per-layer costs are independent — evaluate them in parallel.
+        // Per-layer costs are independent — evaluate them in parallel
+        // (unless the caller already parallelises at a coarser grain).
         // Order is preserved by `collect`, keeping results deterministic.
-        let layers: Vec<LayerCost> = partition
-            .layers
-            .par_iter()
-            .map(|placement| self.layer_cost(chip, network, placement, &macro_metrics))
-            .collect();
+        let layers: Vec<LayerCost> = if parallel {
+            partition
+                .layers
+                .par_iter()
+                .map(|placement| self.layer_cost(chip, network, placement, &macro_metrics))
+                .collect()
+        } else {
+            partition
+                .layers
+                .iter()
+                .map(|placement| self.layer_cost(chip, network, placement, &macro_metrics))
+                .collect()
+        };
 
         let compute_latency_ns: f64 = layers.iter().map(|l| l.latency_ns).sum();
         let latency_ns = compute_latency_ns.max(f64::MIN_POSITIVE);
@@ -351,7 +390,8 @@ impl ChipEvaluator {
     }
 
     /// Evaluates many chips at once (used by the DSE problem); parallel
-    /// across chips via `rayon`, deterministic in input order.
+    /// **across chips** via `rayon` (each chip's layers are costed
+    /// serially to avoid nested fan-out), deterministic in input order.
     pub fn evaluate_batch(
         &self,
         chips: &[ChipSpec],
@@ -359,7 +399,7 @@ impl ChipEvaluator {
     ) -> Vec<Result<ChipMetrics, ChipError>> {
         chips
             .par_iter()
-            .map(|chip| self.evaluate(chip, network))
+            .map(|chip| self.evaluate_serial(chip, network))
             .collect()
     }
 }
@@ -440,6 +480,17 @@ mod tests {
         let a = evaluator.evaluate(&chip, &net).unwrap();
         let b = evaluator.evaluate(&chip, &net).unwrap();
         assert_eq!(a, b, "parallel evaluation must be bit-deterministic");
+    }
+
+    #[test]
+    fn serial_evaluation_is_bit_identical_to_parallel() {
+        let chip = chip(3, 2, 32);
+        let net = Network::edge_cnn(5);
+        let evaluator = ChipEvaluator::s28_default();
+        assert_eq!(
+            evaluator.evaluate(&chip, &net).unwrap(),
+            evaluator.evaluate_serial(&chip, &net).unwrap(),
+        );
     }
 
     #[test]

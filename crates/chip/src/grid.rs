@@ -123,6 +123,18 @@ impl MacroGrid {
     pub fn is_uniform(&self) -> bool {
         self.specs.windows(2).all(|w| w[0] == w[1])
     }
+
+    /// The distinct macro specifications of the grid, in first-appearance
+    /// order (a uniform grid has exactly one).
+    pub fn distinct_specs(&self) -> Vec<&AcimSpec> {
+        let mut distinct: Vec<&AcimSpec> = Vec::new();
+        for spec in &self.specs {
+            if !distinct.contains(&spec) {
+                distinct.push(spec);
+            }
+        }
+        distinct
+    }
 }
 
 impl fmt::Display for MacroGrid {
@@ -163,6 +175,16 @@ mod tests {
         assert_eq!(grid.spec(0).local_array(), 2);
         assert_eq!(grid.spec(1).local_array(), 8);
         assert!(grid.to_string().contains("heterogeneous"));
+    }
+
+    #[test]
+    fn distinct_specs_deduplicates_in_order() {
+        let a = spec(128, 128, 2, 3);
+        let b = spec(64, 256, 8, 3);
+        let grid = MacroGrid::from_specs(2, 2, vec![a, b, a, b]).unwrap();
+        assert_eq!(grid.distinct_specs(), vec![&a, &b]);
+        let uniform = MacroGrid::uniform(3, 3, a).unwrap();
+        assert_eq!(uniform.distinct_specs().len(), 1);
     }
 
     #[test]

@@ -6,10 +6,19 @@
 //! actually has: "what macro, **how many of them**, and **how much global
 //! buffer** serve this network best?"  The genome extends the three macro
 //! genes with three chip genes (grid rows, grid cols, buffer capacity),
-//! and each candidate is scored by `acim-chip`'s analytic evaluator —
-//! whose per-layer objective evaluation runs in parallel under `rayon`
-//! while staying bit-deterministic, so exploration remains reproducible
-//! per seed.
+//! and each candidate is scored by `acim-chip`'s analytic evaluator.
+//!
+//! Two levels of parallelism keep the exploration agile: within one chip,
+//! per-layer objective evaluation runs in parallel under `rayon`; across
+//! the population, [`ChipDesignProblem`]'s
+//! [`Problem::evaluate_batch`] fans a whole NSGA-II generation out over
+//! the cores (order-preserving, so exploration remains bit-reproducible
+//! per seed).
+//!
+//! With [`ChipDseConfig::heterogeneous`] the genome additionally carries
+//! **per-tile macro genes**, letting NSGA-II mix macro shapes across the
+//! grid — e.g. a high-SNR macro near the buffer for accuracy-critical
+//! layers next to long-local-array macros for energy-tolerant ones.
 
 use std::fmt;
 
@@ -17,7 +26,8 @@ use acim_chip::{
     ChipCostParams, ChipError, ChipEvaluator, ChipMetrics, ChipSpec, MacroGrid, Network,
 };
 use acim_model::ModelParams;
-use acim_moga::{Evaluation, Nsga2, Nsga2Config, ParetoArchive, Problem};
+use acim_moga::{CachedProblem, EvalStats, Evaluation, Nsga2, Nsga2Config, ParetoArchive, Problem};
+use rayon::prelude::*;
 
 use crate::encoding::{gene_from_index, index_from_gene, DesignEncoding};
 use crate::error::DseError;
@@ -37,6 +47,10 @@ pub struct ChipDseConfig {
     pub grid_cols: Vec<usize>,
     /// Candidate global-buffer capacities in KiB.
     pub buffer_kib: Vec<usize>,
+    /// Explore heterogeneous grids: when `true` every grid position gets
+    /// its own (H, L, B_ADC) genes, so NSGA-II can mix macro shapes across
+    /// the chip; when `false` (the default) all positions share one macro.
+    pub heterogeneous: bool,
     /// The target network.
     pub network: Network,
     /// NSGA-II population size.
@@ -61,6 +75,7 @@ impl ChipDseConfig {
             grid_rows: vec![1, 2, 3, 4],
             grid_cols: vec![1, 2, 3, 4],
             buffer_kib: vec![4, 8, 16, 32, 64, 128],
+            heterogeneous: false,
             network,
             population_size: 60,
             generations: 40,
@@ -89,11 +104,12 @@ impl ChipDesignPoint {
 
     /// CSV header matching [`ChipDesignPoint::to_csv_row`].
     pub fn csv_header() -> &'static str {
-        "grid_rows,grid_cols,height,width,local_array,adc_bits,buffer_kib,accuracy_db,throughput_tops,energy_per_inference_pj,area_mf2,latency_ns"
+        "grid_rows,grid_cols,height,width,local_array,adc_bits,distinct_macros,macro_set,buffer_kib,accuracy_db,throughput_tops,energy_per_inference_pj,area_mf2,latency_ns"
     }
 
     /// Serialises the point as one CSV row.  The per-macro columns read
-    /// `mixed` for heterogeneous grids, which have no single macro shape.
+    /// `mixed` for heterogeneous grids, which have no single macro shape;
+    /// the `distinct_macros`/`macro_set` columns carry the mix instead.
     pub fn to_csv_row(&self) -> String {
         let macro_columns = if self.chip.grid.is_uniform() {
             let spec = self.chip.grid.spec(0);
@@ -108,10 +124,12 @@ impl ChipDesignPoint {
             "mixed,mixed,mixed,mixed".into()
         };
         format!(
-            "{},{},{},{},{:.3},{:.4},{:.2},{:.2},{:.1}",
+            "{},{},{},{},{},{},{:.3},{:.4},{:.2},{:.2},{:.1}",
             self.chip.grid.rows(),
             self.chip.grid.cols(),
             macro_columns,
+            self.chip.grid.distinct_specs().len(),
+            self.macro_set(),
             self.chip.buffer_kib,
             self.metrics.accuracy_db,
             self.metrics.throughput_tops,
@@ -119,6 +137,26 @@ impl ChipDesignPoint {
             self.metrics.area_mf2,
             self.metrics.latency_ns,
         )
+    }
+
+    /// Compact `|`-separated description of the distinct macro shapes on
+    /// the grid, e.g. `128x32L4B4|64x64L8B3` (CSV-safe: no commas).
+    pub fn macro_set(&self) -> String {
+        self.chip
+            .grid
+            .distinct_specs()
+            .iter()
+            .map(|spec| {
+                format!(
+                    "{}x{}L{}B{}",
+                    spec.height(),
+                    spec.width(),
+                    spec.local_array(),
+                    spec.adc_bits(),
+                )
+            })
+            .collect::<Vec<_>>()
+            .join("|")
     }
 }
 
@@ -136,14 +174,33 @@ impl fmt::Display for ChipDesignPoint {
     }
 }
 
-/// The six-gene chip design problem: macro (H, L, B_ADC) plus grid rows,
-/// grid cols and buffer capacity, evaluated against one network.
+/// The chip design problem: macro (H, L, B_ADC) plus grid rows, grid cols
+/// and buffer capacity, evaluated against one network.
+///
+/// # Genome layout
+///
+/// Uniform grids use six genes: `[H, L, B, rows, cols, buffer]`.
+/// Heterogeneous grids keep that prefix (the first triple describes tile 0,
+/// so uniform genomes embed unchanged) and append one (H, L, B) triple per
+/// additional grid position up to the largest candidate grid:
+///
+/// ```text
+/// [H₀, L₀, B₀, rows, cols, buffer, H₁, L₁, B₁, …, H_T₋₁, L_T₋₁, B_T₋₁]
+/// ```
+///
+/// where `T = max(grid_rows) · max(grid_cols)`.  When the decoded grid is
+/// smaller than `T`, the surplus tile genes are inert — the standard
+/// fixed-length encoding of a variable-topology space, which keeps the
+/// variation operators problem-agnostic.
 #[derive(Debug, Clone)]
 pub struct ChipDesignProblem {
     encoding: DesignEncoding,
     grid_rows: Vec<usize>,
     grid_cols: Vec<usize>,
     buffer_kib: Vec<usize>,
+    /// Grid positions encodable in the genome (1 when uniform).
+    max_tiles: usize,
+    heterogeneous: bool,
     evaluator: ChipEvaluator,
     network: Network,
 }
@@ -177,14 +234,32 @@ impl ChipDesignProblem {
         }
         let evaluator = ChipEvaluator::new(config.params, config.cost)
             .map_err(|e| DseError::InvalidConfig(e.to_string()))?;
+        let max_tiles = if config.heterogeneous {
+            config.grid_rows.iter().max().copied().unwrap_or(1)
+                * config.grid_cols.iter().max().copied().unwrap_or(1)
+        } else {
+            1
+        };
         Ok(Self {
             encoding,
             grid_rows: config.grid_rows.clone(),
             grid_cols: config.grid_cols.clone(),
             buffer_kib: config.buffer_kib.clone(),
+            max_tiles,
+            heterogeneous: config.heterogeneous,
             evaluator,
             network: config.network.clone(),
         })
+    }
+
+    /// Returns `true` when the genome carries per-tile macro genes.
+    pub fn is_heterogeneous(&self) -> bool {
+        self.heterogeneous
+    }
+
+    /// Grid positions representable in the genome (1 for uniform grids).
+    pub fn max_tiles(&self) -> usize {
+        self.max_tiles
     }
 
     /// The macro genome encoding in use.
@@ -206,9 +281,11 @@ impl ChipDesignProblem {
         )
     }
 
-    /// Encodes an explicit design into gene space (bucket centres), for
-    /// seeding or testing; returns `None` when a value is not part of the
-    /// catalogue.
+    /// Encodes an explicit uniform design into gene space (bucket
+    /// centres), for seeding or testing; returns `None` when a value is
+    /// not part of the catalogue.  In heterogeneous mode the surplus tile
+    /// genes all carry the same macro, so the genome decodes to the same
+    /// uniform chip.
     pub fn encode(
         &self,
         candidate: &crate::encoding::Candidate,
@@ -216,31 +293,126 @@ impl ChipDesignProblem {
         cols: usize,
         buffer_kib: usize,
     ) -> Option<Vec<f64>> {
-        let mut genes = self.encoding.encode(candidate)?;
+        let tiles = vec![*candidate; rows * cols];
+        self.encode_heterogeneous(&tiles, rows, cols, buffer_kib)
+    }
+
+    /// Encodes an explicit (possibly mixed-macro) design into gene space.
+    /// `tiles` holds one candidate per grid position, row-major,
+    /// `tiles.len() == rows · cols`.  Returns `None` when a value is not
+    /// part of the catalogue, the tile count mismatches, or the grid does
+    /// not fit the genome (`rows · cols > max_tiles` with mixed macros).
+    pub fn encode_heterogeneous(
+        &self,
+        tiles: &[crate::encoding::Candidate],
+        rows: usize,
+        cols: usize,
+        buffer_kib: usize,
+    ) -> Option<Vec<f64>> {
+        if tiles.len() != rows * cols || tiles.is_empty() {
+            return None;
+        }
+        let uniform = tiles.windows(2).all(|w| w[0] == w[1]);
+        if !self.heterogeneous && !uniform {
+            return None;
+        }
+        if tiles.len() > self.max_tiles.max(1) && !uniform {
+            return None;
+        }
+        let mut genes = self.encoding.encode(&tiles[0])?;
         let ri = self.grid_rows.iter().position(|&r| r == rows)?;
         let ci = self.grid_cols.iter().position(|&c| c == cols)?;
         let bi = self.buffer_kib.iter().position(|&b| b == buffer_kib)?;
         genes.push(gene_from_index(ri, self.grid_rows.len()));
         genes.push(gene_from_index(ci, self.grid_cols.len()));
         genes.push(gene_from_index(bi, self.buffer_kib.len()));
+        if self.heterogeneous {
+            for tile in 1..self.max_tiles {
+                // Surplus positions (beyond rows x cols) repeat the base
+                // macro; they are inert at decode time.
+                let candidate = tiles.get(tile).unwrap_or(&tiles[0]);
+                genes.extend(self.encoding.encode(candidate)?);
+            }
+        }
         Some(genes)
     }
 
-    /// Builds the chip a genome describes, when the macro is feasible.
+    /// Builds the chip a genome describes, when every used macro is
+    /// feasible.
     ///
     /// # Errors
     ///
-    /// Returns the constraint violation for infeasible macros (as in
-    /// [`crate::encoding::Candidate::into_spec`]) wrapped in `Err(Some)`,
-    /// or `Err(None)` for chip-construction failures.
+    /// Returns the summed constraint violation of the infeasible tiles (as
+    /// in [`crate::encoding::Candidate::into_spec`]) wrapped in
+    /// `Err(Some)`, or `Err(None)` for chip-construction failures.
     fn decode_chip(&self, genes: &[f64]) -> Result<ChipSpec, Option<f64>> {
-        let candidate = self.encoding.decode(&genes[..3]);
-        let spec = candidate
-            .into_spec(self.encoding.array_size())
-            .map_err(Some)?;
         let (rows, cols, buffer_kib) = self.decode_chip_genes(genes);
-        let grid = MacroGrid::uniform(rows, cols, spec).map_err(|_| None)?;
+        let used_tiles = if self.heterogeneous {
+            (rows * cols).min(self.max_tiles)
+        } else {
+            1
+        };
+        let mut specs = Vec::with_capacity(rows * cols);
+        let mut violation = 0.0;
+        for tile in 0..used_tiles {
+            let candidate = self.encoding.decode(macro_genes(genes, tile));
+            match candidate.into_spec(self.encoding.array_size()) {
+                Ok(spec) => specs.push(spec),
+                Err(v) => violation += v,
+            }
+        }
+        if violation > 0.0 {
+            return Err(Some(violation));
+        }
+        let grid = if self.heterogeneous {
+            // Grids larger than max_tiles cannot occur (rows/cols bound the
+            // candidate lists), so every position has its own spec.
+            MacroGrid::from_specs(rows, cols, specs).map_err(|_| None)?
+        } else {
+            MacroGrid::uniform(rows, cols, specs[0]).map_err(|_| None)?
+        };
         ChipSpec::new(grid, buffer_kib).map_err(|_| None)
+    }
+
+    /// The canonical cache key of a genome (see [`ChipGenomeKeyer::key`]).
+    pub fn cache_key(&self, genes: &[f64]) -> Vec<i64> {
+        self.keyer().key(genes)
+    }
+
+    /// A self-contained quantizer for this problem's genomes — clones
+    /// only the encoding and catalogues (no evaluator or network), so it
+    /// is cheap to move into a [`acim_moga::CachedProblem`] key closure.
+    pub fn keyer(&self) -> ChipGenomeKeyer {
+        ChipGenomeKeyer {
+            encoding: self.encoding.clone(),
+            grid_rows: self.grid_rows.clone(),
+            grid_cols: self.grid_cols.clone(),
+            buffer_kib: self.buffer_kib.clone(),
+            heterogeneous: self.heterogeneous,
+        }
+    }
+
+    /// The full genome → objectives path, with the per-layer fan-out
+    /// toggled by the caller (on for one-off evaluations, off inside the
+    /// population-parallel batch).  Both settings are bit-identical.
+    fn evaluate_genome(&self, genes: &[f64], parallel_layers: bool) -> Evaluation {
+        match self.decode_chip(genes) {
+            Ok(chip) => {
+                let result = if parallel_layers {
+                    self.evaluator.evaluate(&chip, &self.network)
+                } else {
+                    self.evaluator.evaluate_serial(&chip, &self.network)
+                };
+                match result {
+                    Ok(metrics) => Evaluation::unconstrained(metrics.objective_vector()),
+                    // Model failures are heavily infeasible rather than
+                    // fatal, matching AcimDesignProblem.
+                    Err(_) => Evaluation::new(vec![f64::MAX; 4], 10.0),
+                }
+            }
+            Err(Some(violation)) => Evaluation::new(vec![f64::MAX; 4], violation),
+            Err(None) => Evaluation::new(vec![f64::MAX; 4], 10.0),
+        }
     }
 
     /// Decodes a genome into a full [`ChipDesignPoint`] when feasible.
@@ -260,9 +432,53 @@ impl ChipDesignProblem {
     }
 }
 
+/// The three macro genes describing grid position `tile`: tile 0 lives in
+/// the genome prefix, every further tile in the appended triples (see the
+/// genome-layout diagram on [`ChipDesignProblem`]).
+fn macro_genes(genes: &[f64], tile: usize) -> &[f64] {
+    if tile == 0 {
+        &genes[..3]
+    } else {
+        let start = 6 + 3 * (tile - 1);
+        &genes[start..start + 3]
+    }
+}
+
+/// A self-contained chip-genome quantizer: computes the canonical cache
+/// key of a genome without holding the problem's evaluator or network,
+/// so it can be moved into a long-lived cache-key closure cheaply.
+#[derive(Debug, Clone)]
+pub struct ChipGenomeKeyer {
+    encoding: DesignEncoding,
+    grid_rows: Vec<usize>,
+    grid_cols: Vec<usize>,
+    buffer_kib: Vec<usize>,
+    heterogeneous: bool,
+}
+
+impl ChipGenomeKeyer {
+    /// The canonical cache key of a genome: the decoded grid shape,
+    /// buffer choice and the decode-bucket indices of every **used**
+    /// tile.  Surplus heterogeneous tile genes are excluded, so genomes
+    /// that differ only in inert genes share one cache entry.
+    pub fn key(&self, genes: &[f64]) -> Vec<i64> {
+        let rows = self.grid_rows[index_from_gene(genes[3], self.grid_rows.len())];
+        let cols = self.grid_cols[index_from_gene(genes[4], self.grid_cols.len())];
+        let buffer_kib = self.buffer_kib[index_from_gene(genes[5], self.buffer_kib.len())];
+        let used_tiles = if self.heterogeneous { rows * cols } else { 1 };
+        let mut key = vec![rows as i64, cols as i64, buffer_kib as i64];
+        for tile in 0..used_tiles {
+            key.extend(self.encoding.bucket_indices(macro_genes(genes, tile)));
+        }
+        key
+    }
+}
+
 impl Problem for ChipDesignProblem {
     fn num_variables(&self) -> usize {
-        6
+        // [H, L, B, rows, cols, buffer] plus one (H, L, B) triple per
+        // additional heterogeneous tile.
+        6 + 3 * (self.max_tiles.saturating_sub(1))
     }
 
     fn num_objectives(&self) -> usize {
@@ -270,16 +486,20 @@ impl Problem for ChipDesignProblem {
     }
 
     fn evaluate(&self, genes: &[f64]) -> Evaluation {
-        match self.decode_chip(genes) {
-            Ok(chip) => match self.evaluator.evaluate(&chip, &self.network) {
-                Ok(metrics) => Evaluation::unconstrained(metrics.objective_vector()),
-                // Model failures are heavily infeasible rather than fatal,
-                // matching AcimDesignProblem.
-                Err(_) => Evaluation::new(vec![f64::MAX; 4], 10.0),
-            },
-            Err(Some(violation)) => Evaluation::new(vec![f64::MAX; 4], violation),
-            Err(None) => Evaluation::new(vec![f64::MAX; 4], 10.0),
-        }
+        self.evaluate_genome(genes, true)
+    }
+
+    /// Population-parallel batch evaluation: a `rayon` parallel map over
+    /// the genomes.  Within the batch each chip's layers are costed
+    /// serially — parallelising across the population scales better than
+    /// across a handful of layers, and nesting both would oversubscribe
+    /// the cores.  Order-preserving and bit-identical to the serial map,
+    /// so seeded chip explorations stay deterministic.
+    fn evaluate_batch(&self, genomes: &[Vec<f64>]) -> Vec<Evaluation> {
+        genomes
+            .par_iter()
+            .map(|genes| self.evaluate_genome(genes, false))
+            .collect()
     }
 
     fn name(&self) -> &str {
@@ -291,8 +511,10 @@ impl Problem for ChipDesignProblem {
 #[derive(Debug, Clone, Default)]
 pub struct ChipParetoSet {
     points: Vec<ChipDesignPoint>,
-    /// Number of objective evaluations spent by the optimiser.
-    pub evaluations: usize,
+    /// Evaluation-engine statistics of the run: evaluations requested,
+    /// cache hit/miss counters (hits are chips the optimiser re-sampled
+    /// and the engine did not re-evaluate), and wall-clock breakdown.
+    pub engine: EvalStats,
 }
 
 impl ChipParetoSet {
@@ -386,9 +608,14 @@ impl ChipExplorer {
         // Archive genomes against the objectives NSGA-II already computed;
         // decoding a genome into a `ChipDesignPoint` repeats the full chip
         // evaluation, so it is deferred to the surviving archive entries.
+        // The cache wrapper (keyed by decoded buckets) absorbs re-sampled
+        // duplicate chips, and its batch path fans each generation's
+        // unique misses across cores.
         let mut archive: ParetoArchive<Vec<f64>> = ParetoArchive::new();
         let problem = &self.problem;
-        let result = Nsga2::new(problem, nsga_config)
+        let keyer = self.problem.keyer();
+        let cached = CachedProblem::with_key_fn(problem, move |genes| keyer.key(genes));
+        let result = Nsga2::new(&cached, nsga_config)
             .with_seed(self.config.seed)
             .run_with_observer(|_generation, population| {
                 for individual in population {
@@ -413,10 +640,9 @@ impl ChipExplorer {
                 array_size: self.config.array_size,
             });
         }
-        Ok(ChipParetoSet {
-            points,
-            evaluations: result.evaluations,
-        })
+        let mut engine = result.engine;
+        engine.cache = cached.stats();
+        Ok(ChipParetoSet { points, engine })
     }
 }
 
@@ -527,7 +753,7 @@ mod tests {
             .explore()
             .unwrap();
         assert!(!frontier.is_empty());
-        assert!(frontier.evaluations > 0);
+        assert!(frontier.engine.evaluations > 0);
         for a in frontier.iter() {
             for b in frontier.iter() {
                 if a != b {
@@ -543,7 +769,7 @@ mod tests {
         let a = explorer.explore().unwrap();
         let b = explorer.explore().unwrap();
         assert_eq!(a.len(), b.len());
-        assert_eq!(a.evaluations, b.evaluations);
+        assert_eq!(a.engine.evaluations, b.engine.evaluations);
         for (x, y) in a.iter().zip(b.iter()) {
             assert_eq!(x.objective_vector(), y.objective_vector());
         }
@@ -576,6 +802,134 @@ mod tests {
             .throughput_tops;
         for p in frontier.iter() {
             assert!(p.metrics.throughput_tops <= best + 1e-12);
+        }
+    }
+
+    fn hetero_config() -> ChipDseConfig {
+        ChipDseConfig {
+            heterogeneous: true,
+            ..quick_config()
+        }
+    }
+
+    #[test]
+    fn heterogeneous_genome_carries_per_tile_genes() {
+        let problem = ChipDesignProblem::new(&hetero_config()).unwrap();
+        assert!(problem.is_heterogeneous());
+        // max grid is 2x2 -> 4 tiles -> 6 + 3*3 genes.
+        assert_eq!(problem.max_tiles(), 4);
+        assert_eq!(problem.num_variables(), 15);
+        // The uniform problem is untouched.
+        let uniform = ChipDesignProblem::new(&quick_config()).unwrap();
+        assert!(!uniform.is_heterogeneous());
+        assert_eq!(uniform.num_variables(), 6);
+    }
+
+    #[test]
+    fn mixed_macro_chip_round_trips_through_the_genome() {
+        let problem = ChipDesignProblem::new(&hetero_config()).unwrap();
+        let tall = Candidate {
+            height: 256,
+            width: 16,
+            local_array: 4,
+            adc_bits: 4,
+        };
+        let wide = Candidate {
+            height: 64,
+            width: 64,
+            local_array: 8,
+            adc_bits: 3,
+        };
+        let genes = problem
+            .encode_heterogeneous(&[tall, wide, wide, tall], 2, 2, 32)
+            .expect("catalogue values encode");
+        assert_eq!(genes.len(), problem.num_variables());
+        let eval = Problem::evaluate(&problem, &genes);
+        assert!(eval.is_feasible());
+        let point = problem.decode_point(&genes).expect("feasible mix decodes");
+        assert!(!point.chip.grid.is_uniform());
+        assert_eq!(point.chip.grid.num_macros(), 4);
+        assert_eq!(point.chip.grid.spec(0).height(), 256);
+        assert_eq!(point.chip.grid.spec(1).height(), 64);
+        // CSV carries the mix: "mixed" shape columns plus the macro set.
+        let row = point.to_csv_row();
+        assert_eq!(
+            row.split(',').count(),
+            ChipDesignPoint::csv_header().split(',').count()
+        );
+        assert!(row.contains("mixed"));
+        assert!(row.contains("256x16L4B4|64x64L8B3"));
+        assert!(row.contains(",2,")); // two distinct macros
+    }
+
+    #[test]
+    fn uniform_encode_still_round_trips_in_heterogeneous_mode() {
+        let problem = ChipDesignProblem::new(&hetero_config()).unwrap();
+        let candidate = Candidate {
+            height: 128,
+            width: 32,
+            local_array: 4,
+            adc_bits: 3,
+        };
+        let genes = problem.encode(&candidate, 2, 2, 32).unwrap();
+        let point = problem.decode_point(&genes).unwrap();
+        assert!(point.chip.grid.is_uniform());
+        assert_eq!(point.chip.grid.num_macros(), 4);
+        assert_eq!(point.macro_set(), "128x32L4B3");
+    }
+
+    #[test]
+    fn one_infeasible_tile_makes_the_chip_infeasible() {
+        let problem = ChipDesignProblem::new(&hetero_config()).unwrap();
+        let good = Candidate {
+            height: 128,
+            width: 32,
+            local_array: 4,
+            adc_bits: 3,
+        };
+        let genes = problem
+            .encode_heterogeneous(&[good, good, good, good], 2, 2, 32)
+            .unwrap();
+        // Poison tile 3's (L, B) genes: L = 32, B = 8 violates H/L >= 2^B.
+        let mut poisoned = genes.clone();
+        poisoned[13] = 0.99;
+        poisoned[14] = 0.99;
+        let eval = Problem::evaluate(&problem, &poisoned);
+        assert!(!eval.is_feasible());
+        assert!(problem.decode_point(&poisoned).is_none());
+    }
+
+    #[test]
+    fn batch_evaluation_matches_serial_in_order() {
+        for config in [quick_config(), hetero_config()] {
+            let problem = ChipDesignProblem::new(&config).unwrap();
+            let n = problem.num_variables();
+            let genomes: Vec<Vec<f64>> = (0..24)
+                .map(|i| {
+                    (0..n)
+                        .map(|j| ((i * 31 + j * 17) % 100) as f64 / 99.0)
+                        .collect()
+                })
+                .collect();
+            let batch = problem.evaluate_batch(&genomes);
+            assert_eq!(batch.len(), genomes.len());
+            for (genes, eval) in genomes.iter().zip(&batch) {
+                assert_eq!(eval, &problem.evaluate(genes));
+            }
+        }
+    }
+
+    #[test]
+    fn heterogeneous_exploration_is_deterministic_and_reports_cache() {
+        let explorer = ChipExplorer::new(hetero_config()).unwrap();
+        let a = explorer.explore().unwrap();
+        let b = explorer.explore().unwrap();
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a.engine.cache, b.engine.cache);
+        assert_eq!(a.engine.cache.total(), a.engine.evaluations);
+        assert_eq!(a.engine.generation_seconds.len(), 10);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.objective_vector(), y.objective_vector());
         }
     }
 }

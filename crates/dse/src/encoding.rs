@@ -158,6 +158,22 @@ impl DesignEncoding {
         }
     }
 
+    /// The bucket indices a genome decodes to — the canonical cache key
+    /// of the encoding: two genomes with equal indices decode to the same
+    /// candidate, hence the same evaluation.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the genome does not have exactly [`Self::num_genes`] genes.
+    pub fn bucket_indices(&self, genes: &[f64]) -> Vec<i64> {
+        assert_eq!(genes.len(), self.num_genes(), "genome length mismatch");
+        vec![
+            index_from_gene(genes[0], self.heights.len()) as i64,
+            index_from_gene(genes[1], self.local_sizes.len()) as i64,
+            index_from_gene(genes[2], self.adc_bits.len()) as i64,
+        ]
+    }
+
     /// Encodes a candidate back into gene-space (centre of the bucket);
     /// returns `None` when a value is not part of the encoding.
     pub fn encode(&self, candidate: &Candidate) -> Option<Vec<f64>> {

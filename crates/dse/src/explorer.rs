@@ -2,7 +2,7 @@
 //! Explorer (NSGA-II)").
 
 use acim_model::ModelParams;
-use acim_moga::{Nsga2, Nsga2Config, ParetoArchive};
+use acim_moga::{CachedProblem, EvalStats, Nsga2, Nsga2Config, ParetoArchive};
 
 use crate::error::DseError;
 use crate::problem::AcimDesignProblem;
@@ -46,8 +46,10 @@ impl Default for DseConfig {
 #[derive(Debug, Clone, Default)]
 pub struct ParetoFrontierSet {
     points: Vec<DesignPoint>,
-    /// Number of objective evaluations spent by the optimiser.
-    pub evaluations: usize,
+    /// Evaluation-engine statistics of the run: evaluations requested,
+    /// cache hit/miss counters (hits are designs the optimiser re-sampled
+    /// and the engine did not re-evaluate), and wall-clock breakdown.
+    pub engine: EvalStats,
 }
 
 impl ParetoFrontierSet {
@@ -141,10 +143,18 @@ impl DesignSpaceExplorer {
         };
         // Archive every feasible design seen in any generation, keyed by the
         // decoded spec, so the frontier is not limited to the final
-        // population.
+        // population.  The problem is wrapped in a memoizing cache keyed by
+        // decode buckets: the bucketed genome re-samples identical designs
+        // constantly, and the cache answers those re-evaluations for free
+        // while its batch path fans the unique misses out across cores.
         let mut archive: ParetoArchive<DesignPoint> = ParetoArchive::new();
         let problem = &self.problem;
-        let result = Nsga2::new(problem, nsga_config)
+        // The key closure only needs the genome encoding, not a clone of
+        // the whole problem.
+        let key_encoding = self.problem.encoding().clone();
+        let cached =
+            CachedProblem::with_key_fn(problem, move |genes| key_encoding.bucket_indices(genes));
+        let result = Nsga2::new(&cached, nsga_config)
             .with_seed(self.config.seed)
             .run_with_observer(|_generation, population| {
                 for individual in population {
@@ -177,10 +187,9 @@ impl DesignSpaceExplorer {
                 array_size: self.config.array_size,
             });
         }
-        Ok(ParetoFrontierSet {
-            points,
-            evaluations: result.evaluations,
-        })
+        let mut engine = result.engine;
+        engine.cache = cached.stats();
+        Ok(ParetoFrontierSet { points, engine })
     }
 }
 
@@ -227,7 +236,25 @@ mod tests {
         let a = explorer.explore().unwrap();
         let b = explorer.explore().unwrap();
         assert_eq!(a.len(), b.len());
-        assert_eq!(a.evaluations, b.evaluations);
+        assert_eq!(a.engine.evaluations, b.engine.evaluations);
+        assert_eq!(a.engine.cache, b.engine.cache);
+    }
+
+    #[test]
+    fn cache_absorbs_resampled_designs() {
+        let explorer = DesignSpaceExplorer::new(quick_config()).unwrap();
+        let frontier = explorer.explore().unwrap();
+        let engine = &frontier.engine;
+        assert_eq!(engine.cache.total(), engine.evaluations);
+        // The discrete (H, L, B) space has only a few hundred designs, so a
+        // 32x20 run must re-sample heavily.
+        assert!(
+            engine.cache.hits > engine.evaluations / 4,
+            "cache stats: {}",
+            engine.cache
+        );
+        assert_eq!(engine.generation_seconds.len(), 20);
+        assert!(engine.evaluations_per_second() >= 0.0);
     }
 
     #[test]

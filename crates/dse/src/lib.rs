@@ -58,7 +58,10 @@ pub mod problem;
 pub mod solution;
 pub mod sweep;
 
-pub use chip::{ChipDesignPoint, ChipDesignProblem, ChipDseConfig, ChipExplorer, ChipParetoSet};
+pub use acim_moga::{CacheStats, CachedProblem, EvalStats};
+pub use chip::{
+    ChipDesignPoint, ChipDesignProblem, ChipDseConfig, ChipExplorer, ChipGenomeKeyer, ChipParetoSet,
+};
 pub use distill::UserRequirements;
 pub use encoding::DesignEncoding;
 pub use enumerate::enumerate_design_space;

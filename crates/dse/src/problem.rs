@@ -2,6 +2,7 @@
 
 use acim_model::{evaluate, ModelParams};
 use acim_moga::{Evaluation, Problem};
+use rayon::prelude::*;
 
 use crate::encoding::DesignEncoding;
 use crate::error::DseError;
@@ -43,6 +44,14 @@ impl AcimDesignProblem {
         &self.params
     }
 
+    /// The canonical cache key of a genome: its decode-bucket indices.
+    /// Every genome landing in the same (H, L, B_ADC) design shares one
+    /// key, so a memoizing wrapper ([`acim_moga::CachedProblem`]) never
+    /// re-evaluates a re-sampled design.
+    pub fn cache_key(&self, genes: &[f64]) -> Vec<i64> {
+        self.encoding.bucket_indices(genes)
+    }
+
     /// Decodes a genome into a full [`DesignPoint`] when it is feasible.
     pub fn decode_point(&self, genes: &[f64]) -> Option<DesignPoint> {
         let candidate = self.encoding.decode(genes);
@@ -72,6 +81,18 @@ impl Problem for AcimDesignProblem {
             },
             Err(violation) => Evaluation::new(vec![f64::MAX; 4], violation),
         }
+    }
+
+    /// Population-parallel batch evaluation: a `rayon` parallel map over
+    /// the genomes.  The parallel `collect` preserves input order and every
+    /// evaluation is a pure function of its genome, so the result is
+    /// bit-identical to the serial map — seeded explorations stay
+    /// deterministic.
+    fn evaluate_batch(&self, genomes: &[Vec<f64>]) -> Vec<Evaluation> {
+        genomes
+            .par_iter()
+            .map(|genes| self.evaluate(genes))
+            .collect()
     }
 
     fn name(&self) -> &str {
@@ -131,6 +152,22 @@ mod tests {
         let eval = p.evaluate(&genes);
         assert!(!eval.is_feasible());
         assert!(p.decode_point(&genes).is_none());
+    }
+
+    #[test]
+    fn parallel_batch_matches_serial_in_order() {
+        let p = problem();
+        let genomes: Vec<Vec<f64>> = (0..32)
+            .map(|i| {
+                let x = f64::from(i) / 31.0;
+                vec![x, (x * 7.3) % 1.0, (x * 3.1) % 1.0]
+            })
+            .collect();
+        let batch = p.evaluate_batch(&genomes);
+        assert_eq!(batch.len(), genomes.len());
+        for (genes, eval) in genomes.iter().zip(&batch) {
+            assert_eq!(eval, &p.evaluate(genes));
+        }
     }
 
     #[test]

@@ -12,6 +12,7 @@ use std::time::{Duration, Instant};
 
 use acim_chip::{simulate_network, ChipSimReport, Network};
 use acim_dse::{ChipDesignPoint, ChipDseConfig, ChipExplorer, ChipParetoSet};
+use acim_moga::EvalStats;
 
 use crate::error::FlowError;
 
@@ -45,8 +46,9 @@ impl ChipFlowConfig {
 pub struct ChipFlowResult {
     /// The chip-level Pareto front.
     pub front: Vec<ChipDesignPoint>,
-    /// Objective evaluations spent by the chip explorer.
-    pub evaluations: usize,
+    /// Evaluation-engine statistics of the chip exploration (evaluations,
+    /// cache hit/miss counters, wall-clock breakdown).
+    pub engine: EvalStats,
     /// Wall-clock time of the chip exploration.
     pub exploration_time: Duration,
     /// The behavioural validation of the best-throughput chip, when
@@ -93,13 +95,13 @@ impl ChipFlow {
         let start = Instant::now();
         let explorer = ChipExplorer::new(self.config.dse.clone())?;
         let frontier: ChipParetoSet = explorer.explore()?;
-        let evaluations = frontier.evaluations;
+        let engine = frontier.engine.clone();
         let front = frontier.into_points();
         let exploration_time = start.elapsed();
 
         let mut result = ChipFlowResult {
             front,
-            evaluations,
+            engine,
             exploration_time,
             validation: None,
         };
@@ -135,7 +137,11 @@ mod tests {
     fn chip_stage_produces_front_and_validation() {
         let result = ChipFlow::new(quick_config()).run().unwrap();
         assert!(!result.front.is_empty());
-        assert!(result.evaluations > 0);
+        assert!(result.engine.evaluations > 0);
+        assert_eq!(result.engine.cache.total(), result.engine.evaluations);
+        assert_eq!(result.engine.generation_seconds.len(), 6);
+        assert!(result.engine.evaluations_per_second() >= 0.0);
+        assert!(result.engine.mean_generation_seconds() >= 0.0);
         let validation = result.validation.as_ref().expect("validation requested");
         assert_eq!(validation.layers.len(), 3);
         assert!(validation.max_relative_error() < 0.5);
@@ -149,5 +155,23 @@ mod tests {
         config.validate_best = false;
         let result = ChipFlow::new(config).run().unwrap();
         assert!(result.validation.is_none());
+    }
+
+    #[test]
+    fn heterogeneous_stage_explores_mixed_grids() {
+        let mut config = quick_config();
+        config.dse.heterogeneous = true;
+        config.dse.population_size = 24;
+        config.dse.generations = 8;
+        config.validate_best = false;
+        let result = ChipFlow::new(config).run().unwrap();
+        assert!(!result.front.is_empty());
+        // Every frontier row serialises with the extended CSV schema.
+        for point in &result.front {
+            assert_eq!(
+                point.to_csv_row().split(',').count(),
+                acim_dse::ChipDesignPoint::csv_header().split(',').count()
+            );
+        }
     }
 }

@@ -5,6 +5,7 @@ use std::time::{Duration, Instant};
 use acim_cell::CellLibrary;
 use acim_dse::{DesignPoint, DesignSpaceExplorer, ParetoFrontierSet};
 use acim_layout::{LayoutFlow, MacroLayout};
+use acim_moga::EvalStats;
 use acim_netlist::{design_stats, write_spice, Design, DesignStats, NetlistGenerator};
 
 use crate::chip::{ChipFlow, ChipFlowResult};
@@ -42,8 +43,9 @@ pub struct FlowResult {
     pub exploration_time: Duration,
     /// Total wall-clock time of the run.
     pub total_time: Duration,
-    /// Number of objective evaluations spent by the explorer.
-    pub evaluations: usize,
+    /// Evaluation-engine statistics of the macro exploration
+    /// (evaluations, cache hit/miss counters, wall-clock breakdown).
+    pub engine: EvalStats,
     /// The chip-composition stage result, when the stage was configured.
     pub chip: Option<ChipFlowResult>,
 }
@@ -93,7 +95,7 @@ impl TopFlowController {
         let explorer = DesignSpaceExplorer::new(self.config.dse.clone())?;
         let frontier_set: ParetoFrontierSet = explorer.explore()?;
         let exploration_time = start.elapsed();
-        let evaluations = frontier_set.evaluations;
+        let engine = frontier_set.engine.clone();
         let frontier = frontier_set.into_points();
 
         // 2. User distillation.
@@ -145,7 +147,7 @@ impl TopFlowController {
             designs,
             exploration_time,
             total_time: start.elapsed(),
-            evaluations,
+            engine,
             chip,
         })
     }
@@ -172,7 +174,7 @@ mod tests {
         assert!(!result.distilled.is_empty());
         assert!(!result.designs.is_empty());
         assert!(result.designs.len() <= 2);
-        assert!(result.evaluations > 0);
+        assert!(result.engine.evaluations > 0);
         assert!(result.total_time >= result.exploration_time);
         for design in &result.designs {
             assert_eq!(

@@ -70,7 +70,7 @@ pub mod prelude {
     };
     pub use acim_layout::{LayoutFlow, MacroLayout};
     pub use acim_model::{evaluate, DesignMetrics, ModelParams};
-    pub use acim_moga::{Nsga2, Nsga2Config, Problem};
+    pub use acim_moga::{CacheStats, CachedProblem, EvalStats, Nsga2, Nsga2Config, Problem};
     pub use acim_netlist::{write_spice, NetlistGenerator};
     pub use acim_tech::Technology;
     pub use acim_workloads::{ApplicationProfile, MacroMapper};

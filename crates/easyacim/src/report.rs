@@ -82,7 +82,10 @@ pub fn chip_frontier_table(points: &[ChipDesignPoint]) -> String {
                 spec.adc_bits(),
             )
         } else {
-            format!("{:<18}", "heterogeneous")
+            format!(
+                "{:<18}",
+                format!("{} macro shapes", p.chip.grid.distinct_specs().len())
+            )
         };
         out.push_str(&format!(
             "{:>2}x{:<2}  {} {:>6}  | {:>7.1} {:>8.3} {:>10.1} {:>10.1} {:>8.1}\n",
@@ -100,14 +103,18 @@ pub fn chip_frontier_table(points: &[ChipDesignPoint]) -> String {
     out
 }
 
-/// Summarises the chip-composition stage: the front, the best chip, and
-/// the behavioural validation when present.
+/// Summarises the chip-composition stage: the front, the evaluation-engine
+/// stats, the best chip, and the behavioural validation when present.
 pub fn chip_report(result: &ChipFlowResult) -> String {
     let mut out = format!(
-        "chip composition: {} frontier chips ({} evaluations in {:.2} s)\n{}",
+        "chip composition: {} frontier chips ({} evaluations in {:.2} s)\n\
+         evaluation engine: {:.0} evals/s, cache {}, {:.1} ms mean per generation\n{}",
         result.front.len(),
-        result.evaluations,
+        result.engine.evaluations,
         result.exploration_time.as_secs_f64(),
+        result.engine.evaluations_per_second(),
+        result.engine.cache,
+        result.engine.mean_generation_seconds() * 1e3,
         chip_frontier_table(&result.front),
     );
     if let Some(best) = result.best_throughput() {
@@ -134,12 +141,15 @@ pub fn chip_report(result: &ChipFlowResult) -> String {
 pub fn flow_summary(result: &FlowResult) -> String {
     let mut out = format!(
         "EasyACIM flow: {} frontier points, {} after distillation, {} layouts generated\n\
-         exploration: {} evaluations in {:.2} s; total runtime {:.2} s\n",
+         exploration: {} evaluations in {:.2} s ({:.0} evals/s, cache {}); \
+         total runtime {:.2} s\n",
         result.frontier.len(),
         result.distilled.len(),
         result.designs.len(),
-        result.evaluations,
+        result.engine.evaluations,
         result.exploration_time.as_secs_f64(),
+        result.engine.evaluations_per_second(),
+        result.engine.cache,
         result.total_time.as_secs_f64(),
     );
     for design in &result.designs {

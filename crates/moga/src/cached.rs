@@ -1,0 +1,444 @@
+//! Memoizing problem wrapper.
+//!
+//! Discrete design spaces (like EasyACIM's bucketed (H, W, L, B_ADC)
+//! genome) make NSGA-II re-sample the same designs over and over: crossover
+//! between similar parents and no-op mutations routinely reproduce genomes
+//! the optimiser has already paid to evaluate.  [`CachedProblem`] wraps any
+//! [`Problem`] with a hash map keyed by **quantized** genomes so duplicate
+//! designs are never re-evaluated, and counts hits/misses so run reports
+//! can show how much evaluation work the cache absorbed.
+//!
+//! The batch path is duplicate-aware: genomes that repeat *within* one
+//! batch are also evaluated only once, and only the unique misses are
+//! forwarded to the inner problem's [`Problem::evaluate_batch`] — so a
+//! parallel inner batch spends its threads exclusively on new designs.
+//!
+//! Caching is transparent to seeded runs: a hit returns a clone of exactly
+//! the evaluation the serial path would have recomputed, so Pareto fronts
+//! are bit-identical with and without the wrapper (provided the quantum is
+//! finer than the problem's decode resolution, which the conservative
+//! default guarantees for every problem in this workspace).
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Mutex;
+
+use crate::problem::{Evaluation, Problem};
+
+/// Default genome quantum: far finer than any decode bucket used by the
+/// EasyACIM problems (whose coarsest axis splits `[0, 1]` into a handful of
+/// buckets), yet coarse enough to fold floating-point dust onto one key.
+pub const DEFAULT_QUANTUM: f64 = 1e-9;
+
+/// Hit/miss counters of a [`CachedProblem`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct CacheStats {
+    /// Evaluations answered from the cache (including duplicates within a
+    /// single batch).
+    pub hits: usize,
+    /// Evaluations that had to be computed by the inner problem.
+    pub misses: usize,
+}
+
+impl CacheStats {
+    /// Total evaluation requests seen by the cache.
+    pub fn total(&self) -> usize {
+        self.hits + self.misses
+    }
+
+    /// Fraction of requests answered from the cache, in `[0, 1]`
+    /// (`0.0` when nothing was requested yet).
+    pub fn hit_rate(&self) -> f64 {
+        if self.total() == 0 {
+            0.0
+        } else {
+            self.hits as f64 / self.total() as f64
+        }
+    }
+}
+
+impl std::fmt::Display for CacheStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} hits / {} misses ({:.1}% hit rate)",
+            self.hits,
+            self.misses,
+            self.hit_rate() * 100.0
+        )
+    }
+}
+
+/// A genome → cache-key quantizer.
+///
+/// The key decides which genomes count as "the same design".  The default
+/// folds each gene onto a fine fixed grid; problems with bucketed decoders
+/// (like the EasyACIM design spaces) should instead supply their decode
+/// buckets via [`CachedProblem::with_key_fn`], which makes every genome
+/// that decodes to the same design share one cache entry.
+pub type KeyFn = dyn Fn(&[f64]) -> Vec<i64> + Send + Sync;
+
+/// A [`Problem`] wrapper that memoizes evaluations keyed by quantized
+/// genomes.
+///
+/// # Example
+///
+/// ```
+/// use acim_moga::{CachedProblem, Evaluation, Problem};
+///
+/// struct Square;
+/// impl Problem for Square {
+///     fn num_variables(&self) -> usize { 1 }
+///     fn num_objectives(&self) -> usize { 1 }
+///     fn evaluate(&self, genes: &[f64]) -> Evaluation {
+///         Evaluation::unconstrained(vec![genes[0] * genes[0]])
+///     }
+/// }
+///
+/// let cached = CachedProblem::new(Square);
+/// let a = cached.evaluate(&[0.5]);
+/// let b = cached.evaluate(&[0.5]); // answered from the cache
+/// assert_eq!(a, b);
+/// let stats = cached.stats();
+/// assert_eq!((stats.hits, stats.misses), (1, 1));
+/// ```
+pub struct CachedProblem<P> {
+    inner: P,
+    quantum: f64,
+    key_fn: Option<Box<KeyFn>>,
+    cache: Mutex<HashMap<Vec<i64>, Evaluation>>,
+    hits: AtomicUsize,
+    misses: AtomicUsize,
+}
+
+impl<P: std::fmt::Debug> std::fmt::Debug for CachedProblem<P> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CachedProblem")
+            .field("inner", &self.inner)
+            .field("quantum", &self.quantum)
+            .field("custom_key", &self.key_fn.is_some())
+            .field(
+                "stats",
+                &CacheStats {
+                    hits: self.hits.load(Ordering::Relaxed),
+                    misses: self.misses.load(Ordering::Relaxed),
+                },
+            )
+            .finish_non_exhaustive()
+    }
+}
+
+impl<P: Problem> CachedProblem<P> {
+    /// Wraps a problem with the conservative [`DEFAULT_QUANTUM`].
+    pub fn new(inner: P) -> Self {
+        Self::with_quantum(inner, DEFAULT_QUANTUM)
+    }
+
+    /// Wraps a problem, folding genomes onto cache keys at `quantum`
+    /// resolution.  Larger quanta merge more near-duplicates (useful when
+    /// the decode buckets are coarse); the quantum must stay finer than
+    /// the problem's decode resolution for caching to be semantically
+    /// lossless.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `quantum` is not strictly positive and finite.
+    pub fn with_quantum(inner: P, quantum: f64) -> Self {
+        assert!(
+            quantum > 0.0 && quantum.is_finite(),
+            "quantum must be positive and finite, got {quantum}"
+        );
+        Self {
+            inner,
+            quantum,
+            key_fn: None,
+            cache: Mutex::new(HashMap::new()),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+        }
+    }
+
+    /// Wraps a problem with a custom genome → key quantizer.
+    ///
+    /// The key function must be **decode-aligned**: two genomes may share a
+    /// key only when the problem evaluates them to the identical
+    /// [`Evaluation`].  Under that contract caching stays bit-lossless and
+    /// far more effective than gene-grid quantization — e.g. the EasyACIM
+    /// problems key by decoded bucket indices, so every genome that lands
+    /// in the same (H, L, B, …) design hits one cache entry.
+    pub fn with_key_fn<F>(inner: P, key_fn: F) -> Self
+    where
+        F: Fn(&[f64]) -> Vec<i64> + Send + Sync + 'static,
+    {
+        Self {
+            inner,
+            quantum: DEFAULT_QUANTUM,
+            key_fn: Some(Box::new(key_fn)),
+            cache: Mutex::new(HashMap::new()),
+            hits: AtomicUsize::new(0),
+            misses: AtomicUsize::new(0),
+        }
+    }
+
+    /// The wrapped problem.
+    pub fn inner(&self) -> &P {
+        &self.inner
+    }
+
+    /// Consumes the wrapper and returns the inner problem.
+    pub fn into_inner(self) -> P {
+        self.inner
+    }
+
+    /// Number of distinct designs currently cached.
+    pub fn len(&self) -> usize {
+        self.cache.lock().expect("cache lock poisoned").len()
+    }
+
+    /// Returns `true` when nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Snapshot of the hit/miss counters.
+    pub fn stats(&self) -> CacheStats {
+        CacheStats {
+            hits: self.hits.load(Ordering::Relaxed),
+            misses: self.misses.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Quantizes a genome into its cache key.
+    fn key(&self, genes: &[f64]) -> Vec<i64> {
+        match &self.key_fn {
+            Some(key_fn) => key_fn(genes),
+            None => genes
+                .iter()
+                .map(|&g| (g / self.quantum).round() as i64)
+                .collect(),
+        }
+    }
+}
+
+impl<P: Problem> Problem for CachedProblem<P> {
+    fn num_variables(&self) -> usize {
+        self.inner.num_variables()
+    }
+
+    fn num_objectives(&self) -> usize {
+        self.inner.num_objectives()
+    }
+
+    fn evaluate(&self, genes: &[f64]) -> Evaluation {
+        let key = self.key(genes);
+        if let Some(eval) = self.cache.lock().expect("cache lock poisoned").get(&key) {
+            self.hits.fetch_add(1, Ordering::Relaxed);
+            return eval.clone();
+        }
+        let eval = self.inner.evaluate(genes);
+        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.cache
+            .lock()
+            .expect("cache lock poisoned")
+            .insert(key, eval.clone());
+        eval
+    }
+
+    fn evaluate_batch(&self, genomes: &[Vec<f64>]) -> Vec<Evaluation> {
+        // Resolve every genome against the cache (and against earlier
+        // duplicates in this very batch) first, so the inner problem only
+        // sees the unique misses.
+        let keys: Vec<Vec<i64>> = genomes.iter().map(|g| self.key(g)).collect();
+        let mut results: Vec<Option<Evaluation>> = vec![None; genomes.len()];
+        let mut miss_genomes: Vec<Vec<f64>> = Vec::new();
+        let mut miss_keys: Vec<Vec<i64>> = Vec::new();
+        // Which unique miss (by position in `miss_genomes`) fills slot i.
+        let mut pending: Vec<(usize, usize)> = Vec::new();
+        {
+            let cache = self.cache.lock().expect("cache lock poisoned");
+            let mut batch_local: HashMap<&[i64], usize> = HashMap::new();
+            for (i, key) in keys.iter().enumerate() {
+                if let Some(eval) = cache.get(key) {
+                    results[i] = Some(eval.clone());
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                } else if let Some(&slot) = batch_local.get(key.as_slice()) {
+                    // Duplicate within the batch: evaluated once below.
+                    pending.push((i, slot));
+                    self.hits.fetch_add(1, Ordering::Relaxed);
+                } else {
+                    let slot = miss_genomes.len();
+                    batch_local.insert(key.as_slice(), slot);
+                    miss_genomes.push(genomes[i].clone());
+                    miss_keys.push(key.clone());
+                    pending.push((i, slot));
+                    self.misses.fetch_add(1, Ordering::Relaxed);
+                }
+            }
+        }
+
+        let fresh = self.inner.evaluate_batch(&miss_genomes);
+        assert_eq!(
+            fresh.len(),
+            miss_genomes.len(),
+            "inner evaluate_batch must return one evaluation per genome"
+        );
+        {
+            let mut cache = self.cache.lock().expect("cache lock poisoned");
+            for (key, eval) in miss_keys.into_iter().zip(&fresh) {
+                cache.insert(key, eval.clone());
+            }
+        }
+        for (i, slot) in pending {
+            results[i] = Some(fresh[slot].clone());
+        }
+        results
+            .into_iter()
+            .map(|r| r.expect("every batch slot is filled"))
+            .collect()
+    }
+
+    fn name(&self) -> &str {
+        self.inner.name()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::AtomicUsize;
+
+    /// Counts how many times the inner problem actually evaluates.
+    #[derive(Debug)]
+    struct Counting {
+        calls: AtomicUsize,
+        batch_calls: AtomicUsize,
+    }
+
+    impl Counting {
+        fn new() -> Self {
+            Self {
+                calls: AtomicUsize::new(0),
+                batch_calls: AtomicUsize::new(0),
+            }
+        }
+    }
+
+    impl Problem for Counting {
+        fn num_variables(&self) -> usize {
+            2
+        }
+        fn num_objectives(&self) -> usize {
+            1
+        }
+        fn evaluate(&self, genes: &[f64]) -> Evaluation {
+            self.calls.fetch_add(1, Ordering::Relaxed);
+            Evaluation::unconstrained(vec![genes[0] + 2.0 * genes[1]])
+        }
+        fn evaluate_batch(&self, genomes: &[Vec<f64>]) -> Vec<Evaluation> {
+            self.batch_calls.fetch_add(1, Ordering::Relaxed);
+            genomes.iter().map(|g| self.evaluate(g)).collect()
+        }
+        fn name(&self) -> &str {
+            "counting"
+        }
+    }
+
+    #[test]
+    fn repeat_evaluations_hit_the_cache() {
+        let cached = CachedProblem::new(Counting::new());
+        let a = cached.evaluate(&[0.25, 0.5]);
+        let b = cached.evaluate(&[0.25, 0.5]);
+        let c = cached.evaluate(&[0.75, 0.5]);
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(cached.inner().calls.load(Ordering::Relaxed), 2);
+        assert_eq!(cached.stats(), CacheStats { hits: 1, misses: 2 });
+        assert_eq!(cached.len(), 2);
+    }
+
+    #[test]
+    fn batch_deduplicates_within_and_across_batches() {
+        let cached = CachedProblem::new(Counting::new());
+        let genomes = vec![
+            vec![0.1, 0.1],
+            vec![0.2, 0.2],
+            vec![0.1, 0.1], // intra-batch duplicate
+            vec![0.3, 0.3],
+        ];
+        let batch = cached.evaluate_batch(&genomes);
+        assert_eq!(batch.len(), 4);
+        assert_eq!(batch[0], batch[2]);
+        assert_eq!(cached.inner().calls.load(Ordering::Relaxed), 3);
+        assert_eq!(cached.stats(), CacheStats { hits: 1, misses: 3 });
+
+        // A second batch re-using previous designs evaluates only new ones.
+        let batch2 = cached.evaluate_batch(&[vec![0.2, 0.2], vec![0.4, 0.4]]);
+        assert_eq!(batch2[0], batch[1]);
+        assert_eq!(cached.inner().calls.load(Ordering::Relaxed), 4);
+        assert_eq!(cached.stats(), CacheStats { hits: 2, misses: 4 });
+    }
+
+    #[test]
+    fn batch_results_preserve_input_order_and_match_serial() {
+        let cached = CachedProblem::new(Counting::new());
+        let genomes: Vec<Vec<f64>> = (0..10)
+            .map(|i| vec![f64::from(i) / 10.0, f64::from(i % 3) / 3.0])
+            .collect();
+        let batch = cached.evaluate_batch(&genomes);
+        for (genes, eval) in genomes.iter().zip(&batch) {
+            assert_eq!(eval, &Counting::new().evaluate(genes));
+        }
+    }
+
+    #[test]
+    fn quantization_folds_floating_point_dust() {
+        let cached = CachedProblem::with_quantum(Counting::new(), 1e-6);
+        let _ = cached.evaluate(&[0.5, 0.5]);
+        let _ = cached.evaluate(&[0.5 + 1e-9, 0.5 - 1e-9]);
+        assert_eq!(cached.stats(), CacheStats { hits: 1, misses: 1 });
+    }
+
+    #[test]
+    fn hit_rate_reads_naturally() {
+        let stats = CacheStats { hits: 3, misses: 1 };
+        assert_eq!(stats.total(), 4);
+        assert!((stats.hit_rate() - 0.75).abs() < 1e-12);
+        assert!(stats.to_string().contains("75.0% hit rate"));
+        assert_eq!(CacheStats::default().hit_rate(), 0.0);
+    }
+
+    #[test]
+    #[should_panic(expected = "positive")]
+    fn zero_quantum_is_rejected() {
+        let _ = CachedProblem::with_quantum(Counting::new(), 0.0);
+    }
+
+    #[test]
+    fn custom_key_fn_merges_decode_equivalent_genomes() {
+        // Key by a 4-bucket decode: all genes in the same quarter of
+        // [0, 1] are "the same design".
+        let cached = CachedProblem::with_key_fn(Counting::new(), |genes| {
+            genes
+                .iter()
+                .map(|&g| (g.clamp(0.0, 1.0) * 4.0) as i64)
+                .collect()
+        });
+        let a = cached.evaluate(&[0.30, 0.30]);
+        let b = cached.evaluate(&[0.26, 0.28]); // same buckets -> cache hit
+        let c = cached.evaluate(&[0.60, 0.30]); // different bucket
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+        assert_eq!(cached.stats(), CacheStats { hits: 1, misses: 2 });
+        assert!(format!("{cached:?}").contains("custom_key: true"));
+    }
+
+    #[test]
+    fn trait_surface_forwards_to_inner() {
+        let cached = CachedProblem::new(Counting::new());
+        assert_eq!(cached.num_variables(), 2);
+        assert_eq!(cached.num_objectives(), 1);
+        assert_eq!(cached.name(), "counting");
+        assert!(cached.is_empty());
+        let _ = cached.into_inner();
+    }
+}

@@ -18,7 +18,34 @@
 //!   solutions,
 //! * [`hypervolume`] — exact 2-D and Monte-Carlo N-D hypervolume indicators
 //!   used by the ablation benchmarks,
-//! * [`random_search`] — a random-sampling baseline for comparison.
+//! * [`random_search`] — a random-sampling baseline for comparison,
+//! * [`cached::CachedProblem`] — a memoizing problem wrapper.
+//!
+//! # Batch evaluation & caching
+//!
+//! Objective evaluation is the cost centre of every real design-space
+//! exploration, so the engine funnels it through two cooperating layers:
+//!
+//! 1. **Population batching** — [`Nsga2`] collects each generation's
+//!    offspring first and scores the whole cohort through one
+//!    [`Problem::evaluate_batch`] call ([`random_search`] does the same in
+//!    chunks).  The default implementation is the serial map, so a plain
+//!    [`Problem`] keeps working; a problem that overrides the batch with a
+//!    parallel map (as the EasyACIM design problems do with `rayon`)
+//!    parallelises the whole search.  Batch implementations must preserve
+//!    input order and be bit-identical to the serial map, which keeps
+//!    seeded runs reproducible: variation never interleaves with
+//!    evaluation, so the RNG stream — and therefore the Pareto front — is
+//!    exactly what the historical one-genome-at-a-time loop produced.
+//! 2. **Memoization** — [`CachedProblem`] wraps any problem with a cache
+//!    keyed by quantized genomes, so duplicate designs (which bucketed
+//!    encodings re-sample constantly) are never re-evaluated.  Its batch
+//!    path forwards only the *unique misses* to the inner problem, and its
+//!    [`CacheStats`] hit/miss counters surface in run reports.
+//!
+//! Every run reports its evaluation counters and wall-clock breakdown in
+//! one [`EvalStats`] value ([`Nsga2Result::engine`]), which downstream
+//! frontier sets and flow results embed unchanged.
 //!
 //! # Example
 //!
@@ -46,6 +73,7 @@
 #![warn(missing_docs)]
 
 pub mod archive;
+pub mod cached;
 pub mod crowding;
 pub mod dominance;
 pub mod hypervolume;
@@ -57,11 +85,12 @@ pub mod random_search;
 pub mod selection;
 
 pub use archive::ParetoArchive;
+pub use cached::{CacheStats, CachedProblem};
 pub use crowding::assign_crowding_distance;
 pub use dominance::{constrained_dominates, dominates, fast_non_dominated_sort};
 pub use hypervolume::{hypervolume_2d, hypervolume_monte_carlo};
 pub use individual::Individual;
-pub use nsga2::{Nsga2, Nsga2Config, Nsga2Result};
+pub use nsga2::{EvalStats, Nsga2, Nsga2Config, Nsga2Result};
 pub use operators::{polynomial_mutation, sbx_crossover};
 pub use problem::{Evaluation, Problem};
 pub use random_search::random_search;

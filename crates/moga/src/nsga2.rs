@@ -1,8 +1,20 @@
 //! The NSGA-II main loop.
+//!
+//! Evaluation is **population-batched**: every generation's offspring are
+//! collected first and scored through one [`Problem::evaluate_batch`] call,
+//! so problems with a parallel batch implementation (like the EasyACIM chip
+//! problem) parallelise across the whole population instead of inside a
+//! single evaluation.  Variation (selection, crossover, mutation) never
+//! consumes randomness during evaluation, so the batched loop generates
+//! exactly the genomes the historical one-at-a-time loop did — seeded runs
+//! produce bit-identical Pareto fronts either way.
+
+use std::time::Instant;
 
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
+use crate::cached::CacheStats;
 use crate::crowding::assign_crowding_distance;
 use crate::dominance::fast_non_dominated_sort;
 use crate::individual::Individual;
@@ -40,15 +52,59 @@ impl Default for Nsga2Config {
     }
 }
 
+/// Aggregated evaluation-engine statistics of one optimiser run: how many
+/// evaluations were requested, how the cache fared, and where the
+/// wall-clock went.  Downstream result types (frontier sets, flow results)
+/// embed this so every layer reports the same numbers the same way.
+#[derive(Debug, Clone, PartialEq, Default)]
+pub struct EvalStats {
+    /// Number of objective evaluations requested from the problem (a
+    /// memoizing problem like [`crate::CachedProblem`] may answer some of
+    /// them from its cache; see [`EvalStats::cache`]).
+    pub evaluations: usize,
+    /// Hit/miss counters of the evaluation cache ([`CacheStats::default`]
+    /// when no cache was involved).
+    pub cache: CacheStats,
+    /// Wall-clock seconds spent inside [`Problem::evaluate_batch`].
+    pub eval_seconds: f64,
+    /// Wall-clock seconds per generation (variation + evaluation +
+    /// environmental selection), one entry per generation.
+    pub generation_seconds: Vec<f64>,
+}
+
+impl EvalStats {
+    /// Objective evaluations per wall-clock second of evaluation time
+    /// (`0.0` when no time was measured).
+    pub fn evaluations_per_second(&self) -> f64 {
+        if self.eval_seconds > 0.0 {
+            self.evaluations as f64 / self.eval_seconds
+        } else {
+            0.0
+        }
+    }
+
+    /// Mean wall-clock seconds per generation (`0.0` for zero generations).
+    pub fn mean_generation_seconds(&self) -> f64 {
+        if self.generation_seconds.is_empty() {
+            0.0
+        } else {
+            self.generation_seconds.iter().sum::<f64>() / self.generation_seconds.len() as f64
+        }
+    }
+}
+
 /// Result of an NSGA-II run.
 #[derive(Debug, Clone)]
 pub struct Nsga2Result {
     /// Final population after the last environmental selection.
     pub population: Vec<Individual>,
-    /// Number of objective evaluations performed.
-    pub evaluations: usize,
     /// Number of generations executed.
     pub generations: usize,
+    /// Evaluation-engine statistics of the run.  The optimiser cannot see
+    /// a cache, so [`EvalStats::cache`] stays at its zero default; a
+    /// caller that wrapped the problem in a [`crate::CachedProblem`]
+    /// fills it in from the wrapper's counters.
+    pub engine: EvalStats,
 }
 
 impl Nsga2Result {
@@ -67,6 +123,12 @@ impl Nsga2Result {
             .into_iter()
             .map(|ind| ind.objectives.clone())
             .collect()
+    }
+
+    /// Number of objective evaluations requested from the problem
+    /// (shorthand for [`EvalStats::evaluations`]).
+    pub fn evaluations(&self) -> usize {
+        self.engine.evaluations
     }
 }
 
@@ -133,25 +195,48 @@ impl<P: Problem> Nsga2<P> {
             .mutation_probability
             .unwrap_or(1.0 / n_var as f64);
         let mut evaluations = 0usize;
+        let mut eval_seconds = 0.0f64;
+        let mut generation_seconds = Vec::with_capacity(self.config.generations);
 
-        // Initial random population.
-        let mut population: Vec<Individual> = (0..pop_size)
-            .map(|_| {
-                let genes = random_genome(&mut rng, n_var);
-                let eval = self.problem.evaluate(&genes);
-                evaluations += 1;
-                Individual::new(genes, eval)
-            })
+        // Evaluates a whole cohort of genomes through one batch call,
+        // tracking the evaluation count and wall-clock spent.
+        let evaluate_cohort = |genomes: Vec<Vec<f64>>,
+                               evaluations: &mut usize,
+                               eval_seconds: &mut f64|
+         -> Vec<Individual> {
+            let eval_start = Instant::now();
+            let evals = self.problem.evaluate_batch(&genomes);
+            *eval_seconds += eval_start.elapsed().as_secs_f64();
+            assert_eq!(
+                evals.len(),
+                genomes.len(),
+                "evaluate_batch must return one evaluation per genome"
+            );
+            *evaluations += genomes.len();
+            genomes
+                .into_iter()
+                .zip(evals)
+                .map(|(genes, eval)| Individual::new(genes, eval))
+                .collect()
+        };
+
+        // Initial random population, evaluated as one batch.
+        let genomes: Vec<Vec<f64>> = (0..pop_size)
+            .map(|_| random_genome(&mut rng, n_var))
             .collect();
+        let mut population = evaluate_cohort(genomes, &mut evaluations, &mut eval_seconds);
         let fronts = fast_non_dominated_sort(&mut population);
         for front in &fronts {
             assign_crowding_distance(&mut population, front);
         }
 
         for generation in 0..self.config.generations {
-            // Offspring generation.
-            let mut offspring: Vec<Individual> = Vec::with_capacity(pop_size);
-            while offspring.len() < pop_size {
+            let generation_start = Instant::now();
+            // Variation: collect the whole offspring cohort first (no
+            // evaluations interleaved, so the RNG stream is identical to
+            // the historical evaluate-as-you-go loop)…
+            let mut offspring_genomes: Vec<Vec<f64>> = Vec::with_capacity(pop_size);
+            while offspring_genomes.len() < pop_size {
                 let parent_a = binary_tournament(&mut rng, &population);
                 let parent_b = binary_tournament(&mut rng, &population);
                 let (mut child_a, mut child_b) = sbx_crossover(
@@ -164,14 +249,15 @@ impl<P: Problem> Nsga2<P> {
                 polynomial_mutation(&mut rng, &mut child_a, self.config.mutation_eta, mutation_p);
                 polynomial_mutation(&mut rng, &mut child_b, self.config.mutation_eta, mutation_p);
                 for child in [child_a, child_b] {
-                    if offspring.len() >= pop_size {
+                    if offspring_genomes.len() >= pop_size {
                         break;
                     }
-                    let eval = self.problem.evaluate(&child);
-                    evaluations += 1;
-                    offspring.push(Individual::new(child, eval));
+                    offspring_genomes.push(child);
                 }
             }
+            // …then score it through one batch call.
+            let mut offspring =
+                evaluate_cohort(offspring_genomes, &mut evaluations, &mut eval_seconds);
 
             // Environmental selection over parents ∪ offspring.
             let mut combined = population;
@@ -205,13 +291,19 @@ impl<P: Problem> Nsga2<P> {
             for front in &fronts {
                 assign_crowding_distance(&mut population, front);
             }
+            generation_seconds.push(generation_start.elapsed().as_secs_f64());
             observer(generation, &population);
         }
 
         Nsga2Result {
             population,
-            evaluations,
             generations: self.config.generations,
+            engine: EvalStats {
+                evaluations,
+                cache: CacheStats::default(),
+                eval_seconds,
+                generation_seconds,
+            },
         }
     }
 }
@@ -299,7 +391,7 @@ mod tests {
         let config = small_config();
         let expected = config.population_size * (config.generations + 1);
         let result = Nsga2::new(Zdt1, config).with_seed(5).run();
-        assert_eq!(result.evaluations, expected);
+        assert_eq!(result.evaluations(), expected);
     }
 
     #[test]
@@ -346,5 +438,55 @@ mod tests {
     fn final_population_has_exact_size() {
         let result = Nsga2::new(Zdt1, small_config()).with_seed(13).run();
         assert_eq!(result.population.len(), 40);
+    }
+
+    /// Records the size of every batch the optimiser requests.
+    struct BatchProbe {
+        batch_sizes: std::sync::Mutex<Vec<usize>>,
+    }
+
+    impl Problem for BatchProbe {
+        fn num_variables(&self) -> usize {
+            2
+        }
+        fn num_objectives(&self) -> usize {
+            2
+        }
+        fn evaluate(&self, genes: &[f64]) -> Evaluation {
+            Evaluation::unconstrained(vec![genes[0], genes[1]])
+        }
+        fn evaluate_batch(&self, genomes: &[Vec<f64>]) -> Vec<Evaluation> {
+            self.batch_sizes.lock().unwrap().push(genomes.len());
+            genomes.iter().map(|g| self.evaluate(g)).collect()
+        }
+    }
+
+    #[test]
+    fn every_generation_is_one_population_sized_batch() {
+        let probe = BatchProbe {
+            batch_sizes: std::sync::Mutex::new(Vec::new()),
+        };
+        let config = small_config();
+        let _ = Nsga2::new(&probe, config.clone()).with_seed(21).run();
+        let sizes = probe.batch_sizes.lock().unwrap();
+        // One batch for the initial population + one per generation.
+        assert_eq!(sizes.len(), config.generations + 1);
+        assert!(sizes.iter().all(|&s| s == config.population_size));
+    }
+
+    #[test]
+    fn run_reports_timing_stats() {
+        let result = Nsga2::new(Zdt1, small_config()).with_seed(17).run();
+        let engine = &result.engine;
+        assert_eq!(engine.generation_seconds.len(), 40);
+        assert!(engine.generation_seconds.iter().all(|&s| s >= 0.0));
+        assert!(engine.eval_seconds >= 0.0);
+        // The optimiser itself never sees a cache.
+        assert_eq!(engine.cache, CacheStats::default());
+        assert_eq!(engine.evaluations, result.evaluations());
+        assert!(engine.evaluations_per_second() >= 0.0);
+        assert!(engine.mean_generation_seconds() >= 0.0);
+        assert_eq!(EvalStats::default().evaluations_per_second(), 0.0);
+        assert_eq!(EvalStats::default().mean_generation_seconds(), 0.0);
     }
 }

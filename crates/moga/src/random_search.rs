@@ -15,23 +15,42 @@ use crate::problem::Problem;
 /// Evaluates `budget` uniform random genomes and returns the feasible,
 /// non-dominated subset as an archive of individuals.
 ///
-/// Deterministic for a fixed `seed`.
+/// The whole budget is sampled first and scored through
+/// [`Problem::evaluate_batch`] in population-sized chunks, so problems with
+/// a parallel batch path parallelise the baseline too.  Sampling never
+/// interleaves with evaluation, so results are bit-identical to the
+/// historical one-at-a-time loop and deterministic for a fixed `seed`.
 pub fn random_search<P: Problem>(
     problem: &P,
     budget: usize,
     seed: u64,
 ) -> ParetoArchive<Individual> {
+    /// Chunk size of one batch call: large enough to amortise thread
+    /// fan-out, small enough to keep peak memory bounded for huge budgets.
+    const BATCH: usize = 1024;
+
     let mut rng = StdRng::seed_from_u64(seed);
     let mut archive = ParetoArchive::new();
-    for _ in 0..budget {
-        let genes = random_genome(&mut rng, problem.num_variables());
-        let eval = problem.evaluate(&genes);
-        if !eval.is_feasible() {
-            continue;
+    let mut remaining = budget;
+    while remaining > 0 {
+        let chunk = remaining.min(BATCH);
+        remaining -= chunk;
+        let genomes: Vec<Vec<f64>> = (0..chunk)
+            .map(|_| random_genome(&mut rng, problem.num_variables()))
+            .collect();
+        let evals = problem.evaluate_batch(&genomes);
+        assert_eq!(
+            evals.len(),
+            genomes.len(),
+            "evaluate_batch must return one evaluation per genome"
+        );
+        for (genes, eval) in genomes.into_iter().zip(evals) {
+            if !eval.is_feasible() {
+                continue;
+            }
+            let objectives = eval.objectives.clone();
+            archive.insert(objectives, Individual::new(genes, eval));
         }
-        let objectives = eval.objectives.clone();
-        let individual = Individual::new(genes, eval);
-        archive.insert(objectives, individual);
     }
     archive
 }

@@ -4,19 +4,29 @@
 //! The single-macro flow answers "what is the best macro?"; this example
 //! answers the architect's next question: "how many of them, behind how
 //! much buffer, serve my *network* best?"  It runs the chip-level NSGA-II
-//! exploration twice to demonstrate seed-determinism (the per-layer
-//! objective evaluation is rayon-parallel yet bit-reproducible), prints
-//! the chip Pareto front, and finally maps the CNN onto the winning macro
-//! grid behaviourally, layer by layer.
+//! exploration twice to demonstrate seed-determinism (objective evaluation
+//! is population-parallel under rayon yet bit-reproducible), prints the
+//! chip Pareto front together with the evaluation-engine stats
+//! (evaluations/s, cache hit rate, wall-clock per generation), repeats the
+//! search with **heterogeneous grids** (per-tile macro genes, so NSGA-II
+//! can mix macro shapes across the chip), and finally maps the CNN onto
+//! the winning macro grid behaviourally, layer by layer.
 //!
 //! ```bash
 //! cargo run --release --example chip_exploration
+//! # tiny budget (used by the CI smoke job):
+//! cargo run --release --example chip_exploration -- --quick
 //! ```
 
 use easyacim::prelude::*;
 use easyacim::{chip_frontier_table, chip_report};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
+    // `--quick` shrinks the budget so CI can exercise the full parallel
+    // path (batch evaluation, caching, heterogeneous genomes) in seconds.
+    let quick = std::env::args().any(|arg| arg == "--quick");
+    let (population_size, generations) = if quick { (16, 6) } else { (48, 30) };
+
     let network = Network::edge_cnn(3);
     println!("target network: {network}");
     for layer in &network.layers {
@@ -30,19 +40,26 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // Co-explore macro (H, L, B_ADC) x grid (rows, cols) x buffer KiB.
     let mut dse = ChipDseConfig::for_network(network.clone());
-    dse.population_size = 48;
-    dse.generations = 30;
+    dse.population_size = population_size;
+    dse.generations = generations;
     let explorer = ChipExplorer::new(dse.clone())?;
     let frontier = explorer.explore()?;
     println!(
         "chip exploration: {} evaluations, {} Pareto-frontier chips",
-        frontier.evaluations,
+        frontier.engine.evaluations,
         frontier.len()
+    );
+    println!(
+        "evaluation engine: {:.0} evals/s, cache {}, {:.1} ms mean per generation",
+        frontier.engine.evaluations_per_second(),
+        frontier.engine.cache,
+        frontier.engine.mean_generation_seconds() * 1e3,
     );
 
     // Determinism: the same seed reproduces the same front even though
-    // each objective evaluation fans layers out across worker threads.
-    let replay = ChipExplorer::new(dse)?.explore()?;
+    // each generation fans its objective evaluations out across worker
+    // threads and re-sampled designs are answered from the cache.
+    let replay = ChipExplorer::new(dse.clone())?.explore()?;
     let identical = frontier.len() == replay.len()
         && frontier
             .iter()
@@ -53,12 +70,31 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("{}", chip_frontier_table(frontier.points()));
 
+    // Heterogeneous grids: every grid position gets its own macro genes,
+    // so the explorer can pair high-SNR macros with long-local-array ones
+    // on a single chip.
+    let mut hetero = dse;
+    hetero.heterogeneous = true;
+    let hetero_frontier = ChipExplorer::new(hetero)?.explore()?;
+    let mixed = hetero_frontier
+        .iter()
+        .filter(|p| !p.chip.grid.is_uniform())
+        .count();
+    println!(
+        "heterogeneous exploration: {} evaluations, {} frontier chips ({} mixed-macro), cache {}",
+        hetero_frontier.engine.evaluations,
+        hetero_frontier.len(),
+        mixed,
+        hetero_frontier.engine.cache,
+    );
+    println!("{}", chip_frontier_table(hetero_frontier.points()));
+
     // Run the full flow stage (exploration + behavioural validation of the
     // best-throughput chip): every CNN layer is tiled across the macro
     // grid and simulated on the behavioural macro model.
     let mut stage = ChipFlowConfig::for_network(network);
-    stage.dse.population_size = 48;
-    stage.dse.generations = 30;
+    stage.dse.population_size = population_size;
+    stage.dse.generations = generations;
     let result = ChipFlow::new(stage).run()?;
     println!("{}", chip_report(&result));
     Ok(())

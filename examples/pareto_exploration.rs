@@ -24,7 +24,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let frontier = explorer.explore()?;
     println!(
         "explored a 16 kb array: {} evaluations, {} Pareto-frontier points\n",
-        frontier.evaluations,
+        frontier.engine.evaluations,
         frontier.len()
     );
     println!("{}", frontier_table(frontier.points()));

@@ -76,7 +76,7 @@ fn nsga2_with_a_small_budget_stays_competitive_with_random_search() {
     })
     .expect("explorer builds");
     let frontier = explorer.explore().expect("explores");
-    let budget = frontier.evaluations;
+    let budget = frontier.engine.evaluations;
 
     let nsga_objs: Vec<Vec<f64>> = frontier
         .points()

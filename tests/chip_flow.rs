@@ -54,7 +54,7 @@ fn chip_exploration_is_deterministic_with_parallel_evaluation() {
         .unwrap();
     let b = ChipExplorer::new(config).unwrap().explore().unwrap();
     assert_eq!(a.len(), b.len());
-    assert_eq!(a.evaluations, b.evaluations);
+    assert_eq!(a.engine.evaluations, b.engine.evaluations);
     for (x, y) in a.iter().zip(b.iter()) {
         assert_eq!(x.objective_vector(), y.objective_vector());
         assert_eq!(x.chip, y.chip);
@@ -70,7 +70,7 @@ fn different_seeds_explore_differently() {
     let b = ChipExplorer::new(reseeded).unwrap().explore().unwrap();
     // Either the fronts differ or (rarely) both converged to the same
     // set; the evaluation budget at least must match the configuration.
-    assert_eq!(a.evaluations, b.evaluations);
+    assert_eq!(a.engine.evaluations, b.engine.evaluations);
 }
 
 #[test]

@@ -13,6 +13,7 @@
 #![warn(missing_docs)]
 
 use std::num::NonZeroUsize;
+use std::sync::OnceLock;
 
 /// Rayon-style prelude: import the traits to get `par_iter` on slices.
 pub mod prelude {
@@ -20,10 +21,18 @@ pub mod prelude {
 }
 
 /// Returns the number of worker threads used for parallel operations.
+///
+/// Queried from the OS once and cached: `available_parallelism` performs a
+/// syscall (`sched_getaffinity` on Linux), and hot callers consult the
+/// thread count on every `collect` — real rayon likewise sizes its pool
+/// once at startup.
 pub fn current_num_threads() -> usize {
-    std::thread::available_parallelism()
-        .map(NonZeroUsize::get)
-        .unwrap_or(1)
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| {
+        std::thread::available_parallelism()
+            .map(NonZeroUsize::get)
+            .unwrap_or(1)
+    })
 }
 
 /// Conversion of `&collection` into a parallel iterator.
