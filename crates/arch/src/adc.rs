@@ -1,7 +1,7 @@
 //! SAR ADC with compute-capacitor reuse.
 //!
 //! The defining trick of the synthesizable architecture (borrowed from the
-//! bit-flexible macro of reference [4] of the paper) is that the per-column
+//! bit-flexible macro of reference \[4\] of the paper) is that the per-column
 //! compute capacitors `C_F` are *reused* as the CDAC of the column's SAR
 //! ADC: the `H / L` capacitors are partitioned into SAR groups with the
 //! binary ratio 1 : 1 : 2 : … : 2^(B−1), and the SAR logic switches whole

@@ -1,0 +1,137 @@
+//! CI bench-regression gate.
+//!
+//! Compares the fresh medians a quick-mode bench sweep wrote (via the
+//! criterion shim's `ACIM_BENCH_JSON` hook) against the checked-in
+//! baseline JSONs, and exits non-zero when a benchmark regressed past
+//! tolerance or went missing.
+//!
+//! ```bash
+//! ACIM_BENCH_QUICK=1 ACIM_BENCH_JSON=target/bench-fresh.jsonl \
+//!     cargo bench -p acim-bench --bench nsga2_batch --bench chip_eval --bench steal
+//! cargo run -p acim-bench --bin bench_gate -- \
+//!     --fresh target/bench-fresh.jsonl \
+//!     --baseline crates/bench/benches/nsga2_batch_baseline.json \
+//!     --baseline crates/bench/benches/chip_eval_baseline.json \
+//!     --baseline crates/bench/benches/steal_baseline.json
+//! ```
+//!
+//! The tolerance is a slowdown multiplier (`--tolerance 3.0`, or the
+//! `ACIM_BENCH_TOLERANCE` env var): generous, because absolute
+//! nanoseconds differ between the machine that recorded a baseline and
+//! the CI runner — the gate exists to catch step changes (a serialized
+//! parallel path, a quadratic loop), not single-digit noise.
+
+use acim_bench::gate::{compare, parse_baseline, parse_fresh, Baseline, Verdict};
+
+fn usage() -> ! {
+    eprintln!(
+        "usage: bench_gate --fresh <jsonl> --baseline <json> [--baseline <json> ...] \
+         [--tolerance <multiplier>]"
+    );
+    std::process::exit(2);
+}
+
+fn main() {
+    let mut fresh_path: Option<String> = None;
+    let mut baseline_paths: Vec<String> = Vec::new();
+    let mut tolerance: Option<f64> = None;
+
+    let mut args = std::env::args().skip(1);
+    while let Some(flag) = args.next() {
+        match flag.as_str() {
+            "--fresh" => fresh_path = Some(args.next().unwrap_or_else(|| usage())),
+            "--baseline" => baseline_paths.push(args.next().unwrap_or_else(|| usage())),
+            "--tolerance" => {
+                tolerance = Some(
+                    args.next()
+                        .and_then(|value| value.parse().ok())
+                        .unwrap_or_else(|| usage()),
+                );
+            }
+            _ => usage(),
+        }
+    }
+    let Some(fresh_path) = fresh_path else {
+        usage()
+    };
+    if baseline_paths.is_empty() {
+        usage();
+    }
+    let tolerance = tolerance
+        .or_else(|| {
+            std::env::var("ACIM_BENCH_TOLERANCE")
+                .ok()
+                .and_then(|value| value.parse().ok())
+        })
+        .unwrap_or(3.0);
+    if tolerance < 1.0 {
+        eprintln!("tolerance must be >= 1.0 (it is a slowdown multiplier)");
+        std::process::exit(2);
+    }
+
+    let fresh_text = match std::fs::read_to_string(&fresh_path) {
+        Ok(text) => text,
+        Err(error) => {
+            eprintln!("bench_gate: cannot read fresh results {fresh_path}: {error}");
+            std::process::exit(2);
+        }
+    };
+    let fresh = parse_fresh(&fresh_text);
+
+    let mut baselines: Vec<Baseline> = Vec::new();
+    for path in &baseline_paths {
+        let text = match std::fs::read_to_string(path) {
+            Ok(text) => text,
+            Err(error) => {
+                eprintln!("bench_gate: cannot read baseline {path}: {error}");
+                std::process::exit(2);
+            }
+        };
+        match parse_baseline(&text) {
+            Ok(baseline) => baselines.push(baseline),
+            Err(error) => {
+                eprintln!("bench_gate: malformed baseline {path}: {error}");
+                std::process::exit(2);
+            }
+        }
+    }
+
+    let rows = compare(&baselines, &fresh, tolerance);
+    println!(
+        "bench-regression gate (tolerance {tolerance:.1}x, {} fresh medians)",
+        fresh.len()
+    );
+    println!(
+        "{:<44} {:>14} {:>14} {:>7}  status",
+        "benchmark", "baseline_ns", "fresh_ns", "ratio"
+    );
+    let mut failures = 0usize;
+    for row in &rows {
+        let (fresh_cell, ratio_cell) = match (row.fresh_ns, row.ratio()) {
+            (Some(fresh), Some(ratio)) => (format!("{fresh:.0}"), format!("{ratio:.2}x")),
+            _ => ("-".into(), "-".into()),
+        };
+        let status = match row.verdict {
+            Verdict::Pass => "ok",
+            Verdict::Regressed => {
+                failures += 1;
+                "REGRESSED"
+            }
+            Verdict::Missing => {
+                failures += 1;
+                "MISSING"
+            }
+        };
+        println!(
+            "{:<44} {:>14.0} {:>14} {:>7}  {status}",
+            row.id, row.baseline_ns, fresh_cell, ratio_cell
+        );
+    }
+    if failures > 0 {
+        eprintln!(
+            "bench_gate: {failures} benchmark(s) regressed past {tolerance:.1}x or went missing"
+        );
+        std::process::exit(1);
+    }
+    println!("bench_gate: all {} benchmarks within tolerance", rows.len());
+}

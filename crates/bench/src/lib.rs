@@ -16,13 +16,16 @@
 //! | model-vs-simulation validation (Sec. 3.2.1) | `model_validation` |
 //!
 //! The [`sota`] module holds the published metric points of the SOTA
-//! designs A/B/C the paper compares against in Figure 10, and [`csv`] is a
-//! tiny CSV writer shared by the binaries.
+//! designs A/B/C the paper compares against in Figure 10, [`csv`] is a
+//! tiny CSV writer shared by the binaries, and [`gate`] backs the
+//! `bench_gate` binary CI uses to compare fresh quick-mode bench medians
+//! against the checked-in baseline JSONs.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 pub mod csv;
+pub mod gate;
 pub mod sota;
 
 pub use csv::CsvWriter;

@@ -4,11 +4,11 @@
 //! The paper plots EasyACIM's design space against three silicon designs
 //! from JSSC/ISSCC:
 //!
-//! * design A — the bit-flexible multi-functional macro of reference [4]
+//! * design A — the bit-flexible multi-functional macro of reference \[4\]
 //!   (Yao et al., JSSC 2023),
-//! * design B — the 8T column-ADC macro of reference [5] (Yu et al.,
+//! * design B — the 8T column-ADC macro of reference \[5\] (Yu et al.,
 //!   JSSC 2022),
-//! * design C — the 7 nm FinFET macro of reference [8] (Dong et al.,
+//! * design C — the 7 nm FinFET macro of reference \[8\] (Dong et al.,
 //!   ISSCC 2020).
 //!
 //! Only their reported scalar metrics (energy efficiency and normalised

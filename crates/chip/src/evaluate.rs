@@ -228,8 +228,9 @@ impl ChipEvaluator {
             .collect();
         let partition = partition_network(grid, network, &cycle_ns)?;
 
-        // Per-layer costs are independent — evaluate them in parallel
-        // (unless the caller already parallelises at a coarser grain).
+        // Per-layer costs are independent — evaluate them in parallel on
+        // scoped work-stealing helpers (unless the caller already
+        // parallelises at a coarser grain, as the batch path does).
         // Order is preserved by `collect`, keeping results deterministic.
         let layers: Vec<LayerCost> = if parallel {
             partition
@@ -389,17 +390,25 @@ impl ChipEvaluator {
         }
     }
 
-    /// Evaluates many chips at once (used by the DSE problem); parallel
-    /// **across chips** via `rayon` (each chip's layers are costed
-    /// serially to avoid nested fan-out), deterministic in input order.
+    /// Evaluates many chips at once (used by the DSE problem); one
+    /// work-stealing pool task **per chip**, so a large grid or deep
+    /// network on one chip does not stall the rest of the batch (each
+    /// chip's layers are still costed serially to avoid nested fan-out).
+    /// The owned iterator makes the job `'static` — it runs on the
+    /// persistent pool — at the cost of cloning the specs, evaluator and
+    /// network once per batch.  Deterministic in input order.
     pub fn evaluate_batch(
         &self,
         chips: &[ChipSpec],
         network: &Network,
     ) -> Vec<Result<ChipMetrics, ChipError>> {
+        let evaluator = self.clone();
+        let network = network.clone();
         chips
-            .par_iter()
-            .map(|chip| self.evaluate_serial(chip, network))
+            .to_vec()
+            .into_par_iter()
+            .with_max_len(1)
+            .map(move |chip| evaluator.evaluate_serial(&chip, &network))
             .collect()
     }
 }

@@ -489,16 +489,24 @@ impl Problem for ChipDesignProblem {
         self.evaluate_genome(genes, true)
     }
 
-    /// Population-parallel batch evaluation: a `rayon` parallel map over
-    /// the genomes.  Within the batch each chip's layers are costed
-    /// serially — parallelising across the population scales better than
-    /// across a handful of layers, and nesting both would oversubscribe
-    /// the cores.  Order-preserving and bit-identical to the serial map,
-    /// so seeded chip explorations stay deterministic.
+    /// Population-parallel batch evaluation: one work-stealing pool task
+    /// **per genome** (`with_max_len(1)`), so a single deep heterogeneous
+    /// chip cannot stall a chunk of uniform ones — stealing rebalances the
+    /// skew that heterogeneous grids and variable layer counts produce.
+    /// Within the batch each chip's layers are costed serially —
+    /// parallelising across the population scales better than across a
+    /// handful of layers, and nesting both would oversubscribe the cores.
+    /// The owned iterator makes the job `'static`, so it runs on the
+    /// persistent pool; the problem clone it needs is noise next to one
+    /// chip evaluation.  Order-preserving and bit-identical to the serial
+    /// map, so seeded chip explorations stay deterministic.
     fn evaluate_batch(&self, genomes: &[Vec<f64>]) -> Vec<Evaluation> {
+        let problem = self.clone();
         genomes
-            .par_iter()
-            .map(|genes| self.evaluate_genome(genes, false))
+            .to_vec()
+            .into_par_iter()
+            .with_max_len(1)
+            .map(move |genes| problem.evaluate_genome(&genes, false))
             .collect()
     }
 

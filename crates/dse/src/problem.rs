@@ -83,15 +83,22 @@ impl Problem for AcimDesignProblem {
         }
     }
 
-    /// Population-parallel batch evaluation: a `rayon` parallel map over
-    /// the genomes.  The parallel `collect` preserves input order and every
-    /// evaluation is a pure function of its genome, so the result is
-    /// bit-identical to the serial map — seeded explorations stay
-    /// deterministic.
+    /// Population-parallel batch evaluation: one work-stealing pool task
+    /// **per genome** (`with_max_len(1)`), so a design that happens to be
+    /// expensive cannot stall a chunk of its cohort.  The owned iterator
+    /// makes the job `'static` — it runs on the persistent pool instead of
+    /// freshly spawned threads — at the cost of cloning the problem and the
+    /// genome vectors, which is noise next to evaluating them.  The
+    /// parallel `collect` preserves input order and every evaluation is a
+    /// pure function of its genome, so the result is bit-identical to the
+    /// serial map — seeded explorations stay deterministic.
     fn evaluate_batch(&self, genomes: &[Vec<f64>]) -> Vec<Evaluation> {
+        let problem = self.clone();
         genomes
-            .par_iter()
-            .map(|genes| self.evaluate(genes))
+            .to_vec()
+            .into_par_iter()
+            .with_max_len(1)
+            .map(move |genes| problem.evaluate(&genes))
             .collect()
     }
 

@@ -8,7 +8,7 @@
 //! level only places whole blocks and routes the interconnect between them,
 //! bottom-up:
 //!
-//! 1. **Column template** ([`column`]) — the `H / L` local arrays (each `L`
+//! 1. **Column template** ([`mod@column`]) — the `H / L` local arrays (each `L`
 //!    SRAM cells plus one compute cell), the CMOS switch, the comparator and
 //!    the SAR logic/flip-flops are stacked deterministically into a column
 //!    block; the read bit-line and the power rails use pre-defined routing

@@ -18,7 +18,7 @@
 //!   solutions,
 //! * [`hypervolume`] — exact 2-D and Monte-Carlo N-D hypervolume indicators
 //!   used by the ablation benchmarks,
-//! * [`random_search`] — a random-sampling baseline for comparison,
+//! * [`random_search()`] — a random-sampling baseline for comparison,
 //! * [`cached::CachedProblem`] — a memoizing problem wrapper.
 //!
 //! # Batch evaluation & caching
@@ -28,11 +28,12 @@
 //!
 //! 1. **Population batching** — [`Nsga2`] collects each generation's
 //!    offspring first and scores the whole cohort through one
-//!    [`Problem::evaluate_batch`] call ([`random_search`] does the same in
+//!    [`Problem::evaluate_batch`] call ([`random_search()`] does the same in
 //!    chunks).  The default implementation is the serial map, so a plain
 //!    [`Problem`] keeps working; a problem that overrides the batch with a
-//!    parallel map (as the EasyACIM design problems do with `rayon`)
-//!    parallelises the whole search.  Batch implementations must preserve
+//!    parallel map parallelises the whole search (the EasyACIM design
+//!    problems submit one work-stealing pool task per genome to `rayon`,
+//!    so one expensive design cannot stall the rest of its cohort).  Batch implementations must preserve
 //!    input order and be bit-identical to the serial map, which keeps
 //!    seeded runs reproducible: variation never interleaves with
 //!    evaluation, so the RNG stream — and therefore the Pareto front — is

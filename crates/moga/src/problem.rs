@@ -63,7 +63,7 @@ pub trait Problem {
     /// Evaluates a whole batch of genomes, returning one [`Evaluation`] per
     /// genome **in input order**.
     ///
-    /// The optimisers ([`crate::Nsga2`], [`crate::random_search`]) funnel
+    /// The optimisers ([`crate::Nsga2`], [`crate::random_search()`]) funnel
     /// every generation through this method, so a problem that overrides it
     /// with a parallel implementation speeds up the whole search without the
     /// optimiser knowing.  Implementations must be order-preserving and

@@ -4,7 +4,7 @@
 //! operating point.  These profiles quantify that: each carries the minimum
 //! SNR, the throughput floor and the efficiency floor a design must meet to
 //! serve the application, and converts itself into the
-//! [`acim_dse`-style] user-requirement bounds used at distillation time
+//! `acim_dse`-style user-requirement bounds used at distillation time
 //! (the conversion itself lives in the caller to avoid a dependency cycle;
 //! this type only holds the numbers).
 

@@ -27,6 +27,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let quick = std::env::args().any(|arg| arg == "--quick");
     let (population_size, generations) = if quick { (16, 6) } else { (48, 30) };
 
+    // Surface the effective parallelism so smoke logs prove the parallel
+    // path was exercised (CI pins it via RAYON_NUM_THREADS).
+    println!(
+        "rayon worker threads: {} (override with {})",
+        rayon::current_num_threads(),
+        rayon::NUM_THREADS_ENV,
+    );
+
     let network = Network::edge_cnn(3);
     println!("target network: {network}");
     for layer in &network.layers {

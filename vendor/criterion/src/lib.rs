@@ -7,16 +7,71 @@
 //! performs a short warm-up, then times `sample_size` batches and reports
 //! the median time per iteration to stdout — enough to serve as a perf
 //! baseline between PRs, without criterion's statistical machinery.
+//!
+//! Two environment variables hook the harness into CI's bench-regression
+//! gate:
+//!
+//! * `ACIM_BENCH_QUICK` — any non-empty value other than `0` caps every
+//!   benchmark at 3 samples (and one warm-up), so a
+//!   CI job can sweep the whole suite in seconds.
+//! * `ACIM_BENCH_JSON` — a path; every reported median is also appended
+//!   there as one JSON line `{"id":"group/name","median_ns":1234}`, the
+//!   machine-readable feed the `bench_gate` binary compares against the
+//!   checked-in baseline JSONs.
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
 use std::fmt::Display;
+use std::io::Write;
 use std::time::{Duration, Instant};
 
 pub use std::hint::black_box;
 
 const DEFAULT_SAMPLE_SIZE: usize = 20;
+
+/// Sample cap applied when `ACIM_BENCH_QUICK` is set: enough for a stable
+/// median against the regression gate's tolerance, small enough that CI
+/// sweeps the whole suite in seconds.
+const QUICK_SAMPLE_SIZE: usize = 3;
+
+/// `true` when `ACIM_BENCH_QUICK` asks for capped sample counts.
+fn quick_mode() -> bool {
+    matches!(std::env::var("ACIM_BENCH_QUICK"), Ok(value) if !value.is_empty() && value != "0")
+}
+
+/// Appends one `{"id":..,"median_ns":..}` line to the `ACIM_BENCH_JSON`
+/// file when that variable is set.  Best-effort: a write failure warns on
+/// stderr rather than failing the bench run.
+fn append_json_line(label: &str, median: Duration) {
+    let Ok(path) = std::env::var("ACIM_BENCH_JSON") else {
+        return;
+    };
+    if path.is_empty() {
+        return;
+    }
+    // Labels are normally plain `group/name` identifiers, but a quote or
+    // backslash in one must not corrupt the JSON line the gate parses.
+    let escaped: String = label
+        .chars()
+        .flat_map(|c| match c {
+            '"' | '\\' => vec!['\\', c],
+            _ => vec![c],
+        })
+        .collect();
+    let line = format!(
+        "{{\"id\":\"{escaped}\",\"median_ns\":{}}}\n",
+        median.as_nanos()
+    );
+    let written = std::fs::OpenOptions::new()
+        .create(true)
+        .append(true)
+        .open(&path)
+        .and_then(|mut file| file.write_all(line.as_bytes()));
+    if let Err(error) = written {
+        eprintln!("warning: could not append bench result to {path}: {error}");
+    }
+}
 
 /// Identifier of one benchmark within a group: `function_name/parameter`.
 #[derive(Debug, Clone)]
@@ -55,6 +110,13 @@ pub struct Bencher {
 
 impl Bencher {
     fn new(sample_size: usize) -> Self {
+        // Quick mode caps the samples regardless of per-group settings, so
+        // CI's regression gate sweeps every bench in seconds.
+        let sample_size = if quick_mode() {
+            sample_size.min(QUICK_SAMPLE_SIZE)
+        } else {
+            sample_size
+        };
         Self {
             samples: Vec::with_capacity(sample_size),
             sample_size,
@@ -63,7 +125,8 @@ impl Bencher {
 
     /// Times `routine`, collecting `sample_size` samples after warm-up.
     pub fn iter<O, F: FnMut() -> O>(&mut self, mut routine: F) {
-        for _ in 0..2.min(self.sample_size) {
+        let warmup = if quick_mode() { 1 } else { 2 };
+        for _ in 0..warmup.min(self.sample_size) {
             black_box(routine());
         }
         for _ in 0..self.sample_size {
@@ -86,6 +149,7 @@ impl Bencher {
             self.samples.len(),
             total
         );
+        append_json_line(label, median);
         self.samples.clear();
     }
 }

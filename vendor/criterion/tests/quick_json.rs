@@ -1,0 +1,47 @@
+//! The CI hooks of the criterion shim: `ACIM_BENCH_QUICK` caps sample
+//! counts, `ACIM_BENCH_JSON` appends machine-readable medians.  Own
+//! integration-test process so the env mutations cannot leak into the
+//! shim's unit tests.
+
+use criterion::Criterion;
+
+#[test]
+fn quick_mode_caps_samples_and_json_lines_are_appended() {
+    let json_path =
+        std::env::temp_dir().join(format!("acim-criterion-shim-{}.jsonl", std::process::id()));
+    let _ = std::fs::remove_file(&json_path);
+    std::env::set_var("ACIM_BENCH_QUICK", "1");
+    std::env::set_var("ACIM_BENCH_JSON", &json_path);
+
+    let mut criterion = Criterion::default();
+    let mut group = criterion.benchmark_group("shimgate");
+    group.sample_size(10);
+    let mut runs = 0usize;
+    group.bench_function("quick", |b| {
+        b.iter(|| {
+            runs += 1;
+            runs
+        })
+    });
+    group.finish();
+
+    // 10 requested samples capped to 3 (+1 warm-up run).
+    assert_eq!(runs, 4, "quick mode must cap samples at 3 plus 1 warm-up");
+
+    let json = std::fs::read_to_string(&json_path).expect("json file written");
+    let lines: Vec<&str> = json.lines().collect();
+    assert_eq!(lines.len(), 1, "one bench -> one JSON line: {json}");
+    assert!(
+        lines[0].starts_with("{\"id\":\"shimgate/quick\",\"median_ns\":"),
+        "unexpected line: {}",
+        lines[0]
+    );
+    assert!(lines[0].ends_with('}'));
+
+    // Re-running appends (the gate keeps the last entry per id).
+    criterion.bench_function("shimgate/again", |b| b.iter(|| 1 + 1));
+    let json = std::fs::read_to_string(&json_path).expect("json file still there");
+    assert_eq!(json.lines().count(), 2, "reports append: {json}");
+
+    let _ = std::fs::remove_file(&json_path);
+}

@@ -7,7 +7,7 @@ use rand::Rng;
 
 use crate::strategy::Strategy;
 
-/// Length specification for [`vec`]: a fixed length or a range of lengths.
+/// Length specification for [`vec()`]: a fixed length or a range of lengths.
 pub trait SizeRange {
     /// Samples a concrete length.
     fn sample_len(&self, rng: &mut StdRng) -> usize;

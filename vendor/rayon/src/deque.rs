@@ -1,0 +1,263 @@
+//! Work-stealing task scheduler: per-worker deques plus a splitting,
+//! panic-isolating execution loop.
+//!
+//! A [`Scheduler`] tracks one *job* — a map over `items` indexed `0..n` —
+//! as a set of index [`Range`]s distributed across per-helper deques.
+//! Helpers pop from the **back** of their own deque (LIFO, so recently
+//! split work stays cache-warm) and steal from the **front** of a victim's
+//! deque (FIFO, so thieves take the biggest, oldest ranges).  Claimed
+//! ranges are split in half repeatedly until they shrink to the grain
+//! size, with the far half pushed back onto the claimant's own deque where
+//! other helpers can steal it — that is what lets one expensive item
+//! (a 16× outlier genome, a deep heterogeneous chip) occupy a single
+//! helper while the rest of the job drains across the others.
+//!
+//! Everything here is safe code: the deques are `Mutex<VecDeque<Range>>`,
+//! which at the grain sizes this workspace uses (tens of macro/chip
+//! evaluations per claim, microseconds to milliseconds each) costs far
+//! less than the imbalance it removes.  A lock-free Chase–Lev deque would
+//! need `unsafe`, which this crate forbids.
+
+use std::any::Any;
+use std::collections::VecDeque;
+use std::ops::Range;
+use std::panic::AssertUnwindSafe;
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+use std::sync::{Condvar, Mutex};
+use std::time::Duration;
+
+/// How long an idle helper parks before re-checking for stealable tasks.
+/// Split halves are pushed onto deques without a wake-up (a notify per
+/// split would cost more than it saves), so helpers that found nothing
+/// claimable poll on this period until the job completes.
+const IDLE_PARK: Duration = Duration::from_micros(200);
+
+/// How many leaf tasks to aim for per helper: a claimed range is split
+/// until it holds at most `items / (helpers * SPLIT_FACTOR)` items, so
+/// every helper has slack to steal even when per-item costs are skewed.
+const SPLIT_FACTOR: usize = 4;
+
+/// Computes the adaptive grain size: how many items one leaf task holds.
+///
+/// `min_len`/`max_len` are the caller's bounds (from `with_min_len` /
+/// `with_max_len`); the automatic grain oversplits [`SPLIT_FACTOR`]-fold
+/// relative to an even partition so stealing has something to take.
+pub(crate) fn compute_grain(items: usize, threads: usize, min_len: usize, max_len: usize) -> usize {
+    let auto = items.div_ceil(threads.max(1) * SPLIT_FACTOR).max(1);
+    let lo = min_len.max(1);
+    let hi = max_len.max(lo);
+    auto.clamp(lo, hi)
+}
+
+/// Scheduling state of one parallel job: the task deques, the grain, the
+/// outstanding-item count and the panic latch.
+pub(crate) struct Scheduler {
+    deques: Vec<Mutex<VecDeque<Range<usize>>>>,
+    grain: usize,
+    /// Items not yet executed; the job is complete when this reaches zero.
+    pending: AtomicUsize,
+    /// Latched by the first task panic; stops further claims.
+    panicked: AtomicBool,
+    panic_payload: Mutex<Option<Box<dyn Any + Send>>>,
+    done_lock: Mutex<()>,
+    done: Condvar,
+}
+
+impl Scheduler {
+    /// Creates a scheduler for `items` tasks across `slots` helpers,
+    /// seeding each helper's deque with one contiguous slice of the index
+    /// space (splitting and stealing rebalance from there).
+    pub(crate) fn new(slots: usize, items: usize, grain: usize) -> Self {
+        assert!(slots >= 1, "scheduler needs at least one helper slot");
+        assert!(grain >= 1, "grain must be at least one item");
+        let deques: Vec<Mutex<VecDeque<Range<usize>>>> =
+            (0..slots).map(|_| Mutex::new(VecDeque::new())).collect();
+        let per_slot = items.div_ceil(slots).max(1);
+        let mut start = 0;
+        let mut slot = 0;
+        while start < items {
+            let end = (start + per_slot).min(items);
+            deques[slot]
+                .lock()
+                .expect("fresh deque lock")
+                .push_back(start..end);
+            start = end;
+            slot += 1;
+        }
+        Self {
+            deques,
+            grain,
+            pending: AtomicUsize::new(items),
+            panicked: AtomicBool::new(false),
+            panic_payload: Mutex::new(None),
+            done_lock: Mutex::new(()),
+            done: Condvar::new(),
+        }
+    }
+
+    /// `true` once every item has executed or a task has panicked.
+    pub(crate) fn is_complete(&self) -> bool {
+        self.panicked.load(Ordering::Acquire) || self.pending.load(Ordering::Acquire) == 0
+    }
+
+    /// Claims one range: own deque back first (LIFO), then steal from the
+    /// front of the other deques (FIFO), scanning round-robin.
+    fn claim(&self, slot: usize) -> Option<Range<usize>> {
+        if self.is_complete() {
+            return None;
+        }
+        let n = self.deques.len();
+        let slot = slot % n;
+        if let Some(range) = self.deques[slot].lock().expect("deque lock").pop_back() {
+            return Some(range);
+        }
+        for offset in 1..n {
+            let victim = (slot + offset) % n;
+            if let Some(range) = self.deques[victim].lock().expect("deque lock").pop_front() {
+                return Some(range);
+            }
+        }
+        None
+    }
+
+    /// Claims and executes tasks until nothing is claimable, splitting each
+    /// claimed range down to the grain (far halves go back on the helper's
+    /// own deque, where thieves can take them).  Task panics are caught,
+    /// latched and re-thrown on the submitting thread by
+    /// [`rethrow_panic`](Self::rethrow_panic) — a panicking item never
+    /// takes down a pool worker.  Returns whether any task ran.
+    pub(crate) fn run(&self, slot: usize, execute: &(dyn Fn(Range<usize>) + Sync)) -> bool {
+        let own = slot % self.deques.len();
+        let mut did_work = false;
+        while let Some(mut range) = self.claim(own) {
+            did_work = true;
+            while range.len() > self.grain {
+                let mid = range.start + range.len() / 2;
+                self.deques[own]
+                    .lock()
+                    .expect("deque lock")
+                    .push_back(mid..range.end);
+                range = range.start..mid;
+            }
+            let executed = range.len();
+            match std::panic::catch_unwind(AssertUnwindSafe(|| execute(range))) {
+                Ok(()) => {
+                    if self.pending.fetch_sub(executed, Ordering::AcqRel) == executed {
+                        let _guard = self.done_lock.lock().expect("done lock");
+                        self.done.notify_all();
+                    }
+                }
+                Err(payload) => {
+                    {
+                        let mut first = self.panic_payload.lock().expect("panic slot lock");
+                        if first.is_none() {
+                            *first = Some(payload);
+                        }
+                    }
+                    self.panicked.store(true, Ordering::Release);
+                    let _guard = self.done_lock.lock().expect("done lock");
+                    self.done.notify_all();
+                }
+            }
+        }
+        did_work
+    }
+
+    /// Runs tasks until the whole job completes, parking briefly whenever
+    /// nothing is claimable (another helper may still split its range into
+    /// stealable halves, or may be executing the final task).
+    pub(crate) fn help_until_complete(&self, slot: usize, execute: &(dyn Fn(Range<usize>) + Sync)) {
+        loop {
+            self.run(slot, execute);
+            if self.is_complete() {
+                return;
+            }
+            let guard = self.done_lock.lock().expect("done lock");
+            if self.is_complete() {
+                return;
+            }
+            let _ = self
+                .done
+                .wait_timeout(guard, IDLE_PARK)
+                .expect("done condvar wait");
+        }
+    }
+
+    /// Re-raises a latched task panic on the calling thread, so a parallel
+    /// collect panics exactly like its serial equivalent would.
+    pub(crate) fn rethrow_panic(&self) {
+        if self.panicked.load(Ordering::Acquire) {
+            let payload = self.panic_payload.lock().expect("panic slot lock").take();
+            match payload {
+                Some(payload) => std::panic::resume_unwind(payload),
+                None => panic!("parallel task panicked"),
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn grain_adapts_to_items_and_threads() {
+        // 64 items on 4 threads oversplit 4x: 4 items per leaf.
+        assert_eq!(compute_grain(64, 4, 1, usize::MAX), 4);
+        // Few items: never below one item per leaf.
+        assert_eq!(compute_grain(3, 8, 1, usize::MAX), 1);
+        // min_len floors the grain, max_len caps it.
+        assert_eq!(compute_grain(64, 4, 8, usize::MAX), 8);
+        assert_eq!(compute_grain(64, 4, 1, 1), 1);
+        // Degenerate bounds never panic: min wins over a smaller max.
+        assert_eq!(compute_grain(64, 4, 8, 2), 8);
+        assert_eq!(compute_grain(0, 4, 1, usize::MAX), 1);
+    }
+
+    #[test]
+    fn seeding_covers_the_index_space_disjointly() {
+        let scheduler = Scheduler::new(4, 10, 1);
+        let mut seen = [false; 10];
+        for deque in &scheduler.deques {
+            for range in deque.lock().unwrap().iter() {
+                for i in range.clone() {
+                    assert!(!seen[i], "index {i} seeded twice");
+                    seen[i] = true;
+                }
+            }
+        }
+        assert!(seen.iter().all(|&s| s), "every index seeded once");
+    }
+
+    #[test]
+    fn single_helper_drains_everything() {
+        let scheduler = Scheduler::new(3, 100, 8);
+        let executed = AtomicUsize::new(0);
+        let execute = |range: Range<usize>| {
+            executed.fetch_add(range.len(), Ordering::SeqCst);
+        };
+        scheduler.help_until_complete(0, &execute);
+        assert!(scheduler.is_complete());
+        assert_eq!(executed.load(Ordering::SeqCst), 100);
+        scheduler.rethrow_panic(); // no-op without a panic
+    }
+
+    #[test]
+    fn panic_latches_and_rethrows() {
+        let scheduler = Scheduler::new(2, 10, 1);
+        let execute = |range: Range<usize>| {
+            if range.start == 3 {
+                panic!("item 3 exploded");
+            }
+        };
+        scheduler.help_until_complete(0, &execute);
+        assert!(scheduler.is_complete());
+        let err = std::panic::catch_unwind(AssertUnwindSafe(|| scheduler.rethrow_panic()))
+            .expect_err("must rethrow");
+        let message = err
+            .downcast_ref::<&str>()
+            .copied()
+            .unwrap_or("non-str payload");
+        assert!(message.contains("item 3 exploded"), "got: {message}");
+    }
+}

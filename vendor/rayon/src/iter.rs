@@ -1,0 +1,492 @@
+//! The parallel-iterator API surface: borrowed slice iterators, owned
+//! vector iterators, chunked slice iterators, and the order-preserving
+//! `map(..).collect()` shape the workspace drives them with.
+//!
+//! Collect stays observably identical to the serial `iter().map().collect()`:
+//! helpers record each executed range as `(start_index, results)` and the
+//! submitting thread stitches the parts back in input order, so seeded
+//! explorations are bit-identical no matter how the work was stolen.
+//!
+//! Which executor a collect uses depends on what the iterator owns:
+//!
+//! * [`ParVecIter`] (from `vec.into_par_iter()`) owns its items, so its
+//!   jobs are `'static` and run on the **persistent pool** — this is the
+//!   path the design problems use for per-genome batch evaluation.
+//! * [`ParSliceIter`] / [`ParChunks`] borrow their items, so their jobs
+//!   run on **scoped helper threads** with the same stealing scheduler
+//!   (safe code cannot hand borrows to longer-lived threads).
+
+use crate::deque::{compute_grain, Scheduler};
+use crate::pool;
+use std::ops::Range;
+use std::sync::{Arc, Mutex};
+
+/// Ordered partial results of a parallel map: one `(start_index, results)`
+/// entry per executed leaf range, stitched back in input order at the end.
+type RangeResults<O> = Mutex<Vec<(usize, Vec<O>)>>;
+
+/// Caller-imposed bounds on the adaptive grain size (0 = unset).
+#[derive(Debug, Clone, Copy, Default)]
+struct GrainLimits {
+    min: usize,
+    max: usize,
+}
+
+impl GrainLimits {
+    fn grain(self, items: usize, threads: usize) -> usize {
+        let min = if self.min == 0 { 1 } else { self.min };
+        let max = if self.max == 0 { usize::MAX } else { self.max };
+        compute_grain(items, threads, min, max)
+    }
+}
+
+/// Sorts executed ranges by start index and flattens them, restoring the
+/// serial output order.
+fn stitch<O, C: FromIterator<O>>(mut parts: Vec<(usize, Vec<O>)>, expected: usize) -> C {
+    parts.sort_unstable_by_key(|(start, _)| *start);
+    debug_assert_eq!(
+        parts.iter().map(|(_, part)| part.len()).sum::<usize>(),
+        expected,
+        "parallel map must produce exactly one result per item"
+    );
+    parts.into_iter().flat_map(|(_, part)| part).collect()
+}
+
+/// Runs an index-addressed map on scoped helper threads with work
+/// stealing, preserving input order.  Used by the borrowed iterators.
+fn collect_borrowed<O, C>(
+    items: usize,
+    limits: GrainLimits,
+    produce: impl Fn(usize) -> O + Sync,
+) -> C
+where
+    O: Send,
+    C: FromIterator<O>,
+{
+    let threads = pool::current_num_threads();
+    let grain = limits.grain(items, threads);
+    if threads == 1 || items <= grain {
+        return (0..items).map(produce).collect();
+    }
+    // No point spawning helpers that could never claim a leaf.
+    let helpers = (threads - 1).min(items.div_ceil(grain).saturating_sub(1));
+    let scheduler = Scheduler::new(helpers + 1, items, grain);
+    let results: RangeResults<O> = Mutex::new(Vec::new());
+    let execute = |range: Range<usize>| {
+        let mut out = Vec::with_capacity(range.len());
+        for index in range.clone() {
+            out.push(produce(index));
+        }
+        results
+            .lock()
+            .expect("results lock")
+            .push((range.start, out));
+    };
+    pool::scoped_run(&scheduler, helpers, &execute);
+    stitch(results.into_inner().expect("results lock"), items)
+}
+
+/// A `'static` map-over-owned-items job for the persistent pool: items are
+/// claimed exactly once (ranges partition the index space), mapped, and
+/// recorded with their start index for order-preserving stitching.
+struct VecMapJob<T, O, F> {
+    scheduler: Scheduler,
+    items: Vec<Mutex<Option<T>>>,
+    map: F,
+    results: RangeResults<O>,
+}
+
+impl<T, O, F> pool::PoolJob for VecMapJob<T, O, F>
+where
+    T: Send + 'static,
+    O: Send + 'static,
+    F: Fn(T) -> O + Send + Sync + 'static,
+{
+    fn scheduler(&self) -> &Scheduler {
+        &self.scheduler
+    }
+
+    fn execute(&self, range: Range<usize>) {
+        let mut out = Vec::with_capacity(range.len());
+        for index in range.clone() {
+            let item = self.items[index]
+                .lock()
+                .expect("item slot lock")
+                .take()
+                .expect("pool task item claimed twice");
+            out.push((self.map)(item));
+        }
+        self.results
+            .lock()
+            .expect("results lock")
+            .push((range.start, out));
+    }
+}
+
+/// The subset of rayon's `ParallelIterator` the workspace uses: `map`
+/// followed by an order-preserving `collect`.
+pub trait ParallelIterator: Sized {
+    /// Item type produced by this iterator.
+    type Item;
+
+    /// Maps each item through `f`, to be evaluated in parallel at `collect`.
+    fn map<O, F>(self, f: F) -> ParMap<Self, F>
+    where
+        F: Fn(Self::Item) -> O + Sync,
+        O: Send,
+    {
+        ParMap { base: self, f }
+    }
+}
+
+/// Length-aware parallel iterators whose task grain can be bounded, like
+/// rayon's trait of the same name.
+pub trait IndexedParallelIterator: ParallelIterator {
+    /// Sets the minimum number of items a stolen/split task may hold
+    /// (guards against oversplitting very cheap items).
+    fn with_min_len(self, min: usize) -> Self;
+
+    /// Sets the maximum number of items a task may hold.  `with_max_len(1)`
+    /// makes every item its own stealable task — what the design problems
+    /// use so one expensive genome cannot stall a whole chunk.
+    fn with_max_len(self, max: usize) -> Self;
+}
+
+/// Conversion of a collection into a parallel iterator over owned items,
+/// like rayon's trait of the same name.
+pub trait IntoParallelIterator {
+    /// The parallel iterator type.
+    type Iter: ParallelIterator<Item = Self::Item>;
+    /// The type of the owned items.
+    type Item;
+
+    /// Creates a parallel iterator consuming the collection.
+    fn into_par_iter(self) -> Self::Iter;
+}
+
+/// Conversion of `&collection` into a parallel iterator.
+pub trait IntoParallelRefIterator<'a> {
+    /// The parallel iterator type.
+    type Iter;
+
+    /// Creates a parallel iterator over borrowed items.
+    fn par_iter(&'a self) -> Self::Iter;
+}
+
+/// Parallel chunked views of a slice, like rayon's trait of the same name.
+pub trait ParallelSlice<T: Sync> {
+    /// Returns a parallel iterator over `chunk_size`-item subslices (the
+    /// final chunk may be shorter).  `chunk_size` must be positive.
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T>;
+}
+
+/// A parallel iterator over a borrowed slice.
+#[derive(Debug)]
+pub struct ParSliceIter<'a, T> {
+    items: &'a [T],
+    limits: GrainLimits,
+}
+
+/// A parallel iterator over owned items of a `Vec`, executed on the
+/// persistent pool (owning the items is what makes the job `'static`).
+#[derive(Debug)]
+pub struct ParVecIter<T> {
+    items: Vec<T>,
+    limits: GrainLimits,
+}
+
+/// A parallel iterator over contiguous subslices of a borrowed slice.
+#[derive(Debug)]
+pub struct ParChunks<'a, T> {
+    items: &'a [T],
+    chunk_size: usize,
+    limits: GrainLimits,
+}
+
+/// A mapped parallel iterator (the only adaptor the workspace needs).
+#[derive(Debug)]
+pub struct ParMap<I, F> {
+    base: I,
+    f: F,
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
+    type Iter = ParSliceIter<'a, T>;
+
+    fn par_iter(&'a self) -> Self::Iter {
+        ParSliceIter {
+            items: self,
+            limits: GrainLimits::default(),
+        }
+    }
+}
+
+impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
+    type Iter = ParSliceIter<'a, T>;
+
+    fn par_iter(&'a self) -> Self::Iter {
+        ParSliceIter {
+            items: self,
+            limits: GrainLimits::default(),
+        }
+    }
+}
+
+impl<T: Send + 'static> IntoParallelIterator for Vec<T> {
+    type Iter = ParVecIter<T>;
+    type Item = T;
+
+    fn into_par_iter(self) -> Self::Iter {
+        ParVecIter {
+            items: self,
+            limits: GrainLimits::default(),
+        }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a [T] {
+    type Iter = ParSliceIter<'a, T>;
+    type Item = &'a T;
+
+    fn into_par_iter(self) -> Self::Iter {
+        ParSliceIter {
+            items: self,
+            limits: GrainLimits::default(),
+        }
+    }
+}
+
+impl<'a, T: Sync> IntoParallelIterator for &'a Vec<T> {
+    type Iter = ParSliceIter<'a, T>;
+    type Item = &'a T;
+
+    fn into_par_iter(self) -> Self::Iter {
+        self.as_slice().into_par_iter()
+    }
+}
+
+impl<T: Sync> ParallelSlice<T> for [T] {
+    fn par_chunks(&self, chunk_size: usize) -> ParChunks<'_, T> {
+        assert!(chunk_size > 0, "par_chunks requires a positive chunk size");
+        ParChunks {
+            items: self,
+            chunk_size,
+            limits: GrainLimits::default(),
+        }
+    }
+}
+
+impl<'a, T: Sync> ParallelIterator for ParSliceIter<'a, T> {
+    type Item = &'a T;
+}
+
+impl<T: Send> ParallelIterator for ParVecIter<T> {
+    type Item = T;
+}
+
+impl<'a, T: Sync> ParallelIterator for ParChunks<'a, T> {
+    type Item = &'a [T];
+}
+
+impl<'a, T: Sync> IndexedParallelIterator for ParSliceIter<'a, T> {
+    fn with_min_len(mut self, min: usize) -> Self {
+        self.limits.min = min;
+        self
+    }
+
+    fn with_max_len(mut self, max: usize) -> Self {
+        self.limits.max = max;
+        self
+    }
+}
+
+impl<T: Send> IndexedParallelIterator for ParVecIter<T> {
+    fn with_min_len(mut self, min: usize) -> Self {
+        self.limits.min = min;
+        self
+    }
+
+    fn with_max_len(mut self, max: usize) -> Self {
+        self.limits.max = max;
+        self
+    }
+}
+
+impl<'a, T: Sync> IndexedParallelIterator for ParChunks<'a, T> {
+    fn with_min_len(mut self, min: usize) -> Self {
+        self.limits.min = min;
+        self
+    }
+
+    fn with_max_len(mut self, max: usize) -> Self {
+        self.limits.max = max;
+        self
+    }
+}
+
+impl<I, O, F> ParallelIterator for ParMap<I, F>
+where
+    I: ParallelIterator,
+    F: Fn(I::Item) -> O + Sync,
+    O: Send,
+{
+    type Item = O;
+}
+
+impl<I, O, F> IndexedParallelIterator for ParMap<I, F>
+where
+    I: IndexedParallelIterator,
+    F: Fn(I::Item) -> O + Sync,
+    O: Send,
+{
+    fn with_min_len(mut self, min: usize) -> Self {
+        self.base = self.base.with_min_len(min);
+        self
+    }
+
+    fn with_max_len(mut self, max: usize) -> Self {
+        self.base = self.base.with_max_len(max);
+        self
+    }
+}
+
+impl<'a, T, O, F> ParMap<ParSliceIter<'a, T>, F>
+where
+    T: Sync,
+    O: Send,
+    F: Fn(&'a T) -> O + Sync,
+{
+    /// Evaluates the map with work stealing across scoped helper threads
+    /// and collects the results **in input order**.
+    pub fn collect<C: FromIterator<O>>(self) -> C {
+        let items = self.base.items;
+        let f = &self.f;
+        collect_borrowed(items.len(), self.base.limits, move |index| f(&items[index]))
+    }
+}
+
+impl<'a, T, O, F> ParMap<ParChunks<'a, T>, F>
+where
+    T: Sync,
+    O: Send,
+    F: Fn(&'a [T]) -> O + Sync,
+{
+    /// Evaluates the map over chunks with work stealing across scoped
+    /// helper threads and collects the results **in input order**.
+    pub fn collect<C: FromIterator<O>>(self) -> C {
+        let items = self.base.items;
+        let chunk_size = self.base.chunk_size;
+        let chunks = items.len().div_ceil(chunk_size);
+        let f = &self.f;
+        collect_borrowed(chunks, self.base.limits, move |index| {
+            let start = index * chunk_size;
+            let end = (start + chunk_size).min(items.len());
+            f(&items[start..end])
+        })
+    }
+}
+
+impl<T, O, F> ParMap<ParVecIter<T>, F>
+where
+    T: Send + 'static,
+    O: Send + 'static,
+    F: Fn(T) -> O + Send + Sync + 'static,
+{
+    /// Evaluates the map on the **persistent pool** (items are owned, so
+    /// the job is `'static`) and collects the results **in input order**.
+    pub fn collect<C: FromIterator<O>>(self) -> C {
+        let items = self.base.items;
+        let count = items.len();
+        let threads = pool::current_num_threads();
+        let grain = self.base.limits.grain(count, threads);
+        if threads == 1 || count <= grain {
+            return items.into_iter().map(self.f).collect();
+        }
+        let job = Arc::new(VecMapJob {
+            scheduler: Scheduler::new(pool::pool_slots(), count, grain),
+            items: items
+                .into_iter()
+                .map(|item| Mutex::new(Some(item)))
+                .collect(),
+            map: self.f,
+            results: Mutex::new(Vec::new()),
+        });
+        pool::run_job(job.clone());
+        let parts = std::mem::take(&mut *job.results.lock().expect("results lock"));
+        stitch(parts, count)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn borrowed_map_preserves_order() {
+        let input: Vec<u64> = (0..1000).collect();
+        let sequential: Vec<u64> = input.iter().map(|x| x * x).collect();
+        let parallel: Vec<u64> = input.par_iter().map(|x| x * x).collect();
+        assert_eq!(sequential, parallel);
+    }
+
+    #[test]
+    fn owned_map_preserves_order() {
+        let input: Vec<u64> = (0..1000).collect();
+        let sequential: Vec<u64> = input.iter().map(|x| x * 3 + 1).collect();
+        let parallel: Vec<u64> = input.clone().into_par_iter().map(|x| x * 3 + 1).collect();
+        assert_eq!(sequential, parallel);
+    }
+
+    #[test]
+    fn empty_and_single_inputs_work() {
+        let empty: Vec<u32> = Vec::new();
+        let out: Vec<u32> = empty.par_iter().map(|x| x + 1).collect();
+        assert!(out.is_empty());
+        let out: Vec<u32> = Vec::<u32>::new().into_par_iter().map(|x| x + 1).collect();
+        assert!(out.is_empty());
+        let one = [41u32];
+        let out: Vec<u32> = one.par_iter().map(|x| x + 1).collect();
+        assert_eq!(out, vec![42]);
+        let out: Vec<u32> = vec![41u32].into_par_iter().map(|x| x + 1).collect();
+        assert_eq!(out, vec![42]);
+    }
+
+    #[test]
+    fn par_chunks_cover_the_slice_in_order() {
+        let input: Vec<u32> = (0..103).collect();
+        let sums: Vec<u32> = input
+            .par_chunks(10)
+            .map(|chunk| chunk.iter().sum())
+            .collect();
+        let expected: Vec<u32> = input.chunks(10).map(|chunk| chunk.iter().sum()).collect();
+        assert_eq!(sums, expected);
+        assert_eq!(sums.len(), 11); // 10 full chunks + 1 tail of 3
+    }
+
+    #[test]
+    fn grain_limits_do_not_change_results() {
+        let input: Vec<u64> = (0..257).collect();
+        let expected: Vec<u64> = input.iter().map(|x| x + 7).collect();
+        let fine: Vec<u64> = input.par_iter().with_max_len(1).map(|x| x + 7).collect();
+        let coarse: Vec<u64> = input.par_iter().with_min_len(64).map(|x| x + 7).collect();
+        let owned: Vec<u64> = input
+            .clone()
+            .into_par_iter()
+            .with_max_len(1)
+            .map(|x| x + 7)
+            .collect();
+        assert_eq!(fine, expected);
+        assert_eq!(coarse, expected);
+        assert_eq!(owned, expected);
+    }
+
+    #[test]
+    fn into_par_iter_on_references_borrows() {
+        let input: Vec<u32> = (0..50).collect();
+        let doubled: Vec<u32> = (&input).into_par_iter().map(|x| x * 2).collect();
+        assert_eq!(doubled[49], 98);
+        let slice: &[u32] = &input;
+        let tripled: Vec<u32> = slice.into_par_iter().map(|x| x * 3).collect();
+        assert_eq!(tripled[49], 147);
+    }
+}

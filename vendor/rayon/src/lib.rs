@@ -1,152 +1,61 @@
 //! Offline vendored shim of the `rayon` API surface used by this
-//! workspace.
+//! workspace, backed by a work-stealing scheduler.
 //!
-//! The build environment has no access to crates.io, so this crate provides
-//! the `par_iter().map(..).collect()` shape on slices, executed on real OS
-//! threads via [`std::thread::scope`].  Items are split into contiguous
-//! chunks, one per available core, and results are stitched back together in
-//! input order — so a `collect` here is observably identical to the
-//! sequential `iter().map(..).collect()`, just faster.  Swapping in the real
-//! `rayon` later only requires deleting this shim from the workspace.
+//! The build environment has no access to crates.io, so this crate
+//! provides the rayon call shapes the workspace drives —
+//! `par_iter().map(..).collect()`, `into_par_iter()`, `par_chunks`,
+//! [`join`] — on a scheduler with per-worker deques, stealing, and
+//! adaptive task splitting, so skewed per-item costs (one heterogeneous
+//! chip genome 16× dearer than its cohort) load-balance instead of
+//! straggling in a fixed chunk.  A `collect` is observably identical to
+//! the sequential `iter().map(..).collect()` — same order, same panics —
+//! just faster.  Swapping in the real `rayon` later only requires
+//! deleting this shim from the workspace.
+//!
+//! # Threading model
+//!
+//! * [`current_num_threads`] sizes everything: the [`NUM_THREADS_ENV`]
+//!   (`RAYON_NUM_THREADS`) override when set, otherwise the OS core
+//!   count; queried once and cached.
+//! * **Owned iterators** (`vec.into_par_iter()`) run on a **persistent
+//!   global pool**: worker threads are spawned lazily once per process
+//!   and park between jobs.  Owning the items is what makes the job
+//!   `'static`, which is the only way safe code can hand work to threads
+//!   that outlive the call — this crate is `#![forbid(unsafe_code)]`,
+//!   whereas real rayon erases task lifetimes with `unsafe`.
+//! * **Borrowed iterators** (`slice.par_iter()`, `par_chunks`) run the
+//!   same stealing scheduler on scoped helper threads spawned per job.
+//! * Tasks split in half down to an adaptive grain
+//!   (≈ `items / (threads × 4)`, bounded by
+//!   [`IndexedParallelIterator::with_min_len`] /
+//!   [`IndexedParallelIterator::with_max_len`]); split halves are
+//!   stealable, panics are caught per task and re-thrown on the
+//!   submitting thread, and a panicking item never kills a pool worker.
+//!
+//! The module split mirrors the runtime layering: `deque` (scheduler:
+//! deques, stealing, splitting, panic latch), `pool` (persistent pool,
+//! scoped executor, thread sizing), `iter` (public iterator API and
+//! order-preserving collects).
 
 #![forbid(unsafe_code)]
 #![warn(missing_docs)]
 
-use std::num::NonZeroUsize;
-use std::sync::OnceLock;
+mod deque;
+mod iter;
+mod pool;
 
-/// Rayon-style prelude: import the traits to get `par_iter` on slices.
+pub use iter::{
+    IndexedParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParChunks, ParMap,
+    ParSliceIter, ParVecIter, ParallelIterator, ParallelSlice,
+};
+pub use pool::{current_num_threads, join, NUM_THREADS_ENV};
+
+/// Rayon-style prelude: import the traits to get `par_iter` on slices,
+/// `into_par_iter` on vectors, `par_chunks` on slices, and the grain
+/// bounds on all of them.
 pub mod prelude {
-    pub use crate::{IntoParallelRefIterator, ParallelIterator};
-}
-
-/// Returns the number of worker threads used for parallel operations.
-///
-/// Queried from the OS once and cached: `available_parallelism` performs a
-/// syscall (`sched_getaffinity` on Linux), and hot callers consult the
-/// thread count on every `collect` — real rayon likewise sizes its pool
-/// once at startup.
-pub fn current_num_threads() -> usize {
-    static THREADS: OnceLock<usize> = OnceLock::new();
-    *THREADS.get_or_init(|| {
-        std::thread::available_parallelism()
-            .map(NonZeroUsize::get)
-            .unwrap_or(1)
-    })
-}
-
-/// Conversion of `&collection` into a parallel iterator.
-pub trait IntoParallelRefIterator<'a> {
-    /// The parallel iterator type.
-    type Iter;
-
-    /// Creates a parallel iterator over borrowed items.
-    fn par_iter(&'a self) -> Self::Iter;
-}
-
-impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for [T] {
-    type Iter = ParSliceIter<'a, T>;
-
-    fn par_iter(&'a self) -> Self::Iter {
-        ParSliceIter { items: self }
-    }
-}
-
-impl<'a, T: Sync + 'a> IntoParallelRefIterator<'a> for Vec<T> {
-    type Iter = ParSliceIter<'a, T>;
-
-    fn par_iter(&'a self) -> Self::Iter {
-        ParSliceIter { items: self }
-    }
-}
-
-/// A parallel iterator over a slice.
-#[derive(Debug)]
-pub struct ParSliceIter<'a, T> {
-    items: &'a [T],
-}
-
-/// The subset of rayon's `ParallelIterator` the workspace uses: `map`
-/// followed by an order-preserving `collect`.
-pub trait ParallelIterator: Sized {
-    /// Item type produced by this iterator.
-    type Item;
-
-    /// Maps each item through `f`, to be evaluated in parallel at `collect`.
-    fn map<O, F>(self, f: F) -> ParMap<Self, F>
-    where
-        F: Fn(Self::Item) -> O + Sync,
-        O: Send,
-    {
-        ParMap { base: self, f }
-    }
-}
-
-impl<'a, T: Sync> ParallelIterator for ParSliceIter<'a, T> {
-    type Item = &'a T;
-}
-
-/// A mapped parallel iterator (the only adaptor the workspace needs).
-#[derive(Debug)]
-pub struct ParMap<I, F> {
-    base: I,
-    f: F,
-}
-
-impl<'a, T, O, F> ParMap<ParSliceIter<'a, T>, F>
-where
-    T: Sync,
-    O: Send,
-    F: Fn(&'a T) -> O + Sync,
-{
-    /// Evaluates the map on all items across `current_num_threads` threads
-    /// and collects the results **in input order**.
-    pub fn collect<C: FromIterator<O>>(self) -> C {
-        let items = self.base.items;
-        let f = &self.f;
-        if items.len() <= 1 || current_num_threads() == 1 {
-            return items.iter().map(f).collect();
-        }
-        let threads = current_num_threads().min(items.len());
-        let chunk_size = items.len().div_ceil(threads);
-        let chunk_results: Vec<Vec<O>> = std::thread::scope(|scope| {
-            let handles: Vec<_> = items
-                .chunks(chunk_size)
-                .map(|chunk| scope.spawn(move || chunk.iter().map(f).collect::<Vec<O>>()))
-                .collect();
-            handles
-                .into_iter()
-                .map(|h| h.join().expect("parallel map worker panicked"))
-                .collect()
-        });
-        chunk_results.into_iter().flatten().collect()
-    }
-}
-
-#[cfg(test)]
-mod tests {
-    use super::prelude::*;
-
-    #[test]
-    fn parallel_map_preserves_order() {
-        let input: Vec<u64> = (0..1000).collect();
-        let sequential: Vec<u64> = input.iter().map(|x| x * x).collect();
-        let parallel: Vec<u64> = input.par_iter().map(|x| x * x).collect();
-        assert_eq!(sequential, parallel);
-    }
-
-    #[test]
-    fn empty_and_single_inputs_work() {
-        let empty: Vec<u32> = Vec::new();
-        let out: Vec<u32> = empty.par_iter().map(|x| x + 1).collect();
-        assert!(out.is_empty());
-        let one = [41u32];
-        let out: Vec<u32> = one.par_iter().map(|x| x + 1).collect();
-        assert_eq!(out, vec![42]);
-    }
-
-    #[test]
-    fn num_threads_is_positive() {
-        assert!(super::current_num_threads() >= 1);
-    }
+    pub use crate::{
+        IndexedParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParallelIterator,
+        ParallelSlice,
+    };
 }

@@ -1,0 +1,274 @@
+//! The persistent global thread pool and the scoped fallback executor.
+//!
+//! # Two executors, one scheduler
+//!
+//! Everything schedules through [`crate::deque::Scheduler`]; what differs
+//! is where the helper threads come from:
+//!
+//! * **The persistent pool** (this module's [`run_job`]) — worker threads
+//!   are spawned lazily **once per process**, sized to
+//!   [`current_num_threads`]` - 1` (the submitting thread is the final
+//!   helper), and park on a condvar between jobs.  Jobs must be `'static`:
+//!   under `#![forbid(unsafe_code)]` a task can only cross to a
+//!   longer-lived thread by owning its data, which is why the owned
+//!   `Vec<T>` parallel iterator is the pool-backed one.  Real rayon erases
+//!   task lifetimes with `unsafe`; this shim refuses that trade and keeps
+//!   the borrowed path on scoped threads instead.
+//! * **The scoped executor** ([`scoped_run`]) — for borrowed
+//!   `par_iter()`-style jobs.  Helpers are `std::thread::scope` threads
+//!   spawned per job wave; they share the same deques, stealing and grain
+//!   logic, so skewed per-item costs still load-balance.
+//!
+//! Workers drain jobs FIFO but skim *every* queued job for claimable
+//! tasks, so a job submitted from inside a pool worker (nested
+//! parallelism) is helped by the whole pool, and the submitting worker
+//! drives it to completion itself even if no other worker is free —
+//! nested jobs cannot deadlock.
+
+use crate::deque::Scheduler;
+use std::collections::VecDeque;
+use std::num::NonZeroUsize;
+use std::ops::Range;
+use std::sync::{Arc, Condvar, Mutex, Once, OnceLock};
+use std::time::Duration;
+
+/// Environment variable overriding the worker-thread count, mirroring real
+/// rayon's variable of the same name.  CI smoke jobs use it to pin
+/// parallelism; invalid or zero values fall back to the OS core count.
+pub const NUM_THREADS_ENV: &str = "RAYON_NUM_THREADS";
+
+/// Upper bound on the thread override, so a stray huge value cannot make
+/// the lazily-spawned pool exhaust process limits.
+const MAX_THREADS: usize = 256;
+
+/// How long an idle worker with queued-but-unclaimable jobs parks before
+/// re-polling (split halves appear in job deques without a wake-up).
+const WORKER_POLL: Duration = Duration::from_micros(200);
+
+/// Returns the number of threads parallel operations use: the
+/// [`NUM_THREADS_ENV`] override when set to a positive integer, otherwise
+/// the OS-reported core count.
+///
+/// Queried once and cached: `available_parallelism` performs a syscall
+/// (`sched_getaffinity` on Linux) and hot callers consult the thread count
+/// on every collect; real rayon likewise sizes its pool once at startup.
+/// The persistent pool is sized from the same cached value, so the
+/// override must be in the environment before the first parallel call.
+pub fn current_num_threads() -> usize {
+    static THREADS: OnceLock<usize> = OnceLock::new();
+    *THREADS.get_or_init(|| {
+        let os_threads = || {
+            std::thread::available_parallelism()
+                .map(NonZeroUsize::get)
+                .unwrap_or(1)
+        };
+        match std::env::var(NUM_THREADS_ENV) {
+            Ok(value) => thread_override(&value).unwrap_or_else(os_threads),
+            Err(_) => os_threads(),
+        }
+    })
+}
+
+/// Parses a [`NUM_THREADS_ENV`] value: a positive integer (clamped to
+/// [`MAX_THREADS`]); anything else — empty, zero, garbage — is `None` so
+/// the caller falls back to the OS core count.
+pub(crate) fn thread_override(value: &str) -> Option<usize> {
+    match value.trim().parse::<usize>() {
+        Ok(threads) if threads >= 1 => Some(threads.min(MAX_THREADS)),
+        _ => None,
+    }
+}
+
+/// A `'static` job the persistent pool can execute: scheduling state plus
+/// the range-execution hook (which owns items, closure and result slots).
+pub(crate) trait PoolJob: Send + Sync {
+    /// The job's scheduling state.
+    fn scheduler(&self) -> &Scheduler;
+    /// Executes one claimed range of item indices.
+    fn execute(&self, range: Range<usize>);
+}
+
+/// The lazily-initialized persistent pool.
+struct Pool {
+    /// Queued jobs, FIFO.  Completed jobs are swept out opportunistically.
+    jobs: Mutex<VecDeque<Arc<dyn PoolJob>>>,
+    /// Signalled on job submission; waited on by idle workers.
+    work: Condvar,
+    /// Number of persistent worker threads (helper slots `1..=workers`).
+    workers: usize,
+}
+
+/// Returns the process-wide pool, spawning its workers on first use.
+fn global() -> &'static Pool {
+    static POOL: OnceLock<Pool> = OnceLock::new();
+    static SPAWN_WORKERS: Once = Once::new();
+    let pool = POOL.get_or_init(|| Pool {
+        jobs: Mutex::new(VecDeque::new()),
+        work: Condvar::new(),
+        workers: current_num_threads().saturating_sub(1),
+    });
+    SPAWN_WORKERS.call_once(|| {
+        for worker in 0..pool.workers {
+            std::thread::Builder::new()
+                .name(format!("rayon-shim-worker-{worker}"))
+                .spawn(move || worker_loop(pool, worker + 1))
+                .expect("spawn rayon shim pool worker");
+        }
+    });
+    pool
+}
+
+/// A persistent worker: sleep until jobs exist, then help whichever queued
+/// job has claimable tasks.  Skimming the whole queue (not just the front)
+/// keeps nested jobs — submitted by a worker that is itself mid-task —
+/// supplied with helpers.
+fn worker_loop(pool: &'static Pool, slot: usize) {
+    loop {
+        let jobs: Vec<Arc<dyn PoolJob>> = {
+            let mut queue = pool.jobs.lock().expect("pool job queue lock");
+            loop {
+                queue.retain(|job| !job.scheduler().is_complete());
+                if !queue.is_empty() {
+                    break queue.iter().cloned().collect();
+                }
+                queue = pool.work.wait(queue).expect("pool work condvar");
+            }
+        };
+        let mut did_work = false;
+        for job in &jobs {
+            if job.scheduler().run(slot, &|range| job.execute(range)) {
+                did_work = true;
+                break;
+            }
+        }
+        if !did_work {
+            // Jobs are queued but nothing was claimable: their last tasks
+            // are executing elsewhere, or splits have not landed yet.
+            let queue = pool.jobs.lock().expect("pool job queue lock");
+            let _ = pool
+                .work
+                .wait_timeout(queue, WORKER_POLL)
+                .expect("pool work condvar");
+        }
+    }
+}
+
+/// Runs a `'static` job on the persistent pool.  The submitting thread
+/// enqueues the job for the workers, then helps as slot 0 until the job
+/// completes; a latched task panic is re-thrown here on the submitter.
+pub(crate) fn run_job(job: Arc<dyn PoolJob>) {
+    let pool = global();
+    if pool.workers > 0 {
+        pool.jobs
+            .lock()
+            .expect("pool job queue lock")
+            .push_back(job.clone());
+        pool.work.notify_all();
+    }
+    job.scheduler()
+        .help_until_complete(0, &|range| job.execute(range));
+    if pool.workers > 0 {
+        pool.jobs
+            .lock()
+            .expect("pool job queue lock")
+            .retain(|queued| !Arc::ptr_eq(queued, &job));
+    }
+    job.scheduler().rethrow_panic();
+}
+
+/// Number of helper slots pool jobs should size their scheduler for: the
+/// persistent workers plus the submitting thread.
+pub(crate) fn pool_slots() -> usize {
+    global().workers + 1
+}
+
+/// Runs a borrowed job on scoped helper threads (spawned for this job
+/// only — safe code cannot ship non-`'static` borrows to the persistent
+/// workers).  The caller helps as slot 0; helper count is `helpers`, and
+/// `scheduler` must have `helpers + 1` slots.  Task panics are re-thrown
+/// on the caller after every helper has been joined.
+pub(crate) fn scoped_run(
+    scheduler: &Scheduler,
+    helpers: usize,
+    execute: &(dyn Fn(Range<usize>) + Sync),
+) {
+    std::thread::scope(|scope| {
+        for slot in 1..=helpers {
+            scope.spawn(move || scheduler.help_until_complete(slot, execute));
+        }
+        scheduler.help_until_complete(0, execute);
+    });
+    scheduler.rethrow_panic();
+}
+
+/// Runs both closures, potentially in parallel, and returns both results —
+/// real rayon's `join`.  `oper_b` runs on the calling thread; `oper_a`
+/// runs on a scoped helper thread (or inline when only one thread is
+/// configured).  A panic in either closure propagates to the caller.
+pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send,
+    B: FnOnce() -> RB + Send,
+    RA: Send,
+    RB: Send,
+{
+    if current_num_threads() == 1 {
+        let ra = oper_a();
+        let rb = oper_b();
+        return (ra, rb);
+    }
+    std::thread::scope(|scope| {
+        let handle = scope.spawn(oper_a);
+        let rb = oper_b();
+        let ra = match handle.join() {
+            Ok(ra) => ra,
+            Err(payload) => std::panic::resume_unwind(payload),
+        };
+        (ra, rb)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_override_accepts_positive_integers() {
+        assert_eq!(thread_override("1"), Some(1));
+        assert_eq!(thread_override("8"), Some(8));
+        assert_eq!(thread_override(" 16 "), Some(16));
+        // Clamped so a stray huge value cannot spawn thousands of threads.
+        assert_eq!(thread_override("100000"), Some(MAX_THREADS));
+    }
+
+    #[test]
+    fn thread_override_rejects_garbage() {
+        assert_eq!(thread_override(""), None);
+        assert_eq!(thread_override("0"), None);
+        assert_eq!(thread_override("-2"), None);
+        assert_eq!(thread_override("four"), None);
+        assert_eq!(thread_override("3.5"), None);
+    }
+
+    #[test]
+    fn num_threads_is_positive_and_cached() {
+        let first = current_num_threads();
+        assert!(first >= 1);
+        assert_eq!(current_num_threads(), first);
+    }
+
+    #[test]
+    fn join_returns_both_results() {
+        let (a, b) = join(|| 2 + 2, || "right");
+        assert_eq!(a, 4);
+        assert_eq!(b, "right");
+    }
+
+    #[test]
+    fn join_propagates_panics() {
+        let err = std::panic::catch_unwind(|| join(|| panic!("left side"), || 1));
+        assert!(err.is_err());
+        let err = std::panic::catch_unwind(|| join(|| 1, || panic!("right side")));
+        assert!(err.is_err());
+    }
+}

@@ -1,0 +1,24 @@
+//! The `RAYON_NUM_THREADS` override must win over the OS core count.
+//!
+//! This lives in its own integration-test binary (= its own process)
+//! because the thread count is cached on first use: the variable must be
+//! set before any parallel call, and must not leak into other tests.
+
+use rayon::prelude::*;
+
+#[test]
+fn env_override_pins_the_thread_count() {
+    std::env::set_var(rayon::NUM_THREADS_ENV, "3");
+    assert_eq!(rayon::current_num_threads(), 3);
+    // The cached value is stable even if the environment changes later.
+    std::env::set_var(rayon::NUM_THREADS_ENV, "7");
+    assert_eq!(rayon::current_num_threads(), 3);
+
+    // Both executors work at the pinned width and stay order-preserving.
+    let input: Vec<u64> = (0..500).collect();
+    let expected: Vec<u64> = input.iter().map(|x| x * 2 + 1).collect();
+    let borrowed: Vec<u64> = input.par_iter().map(|x| x * 2 + 1).collect();
+    let owned: Vec<u64> = input.clone().into_par_iter().map(|x| x * 2 + 1).collect();
+    assert_eq!(borrowed, expected);
+    assert_eq!(owned, expected);
+}

@@ -1,0 +1,44 @@
+//! Property test: a parallel collect equals the serial map, across sizes,
+//! executors and grain bounds.  Runs with `RAYON_NUM_THREADS=4` so the
+//! scheduler is genuinely parallel even on a 1-core container (own
+//! process, so the pin cannot leak into other tests).
+
+use proptest::prelude::*;
+use rayon::prelude::*;
+
+fn pin_threads() {
+    std::env::set_var(rayon::NUM_THREADS_ENV, "4");
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(48))]
+
+    #[test]
+    fn parallel_collect_equals_serial_map(values in prop::collection::vec(0u64..1_000_000, 0..257)) {
+        pin_threads();
+        let serial: Vec<u64> = values.iter().map(|v| v.wrapping_mul(31).rotate_left(7)).collect();
+
+        let borrowed: Vec<u64> = values.par_iter().map(|v| v.wrapping_mul(31).rotate_left(7)).collect();
+        prop_assert_eq!(&borrowed, &serial);
+
+        let owned: Vec<u64> = values.clone().into_par_iter().map(|v| v.wrapping_mul(31).rotate_left(7)).collect();
+        prop_assert_eq!(&owned, &serial);
+
+        let fine: Vec<u64> = values.par_iter().with_max_len(1).map(|v| v.wrapping_mul(31).rotate_left(7)).collect();
+        prop_assert_eq!(&fine, &serial);
+
+        let coarse: Vec<u64> = values.clone().into_par_iter().with_min_len(32).map(|v| v.wrapping_mul(31).rotate_left(7)).collect();
+        prop_assert_eq!(&coarse, &serial);
+    }
+
+    #[test]
+    fn par_chunks_equals_serial_chunks(
+        values in prop::collection::vec(0u32..10_000, 1..200),
+        chunk in 1usize..17,
+    ) {
+        pin_threads();
+        let serial: Vec<u32> = values.chunks(chunk).map(|c| c.iter().sum()).collect();
+        let parallel: Vec<u32> = values.par_chunks(chunk).map(|c| c.iter().sum()).collect();
+        prop_assert_eq!(parallel, serial);
+    }
+}

@@ -1,0 +1,219 @@
+//! Behavioural tests of the work-stealing runtime: load balancing under
+//! skew, nested parallelism, and panic containment.
+//!
+//! All tests pin `RAYON_NUM_THREADS=4` (each test file is its own
+//! process, and the first call caches the value) so the scheduler is
+//! genuinely parallel even on a 1-core CI container.
+//!
+//! The stealing tests are *structural*, not timing-based: the slow item
+//! blocks until every other item has finished.  Under the pre-stealing
+//! chunked executor this deadlocks — the slow item's chunk-mates are
+//! queued serially behind it on the same thread — so completing at all
+//! proves other helpers stole the work.  A watchdog turns a would-be
+//! deadlock into a clean assertion failure.
+
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+const THREADS: &str = "4";
+const ITEMS: usize = 32;
+
+fn pin_threads() {
+    std::env::set_var(rayon::NUM_THREADS_ENV, THREADS);
+}
+
+/// Spins until `counter` reaches `target`; `false` on watchdog timeout
+/// (i.e. the remaining items are starved behind the caller).
+fn wait_for(counter: &AtomicUsize, target: usize) -> bool {
+    let start = Instant::now();
+    while counter.load(Ordering::SeqCst) < target {
+        if start.elapsed() > Duration::from_secs(30) {
+            return false;
+        }
+        std::thread::yield_now();
+    }
+    true
+}
+
+#[test]
+fn slow_item_does_not_starve_its_chunk_borrowed() {
+    pin_threads();
+    let finished = AtomicUsize::new(0);
+    let items: Vec<usize> = (0..ITEMS).collect();
+    let out: Vec<usize> = items
+        .par_iter()
+        .with_max_len(1)
+        .map(|&i| {
+            if i == 0 {
+                // The "16x genome": it can only finish after every other
+                // item has been executed — by some *other* helper, since
+                // this one is blocked here.
+                assert!(
+                    wait_for(&finished, ITEMS - 1),
+                    "fast items starved behind the slow item: stealing is broken"
+                );
+            } else {
+                finished.fetch_add(1, Ordering::SeqCst);
+            }
+            i * 10
+        })
+        .collect();
+    let expected: Vec<usize> = (0..ITEMS).map(|i| i * 10).collect();
+    assert_eq!(out, expected, "stealing must preserve input order");
+}
+
+#[test]
+fn slow_item_does_not_starve_its_chunk_pool() {
+    pin_threads();
+    let finished = Arc::new(AtomicUsize::new(0));
+    let items: Vec<usize> = (0..ITEMS).collect();
+    let finished_in = Arc::clone(&finished);
+    let out: Vec<usize> = items
+        .into_par_iter()
+        .with_max_len(1)
+        .map(move |i| {
+            if i == 0 {
+                assert!(
+                    wait_for(&finished_in, ITEMS - 1),
+                    "fast items starved behind the slow item on the pool"
+                );
+            } else {
+                finished_in.fetch_add(1, Ordering::SeqCst);
+            }
+            i * 10
+        })
+        .collect();
+    let expected: Vec<usize> = (0..ITEMS).map(|i| i * 10).collect();
+    assert_eq!(out, expected, "pool stealing must preserve input order");
+}
+
+#[test]
+fn nested_borrowed_par_iter_inside_pool_worker() {
+    pin_threads();
+    let out: Vec<u64> = (0u64..8)
+        .collect::<Vec<_>>()
+        .into_par_iter()
+        .map(|k| {
+            let inner: Vec<u64> = (0..100).collect();
+            let mapped: Vec<u64> = inner.par_iter().map(|x| x + k).collect();
+            mapped.iter().sum()
+        })
+        .collect();
+    let expected: Vec<u64> = (0u64..8).map(|k| (0..100).map(|x| x + k).sum()).collect();
+    assert_eq!(out, expected);
+}
+
+#[test]
+fn nested_pool_job_inside_pool_worker() {
+    pin_threads();
+    let out: Vec<u64> = (0u64..8)
+        .collect::<Vec<_>>()
+        .into_par_iter()
+        .map(|k| {
+            let inner: Vec<u64> = (0..100).collect();
+            let mapped: Vec<u64> = inner.into_par_iter().map(move |x| x + k).collect();
+            mapped.iter().sum()
+        })
+        .collect();
+    let expected: Vec<u64> = (0u64..8).map(|k| (0..100).map(|x| x + k).sum()).collect();
+    assert_eq!(out, expected);
+}
+
+#[test]
+fn join_runs_nested_under_the_pinned_width() {
+    pin_threads();
+    let (left, right) = rayon::join(
+        || {
+            let v: Vec<u32> = (0..64).collect();
+            v.par_iter().map(|x| x + 1).collect::<Vec<u32>>()
+        },
+        || 7u32,
+    );
+    assert_eq!(left.len(), 64);
+    assert_eq!(left[63], 64);
+    assert_eq!(right, 7);
+}
+
+#[test]
+fn panic_propagates_and_the_pool_survives_borrowed() {
+    pin_threads();
+    let items: Vec<u32> = (0..64).collect();
+    let caught = std::panic::catch_unwind(|| {
+        let _: Vec<u32> = items
+            .par_iter()
+            .map(|&x| {
+                if x == 13 {
+                    panic!("unlucky item");
+                }
+                x
+            })
+            .collect();
+    });
+    let payload = caught.expect_err("the task panic must propagate to the caller");
+    let message = payload
+        .downcast_ref::<&str>()
+        .copied()
+        .unwrap_or("non-str payload");
+    assert!(message.contains("unlucky item"), "got: {message}");
+
+    // The executor is intact: subsequent collects still work.
+    let ok: Vec<u32> = items.par_iter().map(|x| x * 2).collect();
+    assert_eq!(ok[63], 126);
+}
+
+#[test]
+fn panic_propagates_and_the_pool_survives_owned() {
+    pin_threads();
+    for round in 0..3 {
+        let items: Vec<u32> = (0..64).collect();
+        let caught = std::panic::catch_unwind(|| {
+            let _: Vec<u32> = items
+                .into_par_iter()
+                .with_max_len(1)
+                .map(|x| {
+                    if x == 13 {
+                        panic!("unlucky pool item");
+                    }
+                    x
+                })
+                .collect();
+        });
+        assert!(
+            caught.is_err(),
+            "round {round}: the pool task panic must propagate"
+        );
+        // Persistent workers caught the panic and live on: the next job
+        // (and the next round's panicking job) still complete.
+        let ok: Vec<u32> = (0..64u32)
+            .collect::<Vec<_>>()
+            .into_par_iter()
+            .map(|x| x * 2)
+            .collect();
+        assert_eq!(ok[63], 126, "round {round}: pool must survive the panic");
+    }
+}
+
+#[test]
+fn many_concurrent_pool_jobs_from_test_threads() {
+    pin_threads();
+    // Several submitters racing on the shared pool must each get their own
+    // correctly-ordered result.
+    std::thread::scope(|scope| {
+        for submitter in 0u64..4 {
+            scope.spawn(move || {
+                for _ in 0..20 {
+                    let input: Vec<u64> = (0..200).collect();
+                    let out: Vec<u64> = input
+                        .clone()
+                        .into_par_iter()
+                        .map(move |x| x * 2 + submitter)
+                        .collect();
+                    let expected: Vec<u64> = input.iter().map(|x| x * 2 + submitter).collect();
+                    assert_eq!(out, expected);
+                }
+            });
+        }
+    });
+}
