@@ -31,6 +31,7 @@ use rayon::prelude::*;
 
 use crate::encoding::{gene_from_index, index_from_gene, DesignEncoding};
 use crate::error::DseError;
+use crate::explorer::{pool_stats_since, ExploreOptions};
 
 /// Configuration of one chip-level exploration run.
 #[derive(Debug, Clone)]
@@ -601,16 +602,49 @@ impl ChipExplorer {
         &self.problem
     }
 
-    /// Runs the exploration and returns the chip Pareto set.
+    /// Runs a cold, self-contained exploration and returns the chip
+    /// Pareto set.
     ///
     /// # Errors
     ///
     /// Returns [`DseError::EmptyDesignSpace`] when no feasible chip was
     /// ever found.
     pub fn explore(&self) -> Result<ChipParetoSet, DseError> {
+        self.explore_with(&ExploreOptions::default(), |_| {})
+    }
+
+    /// Runs the exploration with caller-injected [`ExploreOptions`] (shared
+    /// cache, warm-start seeds), invoking `progress(generation)` after every
+    /// generation's environmental selection.  With default options this is
+    /// exactly [`ChipExplorer::explore`] — same RNG stream, bit-identical
+    /// front.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DseError::EmptyDesignSpace`] when no feasible chip was
+    /// ever found, or [`DseError::InvalidConfig`] when a warm-start genome
+    /// does not match the problem's genome length.
+    pub fn explore_with<F>(
+        &self,
+        options: &ExploreOptions,
+        mut progress: F,
+    ) -> Result<ChipParetoSet, DseError>
+    where
+        F: FnMut(usize),
+    {
+        let n_var = Problem::num_variables(&self.problem);
+        for genome in &options.warm_start {
+            if genome.len() != n_var {
+                return Err(DseError::InvalidConfig(format!(
+                    "warm-start genome has {} genes, chip design space has {n_var}",
+                    genome.len()
+                )));
+            }
+        }
         let nsga_config = Nsga2Config {
             population_size: self.config.population_size,
             generations: self.config.generations,
+            initial_population: options.warm_start.clone(),
             ..Default::default()
         };
         // Archive genomes against the objectives NSGA-II already computed;
@@ -622,15 +656,32 @@ impl ChipExplorer {
         let mut archive: ParetoArchive<Vec<f64>> = ParetoArchive::new();
         let problem = &self.problem;
         let keyer = self.problem.keyer();
-        let cached = CachedProblem::with_key_fn(problem, move |genes| keyer.key(genes));
+        let mut cached = CachedProblem::with_key_fn(problem, move |genes| keyer.key(genes));
+        if let Some(store) = &options.cache {
+            cached = cached.with_shared_store(store.clone());
+        }
+        // Warm-start seeds are archived up front (feasible ones only), so
+        // the warm front dominates-or-equals the front it was seeded from.
+        // Scoring them goes through the cache: when the seeds came from a
+        // request sharing this store, every one is a hit.
+        if !options.warm_start.is_empty() {
+            let evals = cached.evaluate_batch(&options.warm_start);
+            for (genome, eval) in options.warm_start.iter().zip(evals) {
+                if eval.is_feasible() {
+                    archive.insert(eval.objectives, genome.clone());
+                }
+            }
+        }
+        let pool_before = rayon::pool_metrics();
         let result = Nsga2::new(&cached, nsga_config)
             .with_seed(self.config.seed)
-            .run_with_observer(|_generation, population| {
+            .run_with_observer(|generation, population| {
                 for individual in population {
                     if individual.is_feasible() {
                         archive.insert(individual.objectives.clone(), individual.genes.clone());
                     }
                 }
+                progress(generation);
             });
         for individual in &result.population {
             if individual.is_feasible() {
@@ -650,7 +701,36 @@ impl ChipExplorer {
         }
         let mut engine = result.engine;
         engine.cache = cached.stats();
+        engine.pool = pool_stats_since(&pool_before);
         Ok(ChipParetoSet { points, engine })
+    }
+
+    /// Re-encodes frontier points into warm-start genomes for a follow-up
+    /// run over the same design space (points whose macros or grid fall
+    /// outside this problem's catalogue are skipped).
+    pub fn session_genomes(&self, points: &[ChipDesignPoint]) -> Vec<Vec<f64>> {
+        points
+            .iter()
+            .filter_map(|point| {
+                let tiles: Vec<crate::encoding::Candidate> = (0..point.chip.grid.num_macros())
+                    .map(|i| {
+                        let spec = point.chip.grid.spec(i);
+                        crate::encoding::Candidate {
+                            height: spec.height(),
+                            width: spec.width(),
+                            local_array: spec.local_array(),
+                            adc_bits: spec.adc_bits(),
+                        }
+                    })
+                    .collect();
+                self.problem.encode_heterogeneous(
+                    &tiles,
+                    point.chip.grid.rows(),
+                    point.chip.grid.cols(),
+                    point.chip.buffer_kib,
+                )
+            })
+            .collect()
     }
 }
 
@@ -924,6 +1004,60 @@ mod tests {
             for (genes, eval) in genomes.iter().zip(&batch) {
                 assert_eq!(eval, &problem.evaluate(genes));
             }
+        }
+    }
+
+    #[test]
+    fn chip_shared_cache_and_warm_start_compose() {
+        let explorer = ChipExplorer::new(quick_config()).unwrap();
+        let store = acim_moga::CacheStore::new();
+        let options = ExploreOptions {
+            cache: Some(store.clone()),
+            warm_start: Vec::new(),
+        };
+        let cold = explorer.explore_with(&options, |_| {}).unwrap();
+        assert!(!store.is_empty());
+        // Replay over the shared store: zero misses, identical front.
+        let replay = explorer.explore_with(&options, |_| {}).unwrap();
+        assert_eq!(replay.engine.cache.misses, 0);
+        assert_eq!(cold.len(), replay.len());
+
+        // Warm-start from the cold front: deterministic and every cold
+        // point matched-or-dominated.
+        let seeds = explorer.session_genomes(cold.points());
+        assert_eq!(seeds.len(), cold.len());
+        let warm_options = ExploreOptions {
+            cache: Some(store.clone()),
+            warm_start: seeds,
+        };
+        let warm = explorer.explore_with(&warm_options, |_| {}).unwrap();
+        for cold_point in cold.iter() {
+            let c = cold_point.objective_vector();
+            assert!(warm.iter().any(|w| {
+                let w = w.objective_vector();
+                w == c || dominates(&w, &c)
+            }));
+        }
+        // Wrong-length warm genomes are rejected.
+        let bad = ExploreOptions {
+            cache: None,
+            warm_start: vec![vec![0.5; 99]],
+        };
+        assert!(explorer.explore_with(&bad, |_| {}).is_err());
+    }
+
+    #[test]
+    fn heterogeneous_session_genomes_round_trip() {
+        let explorer = ChipExplorer::new(hetero_config()).unwrap();
+        let front = explorer.explore().unwrap();
+        let seeds = explorer.session_genomes(front.points());
+        assert_eq!(seeds.len(), front.len());
+        for (seed, point) in seeds.iter().zip(front.iter()) {
+            let decoded = explorer
+                .problem()
+                .decode_point(seed)
+                .expect("session genome decodes");
+            assert_eq!(decoded.objective_vector(), point.objective_vector());
         }
     }
 

@@ -1,12 +1,52 @@
 //! The MOGA-based design-space explorer (Figure 4, "MOGA-based Design Space
 //! Explorer (NSGA-II)").
+//!
+//! Long-lived callers (the `easyacim` `ExplorationService`) drive the
+//! explorer through [`DesignSpaceExplorer::explore_with`], which accepts
+//! [`ExploreOptions`] — a shared evaluation-cache store amortised across
+//! requests and a warm-start seed population from a previous run's
+//! archive — plus a per-generation progress callback.  The plain
+//! [`DesignSpaceExplorer::explore`] remains the cold single-run path and
+//! is bit-identical to what it produced before these injection points
+//! existed.
 
 use acim_model::ModelParams;
-use acim_moga::{CachedProblem, EvalStats, Nsga2, Nsga2Config, ParetoArchive};
+use acim_moga::{
+    CacheStore, CachedProblem, EvalStats, Nsga2, Nsga2Config, ParetoArchive, PoolStats,
+};
 
 use crate::error::DseError;
 use crate::problem::AcimDesignProblem;
 use crate::solution::DesignPoint;
+
+/// Injection points a long-lived caller can thread into an exploration
+/// run.  The default (no cache handle, no warm-start genomes) reproduces
+/// a cold, self-contained run exactly.
+#[derive(Debug, Clone, Default)]
+pub struct ExploreOptions {
+    /// Shared evaluation-cache store.  `None` gives the run a fresh
+    /// private cache; `Some` makes it read and write entries other runs
+    /// over the **same design space** produced — the store trusts its
+    /// keys, so handing it to a run over a different space poisons it.
+    pub cache: Option<CacheStore>,
+    /// Warm-start genomes, typically a previous run's Pareto archive over
+    /// the same design space: they seed the initial NSGA-II population
+    /// (see [`Nsga2Config::initial_population`]) and are pre-inserted
+    /// into the run's archive, so the warm frontier can never be worse
+    /// than the seeds it started from.
+    pub warm_start: Vec<Vec<f64>>,
+}
+
+/// Converts a pool-metrics delta into the [`PoolStats`] embedded in
+/// [`EvalStats`].
+pub(crate) fn pool_stats_since(before: &rayon::PoolMetrics) -> PoolStats {
+    let delta = rayon::pool_metrics().since(before);
+    PoolStats {
+        tasks_executed: delta.tasks_executed(),
+        steals: delta.steals(),
+        tasks_per_worker: delta.tasks_per_slot,
+    }
+}
 
 /// Configuration of one exploration run.
 #[derive(Debug, Clone, PartialEq)]
@@ -129,16 +169,56 @@ impl DesignSpaceExplorer {
         &self.config
     }
 
-    /// Runs the exploration and returns the Pareto-frontier set.
+    /// The underlying problem (exposes the genome encoding, used e.g. to
+    /// re-encode frontier points into warm-start genomes).
+    pub fn problem(&self) -> &AcimDesignProblem {
+        &self.problem
+    }
+
+    /// Runs a cold, self-contained exploration and returns the
+    /// Pareto-frontier set.
     ///
     /// # Errors
     ///
     /// Returns [`DseError::EmptyDesignSpace`] when the optimiser never found
     /// a feasible design (which indicates an over-constrained array size).
     pub fn explore(&self) -> Result<ParetoFrontierSet, DseError> {
+        self.explore_with(&ExploreOptions::default(), |_| {})
+    }
+
+    /// Runs the exploration with caller-injected [`ExploreOptions`] (shared
+    /// cache, warm-start seeds), invoking `progress(generation)` after every
+    /// generation's environmental selection.
+    ///
+    /// With default options this is exactly [`DesignSpaceExplorer::explore`]:
+    /// same RNG stream, bit-identical frontier.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`DseError::EmptyDesignSpace`] when the optimiser never
+    /// found a feasible design, or [`DseError::InvalidConfig`] when a
+    /// warm-start genome does not match the problem's genome length.
+    pub fn explore_with<F>(
+        &self,
+        options: &ExploreOptions,
+        mut progress: F,
+    ) -> Result<ParetoFrontierSet, DseError>
+    where
+        F: FnMut(usize),
+    {
+        let n_var = self.problem.encoding().num_genes();
+        for genome in &options.warm_start {
+            if genome.len() != n_var {
+                return Err(DseError::InvalidConfig(format!(
+                    "warm-start genome has {} genes, design space has {n_var}",
+                    genome.len()
+                )));
+            }
+        }
         let nsga_config = Nsga2Config {
             population_size: self.config.population_size,
             generations: self.config.generations,
+            initial_population: options.warm_start.clone(),
             ..Default::default()
         };
         // Archive every feasible design seen in any generation, keyed by the
@@ -149,14 +229,26 @@ impl DesignSpaceExplorer {
         // while its batch path fans the unique misses out across cores.
         let mut archive: ParetoArchive<DesignPoint> = ParetoArchive::new();
         let problem = &self.problem;
+        // Warm-start seeds are archived up front: whatever the warm run
+        // finds is unioned with them, so its frontier dominates-or-equals
+        // the one it was seeded from.
+        for genome in &options.warm_start {
+            if let Some(point) = problem.decode_point(genome) {
+                archive.insert(point.objective_vector(), point);
+            }
+        }
         // The key closure only needs the genome encoding, not a clone of
         // the whole problem.
         let key_encoding = self.problem.encoding().clone();
-        let cached =
+        let mut cached =
             CachedProblem::with_key_fn(problem, move |genes| key_encoding.bucket_indices(genes));
+        if let Some(store) = &options.cache {
+            cached = cached.with_shared_store(store.clone());
+        }
+        let pool_before = rayon::pool_metrics();
         let result = Nsga2::new(&cached, nsga_config)
             .with_seed(self.config.seed)
-            .run_with_observer(|_generation, population| {
+            .run_with_observer(|generation, population| {
                 for individual in population {
                     if !individual.is_feasible() {
                         continue;
@@ -165,6 +257,7 @@ impl DesignSpaceExplorer {
                         archive.insert(point.objective_vector(), point);
                     }
                 }
+                progress(generation);
             });
 
         // The final population may contain points the observer never saw at
@@ -189,7 +282,26 @@ impl DesignSpaceExplorer {
         }
         let mut engine = result.engine;
         engine.cache = cached.stats();
+        engine.pool = pool_stats_since(&pool_before);
         Ok(ParetoFrontierSet { points, engine })
+    }
+
+    /// Re-encodes frontier points into warm-start genomes for a follow-up
+    /// run over the same design space (points outside this problem's
+    /// catalogue are skipped).
+    pub fn session_genomes(&self, points: &[DesignPoint]) -> Vec<Vec<f64>> {
+        let encoding = self.problem.encoding();
+        points
+            .iter()
+            .filter_map(|point| {
+                encoding.encode(&crate::encoding::Candidate {
+                    height: point.spec.height(),
+                    width: point.spec.width(),
+                    local_array: point.spec.local_array(),
+                    adc_bits: point.spec.adc_bits(),
+                })
+            })
+            .collect()
     }
 }
 
@@ -280,6 +392,91 @@ mod tests {
         for p in frontier.iter() {
             assert!(p.metrics.throughput_tops <= best_throughput + 1e-12);
         }
+    }
+
+    #[test]
+    fn explore_with_default_options_matches_explore() {
+        let explorer = DesignSpaceExplorer::new(quick_config()).unwrap();
+        let cold = explorer.explore().unwrap();
+        let mut generations = Vec::new();
+        let injected = explorer
+            .explore_with(&ExploreOptions::default(), |generation| {
+                generations.push(generation)
+            })
+            .unwrap();
+        assert_eq!(cold.len(), injected.len());
+        for (a, b) in cold.iter().zip(injected.iter()) {
+            assert_eq!(a.spec, b.spec);
+            assert_eq!(a.objective_vector(), b.objective_vector());
+        }
+        assert_eq!(generations, (0..20).collect::<Vec<_>>());
+    }
+
+    #[test]
+    fn shared_cache_turns_a_replayed_run_into_pure_hits() {
+        let explorer = DesignSpaceExplorer::new(quick_config()).unwrap();
+        let store = acim_moga::CacheStore::new();
+        let options = ExploreOptions {
+            cache: Some(store.clone()),
+            warm_start: Vec::new(),
+        };
+        let first = explorer.explore_with(&options, |_| {}).unwrap();
+        assert!(first.engine.cache.misses > 0);
+        let entries_after_first = store.len();
+        assert_eq!(entries_after_first, first.engine.cache.misses);
+
+        // Same seed, same space, shared store: the replay's every
+        // evaluation is a cross-run hit, and the frontier is unchanged.
+        let replay = explorer.explore_with(&options, |_| {}).unwrap();
+        assert_eq!(replay.engine.cache.misses, 0);
+        assert_eq!(replay.engine.cache.hits, replay.engine.evaluations);
+        assert_eq!(store.len(), entries_after_first);
+        assert_eq!(first.len(), replay.len());
+        for (a, b) in first.iter().zip(replay.iter()) {
+            assert_eq!(a.spec, b.spec);
+        }
+    }
+
+    #[test]
+    fn warm_start_seeds_archive_and_population() {
+        let explorer = DesignSpaceExplorer::new(quick_config()).unwrap();
+        let cold = explorer.explore().unwrap();
+        let seeds = explorer.session_genomes(cold.points());
+        assert_eq!(seeds.len(), cold.len());
+        let options = ExploreOptions {
+            cache: None,
+            warm_start: seeds,
+        };
+        let warm_a = explorer.explore_with(&options, |_| {}).unwrap();
+        let warm_b = explorer.explore_with(&options, |_| {}).unwrap();
+        // Warm runs are deterministic…
+        assert_eq!(warm_a.len(), warm_b.len());
+        for (a, b) in warm_a.iter().zip(warm_b.iter()) {
+            assert_eq!(a.spec, b.spec);
+            assert_eq!(a.objective_vector(), b.objective_vector());
+        }
+        // …and every cold frontier point is matched-or-dominated in the
+        // warm frontier (the seeds were archived up front).
+        for cold_point in cold.iter() {
+            let c = cold_point.objective_vector();
+            assert!(
+                warm_a.iter().any(|w| {
+                    let w = w.objective_vector();
+                    w == c || dominates(&w, &c)
+                }),
+                "cold frontier point lost by the warm run"
+            );
+        }
+    }
+
+    #[test]
+    fn wrong_length_warm_genome_is_rejected() {
+        let explorer = DesignSpaceExplorer::new(quick_config()).unwrap();
+        let options = ExploreOptions {
+            cache: None,
+            warm_start: vec![vec![0.5; 7]],
+        };
+        assert!(explorer.explore_with(&options, |_| {}).is_err());
     }
 
     #[test]

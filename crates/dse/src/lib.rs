@@ -58,7 +58,7 @@ pub mod problem;
 pub mod solution;
 pub mod sweep;
 
-pub use acim_moga::{CacheStats, CachedProblem, EvalStats};
+pub use acim_moga::{CacheStats, CacheStore, CachedProblem, EvalStats, PoolStats};
 pub use chip::{
     ChipDesignPoint, ChipDesignProblem, ChipDseConfig, ChipExplorer, ChipGenomeKeyer, ChipParetoSet,
 };
@@ -66,7 +66,7 @@ pub use distill::UserRequirements;
 pub use encoding::DesignEncoding;
 pub use enumerate::enumerate_design_space;
 pub use error::DseError;
-pub use explorer::{DesignSpaceExplorer, DseConfig, ParetoFrontierSet};
+pub use explorer::{DesignSpaceExplorer, DseConfig, ExploreOptions, ParetoFrontierSet};
 pub use problem::AcimDesignProblem;
 pub use solution::DesignPoint;
 pub use sweep::{sweep_by_array_size, sweep_by_parameter, SweepSeries};

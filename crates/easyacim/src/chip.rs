@@ -8,13 +8,14 @@
 //! validates the best chip behaviourally by simulating every layer on the
 //! macro grid.
 
-use std::time::{Duration, Instant};
+use std::time::Duration;
 
-use acim_chip::{simulate_network, ChipSimReport, Network};
-use acim_dse::{ChipDesignPoint, ChipDseConfig, ChipExplorer, ChipParetoSet};
+use acim_chip::{ChipSimReport, Network};
+use acim_dse::{ChipDesignPoint, ChipDseConfig, ExploreOptions};
 use acim_moga::EvalStats;
 
 use crate::error::FlowError;
+use crate::stage::{ChipStage, ProgressObserver, Stage};
 
 /// Configuration of the chip-composition stage.
 #[derive(Debug, Clone)]
@@ -66,6 +67,26 @@ impl ChipFlowResult {
                 .expect("throughput must not be NaN")
         })
     }
+
+    /// The frontier point with the lowest energy per inference.
+    pub fn best_energy(&self) -> Option<&ChipDesignPoint> {
+        self.front.iter().min_by(|a, b| {
+            a.metrics
+                .energy_per_inference_pj
+                .partial_cmp(&b.metrics.energy_per_inference_pj)
+                .expect("energy must not be NaN")
+        })
+    }
+
+    /// The frontier point with the smallest chip area.
+    pub fn best_area(&self) -> Option<&ChipDesignPoint> {
+        self.front.iter().min_by(|a, b| {
+            a.metrics
+                .area_mf2
+                .partial_cmp(&b.metrics.area_mf2)
+                .expect("area must not be NaN")
+        })
+    }
 }
 
 /// The chip-composition stage runner.
@@ -92,30 +113,28 @@ impl ChipFlow {
     /// Returns [`FlowError`] when the exploration or the validation
     /// simulation fails.
     pub fn run(&self) -> Result<ChipFlowResult, FlowError> {
-        let start = Instant::now();
-        let explorer = ChipExplorer::new(self.config.dse.clone())?;
-        let frontier: ChipParetoSet = explorer.explore()?;
-        let engine = frontier.engine.clone();
-        let front = frontier.into_points();
-        let exploration_time = start.elapsed();
+        self.run_with(&ExploreOptions::default(), None)
+    }
 
-        let mut result = ChipFlowResult {
-            front,
-            engine,
-            exploration_time,
-            validation: None,
-        };
-        if self.config.validate_best {
-            if let Some(best) = result.best_throughput() {
-                let report = simulate_network(
-                    &best.chip,
-                    explorer.problem().network(),
-                    self.config.validation_seed,
-                )?;
-                result.validation = Some(report);
-            }
+    /// Runs the stage with caller-injected [`ExploreOptions`] (shared
+    /// cache, warm-start seeds) and an optional progress observer — the
+    /// entry point the multi-tenant service uses.  With default options
+    /// this is exactly [`ChipFlow::run`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError`] when the exploration or the validation
+    /// simulation fails.
+    pub fn run_with(
+        &self,
+        options: &ExploreOptions,
+        observer: Option<ProgressObserver>,
+    ) -> Result<ChipFlowResult, FlowError> {
+        let mut stage = ChipStage::new(self.config.clone()).with_options(options.clone());
+        if let Some(observer) = observer {
+            stage = stage.with_observer(observer);
         }
-        Ok(result)
+        stage.run(())
     }
 }
 
@@ -147,6 +166,23 @@ mod tests {
         assert!(validation.max_relative_error() < 0.5);
         let best = result.best_throughput().unwrap();
         assert!(best.metrics.throughput_tops > 0.0);
+    }
+
+    #[test]
+    fn best_accessors_pick_the_extremes() {
+        let mut config = quick_config();
+        config.validate_best = false;
+        let result = ChipFlow::new(config).run().unwrap();
+        let best_energy = result
+            .best_energy()
+            .unwrap()
+            .metrics
+            .energy_per_inference_pj;
+        let best_area = result.best_area().unwrap().metrics.area_mf2;
+        for p in &result.front {
+            assert!(p.metrics.energy_per_inference_pj >= best_energy);
+            assert!(p.metrics.area_mf2 >= best_area);
+        }
     }
 
     #[test]

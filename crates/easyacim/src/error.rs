@@ -15,6 +15,14 @@ pub enum FlowError {
     InvalidConfig(String),
     /// The user distillation removed every Pareto-frontier solution.
     EmptyDistilledSet,
+    /// A warm-start session archive was recorded over a different design
+    /// space than the one the request explores.
+    WarmStartMismatch {
+        /// Design-space signature of the request.
+        requested: String,
+        /// Design-space signature the session archive was recorded over.
+        session: String,
+    },
     /// An error from the design-space explorer.
     Dse(DseError),
     /// An error from the netlist generator.
@@ -33,6 +41,13 @@ impl fmt::Display for FlowError {
                 write!(
                     f,
                     "user distillation removed every Pareto-frontier solution"
+                )
+            }
+            FlowError::WarmStartMismatch { requested, session } => {
+                write!(
+                    f,
+                    "warm-start session covers design space `{session}`, \
+                     but the request explores `{requested}`"
                 )
             }
             FlowError::Dse(err) => write!(f, "design-space exploration failed: {err}"),

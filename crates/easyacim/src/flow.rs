@@ -1,16 +1,29 @@
-//! The top flow controller (Figure 4).
+//! The top flow controller (Figure 4), assembled from the typed stages of
+//! [`crate::stage`].
+//!
+//! [`TopFlowController::run`] is the cold single-tenant entry point; the
+//! multi-tenant [`crate::service::ExplorationService`] drives the same
+//! stages through [`TopFlowController::run_with`], injecting shared
+//! caches, warm-start seeds and a progress observer via [`FlowOptions`].
+//! Both paths produce bit-identical results for a fixed configuration —
+//! the options only change *how fast* the frontier is found, never what
+//! it is.
 
 use std::time::{Duration, Instant};
 
 use acim_cell::CellLibrary;
-use acim_dse::{DesignPoint, DesignSpaceExplorer, ParetoFrontierSet};
-use acim_layout::{LayoutFlow, MacroLayout};
+use acim_dse::{DesignPoint, ExploreOptions};
+use acim_layout::MacroLayout;
 use acim_moga::EvalStats;
-use acim_netlist::{design_stats, write_spice, Design, DesignStats, NetlistGenerator};
+use acim_netlist::{Design, DesignStats};
 
-use crate::chip::{ChipFlow, ChipFlowResult};
+use crate::chip::ChipFlowResult;
 use crate::config::FlowConfig;
 use crate::error::FlowError;
+use crate::stage::{
+    ChipStage, DistillStage, ExploreStage, LaidOut, LayoutStage, NetlistStage, ProgressObserver,
+    Stage,
+};
 
 /// One fully generated design: the distilled Pareto point, its hierarchical
 /// netlist and its layout.
@@ -50,6 +63,31 @@ pub struct FlowResult {
     pub chip: Option<ChipFlowResult>,
 }
 
+/// Injection points a long-lived caller (the
+/// [`crate::service::ExplorationService`]) threads into one flow run:
+/// shared evaluation caches for the macro and chip design spaces,
+/// warm-start seed populations, and a progress observer.  The default is
+/// a cold, unobserved, self-contained run.
+#[derive(Clone, Default)]
+pub struct FlowOptions {
+    /// Cache / warm-start injection for the macro exploration stage.
+    pub exploration: ExploreOptions,
+    /// Cache / warm-start injection for the optional chip stage.
+    pub chip: ExploreOptions,
+    /// Observer receiving one event per unit of stage progress.
+    pub observer: Option<ProgressObserver>,
+}
+
+impl std::fmt::Debug for FlowOptions {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("FlowOptions")
+            .field("exploration", &self.exploration)
+            .field("chip", &self.chip)
+            .field("observed", &self.observer.is_some())
+            .finish()
+    }
+}
+
 /// The EasyACIM top flow controller.
 #[derive(Debug, Clone)]
 pub struct TopFlowController {
@@ -81,7 +119,8 @@ impl TopFlowController {
         &self.config
     }
 
-    /// Runs the full flow: exploration → distillation → netlist → layout.
+    /// Runs the full flow: exploration → distillation → netlist → layout
+    /// (→ chip composition, when configured).
     ///
     /// # Errors
     ///
@@ -89,65 +128,68 @@ impl TopFlowController {
     /// [`FlowError::EmptyDistilledSet`] when the user requirements reject
     /// every frontier solution.
     pub fn run(&self) -> Result<FlowResult, FlowError> {
+        self.run_with(&FlowOptions::default())
+    }
+
+    /// Runs the full flow with caller-injected [`FlowOptions`].
+    ///
+    /// The stages are the typed pipeline of [`crate::stage`]:
+    /// explore → distill → netlist → layout, with the input-free chip
+    /// stage — when configured — running **concurrently** with the
+    /// netlist/layout stages on the persistent worker pool
+    /// ([`rayon::join_owned`]); the chip stage depends only on its
+    /// configuration, so the overlap changes wall-clock, not results.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError`] when any stage fails.
+    pub fn run_with(&self, options: &FlowOptions) -> Result<FlowResult, FlowError> {
         let start = Instant::now();
 
-        // 1. MOGA-based design-space exploration.
-        let explorer = DesignSpaceExplorer::new(self.config.dse.clone())?;
-        let frontier_set: ParetoFrontierSet = explorer.explore()?;
-        let exploration_time = start.elapsed();
-        let engine = frontier_set.engine.clone();
-        let frontier = frontier_set.into_points();
-
-        // 2. User distillation.
-        let distilled = self.config.requirements.distill(&frontier);
-        if distilled.is_empty() {
-            return Err(FlowError::EmptyDistilledSet);
-        }
-
-        // 3-4. Netlist generation and template-based P&R for each distilled
-        // solution (bounded by `max_layouts`).
-        let limit = if self.config.max_layouts == 0 {
-            distilled.len()
-        } else {
-            self.config.max_layouts.min(distilled.len())
+        let macro_stages = || -> Result<LaidOut, FlowError> {
+            let mut explore = ExploreStage::new(self.config.dse.clone())
+                .with_options(options.exploration.clone());
+            let mut netlist = NetlistStage::new(
+                &self.library,
+                self.config.emit_files,
+                self.config.max_layouts,
+            );
+            let mut layout = LayoutStage::new(&self.config.technology, &self.library);
+            if let Some(observer) = &options.observer {
+                explore = explore.with_observer(observer.clone());
+                netlist = netlist.with_observer(observer.clone());
+                layout = layout.with_observer(observer.clone());
+            }
+            explore
+                .then(DistillStage::new(self.config.requirements))
+                .then(netlist)
+                .then(layout)
+                .run(())
         };
-        let generator = NetlistGenerator::new(&self.library);
-        let layout_flow = LayoutFlow::new(&self.config.technology, &self.library);
-        let mut designs = Vec::with_capacity(limit);
-        for point in distilled.iter().take(limit) {
-            let design_start = Instant::now();
-            let netlist = generator.generate(&point.spec)?;
-            let netlist_stats = design_stats(&netlist, &self.library)?;
-            let layout = layout_flow.generate(&point.spec)?;
-            let spice = if self.config.emit_files {
-                Some(write_spice(&netlist, &self.library)?)
-            } else {
-                None
-            };
-            designs.push(GeneratedDesign {
-                point: *point,
-                netlist,
-                netlist_stats,
-                layout,
-                spice,
-                generation_time: design_start.elapsed(),
-            });
-        }
 
-        // 5. Optional chip composition: macro × count × buffer
-        // co-exploration against a whole network.
-        let chip = match &self.config.chip {
-            Some(chip_config) => Some(ChipFlow::new(chip_config.clone()).run()?),
-            None => None,
+        let (laid_out, chip) = match &self.config.chip {
+            Some(chip_config) => {
+                let mut chip_stage =
+                    ChipStage::new(chip_config.clone()).with_options(options.chip.clone());
+                if let Some(observer) = &options.observer {
+                    chip_stage = chip_stage.with_observer(observer.clone());
+                }
+                // The chip stage owns everything it needs, so it runs as a
+                // `'static` job on the persistent pool while this thread
+                // works through the macro stages.
+                let (chip, laid_out) = rayon::join_owned(move || chip_stage.run(()), macro_stages);
+                (laid_out?, Some(chip?))
+            }
+            None => (macro_stages()?, None),
         };
 
         Ok(FlowResult {
-            frontier,
-            distilled,
-            designs,
-            exploration_time,
+            frontier: laid_out.frontier,
+            distilled: laid_out.distilled,
+            designs: laid_out.designs,
+            exploration_time: laid_out.exploration_time,
             total_time: start.elapsed(),
-            engine,
+            engine: laid_out.engine,
             chip,
         })
     }

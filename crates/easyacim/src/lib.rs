@@ -22,6 +22,13 @@
 //!   [`FlowResult`] with the frontier, the distilled set and one
 //!   [`GeneratedDesign`] (netlist + layout + metrics) per distilled
 //!   solution,
+//! * the flow itself is assembled from the **typed stages** of [`stage`]
+//!   (explore → distill → netlist → layout, plus the input-free chip
+//!   stage), chained with [`stage::Stage::then`],
+//! * [`service::ExplorationService`] is the **multi-tenant front door**:
+//!   it runs many concurrent exploration requests against shared
+//!   per-design-space evaluation caches and returns
+//!   [`service::SessionArchive`]s that warm-start follow-up requests,
 //! * the sub-crates are re-exported under [`prelude`] so downstream users
 //!   need a single dependency.
 //!
@@ -50,12 +57,19 @@ pub mod config;
 pub mod error;
 pub mod flow;
 pub mod report;
+pub mod service;
+pub mod stage;
 
 pub use chip::{ChipFlow, ChipFlowConfig, ChipFlowResult};
 pub use config::FlowConfig;
 pub use error::FlowError;
-pub use flow::{FlowResult, GeneratedDesign, TopFlowController};
+pub use flow::{FlowOptions, FlowResult, GeneratedDesign, TopFlowController};
 pub use report::{chip_frontier_table, chip_report, design_report, frontier_table};
+pub use service::{
+    ChipRequest, ExplorationRequest, ExplorationResponse, ExplorationService, JobHandle,
+    JobProgress, MacroRequest, SessionArchive,
+};
+pub use stage::{ProgressObserver, Stage, StageProgress};
 
 /// Convenience re-exports of the whole EasyACIM workspace.
 pub mod prelude {
@@ -66,17 +80,21 @@ pub mod prelude {
     };
     pub use acim_dse::{
         ChipDesignPoint, ChipDseConfig, ChipExplorer, DesignPoint, DesignSpaceExplorer, DseConfig,
-        UserRequirements,
+        ExploreOptions, UserRequirements,
     };
     pub use acim_layout::{LayoutFlow, MacroLayout};
     pub use acim_model::{evaluate, DesignMetrics, ModelParams};
-    pub use acim_moga::{CacheStats, CachedProblem, EvalStats, Nsga2, Nsga2Config, Problem};
+    pub use acim_moga::{
+        CacheStats, CacheStore, CachedProblem, EvalStats, Nsga2, Nsga2Config, PoolStats, Problem,
+    };
     pub use acim_netlist::{write_spice, NetlistGenerator};
     pub use acim_tech::Technology;
     pub use acim_workloads::{ApplicationProfile, MacroMapper};
 
     pub use crate::{
-        ChipFlow, ChipFlowConfig, ChipFlowResult, FlowConfig, FlowResult, GeneratedDesign,
+        ChipFlow, ChipFlowConfig, ChipFlowResult, ChipRequest, ExplorationRequest,
+        ExplorationResponse, ExplorationService, FlowConfig, FlowOptions, FlowResult,
+        GeneratedDesign, JobHandle, JobProgress, MacroRequest, SessionArchive, Stage,
         TopFlowController,
     };
 }

@@ -108,17 +108,24 @@ pub fn chip_frontier_table(points: &[ChipDesignPoint]) -> String {
 pub fn chip_report(result: &ChipFlowResult) -> String {
     let mut out = format!(
         "chip composition: {} frontier chips ({} evaluations in {:.2} s)\n\
-         evaluation engine: {:.0} evals/s, cache {}, {:.1} ms mean per generation\n{}",
+         evaluation engine: {:.0} evals/s, cache {}, {:.1} ms mean per generation, {}\n{}",
         result.front.len(),
         result.engine.evaluations,
         result.exploration_time.as_secs_f64(),
         result.engine.evaluations_per_second(),
         result.engine.cache,
         result.engine.mean_generation_seconds() * 1e3,
+        result.engine.pool,
         chip_frontier_table(&result.front),
     );
     if let Some(best) = result.best_throughput() {
         out.push_str(&format!("best throughput: {best}\n"));
+    }
+    if let Some(best) = result.best_energy() {
+        out.push_str(&format!("best energy    : {best}\n"));
+    }
+    if let Some(best) = result.best_area() {
+        out.push_str(&format!("best area      : {best}\n"));
     }
     if let Some(validation) = &result.validation {
         out.push_str(&format!(
@@ -141,7 +148,7 @@ pub fn chip_report(result: &ChipFlowResult) -> String {
 pub fn flow_summary(result: &FlowResult) -> String {
     let mut out = format!(
         "EasyACIM flow: {} frontier points, {} after distillation, {} layouts generated\n\
-         exploration: {} evaluations in {:.2} s ({:.0} evals/s, cache {}); \
+         exploration: {} evaluations in {:.2} s ({:.0} evals/s, cache {}, {}); \
          total runtime {:.2} s\n",
         result.frontier.len(),
         result.distilled.len(),
@@ -150,6 +157,7 @@ pub fn flow_summary(result: &FlowResult) -> String {
         result.exploration_time.as_secs_f64(),
         result.engine.evaluations_per_second(),
         result.engine.cache,
+        result.engine.pool,
         result.total_time.as_secs_f64(),
     );
     for design in &result.designs {

@@ -1,0 +1,729 @@
+//! The multi-tenant exploration front-end.
+//!
+//! [`ExplorationService`] is the long-lived front door of the flow: it
+//! accepts many concurrent [`ExplorationRequest`]s (full macro flows or
+//! chip-composition runs), executes each on its own worker thread through
+//! the typed stages of [`crate::stage`], and owns one shared, concurrent
+//! evaluation cache **per design space** — so the second request over a
+//! space starts where the first left off instead of re-paying every
+//! objective evaluation.  Each finished request returns a
+//! [`SessionArchive`] of its Pareto frontier, which can warm-start the
+//! next request over the same space (seeding the initial NSGA-II
+//! population *and* the archive, so a warm run is provably no worse than
+//! the session it started from).
+//!
+//! Sharing is safe because the caches are semantically lossless: entries
+//! are keyed by decode buckets, so a hit returns exactly the evaluation a
+//! cold run would recompute.  Concurrent requests therefore produce
+//! bit-identical frontiers to the same requests run serially — only the
+//! wall-clock and the hit/miss attribution change.
+//!
+//! # Example
+//!
+//! ```
+//! use easyacim::service::{ChipRequest, ExplorationRequest, ExplorationService};
+//! use easyacim::ChipFlowConfig;
+//! use acim_chip::Network;
+//!
+//! # fn main() -> Result<(), easyacim::FlowError> {
+//! let mut config = ChipFlowConfig::for_network(Network::edge_cnn(1));
+//! config.dse.population_size = 16;
+//! config.dse.generations = 4;
+//! config.validate_best = false;
+//!
+//! let service = ExplorationService::new();
+//! let first = service
+//!     .run(ExplorationRequest::Chip(ChipRequest::new(config.clone())))?
+//!     .into_chip()
+//!     .expect("chip request yields a chip response");
+//!
+//! // Second request over the same space: answered from the shared cache,
+//! // warm-started from the first session's frontier.
+//! let request = ChipRequest::new(config).with_warm_start(first.session.clone());
+//! let second = service
+//!     .run(ExplorationRequest::Chip(request))?
+//!     .into_chip()
+//!     .unwrap();
+//! assert!(second.result.engine.cache.hits > 0);
+//! # Ok(())
+//! # }
+//! ```
+
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex};
+
+use acim_dse::{
+    CacheStore, ChipDseConfig, ChipExplorer, DesignSpaceExplorer, DseConfig, ExploreOptions,
+};
+use acim_moga::EvalStats;
+
+use crate::chip::{ChipFlowConfig, ChipFlowResult};
+use crate::config::FlowConfig;
+use crate::error::FlowError;
+use crate::flow::{FlowOptions, FlowResult, TopFlowController};
+use crate::stage::{ProgressObserver, StageProgress};
+
+/// A finished session's Pareto archive, re-encoded as genomes over its
+/// design space.  Feed it back into the next request over the **same**
+/// space via [`MacroRequest::with_warm_start`] /
+/// [`ChipRequest::with_warm_start`] to seed the initial population.
+#[derive(Debug, Clone)]
+pub struct SessionArchive {
+    space: String,
+    genomes: Vec<Vec<f64>>,
+}
+
+impl SessionArchive {
+    pub(crate) fn new(space: String, genomes: Vec<Vec<f64>>) -> Self {
+        Self { space, genomes }
+    }
+
+    /// Signature of the design space the archive was recorded over.
+    pub fn space(&self) -> &str {
+        &self.space
+    }
+
+    /// The archived frontier genomes.
+    pub fn genomes(&self) -> &[Vec<f64>] {
+        &self.genomes
+    }
+
+    /// Number of archived genomes.
+    pub fn len(&self) -> usize {
+        self.genomes.len()
+    }
+
+    /// Returns `true` when the archive holds no genomes.
+    pub fn is_empty(&self) -> bool {
+        self.genomes.is_empty()
+    }
+}
+
+/// A full macro-flow request: exploration → distillation → netlist →
+/// layout (→ chip composition when the config carries a chip stage).
+#[derive(Debug, Clone)]
+pub struct MacroRequest {
+    /// The flow configuration.
+    pub config: FlowConfig,
+    /// Optional warm-start session over the same macro design space.
+    pub warm_start: Option<SessionArchive>,
+}
+
+impl MacroRequest {
+    /// Creates a cold request.
+    pub fn new(config: FlowConfig) -> Self {
+        Self {
+            config,
+            warm_start: None,
+        }
+    }
+
+    /// Warm-starts the request from a previous session's archive.
+    #[must_use]
+    pub fn with_warm_start(mut self, session: SessionArchive) -> Self {
+        self.warm_start = Some(session);
+        self
+    }
+}
+
+/// A chip-composition request: multi-macro co-exploration (and optional
+/// behavioural validation) without the macro netlist/layout stages.
+#[derive(Debug, Clone)]
+pub struct ChipRequest {
+    /// The chip-stage configuration.
+    pub config: ChipFlowConfig,
+    /// Optional warm-start session over the same chip design space.
+    pub warm_start: Option<SessionArchive>,
+}
+
+impl ChipRequest {
+    /// Creates a cold request.
+    pub fn new(config: ChipFlowConfig) -> Self {
+        Self {
+            config,
+            warm_start: None,
+        }
+    }
+
+    /// Warm-starts the request from a previous session's archive.
+    #[must_use]
+    pub fn with_warm_start(mut self, session: SessionArchive) -> Self {
+        self.warm_start = Some(session);
+        self
+    }
+}
+
+/// One unit of work submitted to the service.
+// A macro request (a whole `FlowConfig`) is naturally bigger than a chip
+// request; requests are moved once into a worker thread, so boxing the
+// large variant would buy nothing and cost every caller a dereference.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone)]
+pub enum ExplorationRequest {
+    /// A full macro flow ([`MacroRequest`]).
+    Macro(MacroRequest),
+    /// A chip-composition run ([`ChipRequest`]).
+    Chip(ChipRequest),
+}
+
+impl ExplorationRequest {
+    /// Shorthand for a cold macro-flow request.
+    pub fn macro_flow(config: FlowConfig) -> Self {
+        Self::Macro(MacroRequest::new(config))
+    }
+
+    /// Shorthand for a cold chip-composition request.
+    pub fn chip(config: ChipFlowConfig) -> Self {
+        Self::Chip(ChipRequest::new(config))
+    }
+}
+
+/// Response to a [`MacroRequest`].
+#[derive(Debug, Clone)]
+pub struct MacroResponse {
+    /// The full flow result.
+    pub result: FlowResult,
+    /// The macro frontier, re-encoded for warm-starting a follow-up
+    /// request over the same macro space.
+    pub session: SessionArchive,
+    /// The chip frontier's session, when the flow ran a chip stage.
+    pub chip_session: Option<SessionArchive>,
+}
+
+/// Response to a [`ChipRequest`].
+#[derive(Debug, Clone)]
+pub struct ChipResponse {
+    /// The chip-stage result.
+    pub result: ChipFlowResult,
+    /// The chip frontier, re-encoded for warm-starting a follow-up
+    /// request over the same chip space.
+    pub session: SessionArchive,
+}
+
+/// The result of one finished request.
+// See `ExplorationRequest`: one value per finished job, moved not stored.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone)]
+pub enum ExplorationResponse {
+    /// Response to a macro-flow request.
+    Macro(MacroResponse),
+    /// Response to a chip-composition request.
+    Chip(ChipResponse),
+}
+
+impl ExplorationResponse {
+    /// Evaluation-engine statistics of the request's (primary)
+    /// exploration, including per-request cache hit/miss attribution.
+    pub fn engine(&self) -> &EvalStats {
+        match self {
+            ExplorationResponse::Macro(response) => &response.result.engine,
+            ExplorationResponse::Chip(response) => &response.result.engine,
+        }
+    }
+
+    /// The session archive warm-starting a follow-up request.
+    pub fn session(&self) -> &SessionArchive {
+        match self {
+            ExplorationResponse::Macro(response) => &response.session,
+            ExplorationResponse::Chip(response) => &response.session,
+        }
+    }
+
+    /// The macro response, if this was a macro request.
+    pub fn into_macro(self) -> Option<MacroResponse> {
+        match self {
+            ExplorationResponse::Macro(response) => Some(response),
+            ExplorationResponse::Chip(_) => None,
+        }
+    }
+
+    /// The chip response, if this was a chip request.
+    pub fn into_chip(self) -> Option<ChipResponse> {
+        match self {
+            ExplorationResponse::Chip(response) => Some(response),
+            ExplorationResponse::Macro(_) => None,
+        }
+    }
+}
+
+/// Progress snapshot of a running job, counted in **exploration
+/// generations** (macro plus chip when the flow has a chip stage) — the
+/// dominant cost of a request.  `completed == total` means every
+/// exploration finished; the short netlist/layout tail of a macro flow
+/// may still be running, so use [`JobHandle::is_finished`] to detect
+/// actual completion.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct JobProgress {
+    /// Exploration generations finished.
+    pub completed: usize,
+    /// Total exploration generations the job will run.
+    pub total: usize,
+}
+
+impl JobProgress {
+    /// Completed fraction in `[0, 1]`.
+    pub fn fraction(&self) -> f64 {
+        if self.total == 0 {
+            0.0
+        } else {
+            (self.completed as f64 / self.total as f64).min(1.0)
+        }
+    }
+}
+
+struct ProgressState {
+    completed: AtomicUsize,
+    total: usize,
+}
+
+/// A handle to one in-flight request: observe its progress, then
+/// [`JobHandle::join`] it for the response.
+pub struct JobHandle {
+    id: u64,
+    space: String,
+    progress: Arc<ProgressState>,
+    thread: std::thread::JoinHandle<Result<ExplorationResponse, FlowError>>,
+}
+
+impl JobHandle {
+    /// Service-unique id of the job.
+    pub fn id(&self) -> u64 {
+        self.id
+    }
+
+    /// Signature of the (primary) design space the job explores — the key
+    /// of the shared cache it reads and writes.
+    pub fn space(&self) -> &str {
+        &self.space
+    }
+
+    /// Snapshot of the job's progress (built on the per-generation
+    /// observer of the underlying `run_with_observer` loop).
+    pub fn progress(&self) -> JobProgress {
+        JobProgress {
+            completed: self.progress.completed.load(Ordering::Relaxed),
+            total: self.progress.total,
+        }
+    }
+
+    /// Returns `true` once the worker thread has finished (successfully
+    /// or not); [`JobHandle::join`] will not block after this.
+    pub fn is_finished(&self) -> bool {
+        self.thread.is_finished()
+    }
+
+    /// Waits for the job and returns its response.
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`FlowError`] the job failed with.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises a panic from the job's worker thread.
+    pub fn join(self) -> Result<ExplorationResponse, FlowError> {
+        match self.thread.join() {
+            Ok(result) => result,
+            Err(payload) => std::panic::resume_unwind(payload),
+        }
+    }
+}
+
+impl std::fmt::Debug for JobHandle {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("JobHandle")
+            .field("id", &self.id)
+            .field("space", &self.space)
+            .field("progress", &self.progress())
+            .field("finished", &self.is_finished())
+            .finish()
+    }
+}
+
+/// FNV-1a over a string: folds the verbose `Debug` dump of the
+/// space-defining parameters into a compact, deterministic digest so the
+/// signature stays a short map key / log line instead of a multi-kilobyte
+/// parameter dump.
+fn fnv1a(text: &str) -> u64 {
+    let mut hash: u64 = 0xcbf2_9ce4_8422_2325;
+    for byte in text.bytes() {
+        hash ^= u64::from(byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    hash
+}
+
+/// Signature of a macro design space: a human-readable prefix plus a
+/// digest of every field that changes what an evaluation means.  Budget
+/// fields (population, generations, seed) are deliberately excluded —
+/// runs with different budgets over one space share one cache.
+fn macro_space_signature(config: &DseConfig) -> String {
+    format!(
+        "macro/{}x[{}..{}]/#{:016x}",
+        config.array_size,
+        config.min_height,
+        config.max_height,
+        fnv1a(&format!("{:?}", config.params))
+    )
+}
+
+/// Signature of a chip design space (see [`macro_space_signature`]).
+fn chip_space_signature(config: &ChipDseConfig) -> String {
+    let defining = format!(
+        "{:?}/{:?}/{:?}/{:?}/{:?}",
+        config.grid_rows, config.grid_cols, config.buffer_kib, config.params, config.cost
+    );
+    format!(
+        "chip/{}/{}x[{}..{}]/het={}/#{:016x}",
+        config.network.name,
+        config.array_size,
+        config.min_height,
+        config.max_height,
+        config.heterogeneous,
+        fnv1a(&format!("{:?}/{defining}", config.network))
+    )
+}
+
+/// Checks a warm-start session against the space a request explores.
+fn check_session(
+    session: &Option<SessionArchive>,
+    requested: &str,
+) -> Result<Vec<Vec<f64>>, FlowError> {
+    match session {
+        None => Ok(Vec::new()),
+        Some(session) if session.space == requested => Ok(session.genomes.clone()),
+        Some(session) => Err(FlowError::WarmStartMismatch {
+            requested: requested.to_string(),
+            session: session.space.clone(),
+        }),
+    }
+}
+
+/// The multi-tenant exploration front-end: shared per-space evaluation
+/// caches, one worker thread per request, warm-start sessions.
+///
+/// The service is cheap to construct and internally `Arc`-shared with its
+/// worker threads; share one instance per process (or per tenant class)
+/// to maximise cache reuse.
+#[derive(Default)]
+pub struct ExplorationService {
+    caches: Arc<Mutex<HashMap<String, CacheStore>>>,
+    next_job: AtomicU64,
+}
+
+impl ExplorationService {
+    /// Creates a service with empty caches.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// The shared store of one design space, creating it when a request
+    /// over that space first arrives.
+    fn store_for(&self, space: &str) -> CacheStore {
+        self.caches
+            .lock()
+            .expect("service cache registry lock")
+            .entry(space.to_string())
+            .or_default()
+            .clone()
+    }
+
+    /// Signatures of every design space the service holds a cache for.
+    pub fn spaces(&self) -> Vec<String> {
+        let mut spaces: Vec<String> = self
+            .caches
+            .lock()
+            .expect("service cache registry lock")
+            .keys()
+            .cloned()
+            .collect();
+        spaces.sort();
+        spaces
+    }
+
+    /// The shared cache store of a design space, when one exists (use a
+    /// [`JobHandle::space`] or a [`SessionArchive::space`] as the key).
+    pub fn cache_store(&self, space: &str) -> Option<CacheStore> {
+        self.caches
+            .lock()
+            .expect("service cache registry lock")
+            .get(space)
+            .cloned()
+    }
+
+    /// Total distinct designs cached across every design space.
+    pub fn cached_evaluations(&self) -> usize {
+        self.caches
+            .lock()
+            .expect("service cache registry lock")
+            .values()
+            .map(CacheStore::len)
+            .sum()
+    }
+
+    /// Submits a request and returns a handle to the in-flight job.
+    ///
+    /// Configuration problems (invalid config, warm-start session from a
+    /// different space) are reported eagerly, before a thread is spawned;
+    /// runtime failures surface from [`JobHandle::join`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError::InvalidConfig`] or
+    /// [`FlowError::WarmStartMismatch`] for an unrunnable request.
+    pub fn submit(&self, request: ExplorationRequest) -> Result<JobHandle, FlowError> {
+        let id = self.next_job.fetch_add(1, Ordering::Relaxed);
+        match request {
+            ExplorationRequest::Macro(request) => self.submit_macro(id, request),
+            ExplorationRequest::Chip(request) => self.submit_chip(id, request),
+        }
+    }
+
+    /// Submits a request and blocks until it finishes — the synchronous
+    /// convenience wrapper around [`ExplorationService::submit`] +
+    /// [`JobHandle::join`].
+    ///
+    /// # Errors
+    ///
+    /// Returns the [`FlowError`] of either phase.
+    pub fn run(&self, request: ExplorationRequest) -> Result<ExplorationResponse, FlowError> {
+        self.submit(request)?.join()
+    }
+
+    /// Builds the progress state of a job totalling `generations`
+    /// exploration generations, plus an observer that ticks it only on
+    /// exploration events (netlist/layout events are a short tail the
+    /// total deliberately excludes — see [`JobProgress`]).
+    fn generation_progress(generations: usize) -> (Arc<ProgressState>, ProgressObserver) {
+        let progress = Arc::new(ProgressState {
+            completed: AtomicUsize::new(0),
+            total: generations,
+        });
+        let ticker = progress.clone();
+        let observer: ProgressObserver = Arc::new(move |event: StageProgress| {
+            if matches!(event.stage, "explore" | "chip") {
+                ticker.completed.fetch_add(1, Ordering::Relaxed);
+            }
+        });
+        (progress, observer)
+    }
+
+    fn submit_macro(&self, id: u64, request: MacroRequest) -> Result<JobHandle, FlowError> {
+        let controller = TopFlowController::new(request.config)?;
+        let config = controller.config().clone();
+        let space = macro_space_signature(&config.dse);
+        let warm_start = check_session(&request.warm_start, &space)?;
+        // Built eagerly (rejecting a bad exploration config before any
+        // thread exists) and reused by the worker for session re-encoding.
+        let session_explorer = DesignSpaceExplorer::new(config.dse.clone())?;
+        let chip_session_explorer = match &config.chip {
+            Some(chip) => Some(ChipExplorer::new(chip.dse.clone())?),
+            None => None,
+        };
+
+        let mut total = config.dse.generations;
+        let mut chip_options = ExploreOptions::default();
+        if let Some(chip) = &config.chip {
+            total += chip.dse.generations;
+            chip_options.cache = Some(self.store_for(&chip_space_signature(&chip.dse)));
+        }
+        let (progress, observer) = Self::generation_progress(total);
+        let options = FlowOptions {
+            exploration: ExploreOptions {
+                cache: Some(self.store_for(&space)),
+                warm_start,
+            },
+            chip: chip_options,
+            observer: Some(observer),
+        };
+
+        let job_space = space.clone();
+        let thread = std::thread::Builder::new()
+            .name(format!("easyacim-job-{id}"))
+            .spawn(move || -> Result<ExplorationResponse, FlowError> {
+                let result = controller.run_with(&options)?;
+                let session =
+                    SessionArchive::new(space, session_explorer.session_genomes(&result.frontier));
+                let chip_session = match (&config.chip, &result.chip, &chip_session_explorer) {
+                    (Some(chip_config), Some(chip_result), Some(explorer)) => {
+                        Some(SessionArchive::new(
+                            chip_space_signature(&chip_config.dse),
+                            explorer.session_genomes(&chip_result.front),
+                        ))
+                    }
+                    _ => None,
+                };
+                Ok(ExplorationResponse::Macro(MacroResponse {
+                    result,
+                    session,
+                    chip_session,
+                }))
+            })
+            .expect("spawn exploration worker thread");
+
+        Ok(JobHandle {
+            id,
+            space: job_space,
+            progress,
+            thread,
+        })
+    }
+
+    fn submit_chip(&self, id: u64, request: ChipRequest) -> Result<JobHandle, FlowError> {
+        // Built eagerly (rejecting an inconsistent configuration before
+        // any thread exists) and reused by the worker for session
+        // re-encoding.
+        let session_explorer = ChipExplorer::new(request.config.dse.clone())?;
+        let config = request.config;
+        let space = chip_space_signature(&config.dse);
+        let options = ExploreOptions {
+            cache: Some(self.store_for(&space)),
+            warm_start: check_session(&request.warm_start, &space)?,
+        };
+        let (progress, observer) = Self::generation_progress(config.dse.generations);
+
+        let job_space = space.clone();
+        let thread = std::thread::Builder::new()
+            .name(format!("easyacim-job-{id}"))
+            .spawn(move || -> Result<ExplorationResponse, FlowError> {
+                let flow = crate::chip::ChipFlow::new(config);
+                let result = flow.run_with(&options, Some(observer))?;
+                let session =
+                    SessionArchive::new(space, session_explorer.session_genomes(&result.front));
+                Ok(ExplorationResponse::Chip(ChipResponse { result, session }))
+            })
+            .expect("spawn exploration worker thread");
+
+        Ok(JobHandle {
+            id,
+            space: job_space,
+            progress,
+            thread,
+        })
+    }
+}
+
+impl std::fmt::Debug for ExplorationService {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExplorationService")
+            .field("spaces", &self.spaces())
+            .field("cached_evaluations", &self.cached_evaluations())
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use acim_chip::Network;
+
+    fn quick_chip_config() -> ChipFlowConfig {
+        let mut config = ChipFlowConfig::for_network(Network::edge_cnn(1));
+        config.dse.population_size = 16;
+        config.dse.generations = 5;
+        config.dse.grid_rows = vec![1, 2];
+        config.dse.grid_cols = vec![1, 2];
+        config.dse.buffer_kib = vec![8, 32];
+        config.validate_best = false;
+        config
+    }
+
+    #[test]
+    fn chip_request_round_trips_and_reuses_the_cache() {
+        let service = ExplorationService::new();
+        let first = service
+            .run(ExplorationRequest::chip(quick_chip_config()))
+            .unwrap()
+            .into_chip()
+            .unwrap();
+        assert!(!first.result.front.is_empty());
+        assert!(first.result.engine.cache.misses > 0);
+        assert_eq!(first.session.len(), first.result.front.len());
+        assert!(first.session.space().starts_with("chip/"));
+        assert_eq!(service.spaces().len(), 1);
+        let cached = service.cached_evaluations();
+        assert_eq!(cached, first.result.engine.cache.misses);
+
+        // Identical second request: every evaluation is a cross-request
+        // cache hit and no new entries appear.
+        let second = service
+            .run(ExplorationRequest::chip(quick_chip_config()))
+            .unwrap()
+            .into_chip()
+            .unwrap();
+        assert_eq!(second.result.engine.cache.misses, 0);
+        assert!(second.result.engine.cache.hits > 0);
+        assert_eq!(service.cached_evaluations(), cached);
+        assert_eq!(first.result.front.len(), second.result.front.len());
+    }
+
+    #[test]
+    fn warm_start_sessions_are_space_checked() {
+        let service = ExplorationService::new();
+        let response = service
+            .run(ExplorationRequest::chip(quick_chip_config()))
+            .unwrap();
+        let session = response.session().clone();
+
+        // Same space: accepted.
+        let ok = ChipRequest::new(quick_chip_config()).with_warm_start(session.clone());
+        assert!(service.submit(ExplorationRequest::Chip(ok)).is_ok());
+
+        // Different space (other buffer catalogue): rejected eagerly.
+        let mut other = quick_chip_config();
+        other.dse.buffer_kib = vec![16, 64];
+        let bad = ChipRequest::new(other).with_warm_start(session);
+        match service.submit(ExplorationRequest::Chip(bad)) {
+            Err(FlowError::WarmStartMismatch { requested, session }) => {
+                assert_ne!(requested, session);
+            }
+            other => panic!("expected WarmStartMismatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn job_handles_report_progress_and_space() {
+        let service = ExplorationService::new();
+        let handle = service
+            .submit(ExplorationRequest::chip(quick_chip_config()))
+            .unwrap();
+        assert!(handle.space().starts_with("chip/"));
+        let total = handle.progress().total;
+        assert_eq!(total, 5);
+        let response = handle.join().unwrap();
+        assert!(matches!(response, ExplorationResponse::Chip(_)));
+    }
+
+    #[test]
+    fn invalid_requests_fail_eagerly() {
+        let service = ExplorationService::new();
+        let mut config = quick_chip_config();
+        config.dse.population_size = 7;
+        assert!(service.submit(ExplorationRequest::chip(config)).is_err());
+        let mut flow = FlowConfig::new(4 * 1024);
+        flow.dse.population_size = 2;
+        assert!(service
+            .submit(ExplorationRequest::macro_flow(flow))
+            .is_err());
+    }
+
+    #[test]
+    fn job_progress_fraction_saturates() {
+        let progress = JobProgress {
+            completed: 3,
+            total: 4,
+        };
+        assert!((progress.fraction() - 0.75).abs() < 1e-12);
+        let done = JobProgress {
+            completed: 9,
+            total: 4,
+        };
+        assert_eq!(done.fraction(), 1.0);
+        let empty = JobProgress {
+            completed: 0,
+            total: 0,
+        };
+        assert_eq!(empty.fraction(), 0.0);
+    }
+}

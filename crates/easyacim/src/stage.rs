@@ -1,0 +1,630 @@
+//! Typed, composable flow stages.
+//!
+//! The paper's Figure-4 flow used to be a hard-coded sequence inside
+//! `TopFlowController::run`.  This module breaks it into five [`Stage`]s
+//! with typed inputs and outputs —
+//!
+//! ```text
+//! ExploreStage   ()         -> Explored     (NSGA-II Pareto frontier)
+//! DistillStage   Explored   -> Distilled    (user requirements applied)
+//! NetlistStage   Distilled  -> Netlisted    (hierarchical netlists)
+//! LayoutStage    Netlisted  -> LaidOut      (template-based P&R)
+//! ChipStage      ()         -> ChipFlowResult (multi-macro composition)
+//! ```
+//!
+//! — chained with [`Stage::then`], which only compiles when the output
+//! type of one stage is the input type of the next.  The controller in
+//! [`crate::flow`] and the multi-tenant service in [`crate::service`]
+//! both assemble their pipelines from these pieces; the stages accept
+//! [`ExploreOptions`] (shared cache, warm-start seeds) and an optional
+//! [`ProgressObserver`], which is how one long-lived service thread
+//! observes many concurrent explorations.
+
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use acim_cell::CellLibrary;
+use acim_chip::simulate_network;
+use acim_dse::{
+    ChipExplorer, DesignPoint, DesignSpaceExplorer, DseConfig, ExploreOptions, ParetoFrontierSet,
+    UserRequirements,
+};
+use acim_layout::LayoutFlow;
+use acim_moga::EvalStats;
+use acim_netlist::{design_stats, write_spice, Design, DesignStats, NetlistGenerator};
+use acim_tech::Technology;
+
+use crate::chip::{ChipFlowConfig, ChipFlowResult};
+use crate::error::FlowError;
+use crate::flow::GeneratedDesign;
+
+/// One progress tick from a running stage.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct StageProgress {
+    /// Name of the reporting stage (`"explore"`, `"chip"`, …).
+    pub stage: &'static str,
+    /// Units of work finished so far (generations for the exploration
+    /// stages, designs for netlist/layout).
+    pub completed: usize,
+    /// Total units of work the stage will perform.
+    pub total: usize,
+}
+
+/// A shareable progress callback: stages invoke it after every unit of
+/// work.  `Arc` so one observer can watch several concurrently running
+/// stages (the service's job handles are built on this).
+pub type ProgressObserver = Arc<dyn Fn(StageProgress) + Send + Sync>;
+
+/// One typed step of the EasyACIM flow.
+///
+/// A stage consumes its `Input` and produces its `Output` (or a
+/// [`FlowError`]); [`Stage::then`] chains two stages into a new one when
+/// the types line up, so mis-ordered pipelines fail to compile instead of
+/// failing at run time.
+pub trait Stage {
+    /// What the stage consumes.
+    type Input;
+    /// What the stage produces.
+    type Output;
+
+    /// Short stable name, used in progress events and reports.
+    fn name(&self) -> &'static str;
+
+    /// Executes the stage.
+    ///
+    /// # Errors
+    ///
+    /// Returns the stage's [`FlowError`] on failure.
+    fn run(&self, input: Self::Input) -> Result<Self::Output, FlowError>;
+
+    /// Chains `next` after this stage: the result is itself a [`Stage`]
+    /// from this stage's input to `next`'s output.
+    fn then<Next>(self, next: Next) -> Then<Self, Next>
+    where
+        Self: Sized,
+        Next: Stage<Input = Self::Output>,
+    {
+        Then {
+            first: self,
+            second: next,
+        }
+    }
+}
+
+/// Two stages chained by [`Stage::then`].
+#[derive(Debug, Clone)]
+pub struct Then<A, B> {
+    first: A,
+    second: B,
+}
+
+impl<A, B> Stage for Then<A, B>
+where
+    A: Stage,
+    B: Stage<Input = A::Output>,
+{
+    type Input = A::Input;
+    type Output = B::Output;
+
+    fn name(&self) -> &'static str {
+        "pipeline"
+    }
+
+    fn run(&self, input: Self::Input) -> Result<Self::Output, FlowError> {
+        self.second.run(self.first.run(input)?)
+    }
+}
+
+/// Output of [`ExploreStage`]: the raw Pareto frontier.
+#[derive(Debug, Clone)]
+pub struct Explored {
+    /// The full frontier set (points + evaluation-engine stats).
+    pub frontier: ParetoFrontierSet,
+    /// Wall-clock time of the exploration.
+    pub exploration_time: Duration,
+}
+
+/// Output of [`DistillStage`]: the frontier after user distillation.
+#[derive(Debug, Clone)]
+pub struct Distilled {
+    /// The full Pareto frontier found by the explorer.
+    pub frontier: Vec<DesignPoint>,
+    /// The frontier points surviving the user requirements.
+    pub distilled: Vec<DesignPoint>,
+    /// Evaluation-engine statistics of the exploration.
+    pub engine: EvalStats,
+    /// Wall-clock time of the exploration.
+    pub exploration_time: Duration,
+}
+
+/// One netlisted design, produced by [`NetlistStage`].
+#[derive(Debug, Clone)]
+pub struct NetlistedDesign {
+    /// The design point (spec + estimated metrics).
+    pub point: DesignPoint,
+    /// The hierarchical netlist.
+    pub netlist: Design,
+    /// Netlist statistics (cell/transistor counts).
+    pub stats: DesignStats,
+    /// SPICE text, when the stage was asked to emit files.
+    pub spice: Option<String>,
+    /// Wall-clock time spent generating the netlist.
+    pub netlist_time: Duration,
+}
+
+/// Output of [`NetlistStage`]: distillation results plus one netlist per
+/// selected design.
+#[derive(Debug, Clone)]
+pub struct Netlisted {
+    /// The full Pareto frontier found by the explorer.
+    pub frontier: Vec<DesignPoint>,
+    /// The frontier points surviving the user requirements.
+    pub distilled: Vec<DesignPoint>,
+    /// Evaluation-engine statistics of the exploration.
+    pub engine: EvalStats,
+    /// Wall-clock time of the exploration.
+    pub exploration_time: Duration,
+    /// The netlisted designs (bounded by the stage's layout limit).
+    pub netlists: Vec<NetlistedDesign>,
+}
+
+/// Output of [`LayoutStage`] — everything the macro flow produces.
+#[derive(Debug, Clone)]
+pub struct LaidOut {
+    /// The full Pareto frontier found by the explorer.
+    pub frontier: Vec<DesignPoint>,
+    /// The frontier points surviving the user requirements.
+    pub distilled: Vec<DesignPoint>,
+    /// Evaluation-engine statistics of the exploration.
+    pub engine: EvalStats,
+    /// Wall-clock time of the exploration.
+    pub exploration_time: Duration,
+    /// Fully generated designs (netlist + layout each).
+    pub designs: Vec<GeneratedDesign>,
+}
+
+/// The MOGA design-space exploration stage (`() -> Explored`).
+#[derive(Clone)]
+pub struct ExploreStage {
+    config: DseConfig,
+    options: ExploreOptions,
+    observer: Option<ProgressObserver>,
+}
+
+impl ExploreStage {
+    /// Creates the stage for one exploration configuration.
+    pub fn new(config: DseConfig) -> Self {
+        Self {
+            config,
+            options: ExploreOptions::default(),
+            observer: None,
+        }
+    }
+
+    /// Injects a shared cache / warm-start seeds.
+    #[must_use]
+    pub fn with_options(mut self, options: ExploreOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Attaches a progress observer (one event per generation).
+    #[must_use]
+    pub fn with_observer(mut self, observer: ProgressObserver) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+}
+
+impl std::fmt::Debug for ExploreStage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ExploreStage")
+            .field("config", &self.config)
+            .field("options", &self.options)
+            .field("observed", &self.observer.is_some())
+            .finish()
+    }
+}
+
+impl Stage for ExploreStage {
+    type Input = ();
+    type Output = Explored;
+
+    fn name(&self) -> &'static str {
+        "explore"
+    }
+
+    fn run(&self, (): ()) -> Result<Explored, FlowError> {
+        let start = Instant::now();
+        let explorer = DesignSpaceExplorer::new(self.config.clone())?;
+        let total = self.config.generations;
+        let observer = self.observer.clone();
+        let frontier = explorer.explore_with(&self.options, |generation| {
+            if let Some(observer) = &observer {
+                observer(StageProgress {
+                    stage: "explore",
+                    completed: generation + 1,
+                    total,
+                });
+            }
+        })?;
+        Ok(Explored {
+            frontier,
+            exploration_time: start.elapsed(),
+        })
+    }
+}
+
+/// The user-distillation stage (`Explored -> Distilled`).
+#[derive(Debug, Clone)]
+pub struct DistillStage {
+    requirements: UserRequirements,
+}
+
+impl DistillStage {
+    /// Creates the stage from the user's requirements.
+    pub fn new(requirements: UserRequirements) -> Self {
+        Self { requirements }
+    }
+}
+
+impl Stage for DistillStage {
+    type Input = Explored;
+    type Output = Distilled;
+
+    fn name(&self) -> &'static str {
+        "distill"
+    }
+
+    fn run(&self, input: Explored) -> Result<Distilled, FlowError> {
+        let exploration_time = input.exploration_time;
+        let engine = input.frontier.engine.clone();
+        let frontier = input.frontier.into_points();
+        let distilled = self.requirements.distill(&frontier);
+        if distilled.is_empty() {
+            return Err(FlowError::EmptyDistilledSet);
+        }
+        Ok(Distilled {
+            frontier,
+            distilled,
+            engine,
+            exploration_time,
+        })
+    }
+}
+
+/// The template-based netlist-generation stage (`Distilled -> Netlisted`).
+///
+/// Generates a netlist for up to `limit` distilled designs (`0` = all) —
+/// the same bound the layout stage honours, since netlists exist to be
+/// laid out.
+pub struct NetlistStage<'a> {
+    library: &'a CellLibrary,
+    emit_spice: bool,
+    limit: usize,
+    observer: Option<ProgressObserver>,
+}
+
+impl<'a> NetlistStage<'a> {
+    /// Creates the stage over a cell library.
+    pub fn new(library: &'a CellLibrary, emit_spice: bool, limit: usize) -> Self {
+        Self {
+            library,
+            emit_spice,
+            limit,
+            observer: None,
+        }
+    }
+
+    /// Attaches a progress observer (one event per netlisted design).
+    #[must_use]
+    pub fn with_observer(mut self, observer: ProgressObserver) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+}
+
+impl std::fmt::Debug for NetlistStage<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("NetlistStage")
+            .field("emit_spice", &self.emit_spice)
+            .field("limit", &self.limit)
+            .finish_non_exhaustive()
+    }
+}
+
+impl Stage for NetlistStage<'_> {
+    type Input = Distilled;
+    type Output = Netlisted;
+
+    fn name(&self) -> &'static str {
+        "netlist"
+    }
+
+    fn run(&self, input: Distilled) -> Result<Netlisted, FlowError> {
+        let limit = if self.limit == 0 {
+            input.distilled.len()
+        } else {
+            self.limit.min(input.distilled.len())
+        };
+        let generator = NetlistGenerator::new(self.library);
+        let mut netlists = Vec::with_capacity(limit);
+        for (index, point) in input.distilled.iter().take(limit).enumerate() {
+            let start = Instant::now();
+            let netlist = generator.generate(&point.spec)?;
+            let stats = design_stats(&netlist, self.library)?;
+            let spice = if self.emit_spice {
+                Some(write_spice(&netlist, self.library)?)
+            } else {
+                None
+            };
+            netlists.push(NetlistedDesign {
+                point: *point,
+                netlist,
+                stats,
+                spice,
+                netlist_time: start.elapsed(),
+            });
+            if let Some(observer) = &self.observer {
+                observer(StageProgress {
+                    stage: "netlist",
+                    completed: index + 1,
+                    total: limit,
+                });
+            }
+        }
+        Ok(Netlisted {
+            frontier: input.frontier,
+            distilled: input.distilled,
+            engine: input.engine,
+            exploration_time: input.exploration_time,
+            netlists,
+        })
+    }
+}
+
+/// The template-based place-and-route stage (`Netlisted -> LaidOut`).
+pub struct LayoutStage<'a> {
+    technology: &'a Technology,
+    library: &'a CellLibrary,
+    observer: Option<ProgressObserver>,
+}
+
+impl<'a> LayoutStage<'a> {
+    /// Creates the stage over a technology and cell library.
+    pub fn new(technology: &'a Technology, library: &'a CellLibrary) -> Self {
+        Self {
+            technology,
+            library,
+            observer: None,
+        }
+    }
+
+    /// Attaches a progress observer (one event per laid-out design).
+    #[must_use]
+    pub fn with_observer(mut self, observer: ProgressObserver) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+}
+
+impl std::fmt::Debug for LayoutStage<'_> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("LayoutStage").finish_non_exhaustive()
+    }
+}
+
+impl Stage for LayoutStage<'_> {
+    type Input = Netlisted;
+    type Output = LaidOut;
+
+    fn name(&self) -> &'static str {
+        "layout"
+    }
+
+    fn run(&self, input: Netlisted) -> Result<LaidOut, FlowError> {
+        let flow = LayoutFlow::new(self.technology, self.library);
+        let total = input.netlists.len();
+        let mut designs = Vec::with_capacity(total);
+        for (index, netlisted) in input.netlists.into_iter().enumerate() {
+            let start = Instant::now();
+            let layout = flow.generate(&netlisted.point.spec)?;
+            designs.push(GeneratedDesign {
+                point: netlisted.point,
+                netlist: netlisted.netlist,
+                netlist_stats: netlisted.stats,
+                layout,
+                spice: netlisted.spice,
+                generation_time: netlisted.netlist_time + start.elapsed(),
+            });
+            if let Some(observer) = &self.observer {
+                observer(StageProgress {
+                    stage: "layout",
+                    completed: index + 1,
+                    total,
+                });
+            }
+        }
+        Ok(LaidOut {
+            frontier: input.frontier,
+            distilled: input.distilled,
+            engine: input.engine,
+            exploration_time: input.exploration_time,
+            designs,
+        })
+    }
+}
+
+/// The chip-composition stage (`() -> ChipFlowResult`): multi-macro
+/// co-exploration plus optional behavioural validation of the best chip.
+///
+/// Input-free like [`ExploreStage`]: it depends only on its
+/// configuration, which is what lets [`crate::flow::TopFlowController`]
+/// overlap it with the netlist/layout stages on the persistent pool.
+#[derive(Clone)]
+pub struct ChipStage {
+    config: ChipFlowConfig,
+    options: ExploreOptions,
+    observer: Option<ProgressObserver>,
+}
+
+impl ChipStage {
+    /// Creates the stage.
+    pub fn new(config: ChipFlowConfig) -> Self {
+        Self {
+            config,
+            options: ExploreOptions::default(),
+            observer: None,
+        }
+    }
+
+    /// Injects a shared cache / warm-start seeds.
+    #[must_use]
+    pub fn with_options(mut self, options: ExploreOptions) -> Self {
+        self.options = options;
+        self
+    }
+
+    /// Attaches a progress observer (one event per generation).
+    #[must_use]
+    pub fn with_observer(mut self, observer: ProgressObserver) -> Self {
+        self.observer = Some(observer);
+        self
+    }
+}
+
+impl std::fmt::Debug for ChipStage {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ChipStage")
+            .field("config", &self.config)
+            .field("options", &self.options)
+            .field("observed", &self.observer.is_some())
+            .finish()
+    }
+}
+
+impl Stage for ChipStage {
+    type Input = ();
+    type Output = ChipFlowResult;
+
+    fn name(&self) -> &'static str {
+        "chip"
+    }
+
+    fn run(&self, (): ()) -> Result<ChipFlowResult, FlowError> {
+        let start = Instant::now();
+        let explorer = ChipExplorer::new(self.config.dse.clone())?;
+        let total = self.config.dse.generations;
+        let observer = self.observer.clone();
+        let frontier = explorer.explore_with(&self.options, |generation| {
+            if let Some(observer) = &observer {
+                observer(StageProgress {
+                    stage: "chip",
+                    completed: generation + 1,
+                    total,
+                });
+            }
+        })?;
+        let engine = frontier.engine.clone();
+        let front = frontier.into_points();
+        let exploration_time = start.elapsed();
+
+        let mut result = ChipFlowResult {
+            front,
+            engine,
+            exploration_time,
+            validation: None,
+        };
+        if self.config.validate_best {
+            if let Some(best) = result.best_throughput() {
+                let report = simulate_network(
+                    &best.chip,
+                    explorer.problem().network(),
+                    self.config.validation_seed,
+                )?;
+                result.validation = Some(report);
+            }
+        }
+        Ok(result)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicUsize, Ordering};
+
+    fn quick_dse() -> DseConfig {
+        DseConfig {
+            array_size: 4 * 1024,
+            population_size: 24,
+            generations: 8,
+            ..Default::default()
+        }
+    }
+
+    #[test]
+    fn explore_then_distill_composes() {
+        let events = Arc::new(AtomicUsize::new(0));
+        let counter = events.clone();
+        let observer: ProgressObserver = Arc::new(move |event: StageProgress| {
+            assert_eq!(event.stage, "explore");
+            assert_eq!(event.total, 8);
+            counter.fetch_add(1, Ordering::Relaxed);
+        });
+        let pipeline = ExploreStage::new(quick_dse())
+            .with_observer(observer)
+            .then(DistillStage::new(UserRequirements::none()));
+        assert_eq!(pipeline.name(), "pipeline");
+        let distilled = pipeline.run(()).unwrap();
+        assert!(!distilled.frontier.is_empty());
+        assert!(!distilled.distilled.is_empty());
+        assert!(distilled.engine.evaluations > 0);
+        assert_eq!(events.load(Ordering::Relaxed), 8);
+    }
+
+    #[test]
+    fn distill_can_reject_everything() {
+        let requirements = UserRequirements {
+            min_snr_db: Some(500.0),
+            ..UserRequirements::none()
+        };
+        let pipeline = ExploreStage::new(quick_dse()).then(DistillStage::new(requirements));
+        assert!(matches!(
+            pipeline.run(()),
+            Err(FlowError::EmptyDistilledSet)
+        ));
+    }
+
+    #[test]
+    fn netlist_and_layout_stages_honour_the_limit() {
+        let technology = Technology::s28();
+        let library = CellLibrary::s28_default(&technology);
+        let pipeline = ExploreStage::new(quick_dse())
+            .then(DistillStage::new(UserRequirements::none()))
+            .then(NetlistStage::new(&library, false, 1))
+            .then(LayoutStage::new(&technology, &library));
+        let laid = pipeline.run(()).unwrap();
+        assert_eq!(laid.designs.len(), 1);
+        let design = &laid.designs[0];
+        assert_eq!(
+            design.netlist_stats.sram_cells,
+            design.point.spec.array_size()
+        );
+        assert!(design.spice.is_none());
+        assert!(design.generation_time > Duration::ZERO);
+    }
+
+    #[test]
+    fn stage_names_are_stable() {
+        let technology = Technology::s28();
+        let library = CellLibrary::s28_default(&technology);
+        assert_eq!(ExploreStage::new(quick_dse()).name(), "explore");
+        assert_eq!(
+            DistillStage::new(UserRequirements::none()).name(),
+            "distill"
+        );
+        assert_eq!(NetlistStage::new(&library, false, 1).name(), "netlist");
+        assert_eq!(LayoutStage::new(&technology, &library).name(), "layout");
+    }
+}

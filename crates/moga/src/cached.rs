@@ -18,10 +18,20 @@
 //! are bit-identical with and without the wrapper (provided the quantum is
 //! finer than the problem's decode resolution, which the conservative
 //! default guarantees for every problem in this workspace).
+//!
+//! # Sharing one cache across runs
+//!
+//! The entries live in a [`CacheStore`] — a cheaply cloneable, thread-safe
+//! handle to one shared map.  A long-lived caller (like the `easyacim`
+//! `ExplorationService`) keeps one store per design space and hands clones
+//! of it to every request's [`CachedProblem`] via
+//! [`CachedProblem::with_shared_store`]: entries written by one request are
+//! hits for the next, while the hit/miss counters stay **per wrapper**, so
+//! each request still reports its own [`CacheStats`].
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::Mutex;
+use std::sync::{Arc, Mutex, MutexGuard};
 
 use crate::problem::{Evaluation, Problem};
 
@@ -69,6 +79,69 @@ impl std::fmt::Display for CacheStats {
     }
 }
 
+/// A thread-safe, cheaply cloneable handle to one shared evaluation map.
+///
+/// Clones share the same underlying entries (`Arc` semantics), which is
+/// what lets many concurrent [`CachedProblem`] wrappers — one per
+/// exploration request — amortise evaluations across requests.  Keys must
+/// come from one consistent quantizer per store: mixing key functions in
+/// one store silently partitions (or worse, collides) the entries.
+#[derive(Clone, Default)]
+pub struct CacheStore {
+    entries: Arc<Mutex<HashMap<Vec<i64>, Evaluation>>>,
+}
+
+impl CacheStore {
+    /// Creates an empty store.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Number of cached evaluations.
+    pub fn len(&self) -> usize {
+        self.lock().len()
+    }
+
+    /// Returns `true` when nothing has been cached yet.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Looks up one key.
+    pub fn get(&self, key: &[i64]) -> Option<Evaluation> {
+        self.lock().get(key).cloned()
+    }
+
+    /// Inserts one evaluation.  Re-inserting an existing key overwrites
+    /// it, which is harmless as long as every writer derives evaluations
+    /// deterministically from the key (the [`CachedProblem`] contract).
+    pub fn insert(&self, key: Vec<i64>, evaluation: Evaluation) {
+        self.lock().insert(key, evaluation);
+    }
+
+    /// Removes every entry.
+    pub fn clear(&self) {
+        self.lock().clear();
+    }
+
+    /// Returns `true` when `other` is a handle to the same underlying map.
+    pub fn shares_entries_with(&self, other: &CacheStore) -> bool {
+        Arc::ptr_eq(&self.entries, &other.entries)
+    }
+
+    fn lock(&self) -> MutexGuard<'_, HashMap<Vec<i64>, Evaluation>> {
+        self.entries.lock().expect("cache store lock poisoned")
+    }
+}
+
+impl std::fmt::Debug for CacheStore {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("CacheStore")
+            .field("entries", &self.len())
+            .finish()
+    }
+}
+
 /// A genome → cache-key quantizer.
 ///
 /// The key decides which genomes count as "the same design".  The default
@@ -106,7 +179,7 @@ pub struct CachedProblem<P> {
     inner: P,
     quantum: f64,
     key_fn: Option<Box<KeyFn>>,
-    cache: Mutex<HashMap<Vec<i64>, Evaluation>>,
+    store: CacheStore,
     hits: AtomicUsize,
     misses: AtomicUsize,
 }
@@ -152,7 +225,7 @@ impl<P: Problem> CachedProblem<P> {
             inner,
             quantum,
             key_fn: None,
-            cache: Mutex::new(HashMap::new()),
+            store: CacheStore::new(),
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
         }
@@ -174,10 +247,31 @@ impl<P: Problem> CachedProblem<P> {
             inner,
             quantum: DEFAULT_QUANTUM,
             key_fn: Some(Box::new(key_fn)),
-            cache: Mutex::new(HashMap::new()),
+            store: CacheStore::new(),
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
         }
+    }
+
+    /// Replaces the wrapper's (fresh, empty) store with a handle to a
+    /// shared one, so this wrapper reads and writes entries other wrappers
+    /// over the same design space already produced.
+    ///
+    /// The hit/miss counters remain **per wrapper**: a request served by a
+    /// pre-populated shared store reports those answers as its own hits,
+    /// which is exactly the per-request attribution a multi-tenant service
+    /// wants.  The caller must pair one store with one key function — the
+    /// store trusts its keys.
+    #[must_use]
+    pub fn with_shared_store(mut self, store: CacheStore) -> Self {
+        self.store = store;
+        self
+    }
+
+    /// The wrapper's store handle (clone it to share entries with another
+    /// wrapper or to inspect the cache after the wrapper is dropped).
+    pub fn store(&self) -> &CacheStore {
+        &self.store
     }
 
     /// The wrapped problem.
@@ -190,9 +284,10 @@ impl<P: Problem> CachedProblem<P> {
         self.inner
     }
 
-    /// Number of distinct designs currently cached.
+    /// Number of distinct designs currently cached (shared-store wrappers
+    /// count entries written by every wrapper on the store).
     pub fn len(&self) -> usize {
-        self.cache.lock().expect("cache lock poisoned").len()
+        self.store.len()
     }
 
     /// Returns `true` when nothing has been cached yet.
@@ -231,16 +326,13 @@ impl<P: Problem> Problem for CachedProblem<P> {
 
     fn evaluate(&self, genes: &[f64]) -> Evaluation {
         let key = self.key(genes);
-        if let Some(eval) = self.cache.lock().expect("cache lock poisoned").get(&key) {
+        if let Some(eval) = self.store.get(&key) {
             self.hits.fetch_add(1, Ordering::Relaxed);
-            return eval.clone();
+            return eval;
         }
         let eval = self.inner.evaluate(genes);
         self.misses.fetch_add(1, Ordering::Relaxed);
-        self.cache
-            .lock()
-            .expect("cache lock poisoned")
-            .insert(key, eval.clone());
+        self.store.insert(key, eval.clone());
         eval
     }
 
@@ -255,7 +347,7 @@ impl<P: Problem> Problem for CachedProblem<P> {
         // Which unique miss (by position in `miss_genomes`) fills slot i.
         let mut pending: Vec<(usize, usize)> = Vec::new();
         {
-            let cache = self.cache.lock().expect("cache lock poisoned");
+            let cache = self.store.lock();
             let mut batch_local: HashMap<&[i64], usize> = HashMap::new();
             for (i, key) in keys.iter().enumerate() {
                 if let Some(eval) = cache.get(key) {
@@ -283,7 +375,7 @@ impl<P: Problem> Problem for CachedProblem<P> {
             "inner evaluate_batch must return one evaluation per genome"
         );
         {
-            let mut cache = self.cache.lock().expect("cache lock poisoned");
+            let mut cache = self.store.lock();
             for (key, eval) in miss_keys.into_iter().zip(&fresh) {
                 cache.insert(key, eval.clone());
             }
@@ -430,6 +522,46 @@ mod tests {
         assert_ne!(a, c);
         assert_eq!(cached.stats(), CacheStats { hits: 1, misses: 2 });
         assert!(format!("{cached:?}").contains("custom_key: true"));
+    }
+
+    #[test]
+    fn shared_store_amortises_across_wrappers_with_per_wrapper_stats() {
+        let store = CacheStore::new();
+        let first = CachedProblem::new(Counting::new()).with_shared_store(store.clone());
+        let _ = first.evaluate_batch(&[vec![0.1, 0.1], vec![0.2, 0.2]]);
+        assert_eq!(first.stats(), CacheStats { hits: 0, misses: 2 });
+        assert_eq!(store.len(), 2);
+
+        // A second wrapper (a new "request") over the same store: answers
+        // come from the shared entries, attributed to this wrapper.
+        let second = CachedProblem::new(Counting::new()).with_shared_store(store.clone());
+        let batch = second.evaluate_batch(&[vec![0.2, 0.2], vec![0.3, 0.3]]);
+        assert_eq!(batch.len(), 2);
+        assert_eq!(second.stats(), CacheStats { hits: 1, misses: 1 });
+        assert_eq!(second.inner().calls.load(Ordering::Relaxed), 1);
+        assert_eq!(store.len(), 3);
+        // The first wrapper's counters are untouched.
+        assert_eq!(first.stats(), CacheStats { hits: 0, misses: 2 });
+        assert!(first.store().shares_entries_with(second.store()));
+    }
+
+    #[test]
+    fn store_handles_clone_shallowly() {
+        let store = CacheStore::new();
+        assert!(store.is_empty());
+        let alias = store.clone();
+        alias.insert(vec![1, 2], Evaluation::unconstrained(vec![0.5]));
+        assert_eq!(store.len(), 1);
+        assert_eq!(
+            store.get(&[1, 2]),
+            Some(Evaluation::unconstrained(vec![0.5]))
+        );
+        assert!(store.shares_entries_with(&alias));
+        assert!(!store.shares_entries_with(&CacheStore::new()));
+        assert!(format!("{store:?}").contains("entries"));
+        store.clear();
+        assert!(alias.is_empty());
+        assert_eq!(store.get(&[1, 2]), None);
     }
 
     #[test]

@@ -86,12 +86,12 @@ pub mod random_search;
 pub mod selection;
 
 pub use archive::ParetoArchive;
-pub use cached::{CacheStats, CachedProblem};
+pub use cached::{CacheStats, CacheStore, CachedProblem};
 pub use crowding::assign_crowding_distance;
 pub use dominance::{constrained_dominates, dominates, fast_non_dominated_sort};
 pub use hypervolume::{hypervolume_2d, hypervolume_monte_carlo};
 pub use individual::Individual;
-pub use nsga2::{EvalStats, Nsga2, Nsga2Config, Nsga2Result};
+pub use nsga2::{EvalStats, Nsga2, Nsga2Config, Nsga2Result, PoolStats};
 pub use operators::{polynomial_mutation, sbx_crossover};
 pub use problem::{Evaluation, Problem};
 pub use random_search::random_search;

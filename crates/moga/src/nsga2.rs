@@ -37,6 +37,13 @@ pub struct Nsga2Config {
     pub mutation_probability: Option<f64>,
     /// Polynomial-mutation distribution index.
     pub mutation_eta: f64,
+    /// Genomes injected into the initial population (the **warm-start**
+    /// path): up to `population_size` of them are used verbatim (genes
+    /// clamped to `[0, 1]`), the remainder is filled with uniform random
+    /// genomes exactly as a cold run would generate them.  Empty (the
+    /// default) keeps the historical all-random initial population and a
+    /// bit-identical RNG stream, so cold runs are unaffected.
+    pub initial_population: Vec<Vec<f64>>,
 }
 
 impl Default for Nsga2Config {
@@ -48,7 +55,48 @@ impl Default for Nsga2Config {
             crossover_eta: 15.0,
             mutation_probability: None,
             mutation_eta: 20.0,
+            initial_population: Vec::new(),
         }
+    }
+}
+
+/// Work-stealing pool activity attributed to one optimiser run: how many
+/// leaf tasks the pool executed, how many were claimed by stealing, and
+/// how the tasks spread across helper slots.  Filled in by callers that
+/// can observe the pool (the `acim-dse` explorers diff
+/// `rayon::pool_metrics()` snapshots around the run); stays at the zero
+/// default for problems that never touch a pool.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PoolStats {
+    /// Leaf tasks executed during the run, summed over helper slots.
+    pub tasks_executed: u64,
+    /// Tasks claimed by stealing from another helper's deque.
+    pub steals: u64,
+    /// Per-slot task counts (slot 0 is the submitting thread).
+    pub tasks_per_worker: Vec<u64>,
+}
+
+impl PoolStats {
+    /// Fraction of tasks that were claimed by stealing, in `[0, 1]`
+    /// (`0.0` when no tasks ran).
+    pub fn steal_rate(&self) -> f64 {
+        if self.tasks_executed == 0 {
+            0.0
+        } else {
+            self.steals as f64 / self.tasks_executed as f64
+        }
+    }
+}
+
+impl std::fmt::Display for PoolStats {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{} pool tasks ({} stolen) across {} workers",
+            self.tasks_executed,
+            self.steals,
+            self.tasks_per_worker.len(),
+        )
     }
 }
 
@@ -70,6 +118,10 @@ pub struct EvalStats {
     /// Wall-clock seconds per generation (variation + evaluation +
     /// environmental selection), one entry per generation.
     pub generation_seconds: Vec<f64>,
+    /// Work-stealing pool activity attributed to the run
+    /// ([`PoolStats::default`] when the problem never used a pool or the
+    /// caller could not observe one).
+    pub pool: PoolStats,
 }
 
 impl EvalStats {
@@ -149,8 +201,9 @@ impl<P: Problem> Nsga2<P> {
     ///
     /// # Panics
     ///
-    /// Panics if the population size is smaller than 4 or odd, or if the
-    /// problem has zero variables or objectives.
+    /// Panics if the population size is smaller than 4 or odd, if the
+    /// problem has zero variables or objectives, or if a seeded initial
+    /// genome does not have exactly `num_variables` genes.
     pub fn new(problem: P, config: Nsga2Config) -> Self {
         assert!(
             config.population_size >= 4 && config.population_size.is_multiple_of(2),
@@ -158,6 +211,15 @@ impl<P: Problem> Nsga2<P> {
         );
         assert!(problem.num_variables() > 0, "problem must have variables");
         assert!(problem.num_objectives() > 0, "problem must have objectives");
+        for (i, genome) in config.initial_population.iter().enumerate() {
+            assert_eq!(
+                genome.len(),
+                problem.num_variables(),
+                "seeded genome {i} has {} genes, problem has {}",
+                genome.len(),
+                problem.num_variables()
+            );
+        }
         Self {
             problem,
             config,
@@ -220,10 +282,19 @@ impl<P: Problem> Nsga2<P> {
                 .collect()
         };
 
-        // Initial random population, evaluated as one batch.
-        let genomes: Vec<Vec<f64>> = (0..pop_size)
-            .map(|_| random_genome(&mut rng, n_var))
+        // Initial population: seeded genomes first (the warm-start path),
+        // the remainder random.  With no seeds this is the historical
+        // all-random cohort, drawn from an identical RNG stream.
+        let mut genomes: Vec<Vec<f64>> = self
+            .config
+            .initial_population
+            .iter()
+            .take(pop_size)
+            .map(|genome| genome.iter().map(|g| g.clamp(0.0, 1.0)).collect())
             .collect();
+        while genomes.len() < pop_size {
+            genomes.push(random_genome(&mut rng, n_var));
+        }
         let mut population = evaluate_cohort(genomes, &mut evaluations, &mut eval_seconds);
         let fronts = fast_non_dominated_sort(&mut population);
         for front in &fronts {
@@ -303,6 +374,7 @@ impl<P: Problem> Nsga2<P> {
                 cache: CacheStats::default(),
                 eval_seconds,
                 generation_seconds,
+                pool: PoolStats::default(),
             },
         }
     }
@@ -422,6 +494,80 @@ mod tests {
         assert_eq!(seen.len(), 40);
         assert_eq!(seen[0], 0);
         assert_eq!(*seen.last().unwrap(), 39);
+    }
+
+    #[test]
+    fn empty_seed_list_is_bit_identical_to_the_historical_cold_path() {
+        let cold = Nsga2::new(Zdt1, small_config()).with_seed(19).run();
+        let config = Nsga2Config {
+            initial_population: Vec::new(),
+            ..small_config()
+        };
+        let explicit = Nsga2::new(Zdt1, config).with_seed(19).run();
+        assert_eq!(cold.pareto_objectives(), explicit.pareto_objectives());
+    }
+
+    #[test]
+    fn seeded_initial_population_is_deterministic_and_used_verbatim() {
+        let seeds = vec![
+            vec![0.25, 0.5, 0.5, 0.5, 0.5],
+            vec![1.5, -0.25, 0.0, 0.0, 0.0],
+        ];
+        let config = Nsga2Config {
+            initial_population: seeds,
+            ..small_config()
+        };
+        let a = Nsga2::new(Zdt1, config.clone()).with_seed(23).run();
+        let b = Nsga2::new(Zdt1, config.clone()).with_seed(23).run();
+        assert_eq!(a.pareto_objectives(), b.pareto_objectives());
+        // The warm run differs from the cold one (the seeds change the
+        // initial cohort, hence the whole trajectory).
+        let cold = Nsga2::new(Zdt1, small_config()).with_seed(23).run();
+        assert_ne!(a.pareto_objectives(), cold.pareto_objectives());
+        // Out-of-range seed genes were clamped, never fed to the problem
+        // raw: every evaluation stays finite on ZDT1's [0, 1] domain.
+        assert!(a
+            .population
+            .iter()
+            .all(|ind| ind.objectives.iter().all(|o| o.is_finite())));
+    }
+
+    #[test]
+    fn surplus_seeds_are_truncated_to_the_population() {
+        let seeds: Vec<Vec<f64>> = (0..100).map(|i| vec![f64::from(i) / 100.0; 5]).collect();
+        let config = Nsga2Config {
+            population_size: 8,
+            generations: 2,
+            initial_population: seeds,
+            ..Default::default()
+        };
+        let result = Nsga2::new(Zdt1, config).with_seed(29).run();
+        assert_eq!(result.population.len(), 8);
+    }
+
+    #[test]
+    #[should_panic(expected = "seeded genome")]
+    fn wrong_length_seed_genome_is_rejected() {
+        let config = Nsga2Config {
+            initial_population: vec![vec![0.5; 3]],
+            ..small_config()
+        };
+        let _ = Nsga2::new(Zdt1, config);
+    }
+
+    #[test]
+    fn pool_stats_render_and_rate() {
+        let stats = PoolStats {
+            tasks_executed: 8,
+            steals: 2,
+            tasks_per_worker: vec![5, 3],
+        };
+        assert!((stats.steal_rate() - 0.25).abs() < 1e-12);
+        assert_eq!(PoolStats::default().steal_rate(), 0.0);
+        let line = stats.to_string();
+        assert!(line.contains("8 pool tasks"));
+        assert!(line.contains("2 stolen"));
+        assert!(line.contains("2 workers"));
     }
 
     #[test]

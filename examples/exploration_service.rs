@@ -1,0 +1,136 @@
+//! The multi-tenant exploration service: N concurrent mixed macro/chip
+//! requests against shared per-design-space caches, then a warm-started
+//! follow-up request.
+//!
+//! One `ExplorationService` owns one evaluation cache per design space.
+//! The example submits a full macro flow and two chip-composition
+//! requests **concurrently** (the two chip requests share one space, so
+//! the slower one reads entries the faster one wrote), watches their
+//! progress through the job handles, and finally re-runs the chip
+//! exploration **warm-started** from the first session's Pareto archive —
+//! demonstrating cross-request cache hits and the seeded-population path.
+//!
+//! ```bash
+//! cargo run --release --example exploration_service
+//! # tiny budget (used by the CI smoke job):
+//! cargo run --release --example exploration_service -- --quick
+//! ```
+
+use easyacim::chip_report;
+use easyacim::prelude::*;
+use easyacim::service::{ChipRequest, ExplorationRequest, ExplorationService};
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let quick = std::env::args().any(|arg| arg == "--quick");
+    let (population_size, generations) = if quick { (16, 6) } else { (40, 24) };
+
+    println!(
+        "rayon worker threads: {} (override with {})",
+        rayon::current_num_threads(),
+        rayon::NUM_THREADS_ENV,
+    );
+
+    // One macro-flow request…
+    let mut flow = FlowConfig::new(4 * 1024);
+    flow.dse.population_size = population_size;
+    flow.dse.generations = generations;
+    flow.max_layouts = 1;
+
+    // …and two identical chip requests over one design space.
+    let mut chip = ChipFlowConfig::for_network(Network::edge_cnn(if quick { 1 } else { 3 }));
+    chip.dse.population_size = population_size;
+    chip.dse.generations = generations;
+    chip.validate_best = false;
+
+    let service = ExplorationService::new();
+    let handles = vec![
+        service.submit(ExplorationRequest::macro_flow(flow))?,
+        service.submit(ExplorationRequest::chip(chip.clone()))?,
+        service.submit(ExplorationRequest::chip(chip.clone()))?,
+    ];
+    println!("submitted {} concurrent requests:", handles.len());
+    for handle in &handles {
+        println!("  job {} over space {}", handle.id(), handle.space());
+    }
+
+    // Observe progress until every job finishes (the handles' counters
+    // are fed by the per-generation observer of the NSGA-II loop).
+    loop {
+        let all_done = handles.iter().all(easyacim::JobHandle::is_finished);
+        let status: Vec<String> = handles
+            .iter()
+            .map(|handle| {
+                let progress = handle.progress();
+                format!("job {} {:>3.0}%", handle.id(), progress.fraction() * 100.0)
+            })
+            .collect();
+        println!("progress: {}", status.join("  "));
+        if all_done {
+            break;
+        }
+        std::thread::sleep(std::time::Duration::from_millis(if quick {
+            25
+        } else {
+            250
+        }));
+    }
+
+    let mut chip_session = None;
+    for handle in handles {
+        let id = handle.id();
+        match handle.join()? {
+            ExplorationResponse::Macro(response) => {
+                let result = &response.result;
+                println!(
+                    "job {id} (macro flow): {} frontier points, {} layouts, cache {}, {}",
+                    result.frontier.len(),
+                    result.designs.len(),
+                    result.engine.cache,
+                    result.engine.pool,
+                );
+            }
+            ExplorationResponse::Chip(response) => {
+                let result = &response.result;
+                println!(
+                    "job {id} (chip): {} frontier chips, {} evaluations, cache {}, {}",
+                    result.front.len(),
+                    result.engine.evaluations,
+                    result.engine.cache,
+                    result.engine.pool,
+                );
+                chip_session = Some(response.session);
+            }
+        }
+    }
+    println!(
+        "service caches: {} distinct designs across {} design spaces",
+        service.cached_evaluations(),
+        service.spaces().len(),
+    );
+
+    // Warm start: seed a follow-up request from the finished session's
+    // Pareto archive.  Over the now-populated shared cache the warm run's
+    // evaluations are answered almost entirely from memory.
+    let session = chip_session.expect("a chip request ran");
+    println!(
+        "\nwarm-starting a follow-up chip request from {} archived genomes",
+        session.len()
+    );
+    let warm_request = ChipRequest::new(chip).with_warm_start(session);
+    let warm = service
+        .run(ExplorationRequest::Chip(warm_request))?
+        .into_chip()
+        .expect("chip request yields a chip response");
+    println!(
+        "warm run: {} frontier chips, cache {} ({} cross-request entries reused)",
+        warm.result.front.len(),
+        warm.result.engine.cache,
+        warm.result.engine.cache.hits,
+    );
+    assert!(
+        warm.result.engine.cache.hits > 0,
+        "warm run must reuse cross-request cache entries"
+    );
+    println!("\n{}", chip_report(&warm.result));
+    Ok(())
+}

@@ -1,0 +1,282 @@
+//! Acceptance tests of the multi-tenant `ExplorationService` redesign:
+//!
+//! * service-run requests are **bit-identical** to the pre-redesign
+//!   single-tenant entry points (`TopFlowController::run`,
+//!   `ChipFlow::run`) — the shared cache is semantically lossless;
+//! * consecutive requests over one design space show nonzero
+//!   cross-request cache hits;
+//! * warm-started runs are deterministic and their final hypervolume is
+//!   no worse than the cold run they were seeded from;
+//! * concurrent requests produce the same frontiers as the same requests
+//!   run serially.
+
+use acim_moga::hypervolume_monte_carlo;
+use easyacim::prelude::*;
+use easyacim::service::{ChipRequest, ExplorationRequest, ExplorationService, MacroRequest};
+
+fn quick_flow_config() -> FlowConfig {
+    let mut config = FlowConfig::new(4 * 1024);
+    config.dse.population_size = 24;
+    config.dse.generations = 10;
+    config.max_layouts = 1;
+    config
+}
+
+fn quick_chip_config() -> ChipFlowConfig {
+    let mut config = ChipFlowConfig::for_network(Network::edge_cnn(1));
+    config.dse.population_size = 16;
+    config.dse.generations = 6;
+    config.dse.grid_rows = vec![1, 2];
+    config.dse.grid_cols = vec![1, 2];
+    config.dse.buffer_kib = vec![8, 32];
+    config.validate_best = false;
+    config
+}
+
+fn assert_same_macro_frontier(a: &[DesignPoint], b: &[DesignPoint]) {
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.spec, y.spec);
+        assert_eq!(x.objective_vector(), y.objective_vector());
+    }
+}
+
+fn assert_same_chip_frontier(a: &[ChipDesignPoint], b: &[ChipDesignPoint]) {
+    assert_eq!(a.len(), b.len());
+    for (x, y) in a.iter().zip(b) {
+        assert_eq!(x.chip, y.chip);
+        assert_eq!(x.objective_vector(), y.objective_vector());
+    }
+}
+
+#[test]
+fn service_macro_request_is_bit_identical_to_top_flow_controller() {
+    let direct = TopFlowController::new(quick_flow_config())
+        .unwrap()
+        .run()
+        .unwrap();
+
+    let service = ExplorationService::new();
+    let response = service
+        .run(ExplorationRequest::macro_flow(quick_flow_config()))
+        .unwrap()
+        .into_macro()
+        .unwrap();
+
+    assert_same_macro_frontier(&direct.frontier, &response.result.frontier);
+    assert_same_macro_frontier(&direct.distilled, &response.result.distilled);
+    assert_eq!(direct.designs.len(), response.result.designs.len());
+    assert_eq!(
+        direct.engine.evaluations,
+        response.result.engine.evaluations
+    );
+    // The session archive re-encodes the frontier one genome per point.
+    assert_eq!(response.session.len(), response.result.frontier.len());
+    assert!(response.session.space().starts_with("macro/"));
+    assert!(response.chip_session.is_none());
+}
+
+#[test]
+fn service_chip_request_is_bit_identical_to_chip_flow() {
+    let direct = ChipFlow::new(quick_chip_config()).run().unwrap();
+    let service = ExplorationService::new();
+    let response = service
+        .run(ExplorationRequest::chip(quick_chip_config()))
+        .unwrap()
+        .into_chip()
+        .unwrap();
+    assert_same_chip_frontier(&direct.front, &response.result.front);
+    assert_eq!(
+        direct.engine.evaluations,
+        response.result.engine.evaluations
+    );
+}
+
+#[test]
+fn consecutive_requests_share_the_cache_across_requests() {
+    let service = ExplorationService::new();
+    let first = service
+        .run(ExplorationRequest::chip(quick_chip_config()))
+        .unwrap()
+        .into_chip()
+        .unwrap();
+    assert!(first.result.engine.cache.misses > 0);
+    let entries = service.cached_evaluations();
+    assert_eq!(entries, first.result.engine.cache.misses);
+
+    // The second identical request replays the same trajectory: every
+    // evaluation is answered by an entry the first request wrote.
+    let second = service
+        .run(ExplorationRequest::chip(quick_chip_config()))
+        .unwrap()
+        .into_chip()
+        .unwrap();
+    assert_eq!(second.result.engine.cache.misses, 0);
+    assert!(second.result.engine.cache.hits > 0);
+    assert_eq!(
+        second.result.engine.cache.hits,
+        second.result.engine.evaluations
+    );
+    assert_eq!(service.cached_evaluations(), entries);
+    assert_same_chip_frontier(&first.result.front, &second.result.front);
+}
+
+#[test]
+fn warm_start_is_deterministic_and_no_worse_than_cold() {
+    let service = ExplorationService::new();
+    let cold = service
+        .run(ExplorationRequest::chip(quick_chip_config()))
+        .unwrap()
+        .into_chip()
+        .unwrap();
+
+    let warm_request =
+        || ChipRequest::new(quick_chip_config()).with_warm_start(cold.session.clone());
+    let warm_a = service
+        .run(ExplorationRequest::Chip(warm_request()))
+        .unwrap()
+        .into_chip()
+        .unwrap();
+    let warm_b = service
+        .run(ExplorationRequest::Chip(warm_request()))
+        .unwrap()
+        .into_chip()
+        .unwrap();
+    // Warm-started runs over an identical seeded space are
+    // bit-deterministic.
+    assert_same_chip_frontier(&warm_a.result.front, &warm_b.result.front);
+
+    // Every cold frontier point is matched-or-dominated by the warm
+    // frontier (the seeds were archived up front), which implies
+    // hypervolume(warm) >= hypervolume(cold) exactly.
+    let warm_front: Vec<Vec<f64>> = warm_a
+        .result
+        .front
+        .iter()
+        .map(ChipDesignPoint::objective_vector)
+        .collect();
+    let cold_front: Vec<Vec<f64>> = cold
+        .result
+        .front
+        .iter()
+        .map(ChipDesignPoint::objective_vector)
+        .collect();
+    for c in &cold_front {
+        assert!(
+            warm_front
+                .iter()
+                .any(|w| w == c || acim_moga::dominates(w, c)),
+            "cold frontier point lost by the warm run"
+        );
+    }
+
+    // The seeded Monte-Carlo indicator agrees (tiny tolerance for the
+    // estimator's sampling-box difference between the two fronts).
+    let mut reference = vec![f64::NEG_INFINITY; 4];
+    for point in cold_front.iter().chain(&warm_front) {
+        for (r, &v) in reference.iter_mut().zip(point) {
+            *r = r.max(v);
+        }
+    }
+    let reference: Vec<f64> = reference
+        .into_iter()
+        .map(|r| r + r.abs() * 0.1 + 1.0)
+        .collect();
+    let warm_hv = hypervolume_monte_carlo(&warm_front, &reference, 100_000, 97);
+    let cold_hv = hypervolume_monte_carlo(&cold_front, &reference, 100_000, 97);
+    assert!(
+        warm_hv >= cold_hv * (1.0 - 1e-2),
+        "warm hypervolume {warm_hv} fell below cold {cold_hv}"
+    );
+}
+
+#[test]
+fn concurrent_requests_match_the_same_requests_run_serially() {
+    // Mixed workload: one macro flow plus two chip spaces (one space
+    // submitted twice, so concurrent requests also race on one store).
+    let chip_small = quick_chip_config();
+    let mut chip_large = quick_chip_config();
+    chip_large.dse.buffer_kib = vec![16, 64];
+
+    let serial_service = ExplorationService::new();
+    let serial_macro = serial_service
+        .run(ExplorationRequest::macro_flow(quick_flow_config()))
+        .unwrap()
+        .into_macro()
+        .unwrap();
+    let serial_small = serial_service
+        .run(ExplorationRequest::chip(chip_small.clone()))
+        .unwrap()
+        .into_chip()
+        .unwrap();
+    let serial_large = serial_service
+        .run(ExplorationRequest::chip(chip_large.clone()))
+        .unwrap()
+        .into_chip()
+        .unwrap();
+
+    let concurrent = ExplorationService::new();
+    let handles = vec![
+        concurrent
+            .submit(ExplorationRequest::macro_flow(quick_flow_config()))
+            .unwrap(),
+        concurrent
+            .submit(ExplorationRequest::chip(chip_small.clone()))
+            .unwrap(),
+        concurrent
+            .submit(ExplorationRequest::chip(chip_small))
+            .unwrap(),
+        concurrent
+            .submit(ExplorationRequest::chip(chip_large))
+            .unwrap(),
+    ];
+    let mut responses: Vec<ExplorationResponse> = handles
+        .into_iter()
+        .map(|handle| handle.join().unwrap())
+        .collect();
+
+    let concurrent_large = responses.pop().unwrap().into_chip().unwrap();
+    let concurrent_small_b = responses.pop().unwrap().into_chip().unwrap();
+    let concurrent_small_a = responses.pop().unwrap().into_chip().unwrap();
+    let concurrent_macro = responses.pop().unwrap().into_macro().unwrap();
+
+    assert_same_macro_frontier(
+        &serial_macro.result.frontier,
+        &concurrent_macro.result.frontier,
+    );
+    assert_same_chip_frontier(&serial_small.result.front, &concurrent_small_a.result.front);
+    assert_same_chip_frontier(&serial_small.result.front, &concurrent_small_b.result.front);
+    assert_same_chip_frontier(&serial_large.result.front, &concurrent_large.result.front);
+
+    // Two spaces for the chips, one for the macro flow.
+    assert_eq!(concurrent.spaces().len(), 3);
+}
+
+#[test]
+fn warm_started_macro_flow_round_trips_through_the_service() {
+    let service = ExplorationService::new();
+    let cold = service
+        .run(ExplorationRequest::macro_flow(quick_flow_config()))
+        .unwrap()
+        .into_macro()
+        .unwrap();
+    assert!(!cold.session.is_empty());
+
+    let warm = service
+        .run(ExplorationRequest::Macro(
+            MacroRequest::new(quick_flow_config()).with_warm_start(cold.session.clone()),
+        ))
+        .unwrap()
+        .into_macro()
+        .unwrap();
+    // Cross-request reuse: the warm flow sees hits immediately.
+    assert!(warm.result.engine.cache.hits > 0);
+    // No cold frontier point is lost.
+    for c in &cold.result.frontier {
+        let c = c.objective_vector();
+        assert!(warm.result.frontier.iter().any(|w| {
+            let w = w.objective_vector();
+            w == c || acim_moga::dominates(&w, &c)
+        }));
+    }
+}

@@ -18,6 +18,7 @@
 //! less than the imbalance it removes.  A lock-free Chase–Lev deque would
 //! need `unsafe`, which this crate forbids.
 
+use crate::metrics;
 use std::any::Any;
 use std::collections::VecDeque;
 use std::ops::Range;
@@ -114,6 +115,7 @@ impl Scheduler {
         for offset in 1..n {
             let victim = (slot + offset) % n;
             if let Some(range) = self.deques[victim].lock().expect("deque lock").pop_front() {
+                metrics::record_steal(slot);
                 return Some(range);
             }
         }
@@ -140,6 +142,7 @@ impl Scheduler {
                 range = range.start..mid;
             }
             let executed = range.len();
+            metrics::record_tasks(own, 1);
             match std::panic::catch_unwind(AssertUnwindSafe(|| execute(range))) {
                 Ok(()) => {
                     if self.pending.fetch_sub(executed, Ordering::AcqRel) == executed {

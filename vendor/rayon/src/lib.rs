@@ -42,13 +42,15 @@
 
 mod deque;
 mod iter;
+mod metrics;
 mod pool;
 
 pub use iter::{
     IndexedParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParChunks, ParMap,
     ParSliceIter, ParVecIter, ParallelIterator, ParallelSlice,
 };
-pub use pool::{current_num_threads, join, NUM_THREADS_ENV};
+pub use metrics::{pool_metrics, PoolMetrics};
+pub use pool::{current_num_threads, join, join_owned, NUM_THREADS_ENV};
 
 /// Rayon-style prelude: import the traits to get `par_iter` on slices,
 /// `into_par_iter` on vectors, `par_chunks` on slices, and the grain

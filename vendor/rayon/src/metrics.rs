@@ -1,0 +1,145 @@
+//! Pool-level scheduling metrics: tasks executed and ranges stolen, per
+//! helper slot.
+//!
+//! The counters are process-global and monotonically increasing, shared by
+//! the persistent pool and the scoped executor (both schedule through
+//! [`crate::deque::Scheduler`], which records into them).  A caller that
+//! wants per-phase attribution snapshots [`pool_metrics`] before and after
+//! the phase and diffs the two with [`PoolMetrics::since`] — that is how
+//! the EasyACIM explorers attribute pool work to one exploration run.
+//! When several jobs run concurrently their work lands in the same
+//! counters, so concurrent deltas attribute the *process's* work during
+//! the window, not one job's alone.
+//!
+//! Slot numbering follows the scheduler: slot 0 is always the submitting
+//! thread, slots `1..` are helpers (persistent workers or scoped threads).
+
+use crate::pool::current_num_threads;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+
+/// Per-slot counters, sized to [`current_num_threads`] on first use.
+struct SlotCounters {
+    tasks: Vec<AtomicU64>,
+    steals: Vec<AtomicU64>,
+}
+
+fn counters() -> &'static SlotCounters {
+    static COUNTERS: OnceLock<SlotCounters> = OnceLock::new();
+    COUNTERS.get_or_init(|| {
+        let slots = current_num_threads().max(1);
+        SlotCounters {
+            tasks: (0..slots).map(|_| AtomicU64::new(0)).collect(),
+            steals: (0..slots).map(|_| AtomicU64::new(0)).collect(),
+        }
+    })
+}
+
+/// Records one executed leaf task (a claimed, fully split range) for a
+/// helper slot.
+pub(crate) fn record_tasks(slot: usize, tasks: u64) {
+    let counters = counters();
+    counters.tasks[slot % counters.tasks.len()].fetch_add(tasks, Ordering::Relaxed);
+}
+
+/// Records one successful steal (a range claimed from another helper's
+/// deque) for the thieving slot.
+pub(crate) fn record_steal(slot: usize) {
+    let counters = counters();
+    counters.steals[slot % counters.steals.len()].fetch_add(1, Ordering::Relaxed);
+}
+
+/// A snapshot of the process-global scheduling counters.
+///
+/// Obtain one with [`pool_metrics`]; subtract an earlier snapshot with
+/// [`PoolMetrics::since`] to attribute work to a phase.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct PoolMetrics {
+    /// Leaf tasks executed, per helper slot (slot 0 = submitting thread).
+    pub tasks_per_slot: Vec<u64>,
+    /// Ranges claimed by stealing from another slot's deque, per thief.
+    pub steals_per_slot: Vec<u64>,
+}
+
+impl PoolMetrics {
+    /// Total leaf tasks executed across all slots.
+    pub fn tasks_executed(&self) -> u64 {
+        self.tasks_per_slot.iter().sum()
+    }
+
+    /// Total successful steals across all slots.
+    pub fn steals(&self) -> u64 {
+        self.steals_per_slot.iter().sum()
+    }
+
+    /// The per-slot difference `self - earlier` (saturating, so a stale or
+    /// foreign snapshot can never produce an underflow).
+    pub fn since(&self, earlier: &PoolMetrics) -> PoolMetrics {
+        let diff = |now: &[u64], then: &[u64]| {
+            now.iter()
+                .enumerate()
+                .map(|(i, &v)| v.saturating_sub(then.get(i).copied().unwrap_or(0)))
+                .collect()
+        };
+        PoolMetrics {
+            tasks_per_slot: diff(&self.tasks_per_slot, &earlier.tasks_per_slot),
+            steals_per_slot: diff(&self.steals_per_slot, &earlier.steals_per_slot),
+        }
+    }
+}
+
+/// Snapshots the process-global scheduling counters: leaf tasks executed
+/// and ranges stolen, per helper slot.
+pub fn pool_metrics() -> PoolMetrics {
+    let counters = counters();
+    PoolMetrics {
+        tasks_per_slot: counters
+            .tasks
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect(),
+        steals_per_slot: counters
+            .steals
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect(),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn snapshots_are_monotonic_and_sized_to_the_thread_count() {
+        let a = pool_metrics();
+        assert_eq!(a.tasks_per_slot.len(), current_num_threads().max(1));
+        assert_eq!(a.steals_per_slot.len(), a.tasks_per_slot.len());
+        record_tasks(0, 3);
+        record_steal(1);
+        let b = pool_metrics();
+        assert!(b.tasks_executed() >= a.tasks_executed() + 3);
+        assert!(b.steals() > a.steals());
+        let delta = b.since(&a);
+        assert!(delta.tasks_executed() >= 3);
+        assert!(delta.steals() >= 1);
+    }
+
+    #[test]
+    fn since_saturates_against_foreign_snapshots() {
+        let now = PoolMetrics {
+            tasks_per_slot: vec![1, 2],
+            steals_per_slot: vec![0, 0],
+        };
+        let future = PoolMetrics {
+            tasks_per_slot: vec![10, 20, 30],
+            steals_per_slot: vec![5, 5, 5],
+        };
+        let delta = now.since(&future);
+        assert_eq!(delta.tasks_executed(), 0);
+        assert_eq!(delta.steals(), 0);
+        // Shorter "earlier" vectors are treated as zero.
+        let delta = future.since(&now);
+        assert_eq!(delta.tasks_per_slot, vec![9, 18, 30]);
+    }
+}

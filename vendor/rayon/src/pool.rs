@@ -201,10 +201,106 @@ pub(crate) fn scoped_run(
     scheduler.rethrow_panic();
 }
 
+/// A one-task pool job wrapping a `'static` closure, used by
+/// [`join_owned`]: the closure crosses to whichever thread claims the
+/// single task, and the result comes back through a slot.  Scheduling
+/// state (completion, panic latch) lives in the shared [`Scheduler`].
+struct JoinJob<A, RA> {
+    scheduler: Scheduler,
+    closure: Mutex<Option<A>>,
+    result: Mutex<Option<RA>>,
+}
+
+impl<A, RA> PoolJob for JoinJob<A, RA>
+where
+    A: FnOnce() -> RA + Send + 'static,
+    RA: Send + 'static,
+{
+    fn scheduler(&self) -> &Scheduler {
+        &self.scheduler
+    }
+
+    fn execute(&self, _range: Range<usize>) {
+        let closure = self
+            .closure
+            .lock()
+            .expect("join closure lock")
+            .take()
+            .expect("join closure claimed twice");
+        let result = closure();
+        *self.result.lock().expect("join result lock") = Some(result);
+    }
+}
+
+/// Like [`join`], but routes `oper_a` through the **persistent pool**
+/// instead of spawning a scoped helper thread: `oper_a` is enqueued as a
+/// one-task pool job (owning its captures is what makes it `'static`),
+/// `oper_b` runs on the calling thread, and the caller then claims
+/// `oper_a` itself if no worker picked it up — so the pair never blocks
+/// waiting for a free worker.  Panics in either closure propagate to the
+/// caller, `oper_b`'s first.
+///
+/// Prefer this over [`join`] whenever both halves can own their data: it
+/// reuses parked workers instead of paying a thread spawn per call.
+/// [`join`] remains for borrowed closures, which safe code cannot hand to
+/// threads that outlive the call.
+pub fn join_owned<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
+where
+    A: FnOnce() -> RA + Send + 'static,
+    RA: Send + 'static,
+    B: FnOnce() -> RB,
+{
+    let pool = global();
+    if pool.workers == 0 {
+        let ra = oper_a();
+        let rb = oper_b();
+        return (ra, rb);
+    }
+    let job = Arc::new(JoinJob {
+        scheduler: Scheduler::new(pool_slots(), 1, 1),
+        closure: Mutex::new(Some(oper_a)),
+        result: Mutex::new(None),
+    });
+    let queued: Arc<dyn PoolJob> = job.clone();
+    pool.jobs
+        .lock()
+        .expect("pool job queue lock")
+        .push_back(queued.clone());
+    pool.work.notify_all();
+
+    let rb = std::panic::catch_unwind(std::panic::AssertUnwindSafe(oper_b));
+
+    // Claim oper_a ourselves if it is still unclaimed, or wait for the
+    // worker that took it; either way the job is complete afterwards and
+    // can be removed from the queue.
+    job.scheduler()
+        .help_until_complete(0, &|range| job.execute(range));
+    pool.jobs
+        .lock()
+        .expect("pool job queue lock")
+        .retain(|q| !Arc::ptr_eq(q, &queued));
+
+    let rb = match rb {
+        Ok(rb) => rb,
+        Err(payload) => std::panic::resume_unwind(payload),
+    };
+    job.scheduler().rethrow_panic();
+    let ra = job
+        .result
+        .lock()
+        .expect("join result lock")
+        .take()
+        .expect("join_owned result missing");
+    (ra, rb)
+}
+
 /// Runs both closures, potentially in parallel, and returns both results —
 /// real rayon's `join`.  `oper_b` runs on the calling thread; `oper_a`
 /// runs on a scoped helper thread (or inline when only one thread is
 /// configured).  A panic in either closure propagates to the caller.
+///
+/// When `oper_a` owns its captures (`'static`), prefer [`join_owned`],
+/// which reuses the persistent pool instead of spawning a thread.
 pub fn join<A, B, RA, RB>(oper_a: A, oper_b: B) -> (RA, RB)
 where
     A: FnOnce() -> RA + Send,
@@ -270,5 +366,34 @@ mod tests {
         assert!(err.is_err());
         let err = std::panic::catch_unwind(|| join(|| 1, || panic!("right side")));
         assert!(err.is_err());
+    }
+
+    #[test]
+    fn join_owned_returns_both_results() {
+        let owned = [1u64, 2, 3];
+        let borrowed = String::from("right");
+        let (a, b) = join_owned(
+            move || owned.iter().sum::<u64>(),
+            || borrowed.len(), // oper_b may borrow: it runs on the caller
+        );
+        assert_eq!(a, 6);
+        assert_eq!(b, 5);
+    }
+
+    #[test]
+    fn join_owned_propagates_panics_from_either_side() {
+        let err = std::panic::catch_unwind(|| join_owned(|| panic!("pool side"), || 1));
+        assert!(err.is_err());
+        let err = std::panic::catch_unwind(|| join_owned(|| 1, || panic!("caller side")));
+        assert!(err.is_err());
+        // The pool survives a panicking join job.
+        let (a, b) = join_owned(|| 7, || 8);
+        assert_eq!((a, b), (7, 8));
+    }
+
+    #[test]
+    fn join_owned_nests() {
+        let ((a, b), c) = join_owned(|| join_owned(|| 1, || 2), || 3);
+        assert_eq!((a, b, c), (1, 2, 3));
     }
 }
