@@ -16,16 +16,18 @@
 //! every per-layer quantity is a pure function of `(chip, network, params)`
 //! so the parallel result is bit-identical to the sequential one.
 
+use std::collections::HashMap;
 use std::fmt;
 
-use acim_model::{
-    evaluate as evaluate_macro, throughput::cycle_time_ns, DesignMetrics, ModelParams,
-};
+use acim_arch::AcimSpec;
+use acim_model::{evaluate as evaluate_macro, throughput::cycle_time_ns, ModelParams, SpecKey};
+use acim_moga::CacheStats;
 use rayon::prelude::*;
 
 use crate::error::ChipError;
 use crate::grid::MacroGrid;
 use crate::interconnect::ChipCostParams;
+use crate::metrics_cache::{MacroCacheClient, MacroMetrics, MacroMetricsCache};
 use crate::network::Network;
 use crate::partition::{partition_network, LayerPartition};
 
@@ -142,10 +144,31 @@ impl ChipMetrics {
 }
 
 /// Evaluates chip specifications against networks with the analytic model.
+///
+/// # Macro-metric reuse
+///
+/// Per-macro work (the closed-form [`acim_model::DesignMetrics`] and the
+/// macro cycle time) is folded two ways before it is recomputed:
+///
+/// 1. **within one chip**, duplicate grid positions share one derivation —
+///    a uniform `R × C` grid derives its macro once, not `R · C` times;
+/// 2. **across chips and requests**, an optional shared
+///    [`MacroMetricsCache`] (see [`ChipEvaluator::with_macro_cache`])
+///    answers macros any evaluation over the same [`ModelParams`] already
+///    derived, with per-evaluator hit/miss attribution
+///    ([`ChipEvaluator::macro_cache_stats`]).
+///
+/// Both folds are semantically lossless: the metrics are pure functions
+/// of `(spec, params)`, so evaluation results are bit-identical with and
+/// without them.
 #[derive(Debug, Clone)]
 pub struct ChipEvaluator {
     params: ModelParams,
     cost: ChipCostParams,
+    // Clones (the batch path clones the evaluator into the worker pool)
+    // share the client's counters, so one request's attribution survives
+    // the fan-out.
+    macro_client: MacroCacheClient,
 }
 
 impl ChipEvaluator {
@@ -157,15 +180,17 @@ impl ChipEvaluator {
     pub fn new(params: ModelParams, cost: ChipCostParams) -> Result<Self, ChipError> {
         params.validate()?;
         cost.validate()?;
-        Ok(Self { params, cost })
+        Ok(Self {
+            params,
+            cost,
+            macro_client: MacroCacheClient::detached(),
+        })
     }
 
     /// Evaluator with the default 28 nm parameters.
     pub fn s28_default() -> Self {
-        Self {
-            params: ModelParams::s28_default(),
-            cost: ChipCostParams::s28_default(),
-        }
+        Self::new(ModelParams::s28_default(), ChipCostParams::s28_default())
+            .expect("default parameters validate")
     }
 
     /// The macro estimation-model parameters in use.
@@ -176,6 +201,69 @@ impl ChipEvaluator {
     /// The chip cost parameters in use.
     pub fn cost(&self) -> &ChipCostParams {
         &self.cost
+    }
+
+    /// Installs a shared macro-metric cache and resets this evaluator's
+    /// hit/miss attribution.
+    ///
+    /// The cache must be paired with evaluators over **one**
+    /// [`ModelParams`] value — the entries are pure functions of
+    /// `(spec, params)` and the cache trusts its keys.  The counters stay
+    /// per evaluator (shared only with its own clones), so on a
+    /// service-shared cache every request reports its own reuse.
+    #[must_use]
+    pub fn with_macro_cache(mut self, cache: MacroMetricsCache) -> Self {
+        self.macro_client = MacroCacheClient::attached(cache);
+        self
+    }
+
+    /// The installed macro-metric cache, when reuse is enabled.
+    pub fn macro_cache(&self) -> Option<&MacroMetricsCache> {
+        self.macro_client.cache()
+    }
+
+    /// Hit/miss/eviction attribution of this evaluator (and its clones)
+    /// against the installed macro-metric cache.  One lookup is counted
+    /// per **distinct** macro per evaluated chip; duplicate grid
+    /// positions are folded before the cache is consulted, so the
+    /// counters measure cross-chip reuse, not grid shape.  All zeros when
+    /// no cache is installed.
+    pub fn macro_cache_stats(&self) -> CacheStats {
+        self.macro_client.stats()
+    }
+
+    /// Derives one macro's metrics, consulting the shared cache when one
+    /// is installed.  Racing workers may both derive the same macro (the
+    /// derivation runs outside the cache lock and is a pure function, so
+    /// the duplicate work is harmless), but attribution stays
+    /// deterministic — see [`MacroCacheClient::get_or_derive`].
+    fn macro_metrics(&self, key: SpecKey, spec: &AcimSpec) -> Result<MacroMetrics, ChipError> {
+        self.macro_client.get_or_derive(key, || {
+            Ok(MacroMetrics {
+                design: evaluate_macro(spec, &self.params)?,
+                cycle_ns: cycle_time_ns(spec, &self.params),
+            })
+        })
+    }
+
+    /// Derives the per-grid-position macro metrics of one chip, folding
+    /// duplicate positions onto one derivation.
+    fn grid_macro_metrics(&self, grid: &MacroGrid) -> Result<Vec<MacroMetrics>, ChipError> {
+        let mut by_key: HashMap<SpecKey, MacroMetrics> = HashMap::new();
+        let mut metrics = Vec::with_capacity(grid.specs().len());
+        for spec in grid.specs() {
+            let key = SpecKey::of(spec);
+            let entry = match by_key.get(&key) {
+                Some(&entry) => entry,
+                None => {
+                    let entry = self.macro_metrics(key, spec)?;
+                    by_key.insert(key, entry);
+                    entry
+                }
+            };
+            metrics.push(entry);
+        }
+        Ok(metrics)
     }
 
     /// Evaluates one chip on one network, fanning the per-layer costs out
@@ -216,16 +304,11 @@ impl ChipEvaluator {
         parallel: bool,
     ) -> Result<ChipMetrics, ChipError> {
         let grid = &chip.grid;
-        let macro_metrics: Vec<DesignMetrics> = grid
-            .specs()
-            .iter()
-            .map(|spec| evaluate_macro(spec, &self.params))
-            .collect::<Result<_, _>>()?;
-        let cycle_ns: Vec<f64> = grid
-            .specs()
-            .iter()
-            .map(|spec| cycle_time_ns(spec, &self.params))
-            .collect();
+        // One derivation per distinct macro (cache-assisted when a shared
+        // macro-metric cache is installed), fanned back out to every grid
+        // position.
+        let macro_metrics = self.grid_macro_metrics(grid)?;
+        let cycle_ns: Vec<f64> = macro_metrics.iter().map(|m| m.cycle_ns).collect();
         let partition = partition_network(grid, network, &cycle_ns)?;
 
         // Per-layer costs are independent — evaluate them in parallel on
@@ -266,7 +349,7 @@ impl ChipEvaluator {
             inferences_per_s: 1e9 / latency_ns,
             throughput_tops,
             energy_per_inference_pj: energy_fj / 1000.0,
-            area_mf2: self.chip_area_f2(chip) / 1e6,
+            area_mf2: self.chip_area_f2(chip, &macro_metrics) / 1e6,
             accuracy_db,
             mean_utilization,
             layers,
@@ -274,17 +357,17 @@ impl ChipEvaluator {
     }
 
     /// Total chip area in F²: macro arrays + buffer + routers + adders.
-    fn chip_area_f2(&self, chip: &ChipSpec) -> f64 {
+    /// The per-macro area comes from the already-derived metrics (the
+    /// estimation model computes it as part of [`evaluate_macro`], so no
+    /// re-derivation is needed); `area_f2_per_bit` already amortises the
+    /// macro periphery.
+    fn chip_area_f2(&self, chip: &ChipSpec, macro_metrics: &[MacroMetrics]) -> f64 {
         let macro_area: f64 = chip
             .grid
             .specs()
             .iter()
-            .map(|spec| {
-                // area_f2_per_bit already amortises the macro periphery.
-                acim_model::area_f2_per_bit(spec, &self.params)
-                    .map(|a| a * spec.array_size() as f64)
-                    .unwrap_or(f64::INFINITY)
-            })
+            .zip(macro_metrics)
+            .map(|(spec, metrics)| metrics.design.area_f2_per_bit * spec.array_size() as f64)
             .sum();
         let buffer_area = chip.buffer_bits() as f64 * self.cost.buffer.area_f2_per_bit;
         let router_area = chip.grid.num_macros() as f64 * self.cost.interconnect.router_area_f2;
@@ -303,7 +386,7 @@ impl ChipEvaluator {
         chip: &ChipSpec,
         network: &Network,
         placement: &LayerPartition,
-        macro_metrics: &[DesignMetrics],
+        macro_metrics: &[MacroMetrics],
     ) -> LayerCost {
         let layer = &network.layers[placement.layer];
         let (outputs, dot_length) = placement.shape;
@@ -330,7 +413,8 @@ impl ChipEvaluator {
             // The macro switches its whole array every cycle regardless of
             // how many columns the tile fills.
             issued_macs += chunks * spec.macs_per_cycle() as f64;
-            mac_energy_fj += chunks * spec.macs_per_cycle() as f64 * metrics.energy_per_mac_fj;
+            mac_energy_fj +=
+                chunks * spec.macs_per_cycle() as f64 * metrics.design.energy_per_mac_fj;
             // One digital add folds each chunk's ADC code per output row.
             accumulation_energy_fj +=
                 chunks * tile.rows as f64 * self.cost.accumulator.add_energy_fj;
@@ -370,7 +454,7 @@ impl ChipEvaluator {
             .iter()
             .map(|tile| {
                 let chunks = tile.cycles as f64;
-                macro_metrics[tile.macro_index].snr_db
+                macro_metrics[tile.macro_index].design.snr_db
                     - self.cost.accumulator.requant_penalty_db_per_doubling * chunks.log2().max(0.0)
             })
             .fold(f64::INFINITY, f64::min);
@@ -523,6 +607,77 @@ mod tests {
         let low = evaluate_chip(&low_b, &net).unwrap();
         let high = evaluate_chip(&high_b, &net).unwrap();
         assert!(high.accuracy_db > low.accuracy_db);
+    }
+
+    #[test]
+    fn macro_cache_reuse_is_bit_identical_and_attributed() {
+        let net = Network::edge_cnn(3);
+        let chips = vec![chip(2, 2, 64), chip(1, 2, 32), chip(2, 2, 64)];
+        let plain = ChipEvaluator::s28_default();
+        let cache = crate::MacroMetricsCache::new();
+        let reusing = ChipEvaluator::s28_default().with_macro_cache(cache.clone());
+        for c in &chips {
+            assert_eq!(
+                plain.evaluate(c, &net).unwrap(),
+                reusing.evaluate(c, &net).unwrap(),
+                "macro-metric reuse must not change results"
+            );
+        }
+        // All three chips use the same macro shape: duplicate grid
+        // positions fold within each chip, so the cache sees one lookup
+        // per chip — one miss, then two cross-chip hits.
+        let stats = reusing.macro_cache_stats();
+        assert_eq!((stats.hits, stats.misses), (2, 1));
+        assert_eq!(cache.len(), 1);
+        // The plain evaluator reports no attribution.
+        assert_eq!(plain.macro_cache_stats(), acim_moga::CacheStats::default());
+        assert!(reusing.macro_cache().is_some());
+    }
+
+    #[test]
+    fn batch_clones_attribute_to_the_originating_evaluator() {
+        let net = Network::transformer_block();
+        let cache = crate::MacroMetricsCache::new();
+        let evaluator = ChipEvaluator::s28_default().with_macro_cache(cache.clone());
+        let chips = vec![chip(1, 1, 32), chip(2, 2, 32), chip(1, 2, 32)];
+        let batch = evaluator.evaluate_batch(&chips, &net);
+        assert!(batch.iter().all(Result::is_ok));
+        // The batch path clones the evaluator into pool workers; the
+        // clones share the original's counters, so the request-level
+        // evaluator sees the whole batch: one distinct macro shape across
+        // all three chips -> 1 miss + 2 hits.
+        let stats = evaluator.macro_cache_stats();
+        assert_eq!(stats.total(), 3);
+        assert_eq!(stats.misses, 1);
+    }
+
+    #[test]
+    fn heterogeneous_grid_folds_duplicate_positions() {
+        let net = Network::edge_cnn(2);
+        let mixed = ChipSpec::new(
+            MacroGrid::from_specs(
+                2,
+                2,
+                vec![
+                    spec(128, 32, 4, 4),
+                    spec(64, 64, 4, 3),
+                    spec(128, 32, 4, 4),
+                    spec(64, 64, 4, 3),
+                ],
+            )
+            .unwrap(),
+            64,
+        )
+        .unwrap();
+        let cache = crate::MacroMetricsCache::new();
+        let reusing = ChipEvaluator::s28_default().with_macro_cache(cache.clone());
+        let with_cache = reusing.evaluate(&mixed, &net).unwrap();
+        let without = ChipEvaluator::s28_default().evaluate(&mixed, &net).unwrap();
+        assert_eq!(with_cache, without);
+        // Four grid positions, two distinct shapes: two lookups, both
+        // misses on a cold cache.
+        assert_eq!(reusing.macro_cache_stats().total(), 2);
+        assert_eq!(cache.len(), 2);
     }
 
     #[test]

@@ -20,6 +20,9 @@
 //! * [`evaluate`] — the analytic chip evaluator: throughput, energy per
 //!   inference, area and an accuracy proxy, with rayon-parallel (and
 //!   bit-deterministic) layer evaluation,
+//! * [`metrics_cache`] — the macro-metric reuse layer: a shared, bounded,
+//!   poison-tolerant cache of per-macro `DesignMetrics` the evaluator
+//!   consults instead of re-deriving the same macros chip after chip,
 //! * [`simulate`] — the behavioural validation path, driving one
 //!   `acim_arch::AcimMacro` per grid position.
 //!
@@ -50,6 +53,7 @@ pub mod error;
 pub mod evaluate;
 pub mod grid;
 pub mod interconnect;
+pub mod metrics_cache;
 pub mod network;
 pub mod partition;
 pub mod simulate;
@@ -58,6 +62,7 @@ pub use error::ChipError;
 pub use evaluate::{evaluate_chip, ChipEvaluator, ChipMetrics, ChipSpec, LayerCost};
 pub use grid::MacroGrid;
 pub use interconnect::{AccumulatorParams, BufferParams, ChipCostParams, InterconnectParams};
+pub use metrics_cache::{MacroCacheClient, MacroMetrics, MacroMetricsCache};
 pub use network::{LayerKind, Network, NetworkLayer};
 pub use partition::{partition_network, LayerPartition, Partition, TileAssignment};
 pub use simulate::{simulate_network, ChipSimReport, LayerSimReport};

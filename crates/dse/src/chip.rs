@@ -23,10 +23,13 @@
 use std::fmt;
 
 use acim_chip::{
-    ChipCostParams, ChipError, ChipEvaluator, ChipMetrics, ChipSpec, MacroGrid, Network,
+    ChipCostParams, ChipError, ChipEvaluator, ChipMetrics, ChipSpec, MacroGrid, MacroMetricsCache,
+    Network,
 };
 use acim_model::ModelParams;
-use acim_moga::{CachedProblem, EvalStats, Evaluation, Nsga2, Nsga2Config, ParetoArchive, Problem};
+use acim_moga::{
+    CacheStats, CachedProblem, EvalStats, Evaluation, Nsga2, Nsga2Config, ParetoArchive, Problem,
+};
 use rayon::prelude::*;
 
 use crate::encoding::{gene_from_index, index_from_gene, DesignEncoding};
@@ -251,6 +254,25 @@ impl ChipDesignProblem {
             evaluator,
             network: config.network.clone(),
         })
+    }
+
+    /// Installs a shared macro-metric cache on the underlying evaluator
+    /// (see [`ChipEvaluator::with_macro_cache`]): per-macro
+    /// `DesignMetrics` are then reused across chips, requests and mixed
+    /// macro + chip sessions over the same model parameters, with
+    /// attribution readable via
+    /// [`ChipDesignProblem::macro_cache_stats`].
+    #[must_use]
+    pub fn with_macro_cache(mut self, cache: MacroMetricsCache) -> Self {
+        self.evaluator = self.evaluator.clone().with_macro_cache(cache);
+        self
+    }
+
+    /// Hit/miss/eviction attribution of this problem (and its clones)
+    /// against the installed macro-metric cache; all zeros when no cache
+    /// is installed.
+    pub fn macro_cache_stats(&self) -> CacheStats {
+        self.evaluator.macro_cache_stats()
     }
 
     /// Returns `true` when the genome carries per-tile macro genes.
@@ -654,12 +676,18 @@ impl ChipExplorer {
         // duplicate chips, and its batch path fans each generation's
         // unique misses across cores.
         let mut archive: ParetoArchive<Vec<f64>> = ParetoArchive::new();
-        let problem = &self.problem;
+        // Route per-macro metric derivation through the shared reuse
+        // layer when the caller injected one: the cache sits *below* the
+        // genome-level cache, so even a genome never seen before reuses
+        // the macro metrics earlier chips (or macro sessions) derived.
+        let problem = match &options.macro_cache {
+            Some(cache) => self.problem.clone().with_macro_cache(cache.clone()),
+            None => self.problem.clone(),
+        };
+        let problem = &problem;
         let keyer = self.problem.keyer();
-        let mut cached = CachedProblem::with_key_fn(problem, move |genes| keyer.key(genes));
-        if let Some(store) = &options.cache {
-            cached = cached.with_shared_store(store.clone());
-        }
+        let cached = CachedProblem::with_key_fn(problem, move |genes| keyer.key(genes))
+            .with_shared_store(options.store());
         // Warm-start seeds are archived up front (feasible ones only), so
         // the warm front dominates-or-equals the front it was seeded from.
         // Scoring them goes through the cache: when the seeds came from a
@@ -701,6 +729,7 @@ impl ChipExplorer {
         }
         let mut engine = result.engine;
         engine.cache = cached.stats();
+        engine.macro_cache = problem.macro_cache_stats();
         engine.pool = pool_stats_since(&pool_before);
         Ok(ChipParetoSet { points, engine })
     }
@@ -1013,7 +1042,7 @@ mod tests {
         let store = acim_moga::CacheStore::new();
         let options = ExploreOptions {
             cache: Some(store.clone()),
-            warm_start: Vec::new(),
+            ..Default::default()
         };
         let cold = explorer.explore_with(&options, |_| {}).unwrap();
         assert!(!store.is_empty());
@@ -1029,6 +1058,7 @@ mod tests {
         let warm_options = ExploreOptions {
             cache: Some(store.clone()),
             warm_start: seeds,
+            ..Default::default()
         };
         let warm = explorer.explore_with(&warm_options, |_| {}).unwrap();
         for cold_point in cold.iter() {
@@ -1040,10 +1070,97 @@ mod tests {
         }
         // Wrong-length warm genomes are rejected.
         let bad = ExploreOptions {
-            cache: None,
             warm_start: vec![vec![0.5; 99]],
+            ..Default::default()
         };
         assert!(explorer.explore_with(&bad, |_| {}).is_err());
+    }
+
+    #[test]
+    fn macro_metric_reuse_is_bit_identical_and_warms_across_requests() {
+        for config in [quick_config(), hetero_config()] {
+            let explorer = ChipExplorer::new(config).unwrap();
+            let plain = explorer.explore().unwrap();
+
+            let macro_cache = acim_chip::MacroMetricsCache::new();
+            let options = ExploreOptions {
+                macro_cache: Some(macro_cache.clone()),
+                ..Default::default()
+            };
+            let reusing = explorer.explore_with(&options, |_| {}).unwrap();
+            // Reuse-on and reuse-off frontiers are bit-identical.
+            assert_eq!(plain.len(), reusing.len());
+            for (a, b) in plain.iter().zip(reusing.iter()) {
+                assert_eq!(a.objective_vector(), b.objective_vector());
+                assert_eq!(a.chip, b.chip);
+            }
+            // The reuse layer saw work and populated the shared cache.
+            let stats = reusing.engine.macro_cache;
+            assert!(stats.misses > 0, "cold macro cache must record misses");
+            assert!(
+                stats.hits > 0,
+                "recurring specs across genomes must hit: {stats}"
+            );
+            assert_eq!(macro_cache.len(), stats.misses);
+            // Off-path runs report zero macro-cache activity.
+            assert_eq!(plain.engine.macro_cache, acim_moga::CacheStats::default());
+
+            // A second request over the warmed cache derives nothing new.
+            let replay = explorer.explore_with(&options, |_| {}).unwrap();
+            assert_eq!(replay.engine.macro_cache.misses, 0);
+            assert_eq!(replay.len(), plain.len());
+        }
+    }
+
+    #[test]
+    fn bounded_caches_with_warm_start_still_dominate_their_seeds() {
+        let explorer = ChipExplorer::new(quick_config()).unwrap();
+        let cold = explorer.explore().unwrap();
+
+        // Deliberately tiny bounds so the run is forced to evict.
+        let store = acim_moga::CacheStore::bounded(8);
+        let options = ExploreOptions {
+            cache: Some(store.clone()),
+            macro_cache: Some(acim_chip::MacroMetricsCache::bounded(2)),
+            warm_start: explorer.session_genomes(cold.points()),
+            ..Default::default()
+        };
+        let warm = explorer.explore_with(&options, |_| {}).unwrap();
+        assert!(store.evictions() > 0, "an 8-entry store must evict");
+        assert!(warm.engine.cache.evictions > 0);
+        assert!(store.len() <= 8);
+        // Eviction costs hits, never correctness: every cold frontier
+        // point is still matched-or-dominated by the warm frontier.
+        for cold_point in cold.iter() {
+            let c = cold_point.objective_vector();
+            assert!(
+                warm.iter().any(|w| {
+                    let w = w.objective_vector();
+                    w == c || dominates(&w, &c)
+                }),
+                "cold frontier point lost under eviction"
+            );
+        }
+    }
+
+    #[test]
+    fn private_cache_capacity_bound_is_honoured_without_changing_results() {
+        let explorer = ChipExplorer::new(quick_config()).unwrap();
+        let unbounded = explorer.explore().unwrap();
+        let bounded = explorer
+            .explore_with(
+                &ExploreOptions {
+                    cache_capacity: Some(4),
+                    ..Default::default()
+                },
+                |_| {},
+            )
+            .unwrap();
+        assert!(bounded.engine.cache.evictions > 0);
+        assert_eq!(unbounded.len(), bounded.len());
+        for (a, b) in unbounded.iter().zip(bounded.iter()) {
+            assert_eq!(a.objective_vector(), b.objective_vector());
+        }
     }
 
     #[test]

@@ -10,6 +10,7 @@
 //! is bit-identical to what it produced before these injection points
 //! existed.
 
+use acim_chip::MacroMetricsCache;
 use acim_model::ModelParams;
 use acim_moga::{
     CacheStore, CachedProblem, EvalStats, Nsga2, Nsga2Config, ParetoArchive, PoolStats,
@@ -20,8 +21,8 @@ use crate::problem::AcimDesignProblem;
 use crate::solution::DesignPoint;
 
 /// Injection points a long-lived caller can thread into an exploration
-/// run.  The default (no cache handle, no warm-start genomes) reproduces
-/// a cold, self-contained run exactly.
+/// run.  The default (no cache handles, no bounds, no warm-start genomes)
+/// reproduces a cold, self-contained run exactly.
 #[derive(Debug, Clone, Default)]
 pub struct ExploreOptions {
     /// Shared evaluation-cache store.  `None` gives the run a fresh
@@ -29,12 +30,36 @@ pub struct ExploreOptions {
     /// over the **same design space** produced — the store trusts its
     /// keys, so handing it to a run over a different space poisons it.
     pub cache: Option<CacheStore>,
+    /// Capacity bound for the run's **private** evaluation cache, applied
+    /// only when [`ExploreOptions::cache`] is `None` (a shared store
+    /// carries its own bound from construction).  `None` = unbounded.
+    /// Bounding changes hit/miss/eviction counters, never results.
+    pub cache_capacity: Option<usize>,
+    /// Shared macro-metric cache (see `acim_chip::MacroMetricsCache`):
+    /// per-macro `DesignMetrics` reused **below** the genome-level cache,
+    /// across chips, requests, and mixed macro + chip sessions over the
+    /// same model parameters.  `None` disables the reuse layer.  The
+    /// cache must be paired with one `ModelParams` value.
+    pub macro_cache: Option<MacroMetricsCache>,
     /// Warm-start genomes, typically a previous run's Pareto archive over
     /// the same design space: they seed the initial NSGA-II population
     /// (see [`Nsga2Config::initial_population`]) and are pre-inserted
     /// into the run's archive, so the warm frontier can never be worse
     /// than the seeds it started from.
     pub warm_start: Vec<Vec<f64>>,
+}
+
+impl ExploreOptions {
+    /// The run's genome-level cache store: the shared one when injected,
+    /// otherwise a fresh private store honouring
+    /// [`ExploreOptions::cache_capacity`].
+    pub(crate) fn store(&self) -> CacheStore {
+        match (&self.cache, self.cache_capacity) {
+            (Some(store), _) => store.clone(),
+            (None, Some(capacity)) => CacheStore::bounded(capacity),
+            (None, None) => CacheStore::new(),
+        }
+    }
 }
 
 /// Converts a pool-metrics delta into the [`PoolStats`] embedded in
@@ -228,7 +253,14 @@ impl DesignSpaceExplorer {
         // constantly, and the cache answers those re-evaluations for free
         // while its batch path fans the unique misses out across cores.
         let mut archive: ParetoArchive<DesignPoint> = ParetoArchive::new();
-        let problem = &self.problem;
+        // Route per-macro metric derivation through the shared reuse
+        // layer when the caller injected one (a mixed macro + chip
+        // session over one parameter set then shares per-macro work).
+        let problem = match &options.macro_cache {
+            Some(cache) => self.problem.clone().with_macro_cache(cache.clone()),
+            None => self.problem.clone(),
+        };
+        let problem = &problem;
         // Warm-start seeds are archived up front: whatever the warm run
         // finds is unioned with them, so its frontier dominates-or-equals
         // the one it was seeded from.
@@ -240,11 +272,9 @@ impl DesignSpaceExplorer {
         // The key closure only needs the genome encoding, not a clone of
         // the whole problem.
         let key_encoding = self.problem.encoding().clone();
-        let mut cached =
-            CachedProblem::with_key_fn(problem, move |genes| key_encoding.bucket_indices(genes));
-        if let Some(store) = &options.cache {
-            cached = cached.with_shared_store(store.clone());
-        }
+        let cached =
+            CachedProblem::with_key_fn(problem, move |genes| key_encoding.bucket_indices(genes))
+                .with_shared_store(options.store());
         let pool_before = rayon::pool_metrics();
         let result = Nsga2::new(&cached, nsga_config)
             .with_seed(self.config.seed)
@@ -282,6 +312,7 @@ impl DesignSpaceExplorer {
         }
         let mut engine = result.engine;
         engine.cache = cached.stats();
+        engine.macro_cache = problem.macro_cache_stats();
         engine.pool = pool_stats_since(&pool_before);
         Ok(ParetoFrontierSet { points, engine })
     }
@@ -418,7 +449,7 @@ mod tests {
         let store = acim_moga::CacheStore::new();
         let options = ExploreOptions {
             cache: Some(store.clone()),
-            warm_start: Vec::new(),
+            ..Default::default()
         };
         let first = explorer.explore_with(&options, |_| {}).unwrap();
         assert!(first.engine.cache.misses > 0);
@@ -444,8 +475,8 @@ mod tests {
         let seeds = explorer.session_genomes(cold.points());
         assert_eq!(seeds.len(), cold.len());
         let options = ExploreOptions {
-            cache: None,
             warm_start: seeds,
+            ..Default::default()
         };
         let warm_a = explorer.explore_with(&options, |_| {}).unwrap();
         let warm_b = explorer.explore_with(&options, |_| {}).unwrap();
@@ -473,8 +504,8 @@ mod tests {
     fn wrong_length_warm_genome_is_rejected() {
         let explorer = DesignSpaceExplorer::new(quick_config()).unwrap();
         let options = ExploreOptions {
-            cache: None,
             warm_start: vec![vec![0.5; 7]],
+            ..Default::default()
         };
         assert!(explorer.explore_with(&options, |_| {}).is_err());
     }

@@ -1,7 +1,9 @@
 //! The ACIM design problem as an [`acim_moga::Problem`].
 
-use acim_model::{evaluate, ModelParams};
-use acim_moga::{Evaluation, Problem};
+use acim_arch::AcimSpec;
+use acim_chip::{MacroCacheClient, MacroMetrics, MacroMetricsCache};
+use acim_model::{evaluate, throughput::cycle_time_ns, DesignMetrics, ModelParams, SpecKey};
+use acim_moga::{CacheStats, Evaluation, Problem};
 use rayon::prelude::*;
 
 use crate::encoding::DesignEncoding;
@@ -10,10 +12,21 @@ use crate::solution::DesignPoint;
 
 /// The four-objective, constrained ACIM parameter-selection problem of
 /// Equation 12, evaluated with the analytic estimation model.
+///
+/// With [`AcimDesignProblem::with_macro_cache`] the per-spec metric
+/// derivation is routed through the shared macro-metric reuse layer
+/// (`acim_chip::MacroMetricsCache`), so macro explorations, chip
+/// explorations and decode passes over the same [`ModelParams`] share one
+/// store of per-macro `DesignMetrics` — with the same bit-identical
+/// results, since the metrics are pure functions of `(spec, params)`.
 #[derive(Debug, Clone)]
 pub struct AcimDesignProblem {
     encoding: DesignEncoding,
     params: ModelParams,
+    // Clones (the batch path clones the problem into pool workers) share
+    // the client's counters, so per-request attribution survives the
+    // fan-out.
+    macro_client: MacroCacheClient,
 }
 
 impl AcimDesignProblem {
@@ -31,7 +44,45 @@ impl AcimDesignProblem {
     ) -> Result<Self, DseError> {
         params.validate()?;
         let encoding = DesignEncoding::new(array_size, min_height, max_height)?;
-        Ok(Self { encoding, params })
+        Ok(Self {
+            encoding,
+            params,
+            macro_client: MacroCacheClient::detached(),
+        })
+    }
+
+    /// Installs a shared macro-metric cache (paired with this problem's
+    /// [`ModelParams`]) and resets the hit/miss attribution.
+    #[must_use]
+    pub fn with_macro_cache(mut self, cache: MacroMetricsCache) -> Self {
+        self.macro_client = MacroCacheClient::attached(cache);
+        self
+    }
+
+    /// Hit/miss/eviction attribution of this problem (and its clones)
+    /// against the installed macro-metric cache; all zeros when no cache
+    /// is installed.
+    pub fn macro_cache_stats(&self) -> CacheStats {
+        self.macro_client.stats()
+    }
+
+    /// Derives one spec's metrics, consulting the shared macro-metric
+    /// cache when one is installed.  Bit-identical either way.
+    fn spec_metrics(&self, spec: &AcimSpec) -> Result<DesignMetrics, acim_model::ModelError> {
+        if self.macro_client.cache().is_none() {
+            return evaluate(spec, &self.params);
+        }
+        self.macro_client
+            .get_or_derive(SpecKey::of(spec), || {
+                Ok(MacroMetrics {
+                    design: evaluate(spec, &self.params)?,
+                    // The chip evaluator reads the cycle time from the
+                    // same entry, so populate it here too: a macro
+                    // session warms the chip sessions that follow it.
+                    cycle_ns: cycle_time_ns(spec, &self.params),
+                })
+            })
+            .map(|metrics| metrics.design)
     }
 
     /// The genome encoding in use.
@@ -56,7 +107,7 @@ impl AcimDesignProblem {
     pub fn decode_point(&self, genes: &[f64]) -> Option<DesignPoint> {
         let candidate = self.encoding.decode(genes);
         let spec = candidate.into_spec(self.encoding.array_size()).ok()?;
-        let metrics = evaluate(&spec, &self.params).ok()?;
+        let metrics = self.spec_metrics(&spec).ok()?;
         Some(DesignPoint::new(spec, metrics))
     }
 }
@@ -73,7 +124,7 @@ impl Problem for AcimDesignProblem {
     fn evaluate(&self, genes: &[f64]) -> Evaluation {
         let candidate = self.encoding.decode(genes);
         match candidate.into_spec(self.encoding.array_size()) {
-            Ok(spec) => match evaluate(&spec, &self.params) {
+            Ok(spec) => match self.spec_metrics(&spec) {
                 Ok(metrics) => Evaluation::unconstrained(metrics.objective_vector()),
                 // Model failures are treated as heavily infeasible rather
                 // than aborting the whole optimisation run.

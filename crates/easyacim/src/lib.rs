@@ -67,7 +67,7 @@ pub use flow::{FlowOptions, FlowResult, GeneratedDesign, TopFlowController};
 pub use report::{chip_frontier_table, chip_report, design_report, frontier_table};
 pub use service::{
     ChipRequest, ExplorationRequest, ExplorationResponse, ExplorationService, JobHandle,
-    JobProgress, MacroRequest, SessionArchive,
+    JobProgress, MacroRequest, ServiceConfig, SessionArchive,
 };
 pub use stage::{ProgressObserver, Stage, StageProgress};
 
@@ -76,7 +76,8 @@ pub mod prelude {
     pub use acim_arch::{AcimMacro, AcimSpec, NoiseConfig};
     pub use acim_cell::{CellKind, CellLibrary};
     pub use acim_chip::{
-        evaluate_chip, simulate_network, ChipEvaluator, ChipMetrics, ChipSpec, MacroGrid, Network,
+        evaluate_chip, simulate_network, ChipEvaluator, ChipMetrics, ChipSpec, MacroGrid,
+        MacroMetricsCache, Network,
     };
     pub use acim_dse::{
         ChipDesignPoint, ChipDseConfig, ChipExplorer, DesignPoint, DesignSpaceExplorer, DseConfig,

@@ -103,12 +103,22 @@ pub fn chip_frontier_table(points: &[ChipDesignPoint]) -> String {
     out
 }
 
+/// One report line for the macro-metric reuse layer, empty when the run
+/// had no macro-metric cache (so cold single-run reports are unchanged).
+fn macro_cache_line(engine: &acim_moga::EvalStats) -> String {
+    if engine.macro_cache.total() == 0 {
+        String::new()
+    } else {
+        format!("macro-metric reuse: {}\n", engine.macro_cache)
+    }
+}
+
 /// Summarises the chip-composition stage: the front, the evaluation-engine
 /// stats, the best chip, and the behavioural validation when present.
 pub fn chip_report(result: &ChipFlowResult) -> String {
     let mut out = format!(
         "chip composition: {} frontier chips ({} evaluations in {:.2} s)\n\
-         evaluation engine: {:.0} evals/s, cache {}, {:.1} ms mean per generation, {}\n{}",
+         evaluation engine: {:.0} evals/s, cache {}, {:.1} ms mean per generation, {}\n{}{}",
         result.front.len(),
         result.engine.evaluations,
         result.exploration_time.as_secs_f64(),
@@ -116,6 +126,7 @@ pub fn chip_report(result: &ChipFlowResult) -> String {
         result.engine.cache,
         result.engine.mean_generation_seconds() * 1e3,
         result.engine.pool,
+        macro_cache_line(&result.engine),
         chip_frontier_table(&result.front),
     );
     if let Some(best) = result.best_throughput() {
@@ -149,7 +160,7 @@ pub fn flow_summary(result: &FlowResult) -> String {
     let mut out = format!(
         "EasyACIM flow: {} frontier points, {} after distillation, {} layouts generated\n\
          exploration: {} evaluations in {:.2} s ({:.0} evals/s, cache {}, {}); \
-         total runtime {:.2} s\n",
+         total runtime {:.2} s\n{}",
         result.frontier.len(),
         result.distilled.len(),
         result.designs.len(),
@@ -159,6 +170,7 @@ pub fn flow_summary(result: &FlowResult) -> String {
         result.engine.cache,
         result.engine.pool,
         result.total_time.as_secs_f64(),
+        macro_cache_line(&result.engine),
     );
     for design in &result.designs {
         out.push_str(&design_report(design));

@@ -51,11 +51,13 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
+use acim_chip::MacroMetricsCache;
 use acim_dse::{
     CacheStore, ChipDseConfig, ChipExplorer, DesignSpaceExplorer, DseConfig, ExploreOptions,
 };
+use acim_model::ModelParams;
 use acim_moga::EvalStats;
 
 use crate::chip::{ChipFlowConfig, ChipFlowResult};
@@ -368,6 +370,15 @@ fn macro_space_signature(config: &DseConfig) -> String {
     )
 }
 
+/// Signature of one model-parameter set — the key of the **macro-metric**
+/// cache registry.  Macro metrics are pure functions of `(spec, params)`,
+/// so every design space sharing one `ModelParams` (macro spaces of any
+/// height range, chip spaces of any grid catalogue) shares one
+/// macro-metric cache under this signature.
+fn params_signature(params: &ModelParams) -> String {
+    format!("params/#{:016x}", fnv1a(&format!("{params:?}")))
+}
+
 /// Signature of a chip design space (see [`macro_space_signature`]).
 fn chip_space_signature(config: &ChipDseConfig) -> String {
     let defining = format!(
@@ -400,44 +411,113 @@ fn check_session(
     }
 }
 
+/// Capacity policy of an [`ExplorationService`]'s shared caches.
+///
+/// The default is unbounded — the right call for short-lived processes
+/// and benchmarks.  Long-lived services should bound both registries:
+/// the bounds cap **memory, not correctness** (evicted entries are
+/// recomputed on demand; results stay bit-identical), and eviction
+/// activity is visible per request via the `evictions` counters in
+/// [`EvalStats`] and per store via [`CacheStore::evictions`] /
+/// [`MacroMetricsCache::evictions`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct ServiceConfig {
+    /// Capacity bound of each per-design-space evaluation cache
+    /// (genome-level entries).  `None` = unbounded.
+    pub cache_capacity: Option<usize>,
+    /// Capacity bound of each per-parameter-set macro-metric cache
+    /// (distinct macro shapes).  `None` = unbounded.
+    pub macro_metric_capacity: Option<usize>,
+}
+
+impl ServiceConfig {
+    /// A configuration bounding every evaluation cache at
+    /// `cache_capacity` entries and every macro-metric cache at
+    /// `macro_metric_capacity` distinct macros.
+    pub fn bounded(cache_capacity: usize, macro_metric_capacity: usize) -> Self {
+        Self {
+            cache_capacity: Some(cache_capacity),
+            macro_metric_capacity: Some(macro_metric_capacity),
+        }
+    }
+}
+
 /// The multi-tenant exploration front-end: shared per-space evaluation
-/// caches, one worker thread per request, warm-start sessions.
+/// caches, a shared per-parameter-set **macro-metric** cache underneath
+/// them, one worker thread per request, warm-start sessions.
 ///
 /// The service is cheap to construct and internally `Arc`-shared with its
 /// worker threads; share one instance per process (or per tenant class)
-/// to maximise cache reuse.
+/// to maximise cache reuse.  Both cache registries recover poisoned locks
+/// (see [`CacheStore`]): a panicking request never takes the service — or
+/// any other tenant — down with it.
 #[derive(Default)]
 pub struct ExplorationService {
+    config: ServiceConfig,
     caches: Arc<Mutex<HashMap<String, CacheStore>>>,
+    macro_caches: Arc<Mutex<HashMap<String, MacroMetricsCache>>>,
     next_job: AtomicU64,
 }
 
 impl ExplorationService {
-    /// Creates a service with empty caches.
+    /// Creates a service with empty, unbounded caches.
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// The shared store of one design space, creating it when a request
-    /// over that space first arrives.
-    fn store_for(&self, space: &str) -> CacheStore {
-        self.caches
+    /// Creates a service whose caches honour the capacity bounds of
+    /// `config`.
+    pub fn with_config(config: ServiceConfig) -> Self {
+        Self {
+            config,
+            ..Self::default()
+        }
+    }
+
+    /// The capacity policy in use.
+    pub fn config(&self) -> &ServiceConfig {
+        &self.config
+    }
+
+    fn lock_caches(&self) -> MutexGuard<'_, HashMap<String, CacheStore>> {
+        // Poison-tolerant (like the stores themselves): the registry is a
+        // map of handles, always consistent between operations.
+        self.caches.lock().unwrap_or_else(PoisonError::into_inner)
+    }
+
+    fn lock_macro_caches(&self) -> MutexGuard<'_, HashMap<String, MacroMetricsCache>> {
+        self.macro_caches
             .lock()
-            .expect("service cache registry lock")
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
+    /// The shared store of one design space, creating it (with the
+    /// configured bound) when a request over that space first arrives.
+    fn store_for(&self, space: &str) -> CacheStore {
+        self.lock_caches()
             .entry(space.to_string())
-            .or_default()
+            .or_insert_with(|| match self.config.cache_capacity {
+                Some(capacity) => CacheStore::bounded(capacity),
+                None => CacheStore::new(),
+            })
+            .clone()
+    }
+
+    /// The shared macro-metric cache of one parameter set, creating it
+    /// (with the configured bound) on first use.
+    fn macro_store_for(&self, params: &ModelParams) -> MacroMetricsCache {
+        self.lock_macro_caches()
+            .entry(params_signature(params))
+            .or_insert_with(|| match self.config.macro_metric_capacity {
+                Some(capacity) => MacroMetricsCache::bounded(capacity),
+                None => MacroMetricsCache::new(),
+            })
             .clone()
     }
 
     /// Signatures of every design space the service holds a cache for.
     pub fn spaces(&self) -> Vec<String> {
-        let mut spaces: Vec<String> = self
-            .caches
-            .lock()
-            .expect("service cache registry lock")
-            .keys()
-            .cloned()
-            .collect();
+        let mut spaces: Vec<String> = self.lock_caches().keys().cloned().collect();
         spaces.sort();
         spaces
     }
@@ -445,21 +525,39 @@ impl ExplorationService {
     /// The shared cache store of a design space, when one exists (use a
     /// [`JobHandle::space`] or a [`SessionArchive::space`] as the key).
     pub fn cache_store(&self, space: &str) -> Option<CacheStore> {
-        self.caches
-            .lock()
-            .expect("service cache registry lock")
-            .get(space)
+        self.lock_caches().get(space).cloned()
+    }
+
+    /// The shared macro-metric cache of a parameter set, when one exists.
+    pub fn macro_metric_cache(&self, params: &ModelParams) -> Option<MacroMetricsCache> {
+        self.lock_macro_caches()
+            .get(&params_signature(params))
             .cloned()
     }
 
     /// Total distinct designs cached across every design space.
     pub fn cached_evaluations(&self) -> usize {
-        self.caches
-            .lock()
-            .expect("service cache registry lock")
+        self.lock_caches().values().map(CacheStore::len).sum()
+    }
+
+    /// Total distinct macro shapes cached across every parameter set.
+    pub fn cached_macro_metrics(&self) -> usize {
+        self.lock_macro_caches()
             .values()
-            .map(CacheStore::len)
+            .map(MacroMetricsCache::len)
             .sum()
+    }
+
+    /// Total entries evicted across every cache the service owns — the
+    /// number a long-lived deployment graphs to size its bounds.
+    pub fn total_evictions(&self) -> u64 {
+        let stores: u64 = self.lock_caches().values().map(CacheStore::evictions).sum();
+        let macros: u64 = self
+            .lock_macro_caches()
+            .values()
+            .map(MacroMetricsCache::evictions)
+            .sum();
+        stores + macros
     }
 
     /// Submits a request and returns a handle to the in-flight job.
@@ -527,12 +625,19 @@ impl ExplorationService {
         if let Some(chip) = &config.chip {
             total += chip.dse.generations;
             chip_options.cache = Some(self.store_for(&chip_space_signature(&chip.dse)));
+            // One macro-metric cache per parameter set: when the chip
+            // stage shares the macro stage's ModelParams, this is the
+            // *same* cache handle — the chip exploration then reuses the
+            // per-macro metrics the macro exploration just derived.
+            chip_options.macro_cache = Some(self.macro_store_for(&chip.dse.params));
         }
         let (progress, observer) = Self::generation_progress(total);
         let options = FlowOptions {
             exploration: ExploreOptions {
                 cache: Some(self.store_for(&space)),
+                macro_cache: Some(self.macro_store_for(&config.dse.params)),
                 warm_start,
+                ..Default::default()
             },
             chip: chip_options,
             observer: Some(observer),
@@ -579,7 +684,9 @@ impl ExplorationService {
         let space = chip_space_signature(&config.dse);
         let options = ExploreOptions {
             cache: Some(self.store_for(&space)),
+            macro_cache: Some(self.macro_store_for(&config.dse.params)),
             warm_start: check_session(&request.warm_start, &space)?,
+            ..Default::default()
         };
         let (progress, observer) = Self::generation_progress(config.dse.generations);
 
@@ -607,8 +714,11 @@ impl ExplorationService {
 impl std::fmt::Debug for ExplorationService {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ExplorationService")
+            .field("config", &self.config)
             .field("spaces", &self.spaces())
             .field("cached_evaluations", &self.cached_evaluations())
+            .field("cached_macro_metrics", &self.cached_macro_metrics())
+            .field("total_evictions", &self.total_evictions())
             .finish()
     }
 }

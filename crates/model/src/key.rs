@@ -1,0 +1,81 @@
+//! A compact, hashable identity key for macro specifications.
+//!
+//! The macro-metric reuse layer (`acim_chip::MacroMetricsCache`) caches
+//! closed-form [`crate::DesignMetrics`] per macro.  Its key must capture
+//! exactly the inputs the estimation model reads from the specification —
+//! the four discrete dimensions (H, W, L, B_ADC) — and nothing more, so
+//! that two `AcimSpec` values describing the same macro always share one
+//! cache entry.  The model parameters are deliberately **not** part of
+//! the key: one cache is paired with one `ModelParams` (the pairing the
+//! cache's owner enforces), exactly as the genome-level `CacheStore` is
+//! paired with one design space.
+
+use acim_arch::AcimSpec;
+
+/// The quantized identity of one macro specification.
+///
+/// `AcimSpec`'s dimensions are already discrete, so "quantization" here
+/// is exact: the key is the `(H, W, L, B_ADC)` tuple packed into four
+/// integers.  Derives `Hash`/`Eq`/`Ord`, making it directly usable as a
+/// map key, and is four machine words — cheap to clone and compare.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SpecKey {
+    height: u32,
+    width: u32,
+    local_array: u32,
+    adc_bits: u32,
+}
+
+impl SpecKey {
+    /// The key of a specification.
+    pub fn of(spec: &AcimSpec) -> Self {
+        Self {
+            height: spec.height() as u32,
+            width: spec.width() as u32,
+            local_array: spec.local_array() as u32,
+            adc_bits: spec.adc_bits(),
+        }
+    }
+}
+
+impl From<&AcimSpec> for SpecKey {
+    fn from(spec: &AcimSpec) -> Self {
+        Self::of(spec)
+    }
+}
+
+impl std::fmt::Display for SpecKey {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}x{}L{}B{}",
+            self.height, self.width, self.local_array, self.adc_bits
+        )
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn equal_specs_share_a_key_and_different_specs_do_not() {
+        let a = AcimSpec::from_dimensions(128, 32, 4, 3).unwrap();
+        let b = AcimSpec::from_dimensions(128, 32, 4, 3).unwrap();
+        let c = AcimSpec::from_dimensions(128, 32, 4, 4).unwrap();
+        let d = AcimSpec::from_dimensions(64, 64, 4, 3).unwrap();
+        assert_eq!(SpecKey::of(&a), SpecKey::of(&b));
+        assert_ne!(SpecKey::of(&a), SpecKey::of(&c));
+        assert_ne!(SpecKey::of(&a), SpecKey::of(&d));
+        assert_eq!(SpecKey::from(&a), SpecKey::of(&a));
+    }
+
+    #[test]
+    fn key_is_usable_as_a_map_key_and_displays_compactly() {
+        let spec = AcimSpec::from_dimensions(256, 16, 8, 4).unwrap();
+        let mut map = std::collections::HashMap::new();
+        map.insert(SpecKey::of(&spec), 1);
+        assert_eq!(map.get(&SpecKey::of(&spec)), Some(&1));
+        assert_eq!(SpecKey::of(&spec).to_string(), "256x16L8B4");
+    }
+}

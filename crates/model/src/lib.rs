@@ -43,6 +43,7 @@ pub mod area;
 pub mod calibrate;
 pub mod energy;
 pub mod error;
+pub mod key;
 pub mod objectives;
 pub mod params;
 pub mod snr;
@@ -52,6 +53,7 @@ pub use area::area_f2_per_bit;
 pub use calibrate::{calibrate_adc_energy, calibrate_snr_offset, CalibrationReport};
 pub use energy::{energy_per_mac_fj, tops_per_watt};
 pub use error::ModelError;
+pub use key::SpecKey;
 pub use objectives::{evaluate, DesignMetrics};
 pub use params::{AreaParams, DataDistribution, ModelParams, SnrParams};
 pub use snr::{snr_detailed_db, snr_simplified_db, SnrBreakdown};

@@ -31,8 +31,9 @@
 
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicUsize, Ordering};
-use std::sync::{Arc, Mutex, MutexGuard};
+use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
+use crate::clock::ClockMap;
 use crate::problem::{Evaluation, Problem};
 
 /// Default genome quantum: far finer than any decode bucket used by the
@@ -40,7 +41,9 @@ use crate::problem::{Evaluation, Problem};
 /// buckets), yet coarse enough to fold floating-point dust onto one key.
 pub const DEFAULT_QUANTUM: f64 = 1e-9;
 
-/// Hit/miss counters of a [`CachedProblem`].
+/// Hit/miss/eviction counters of a [`CachedProblem`] (or any other cache
+/// reporting through the same shape, like the chip evaluator's
+/// macro-metric cache).
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub struct CacheStats {
     /// Evaluations answered from the cache (including duplicates within a
@@ -48,16 +51,33 @@ pub struct CacheStats {
     pub hits: usize,
     /// Evaluations that had to be computed by the inner problem.
     pub misses: usize,
+    /// Entries this wrapper's inserts pushed out of a bounded store
+    /// (always `0` on unbounded stores).  Attribution is per wrapper, like
+    /// hits and misses: on a shared store each request counts only the
+    /// evictions its own inserts triggered.
+    pub evictions: usize,
 }
 
 impl CacheStats {
+    /// Counters with `hits` and `misses` and no evictions — the common
+    /// literal for unbounded caches (and for tests).
+    pub fn hits_misses(hits: usize, misses: usize) -> Self {
+        Self {
+            hits,
+            misses,
+            evictions: 0,
+        }
+    }
+
     /// Total evaluation requests seen by the cache.
     pub fn total(&self) -> usize {
         self.hits + self.misses
     }
 
     /// Fraction of requests answered from the cache, in `[0, 1]`
-    /// (`0.0` when nothing was requested yet).
+    /// (`0.0` when nothing was requested yet — never `NaN`, so the value
+    /// is always safe to print or aggregate; `tests/service.rs` asserts
+    /// full-cache-hit `--quick` replays render clean reports).
     pub fn hit_rate(&self) -> f64 {
         if self.total() == 0 {
             0.0
@@ -75,7 +95,11 @@ impl std::fmt::Display for CacheStats {
             self.hits,
             self.misses,
             self.hit_rate() * 100.0
-        )
+        )?;
+        if self.evictions > 0 {
+            write!(f, ", {} evicted", self.evictions)?;
+        }
+        Ok(())
     }
 }
 
@@ -86,15 +110,46 @@ impl std::fmt::Display for CacheStats {
 /// exploration request — amortise evaluations across requests.  Keys must
 /// come from one consistent quantizer per store: mixing key functions in
 /// one store silently partitions (or worse, collides) the entries.
+///
+/// # Capacity and eviction
+///
+/// [`CacheStore::bounded`] caps the store at a fixed number of entries,
+/// recycled CLOCK-style (see [`ClockMap`]) — the configuration a
+/// long-lived service wants, where an unbounded per-space cache would
+/// grow for the life of the process.  Eviction never changes results:
+/// entries are pure functions of their keys, so an evicted entry is a
+/// future miss, not a different answer.
+///
+/// # Poison tolerance
+///
+/// The store is shared by many tenants, and one tenant panicking (in a
+/// worker thread, or inside a [`CacheStore::get_or_insert_with`] closure)
+/// must not take the others down.  Every lock acquisition recovers the
+/// guard from a poisoned mutex: the map's state is consistent at every
+/// await-free step (the invariants are re-established before any call
+/// that could panic), so the poison flag carries no information worth
+/// crashing every other in-flight request over.
 #[derive(Clone, Default)]
 pub struct CacheStore {
-    entries: Arc<Mutex<HashMap<Vec<i64>, Evaluation>>>,
+    entries: Arc<Mutex<ClockMap<Vec<i64>, Evaluation>>>,
 }
 
 impl CacheStore {
-    /// Creates an empty store.
+    /// Creates an empty, unbounded store.
     pub fn new() -> Self {
         Self::default()
+    }
+
+    /// Creates an empty store holding at most `capacity` entries, evicting
+    /// CLOCK-style beyond that.
+    ///
+    /// # Panics
+    ///
+    /// Panics when `capacity` is zero.
+    pub fn bounded(capacity: usize) -> Self {
+        Self {
+            entries: Arc::new(Mutex::new(ClockMap::bounded(capacity))),
+        }
     }
 
     /// Number of cached evaluations.
@@ -107,19 +162,57 @@ impl CacheStore {
         self.len() == 0
     }
 
-    /// Looks up one key.
+    /// The capacity bound, `None` for unbounded stores.
+    pub fn capacity(&self) -> Option<usize> {
+        self.lock().capacity()
+    }
+
+    /// Entries evicted from the store since creation (or the last
+    /// [`CacheStore::clear`]), summed over every wrapper sharing it.
+    pub fn evictions(&self) -> u64 {
+        self.lock().evictions()
+    }
+
+    /// Looks up one key (marking the entry recently used).
     pub fn get(&self, key: &[i64]) -> Option<Evaluation> {
         self.lock().get(key).cloned()
     }
 
-    /// Inserts one evaluation.  Re-inserting an existing key overwrites
-    /// it, which is harmless as long as every writer derives evaluations
+    /// Inserts one evaluation and reports whether the insert evicted an
+    /// existing entry.  Re-inserting an existing key overwrites it, which
+    /// is harmless as long as every writer derives evaluations
     /// deterministically from the key (the [`CachedProblem`] contract).
-    pub fn insert(&self, key: Vec<i64>, evaluation: Evaluation) {
-        self.lock().insert(key, evaluation);
+    pub fn insert(&self, key: Vec<i64>, evaluation: Evaluation) -> bool {
+        self.lock().insert(key, evaluation)
     }
 
-    /// Removes every entry.
+    /// Returns the cached evaluation for `key`, computing and inserting it
+    /// via `compute` on a miss — one lock round-trip, so two tenants
+    /// racing on the same key cannot both observe a miss.  The second
+    /// element reports whether the value was a hit.
+    ///
+    /// `compute` runs **under the store lock**: it must stay cheap (a key
+    /// derivation, a pre-computed value), because it serializes every
+    /// other tenant of a shared store while it runs — real evaluations
+    /// belong outside the lock in the racy-get / first-wins-insert
+    /// pattern of `acim_chip`'s `MacroCacheClient::get_or_derive`.  A
+    /// panicking closure poisons the mutex — which the store tolerates
+    /// (see the type-level docs), so a panicking tenant costs only its
+    /// own request.
+    pub fn get_or_insert_with<F>(&self, key: Vec<i64>, compute: F) -> (Evaluation, bool)
+    where
+        F: FnOnce() -> Evaluation,
+    {
+        let mut entries = self.lock();
+        if let Some(eval) = entries.get(&key) {
+            return (eval.clone(), true);
+        }
+        let eval = compute();
+        entries.insert(key, eval.clone());
+        (eval, false)
+    }
+
+    /// Removes every entry and resets the eviction counter.
     pub fn clear(&self) {
         self.lock().clear();
     }
@@ -129,8 +222,12 @@ impl CacheStore {
         Arc::ptr_eq(&self.entries, &other.entries)
     }
 
-    fn lock(&self) -> MutexGuard<'_, HashMap<Vec<i64>, Evaluation>> {
-        self.entries.lock().expect("cache store lock poisoned")
+    fn lock(&self) -> MutexGuard<'_, ClockMap<Vec<i64>, Evaluation>> {
+        // Recover from poisoning instead of propagating it: a tenant that
+        // panicked while holding the guard left the map in a consistent
+        // state, and crashing every other request on a shared store would
+        // turn one bad job into a service outage.
+        self.entries.lock().unwrap_or_else(PoisonError::into_inner)
     }
 }
 
@@ -138,6 +235,8 @@ impl std::fmt::Debug for CacheStore {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("CacheStore")
             .field("entries", &self.len())
+            .field("capacity", &self.capacity())
+            .field("evictions", &self.evictions())
             .finish()
     }
 }
@@ -182,6 +281,7 @@ pub struct CachedProblem<P> {
     store: CacheStore,
     hits: AtomicUsize,
     misses: AtomicUsize,
+    evictions: AtomicUsize,
 }
 
 impl<P: std::fmt::Debug> std::fmt::Debug for CachedProblem<P> {
@@ -195,6 +295,7 @@ impl<P: std::fmt::Debug> std::fmt::Debug for CachedProblem<P> {
                 &CacheStats {
                     hits: self.hits.load(Ordering::Relaxed),
                     misses: self.misses.load(Ordering::Relaxed),
+                    evictions: self.evictions.load(Ordering::Relaxed),
                 },
             )
             .finish_non_exhaustive()
@@ -228,6 +329,7 @@ impl<P: Problem> CachedProblem<P> {
             store: CacheStore::new(),
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
+            evictions: AtomicUsize::new(0),
         }
     }
 
@@ -250,6 +352,7 @@ impl<P: Problem> CachedProblem<P> {
             store: CacheStore::new(),
             hits: AtomicUsize::new(0),
             misses: AtomicUsize::new(0),
+            evictions: AtomicUsize::new(0),
         }
     }
 
@@ -295,11 +398,12 @@ impl<P: Problem> CachedProblem<P> {
         self.len() == 0
     }
 
-    /// Snapshot of the hit/miss counters.
+    /// Snapshot of the hit/miss/eviction counters.
     pub fn stats(&self) -> CacheStats {
         CacheStats {
             hits: self.hits.load(Ordering::Relaxed),
             misses: self.misses.load(Ordering::Relaxed),
+            evictions: self.evictions.load(Ordering::Relaxed),
         }
     }
 
@@ -332,41 +436,56 @@ impl<P: Problem> Problem for CachedProblem<P> {
         }
         let eval = self.inner.evaluate(genes);
         self.misses.fetch_add(1, Ordering::Relaxed);
-        self.store.insert(key, eval.clone());
+        if self.store.insert(key, eval.clone()) {
+            self.evictions.fetch_add(1, Ordering::Relaxed);
+        }
         eval
     }
 
     fn evaluate_batch(&self, genomes: &[Vec<f64>]) -> Vec<Evaluation> {
         // Resolve every genome against the cache (and against earlier
         // duplicates in this very batch) first, so the inner problem only
-        // sees the unique misses.
+        // sees the unique misses.  Attribution contract (asserted below):
+        // every slot of the batch counts exactly once — as a hit when the
+        // store or an earlier duplicate in this batch already knows the
+        // design, as a miss otherwise — so per-request counters on a
+        // shared store sum to exactly the evaluations the request issued.
         let keys: Vec<Vec<i64>> = genomes.iter().map(|g| self.key(g)).collect();
         let mut results: Vec<Option<Evaluation>> = vec![None; genomes.len()];
         let mut miss_genomes: Vec<Vec<f64>> = Vec::new();
         let mut miss_keys: Vec<Vec<i64>> = Vec::new();
         // Which unique miss (by position in `miss_genomes`) fills slot i.
         let mut pending: Vec<(usize, usize)> = Vec::new();
+        let mut batch_hits = 0usize;
         {
-            let cache = self.store.lock();
+            let mut cache = self.store.lock();
             let mut batch_local: HashMap<&[i64], usize> = HashMap::new();
             for (i, key) in keys.iter().enumerate() {
-                if let Some(eval) = cache.get(key) {
+                if let Some(eval) = cache.get(key.as_slice()) {
                     results[i] = Some(eval.clone());
-                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    batch_hits += 1;
                 } else if let Some(&slot) = batch_local.get(key.as_slice()) {
-                    // Duplicate within the batch: evaluated once below.
+                    // Duplicate within the batch: evaluated once below,
+                    // counted as one miss (the first occurrence) plus one
+                    // hit per repeat.
                     pending.push((i, slot));
-                    self.hits.fetch_add(1, Ordering::Relaxed);
+                    batch_hits += 1;
                 } else {
                     let slot = miss_genomes.len();
                     batch_local.insert(key.as_slice(), slot);
                     miss_genomes.push(genomes[i].clone());
                     miss_keys.push(key.clone());
                     pending.push((i, slot));
-                    self.misses.fetch_add(1, Ordering::Relaxed);
                 }
             }
         }
+        debug_assert_eq!(
+            batch_hits + miss_genomes.len(),
+            genomes.len(),
+            "every batch slot must be attributed exactly once"
+        );
+        self.hits.fetch_add(batch_hits, Ordering::Relaxed);
+        self.misses.fetch_add(miss_genomes.len(), Ordering::Relaxed);
 
         let fresh = self.inner.evaluate_batch(&miss_genomes);
         assert_eq!(
@@ -376,8 +495,14 @@ impl<P: Problem> Problem for CachedProblem<P> {
         );
         {
             let mut cache = self.store.lock();
+            let mut evicted = 0usize;
             for (key, eval) in miss_keys.into_iter().zip(&fresh) {
-                cache.insert(key, eval.clone());
+                if cache.insert(key, eval.clone()) {
+                    evicted += 1;
+                }
+            }
+            if evicted > 0 {
+                self.evictions.fetch_add(evicted, Ordering::Relaxed);
             }
         }
         for (i, slot) in pending {
@@ -444,7 +569,7 @@ mod tests {
         assert_eq!(a, b);
         assert_ne!(a, c);
         assert_eq!(cached.inner().calls.load(Ordering::Relaxed), 2);
-        assert_eq!(cached.stats(), CacheStats { hits: 1, misses: 2 });
+        assert_eq!(cached.stats(), CacheStats::hits_misses(1, 2));
         assert_eq!(cached.len(), 2);
     }
 
@@ -461,13 +586,13 @@ mod tests {
         assert_eq!(batch.len(), 4);
         assert_eq!(batch[0], batch[2]);
         assert_eq!(cached.inner().calls.load(Ordering::Relaxed), 3);
-        assert_eq!(cached.stats(), CacheStats { hits: 1, misses: 3 });
+        assert_eq!(cached.stats(), CacheStats::hits_misses(1, 3));
 
         // A second batch re-using previous designs evaluates only new ones.
         let batch2 = cached.evaluate_batch(&[vec![0.2, 0.2], vec![0.4, 0.4]]);
         assert_eq!(batch2[0], batch[1]);
         assert_eq!(cached.inner().calls.load(Ordering::Relaxed), 4);
-        assert_eq!(cached.stats(), CacheStats { hits: 2, misses: 4 });
+        assert_eq!(cached.stats(), CacheStats::hits_misses(2, 4));
     }
 
     #[test]
@@ -487,12 +612,12 @@ mod tests {
         let cached = CachedProblem::with_quantum(Counting::new(), 1e-6);
         let _ = cached.evaluate(&[0.5, 0.5]);
         let _ = cached.evaluate(&[0.5 + 1e-9, 0.5 - 1e-9]);
-        assert_eq!(cached.stats(), CacheStats { hits: 1, misses: 1 });
+        assert_eq!(cached.stats(), CacheStats::hits_misses(1, 1));
     }
 
     #[test]
     fn hit_rate_reads_naturally() {
-        let stats = CacheStats { hits: 3, misses: 1 };
+        let stats = CacheStats::hits_misses(3, 1);
         assert_eq!(stats.total(), 4);
         assert!((stats.hit_rate() - 0.75).abs() < 1e-12);
         assert!(stats.to_string().contains("75.0% hit rate"));
@@ -520,7 +645,7 @@ mod tests {
         let c = cached.evaluate(&[0.60, 0.30]); // different bucket
         assert_eq!(a, b);
         assert_ne!(a, c);
-        assert_eq!(cached.stats(), CacheStats { hits: 1, misses: 2 });
+        assert_eq!(cached.stats(), CacheStats::hits_misses(1, 2));
         assert!(format!("{cached:?}").contains("custom_key: true"));
     }
 
@@ -529,7 +654,7 @@ mod tests {
         let store = CacheStore::new();
         let first = CachedProblem::new(Counting::new()).with_shared_store(store.clone());
         let _ = first.evaluate_batch(&[vec![0.1, 0.1], vec![0.2, 0.2]]);
-        assert_eq!(first.stats(), CacheStats { hits: 0, misses: 2 });
+        assert_eq!(first.stats(), CacheStats::hits_misses(0, 2));
         assert_eq!(store.len(), 2);
 
         // A second wrapper (a new "request") over the same store: answers
@@ -537,11 +662,11 @@ mod tests {
         let second = CachedProblem::new(Counting::new()).with_shared_store(store.clone());
         let batch = second.evaluate_batch(&[vec![0.2, 0.2], vec![0.3, 0.3]]);
         assert_eq!(batch.len(), 2);
-        assert_eq!(second.stats(), CacheStats { hits: 1, misses: 1 });
+        assert_eq!(second.stats(), CacheStats::hits_misses(1, 1));
         assert_eq!(second.inner().calls.load(Ordering::Relaxed), 1);
         assert_eq!(store.len(), 3);
         // The first wrapper's counters are untouched.
-        assert_eq!(first.stats(), CacheStats { hits: 0, misses: 2 });
+        assert_eq!(first.stats(), CacheStats::hits_misses(0, 2));
         assert!(first.store().shares_entries_with(second.store()));
     }
 
@@ -562,6 +687,118 @@ mod tests {
         store.clear();
         assert!(alias.is_empty());
         assert_eq!(store.get(&[1, 2]), None);
+    }
+
+    #[test]
+    fn poisoned_store_recovers_and_stays_usable() {
+        // A tenant panicking while holding the store lock (the realistic
+        // vector is a panicking `get_or_insert_with` closure) used to
+        // poison the mutex and crash every other tenant's next access.
+        let store = CacheStore::new();
+        store.insert(vec![1], Evaluation::unconstrained(vec![1.0]));
+        let poisoner = store.clone();
+        let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+            poisoner.get_or_insert_with(vec![2], || panic!("tenant panicked mid-evaluation"));
+        }));
+        assert!(result.is_err(), "the poisoning panic must propagate");
+
+        // Every other tenant keeps working: reads, writes, and wrapped
+        // problems all recover the guard.
+        assert_eq!(store.get(&[1]), Some(Evaluation::unconstrained(vec![1.0])));
+        store.insert(vec![3], Evaluation::unconstrained(vec![3.0]));
+        assert_eq!(store.len(), 2);
+        let cached = CachedProblem::new(Counting::new()).with_shared_store(store.clone());
+        let batch = cached.evaluate_batch(&[vec![0.1, 0.1], vec![0.2, 0.2]]);
+        assert_eq!(batch.len(), 2);
+        assert_eq!(cached.stats(), CacheStats::hits_misses(0, 2));
+    }
+
+    #[test]
+    fn bounded_store_never_exceeds_capacity_under_concurrent_insert() {
+        let store = CacheStore::bounded(16);
+        let threads: Vec<_> = (0..4)
+            .map(|t| {
+                let store = store.clone();
+                std::thread::spawn(move || {
+                    for i in 0..200i64 {
+                        store.insert(
+                            vec![t, i],
+                            Evaluation::unconstrained(vec![(t * 1000 + i) as f64]),
+                        );
+                        assert!(store.len() <= 16, "store exceeded its bound");
+                    }
+                })
+            })
+            .collect();
+        for thread in threads {
+            thread.join().unwrap();
+        }
+        assert_eq!(store.len(), 16);
+        assert_eq!(store.capacity(), Some(16));
+        assert_eq!(store.evictions(), 4 * 200 - 16);
+    }
+
+    #[test]
+    fn bounded_wrapper_attributes_its_own_evictions() {
+        let store = CacheStore::bounded(2);
+        let cached = CachedProblem::new(Counting::new()).with_shared_store(store.clone());
+        for i in 0..5 {
+            let _ = cached.evaluate(&[f64::from(i) / 10.0, 0.0]);
+        }
+        let stats = cached.stats();
+        assert_eq!((stats.hits, stats.misses), (0, 5));
+        assert_eq!(stats.evictions, 3, "5 inserts into a 2-entry store");
+        assert_eq!(store.evictions(), 3);
+        assert!(stats.to_string().contains("3 evicted"));
+
+        // Evicted designs are recomputed, not wrong: the same genome
+        // evaluates to the same objectives after falling out of the store.
+        let again = cached.evaluate(&[0.0, 0.0]);
+        assert_eq!(again, Counting::new().evaluate(&[0.0, 0.0]));
+    }
+
+    #[test]
+    fn intra_batch_duplicate_counts_one_miss_and_one_hit() {
+        // Attribution audit (per-request accounting the service sums):
+        // a genome appearing twice in one cohort is one miss (first
+        // occurrence, evaluated) plus one hit (the duplicate) — never two
+        // misses — and a triplicate is one miss plus two hits.
+        let store = CacheStore::new();
+        let request_a = CachedProblem::new(Counting::new()).with_shared_store(store.clone());
+        let cohort = vec![
+            vec![0.5, 0.5],
+            vec![0.5, 0.5],
+            vec![0.5, 0.5],
+            vec![0.7, 0.7],
+        ];
+        let evals = request_a.evaluate_batch(&cohort);
+        assert_eq!(evals[0], evals[1]);
+        assert_eq!(evals[0], evals[2]);
+        assert_eq!(request_a.stats(), CacheStats::hits_misses(2, 2));
+        assert_eq!(request_a.inner().calls.load(Ordering::Relaxed), 2);
+        // Per-request totals sum to the evaluations the request issued —
+        // the invariant the service's per-request attribution relies on.
+        assert_eq!(request_a.stats().total(), cohort.len());
+
+        // A second request over the shared store sees the duplicate as a
+        // plain cross-request hit.
+        let request_b = CachedProblem::new(Counting::new()).with_shared_store(store.clone());
+        let evals_b = request_b.evaluate_batch(&[vec![0.5, 0.5], vec![0.5, 0.5]]);
+        assert_eq!(evals_b[0], evals[0]);
+        assert_eq!(request_b.stats(), CacheStats::hits_misses(2, 0));
+        assert_eq!(request_b.inner().calls.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn get_or_insert_with_is_atomic_per_key() {
+        let store = CacheStore::new();
+        let (first, hit) =
+            store.get_or_insert_with(vec![9], || Evaluation::unconstrained(vec![9.0]));
+        assert!(!hit);
+        let (second, hit) =
+            store.get_or_insert_with(vec![9], || unreachable!("must not recompute"));
+        assert!(hit);
+        assert_eq!(first, second);
     }
 
     #[test]

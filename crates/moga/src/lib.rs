@@ -75,6 +75,7 @@
 
 pub mod archive;
 pub mod cached;
+pub mod clock;
 pub mod crowding;
 pub mod dominance;
 pub mod hypervolume;
@@ -87,6 +88,7 @@ pub mod selection;
 
 pub use archive::ParetoArchive;
 pub use cached::{CacheStats, CacheStore, CachedProblem};
+pub use clock::{ClockMap, TryInsert};
 pub use crowding::assign_crowding_distance;
 pub use dominance::{constrained_dominates, dominates, fast_non_dominated_sort};
 pub use hypervolume::{hypervolume_2d, hypervolume_monte_carlo};

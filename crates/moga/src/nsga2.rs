@@ -113,6 +113,11 @@ pub struct EvalStats {
     /// Hit/miss counters of the evaluation cache ([`CacheStats::default`]
     /// when no cache was involved).
     pub cache: CacheStats,
+    /// Hit/miss counters of the **macro-metric reuse layer** — the cache
+    /// of per-macro `DesignMetrics` consulted below the genome-level
+    /// evaluation cache (see `acim_chip::MacroMetricsCache`).  Stays at
+    /// the zero default for problems without a macro-metric cache.
+    pub macro_cache: CacheStats,
     /// Wall-clock seconds spent inside [`Problem::evaluate_batch`].
     pub eval_seconds: f64,
     /// Wall-clock seconds per generation (variation + evaluation +
@@ -125,8 +130,12 @@ pub struct EvalStats {
 }
 
 impl EvalStats {
-    /// Objective evaluations per wall-clock second of evaluation time
-    /// (`0.0` when no time was measured).
+    /// Objective evaluations per wall-clock second of evaluation time.
+    ///
+    /// Guaranteed finite: a run whose evaluation time is below the timer
+    /// resolution (a `--quick` run answered entirely from a warm cache)
+    /// reports `0.0` instead of leaking `inf`/`NaN` into reports
+    /// (`tests/service.rs` asserts a full-hit replay renders cleanly).
     pub fn evaluations_per_second(&self) -> f64 {
         if self.eval_seconds > 0.0 {
             self.evaluations as f64 / self.eval_seconds
@@ -135,7 +144,8 @@ impl EvalStats {
         }
     }
 
-    /// Mean wall-clock seconds per generation (`0.0` for zero generations).
+    /// Mean wall-clock seconds per generation (`0.0` for zero generations;
+    /// never `NaN`).
     pub fn mean_generation_seconds(&self) -> f64 {
         if self.generation_seconds.is_empty() {
             0.0
@@ -371,10 +381,9 @@ impl<P: Problem> Nsga2<P> {
             generations: self.config.generations,
             engine: EvalStats {
                 evaluations,
-                cache: CacheStats::default(),
                 eval_seconds,
                 generation_seconds,
-                pool: PoolStats::default(),
+                ..EvalStats::default()
             },
         }
     }

@@ -14,14 +14,27 @@
 //! cargo run --release --example exploration_service
 //! # tiny budget (used by the CI smoke job):
 //! cargo run --release --example exploration_service -- --quick
+//! # bound the shared caches (exercises CLOCK eviction; the CI smoke job
+//! # runs this to prove bounded caches change counters, not results):
+//! cargo run --release --example exploration_service -- --quick --cache-cap 48
 //! ```
 
 use easyacim::chip_report;
 use easyacim::prelude::*;
-use easyacim::service::{ChipRequest, ExplorationRequest, ExplorationService};
+use easyacim::service::{ChipRequest, ExplorationRequest, ExplorationService, ServiceConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let quick = std::env::args().any(|arg| arg == "--quick");
+    let args: Vec<String> = std::env::args().collect();
+    let quick = args.iter().any(|arg| arg == "--quick");
+    let cache_cap: Option<usize> = args.iter().position(|arg| arg == "--cache-cap").map(|i| {
+        let cap: usize = args
+            .get(i + 1)
+            .expect("--cache-cap requires a value")
+            .parse()
+            .expect("--cache-cap takes a positive integer");
+        assert!(cap > 0, "--cache-cap takes a positive integer, got 0");
+        cap
+    });
     let (population_size, generations) = if quick { (16, 6) } else { (40, 24) };
 
     println!(
@@ -42,7 +55,20 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     chip.dse.generations = generations;
     chip.validate_best = false;
 
-    let service = ExplorationService::new();
+    let service = match cache_cap {
+        // Evaluation caches at the requested bound; macro-metric caches
+        // far smaller (they hold distinct macro *shapes*, a much smaller
+        // population than distinct genomes).
+        Some(cap) => {
+            let config = ServiceConfig::bounded(cap, (cap / 8).max(2));
+            println!(
+                "bounded caches: {cap} evaluations / {} macro metrics per store",
+                (cap / 8).max(2)
+            );
+            ExplorationService::with_config(config)
+        }
+        None => ExplorationService::new(),
+    };
     let handles = vec![
         service.submit(ExplorationRequest::macro_flow(flow))?,
         service.submit(ExplorationRequest::chip(chip.clone()))?,
@@ -103,10 +129,23 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
     }
     println!(
-        "service caches: {} distinct designs across {} design spaces",
+        "service caches: {} distinct designs across {} design spaces, \
+         {} distinct macro metrics, {} evictions",
         service.cached_evaluations(),
         service.spaces().len(),
+        service.cached_macro_metrics(),
+        service.total_evictions(),
     );
+    if let Some(cap) = cache_cap {
+        assert!(
+            service.cached_evaluations() <= cap * service.spaces().len(),
+            "bounded stores must respect their capacity"
+        );
+        assert!(
+            service.total_evictions() > 0,
+            "a small bound over this workload must evict"
+        );
+    }
 
     // Warm start: seed a follow-up request from the finished session's
     // Pareto archive.  Over the now-populated shared cache the warm run's

@@ -12,7 +12,9 @@
 
 use acim_moga::hypervolume_monte_carlo;
 use easyacim::prelude::*;
-use easyacim::service::{ChipRequest, ExplorationRequest, ExplorationService, MacroRequest};
+use easyacim::service::{
+    ChipRequest, ExplorationRequest, ExplorationService, MacroRequest, ServiceConfig,
+};
 
 fn quick_flow_config() -> FlowConfig {
     let mut config = FlowConfig::new(4 * 1024);
@@ -279,4 +281,162 @@ fn warm_started_macro_flow_round_trips_through_the_service() {
             w == c || acim_moga::dominates(&w, &c)
         }));
     }
+}
+
+#[test]
+fn macro_metric_cache_is_shared_across_mixed_macro_and_chip_sessions() {
+    // The macro flow and the chip stage here run over the SAME
+    // ModelParams, so the service hands both the same macro-metric
+    // cache: per-macro DesignMetrics derived by the macro exploration
+    // are hits for the chip exploration that follows.
+    let service = ExplorationService::new();
+    let macro_response = service
+        .run(ExplorationRequest::macro_flow(quick_flow_config()))
+        .unwrap()
+        .into_macro()
+        .unwrap();
+    let macro_stats = macro_response.result.engine.macro_cache;
+    assert!(macro_stats.misses > 0, "macro session primes the cache");
+    assert!(service.cached_macro_metrics() > 0);
+
+    let chip_response = service
+        .run(ExplorationRequest::chip(quick_chip_config()))
+        .unwrap()
+        .into_chip()
+        .unwrap();
+    let chip_stats = chip_response.result.engine.macro_cache;
+    assert!(
+        chip_stats.hits > 0,
+        "chip session must reuse macro-session metrics: {chip_stats}"
+    );
+
+    // Both sessions read one cache: the registry holds exactly one
+    // macro-metric cache (one shared ModelParams).
+    let params = quick_chip_config().dse.params;
+    let cache = service
+        .macro_metric_cache(&params)
+        .expect("cache exists for the shared parameter set");
+    assert_eq!(service.cached_macro_metrics(), cache.len());
+
+    // A chip request on a FRESH service (no macro session first) derives
+    // its macros itself — the mixed session above saved that work.
+    let cold = ExplorationService::new();
+    let cold_chip = cold
+        .run(ExplorationRequest::chip(quick_chip_config()))
+        .unwrap()
+        .into_chip()
+        .unwrap();
+    assert!(cold_chip.result.engine.macro_cache.misses > chip_stats.misses);
+    assert_same_chip_frontier(&cold_chip.result.front, &chip_response.result.front);
+}
+
+#[test]
+fn bounded_service_evicts_without_changing_frontiers() {
+    let unbounded = ExplorationService::new();
+    let reference = unbounded
+        .run(ExplorationRequest::chip(quick_chip_config()))
+        .unwrap()
+        .into_chip()
+        .unwrap();
+
+    // Tiny bounds so a quick run is forced to recycle entries.
+    let bounded = ExplorationService::with_config(ServiceConfig::bounded(16, 2));
+    assert_eq!(bounded.config().cache_capacity, Some(16));
+    let constrained = bounded
+        .run(ExplorationRequest::chip(quick_chip_config()))
+        .unwrap()
+        .into_chip()
+        .unwrap();
+    assert!(
+        bounded.total_evictions() > 0,
+        "16-entry evaluation cache plus 2-macro metric cache must evict"
+    );
+    assert!(bounded.cached_evaluations() <= 16);
+    assert!(bounded.cached_macro_metrics() <= 2);
+    assert!(constrained.result.engine.cache.evictions > 0);
+    // Eviction costs hits, never results.
+    assert_same_chip_frontier(&reference.result.front, &constrained.result.front);
+
+    // Warm-starting over the bounded caches still dominates-or-equals:
+    // rerun warm on the same bounded service.
+    let warm = bounded
+        .run(ExplorationRequest::Chip(
+            ChipRequest::new(quick_chip_config()).with_warm_start(constrained.session.clone()),
+        ))
+        .unwrap()
+        .into_chip()
+        .unwrap();
+    for point in &constrained.result.front {
+        let c = point.objective_vector();
+        assert!(
+            warm.result.front.iter().any(|w| {
+                let w = w.objective_vector();
+                w == c || acim_moga::dominates(&w, &c)
+            }),
+            "seeded frontier point lost under bounded caches"
+        );
+    }
+}
+
+#[test]
+fn panicking_tenant_leaves_the_service_usable() {
+    // Regression: `CacheStore` used to `.expect()` its mutex guard, so a
+    // tenant panicking while holding the lock poisoned the shared store
+    // and crashed every later request over the same design space.
+    let service = ExplorationService::new();
+    let handle = service
+        .submit(ExplorationRequest::chip(quick_chip_config()))
+        .unwrap();
+    let space = handle.space().to_string();
+    let first = handle.join().unwrap().into_chip().unwrap();
+
+    // A hostile tenant grabs the shared store of that space and panics
+    // while holding its lock.
+    let store = service.cache_store(&space).expect("space has a store");
+    let poisoner = store.clone();
+    let panicked = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
+        poisoner.get_or_insert_with(vec![i64::MIN], || panic!("tenant died mid-insert"));
+    }));
+    assert!(panicked.is_err());
+
+    // Every other tenant is unaffected: the same request runs again over
+    // the (recovered) shared store, replays as pure hits, and produces
+    // the identical frontier.
+    let second = service
+        .run(ExplorationRequest::chip(quick_chip_config()))
+        .unwrap()
+        .into_chip()
+        .unwrap();
+    assert_eq!(second.result.engine.cache.misses, 0);
+    assert_same_chip_frontier(&first.result.front, &second.result.front);
+    assert!(!store.is_empty());
+}
+
+#[test]
+fn full_hit_replay_reports_finite_rates_and_clean_reports() {
+    // A --quick replay answered entirely from the cache can spend less
+    // than a timer tick evaluating; the rate accessors must degrade to
+    // 0.0 rather than leak NaN/inf into reports.
+    let service = ExplorationService::new();
+    let _ = service
+        .run(ExplorationRequest::chip(quick_chip_config()))
+        .unwrap();
+    let replay = service
+        .run(ExplorationRequest::chip(quick_chip_config()))
+        .unwrap()
+        .into_chip()
+        .unwrap();
+    let engine = &replay.result.engine;
+    assert_eq!(engine.cache.misses, 0, "replay must be pure hits");
+    assert!(engine.evaluations_per_second().is_finite());
+    assert!(engine.mean_generation_seconds().is_finite());
+    assert!(engine.cache.hit_rate().is_finite());
+    assert!(engine.macro_cache.hit_rate().is_finite());
+    // "pJ/inf" (energy per inference) is a legitimate unit label; a
+    // leaked non-finite value formats as a standalone "inf"/"-inf"/"NaN".
+    let report = easyacim::chip_report(&replay.result);
+    assert!(
+        !report.contains("NaN") && !report.contains(" inf") && !report.contains("-inf"),
+        "report leaked a non-finite number:\n{report}"
+    );
 }
