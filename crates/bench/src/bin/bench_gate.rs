@@ -21,12 +21,15 @@
 //! the CI runner — the gate exists to catch step changes (a serialized
 //! parallel path, a quadratic loop), not single-digit noise.
 
-use acim_bench::gate::{compare, parse_baseline, parse_fresh, Baseline, Verdict};
+use acim_bench::gate::{
+    check_ratio, compare, parse_baseline, parse_fresh, parse_ratio_spec, Baseline, RatioCheck,
+    RatioVerdict, Verdict,
+};
 
 fn usage() -> ! {
     eprintln!(
         "usage: bench_gate --fresh <jsonl> --baseline <json> [--baseline <json> ...] \
-         [--tolerance <multiplier>]"
+         [--tolerance <multiplier>] [--max-ratio <numerator>:<denominator>:<max> ...]"
     );
     std::process::exit(2);
 }
@@ -35,6 +38,7 @@ fn main() {
     let mut fresh_path: Option<String> = None;
     let mut baseline_paths: Vec<String> = Vec::new();
     let mut tolerance: Option<f64> = None;
+    let mut ratio_checks: Vec<RatioCheck> = Vec::new();
 
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
@@ -47,6 +51,16 @@ fn main() {
                         .and_then(|value| value.parse().ok())
                         .unwrap_or_else(|| usage()),
                 );
+            }
+            "--max-ratio" => {
+                let spec = args.next().unwrap_or_else(|| usage());
+                match parse_ratio_spec(&spec) {
+                    Ok(check) => ratio_checks.push(check),
+                    Err(error) => {
+                        eprintln!("bench_gate: {error}");
+                        std::process::exit(2);
+                    }
+                }
             }
             _ => usage(),
         }
@@ -127,11 +141,37 @@ fn main() {
             row.id, row.baseline_ns, fresh_cell, ratio_cell
         );
     }
+    for check in &ratio_checks {
+        let label = format!("{} / {}", check.numerator, check.denominator);
+        match check_ratio(check, &fresh) {
+            RatioVerdict::Pass(ratio) => {
+                println!("ratio {label}: {ratio:.3} <= {:.3}  ok", check.max);
+            }
+            RatioVerdict::Exceeded(ratio) => {
+                failures += 1;
+                println!("ratio {label}: {ratio:.3} > {:.3}  EXCEEDED", check.max);
+            }
+            RatioVerdict::Missing => {
+                failures += 1;
+                println!("ratio {label}: fresh measurement MISSING");
+            }
+        }
+    }
+
     if failures > 0 {
         eprintln!(
-            "bench_gate: {failures} benchmark(s) regressed past {tolerance:.1}x or went missing"
+            "bench_gate: {failures} check(s) failed (regressed past {tolerance:.1}x, \
+             missing, or over a ratio bound)"
         );
         std::process::exit(1);
     }
-    println!("bench_gate: all {} benchmarks within tolerance", rows.len());
+    println!(
+        "bench_gate: all {} benchmarks within tolerance{}",
+        rows.len(),
+        if ratio_checks.is_empty() {
+            String::new()
+        } else {
+            format!(", {} ratio bound(s) held", ratio_checks.len())
+        }
+    );
 }

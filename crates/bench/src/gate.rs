@@ -150,6 +150,84 @@ pub fn parse_fresh(text: &str) -> Vec<(String, f64)> {
     fresh
 }
 
+/// A paired-benchmark ratio bound: `fresh[numerator] / fresh[denominator]`
+/// must not exceed `max`.  Unlike the absolute baseline comparison, a
+/// ratio within one run is immune to how fast the CI machine is — the
+/// telemetry-overhead gate (`telemetry/instrumented` vs
+/// `telemetry/uninstrumented` at 1.05) is the canonical user.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RatioCheck {
+    /// Fully-qualified id of the numerator benchmark.
+    pub numerator: String,
+    /// Fully-qualified id of the denominator benchmark.
+    pub denominator: String,
+    /// Maximum allowed `numerator / denominator`.
+    pub max: f64,
+}
+
+/// Verdict of one [`RatioCheck`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum RatioVerdict {
+    /// The observed ratio, within bound.
+    Pass(f64),
+    /// The observed ratio, over bound.
+    Exceeded(f64),
+    /// One or both benchmarks produced no fresh measurement.
+    Missing,
+}
+
+/// Parses a `--max-ratio` spec: `numerator:denominator:max`, where the
+/// ids are `group/name` pairs (so `:` never collides with an id).
+///
+/// # Errors
+///
+/// Returns a description of the malformed part.
+pub fn parse_ratio_spec(text: &str) -> Result<RatioCheck, String> {
+    let mut parts = text.split(':');
+    let (Some(numerator), Some(denominator), Some(max), None) =
+        (parts.next(), parts.next(), parts.next(), parts.next())
+    else {
+        return Err(format!(
+            "ratio spec must be <numerator>:<denominator>:<max>, got {text}"
+        ));
+    };
+    let max: f64 = max
+        .parse()
+        .map_err(|_| format!("non-numeric ratio bound in spec: {text}"))?;
+    if max.is_nan() || max < 1.0 {
+        return Err(format!("ratio bound must be >= 1.0, got {max}"));
+    }
+    if numerator.is_empty() || denominator.is_empty() {
+        return Err(format!("empty benchmark id in ratio spec: {text}"));
+    }
+    Ok(RatioCheck {
+        numerator: numerator.to_string(),
+        denominator: denominator.to_string(),
+        max,
+    })
+}
+
+/// Evaluates one ratio bound against the fresh medians.
+pub fn check_ratio(check: &RatioCheck, fresh: &[(String, f64)]) -> RatioVerdict {
+    let median = |id: &str| {
+        fresh
+            .iter()
+            .find(|(name, _)| name == id)
+            .map(|(_, median)| *median)
+    };
+    match (median(&check.numerator), median(&check.denominator)) {
+        (Some(numerator), Some(denominator)) => {
+            let ratio = numerator / denominator.max(1.0);
+            if ratio > check.max {
+                RatioVerdict::Exceeded(ratio)
+            } else {
+                RatioVerdict::Pass(ratio)
+            }
+        }
+        _ => RatioVerdict::Missing,
+    }
+}
+
 /// Compares fresh medians against every baseline entry.  Each baseline key
 /// is looked up as `"<bench>/<key>"` in the fresh results; a missing fresh
 /// entry is a failure (the bench silently stopped running), as is a fresh
@@ -266,6 +344,46 @@ garbage line without fields\n\
     }
 
     #[test]
+    fn ratio_specs_parse_and_reject_malformed_bounds() {
+        let check = parse_ratio_spec("telemetry/instrumented:telemetry/uninstrumented:1.05")
+            .expect("parses");
+        assert_eq!(check.numerator, "telemetry/instrumented");
+        assert_eq!(check.denominator, "telemetry/uninstrumented");
+        assert!((check.max - 1.05).abs() < 1e-12);
+
+        assert!(parse_ratio_spec("a:b").unwrap_err().contains("ratio spec"));
+        assert!(parse_ratio_spec("a:b:c:d")
+            .unwrap_err()
+            .contains("ratio spec"));
+        assert!(parse_ratio_spec("a:b:x")
+            .unwrap_err()
+            .contains("non-numeric"));
+        assert!(parse_ratio_spec("a:b:0.9").unwrap_err().contains(">= 1.0"));
+        assert!(parse_ratio_spec(":b:1.5").unwrap_err().contains("empty"));
+    }
+
+    #[test]
+    fn ratio_checks_pass_exceed_and_flag_missing() {
+        let fresh = vec![("g/on".into(), 105.0), ("g/off".into(), 100.0)];
+        let bound = |max| RatioCheck {
+            numerator: "g/on".into(),
+            denominator: "g/off".into(),
+            max,
+        };
+        assert_eq!(check_ratio(&bound(1.05), &fresh), RatioVerdict::Pass(1.05));
+        assert_eq!(
+            check_ratio(&bound(1.04), &fresh),
+            RatioVerdict::Exceeded(1.05)
+        );
+        let gone = RatioCheck {
+            numerator: "g/on".into(),
+            denominator: "g/gone".into(),
+            max: 2.0,
+        };
+        assert_eq!(check_ratio(&gone, &fresh), RatioVerdict::Missing);
+    }
+
+    #[test]
     fn checked_in_baselines_parse() {
         // The real files CI feeds to the gate must stay parseable.
         for path in [
@@ -278,6 +396,10 @@ garbage line without fields\n\
                 "/benches/chip_eval_baseline.json"
             ),
             concat!(env!("CARGO_MANIFEST_DIR"), "/benches/steal_baseline.json"),
+            concat!(
+                env!("CARGO_MANIFEST_DIR"),
+                "/benches/telemetry_baseline.json"
+            ),
         ] {
             let text = std::fs::read_to_string(path)
                 .unwrap_or_else(|e| panic!("baseline {path} must exist: {e}"));

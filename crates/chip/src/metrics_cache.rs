@@ -25,11 +25,10 @@
 //! tenant of a multi-tenant service costs its own request, never the
 //! shared store.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 
 use acim_model::{DesignMetrics, SpecKey};
-use acim_moga::{CacheStats, ClockMap, TryInsert};
+use acim_moga::{CacheCounters, CacheStats, ClockMap, TryInsert};
 
 /// Everything the chip evaluator needs per macro, cached as one value:
 /// the closed-form design metrics and the macro cycle time.
@@ -145,19 +144,20 @@ impl std::fmt::Debug for MacroMetricsCache {
 /// handle (optional — a detached client just derives) plus this
 /// consumer's hit/miss/eviction counters.
 ///
-/// The counters are `Arc`-shared across clones, so an evaluator cloned
-/// into pool workers still attributes the whole batch to the request
-/// that spawned it — while two different requests (two clients) on one
-/// shared cache each report their own reuse.  Both macro-metric
-/// consumers in the workspace (`ChipEvaluator` and the macro-space
-/// `AcimDesignProblem`) embed this client, so the lookup/attribution
-/// semantics cannot drift apart.
+/// The counters are a telemetry-backed [`CacheCounters`] triple, shared
+/// across clones, so an evaluator cloned into pool workers still
+/// attributes the whole batch to the request that spawned it — while two
+/// different requests (two clients) on one shared cache each report
+/// their own reuse.  A telemetry registry can adopt the triple (see
+/// [`MacroCacheClient::with_counters`]) so exposition reads the very
+/// counters the hot path bumps.  Both macro-metric consumers in the
+/// workspace (`ChipEvaluator` and the macro-space `AcimDesignProblem`)
+/// embed this client, so the lookup/attribution semantics cannot drift
+/// apart.
 #[derive(Debug, Clone, Default)]
 pub struct MacroCacheClient {
     cache: Option<MacroMetricsCache>,
-    hits: Arc<AtomicUsize>,
-    misses: Arc<AtomicUsize>,
-    evictions: Arc<AtomicUsize>,
+    counters: CacheCounters,
 }
 
 impl MacroCacheClient {
@@ -180,13 +180,24 @@ impl MacroCacheClient {
         self.cache.as_ref()
     }
 
+    /// Replaces this client's (fresh, zeroed) counters with externally
+    /// owned ones — typically registry-vended handles, so a telemetry
+    /// layer exposes the same counters the lookups bump.
+    #[must_use]
+    pub fn with_counters(mut self, counters: CacheCounters) -> Self {
+        self.counters = counters;
+        self
+    }
+
+    /// The client's counter triple (clone it to register with a
+    /// telemetry registry).
+    pub fn counters(&self) -> &CacheCounters {
+        &self.counters
+    }
+
     /// Snapshot of this client's (and its clones') attribution.
     pub fn stats(&self) -> CacheStats {
-        CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
-        }
+        self.counters.stats()
     }
 
     /// Returns the cached metrics for `key`, deriving and inserting on a
@@ -214,21 +225,21 @@ impl MacroCacheClient {
             return derive();
         };
         if let Some(metrics) = cache.get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.counters.hits.inc();
             return Ok(metrics);
         }
         let metrics = derive()?;
         match cache.try_insert(key, metrics) {
             TryInsert::Inserted { evicted } => {
-                self.misses.fetch_add(1, Ordering::Relaxed);
+                self.counters.misses.inc();
                 if evicted {
-                    self.evictions.fetch_add(1, Ordering::Relaxed);
+                    self.counters.evictions.inc();
                 }
             }
             // Raced with another worker that derived the same macro
             // first: by the time we finished, the cache knew the answer.
             TryInsert::AlreadyPresent => {
-                self.hits.fetch_add(1, Ordering::Relaxed);
+                self.counters.hits.inc();
             }
         }
         Ok(metrics)

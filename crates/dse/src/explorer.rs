@@ -65,7 +65,7 @@ impl ExploreOptions {
 /// Converts a pool-metrics delta into the [`PoolStats`] embedded in
 /// [`EvalStats`].
 pub(crate) fn pool_stats_since(before: &rayon::PoolMetrics) -> PoolStats {
-    let delta = rayon::pool_metrics().since(before);
+    let delta = rayon::pool_metrics().delta_since(before);
     PoolStats {
         tasks_executed: delta.tasks_executed(),
         steals: delta.steals(),

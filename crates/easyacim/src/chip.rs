@@ -15,7 +15,7 @@ use acim_dse::{ChipDesignPoint, ChipDseConfig, ExploreOptions};
 use acim_moga::EvalStats;
 
 use crate::error::FlowError;
-use crate::stage::{ChipStage, ProgressObserver, Stage};
+use crate::stage::{ChipStage, Instrumented, ProgressObserver, Stage, TraceContext};
 
 /// Configuration of the chip-composition stage.
 #[derive(Debug, Clone)]
@@ -130,11 +130,30 @@ impl ChipFlow {
         options: &ExploreOptions,
         observer: Option<ProgressObserver>,
     ) -> Result<ChipFlowResult, FlowError> {
+        self.run_traced(options, observer, None)
+    }
+
+    /// [`ChipFlow::run_with`] plus an optional telemetry context: when
+    /// present, the chip stage runs wrapped in
+    /// [`crate::stage::Instrumented`], recording a `chip` span (parented
+    /// under the context's parent) and a `stage_seconds{stage="chip"}`
+    /// histogram observation.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`FlowError`] when the exploration or the validation
+    /// simulation fails.
+    pub fn run_traced(
+        &self,
+        options: &ExploreOptions,
+        observer: Option<ProgressObserver>,
+        trace: Option<TraceContext>,
+    ) -> Result<ChipFlowResult, FlowError> {
         let mut stage = ChipStage::new(self.config.clone()).with_options(options.clone());
         if let Some(observer) = observer {
             stage = stage.with_observer(observer);
         }
-        stage.run(())
+        Instrumented::new(stage, trace).run(())
     }
 }
 

@@ -21,8 +21,8 @@ use crate::chip::ChipFlowResult;
 use crate::config::FlowConfig;
 use crate::error::FlowError;
 use crate::stage::{
-    ChipStage, DistillStage, ExploreStage, LaidOut, LayoutStage, NetlistStage, ProgressObserver,
-    Stage,
+    ChipStage, DistillStage, ExploreStage, Instrumented, LaidOut, LayoutStage, NetlistStage,
+    ProgressObserver, Stage, TraceContext,
 };
 
 /// One fully generated design: the distilled Pareto point, its hierarchical
@@ -76,6 +76,10 @@ pub struct FlowOptions {
     pub chip: ExploreOptions,
     /// Observer receiving one event per unit of stage progress.
     pub observer: Option<ProgressObserver>,
+    /// Telemetry context: when present, every stage is wrapped in an
+    /// [`Instrumented`] adapter recording per-stage spans (parented under
+    /// the context's parent span) and `stage_seconds` histograms.
+    pub trace: Option<TraceContext>,
 }
 
 impl std::fmt::Debug for FlowOptions {
@@ -84,6 +88,7 @@ impl std::fmt::Debug for FlowOptions {
             .field("exploration", &self.exploration)
             .field("chip", &self.chip)
             .field("observed", &self.observer.is_some())
+            .field("traced", &self.trace.is_some())
             .finish()
     }
 }
@@ -160,10 +165,14 @@ impl TopFlowController {
                 netlist = netlist.with_observer(observer.clone());
                 layout = layout.with_observer(observer.clone());
             }
-            explore
-                .then(DistillStage::new(self.config.requirements))
-                .then(netlist)
-                .then(layout)
+            let trace = options.trace.clone();
+            Instrumented::new(explore, trace.clone())
+                .then(Instrumented::new(
+                    DistillStage::new(self.config.requirements),
+                    trace.clone(),
+                ))
+                .then(Instrumented::new(netlist, trace.clone()))
+                .then(Instrumented::new(layout, trace))
                 .run(())
         };
 
@@ -174,6 +183,7 @@ impl TopFlowController {
                 if let Some(observer) = &options.observer {
                     chip_stage = chip_stage.with_observer(observer.clone());
                 }
+                let chip_stage = Instrumented::new(chip_stage, options.trace.clone());
                 // The chip stage owns everything it needs, so it runs as a
                 // `'static` job on the persistent pool while this thread
                 // works through the macro stages.

@@ -64,12 +64,19 @@ pub use chip::{ChipFlow, ChipFlowConfig, ChipFlowResult};
 pub use config::FlowConfig;
 pub use error::FlowError;
 pub use flow::{FlowOptions, FlowResult, GeneratedDesign, TopFlowController};
-pub use report::{chip_frontier_table, chip_report, design_report, frontier_table};
+pub use report::{
+    chip_frontier_table, chip_report, design_report, frontier_table, telemetry_section,
+};
 pub use service::{
     ChipRequest, ExplorationRequest, ExplorationResponse, ExplorationService, JobHandle,
     JobProgress, MacroRequest, ServiceConfig, SessionArchive,
 };
-pub use stage::{ProgressObserver, Stage, StageProgress};
+pub use stage::{Instrumented, ProgressObserver, Stage, StageProgress, TraceContext};
+
+// The telemetry vocabulary of [`ExplorationService::telemetry`] and
+// [`FlowOptions::trace`], re-exported so downstream users can encode and
+// diff snapshots without naming the telemetry crate.
+pub use acim_telemetry::{json_text, prometheus_text, Telemetry, TelemetrySnapshot};
 
 /// Convenience re-exports of the whole EasyACIM workspace.
 pub mod prelude {
@@ -92,10 +99,15 @@ pub mod prelude {
     pub use acim_tech::Technology;
     pub use acim_workloads::{ApplicationProfile, MacroMapper};
 
+    pub use acim_telemetry::{
+        json_text, prometheus_text, Counter, Gauge, Histogram, HistogramSnapshot, Registry, Span,
+        SpanRecord, SpanRecorder, Telemetry, TelemetrySnapshot,
+    };
+
     pub use crate::{
         ChipFlow, ChipFlowConfig, ChipFlowResult, ChipRequest, ExplorationRequest,
         ExplorationResponse, ExplorationService, FlowConfig, FlowOptions, FlowResult,
-        GeneratedDesign, JobHandle, JobProgress, MacroRequest, SessionArchive, Stage,
-        TopFlowController,
+        GeneratedDesign, Instrumented, JobHandle, JobProgress, MacroRequest, ServiceConfig,
+        SessionArchive, Stage, TopFlowController, TraceContext,
     };
 }

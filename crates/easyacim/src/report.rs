@@ -1,6 +1,7 @@
 //! Human-readable reports of flow results.
 
 use acim_dse::{ChipDesignPoint, DesignPoint};
+use acim_telemetry::{Histogram, MetricValue, TelemetrySnapshot};
 
 use crate::chip::ChipFlowResult;
 use crate::flow::{FlowResult, GeneratedDesign};
@@ -113,12 +114,83 @@ fn macro_cache_line(engine: &acim_moga::EvalStats) -> String {
     }
 }
 
+/// The always-rendered `telemetry:` report line: generation-latency
+/// quantiles (p50/p90/p99 over the run's per-generation wall-clock),
+/// cache hit rate and pool steal rate.  Every value is guaranteed finite
+/// — a `--quick` full-cache-hit replay whose generations all land below
+/// the timer resolution renders zeros, never `NaN`/`inf`
+/// (`tests/service.rs` asserts this).
+fn telemetry_line(engine: &acim_moga::EvalStats) -> String {
+    let histogram = Histogram::latency();
+    for &seconds in &engine.generation_seconds {
+        histogram.observe(seconds);
+    }
+    let snapshot = histogram.snapshot();
+    format!(
+        "telemetry: generation p50 {:.1} ms / p90 {:.1} ms / p99 {:.1} ms, \
+         cache hit rate {:.1}%, pool steal rate {:.1}%\n",
+        snapshot.quantile(0.50) * 1e3,
+        snapshot.quantile(0.90) * 1e3,
+        snapshot.quantile(0.99) * 1e3,
+        engine.cache.hit_rate() * 100.0,
+        engine.pool.steal_rate() * 100.0,
+    )
+}
+
+/// Renders a service telemetry snapshot ([`TelemetrySnapshot`]) as an
+/// indented human-readable section: one line per counter/gauge, a
+/// `p50/p90/p99` line per histogram, plus the span-buffer tally.  Empty
+/// snapshot (telemetry disabled) → empty string.  All values render
+/// finite (the snapshot types sanitise on construction).
+pub fn telemetry_section(snapshot: &TelemetrySnapshot) -> String {
+    if snapshot.is_empty() {
+        return String::new();
+    }
+    let mut out = String::from("telemetry:\n");
+    for sample in &snapshot.samples {
+        let labels = if sample.labels.is_empty() {
+            String::new()
+        } else {
+            let pairs: Vec<String> = sample
+                .labels
+                .iter()
+                .map(|(k, v)| format!("{k}={v}"))
+                .collect();
+            format!("{{{}}}", pairs.join(","))
+        };
+        match &sample.value {
+            MetricValue::Counter(v) => {
+                out.push_str(&format!("  {}{labels} {v}\n", sample.name));
+            }
+            MetricValue::Gauge(v) => {
+                out.push_str(&format!("  {}{labels} {v:.3}\n", sample.name));
+            }
+            MetricValue::Histogram(h) => {
+                out.push_str(&format!(
+                    "  {}{labels} count {} p50 {:.6} p90 {:.6} p99 {:.6}\n",
+                    sample.name,
+                    h.count,
+                    h.quantile(0.50),
+                    h.quantile(0.90),
+                    h.quantile(0.99),
+                ));
+            }
+        }
+    }
+    out.push_str(&format!(
+        "  spans: {} recorded, {} dropped\n",
+        snapshot.spans.len(),
+        snapshot.spans_dropped,
+    ));
+    out
+}
+
 /// Summarises the chip-composition stage: the front, the evaluation-engine
 /// stats, the best chip, and the behavioural validation when present.
 pub fn chip_report(result: &ChipFlowResult) -> String {
     let mut out = format!(
         "chip composition: {} frontier chips ({} evaluations in {:.2} s)\n\
-         evaluation engine: {:.0} evals/s, cache {}, {:.1} ms mean per generation, {}\n{}{}",
+         evaluation engine: {:.0} evals/s, cache {}, {:.1} ms mean per generation, {}\n{}{}{}",
         result.front.len(),
         result.engine.evaluations,
         result.exploration_time.as_secs_f64(),
@@ -127,6 +199,7 @@ pub fn chip_report(result: &ChipFlowResult) -> String {
         result.engine.mean_generation_seconds() * 1e3,
         result.engine.pool,
         macro_cache_line(&result.engine),
+        telemetry_line(&result.engine),
         chip_frontier_table(&result.front),
     );
     if let Some(best) = result.best_throughput() {
@@ -160,7 +233,7 @@ pub fn flow_summary(result: &FlowResult) -> String {
     let mut out = format!(
         "EasyACIM flow: {} frontier points, {} after distillation, {} layouts generated\n\
          exploration: {} evaluations in {:.2} s ({:.0} evals/s, cache {}, {}); \
-         total runtime {:.2} s\n{}",
+         total runtime {:.2} s\n{}{}",
         result.frontier.len(),
         result.distilled.len(),
         result.designs.len(),
@@ -171,6 +244,7 @@ pub fn flow_summary(result: &FlowResult) -> String {
         result.engine.pool,
         result.total_time.as_secs_f64(),
         macro_cache_line(&result.engine),
+        telemetry_line(&result.engine),
     );
     for design in &result.designs {
         out.push_str(&design_report(design));
@@ -209,5 +283,41 @@ mod tests {
     fn empty_frontier_renders_header_only() {
         let table = frontier_table(&[]);
         assert_eq!(table.lines().count(), 2);
+    }
+
+    #[test]
+    fn telemetry_line_renders_finite_even_for_zero_duration_runs() {
+        // A full-cache-hit replay: every generation below the timer
+        // resolution, zero misses.
+        let engine = acim_moga::EvalStats {
+            generation_seconds: vec![0.0; 8],
+            ..Default::default()
+        };
+        let line = telemetry_line(&engine);
+        assert!(line.starts_with("telemetry:"));
+        assert!(!line.contains("NaN") && !line.contains("inf"));
+    }
+
+    #[test]
+    fn telemetry_section_renders_samples_and_spans() {
+        let empty = TelemetrySnapshot::default();
+        assert!(telemetry_section(&empty).is_empty());
+
+        let telemetry = acim_telemetry::Telemetry::new();
+        telemetry
+            .registry()
+            .counter("demo_total", "demo", &[("kind", "x")])
+            .inc();
+        telemetry
+            .registry()
+            .histogram("demo_seconds", "demo", &[])
+            .observe(0.25);
+        drop(telemetry.span("demo"));
+        let section = telemetry_section(&telemetry.snapshot());
+        assert!(section.starts_with("telemetry:\n"));
+        assert!(section.contains("demo_total{kind=x} 1"));
+        assert!(section.contains("demo_seconds"));
+        assert!(section.contains("spans: 1 recorded, 0 dropped"));
+        assert!(!section.contains("NaN") && !section.contains("inf"));
     }
 }

@@ -52,6 +52,7 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::time::Instant;
 
 use acim_chip::MacroMetricsCache;
 use acim_dse::{
@@ -59,12 +60,16 @@ use acim_dse::{
 };
 use acim_model::ModelParams;
 use acim_moga::EvalStats;
+use acim_telemetry::{
+    Counter, Gauge, Histogram, HistogramSnapshot, Registry, SpanId, SpanText, Telemetry,
+    TelemetrySnapshot,
+};
 
 use crate::chip::{ChipFlowConfig, ChipFlowResult};
 use crate::config::FlowConfig;
 use crate::error::FlowError;
 use crate::flow::{FlowOptions, FlowResult, TopFlowController};
-use crate::stage::{ProgressObserver, StageProgress};
+use crate::stage::{ProgressObserver, StageProgress, TraceContext};
 
 /// A finished session's Pareto archive, re-encoded as genomes over its
 /// design space.  Feed it back into the next request over the **same**
@@ -276,7 +281,196 @@ impl JobProgress {
 
 struct ProgressState {
     completed: AtomicUsize,
-    total: usize,
+    total: AtomicUsize,
+}
+
+/// Per-request instrumentation, registered at submission and moved into
+/// the worker thread: the root `request` span, the per-kind latency
+/// histogram and the service-wide queue/active gauges.
+struct RequestInstruments {
+    root: acim_telemetry::Span,
+    latency: Histogram,
+    queue: Gauge,
+    active: Gauge,
+}
+
+impl RequestInstruments {
+    /// Runs `work` bracketed by the queue → active gauge hand-off, then
+    /// records latency and outcome on the way out.  Consumes the
+    /// instruments so the root span drops (and records) exactly here.
+    fn observe<T, E>(mut self, work: impl FnOnce() -> Result<T, E>) -> Result<T, E> {
+        self.queue.dec();
+        self.active.inc();
+        let started = Instant::now();
+        let result = work();
+        self.latency.observe_duration(started.elapsed());
+        self.root
+            .attr("ok", if result.is_ok() { "true" } else { "false" });
+        self.active.dec();
+        result
+    }
+}
+
+/// The cache counters of one design space, resolved once per space and
+/// cached on the service — worker threads receive clones, so recording a
+/// finished request touches only pre-resolved atomic handles.
+#[derive(Clone)]
+struct SpaceInstruments {
+    hits: Counter,
+    misses: Counter,
+    evictions: Counter,
+    hit_rate: Gauge,
+}
+
+impl SpaceInstruments {
+    fn new(registry: &Registry, space: &str) -> Self {
+        let labels = [("space", space)];
+        Self {
+            hits: registry.counter(
+                "service_cache_hits_total",
+                "Evaluations answered from a shared per-space cache.",
+                &labels,
+            ),
+            misses: registry.counter(
+                "service_cache_misses_total",
+                "Evaluations computed because the shared per-space cache missed.",
+                &labels,
+            ),
+            evictions: registry.counter(
+                "service_cache_evictions_total",
+                "Entries requests over this space evicted from bounded caches.",
+                &labels,
+            ),
+            hit_rate: registry.gauge(
+                "service_cache_hit_rate",
+                "Lifetime hit rate of the shared per-space evaluation cache.",
+                &labels,
+            ),
+        }
+    }
+
+    /// Folds one finished request's cache attribution into the
+    /// service-wide per-space telemetry: cumulative hit/miss/eviction
+    /// counters plus the lifetime hit-rate gauge of the space.
+    fn record(&self, stats: &EvalStats) {
+        self.hits.add(stats.cache.hits as u64);
+        self.misses.add(stats.cache.misses as u64);
+        self.evictions.add(stats.cache.evictions as u64);
+        let total = self.hits.get() + self.misses.get();
+        let rate = if total == 0 {
+            0.0
+        } else {
+            self.hits.get() as f64 / total as f64
+        };
+        self.hit_rate.set(rate);
+    }
+}
+
+/// The per-kind request instruments.
+struct KindInstruments {
+    requests: Counter,
+    latency: Histogram,
+}
+
+impl KindInstruments {
+    fn new(registry: &Registry, kind: &'static str) -> Self {
+        Self {
+            requests: registry.counter(
+                "service_requests_total",
+                "Requests accepted, per request kind.",
+                &[("kind", kind)],
+            ),
+            latency: registry.histogram(
+                "service_request_seconds",
+                "End-to-end request latency, per request kind.",
+                &[("kind", kind)],
+            ),
+        }
+    }
+}
+
+/// Every instrument handle the service registers eagerly at
+/// construction.  Per-request `find_or_insert` registry walks (label
+/// formatting and name matching under the registry lock) would otherwise
+/// be telemetry's dominant cost on warm-cache requests; resolving the
+/// handles once keeps the hot path down to atomic loads and stores.
+struct ServiceInstruments {
+    macro_requests: KindInstruments,
+    chip_requests: KindInstruments,
+    queue: Gauge,
+    active: Gauge,
+    explore_generation_seconds: Histogram,
+    chip_generation_seconds: Histogram,
+    cached_evaluations: Gauge,
+    cached_macro_metrics: Gauge,
+    cache_evictions: Gauge,
+    pool_tasks: Counter,
+    pool_steals: Counter,
+    stages: Arc<crate::stage::StageHistograms>,
+}
+
+impl ServiceInstruments {
+    fn new(telemetry: &Telemetry) -> Self {
+        let registry = telemetry.registry();
+        let generation_seconds = |stage: &'static str| {
+            registry.histogram(
+                "generation_seconds",
+                "Wall-clock seconds per exploration generation, per stage.",
+                &[("stage", stage)],
+            )
+        };
+        Self {
+            macro_requests: KindInstruments::new(registry, "macro"),
+            chip_requests: KindInstruments::new(registry, "chip"),
+            queue: registry.gauge(
+                "service_queue_jobs",
+                "Jobs accepted whose worker thread has not started yet.",
+                &[],
+            ),
+            active: registry.gauge(
+                "service_active_jobs",
+                "Jobs currently executing on a worker thread.",
+                &[],
+            ),
+            explore_generation_seconds: generation_seconds("explore"),
+            chip_generation_seconds: generation_seconds("chip"),
+            cached_evaluations: registry.gauge(
+                "service_cached_evaluations",
+                "Distinct designs cached across every design space.",
+                &[],
+            ),
+            cached_macro_metrics: registry.gauge(
+                "service_cached_macro_metrics",
+                "Distinct macro shapes cached across every parameter set.",
+                &[],
+            ),
+            cache_evictions: registry.gauge(
+                "service_cache_evictions",
+                "Entries evicted across every cache the service owns \
+                 (equals ExplorationService::total_evictions).",
+                &[],
+            ),
+            pool_tasks: registry.counter(
+                "pool_tasks_total",
+                "Leaf tasks executed on the shared worker pool (process-wide).",
+                &[],
+            ),
+            pool_steals: registry.counter(
+                "pool_steals_total",
+                "Ranges claimed by work-stealing on the shared pool (process-wide).",
+                &[],
+            ),
+            stages: Arc::new(crate::stage::StageHistograms::resolve(telemetry)),
+        }
+    }
+
+    fn kind(&self, kind: &str) -> &KindInstruments {
+        if kind == "macro" {
+            &self.macro_requests
+        } else {
+            &self.chip_requests
+        }
+    }
 }
 
 /// A handle to one in-flight request: observe its progress, then
@@ -302,11 +496,18 @@ impl JobHandle {
 
     /// Snapshot of the job's progress (built on the per-generation
     /// observer of the underlying `run_with_observer` loop).
+    ///
+    /// Consistency guarantee: both fields are read through one
+    /// `Acquire` load pair — `total` first, then `completed`, which the
+    /// observer publishes with `Release` — and `completed` is clamped to
+    /// `total`, so a snapshot never reports more work done than the job
+    /// has (even mid-tick).  Progress is monotone across snapshots, and a
+    /// snapshot taken after [`JobHandle::is_finished`] returns `true` (or
+    /// after [`JobHandle::join`]) reflects every generation the job ran.
     pub fn progress(&self) -> JobProgress {
-        JobProgress {
-            completed: self.progress.completed.load(Ordering::Relaxed),
-            total: self.progress.total,
-        }
+        let total = self.progress.total.load(Ordering::Acquire);
+        let completed = self.progress.completed.load(Ordering::Acquire).min(total);
+        JobProgress { completed, total }
     }
 
     /// Returns `true` once the worker thread has finished (successfully
@@ -420,7 +621,7 @@ fn check_session(
 /// activity is visible per request via the `evictions` counters in
 /// [`EvalStats`] and per store via [`CacheStore::evictions`] /
 /// [`MacroMetricsCache::evictions`].
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct ServiceConfig {
     /// Capacity bound of each per-design-space evaluation cache
     /// (genome-level entries).  `None` = unbounded.
@@ -428,6 +629,23 @@ pub struct ServiceConfig {
     /// Capacity bound of each per-parameter-set macro-metric cache
     /// (distinct macro shapes).  `None` = unbounded.
     pub macro_metric_capacity: Option<usize>,
+    /// Record telemetry (request spans, latency histograms, queue/cache
+    /// gauges — see [`ExplorationService::telemetry`]).  On by default;
+    /// when off the service carries a disabled [`Telemetry`] handle,
+    /// stages run uninstrumented, and the snapshot is empty.  Telemetry
+    /// is observably passive either way: frontiers are bit-identical
+    /// with it on or off.
+    pub telemetry: bool,
+}
+
+impl Default for ServiceConfig {
+    fn default() -> Self {
+        Self {
+            cache_capacity: None,
+            macro_metric_capacity: None,
+            telemetry: true,
+        }
+    }
 }
 
 impl ServiceConfig {
@@ -438,7 +656,15 @@ impl ServiceConfig {
         Self {
             cache_capacity: Some(cache_capacity),
             macro_metric_capacity: Some(macro_metric_capacity),
+            ..Self::default()
         }
+    }
+
+    /// Disables telemetry recording.
+    #[must_use]
+    pub fn without_telemetry(mut self) -> Self {
+        self.telemetry = false;
+        self
     }
 }
 
@@ -451,12 +677,20 @@ impl ServiceConfig {
 /// to maximise cache reuse.  Both cache registries recover poisoned locks
 /// (see [`CacheStore`]): a panicking request never takes the service — or
 /// any other tenant — down with it.
-#[derive(Default)]
 pub struct ExplorationService {
     config: ServiceConfig,
     caches: Arc<Mutex<HashMap<String, CacheStore>>>,
     macro_caches: Arc<Mutex<HashMap<String, MacroMetricsCache>>>,
+    telemetry: Telemetry,
+    instruments: ServiceInstruments,
+    space_instruments: Mutex<HashMap<String, SpaceInstruments>>,
     next_job: AtomicU64,
+}
+
+impl Default for ExplorationService {
+    fn default() -> Self {
+        Self::with_config(ServiceConfig::default())
+    }
 }
 
 impl ExplorationService {
@@ -468,9 +702,20 @@ impl ExplorationService {
     /// Creates a service whose caches honour the capacity bounds of
     /// `config`.
     pub fn with_config(config: ServiceConfig) -> Self {
+        let telemetry = if config.telemetry {
+            Telemetry::new()
+        } else {
+            Telemetry::disabled()
+        };
+        let instruments = ServiceInstruments::new(&telemetry);
         Self {
             config,
-            ..Self::default()
+            caches: Arc::default(),
+            macro_caches: Arc::default(),
+            telemetry,
+            instruments,
+            space_instruments: Mutex::new(HashMap::new()),
+            next_job: AtomicU64::new(0),
         }
     }
 
@@ -560,6 +805,110 @@ impl ExplorationService {
         stores + macros
     }
 
+    /// The service's telemetry handle — registry plus span recorder.
+    /// Disabled (inert spans, empty snapshots) when the service was built
+    /// with [`ServiceConfig::telemetry`] off.
+    pub fn telemetry_handle(&self) -> &Telemetry {
+        &self.telemetry
+    }
+
+    /// Snapshot of everything the service observes: request counters and
+    /// latency histograms per kind, queue/active job gauges, per-space
+    /// cache counters and hit rates, per-generation spans and
+    /// `generation_seconds`/`stage_seconds` histograms, plus the
+    /// process-global worker-pool counters (tasks, steals, queue-wait
+    /// histogram) bridged from [`rayon::pool_metrics`].
+    ///
+    /// Collector-style gauges are refreshed on the way out, so
+    /// `service_cache_evictions` always equals
+    /// [`ExplorationService::total_evictions`] at snapshot time.  Encode
+    /// the result with [`acim_telemetry::prometheus_text`] or
+    /// [`acim_telemetry::json_text`]; diff two snapshots with
+    /// [`TelemetrySnapshot::diff`].  Empty when telemetry is disabled.
+    pub fn telemetry(&self) -> TelemetrySnapshot {
+        if !self.telemetry.is_enabled() {
+            return self.telemetry.snapshot();
+        }
+        self.instruments
+            .cached_evaluations
+            .set(self.cached_evaluations() as f64);
+        self.instruments
+            .cached_macro_metrics
+            .set(self.cached_macro_metrics() as f64);
+        self.instruments
+            .cache_evictions
+            .set(self.total_evictions() as f64);
+        let pool = rayon::pool_metrics();
+        self.instruments
+            .pool_tasks
+            .record_absolute(pool.tasks_executed());
+        self.instruments.pool_steals.record_absolute(pool.steals());
+        let mut snapshot = self.telemetry.snapshot();
+        let bounds: Vec<f64> = rayon::QUEUE_WAIT_BOUNDS_NS
+            .iter()
+            .map(|&ns| ns as f64 * 1e-9)
+            .collect();
+        snapshot.push_histogram(
+            "pool_queue_wait_seconds",
+            "Delay between submitting a job to the shared pool and its first claimed range.",
+            &[],
+            HistogramSnapshot::from_parts(
+                bounds,
+                pool.queue_wait_bucket_counts,
+                pool.queue_wait_sum_ns as f64 * 1e-9,
+                pool.queue_wait_count,
+            ),
+        );
+        snapshot
+    }
+
+    /// Clones the pre-registered per-kind request instruments and opens
+    /// the root `request` span; counts the submission.
+    fn request_instruments(&self, kind: &'static str, id: u64, space: &str) -> RequestInstruments {
+        let kind_instruments = self.instruments.kind(kind);
+        kind_instruments.requests.inc();
+        let mut root = self.telemetry.span("request");
+        root.attr("kind", kind);
+        root.attr("job", id.to_string());
+        root.attr("space", space.to_string());
+        self.instruments.queue.inc();
+        RequestInstruments {
+            root,
+            latency: kind_instruments.latency.clone(),
+            queue: self.instruments.queue.clone(),
+            active: self.instruments.active.clone(),
+        }
+    }
+
+    /// The pre-resolved cache instruments of `space` (registering them on
+    /// first use), `None` when telemetry is disabled.
+    fn space_instruments_for(&self, space: &str) -> Option<SpaceInstruments> {
+        if !self.telemetry.is_enabled() {
+            return None;
+        }
+        let mut map = self
+            .space_instruments
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner);
+        Some(
+            map.entry(space.to_string())
+                .or_insert_with(|| SpaceInstruments::new(self.telemetry.registry(), space))
+                .clone(),
+        )
+    }
+
+    /// The trace context instrumenting one request's stages, `None` when
+    /// telemetry is disabled (stages then run as pure pass-throughs).
+    fn trace_context(&self, parent: Option<SpanId>) -> Option<TraceContext> {
+        self.telemetry.is_enabled().then(|| {
+            TraceContext::with_stages(
+                self.telemetry.clone(),
+                parent,
+                self.instruments.stages.clone(),
+            )
+        })
+    }
+
     /// Submits a request and returns a handle to the in-flight job.
     ///
     /// Configuration problems (invalid config, warm-start session from a
@@ -593,15 +942,77 @@ impl ExplorationService {
     /// exploration generations, plus an observer that ticks it only on
     /// exploration events (netlist/layout events are a short tail the
     /// total deliberately excludes — see [`JobProgress`]).
-    fn generation_progress(generations: usize) -> (Arc<ProgressState>, ProgressObserver) {
+    ///
+    /// When the service's telemetry is enabled the observer additionally
+    /// records one `generation` span per exploration generation (parented
+    /// under the request's root span) and observes its duration in the
+    /// `generation_seconds{stage}` histogram — the per-stage wall-clock
+    /// breakdown the end-to-end `service_request_seconds` cannot give.
+    fn generation_progress(
+        &self,
+        generations: usize,
+        parent: Option<SpanId>,
+    ) -> (Arc<ProgressState>, ProgressObserver) {
         let progress = Arc::new(ProgressState {
             completed: AtomicUsize::new(0),
-            total: generations,
+            total: AtomicUsize::new(generations),
         });
         let ticker = progress.clone();
+        let telemetry = self.telemetry.clone();
+        let histograms: HashMap<&'static str, Histogram> = if telemetry.is_enabled() {
+            [
+                (
+                    "explore",
+                    self.instruments.explore_generation_seconds.clone(),
+                ),
+                ("chip", self.instruments.chip_generation_seconds.clone()),
+            ]
+            .into_iter()
+            .collect()
+        } else {
+            HashMap::new()
+        };
+        // Per-stage timestamp of the previous tick (nanoseconds since
+        // submission; `u64::MAX` = no tick yet): a generation's span
+        // covers the time since the stage's last event (since submission
+        // for its first), so concurrently running explore and chip stages
+        // attribute their generations independently.  Plain atomics — a
+        // mutexed map here would be measurable against a warm-cache
+        // generation's microsecond-scale wall clock.
+        let last_explore_ns = AtomicU64::new(u64::MAX);
+        let last_chip_ns = AtomicU64::new(u64::MAX);
+        let submitted = Instant::now();
         let observer: ProgressObserver = Arc::new(move |event: StageProgress| {
-            if matches!(event.stage, "explore" | "chip") {
-                ticker.completed.fetch_add(1, Ordering::Relaxed);
+            if !matches!(event.stage, "explore" | "chip") {
+                return;
+            }
+            // `Release` pairs with the `Acquire` pair in
+            // `JobHandle::progress`.
+            ticker.completed.fetch_add(1, Ordering::Release);
+            if !telemetry.is_enabled() {
+                return;
+            }
+            let now = Instant::now();
+            let now_ns = now.saturating_duration_since(submitted).as_nanos() as u64;
+            let last_ns = match event.stage {
+                "explore" => &last_explore_ns,
+                _ => &last_chip_ns,
+            };
+            let previous = last_ns.swap(now_ns, Ordering::Relaxed);
+            let duration = if previous == u64::MAX {
+                now.saturating_duration_since(submitted)
+            } else {
+                std::time::Duration::from_nanos(now_ns.saturating_sub(previous))
+            };
+            telemetry.spans().record_complete(
+                "generation",
+                parent,
+                now.checked_sub(duration).unwrap_or(submitted),
+                duration,
+                vec![(SpanText::Borrowed("stage"), SpanText::Borrowed(event.stage))],
+            );
+            if let Some(histogram) = histograms.get(event.stage) {
+                histogram.observe(duration.as_secs_f64());
             }
         });
         (progress, observer)
@@ -631,7 +1042,9 @@ impl ExplorationService {
             // per-macro metrics the macro exploration just derived.
             chip_options.macro_cache = Some(self.macro_store_for(&chip.dse.params));
         }
-        let (progress, observer) = Self::generation_progress(total);
+        let instruments = self.request_instruments("macro", id, &space);
+        let parent = instruments.root.as_parent();
+        let (progress, observer) = self.generation_progress(total, parent);
         let options = FlowOptions {
             exploration: ExploreOptions {
                 cache: Some(self.store_for(&space)),
@@ -641,29 +1054,46 @@ impl ExplorationService {
             },
             chip: chip_options,
             observer: Some(observer),
+            trace: self.trace_context(parent),
         };
 
         let job_space = space.clone();
+        let space_outcome = self.space_instruments_for(&space);
+        let chip_outcome = config
+            .chip
+            .as_ref()
+            .and_then(|chip| self.space_instruments_for(&chip_space_signature(&chip.dse)));
         let thread = std::thread::Builder::new()
             .name(format!("easyacim-job-{id}"))
             .spawn(move || -> Result<ExplorationResponse, FlowError> {
-                let result = controller.run_with(&options)?;
-                let session =
-                    SessionArchive::new(space, session_explorer.session_genomes(&result.frontier));
-                let chip_session = match (&config.chip, &result.chip, &chip_session_explorer) {
-                    (Some(chip_config), Some(chip_result), Some(explorer)) => {
-                        Some(SessionArchive::new(
-                            chip_space_signature(&chip_config.dse),
-                            explorer.session_genomes(&chip_result.front),
-                        ))
+                instruments.observe(move || {
+                    let result = controller.run_with(&options)?;
+                    if let Some(outcome) = &space_outcome {
+                        outcome.record(&result.engine);
                     }
-                    _ => None,
-                };
-                Ok(ExplorationResponse::Macro(MacroResponse {
-                    result,
-                    session,
-                    chip_session,
-                }))
+                    let session = SessionArchive::new(
+                        space,
+                        session_explorer.session_genomes(&result.frontier),
+                    );
+                    let chip_session = match (&config.chip, &result.chip, &chip_session_explorer) {
+                        (Some(chip_config), Some(chip_result), Some(explorer)) => {
+                            let chip_space = chip_space_signature(&chip_config.dse);
+                            if let Some(outcome) = &chip_outcome {
+                                outcome.record(&chip_result.engine);
+                            }
+                            Some(SessionArchive::new(
+                                chip_space,
+                                explorer.session_genomes(&chip_result.front),
+                            ))
+                        }
+                        _ => None,
+                    };
+                    Ok(ExplorationResponse::Macro(MacroResponse {
+                        result,
+                        session,
+                        chip_session,
+                    }))
+                })
             })
             .expect("spawn exploration worker thread");
 
@@ -688,17 +1118,26 @@ impl ExplorationService {
             warm_start: check_session(&request.warm_start, &space)?,
             ..Default::default()
         };
-        let (progress, observer) = Self::generation_progress(config.dse.generations);
+        let instruments = self.request_instruments("chip", id, &space);
+        let parent = instruments.root.as_parent();
+        let (progress, observer) = self.generation_progress(config.dse.generations, parent);
+        let trace = self.trace_context(parent);
 
         let job_space = space.clone();
+        let space_outcome = self.space_instruments_for(&space);
         let thread = std::thread::Builder::new()
             .name(format!("easyacim-job-{id}"))
             .spawn(move || -> Result<ExplorationResponse, FlowError> {
-                let flow = crate::chip::ChipFlow::new(config);
-                let result = flow.run_with(&options, Some(observer))?;
-                let session =
-                    SessionArchive::new(space, session_explorer.session_genomes(&result.front));
-                Ok(ExplorationResponse::Chip(ChipResponse { result, session }))
+                instruments.observe(move || {
+                    let flow = crate::chip::ChipFlow::new(config);
+                    let result = flow.run_traced(&options, Some(observer), trace)?;
+                    if let Some(outcome) = &space_outcome {
+                        outcome.record(&result.engine);
+                    }
+                    let session =
+                        SessionArchive::new(space, session_explorer.session_genomes(&result.front));
+                    Ok(ExplorationResponse::Chip(ChipResponse { result, session }))
+                })
             })
             .expect("spawn exploration worker thread");
 
@@ -816,6 +1255,124 @@ mod tests {
         assert!(service
             .submit(ExplorationRequest::macro_flow(flow))
             .is_err());
+    }
+
+    #[test]
+    fn finished_jobs_report_complete_progress() {
+        let service = ExplorationService::new();
+        let handle = service
+            .submit(ExplorationRequest::chip(quick_chip_config()))
+            .unwrap();
+        while !handle.is_finished() {
+            std::thread::sleep(std::time::Duration::from_millis(2));
+        }
+        // The documented guarantee: after `is_finished`, the snapshot
+        // reflects every generation, and completed never exceeds total.
+        let progress = handle.progress();
+        assert_eq!(progress.completed, progress.total);
+        assert_eq!(progress.fraction(), 1.0);
+        handle.join().unwrap();
+    }
+
+    #[test]
+    fn telemetry_snapshot_exposes_request_cache_and_pool_series() {
+        let service = ExplorationService::new();
+        let response = service
+            .run(ExplorationRequest::chip(quick_chip_config()))
+            .unwrap()
+            .into_chip()
+            .unwrap();
+        let space = response.session.space().to_string();
+        let snapshot = service.telemetry();
+
+        assert_eq!(
+            snapshot.counter("service_requests_total", &[("kind", "chip")]),
+            Some(1)
+        );
+        let latency = snapshot
+            .histogram("service_request_seconds", &[("kind", "chip")])
+            .expect("request latency histogram");
+        assert_eq!(latency.count, 1);
+        assert!(latency.quantile(0.99).is_finite());
+        assert_eq!(snapshot.gauge("service_queue_jobs", &[]), Some(0.0));
+        assert_eq!(snapshot.gauge("service_active_jobs", &[]), Some(0.0));
+
+        let labels = [("space", space.as_str())];
+        assert_eq!(
+            snapshot.counter("service_cache_misses_total", &labels),
+            Some(response.result.engine.cache.misses as u64)
+        );
+        let rate = snapshot
+            .gauge("service_cache_hit_rate", &labels)
+            .expect("hit-rate gauge");
+        assert!((0.0..=1.0).contains(&rate));
+
+        let generations = snapshot
+            .histogram("generation_seconds", &[("stage", "chip")])
+            .expect("per-generation histogram");
+        assert_eq!(
+            generations.count as usize,
+            quick_chip_config().dse.generations
+        );
+        assert!(snapshot
+            .histogram("stage_seconds", &[("stage", "chip")])
+            .is_some());
+
+        assert!(snapshot.counter("pool_tasks_total", &[]).is_some());
+        assert!(snapshot.counter("pool_steals_total", &[]).is_some());
+        assert!(snapshot.histogram("pool_queue_wait_seconds", &[]).is_some());
+
+        // Span tree: request → chip stage → generations.
+        let spans = &snapshot.spans;
+        let root = spans
+            .iter()
+            .find(|s| s.name == "request")
+            .expect("root request span");
+        assert!(spans
+            .iter()
+            .any(|s| s.name == "chip" && s.parent == Some(root.id)));
+        let gen_count = spans
+            .iter()
+            .filter(|s| s.name == "generation" && s.parent == Some(root.id))
+            .count();
+        assert_eq!(gen_count, quick_chip_config().dse.generations);
+
+        // Both encoders render the snapshot.
+        let text = acim_telemetry::prometheus_text(&snapshot);
+        assert!(text.contains("service_requests_total{kind=\"chip\"} 1"));
+        assert!(text.contains("pool_queue_wait_seconds_bucket"));
+        let json = acim_telemetry::json_text(&snapshot);
+        assert!(json.contains("\"service_request_seconds\""));
+    }
+
+    #[test]
+    fn eviction_gauge_agrees_with_total_evictions() {
+        // Tight bounds force evictions in both cache layers; the
+        // collector-style gauge must agree with the method at snapshot
+        // time.
+        let service = ExplorationService::with_config(ServiceConfig::bounded(16, 4));
+        service
+            .run(ExplorationRequest::chip(quick_chip_config()))
+            .unwrap();
+        let snapshot = service.telemetry();
+        let evictions = service.total_evictions();
+        assert!(evictions > 0, "bounded caches should have evicted");
+        assert_eq!(
+            snapshot.gauge("service_cache_evictions", &[]),
+            Some(evictions as f64)
+        );
+    }
+
+    #[test]
+    fn disabled_telemetry_yields_empty_snapshots() {
+        let service = ExplorationService::with_config(ServiceConfig::default().without_telemetry());
+        assert!(!service.telemetry_handle().is_enabled());
+        service
+            .run(ExplorationRequest::chip(quick_chip_config()))
+            .unwrap();
+        let snapshot = service.telemetry();
+        assert!(snapshot.is_empty());
+        assert!(acim_telemetry::prometheus_text(&snapshot).is_empty());
     }
 
     #[test]

@@ -33,6 +33,7 @@ use acim_layout::LayoutFlow;
 use acim_moga::EvalStats;
 use acim_netlist::{design_stats, write_spice, Design, DesignStats, NetlistGenerator};
 use acim_tech::Technology;
+use acim_telemetry::{Histogram, SpanId, Telemetry};
 
 use crate::chip::{ChipFlowConfig, ChipFlowResult};
 use crate::error::FlowError;
@@ -112,6 +113,145 @@ where
 
     fn run(&self, input: Self::Input) -> Result<Self::Output, FlowError> {
         self.second.run(self.first.run(input)?)
+    }
+}
+
+/// Telemetry context threaded through a pipeline assembly: the bundle to
+/// record into, plus the span id stage spans are parented under
+/// (typically a request's root span, so per-request span trees read
+/// `request → stage → generation`).
+#[derive(Debug, Clone)]
+pub struct TraceContext {
+    /// The telemetry bundle (metric registry + span recorder).
+    pub telemetry: Telemetry,
+    /// Parent span id for stage spans recorded under this context.
+    pub parent: Option<SpanId>,
+    stages: Arc<StageHistograms>,
+}
+
+impl TraceContext {
+    /// A context recording root-level stage spans.
+    pub fn new(telemetry: Telemetry) -> Self {
+        Self::under(telemetry, None)
+    }
+
+    /// A context parenting stage spans under `parent`.
+    pub fn under(telemetry: Telemetry, parent: Option<SpanId>) -> Self {
+        let stages = Arc::new(StageHistograms::resolve(&telemetry));
+        Self::with_stages(telemetry, parent, stages)
+    }
+
+    /// A context reusing already-resolved stage histograms — long-lived
+    /// callers (the service) resolve them once and share the handle
+    /// across every request's context instead of walking the registry
+    /// per request.
+    pub fn with_stages(
+        telemetry: Telemetry,
+        parent: Option<SpanId>,
+        stages: Arc<StageHistograms>,
+    ) -> Self {
+        Self {
+            telemetry,
+            parent,
+            stages,
+        }
+    }
+}
+
+/// Pre-resolved `stage_seconds{stage}` histogram handles for the known
+/// pipeline stages, so an instrumented stage run costs an atomic
+/// observation instead of a locked registry walk.
+#[derive(Debug)]
+pub struct StageHistograms {
+    entries: [(&'static str, Histogram); 5],
+}
+
+impl StageHistograms {
+    /// Registers (or re-fetches) the histogram of every known stage.
+    pub fn resolve(telemetry: &Telemetry) -> Self {
+        let histogram = |stage: &'static str| {
+            let handle = telemetry.registry().histogram(
+                "stage_seconds",
+                "Wall-clock duration of one flow-stage run",
+                &[("stage", stage)],
+            );
+            (stage, handle)
+        };
+        Self {
+            entries: [
+                histogram("explore"),
+                histogram("distill"),
+                histogram("netlist"),
+                histogram("layout"),
+                histogram("chip"),
+            ],
+        }
+    }
+
+    fn get(&self, stage: &str) -> Option<&Histogram> {
+        self.entries
+            .iter()
+            .find(|(name, _)| *name == stage)
+            .map(|(_, handle)| handle)
+    }
+}
+
+/// A [`Stage`] wrapper that records one tracing span and one
+/// `stage_seconds{stage=...}` duration-histogram observation per run.
+///
+/// With no context attached (`trace: None`) it is a pure pass-through, so
+/// pipeline assemblies can wrap unconditionally and let the option decide
+/// — telemetry stays observably passive either way.
+#[derive(Debug, Clone)]
+pub struct Instrumented<S> {
+    inner: S,
+    trace: Option<TraceContext>,
+}
+
+impl<S: Stage> Instrumented<S> {
+    /// Wraps `inner`, recording into `trace` when present.
+    pub fn new(inner: S, trace: Option<TraceContext>) -> Self {
+        Self { inner, trace }
+    }
+
+    /// The wrapped stage.
+    pub fn inner(&self) -> &S {
+        &self.inner
+    }
+}
+
+impl<S: Stage> Stage for Instrumented<S> {
+    type Input = S::Input;
+    type Output = S::Output;
+
+    fn name(&self) -> &'static str {
+        self.inner.name()
+    }
+
+    fn run(&self, input: Self::Input) -> Result<Self::Output, FlowError> {
+        let Some(trace) = &self.trace else {
+            return self.inner.run(input);
+        };
+        let mut span = trace
+            .telemetry
+            .span_with_parent(self.inner.name(), trace.parent);
+        let started = Instant::now();
+        let result = self.inner.run(input);
+        span.attr("ok", if result.is_ok() { "true" } else { "false" });
+        let elapsed = started.elapsed();
+        match trace.stages.get(self.inner.name()) {
+            Some(histogram) => histogram.observe_duration(elapsed),
+            None => trace
+                .telemetry
+                .registry()
+                .histogram(
+                    "stage_seconds",
+                    "Wall-clock duration of one flow-stage run",
+                    &[("stage", self.inner.name())],
+                )
+                .observe_duration(elapsed),
+        }
+        result
     }
 }
 
@@ -613,6 +753,45 @@ mod tests {
         );
         assert!(design.spice.is_none());
         assert!(design.generation_time > Duration::ZERO);
+    }
+
+    #[test]
+    fn instrumented_stage_records_span_and_histogram() {
+        let telemetry = Telemetry::new();
+        let root = telemetry.span("request");
+        let trace = TraceContext::under(telemetry.clone(), root.as_parent());
+        let stage = Instrumented::new(
+            ExploreStage::new(quick_dse()).then(DistillStage::new(UserRequirements::none())),
+            Some(trace),
+        );
+        assert_eq!(stage.name(), "pipeline");
+        let distilled = stage.run(()).unwrap();
+        assert!(!distilled.distilled.is_empty());
+        let root_id = root.id();
+        drop(root);
+        let snapshot = telemetry.snapshot();
+        let hist = snapshot
+            .histogram("stage_seconds", &[("stage", "pipeline")])
+            .expect("stage histogram registered");
+        assert_eq!(hist.count, 1);
+        assert!(hist.quantile(0.5).is_finite());
+        let span = snapshot
+            .spans
+            .iter()
+            .find(|s| s.name == "pipeline")
+            .expect("stage span recorded");
+        assert_eq!(span.parent, Some(root_id));
+        assert!(span.attributes.contains(&("ok".into(), "true".into())));
+    }
+
+    #[test]
+    fn uninstrumented_wrapper_is_a_pure_pass_through() {
+        let stage = Instrumented::new(
+            ExploreStage::new(quick_dse()).then(DistillStage::new(UserRequirements::none())),
+            None,
+        );
+        assert!(stage.inner().name() == "pipeline");
+        assert!(!stage.run(()).unwrap().distilled.is_empty());
     }
 
     #[test]

@@ -30,8 +30,9 @@
 //! each request still reports its own [`CacheStats`].
 
 use std::collections::HashMap;
-use std::sync::atomic::{AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+
+use acim_telemetry::Counter;
 
 use crate::clock::ClockMap;
 use crate::problem::{Evaluation, Problem};
@@ -83,6 +84,43 @@ impl CacheStats {
             0.0
         } else {
             self.hits as f64 / self.total() as f64
+        }
+    }
+}
+
+/// The hit/miss/eviction counter triple every cache layer in this
+/// workspace records into — [`CachedProblem`] here, the chip evaluator's
+/// `MacroCacheClient` downstream.
+///
+/// The counters are telemetry [`Counter`]s: lock-free handles that a
+/// telemetry registry can adopt (so a service exposes the *same* counters
+/// the wrapper bumps, instead of a parallel bookkeeping copy), while
+/// [`CacheCounters::stats`] keeps the legacy [`CacheStats`] reporting
+/// shape working unchanged. Clones share the underlying values.
+#[derive(Debug, Clone, Default)]
+pub struct CacheCounters {
+    /// Requests answered from the cache.
+    pub hits: Counter,
+    /// Requests that had to be computed.
+    pub misses: Counter,
+    /// Entries this owner's inserts pushed out of a bounded store.
+    pub evictions: Counter,
+}
+
+impl CacheCounters {
+    /// Fresh, zeroed counters.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Snapshot in the legacy [`CacheStats`] shape. Values are clamped
+    /// into `usize` (a non-issue on 64-bit targets).
+    pub fn stats(&self) -> CacheStats {
+        let clamp = |v: u64| usize::try_from(v).unwrap_or(usize::MAX);
+        CacheStats {
+            hits: clamp(self.hits.get()),
+            misses: clamp(self.misses.get()),
+            evictions: clamp(self.evictions.get()),
         }
     }
 }
@@ -279,9 +317,7 @@ pub struct CachedProblem<P> {
     quantum: f64,
     key_fn: Option<Box<KeyFn>>,
     store: CacheStore,
-    hits: AtomicUsize,
-    misses: AtomicUsize,
-    evictions: AtomicUsize,
+    counters: CacheCounters,
 }
 
 impl<P: std::fmt::Debug> std::fmt::Debug for CachedProblem<P> {
@@ -290,14 +326,7 @@ impl<P: std::fmt::Debug> std::fmt::Debug for CachedProblem<P> {
             .field("inner", &self.inner)
             .field("quantum", &self.quantum)
             .field("custom_key", &self.key_fn.is_some())
-            .field(
-                "stats",
-                &CacheStats {
-                    hits: self.hits.load(Ordering::Relaxed),
-                    misses: self.misses.load(Ordering::Relaxed),
-                    evictions: self.evictions.load(Ordering::Relaxed),
-                },
-            )
+            .field("stats", &self.counters.stats())
             .finish_non_exhaustive()
     }
 }
@@ -327,9 +356,7 @@ impl<P: Problem> CachedProblem<P> {
             quantum,
             key_fn: None,
             store: CacheStore::new(),
-            hits: AtomicUsize::new(0),
-            misses: AtomicUsize::new(0),
-            evictions: AtomicUsize::new(0),
+            counters: CacheCounters::new(),
         }
     }
 
@@ -350,9 +377,7 @@ impl<P: Problem> CachedProblem<P> {
             quantum: DEFAULT_QUANTUM,
             key_fn: Some(Box::new(key_fn)),
             store: CacheStore::new(),
-            hits: AtomicUsize::new(0),
-            misses: AtomicUsize::new(0),
-            evictions: AtomicUsize::new(0),
+            counters: CacheCounters::new(),
         }
     }
 
@@ -369,6 +394,24 @@ impl<P: Problem> CachedProblem<P> {
     pub fn with_shared_store(mut self, store: CacheStore) -> Self {
         self.store = store;
         self
+    }
+
+    /// Replaces the wrapper's (fresh, zeroed) counters with externally
+    /// owned ones — typically handles a telemetry registry vended, so the
+    /// registry exposes the very counters the hot path bumps instead of a
+    /// copied-out snapshot. Attribution semantics are the caller's choice:
+    /// hand per-request counters for per-request stats, or one shared
+    /// triple for cumulative per-space stats.
+    #[must_use]
+    pub fn with_counters(mut self, counters: CacheCounters) -> Self {
+        self.counters = counters;
+        self
+    }
+
+    /// The wrapper's counter triple (clone it to register with a
+    /// telemetry registry or to read after the wrapper is dropped).
+    pub fn counters(&self) -> &CacheCounters {
+        &self.counters
     }
 
     /// The wrapper's store handle (clone it to share entries with another
@@ -400,11 +443,7 @@ impl<P: Problem> CachedProblem<P> {
 
     /// Snapshot of the hit/miss/eviction counters.
     pub fn stats(&self) -> CacheStats {
-        CacheStats {
-            hits: self.hits.load(Ordering::Relaxed),
-            misses: self.misses.load(Ordering::Relaxed),
-            evictions: self.evictions.load(Ordering::Relaxed),
-        }
+        self.counters.stats()
     }
 
     /// Quantizes a genome into its cache key.
@@ -431,13 +470,13 @@ impl<P: Problem> Problem for CachedProblem<P> {
     fn evaluate(&self, genes: &[f64]) -> Evaluation {
         let key = self.key(genes);
         if let Some(eval) = self.store.get(&key) {
-            self.hits.fetch_add(1, Ordering::Relaxed);
+            self.counters.hits.inc();
             return eval;
         }
         let eval = self.inner.evaluate(genes);
-        self.misses.fetch_add(1, Ordering::Relaxed);
+        self.counters.misses.inc();
         if self.store.insert(key, eval.clone()) {
-            self.evictions.fetch_add(1, Ordering::Relaxed);
+            self.counters.evictions.inc();
         }
         eval
     }
@@ -484,8 +523,8 @@ impl<P: Problem> Problem for CachedProblem<P> {
             genomes.len(),
             "every batch slot must be attributed exactly once"
         );
-        self.hits.fetch_add(batch_hits, Ordering::Relaxed);
-        self.misses.fetch_add(miss_genomes.len(), Ordering::Relaxed);
+        self.counters.hits.add(batch_hits as u64);
+        self.counters.misses.add(miss_genomes.len() as u64);
 
         let fresh = self.inner.evaluate_batch(&miss_genomes);
         assert_eq!(
@@ -502,7 +541,7 @@ impl<P: Problem> Problem for CachedProblem<P> {
                 }
             }
             if evicted > 0 {
-                self.evictions.fetch_add(evicted, Ordering::Relaxed);
+                self.counters.evictions.add(evicted as u64);
             }
         }
         for (i, slot) in pending {
@@ -522,7 +561,7 @@ impl<P: Problem> Problem for CachedProblem<P> {
 #[cfg(test)]
 mod tests {
     use super::*;
-    use std::sync::atomic::AtomicUsize;
+    use std::sync::atomic::{AtomicUsize, Ordering};
 
     /// Counts how many times the inner problem actually evaluates.
     #[derive(Debug)]
@@ -787,6 +826,23 @@ mod tests {
         assert_eq!(evals_b[0], evals[0]);
         assert_eq!(request_b.stats(), CacheStats::hits_misses(2, 0));
         assert_eq!(request_b.inner().calls.load(Ordering::Relaxed), 0);
+    }
+
+    #[test]
+    fn adopted_counters_are_the_ones_the_hot_path_bumps() {
+        // A registry-vended triple handed in via with_counters sees every
+        // hit/miss/eviction the wrapper records — no parallel bookkeeping.
+        let counters = CacheCounters::new();
+        let cached = CachedProblem::new(Counting::new()).with_counters(counters.clone());
+        let _ = cached.evaluate(&[0.1, 0.1]);
+        let _ = cached.evaluate(&[0.1, 0.1]);
+        assert_eq!(counters.hits.get(), 1);
+        assert_eq!(counters.misses.get(), 1);
+        assert_eq!(counters.stats(), cached.stats());
+        assert_eq!(counters.stats(), CacheStats::hits_misses(1, 1));
+        // The accessor exposes the same shared handles.
+        cached.counters().hits.inc();
+        assert_eq!(counters.hits.get(), 2);
     }
 
     #[test]

@@ -87,7 +87,7 @@ pub mod random_search;
 pub mod selection;
 
 pub use archive::ParetoArchive;
-pub use cached::{CacheStats, CacheStore, CachedProblem};
+pub use cached::{CacheCounters, CacheStats, CacheStore, CachedProblem};
 pub use clock::{ClockMap, TryInsert};
 pub use crowding::assign_crowding_distance;
 pub use dominance::{constrained_dominates, dominates, fast_non_dominated_sort};

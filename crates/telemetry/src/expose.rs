@@ -1,0 +1,342 @@
+//! Exposition encoders: Prometheus text format and JSON.
+//!
+//! Both encoders are pure functions over a [`TelemetrySnapshot`] — no I/O,
+//! no state — so callers decide where the bytes go (stdout for the
+//! example binary's `--telemetry` flag, an HTTP response in a future
+//! deadline-aware front-end, a file in CI). The Prometheus encoder
+//! follows the text exposition format version 0.0.4: `# HELP`/`# TYPE`
+//! headers, cumulative `_bucket{le=...}` series ending in `+Inf`, and
+//! `_sum`/`_count` companions for histograms. The JSON encoder is
+//! hand-rolled (the workspace vendors no serde) and emits metrics plus
+//! the span tree.
+
+use crate::histogram::HistogramSnapshot;
+use crate::snapshot::{MetricSample, MetricValue, TelemetrySnapshot};
+
+/// Escapes a Prometheus label value: backslash, double-quote, newline.
+fn escape_label(value: &str) -> String {
+    let mut out = String::with_capacity(value.len());
+    for c in value.chars() {
+        match c {
+            '\\' => out.push_str("\\\\"),
+            '"' => out.push_str("\\\""),
+            '\n' => out.push_str("\\n"),
+            _ => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders a label set (optionally with an extra `le` pair) as
+/// `{k="v",...}`, or the empty string when there are no labels.
+fn label_block(labels: &[(String, String)], le: Option<&str>) -> String {
+    let mut pairs: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{k}=\"{}\"", escape_label(v)))
+        .collect();
+    if let Some(le) = le {
+        pairs.push(format!("le=\"{le}\""));
+    }
+    if pairs.is_empty() {
+        String::new()
+    } else {
+        format!("{{{}}}", pairs.join(","))
+    }
+}
+
+/// Formats an `f64` for exposition: finite values via `Display` (which
+/// never emits NaN-like text for a finite input), non-finite as `0`.
+fn number(value: f64) -> String {
+    if value.is_finite() {
+        format!("{value}")
+    } else {
+        "0".to_string()
+    }
+}
+
+/// Renders a snapshot in the Prometheus text exposition format.
+///
+/// Samples arrive sorted by `(name, labels)`, so series of the same
+/// metric are contiguous and the `# HELP`/`# TYPE` header is emitted once
+/// per metric name.
+pub fn prometheus_text(snapshot: &TelemetrySnapshot) -> String {
+    let mut out = String::new();
+    let mut last_name: Option<&str> = None;
+    for sample in &snapshot.samples {
+        if last_name != Some(sample.name.as_str()) {
+            let kind = match sample.value {
+                MetricValue::Counter(_) => "counter",
+                MetricValue::Gauge(_) => "gauge",
+                MetricValue::Histogram(_) => "histogram",
+            };
+            if !sample.help.is_empty() {
+                out.push_str(&format!("# HELP {} {}\n", sample.name, sample.help));
+            }
+            out.push_str(&format!("# TYPE {} {kind}\n", sample.name));
+            last_name = Some(sample.name.as_str());
+        }
+        match &sample.value {
+            MetricValue::Counter(v) => {
+                out.push_str(&format!(
+                    "{}{} {v}\n",
+                    sample.name,
+                    label_block(&sample.labels, None)
+                ));
+            }
+            MetricValue::Gauge(v) => {
+                out.push_str(&format!(
+                    "{}{} {}\n",
+                    sample.name,
+                    label_block(&sample.labels, None),
+                    number(*v)
+                ));
+            }
+            MetricValue::Histogram(h) => {
+                let mut cumulative = 0u64;
+                for (i, bound) in h.bounds.iter().enumerate() {
+                    cumulative += h.counts.get(i).copied().unwrap_or(0);
+                    out.push_str(&format!(
+                        "{}_bucket{} {cumulative}\n",
+                        sample.name,
+                        label_block(&sample.labels, Some(&number(*bound)))
+                    ));
+                }
+                cumulative += h.counts.last().copied().unwrap_or(0);
+                out.push_str(&format!(
+                    "{}_bucket{} {cumulative}\n",
+                    sample.name,
+                    label_block(&sample.labels, Some("+Inf"))
+                ));
+                out.push_str(&format!(
+                    "{}_sum{} {}\n",
+                    sample.name,
+                    label_block(&sample.labels, None),
+                    number(h.sum)
+                ));
+                out.push_str(&format!(
+                    "{}_count{} {}\n",
+                    sample.name,
+                    label_block(&sample.labels, None),
+                    h.count
+                ));
+            }
+        }
+    }
+    out
+}
+
+/// Escapes a string for JSON.
+fn json_string(value: &str) -> String {
+    let mut out = String::with_capacity(value.len() + 2);
+    out.push('"');
+    for c in value.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+fn json_labels(labels: &[(String, String)]) -> String {
+    let pairs: Vec<String> = labels
+        .iter()
+        .map(|(k, v)| format!("{}:{}", json_string(k), json_string(v)))
+        .collect();
+    format!("{{{}}}", pairs.join(","))
+}
+
+fn json_histogram(h: &HistogramSnapshot) -> String {
+    let bounds: Vec<String> = h.bounds.iter().map(|b| number(*b)).collect();
+    let counts: Vec<String> = h.counts.iter().map(|c| c.to_string()).collect();
+    format!(
+        "{{\"bounds\":[{}],\"counts\":[{}],\"sum\":{},\"count\":{},\"p50\":{},\"p90\":{},\"p99\":{}}}",
+        bounds.join(","),
+        counts.join(","),
+        number(h.sum),
+        h.count,
+        number(h.quantile(0.5)),
+        number(h.quantile(0.9)),
+        number(h.quantile(0.99)),
+    )
+}
+
+fn json_sample(sample: &MetricSample) -> String {
+    let (kind, value) = match &sample.value {
+        MetricValue::Counter(v) => ("counter", v.to_string()),
+        MetricValue::Gauge(v) => ("gauge", number(*v)),
+        MetricValue::Histogram(h) => ("histogram", json_histogram(h)),
+    };
+    format!(
+        "{{\"name\":{},\"type\":\"{kind}\",\"labels\":{},\"value\":{value}}}",
+        json_string(&sample.name),
+        json_labels(&sample.labels),
+    )
+}
+
+/// Renders a snapshot as a single JSON object:
+/// `{"metrics": [...], "spans": [...], "spans_dropped": N}`.
+pub fn json_text(snapshot: &TelemetrySnapshot) -> String {
+    let metrics: Vec<String> = snapshot.samples.iter().map(json_sample).collect();
+    let spans: Vec<String> = snapshot
+        .spans
+        .iter()
+        .map(|s| {
+            let attrs: Vec<String> = s
+                .attributes
+                .iter()
+                .map(|(k, v)| format!("{}:{}", json_string(k), json_string(v)))
+                .collect();
+            format!(
+                "{{\"id\":{},\"parent\":{},\"name\":{},\"start_us\":{},\"duration_us\":{},\"attributes\":{{{}}}}}",
+                s.id,
+                s.parent.map_or("null".to_string(), |p| p.to_string()),
+                json_string(&s.name),
+                s.start_us,
+                s.duration_us,
+                attrs.join(","),
+            )
+        })
+        .collect();
+    format!(
+        "{{\"metrics\":[{}],\"spans\":[{}],\"spans_dropped\":{}}}",
+        metrics.join(","),
+        spans.join(","),
+        snapshot.spans_dropped,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+    use crate::span::SpanRecorder;
+
+    fn demo_snapshot() -> TelemetrySnapshot {
+        let registry = Registry::new();
+        registry
+            .counter(
+                "service_requests_total",
+                "Requests accepted",
+                &[("kind", "macro")],
+            )
+            .add(2);
+        registry
+            .gauge("service_active_jobs", "Jobs running", &[])
+            .set(1.0);
+        let hist = registry.histogram_with_bounds(
+            "service_request_seconds",
+            "Request latency",
+            &[("kind", "macro")],
+            &[0.5, 1.0],
+        );
+        hist.observe(0.2);
+        hist.observe(0.7);
+        let spans = SpanRecorder::new(4);
+        {
+            let mut span = spans.span("request");
+            span.attr("kind", "macro");
+        }
+        TelemetrySnapshot {
+            samples: registry.snapshot(),
+            spans: spans.snapshot(),
+            spans_dropped: 0,
+        }
+    }
+
+    #[test]
+    fn prometheus_text_is_well_formed() {
+        let text = prometheus_text(&demo_snapshot());
+        assert!(text.contains("# HELP service_requests_total Requests accepted\n"));
+        assert!(text.contains("# TYPE service_requests_total counter\n"));
+        assert!(text.contains("service_requests_total{kind=\"macro\"} 2\n"));
+        assert!(text.contains("# TYPE service_active_jobs gauge\n"));
+        assert!(text.contains("service_active_jobs 1\n"));
+        assert!(text.contains("# TYPE service_request_seconds histogram\n"));
+        assert!(text.contains("service_request_seconds_bucket{kind=\"macro\",le=\"0.5\"} 1\n"));
+        assert!(text.contains("service_request_seconds_bucket{kind=\"macro\",le=\"1\"} 2\n"));
+        assert!(text.contains("service_request_seconds_bucket{kind=\"macro\",le=\"+Inf\"} 2\n"));
+        assert!(text.contains("service_request_seconds_count{kind=\"macro\"} 2\n"));
+        assert!(!text.contains("NaN"));
+        assert!(!text.contains("inf"));
+        // Every non-comment line is `name{labels} value`.
+        for line in text.lines().filter(|l| !l.starts_with('#')) {
+            let (_series, value) = line.rsplit_once(' ').expect("space-separated value");
+            assert!(value.parse::<f64>().is_ok(), "unparseable value in: {line}");
+        }
+    }
+
+    #[test]
+    fn label_values_are_escaped() {
+        let registry = Registry::new();
+        registry
+            .counter("c_total", "", &[("space", "macro/8x[4..16]\"q\"")])
+            .inc();
+        let snapshot = TelemetrySnapshot {
+            samples: registry.snapshot(),
+            spans: Vec::new(),
+            spans_dropped: 0,
+        };
+        let text = prometheus_text(&snapshot);
+        assert!(
+            text.contains(r#"space="macro/8x[4..16]\"q\"""#),
+            "got: {text}"
+        );
+    }
+
+    #[test]
+    fn json_is_parseable_shape_and_nan_free() {
+        let json = json_text(&demo_snapshot());
+        assert!(json.starts_with("{\"metrics\":["));
+        assert!(json.contains("\"name\":\"service_requests_total\""));
+        assert!(json.contains("\"type\":\"histogram\""));
+        assert!(json.contains("\"p50\":"));
+        assert!(json.contains("\"spans\":[{"));
+        assert!(json.contains("\"name\":\"request\""));
+        assert!(json.contains("\"kind\":\"macro\""));
+        assert!(json.ends_with("\"spans_dropped\":0}"));
+        assert!(!json.contains("NaN") && !json.contains("inf"));
+        // Balanced braces/brackets — a cheap structural sanity check that
+        // catches missed commas and unterminated strings.
+        let mut depth = 0i32;
+        let mut in_string = false;
+        let mut escaped = false;
+        for c in json.chars() {
+            if in_string {
+                if escaped {
+                    escaped = false;
+                } else if c == '\\' {
+                    escaped = true;
+                } else if c == '"' {
+                    in_string = false;
+                }
+                continue;
+            }
+            match c {
+                '"' => in_string = true,
+                '{' | '[' => depth += 1,
+                '}' | ']' => depth -= 1,
+                _ => {}
+            }
+            assert!(depth >= 0);
+        }
+        assert_eq!(depth, 0);
+        assert!(!in_string);
+    }
+
+    #[test]
+    fn empty_snapshot_encodes_cleanly() {
+        let empty = TelemetrySnapshot::default();
+        assert_eq!(prometheus_text(&empty), "");
+        assert_eq!(
+            json_text(&empty),
+            "{\"metrics\":[],\"spans\":[],\"spans_dropped\":0}"
+        );
+    }
+}

@@ -1,0 +1,262 @@
+//! Point-in-time telemetry snapshots and the diff API.
+//!
+//! A [`TelemetrySnapshot`] is plain data: every registered metric series
+//! (copied out of the registry) plus the recorded span ring. Snapshots
+//! are what cross API boundaries — `ExplorationService::telemetry()`
+//! returns one — and what the encoders in [`crate::expose`] render.
+//! [`TelemetrySnapshot::diff`] subtracts an earlier snapshot to attribute
+//! counters, histogram buckets and spans to a phase, which is how a
+//! caller gets per-request numbers out of cumulative process metrics.
+
+use crate::histogram::HistogramSnapshot;
+use crate::registry::Labels;
+use crate::span::{SpanId, SpanRecord};
+
+/// The value of one metric series at snapshot time.
+#[derive(Debug, Clone, PartialEq)]
+pub enum MetricValue {
+    /// Monotone counter value.
+    Counter(u64),
+    /// Instantaneous gauge value (always finite).
+    Gauge(f64),
+    /// Full bucket state of a histogram.
+    Histogram(HistogramSnapshot),
+}
+
+/// One metric series: name, help text, sorted labels, and its value.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MetricSample {
+    /// Prometheus-charset metric name.
+    pub name: String,
+    /// Help text emitted as `# HELP`.
+    pub help: String,
+    /// Sorted `key=value` label pairs.
+    pub labels: Labels,
+    /// The sampled value.
+    pub value: MetricValue,
+}
+
+/// A point-in-time copy of a [`crate::Telemetry`] bundle: all metric
+/// series plus the span ring. Plain data — safe to hold, diff, and encode
+/// long after the source has moved on.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct TelemetrySnapshot {
+    /// All metric series, sorted by `(name, labels)`.
+    pub samples: Vec<MetricSample>,
+    /// Recorded spans, oldest first.
+    pub spans: Vec<SpanRecord>,
+    /// Spans evicted from the ring before this snapshot was taken.
+    pub spans_dropped: u64,
+}
+
+impl TelemetrySnapshot {
+    /// `true` when the snapshot carries no metrics and no spans (the
+    /// shape returned for disabled telemetry).
+    pub fn is_empty(&self) -> bool {
+        self.samples.is_empty() && self.spans.is_empty()
+    }
+
+    /// Finds a series by name and labels (labels in any order).
+    pub fn find(&self, name: &str, labels: &[(&str, &str)]) -> Option<&MetricSample> {
+        let mut wanted: Vec<(String, String)> = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        wanted.sort();
+        self.samples
+            .iter()
+            .find(|s| s.name == name && s.labels == wanted)
+    }
+
+    /// Convenience: the value of a counter series, if present.
+    pub fn counter(&self, name: &str, labels: &[(&str, &str)]) -> Option<u64> {
+        match self.find(name, labels)?.value {
+            MetricValue::Counter(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Convenience: the value of a gauge series, if present.
+    pub fn gauge(&self, name: &str, labels: &[(&str, &str)]) -> Option<f64> {
+        match self.find(name, labels)?.value {
+            MetricValue::Gauge(v) => Some(v),
+            _ => None,
+        }
+    }
+
+    /// Convenience: the bucket state of a histogram series, if present.
+    pub fn histogram(&self, name: &str, labels: &[(&str, &str)]) -> Option<&HistogramSnapshot> {
+        match &self.find(name, labels)?.value {
+            MetricValue::Histogram(h) => Some(h),
+            _ => None,
+        }
+    }
+
+    /// Appends a pre-built histogram sample — the bridge for foreign
+    /// bucket sources (e.g. the pool's queue-wait buckets) that are not
+    /// registry-backed. Keeps the sample list sorted.
+    pub fn push_histogram(
+        &mut self,
+        name: &str,
+        help: &str,
+        labels: &[(&str, &str)],
+        histogram: HistogramSnapshot,
+    ) {
+        let mut labels: Labels = labels
+            .iter()
+            .map(|(k, v)| (k.to_string(), v.to_string()))
+            .collect();
+        labels.sort();
+        self.samples.push(MetricSample {
+            name: crate::registry::sanitise_name(name),
+            help: help.to_string(),
+            labels,
+            value: MetricValue::Histogram(histogram),
+        });
+        self.samples
+            .sort_by(|a, b| (&a.name, &a.labels).cmp(&(&b.name, &b.labels)));
+    }
+
+    /// The difference `self - earlier`, attributing activity to the window
+    /// between the two snapshots:
+    ///
+    /// - counters subtract (saturating);
+    /// - histograms subtract bucket-wise via
+    ///   [`HistogramSnapshot::delta_since`];
+    /// - gauges keep *this* snapshot's value (an instantaneous reading has
+    ///   no meaningful difference);
+    /// - series absent from `earlier` are kept as-is;
+    /// - spans are those recorded after `earlier` was taken (ids are
+    ///   monotonic per recorder, so "after" means a larger id).
+    pub fn diff(&self, earlier: &TelemetrySnapshot) -> TelemetrySnapshot {
+        let samples = self
+            .samples
+            .iter()
+            .map(|sample| {
+                let before = earlier
+                    .samples
+                    .iter()
+                    .find(|s| s.name == sample.name && s.labels == sample.labels);
+                let value = match (&sample.value, before.map(|s| &s.value)) {
+                    (MetricValue::Counter(now), Some(MetricValue::Counter(then))) => {
+                        MetricValue::Counter(now.saturating_sub(*then))
+                    }
+                    (MetricValue::Histogram(now), Some(MetricValue::Histogram(then))) => {
+                        MetricValue::Histogram(now.delta_since(then))
+                    }
+                    (value, _) => value.clone(),
+                };
+                MetricSample {
+                    name: sample.name.clone(),
+                    help: sample.help.clone(),
+                    labels: sample.labels.clone(),
+                    value,
+                }
+            })
+            .collect();
+        let cutoff: SpanId = earlier.spans.iter().map(|s| s.id).max().unwrap_or(0);
+        TelemetrySnapshot {
+            samples,
+            spans: self
+                .spans
+                .iter()
+                .filter(|s| s.id > cutoff)
+                .cloned()
+                .collect(),
+            spans_dropped: self.spans_dropped.saturating_sub(earlier.spans_dropped),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::Registry;
+    use crate::span::SpanRecorder;
+
+    fn sample_snapshot() -> (Registry, SpanRecorder) {
+        let registry = Registry::new();
+        registry.counter("req_total", "requests", &[("kind", "macro")]);
+        registry.gauge("active", "active jobs", &[]);
+        registry.histogram_with_bounds("lat_seconds", "latency", &[], &[1.0, 2.0]);
+        (registry, SpanRecorder::new(8))
+    }
+
+    fn snap(registry: &Registry, spans: &SpanRecorder) -> TelemetrySnapshot {
+        TelemetrySnapshot {
+            samples: registry.snapshot(),
+            spans: spans.snapshot(),
+            spans_dropped: spans.dropped(),
+        }
+    }
+
+    #[test]
+    fn find_and_typed_accessors_work() {
+        let (registry, spans) = sample_snapshot();
+        registry
+            .counter("req_total", "requests", &[("kind", "macro")])
+            .add(3);
+        registry.gauge("active", "", &[]).set(2.0);
+        registry
+            .histogram_with_bounds("lat_seconds", "", &[], &[1.0, 2.0])
+            .observe(0.5);
+        let snapshot = snap(&registry, &spans);
+        assert_eq!(snapshot.counter("req_total", &[("kind", "macro")]), Some(3));
+        assert_eq!(snapshot.gauge("active", &[]), Some(2.0));
+        assert_eq!(snapshot.histogram("lat_seconds", &[]).unwrap().count, 1);
+        assert_eq!(snapshot.counter("missing", &[]), None);
+        assert_eq!(snapshot.counter("active", &[]), None); // wrong type
+    }
+
+    #[test]
+    fn diff_subtracts_counters_and_histograms_keeps_gauges() {
+        let (registry, spans) = sample_snapshot();
+        let counter = registry.counter("req_total", "requests", &[("kind", "macro")]);
+        let gauge = registry.gauge("active", "", &[]);
+        let hist = registry.histogram_with_bounds("lat_seconds", "", &[], &[1.0, 2.0]);
+        counter.add(2);
+        gauge.set(5.0);
+        hist.observe(0.5);
+        drop(spans.span("before"));
+        let earlier = snap(&registry, &spans);
+
+        counter.add(3);
+        gauge.set(1.0);
+        hist.observe(1.5);
+        drop(spans.span("after"));
+        let later = snap(&registry, &spans);
+
+        let delta = later.diff(&earlier);
+        assert_eq!(delta.counter("req_total", &[("kind", "macro")]), Some(3));
+        assert_eq!(delta.gauge("active", &[]), Some(1.0));
+        let h = delta.histogram("lat_seconds", &[]).unwrap();
+        assert_eq!(h.count, 1);
+        assert_eq!(h.counts, vec![0, 1, 0]);
+        assert_eq!(delta.spans.len(), 1);
+        assert_eq!(delta.spans[0].name, "after");
+    }
+
+    #[test]
+    fn diff_keeps_series_missing_from_earlier() {
+        let (registry, spans) = sample_snapshot();
+        let earlier = snap(&registry, &spans);
+        registry.counter("new_total", "", &[]).add(7);
+        let later = snap(&registry, &spans);
+        let delta = later.diff(&earlier);
+        assert_eq!(delta.counter("new_total", &[]), Some(7));
+    }
+
+    #[test]
+    fn push_histogram_keeps_samples_sorted() {
+        let (registry, spans) = sample_snapshot();
+        let mut snapshot = snap(&registry, &spans);
+        snapshot.push_histogram(
+            "aaa_first",
+            "bridged",
+            &[],
+            HistogramSnapshot::from_parts(vec![1.0], vec![1, 0], 0.5, 1),
+        );
+        assert_eq!(snapshot.samples[0].name, "aaa_first");
+        assert!(snapshot.histogram("aaa_first", &[]).is_some());
+    }
+}

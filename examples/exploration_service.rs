@@ -17,6 +17,8 @@
 //! # bound the shared caches (exercises CLOCK eviction; the CI smoke job
 //! # runs this to prove bounded caches change counters, not results):
 //! cargo run --release --example exploration_service -- --quick --cache-cap 48
+//! # dump the service's telemetry (Prometheus text exposition) at exit:
+//! cargo run --release --example exploration_service -- --quick --telemetry
 //! ```
 
 use easyacim::chip_report;
@@ -26,6 +28,7 @@ use easyacim::service::{ChipRequest, ExplorationRequest, ExplorationService, Ser
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|arg| arg == "--quick");
+    let telemetry = args.iter().any(|arg| arg == "--telemetry");
     let cache_cap: Option<usize> = args.iter().position(|arg| arg == "--cache-cap").map(|i| {
         let cap: usize = args
             .get(i + 1)
@@ -171,5 +174,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "warm run must reuse cross-request cache entries"
     );
     println!("\n{}", chip_report(&warm.result));
+
+    if telemetry {
+        // Everything the service observed, in Prometheus text exposition
+        // (scrapeable verbatim) — request counters and latency
+        // histograms, queue/active gauges, per-space cache hit rates,
+        // per-generation histograms and the worker-pool bridge.
+        println!("--- telemetry (prometheus text exposition) ---");
+        print!("{}", easyacim::prometheus_text(&service.telemetry()));
+    }
     Ok(())
 }

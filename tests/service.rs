@@ -439,4 +439,71 @@ fn full_hit_replay_reports_finite_rates_and_clean_reports() {
         !report.contains("NaN") && !report.contains(" inf") && !report.contains("-inf"),
         "report leaked a non-finite number:\n{report}"
     );
+    // The always-rendered telemetry line and the macro-metric reuse line
+    // survive the zero-duration replay with finite values too.
+    assert!(report.contains("telemetry: generation p50"));
+    assert!(report.contains("macro-metric reuse:"));
+    // Same for the service-level telemetry section: a replay whose
+    // request latency histogram holds near-zero observations must still
+    // render finite quantiles everywhere.
+    let section = easyacim::telemetry_section(&service.telemetry());
+    assert!(section.starts_with("telemetry:\n"));
+    assert!(section.contains("service_request_seconds"));
+    assert!(section.contains("service_cache_hit_rate"));
+    assert!(
+        !section.contains("NaN") && !section.contains(" inf") && !section.contains("-inf"),
+        "telemetry section leaked a non-finite number:\n{section}"
+    );
+}
+
+#[test]
+fn telemetry_is_observably_passive() {
+    // The acceptance bar of the telemetry layer: recording spans,
+    // histograms and gauges must never perturb exploration.  Identical
+    // requests on a telemetry-enabled and a telemetry-disabled service
+    // produce bit-identical frontiers, macro and chip alike.
+    let enabled = ExplorationService::new();
+    assert!(enabled.telemetry_handle().is_enabled());
+    let disabled = ExplorationService::with_config(ServiceConfig::default().without_telemetry());
+    assert!(!disabled.telemetry_handle().is_enabled());
+
+    let on_macro = enabled
+        .run(ExplorationRequest::macro_flow(quick_flow_config()))
+        .unwrap()
+        .into_macro()
+        .unwrap();
+    let off_macro = disabled
+        .run(ExplorationRequest::macro_flow(quick_flow_config()))
+        .unwrap()
+        .into_macro()
+        .unwrap();
+    assert_same_macro_frontier(&on_macro.result.frontier, &off_macro.result.frontier);
+    assert_same_macro_frontier(&on_macro.result.distilled, &off_macro.result.distilled);
+
+    let on_chip = enabled
+        .run(ExplorationRequest::chip(quick_chip_config()))
+        .unwrap()
+        .into_chip()
+        .unwrap();
+    let off_chip = disabled
+        .run(ExplorationRequest::chip(quick_chip_config()))
+        .unwrap()
+        .into_chip()
+        .unwrap();
+    assert_same_chip_frontier(&on_chip.result.front, &off_chip.result.front);
+    assert_eq!(
+        on_chip.result.engine.evaluations,
+        off_chip.result.engine.evaluations
+    );
+
+    // The instrumented service actually recorded; the disabled one is
+    // empty in both exposition formats.
+    let on = enabled.telemetry();
+    assert!(on.counter("service_requests_total", &[("kind", "macro")]) == Some(1));
+    assert!(on.counter("service_requests_total", &[("kind", "chip")]) == Some(1));
+    assert!(!easyacim::prometheus_text(&on).is_empty());
+    let off = disabled.telemetry();
+    assert!(off.is_empty());
+    assert!(easyacim::prometheus_text(&off).is_empty());
+    assert!(easyacim::json_text(&off).contains("\"metrics\":[]"));
 }

@@ -3,7 +3,8 @@
 //!
 //! The build environment has no access to crates.io, so this crate provides
 //! a minimal wall-clock harness with criterion's call shapes
-//! (`benchmark_group`, `bench_function`, `bench_with_input`, `iter`).  It
+//! (`benchmark_group`, `bench_function`, `bench_with_input`, `iter`,
+//! `iter_custom`).  It
 //! performs a short warm-up, then times `sample_size` batches and reports
 //! the median time per iteration to stdout — enough to serve as a perf
 //! baseline between PRs, without criterion's statistical machinery.
@@ -120,6 +121,18 @@ impl Bencher {
         Self {
             samples: Vec::with_capacity(sample_size),
             sample_size,
+        }
+    }
+
+    /// Caller-controlled measurement, like criterion's `iter_custom`: the
+    /// closure receives the iteration count to run (always 1 in this shim)
+    /// and returns the duration it measured.  No warm-up calls are made —
+    /// the caller owns the entire measurement protocol, which lets paired
+    /// benches interleave their workloads and report durations from shared
+    /// time windows (see `benches/telemetry.rs`).
+    pub fn iter_custom<F: FnMut(u64) -> Duration>(&mut self, mut routine: F) {
+        for _ in 0..self.sample_size {
+            self.samples.push(routine(1));
         }
     }
 
@@ -310,6 +323,21 @@ mod tests {
         });
         group.finish();
         assert!(runs >= 5);
+    }
+
+    #[test]
+    fn iter_custom_records_reported_durations_without_warmup() {
+        let mut c = Criterion::default();
+        let mut calls = 0usize;
+        c.bench_function("shim/custom", |b| {
+            b.iter_custom(|iters| {
+                assert_eq!(iters, 1);
+                calls += 1;
+                Duration::from_nanos(calls as u64)
+            })
+        });
+        // No warm-up calls: exactly one measurement per sample.
+        assert_eq!(calls, DEFAULT_SAMPLE_SIZE);
     }
 
     #[test]

@@ -25,7 +25,7 @@ use std::ops::Range;
 use std::panic::AssertUnwindSafe;
 use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::{Condvar, Mutex};
-use std::time::Duration;
+use std::time::{Duration, Instant};
 
 /// How long an idle helper parks before re-checking for stealable tasks.
 /// Split halves are pushed onto deques without a wake-up (a notify per
@@ -62,6 +62,12 @@ pub(crate) struct Scheduler {
     panic_payload: Mutex<Option<Box<dyn Any + Send>>>,
     done_lock: Mutex<()>,
     done: Condvar,
+    /// When the scheduler was created — immediately before its job is
+    /// enqueued, so "creation to first claim" is the job's queue wait.
+    created: Instant,
+    /// Latched by the first claimed range; gates the one-shot queue-wait
+    /// recording.
+    claimed_once: AtomicBool,
 }
 
 impl Scheduler {
@@ -93,6 +99,8 @@ impl Scheduler {
             panic_payload: Mutex::new(None),
             done_lock: Mutex::new(()),
             done: Condvar::new(),
+            created: Instant::now(),
+            claimed_once: AtomicBool::new(false),
         }
     }
 
@@ -110,16 +118,26 @@ impl Scheduler {
         let n = self.deques.len();
         let slot = slot % n;
         if let Some(range) = self.deques[slot].lock().expect("deque lock").pop_back() {
+            self.note_first_claim();
             return Some(range);
         }
         for offset in 1..n {
             let victim = (slot + offset) % n;
             if let Some(range) = self.deques[victim].lock().expect("deque lock").pop_front() {
                 metrics::record_steal(slot);
+                self.note_first_claim();
                 return Some(range);
             }
         }
         None
+    }
+
+    /// Records the job's queue wait (creation to first claimed range) into
+    /// the process-global metrics, exactly once per scheduler.
+    fn note_first_claim(&self) {
+        if !self.claimed_once.swap(true, Ordering::Relaxed) {
+            metrics::record_queue_wait(self.created.elapsed().as_nanos() as u64);
+        }
     }
 
     /// Claims and executes tasks until nothing is claimable, splitting each

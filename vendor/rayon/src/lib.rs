@@ -49,7 +49,7 @@ pub use iter::{
     IndexedParallelIterator, IntoParallelIterator, IntoParallelRefIterator, ParChunks, ParMap,
     ParSliceIter, ParVecIter, ParallelIterator, ParallelSlice,
 };
-pub use metrics::{pool_metrics, PoolMetrics};
+pub use metrics::{pool_metrics, PoolMetrics, QUEUE_WAIT_BOUNDS_NS};
 pub use pool::{current_num_threads, join, join_owned, NUM_THREADS_ENV};
 
 /// Rayon-style prelude: import the traits to get `par_iter` on slices,

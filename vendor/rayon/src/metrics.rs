@@ -1,15 +1,21 @@
-//! Pool-level scheduling metrics: tasks executed and ranges stolen, per
-//! helper slot.
+//! Pool-level scheduling metrics: tasks executed and ranges stolen per
+//! helper slot, plus a queue-wait histogram.
 //!
 //! The counters are process-global and monotonically increasing, shared by
 //! the persistent pool and the scoped executor (both schedule through
 //! [`crate::deque::Scheduler`], which records into them).  A caller that
 //! wants per-phase attribution snapshots [`pool_metrics`] before and after
-//! the phase and diffs the two with [`PoolMetrics::since`] — that is how
-//! the EasyACIM explorers attribute pool work to one exploration run.
+//! the phase and diffs the two with [`PoolMetrics::delta_since`] — that is
+//! how the EasyACIM explorers attribute pool work to one exploration run.
 //! When several jobs run concurrently their work lands in the same
 //! counters, so concurrent deltas attribute the *process's* work during
 //! the window, not one job's alone.
+//!
+//! Queue wait is measured per *job*: the interval from scheduler creation
+//! (which happens just before the job is enqueued) to the first claimed
+//! range.  The waits land in log-spaced nanosecond buckets
+//! ([`QUEUE_WAIT_BOUNDS_NS`]) so a telemetry layer can export them as a
+//! latency histogram without this crate growing any dependency.
 //!
 //! Slot numbering follows the scheduler: slot 0 is always the submitting
 //! thread, slots `1..` are helpers (persistent workers or scoped threads).
@@ -18,10 +24,28 @@ use crate::pool::current_num_threads;
 use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::OnceLock;
 
-/// Per-slot counters, sized to [`current_num_threads`] on first use.
+/// Upper bounds (inclusive, nanoseconds) of the queue-wait buckets:
+/// powers of two from 1 µs to ~0.5 s.  Waits above the last bound land in
+/// an implicit overflow bucket.
+pub const QUEUE_WAIT_BOUNDS_NS: [u64; 20] = {
+    let mut bounds = [0u64; 20];
+    let mut i = 0;
+    while i < 20 {
+        bounds[i] = 1_000u64 << i;
+        i += 1;
+    }
+    bounds
+};
+
+/// Per-slot counters, sized to [`current_num_threads`] on first use, plus
+/// the process-global queue-wait buckets.
 struct SlotCounters {
     tasks: Vec<AtomicU64>,
     steals: Vec<AtomicU64>,
+    /// One bucket per bound plus overflow; indexed like the bounds.
+    queue_wait_buckets: Vec<AtomicU64>,
+    queue_wait_sum_ns: AtomicU64,
+    queue_wait_count: AtomicU64,
 }
 
 fn counters() -> &'static SlotCounters {
@@ -31,6 +55,11 @@ fn counters() -> &'static SlotCounters {
         SlotCounters {
             tasks: (0..slots).map(|_| AtomicU64::new(0)).collect(),
             steals: (0..slots).map(|_| AtomicU64::new(0)).collect(),
+            queue_wait_buckets: (0..QUEUE_WAIT_BOUNDS_NS.len() + 1)
+                .map(|_| AtomicU64::new(0))
+                .collect(),
+            queue_wait_sum_ns: AtomicU64::new(0),
+            queue_wait_count: AtomicU64::new(0),
         }
     })
 }
@@ -49,16 +78,37 @@ pub(crate) fn record_steal(slot: usize) {
     counters.steals[slot % counters.steals.len()].fetch_add(1, Ordering::Relaxed);
 }
 
+/// Records one job's queue wait: scheduler creation to first claim.
+pub(crate) fn record_queue_wait(wait_ns: u64) {
+    let counters = counters();
+    let idx = QUEUE_WAIT_BOUNDS_NS
+        .iter()
+        .position(|&b| wait_ns <= b)
+        .unwrap_or(QUEUE_WAIT_BOUNDS_NS.len());
+    counters.queue_wait_buckets[idx].fetch_add(1, Ordering::Relaxed);
+    counters
+        .queue_wait_sum_ns
+        .fetch_add(wait_ns, Ordering::Relaxed);
+    counters.queue_wait_count.fetch_add(1, Ordering::Relaxed);
+}
+
 /// A snapshot of the process-global scheduling counters.
 ///
 /// Obtain one with [`pool_metrics`]; subtract an earlier snapshot with
-/// [`PoolMetrics::since`] to attribute work to a phase.
+/// [`PoolMetrics::delta_since`] to attribute work to a phase.
 #[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub struct PoolMetrics {
     /// Leaf tasks executed, per helper slot (slot 0 = submitting thread).
     pub tasks_per_slot: Vec<u64>,
     /// Ranges claimed by stealing from another slot's deque, per thief.
     pub steals_per_slot: Vec<u64>,
+    /// Queue-wait histogram counts, one per [`QUEUE_WAIT_BOUNDS_NS`] bound
+    /// plus a trailing overflow bucket.
+    pub queue_wait_bucket_counts: Vec<u64>,
+    /// Sum of all recorded queue waits, nanoseconds.
+    pub queue_wait_sum_ns: u64,
+    /// Number of jobs whose queue wait has been recorded.
+    pub queue_wait_count: u64,
 }
 
 impl PoolMetrics {
@@ -72,10 +122,10 @@ impl PoolMetrics {
         self.steals_per_slot.iter().sum()
     }
 
-    /// The per-slot difference `self - earlier` (saturating, so a stale or
-    /// foreign snapshot can never produce an underflow).
-    pub fn since(&self, earlier: &PoolMetrics) -> PoolMetrics {
-        let diff = |now: &[u64], then: &[u64]| {
+    /// The difference `self - earlier` (saturating per entry, so a stale
+    /// or foreign snapshot can never produce an underflow).
+    pub fn delta_since(&self, earlier: &PoolMetrics) -> PoolMetrics {
+        let diff = |now: &[u64], then: &[u64]| -> Vec<u64> {
             now.iter()
                 .enumerate()
                 .map(|(i, &v)| v.saturating_sub(then.get(i).copied().unwrap_or(0)))
@@ -84,25 +134,32 @@ impl PoolMetrics {
         PoolMetrics {
             tasks_per_slot: diff(&self.tasks_per_slot, &earlier.tasks_per_slot),
             steals_per_slot: diff(&self.steals_per_slot, &earlier.steals_per_slot),
+            queue_wait_bucket_counts: diff(
+                &self.queue_wait_bucket_counts,
+                &earlier.queue_wait_bucket_counts,
+            ),
+            queue_wait_sum_ns: self
+                .queue_wait_sum_ns
+                .saturating_sub(earlier.queue_wait_sum_ns),
+            queue_wait_count: self
+                .queue_wait_count
+                .saturating_sub(earlier.queue_wait_count),
         }
     }
 }
 
 /// Snapshots the process-global scheduling counters: leaf tasks executed
-/// and ranges stolen, per helper slot.
+/// and ranges stolen per helper slot, plus the queue-wait histogram.
 pub fn pool_metrics() -> PoolMetrics {
     let counters = counters();
+    let load =
+        |v: &[AtomicU64]| -> Vec<u64> { v.iter().map(|c| c.load(Ordering::Relaxed)).collect() };
     PoolMetrics {
-        tasks_per_slot: counters
-            .tasks
-            .iter()
-            .map(|c| c.load(Ordering::Relaxed))
-            .collect(),
-        steals_per_slot: counters
-            .steals
-            .iter()
-            .map(|c| c.load(Ordering::Relaxed))
-            .collect(),
+        tasks_per_slot: load(&counters.tasks),
+        steals_per_slot: load(&counters.steals),
+        queue_wait_bucket_counts: load(&counters.queue_wait_buckets),
+        queue_wait_sum_ns: counters.queue_wait_sum_ns.load(Ordering::Relaxed),
+        queue_wait_count: counters.queue_wait_count.load(Ordering::Relaxed),
     }
 }
 
@@ -115,31 +172,60 @@ mod tests {
         let a = pool_metrics();
         assert_eq!(a.tasks_per_slot.len(), current_num_threads().max(1));
         assert_eq!(a.steals_per_slot.len(), a.tasks_per_slot.len());
+        assert_eq!(
+            a.queue_wait_bucket_counts.len(),
+            QUEUE_WAIT_BOUNDS_NS.len() + 1
+        );
         record_tasks(0, 3);
         record_steal(1);
+        record_queue_wait(1_500);
         let b = pool_metrics();
         assert!(b.tasks_executed() >= a.tasks_executed() + 3);
         assert!(b.steals() > a.steals());
-        let delta = b.since(&a);
+        assert!(b.queue_wait_count > a.queue_wait_count);
+        let delta = b.delta_since(&a);
         assert!(delta.tasks_executed() >= 3);
         assert!(delta.steals() >= 1);
+        assert!(delta.queue_wait_count >= 1);
+        assert!(delta.queue_wait_sum_ns >= 1_500);
     }
 
     #[test]
-    fn since_saturates_against_foreign_snapshots() {
+    fn delta_since_saturates_against_foreign_snapshots() {
         let now = PoolMetrics {
             tasks_per_slot: vec![1, 2],
             steals_per_slot: vec![0, 0],
+            ..PoolMetrics::default()
         };
         let future = PoolMetrics {
             tasks_per_slot: vec![10, 20, 30],
             steals_per_slot: vec![5, 5, 5],
+            queue_wait_sum_ns: 100,
+            queue_wait_count: 2,
+            ..PoolMetrics::default()
         };
-        let delta = now.since(&future);
+        let delta = now.delta_since(&future);
         assert_eq!(delta.tasks_executed(), 0);
         assert_eq!(delta.steals(), 0);
+        assert_eq!(delta.queue_wait_count, 0);
         // Shorter "earlier" vectors are treated as zero.
-        let delta = future.since(&now);
+        let delta = future.delta_since(&now);
         assert_eq!(delta.tasks_per_slot, vec![9, 18, 30]);
+        assert_eq!(delta.queue_wait_count, 2);
+    }
+
+    #[test]
+    fn queue_wait_bounds_are_log_spaced_and_waits_bucket_correctly() {
+        for pair in QUEUE_WAIT_BOUNDS_NS.windows(2) {
+            assert_eq!(pair[1], pair[0] * 2);
+        }
+        assert_eq!(QUEUE_WAIT_BOUNDS_NS[0], 1_000);
+        let before = pool_metrics();
+        record_queue_wait(500); // first bucket (<= 1 µs)
+        record_queue_wait(u64::MAX); // overflow bucket
+        let delta = pool_metrics().delta_since(&before);
+        assert!(delta.queue_wait_bucket_counts[0] >= 1);
+        assert!(*delta.queue_wait_bucket_counts.last().unwrap() >= 1);
+        assert!(delta.queue_wait_count >= 2);
     }
 }
