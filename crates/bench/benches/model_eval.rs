@@ -2,23 +2,71 @@
 //!
 //! The estimation model is evaluated tens of thousands of times per
 //! exploration run, so its per-call cost is what makes the "agile" DSE
-//! agile; this bench tracks it for both the simplified and the detailed SNR
-//! path.
+//! agile; this bench tracks it for the scalar facade, the hoisted
+//! invariants path, the SoA batch kernel and the detailed SNR model.
+//!
+//! Every sample times a block of [`EVALS_PER_SAMPLE`] evaluations and
+//! reports the mean per-evaluation duration, so the ~20 ns `Instant`
+//! round-trip is amortised to noise instead of dominating a ~100 ns
+//! workload.
+
+use std::hint::black_box;
+use std::time::Instant;
 
 use acim_arch::AcimSpec;
-use acim_model::{evaluate, snr_detailed_db, ModelParams};
+use acim_model::{evaluate, snr_detailed_db, ModelInvariants, ModelParams, SpecBatch};
 use criterion::{criterion_group, criterion_main, Criterion};
-use std::hint::black_box;
+
+/// Evaluations timed per sample; reported medians are per-evaluation.
+const EVALS_PER_SAMPLE: u32 = 256;
 
 fn model_eval(c: &mut Criterion) {
     let params = ModelParams::s28_default();
     let spec = AcimSpec::from_dimensions(128, 128, 8, 3).expect("valid spec");
 
     c.bench_function("model_eval/four_objectives", |b| {
-        b.iter(|| black_box(evaluate(black_box(&spec), &params).expect("evaluates")))
+        b.iter_custom(|_| {
+            let start = Instant::now();
+            for _ in 0..EVALS_PER_SAMPLE {
+                black_box(evaluate(black_box(&spec), &params).expect("evaluates"));
+            }
+            start.elapsed() / EVALS_PER_SAMPLE
+        })
     });
+
+    let invariants = ModelInvariants::new(&params).expect("valid params");
+    c.bench_function("model_eval/invariants_eval", |b| {
+        b.iter_custom(|_| {
+            let start = Instant::now();
+            for _ in 0..EVALS_PER_SAMPLE {
+                black_box(invariants.evaluate_spec(black_box(&spec)));
+            }
+            start.elapsed() / EVALS_PER_SAMPLE
+        })
+    });
+
+    let mut batch = SpecBatch::with_capacity(EVALS_PER_SAMPLE as usize);
+    for _ in 0..EVALS_PER_SAMPLE {
+        batch.push_spec(&spec);
+    }
+    let mut out = Vec::with_capacity(EVALS_PER_SAMPLE as usize);
+    c.bench_function("model_eval/batch_soa", |b| {
+        b.iter_custom(|_| {
+            let start = Instant::now();
+            invariants.evaluate_batch(black_box(&batch), &mut out);
+            black_box(&out);
+            start.elapsed() / EVALS_PER_SAMPLE
+        })
+    });
+
     c.bench_function("model_eval/detailed_snr", |b| {
-        b.iter(|| black_box(snr_detailed_db(black_box(&spec), &params).expect("evaluates")))
+        b.iter_custom(|_| {
+            let start = Instant::now();
+            for _ in 0..EVALS_PER_SAMPLE {
+                black_box(snr_detailed_db(black_box(&spec), &params).expect("evaluates"));
+            }
+            start.elapsed() / EVALS_PER_SAMPLE
+        })
     });
 }
 

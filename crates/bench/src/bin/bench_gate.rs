@@ -22,14 +22,15 @@
 //! parallel path, a quadratic loop), not single-digit noise.
 
 use acim_bench::gate::{
-    check_ratio, compare, parse_baseline, parse_fresh, parse_ratio_spec, Baseline, RatioCheck,
-    RatioVerdict, Verdict,
+    check_ratio, compare, parse_baseline, parse_fresh, parse_ratio_spec, render_report, Baseline,
+    RatioCheck, RatioVerdict, Verdict,
 };
 
 fn usage() -> ! {
     eprintln!(
         "usage: bench_gate --fresh <jsonl> --baseline <json> [--baseline <json> ...] \
-         [--tolerance <multiplier>] [--max-ratio <numerator>:<denominator>:<max> ...]"
+         [--tolerance <multiplier>] [--max-ratio <numerator>:<denominator>:<max> ...] \
+         [--report <json>]"
     );
     std::process::exit(2);
 }
@@ -39,12 +40,14 @@ fn main() {
     let mut baseline_paths: Vec<String> = Vec::new();
     let mut tolerance: Option<f64> = None;
     let mut ratio_checks: Vec<RatioCheck> = Vec::new();
+    let mut report_path: Option<String> = None;
 
     let mut args = std::env::args().skip(1);
     while let Some(flag) = args.next() {
         match flag.as_str() {
             "--fresh" => fresh_path = Some(args.next().unwrap_or_else(|| usage())),
             "--baseline" => baseline_paths.push(args.next().unwrap_or_else(|| usage())),
+            "--report" => report_path = Some(args.next().unwrap_or_else(|| usage())),
             "--tolerance" => {
                 tolerance = Some(
                     args.next()
@@ -111,6 +114,14 @@ fn main() {
     }
 
     let rows = compare(&baselines, &fresh, tolerance);
+    // Write the artifact before the pass/fail verdict: a failed gate's
+    // report is exactly the one worth inspecting.
+    if let Some(path) = &report_path {
+        if let Err(error) = std::fs::write(path, render_report(&rows, tolerance)) {
+            eprintln!("bench_gate: cannot write report {path}: {error}");
+            std::process::exit(2);
+        }
+    }
     println!(
         "bench-regression gate (tolerance {tolerance:.1}x, {} fresh medians)",
         fresh.len()

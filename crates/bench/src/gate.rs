@@ -228,6 +228,44 @@ pub fn check_ratio(check: &RatioCheck, fresh: &[(String, f64)]) -> RatioVerdict 
     }
 }
 
+/// Serialises the gate outcome as a machine-readable JSON report (the CI
+/// artifact): one object per compared benchmark carrying both the
+/// fresh-to-baseline ratio (`> 1` is slower) and its inverse, the
+/// `speedup` (`> 1` is faster), so a PR's perf effect is readable from
+/// the artifact without re-running the benches.  Missing fresh medians
+/// serialise as `null`.
+pub fn render_report(rows: &[GateRow], tolerance: f64) -> String {
+    let mut out = String::from("{\n");
+    out.push_str(&format!("  \"tolerance\": {tolerance},\n"));
+    out.push_str("  \"benches\": [\n");
+    for (index, row) in rows.iter().enumerate() {
+        let fresh = row
+            .fresh_ns
+            .map_or_else(|| "null".to_string(), |ns| format!("{ns}"));
+        let ratio = row
+            .ratio()
+            .map_or_else(|| "null".to_string(), |r| format!("{r:.4}"));
+        let speedup = match row.ratio() {
+            Some(r) if r > 0.0 => format!("{:.4}", 1.0 / r),
+            _ => "null".to_string(),
+        };
+        let verdict = match row.verdict {
+            Verdict::Pass => "pass",
+            Verdict::Regressed => "regressed",
+            Verdict::Missing => "missing",
+        };
+        out.push_str(&format!(
+            "    {{\"id\": \"{}\", \"baseline_ns\": {}, \"fresh_ns\": {fresh}, \
+             \"ratio\": {ratio}, \"speedup\": {speedup}, \"verdict\": \"{verdict}\"}}{}\n",
+            row.id,
+            row.baseline_ns,
+            if index + 1 == rows.len() { "" } else { "," }
+        ));
+    }
+    out.push_str("  ]\n}\n");
+    out
+}
+
 /// Compares fresh medians against every baseline entry.  Each baseline key
 /// is looked up as `"<bench>/<key>"` in the fresh results; a missing fresh
 /// entry is a failure (the bench silently stopped running), as is a fresh
@@ -384,6 +422,38 @@ garbage line without fields\n\
     }
 
     #[test]
+    fn report_serialises_rows_with_ratio_and_speedup() {
+        let rows = vec![
+            GateRow {
+                id: "model_eval/four_objectives".into(),
+                baseline_ns: 100.0,
+                fresh_ns: Some(50.0),
+                verdict: Verdict::Pass,
+            },
+            GateRow {
+                id: "g/gone".into(),
+                baseline_ns: 10.0,
+                fresh_ns: None,
+                verdict: Verdict::Missing,
+            },
+        ];
+        let report = render_report(&rows, 4.0);
+        assert!(report.contains("\"tolerance\": 4"));
+        assert!(report.contains(
+            "{\"id\": \"model_eval/four_objectives\", \"baseline_ns\": 100, \
+             \"fresh_ns\": 50, \"ratio\": 0.5000, \"speedup\": 2.0000, \"verdict\": \"pass\"},"
+        ));
+        assert!(report.contains(
+            "{\"id\": \"g/gone\", \"baseline_ns\": 10, \"fresh_ns\": null, \
+             \"ratio\": null, \"speedup\": null, \"verdict\": \"missing\"}"
+        ));
+        // The report must itself round-trip through the fresh-lines parser
+        // (it carries "id"/fresh medians in the same key style).
+        let parsed = parse_fresh(&report);
+        assert_eq!(parsed.len(), 0, "report lines are not bench JSONL");
+    }
+
+    #[test]
     fn checked_in_baselines_parse() {
         // The real files CI feeds to the gate must stay parseable.
         for path in [
@@ -394,6 +464,10 @@ garbage line without fields\n\
             concat!(
                 env!("CARGO_MANIFEST_DIR"),
                 "/benches/chip_eval_baseline.json"
+            ),
+            concat!(
+                env!("CARGO_MANIFEST_DIR"),
+                "/benches/model_eval_baseline.json"
             ),
             concat!(env!("CARGO_MANIFEST_DIR"), "/benches/steal_baseline.json"),
             concat!(

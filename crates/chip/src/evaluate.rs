@@ -20,7 +20,7 @@ use std::collections::HashMap;
 use std::fmt;
 
 use acim_arch::AcimSpec;
-use acim_model::{evaluate as evaluate_macro, throughput::cycle_time_ns, ModelParams, SpecKey};
+use acim_model::{ModelInvariants, ModelParams, SpecKey};
 use acim_moga::CacheStats;
 use rayon::prelude::*;
 
@@ -131,15 +131,22 @@ pub struct ChipMetrics {
 }
 
 impl ChipMetrics {
-    /// Objective vector in the minimisation form matching the macro-level
+    /// Objectives in the minimisation form matching the macro-level
     /// Equation 12 ordering: `[−accuracy, −throughput, energy, area]`.
-    pub fn objective_vector(&self) -> Vec<f64> {
-        vec![
+    /// Fixed-arity and allocation-free; the hot evaluation paths use this
+    /// directly.
+    pub fn objective_array(&self) -> [f64; 4] {
+        [
             -self.accuracy_db,
             -self.throughput_tops,
             self.energy_per_inference_pj,
             self.area_mf2,
         ]
+    }
+
+    /// [`Self::objective_array`] as an owned `Vec` (reporting paths).
+    pub fn objective_vector(&self) -> Vec<f64> {
+        self.objective_array().to_vec()
     }
 }
 
@@ -165,9 +172,11 @@ impl ChipMetrics {
 pub struct ChipEvaluator {
     params: ModelParams,
     cost: ChipCostParams,
-    // Clones (the batch path clones the evaluator into the worker pool)
-    // share the client's counters, so one request's attribution survives
-    // the fan-out.
+    // Per-ModelParams quantities of the macro estimation model, hoisted
+    // once at construction; macro derivations are pure arithmetic.
+    invariants: ModelInvariants,
+    // Clones share the client's counters, so one request's attribution
+    // survives the batch fan-out.
     macro_client: MacroCacheClient,
 }
 
@@ -178,11 +187,12 @@ impl ChipEvaluator {
     ///
     /// Returns [`ChipError`] when either parameter set is invalid.
     pub fn new(params: ModelParams, cost: ChipCostParams) -> Result<Self, ChipError> {
-        params.validate()?;
+        let invariants = ModelInvariants::new(&params)?;
         cost.validate()?;
         Ok(Self {
             params,
             cost,
+            invariants,
             macro_client: MacroCacheClient::detached(),
         })
     }
@@ -240,8 +250,8 @@ impl ChipEvaluator {
     fn macro_metrics(&self, key: SpecKey, spec: &AcimSpec) -> Result<MacroMetrics, ChipError> {
         self.macro_client.get_or_derive(key, || {
             Ok(MacroMetrics {
-                design: evaluate_macro(spec, &self.params)?,
-                cycle_ns: cycle_time_ns(spec, &self.params),
+                design: self.invariants.evaluate_spec(spec),
+                cycle_ns: self.invariants.cycle_time_ns(spec.adc_bits()),
             })
         })
     }
@@ -358,7 +368,7 @@ impl ChipEvaluator {
 
     /// Total chip area in F²: macro arrays + buffer + routers + adders.
     /// The per-macro area comes from the already-derived metrics (the
-    /// estimation model computes it as part of [`evaluate_macro`], so no
+    /// estimation model computes it as part of the macro evaluation, so no
     /// re-derivation is needed); `area_f2_per_bit` already amortises the
     /// macro periphery.
     fn chip_area_f2(&self, chip: &ChipSpec, macro_metrics: &[MacroMetrics]) -> f64 {
@@ -475,24 +485,21 @@ impl ChipEvaluator {
     }
 
     /// Evaluates many chips at once (used by the DSE problem); one
-    /// work-stealing pool task **per chip**, so a large grid or deep
-    /// network on one chip does not stall the rest of the batch (each
-    /// chip's layers are still costed serially to avoid nested fan-out).
-    /// The owned iterator makes the job `'static` — it runs on the
-    /// persistent pool — at the cost of cloning the specs, evaluator and
-    /// network once per batch.  Deterministic in input order.
+    /// work-stealing task **per chip**, so a large grid or deep network on
+    /// one chip does not stall the rest of the batch (each chip's layers
+    /// are still costed serially to avoid nested fan-out).  The tasks
+    /// borrow the caller's slice in place on the scoped executor — no
+    /// per-batch clones of the specs, evaluator or network.  Deterministic
+    /// in input order.
     pub fn evaluate_batch(
         &self,
         chips: &[ChipSpec],
         network: &Network,
     ) -> Vec<Result<ChipMetrics, ChipError>> {
-        let evaluator = self.clone();
-        let network = network.clone();
         chips
-            .to_vec()
-            .into_par_iter()
+            .par_iter()
             .with_max_len(1)
-            .map(move |chip| evaluator.evaluate_serial(&chip, &network))
+            .map(|chip| self.evaluate_serial(chip, network))
             .collect()
     }
 }

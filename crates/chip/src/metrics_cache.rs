@@ -25,10 +25,8 @@
 //! tenant of a multi-tenant service costs its own request, never the
 //! shared store.
 
-use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
-
 use acim_model::{DesignMetrics, SpecKey};
-use acim_moga::{CacheCounters, CacheStats, ClockMap, TryInsert};
+use acim_moga::{CacheCounters, CacheStats, SharedCache, TryInsert};
 
 /// Everything the chip evaluator needs per macro, cached as one value:
 /// the closed-form design metrics and the macro cycle time.
@@ -52,7 +50,7 @@ pub struct MacroMetrics {
 /// mirroring the per-wrapper counters of `CachedProblem`.
 #[derive(Clone, Default)]
 pub struct MacroMetricsCache {
-    entries: Arc<Mutex<ClockMap<SpecKey, MacroMetrics>>>,
+    shared: SharedCache<SpecKey, MacroMetrics>,
 }
 
 impl MacroMetricsCache {
@@ -69,64 +67,57 @@ impl MacroMetricsCache {
     /// Panics when `capacity` is zero.
     pub fn bounded(capacity: usize) -> Self {
         Self {
-            entries: Arc::new(Mutex::new(ClockMap::bounded(capacity))),
+            shared: SharedCache::bounded(capacity),
         }
     }
 
     /// Number of distinct macros cached.
     pub fn len(&self) -> usize {
-        self.lock().len()
+        self.shared.len()
     }
 
     /// Returns `true` when nothing has been cached yet.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.shared.is_empty()
     }
 
     /// The capacity bound, `None` for unbounded caches.
     pub fn capacity(&self) -> Option<usize> {
-        self.lock().capacity()
+        self.shared.capacity()
     }
 
     /// Entries evicted since creation (or the last
     /// [`MacroMetricsCache::clear`]), summed over every handle.
     pub fn evictions(&self) -> u64 {
-        self.lock().evictions()
+        self.shared.evictions()
     }
 
     /// Looks up one macro (marking the entry recently used).
     pub fn get(&self, key: &SpecKey) -> Option<MacroMetrics> {
-        self.lock().get(key).copied()
+        self.shared.get(key)
     }
 
     /// Inserts one macro's metrics, reporting whether an existing entry
     /// was evicted to make room.
     pub fn insert(&self, key: SpecKey, metrics: MacroMetrics) -> bool {
-        self.lock().insert(key, metrics)
+        self.shared.insert(key, metrics)
     }
 
     /// Inserts only when the key is absent (an existing entry is kept and
     /// marked recently used) — the primitive behind
     /// [`MacroCacheClient::get_or_derive`]'s race-tolerant attribution.
     pub fn try_insert(&self, key: SpecKey, metrics: MacroMetrics) -> TryInsert {
-        self.lock().try_insert(key, metrics)
+        self.shared.try_insert(key, metrics)
     }
 
     /// Removes every entry and resets the eviction counter.
     pub fn clear(&self) {
-        self.lock().clear();
+        self.shared.clear();
     }
 
     /// Returns `true` when `other` is a handle to the same underlying map.
     pub fn shares_entries_with(&self, other: &MacroMetricsCache) -> bool {
-        Arc::ptr_eq(&self.entries, &other.entries)
-    }
-
-    fn lock(&self) -> MutexGuard<'_, ClockMap<SpecKey, MacroMetrics>> {
-        // Poison tolerance: a tenant that panicked while holding the
-        // guard left the map consistent; recovering keeps one bad request
-        // from crashing every other tenant of the shared cache.
-        self.entries.lock().unwrap_or_else(PoisonError::into_inner)
+        self.shared.shares_entries_with(&other.shared)
     }
 }
 
@@ -305,7 +296,7 @@ mod tests {
         cache.insert(key, metrics);
         let poisoner = cache.clone();
         let result = std::panic::catch_unwind(std::panic::AssertUnwindSafe(move || {
-            let _guard = poisoner.lock();
+            let _guard = poisoner.shared.lock();
             panic!("tenant panicked while holding the cache lock");
         }));
         assert!(result.is_err());

@@ -427,14 +427,14 @@ impl ChipDesignProblem {
                     self.evaluator.evaluate_serial(&chip, &self.network)
                 };
                 match result {
-                    Ok(metrics) => Evaluation::unconstrained(metrics.objective_vector()),
+                    Ok(metrics) => Evaluation::unconstrained(metrics.objective_array()),
                     // Model failures are heavily infeasible rather than
                     // fatal, matching AcimDesignProblem.
-                    Err(_) => Evaluation::new(vec![f64::MAX; 4], 10.0),
+                    Err(_) => Evaluation::new([f64::MAX; 4], 10.0),
                 }
             }
-            Err(Some(violation)) => Evaluation::new(vec![f64::MAX; 4], violation),
-            Err(None) => Evaluation::new(vec![f64::MAX; 4], 10.0),
+            Err(Some(violation)) => Evaluation::new([f64::MAX; 4], violation),
+            Err(None) => Evaluation::new([f64::MAX; 4], 10.0),
         }
     }
 
@@ -512,24 +512,22 @@ impl Problem for ChipDesignProblem {
         self.evaluate_genome(genes, true)
     }
 
-    /// Population-parallel batch evaluation: one work-stealing pool task
-    /// **per genome** (`with_max_len(1)`), so a single deep heterogeneous
-    /// chip cannot stall a chunk of uniform ones — stealing rebalances the
+    /// Population-parallel batch evaluation: one work-stealing task **per
+    /// genome** (`with_max_len(1)`), so a single deep heterogeneous chip
+    /// cannot stall a chunk of uniform ones — stealing rebalances the
     /// skew that heterogeneous grids and variable layer counts produce.
     /// Within the batch each chip's layers are costed serially —
     /// parallelising across the population scales better than across a
     /// handful of layers, and nesting both would oversubscribe the cores.
-    /// The owned iterator makes the job `'static`, so it runs on the
-    /// persistent pool; the problem clone it needs is noise next to one
-    /// chip evaluation.  Order-preserving and bit-identical to the serial
-    /// map, so seeded chip explorations stay deterministic.
+    /// The tasks borrow the caller's genome slice in place on the scoped
+    /// executor, so the batch path clones neither the problem nor the
+    /// genomes.  Order-preserving and bit-identical to the serial map, so
+    /// seeded chip explorations stay deterministic.
     fn evaluate_batch(&self, genomes: &[Vec<f64>]) -> Vec<Evaluation> {
-        let problem = self.clone();
         genomes
-            .to_vec()
-            .into_par_iter()
+            .par_iter()
             .with_max_len(1)
-            .map(move |genes| problem.evaluate_genome(&genes, false))
+            .map(|genes| self.evaluate_genome(genes, false))
             .collect()
     }
 

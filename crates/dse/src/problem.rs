@@ -2,7 +2,7 @@
 
 use acim_arch::AcimSpec;
 use acim_chip::{MacroCacheClient, MacroMetrics, MacroMetricsCache};
-use acim_model::{evaluate, throughput::cycle_time_ns, DesignMetrics, ModelParams, SpecKey};
+use acim_model::{DesignMetrics, ModelInvariants, ModelParams, SpecBatch, SpecKey};
 use acim_moga::{CacheStats, Evaluation, Problem};
 use rayon::prelude::*;
 
@@ -23,9 +23,11 @@ use crate::solution::DesignPoint;
 pub struct AcimDesignProblem {
     encoding: DesignEncoding,
     params: ModelParams,
-    // Clones (the batch path clones the problem into pool workers) share
-    // the client's counters, so per-request attribution survives the
-    // fan-out.
+    // Every per-ModelParams quantity of Equations 7-11, hoisted once at
+    // construction so the per-genome path is pure arithmetic.
+    invariants: ModelInvariants,
+    // Clones share the client's counters, so per-request attribution
+    // survives the batch fan-out.
     macro_client: MacroCacheClient,
 }
 
@@ -42,11 +44,12 @@ impl AcimDesignProblem {
         max_height: usize,
         params: ModelParams,
     ) -> Result<Self, DseError> {
-        params.validate()?;
+        let invariants = ModelInvariants::new(&params)?;
         let encoding = DesignEncoding::new(array_size, min_height, max_height)?;
         Ok(Self {
             encoding,
             params,
+            invariants,
             macro_client: MacroCacheClient::detached(),
         })
     }
@@ -67,19 +70,21 @@ impl AcimDesignProblem {
     }
 
     /// Derives one spec's metrics, consulting the shared macro-metric
-    /// cache when one is installed.  Bit-identical either way.
+    /// cache when one is installed.  Both routes go through the hoisted
+    /// [`ModelInvariants`] kernel, which is bit-identical to the scalar
+    /// facade ([`acim_model::evaluate`]).
     fn spec_metrics(&self, spec: &AcimSpec) -> Result<DesignMetrics, acim_model::ModelError> {
         if self.macro_client.cache().is_none() {
-            return evaluate(spec, &self.params);
+            return Ok(self.invariants.evaluate_spec(spec));
         }
         self.macro_client
             .get_or_derive(SpecKey::of(spec), || {
                 Ok(MacroMetrics {
-                    design: evaluate(spec, &self.params)?,
+                    design: self.invariants.evaluate_spec(spec),
                     // The chip evaluator reads the cycle time from the
                     // same entry, so populate it here too: a macro
                     // session warms the chip sessions that follow it.
-                    cycle_ns: cycle_time_ns(spec, &self.params),
+                    cycle_ns: self.invariants.cycle_time_ns(spec.adc_bits()),
                 })
             })
             .map(|metrics| metrics.design)
@@ -125,31 +130,61 @@ impl Problem for AcimDesignProblem {
         let candidate = self.encoding.decode(genes);
         match candidate.into_spec(self.encoding.array_size()) {
             Ok(spec) => match self.spec_metrics(&spec) {
-                Ok(metrics) => Evaluation::unconstrained(metrics.objective_vector()),
+                Ok(metrics) => Evaluation::unconstrained(metrics.objective_array()),
                 // Model failures are treated as heavily infeasible rather
                 // than aborting the whole optimisation run.
-                Err(_) => Evaluation::new(vec![f64::MAX; 4], 10.0),
+                Err(_) => Evaluation::new([f64::MAX; 4], 10.0),
             },
-            Err(violation) => Evaluation::new(vec![f64::MAX; 4], violation),
+            Err(violation) => Evaluation::new([f64::MAX; 4], violation),
         }
     }
 
-    /// Population-parallel batch evaluation: one work-stealing pool task
-    /// **per genome** (`with_max_len(1)`), so a design that happens to be
-    /// expensive cannot stall a chunk of its cohort.  The owned iterator
-    /// makes the job `'static` — it runs on the persistent pool instead of
-    /// freshly spawned threads — at the cost of cloning the problem and the
-    /// genome vectors, which is noise next to evaluating them.  The
-    /// parallel `collect` preserves input order and every evaluation is a
-    /// pure function of its genome, so the result is bit-identical to the
-    /// serial map — seeded explorations stay deterministic.
+    /// Population-parallel batch evaluation, borrowed straight from the
+    /// caller's slice — the work-stealing tasks reference the genomes in
+    /// place (scoped executor), so the batch path allocates nothing per
+    /// genome.
+    ///
+    /// Without a macro-metric cache the genomes are decoded in parallel
+    /// (`with_max_len(1)`, so one slow decode cannot stall a chunk) and
+    /// every feasible spec then flows through the struct-of-arrays batch
+    /// kernel ([`ModelInvariants::evaluate_batch`]) in one pass.  With a
+    /// cache installed, each genome goes through [`Self::evaluate`] so
+    /// hit/miss attribution keeps working.  Both routes preserve input
+    /// order and are bit-identical to the serial map — seeded explorations
+    /// stay deterministic.
     fn evaluate_batch(&self, genomes: &[Vec<f64>]) -> Vec<Evaluation> {
-        let problem = self.clone();
-        genomes
-            .to_vec()
-            .into_par_iter()
+        if self.macro_client.cache().is_some() {
+            return genomes
+                .par_iter()
+                .with_max_len(1)
+                .map(|genes| self.evaluate(genes))
+                .collect();
+        }
+        let decoded: Vec<Result<AcimSpec, f64>> = genomes
+            .par_iter()
             .with_max_len(1)
-            .map(move |genes| problem.evaluate(&genes))
+            .map(|genes| {
+                self.encoding
+                    .decode(genes)
+                    .into_spec(self.encoding.array_size())
+            })
+            .collect();
+        let mut batch = SpecBatch::with_capacity(genomes.len());
+        for spec in decoded.iter().flatten() {
+            batch.push_spec(spec);
+        }
+        let mut metrics = Vec::with_capacity(batch.len());
+        self.invariants.evaluate_batch(&batch, &mut metrics);
+        let mut metrics = metrics.into_iter();
+        decoded
+            .into_iter()
+            .map(|result| match result {
+                Ok(_) => {
+                    let m = metrics.next().expect("one metric per feasible spec");
+                    Evaluation::unconstrained(m.objective_array())
+                }
+                Err(violation) => Evaluation::new([f64::MAX; 4], violation),
+            })
             .collect()
     }
 

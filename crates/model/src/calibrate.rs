@@ -16,6 +16,7 @@ use acim_arch::{measure_snr, AcimSpec, NoiseConfig};
 use acim_tech::Technology;
 
 use crate::error::ModelError;
+use crate::math::db;
 use crate::params::ModelParams;
 
 /// Outcome of a calibration fit.
@@ -68,8 +69,7 @@ pub fn calibrate_snr_offset(
             cycles,
             seed + i as u64,
         )?;
-        let structural =
-            6.0 * f64::from(spec.adc_bits()) - 10.0 * (spec.dot_product_length() as f64).log10();
+        let structural = 6.0 * f64::from(spec.adc_bits()) - db(spec.dot_product_length() as f64);
         offsets.push(m.snr_db - structural);
         structurals.push(structural);
         measured.push(m.snr_db);

@@ -43,7 +43,9 @@ pub mod area;
 pub mod calibrate;
 pub mod energy;
 pub mod error;
+pub mod kernel;
 pub mod key;
+pub mod math;
 pub mod objectives;
 pub mod params;
 pub mod snr;
@@ -53,6 +55,7 @@ pub use area::area_f2_per_bit;
 pub use calibrate::{calibrate_adc_energy, calibrate_snr_offset, CalibrationReport};
 pub use energy::{energy_per_mac_fj, tops_per_watt};
 pub use error::ModelError;
+pub use kernel::{evaluate_batch, ModelInvariants, SpecBatch};
 pub use key::SpecKey;
 pub use objectives::{evaluate, DesignMetrics};
 pub use params::{AreaParams, DataDistribution, ModelParams, SnrParams};

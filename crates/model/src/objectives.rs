@@ -10,12 +10,9 @@
 
 use acim_arch::AcimSpec;
 
-use crate::area::area_f2_per_bit;
-use crate::energy::{energy_per_mac_fj, tops_per_watt};
 use crate::error::ModelError;
+use crate::math::log10_int;
 use crate::params::ModelParams;
-use crate::snr::snr_simplified_db;
-use crate::throughput::throughput_tops;
 
 /// All estimated figures of merit for one design specification.
 #[derive(Debug, Clone, Copy, PartialEq)]
@@ -33,15 +30,27 @@ pub struct DesignMetrics {
 }
 
 impl DesignMetrics {
-    /// Objective vector in the minimisation form of Equation 12:
-    /// `[−SNR, −T, E, A]`.
-    pub fn objective_vector(&self) -> Vec<f64> {
-        vec![
+    /// Objective vector in the minimisation form of Equation 12 as a
+    /// fixed-arity array: `[−SNR, −T, E, A]`.
+    ///
+    /// This is the allocation-free form the evaluation hot paths use —
+    /// `acim_moga::Evaluation` stores up to four objectives inline, so an
+    /// `Evaluation::new(metrics.objective_array(), …)` round-trip never
+    /// touches the heap.
+    pub fn objective_array(&self) -> [f64; 4] {
+        [
             -self.snr_db,
             -self.throughput_tops,
             self.energy_per_mac_fj,
             self.area_f2_per_bit,
         ]
+    }
+
+    /// Objective vector in the minimisation form of Equation 12:
+    /// `[−SNR, −T, E, A]`.  Allocating convenience over
+    /// [`DesignMetrics::objective_array`].
+    pub fn objective_vector(&self) -> Vec<f64> {
+        self.objective_array().to_vec()
     }
 
     /// The (energy-efficiency, area) pair used by Figure 10, as a
@@ -53,16 +62,49 @@ impl DesignMetrics {
 
 /// Evaluates all four objectives for a specification.
 ///
+/// Each metric is the exact expression of its dedicated module
+/// ([`crate::snr::snr_simplified_db`], [`crate::throughput`],
+/// [`crate::energy`], [`crate::area`]) — but validation runs **once** and
+/// the Equation 8 energy is computed **once** (the facade functions would
+/// re-validate the parameter set per metric and derive `energy_per_mac`
+/// twice, for the energy and efficiency objectives).  The results are
+/// bit-identical to calling the facades independently.
+///
 /// # Errors
 ///
 /// Returns [`ModelError`] when the parameter set is invalid.
 pub fn evaluate(spec: &AcimSpec, params: &ModelParams) -> Result<DesignMetrics, ModelError> {
+    params.validate()?;
+
+    // Equation 11 (snr_simplified_db minus the re-validation).
+    let b = f64::from(spec.adc_bits());
+    let snr_db = 6.0 * b
+        - 10.0 * log10_int(spec.dot_product_length())
+        - 10.0 * (params.snr.k3 / params.snr.c_o.value()).log10()
+        + params.snr.k4;
+
+    // Equation 7 (validates the timing parameters).
+    let throughput_tops = params.timing.throughput_tops(spec)?;
+
+    // Equations 8–9, computed once (validates vdd and B_ADC); the
+    // efficiency is derived from the same value exactly as
+    // `EnergyModelParams::tops_per_watt` does.
+    let energy_per_mac_fj = params.energy.energy_per_mac(spec)?.value();
+    let tops_per_watt = 2.0 / energy_per_mac_fj * 1000.0;
+
+    // Equation 10 (area_f2_per_bit minus the re-validation).
+    let a = &params.area;
+    let l = spec.local_array() as f64;
+    let h = spec.height() as f64;
+    let area_f2_per_bit =
+        a.a_sram.value() + a.a_lc.value() / l + a.a_comp.value() / h + b * a.a_dff.value() / h;
+
     Ok(DesignMetrics {
-        snr_db: snr_simplified_db(spec, params)?,
-        throughput_tops: throughput_tops(spec, params)?,
-        energy_per_mac_fj: energy_per_mac_fj(spec, params)?,
-        tops_per_watt: tops_per_watt(spec, params)?,
-        area_f2_per_bit: area_f2_per_bit(spec, params)?,
+        snr_db,
+        throughput_tops,
+        energy_per_mac_fj,
+        tops_per_watt,
+        area_f2_per_bit,
     })
 }
 

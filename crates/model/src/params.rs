@@ -207,6 +207,24 @@ impl ModelParams {
     /// Returns [`ModelError::InvalidParameter`] when any physical parameter
     /// is non-positive.
     pub fn validate(&self) -> Result<(), ModelError> {
+        // Fast path: one fused pass over the eight positivity/finiteness
+        // checks.  Validation runs on every scalar evaluation, so the
+        // common all-valid case must not pay for error attribution; the
+        // named-diagnostic loop below only runs once something failed.
+        fn ok(value: f64) -> bool {
+            value > 0.0 && value.is_finite()
+        }
+        if ok(self.area.a_sram.value())
+            && ok(self.area.a_lc.value())
+            && ok(self.area.a_comp.value())
+            && ok(self.area.a_dff.value())
+            && ok(self.snr.k3)
+            && ok(self.snr.c_o.value())
+            && ok(self.kappa)
+            && ok(self.temperature_k)
+        {
+            return Ok(());
+        }
         let checks: [(&str, f64); 8] = [
             ("a_sram", self.area.a_sram.value()),
             ("a_lc", self.area.a_lc.value()),

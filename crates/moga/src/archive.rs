@@ -37,7 +37,8 @@ impl<T> ParetoArchive<T> {
     ///
     /// Duplicates (identical objective vectors) are rejected to keep the
     /// archive minimal.
-    pub fn insert(&mut self, objectives: Vec<f64>, payload: T) -> bool {
+    pub fn insert(&mut self, objectives: impl Into<Vec<f64>>, payload: T) -> bool {
+        let objectives = objectives.into();
         for entry in &self.entries {
             if dominates(&entry.objectives, &objectives) || entry.objectives == objectives {
                 return false;

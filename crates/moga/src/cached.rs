@@ -30,12 +30,13 @@
 //! each request still reports its own [`CacheStats`].
 
 use std::collections::HashMap;
-use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
+use std::sync::MutexGuard;
 
 use acim_telemetry::Counter;
 
 use crate::clock::ClockMap;
 use crate::problem::{Evaluation, Problem};
+use crate::shared_cache::SharedCache;
 
 /// Default genome quantum: far finer than any decode bucket used by the
 /// EasyACIM problems (whose coarsest axis splits `[0, 1]` into a handful of
@@ -162,14 +163,12 @@ impl std::fmt::Display for CacheStats {
 ///
 /// The store is shared by many tenants, and one tenant panicking (in a
 /// worker thread, or inside a [`CacheStore::get_or_insert_with`] closure)
-/// must not take the others down.  Every lock acquisition recovers the
-/// guard from a poisoned mutex: the map's state is consistent at every
-/// await-free step (the invariants are re-established before any call
-/// that could panic), so the poison flag carries no information worth
-/// crashing every other in-flight request over.
+/// must not take the others down.  The store is a thin newtype over the
+/// generic [`SharedCache`] core, which recovers the guard from a poisoned
+/// mutex on every lock acquisition — see [`SharedCache::lock`].
 #[derive(Clone, Default)]
 pub struct CacheStore {
-    entries: Arc<Mutex<ClockMap<Vec<i64>, Evaluation>>>,
+    shared: SharedCache<Vec<i64>, Evaluation>,
 }
 
 impl CacheStore {
@@ -186,34 +185,34 @@ impl CacheStore {
     /// Panics when `capacity` is zero.
     pub fn bounded(capacity: usize) -> Self {
         Self {
-            entries: Arc::new(Mutex::new(ClockMap::bounded(capacity))),
+            shared: SharedCache::bounded(capacity),
         }
     }
 
     /// Number of cached evaluations.
     pub fn len(&self) -> usize {
-        self.lock().len()
+        self.shared.len()
     }
 
     /// Returns `true` when nothing has been cached yet.
     pub fn is_empty(&self) -> bool {
-        self.len() == 0
+        self.shared.is_empty()
     }
 
     /// The capacity bound, `None` for unbounded stores.
     pub fn capacity(&self) -> Option<usize> {
-        self.lock().capacity()
+        self.shared.capacity()
     }
 
     /// Entries evicted from the store since creation (or the last
     /// [`CacheStore::clear`]), summed over every wrapper sharing it.
     pub fn evictions(&self) -> u64 {
-        self.lock().evictions()
+        self.shared.evictions()
     }
 
     /// Looks up one key (marking the entry recently used).
     pub fn get(&self, key: &[i64]) -> Option<Evaluation> {
-        self.lock().get(key).cloned()
+        self.shared.get(key)
     }
 
     /// Inserts one evaluation and reports whether the insert evicted an
@@ -221,7 +220,7 @@ impl CacheStore {
     /// is harmless as long as every writer derives evaluations
     /// deterministically from the key (the [`CachedProblem`] contract).
     pub fn insert(&self, key: Vec<i64>, evaluation: Evaluation) -> bool {
-        self.lock().insert(key, evaluation)
+        self.shared.insert(key, evaluation)
     }
 
     /// Returns the cached evaluation for `key`, computing and inserting it
@@ -241,31 +240,21 @@ impl CacheStore {
     where
         F: FnOnce() -> Evaluation,
     {
-        let mut entries = self.lock();
-        if let Some(eval) = entries.get(&key) {
-            return (eval.clone(), true);
-        }
-        let eval = compute();
-        entries.insert(key, eval.clone());
-        (eval, false)
+        self.shared.get_or_insert_with(key, compute)
     }
 
     /// Removes every entry and resets the eviction counter.
     pub fn clear(&self) {
-        self.lock().clear();
+        self.shared.clear();
     }
 
     /// Returns `true` when `other` is a handle to the same underlying map.
     pub fn shares_entries_with(&self, other: &CacheStore) -> bool {
-        Arc::ptr_eq(&self.entries, &other.entries)
+        self.shared.shares_entries_with(&other.shared)
     }
 
     fn lock(&self) -> MutexGuard<'_, ClockMap<Vec<i64>, Evaluation>> {
-        // Recover from poisoning instead of propagating it: a tenant that
-        // panicked while holding the guard left the map in a consistent
-        // state, and crashing every other request on a shared store would
-        // turn one bad job into a service outage.
-        self.entries.lock().unwrap_or_else(PoisonError::into_inner)
+        self.shared.lock()
     }
 }
 

@@ -1,6 +1,6 @@
 //! Population member representation.
 
-use crate::problem::Evaluation;
+use crate::problem::{Evaluation, ObjVec};
 
 /// One member of an NSGA-II population: a genome plus its evaluation and the
 /// bookkeeping used by non-dominated sorting (rank) and diversity
@@ -9,8 +9,9 @@ use crate::problem::Evaluation;
 pub struct Individual {
     /// Real-coded genome, every gene in `[0, 1]`.
     pub genes: Vec<f64>,
-    /// Objective values (all minimised).
-    pub objectives: Vec<f64>,
+    /// Objective values (all minimised), stored inline for the common
+    /// arities (see [`crate::problem::INLINE_OBJECTIVES`]).
+    pub objectives: ObjVec,
     /// Aggregate constraint violation (`0.0` = feasible).
     pub constraint_violation: f64,
     /// Non-domination rank (`0` = first/best front).  Assigned by

@@ -85,6 +85,7 @@ pub mod operators;
 pub mod problem;
 pub mod random_search;
 pub mod selection;
+pub mod shared_cache;
 
 pub use archive::ParetoArchive;
 pub use cached::{CacheCounters, CacheStats, CacheStore, CachedProblem};
@@ -95,5 +96,6 @@ pub use hypervolume::{hypervolume_2d, hypervolume_monte_carlo};
 pub use individual::Individual;
 pub use nsga2::{EvalStats, Nsga2, Nsga2Config, Nsga2Result, PoolStats};
 pub use operators::{polynomial_mutation, sbx_crossover};
-pub use problem::{Evaluation, Problem};
+pub use problem::{Evaluation, ObjVec, Problem};
 pub use random_search::random_search;
+pub use shared_cache::SharedCache;

@@ -183,7 +183,7 @@ impl Nsga2Result {
     pub fn pareto_objectives(&self) -> Vec<Vec<f64>> {
         self.pareto_front()
             .into_iter()
-            .map(|ind| ind.objectives.clone())
+            .map(|ind| ind.objectives.to_vec())
             .collect()
     }
 

@@ -1,5 +1,155 @@
 //! The [`Problem`] trait and evaluation result type.
 
+/// Objective counts up to this arity are stored inline in [`ObjVec`],
+/// without a heap allocation.
+///
+/// Four covers every problem in this workspace (the EasyACIM design
+/// problems minimise exactly four objectives: −SNR, −throughput, energy,
+/// area) with room for the common 2–3-objective benchmark problems.
+pub const INLINE_OBJECTIVES: usize = 4;
+
+/// A small-vector of objective values: up to [`INLINE_OBJECTIVES`] values
+/// inline, heap-spilled beyond that.
+///
+/// Objective vectors are created once per evaluation — millions of times
+/// per exploration — and are almost always tiny, so the historical
+/// `Vec<f64>` representation made every evaluation an allocation.
+/// `ObjVec` keeps the common case on the stack while staying
+/// drop-in-compatible: it dereferences to `&[f64]` (indexing, `len`,
+/// iteration, and `&ObjVec → &[f64]` coercion all work), converts from
+/// and into `Vec<f64>`, and compares against plain vectors and arrays.
+#[derive(Clone)]
+pub struct ObjVec(Repr);
+
+#[derive(Clone)]
+enum Repr {
+    Inline {
+        len: u8,
+        data: [f64; INLINE_OBJECTIVES],
+    },
+    Heap(Vec<f64>),
+}
+
+impl ObjVec {
+    /// The objective values as a slice.
+    pub fn as_slice(&self) -> &[f64] {
+        match &self.0 {
+            Repr::Inline { len, data } => &data[..usize::from(*len)],
+            Repr::Heap(values) => values,
+        }
+    }
+
+    /// The objective values as a mutable slice.
+    pub fn as_mut_slice(&mut self) -> &mut [f64] {
+        match &mut self.0 {
+            Repr::Inline { len, data } => &mut data[..usize::from(*len)],
+            Repr::Heap(values) => values,
+        }
+    }
+}
+
+impl std::ops::Deref for ObjVec {
+    type Target = [f64];
+    fn deref(&self) -> &[f64] {
+        self.as_slice()
+    }
+}
+
+impl std::ops::DerefMut for ObjVec {
+    fn deref_mut(&mut self) -> &mut [f64] {
+        self.as_mut_slice()
+    }
+}
+
+impl From<Vec<f64>> for ObjVec {
+    fn from(values: Vec<f64>) -> Self {
+        if values.len() <= INLINE_OBJECTIVES {
+            let mut data = [0.0; INLINE_OBJECTIVES];
+            data[..values.len()].copy_from_slice(&values);
+            Self(Repr::Inline {
+                len: values.len() as u8,
+                data,
+            })
+        } else {
+            Self(Repr::Heap(values))
+        }
+    }
+}
+
+impl From<&[f64]> for ObjVec {
+    fn from(values: &[f64]) -> Self {
+        if values.len() <= INLINE_OBJECTIVES {
+            let mut data = [0.0; INLINE_OBJECTIVES];
+            data[..values.len()].copy_from_slice(values);
+            Self(Repr::Inline {
+                len: values.len() as u8,
+                data,
+            })
+        } else {
+            Self(Repr::Heap(values.to_vec()))
+        }
+    }
+}
+
+impl<const N: usize> From<[f64; N]> for ObjVec {
+    fn from(values: [f64; N]) -> Self {
+        Self::from(values.as_slice())
+    }
+}
+
+impl From<ObjVec> for Vec<f64> {
+    fn from(objectives: ObjVec) -> Self {
+        match objectives.0 {
+            Repr::Inline { len, data } => data[..usize::from(len)].to_vec(),
+            Repr::Heap(values) => values,
+        }
+    }
+}
+
+impl FromIterator<f64> for ObjVec {
+    fn from_iter<I: IntoIterator<Item = f64>>(iter: I) -> Self {
+        Self::from(iter.into_iter().collect::<Vec<f64>>())
+    }
+}
+
+impl PartialEq for ObjVec {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<Vec<f64>> for ObjVec {
+    fn eq(&self, other: &Vec<f64>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<ObjVec> for Vec<f64> {
+    fn eq(&self, other: &ObjVec) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<[f64]> for ObjVec {
+    fn eq(&self, other: &[f64]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl<const N: usize> PartialEq<[f64; N]> for ObjVec {
+    fn eq(&self, other: &[f64; N]) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl std::fmt::Debug for ObjVec {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // Render as the slice regardless of representation: the repr is a
+        // storage detail, not part of the value.
+        std::fmt::Debug::fmt(self.as_slice(), f)
+    }
+}
+
 /// The result of evaluating a genome: objective values (all minimised) and an
 /// aggregate constraint violation.
 ///
@@ -9,8 +159,9 @@
 /// solutions the one with the smaller violation wins.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Evaluation {
-    /// Objective values, all to be minimised.
-    pub objectives: Vec<f64>,
+    /// Objective values, all to be minimised.  Stored inline (no heap
+    /// allocation) for up to [`INLINE_OBJECTIVES`] objectives.
+    pub objectives: ObjVec,
     /// Aggregate constraint violation (`0.0` = feasible).
     pub constraint_violation: f64,
 }
@@ -18,22 +169,26 @@ pub struct Evaluation {
 impl Evaluation {
     /// Creates an evaluation with an explicit constraint violation.
     ///
+    /// Accepts anything convertible into an [`ObjVec`]: a `Vec<f64>`, a
+    /// fixed-size array like `[f64; 4]` (the allocation-free path), or a
+    /// slice.
+    ///
     /// # Panics
     ///
     /// Panics if `constraint_violation` is negative or NaN.
-    pub fn new(objectives: Vec<f64>, constraint_violation: f64) -> Self {
+    pub fn new(objectives: impl Into<ObjVec>, constraint_violation: f64) -> Self {
         assert!(
             constraint_violation >= 0.0,
             "constraint violation must be non-negative, got {constraint_violation}"
         );
         Self {
-            objectives,
+            objectives: objectives.into(),
             constraint_violation,
         }
     }
 
     /// Creates a feasible (unconstrained) evaluation.
-    pub fn unconstrained(objectives: Vec<f64>) -> Self {
+    pub fn unconstrained(objectives: impl Into<ObjVec>) -> Self {
         Self::new(objectives, 0.0)
     }
 
