@@ -12,7 +12,7 @@
 
 use criterion::{black_box, criterion_group, criterion_main, Criterion};
 use easyacim::prelude::*;
-use easyacim::service::{ChipRequest, ExplorationRequest, ExplorationService};
+use easyacim::service::{ExplorationRequest, ExplorationService};
 
 fn chip_config() -> ChipFlowConfig {
     // A deep network (66 layers) over the full default grid catalogue, so
@@ -38,7 +38,7 @@ fn service_warm_vs_cold(c: &mut Criterion) {
             // A fresh service per iteration: empty caches, no session.
             let service = ExplorationService::new();
             let response = service
-                .run(ExplorationRequest::chip(black_box(chip_config())))
+                .run(ExplorationRequest::chip_space(black_box(chip_config())))
                 .unwrap();
             black_box(response.engine().evaluations)
         })
@@ -50,20 +50,16 @@ fn service_warm_vs_cold(c: &mut Criterion) {
     // all in the store and steady-state requests are answered from it.
     let service = ExplorationService::new();
     let session = service
-        .run(ExplorationRequest::chip(chip_config()))
+        .run(ExplorationRequest::chip_space(chip_config()))
         .unwrap()
         .into_chip()
         .unwrap()
         .session;
     group.bench_function("warm", |b| {
         b.iter(|| {
-            let request =
-                ChipRequest::new(black_box(chip_config())).with_warm_start(session.clone());
-            let response = service
-                .run(ExplorationRequest::Chip(request))
-                .unwrap()
-                .into_chip()
-                .unwrap();
+            let request = ExplorationRequest::chip_space(black_box(chip_config()))
+                .warm_start(session.clone());
+            let response = service.run(request).unwrap().into_chip().unwrap();
             black_box(response.result.engine.cache.hits)
         })
     });

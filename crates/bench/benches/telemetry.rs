@@ -63,12 +63,12 @@ fn telemetry(c: &mut Criterion) {
     // search.  These runs also warm both services' caches, so the timed
     // iterations below compare the steady state.
     let on = instrumented
-        .run(ExplorationRequest::chip(quick_chip_config()))
+        .run(ExplorationRequest::chip_space(quick_chip_config()))
         .unwrap()
         .into_chip()
         .unwrap();
     let off = uninstrumented
-        .run(ExplorationRequest::chip(quick_chip_config()))
+        .run(ExplorationRequest::chip_space(quick_chip_config()))
         .unwrap()
         .into_chip()
         .unwrap();
@@ -82,7 +82,7 @@ fn telemetry(c: &mut Criterion) {
     let timed_request = |service: &ExplorationService| {
         let start = Instant::now();
         let response = service
-            .run(ExplorationRequest::chip(quick_chip_config()))
+            .run(ExplorationRequest::chip_space(quick_chip_config()))
             .unwrap()
             .into_chip()
             .unwrap();

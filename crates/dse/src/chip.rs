@@ -21,6 +21,7 @@
 //! layers next to long-local-array macros for energy-tolerant ones.
 
 use std::fmt;
+use std::ops::ControlFlow;
 
 use acim_chip::{
     ChipCostParams, ChipError, ChipEvaluator, ChipMetrics, ChipSpec, MacroGrid, MacroMetricsCache,
@@ -28,7 +29,8 @@ use acim_chip::{
 };
 use acim_model::ModelParams;
 use acim_moga::{
-    CacheStats, CachedProblem, EvalStats, Evaluation, Nsga2, Nsga2Config, ParetoArchive, Problem,
+    CacheStats, CachedProblem, CancelToken, EvalStats, Evaluation, Nsga2, Nsga2Config,
+    ParetoArchive, Problem,
 };
 use rayon::prelude::*;
 
@@ -642,8 +644,10 @@ impl ChipExplorer {
     /// # Errors
     ///
     /// Returns [`DseError::EmptyDesignSpace`] when no feasible chip was
-    /// ever found, or [`DseError::InvalidConfig`] when a warm-start genome
-    /// does not match the problem's genome length.
+    /// ever found, [`DseError::InvalidConfig`] when a warm-start genome
+    /// does not match the problem's genome length, or
+    /// [`DseError::Cancelled`] / [`DseError::DeadlineExceeded`] when the
+    /// injected cancel token tripped before the run finished.
     pub fn explore_with<F>(
         &self,
         options: &ExploreOptions,
@@ -660,6 +664,9 @@ impl ChipExplorer {
                     genome.len()
                 )));
             }
+        }
+        if let Some(reason) = options.cancel.as_ref().and_then(CancelToken::status) {
+            return Err(DseError::from_cancel(reason, 0, self.config.generations));
         }
         let nsga_config = Nsga2Config {
             population_size: self.config.population_size,
@@ -708,7 +715,27 @@ impl ChipExplorer {
                     }
                 }
                 progress(generation);
+                // Cooperative cancellation at the generation boundary: the
+                // completed generation is archived and its cache fills are
+                // already shared, so an interrupted run's side effects are
+                // a clean prefix of an uninterrupted one.
+                match options.cancel.as_ref().map(CancelToken::is_triggered) {
+                    Some(true) => ControlFlow::Break(()),
+                    _ => ControlFlow::Continue(()),
+                }
             });
+        if result.generations < self.config.generations {
+            let reason = options
+                .cancel
+                .as_ref()
+                .and_then(CancelToken::status)
+                .expect("early NSGA-II stop without a tripped cancel token");
+            return Err(DseError::from_cancel(
+                reason,
+                result.generations,
+                self.config.generations,
+            ));
+        }
         for individual in &result.population {
             if individual.is_feasible() {
                 archive.insert(individual.objectives.clone(), individual.genes.clone());

@@ -5,6 +5,7 @@ use std::fmt;
 
 use acim_arch::ArchError;
 use acim_model::ModelError;
+use acim_moga::CancelReason;
 
 /// Errors produced by the design-space explorer.
 #[derive(Debug, Clone, PartialEq)]
@@ -21,6 +22,35 @@ pub enum DseError {
     Model(ModelError),
     /// An error bubbled up from the architecture crate.
     Arch(ArchError),
+    /// The run was cancelled (`CancelToken::cancel`) and stopped
+    /// cooperatively at a generation boundary, carrying its partial
+    /// progress.
+    Cancelled {
+        /// Generations fully executed before the run stopped.
+        completed: usize,
+        /// Generations the run was configured for.
+        total: usize,
+    },
+    /// The run's deadline expired before it finished; it stopped
+    /// cooperatively at a generation boundary, carrying its partial
+    /// progress.
+    DeadlineExceeded {
+        /// Generations fully executed before the run stopped.
+        completed: usize,
+        /// Generations the run was configured for.
+        total: usize,
+    },
+}
+
+impl DseError {
+    /// Maps a [`CancelReason`] to the matching error variant, tagging it
+    /// with the run's partial progress.
+    pub fn from_cancel(reason: CancelReason, completed: usize, total: usize) -> Self {
+        match reason {
+            CancelReason::Cancelled => DseError::Cancelled { completed, total },
+            CancelReason::DeadlineExceeded => DseError::DeadlineExceeded { completed, total },
+        }
+    }
 }
 
 impl fmt::Display for DseError {
@@ -35,6 +65,18 @@ impl fmt::Display for DseError {
             }
             DseError::Model(err) => write!(f, "estimation model error: {err}"),
             DseError::Arch(err) => write!(f, "architecture error: {err}"),
+            DseError::Cancelled { completed, total } => {
+                write!(
+                    f,
+                    "exploration cancelled after {completed}/{total} generations"
+                )
+            }
+            DseError::DeadlineExceeded { completed, total } => {
+                write!(
+                    f,
+                    "exploration deadline exceeded after {completed}/{total} generations"
+                )
+            }
         }
     }
 }
@@ -74,6 +116,28 @@ mod tests {
         assert!(DseError::EmptyDesignSpace { array_size: 77 }
             .to_string()
             .contains("77"));
+    }
+
+    #[test]
+    fn cancel_reasons_map_to_typed_variants_with_progress() {
+        let cancelled = DseError::from_cancel(CancelReason::Cancelled, 3, 10);
+        assert_eq!(
+            cancelled,
+            DseError::Cancelled {
+                completed: 3,
+                total: 10
+            }
+        );
+        assert!(cancelled.to_string().contains("3/10"));
+        let late = DseError::from_cancel(CancelReason::DeadlineExceeded, 9, 10);
+        assert_eq!(
+            late,
+            DseError::DeadlineExceeded {
+                completed: 9,
+                total: 10
+            }
+        );
+        assert!(late.to_string().contains("deadline"));
     }
 
     #[test]

@@ -10,10 +10,12 @@
 //! is bit-identical to what it produced before these injection points
 //! existed.
 
+use std::ops::ControlFlow;
+
 use acim_chip::MacroMetricsCache;
 use acim_model::ModelParams;
 use acim_moga::{
-    CacheStore, CachedProblem, EvalStats, Nsga2, Nsga2Config, ParetoArchive, PoolStats,
+    CacheStore, CachedProblem, CancelToken, EvalStats, Nsga2, Nsga2Config, ParetoArchive, PoolStats,
 };
 
 use crate::error::DseError;
@@ -47,6 +49,13 @@ pub struct ExploreOptions {
     /// into the run's archive, so the warm frontier can never be worse
     /// than the seeds it started from.
     pub warm_start: Vec<Vec<f64>>,
+    /// Cooperative cancellation handle, polled after every generation's
+    /// environmental selection.  When it trips, the run stops at that
+    /// generation boundary and returns [`DseError::Cancelled`] /
+    /// [`DseError::DeadlineExceeded`] carrying the partial progress.  A
+    /// token that never trips is unobservable: the run (RNG stream, cache
+    /// fills, frontier) is bit-identical to one without a token.
+    pub cancel: Option<CancelToken>,
 }
 
 impl ExploreOptions {
@@ -221,8 +230,10 @@ impl DesignSpaceExplorer {
     /// # Errors
     ///
     /// Returns [`DseError::EmptyDesignSpace`] when the optimiser never
-    /// found a feasible design, or [`DseError::InvalidConfig`] when a
-    /// warm-start genome does not match the problem's genome length.
+    /// found a feasible design, [`DseError::InvalidConfig`] when a
+    /// warm-start genome does not match the problem's genome length, or
+    /// [`DseError::Cancelled`] / [`DseError::DeadlineExceeded`] when the
+    /// injected [`CancelToken`] tripped before the run finished.
     pub fn explore_with<F>(
         &self,
         options: &ExploreOptions,
@@ -239,6 +250,11 @@ impl DesignSpaceExplorer {
                     genome.len()
                 )));
             }
+        }
+        // A token that tripped before any work ran: stop before the
+        // initial population is even evaluated.
+        if let Some(reason) = options.cancel.as_ref().and_then(CancelToken::status) {
+            return Err(DseError::from_cancel(reason, 0, self.config.generations));
         }
         let nsga_config = Nsga2Config {
             population_size: self.config.population_size,
@@ -288,7 +304,30 @@ impl DesignSpaceExplorer {
                     }
                 }
                 progress(generation);
+                // Cooperative cancellation: the completed generation is
+                // already archived and its cache fills are in the shared
+                // store, so stopping here leaves every shared structure in
+                // the exact state of an uninterrupted run's prefix.
+                match options.cancel.as_ref().map(CancelToken::is_triggered) {
+                    Some(true) => ControlFlow::Break(()),
+                    _ => ControlFlow::Continue(()),
+                }
             });
+        if result.generations < self.config.generations {
+            let reason = options
+                .cancel
+                .as_ref()
+                .and_then(CancelToken::status)
+                // The loop only breaks early when the token tripped; a
+                // token cannot un-trip (cancel is sticky, deadlines only
+                // move further into the past).
+                .expect("early NSGA-II stop without a tripped cancel token");
+            return Err(DseError::from_cancel(
+                reason,
+                result.generations,
+                self.config.generations,
+            ));
+        }
 
         // The final population may contain points the observer never saw at
         // an archive-worthy moment; fold it in too.
@@ -497,6 +536,98 @@ mod tests {
                 }),
                 "cold frontier point lost by the warm run"
             );
+        }
+    }
+
+    #[test]
+    fn cancel_token_stops_the_run_at_a_generation_boundary() {
+        use acim_moga::CancelToken;
+
+        let explorer = DesignSpaceExplorer::new(quick_config()).unwrap();
+        let token = CancelToken::new();
+        let options = ExploreOptions {
+            cancel: Some(token.clone()),
+            ..Default::default()
+        };
+        let mut seen = 0usize;
+        let err = explorer
+            .explore_with(&options, |generation| {
+                seen = generation + 1;
+                if generation == 4 {
+                    token.cancel();
+                }
+            })
+            .unwrap_err();
+        assert_eq!(
+            err,
+            DseError::Cancelled {
+                completed: 5,
+                total: 20
+            }
+        );
+        assert_eq!(seen, 5, "no generation ran after the cancel");
+    }
+
+    #[test]
+    fn pre_tripped_token_stops_before_any_evaluation() {
+        use acim_moga::{CacheStore, CancelToken};
+
+        let explorer = DesignSpaceExplorer::new(quick_config()).unwrap();
+        let token = CancelToken::new();
+        token.cancel();
+        let store = CacheStore::new();
+        let options = ExploreOptions {
+            cache: Some(store.clone()),
+            cancel: Some(token),
+            ..Default::default()
+        };
+        let err = explorer.explore_with(&options, |_| {}).unwrap_err();
+        assert_eq!(
+            err,
+            DseError::Cancelled {
+                completed: 0,
+                total: 20
+            }
+        );
+        assert_eq!(store.len(), 0, "no evaluation reached the shared store");
+    }
+
+    #[test]
+    fn expired_deadline_reports_deadline_exceeded() {
+        use acim_moga::CancelToken;
+        use std::time::{Duration, Instant};
+
+        let explorer = DesignSpaceExplorer::new(quick_config()).unwrap();
+        let options = ExploreOptions {
+            cancel: Some(CancelToken::with_deadline(
+                Instant::now() - Duration::from_millis(1),
+            )),
+            ..Default::default()
+        };
+        match explorer.explore_with(&options, |_| {}) {
+            Err(DseError::DeadlineExceeded { completed, total }) => {
+                assert_eq!(completed, 0);
+                assert_eq!(total, 20);
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn untripped_token_is_unobservable() {
+        use acim_moga::CancelToken;
+
+        let explorer = DesignSpaceExplorer::new(quick_config()).unwrap();
+        let plain = explorer.explore().unwrap();
+        let options = ExploreOptions {
+            cancel: Some(CancelToken::new()),
+            ..Default::default()
+        };
+        let with_token = explorer.explore_with(&options, |_| {}).unwrap();
+        assert_eq!(plain.len(), with_token.len());
+        for (a, b) in plain.iter().zip(with_token.iter()) {
+            assert_eq!(a.spec, b.spec);
+            assert_eq!(a.objective_vector(), b.objective_vector());
         }
     }
 

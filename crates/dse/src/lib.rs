@@ -58,7 +58,9 @@ pub mod problem;
 pub mod solution;
 pub mod sweep;
 
-pub use acim_moga::{CacheStats, CacheStore, CachedProblem, EvalStats, PoolStats};
+pub use acim_moga::{
+    CacheStats, CacheStore, CachedProblem, CancelReason, CancelToken, EvalStats, PoolStats,
+};
 pub use chip::{
     ChipDesignPoint, ChipDesignProblem, ChipDseConfig, ChipExplorer, ChipGenomeKeyer, ChipParetoSet,
 };

@@ -31,6 +31,25 @@ pub enum FlowError {
     Layout(LayoutError),
     /// An error from the chip-composition stage.
     Chip(ChipError),
+    /// The job was cancelled (`JobHandle::cancel` or a tripped
+    /// `CancelToken`) and stopped cooperatively at the next generation /
+    /// design boundary, carrying its partial progress.
+    Cancelled {
+        /// Work units fully completed before the job stopped (generations
+        /// for the exploration stages, designs for netlist/layout).
+        completed: usize,
+        /// Work units the interrupted stage was going to perform.
+        total: usize,
+    },
+    /// The job's deadline expired before it finished; it stopped
+    /// cooperatively at the next generation / design boundary, carrying
+    /// its partial progress.
+    DeadlineExceeded {
+        /// Work units fully completed before the job stopped.
+        completed: usize,
+        /// Work units the interrupted stage was going to perform.
+        total: usize,
+    },
 }
 
 impl fmt::Display for FlowError {
@@ -54,6 +73,15 @@ impl fmt::Display for FlowError {
             FlowError::Netlist(err) => write!(f, "netlist generation failed: {err}"),
             FlowError::Layout(err) => write!(f, "layout generation failed: {err}"),
             FlowError::Chip(err) => write!(f, "chip composition failed: {err}"),
+            FlowError::Cancelled { completed, total } => {
+                write!(f, "job cancelled after {completed}/{total} work units")
+            }
+            FlowError::DeadlineExceeded { completed, total } => {
+                write!(
+                    f,
+                    "job deadline exceeded after {completed}/{total} work units"
+                )
+            }
         }
     }
 }
@@ -72,7 +100,17 @@ impl Error for FlowError {
 
 impl From<DseError> for FlowError {
     fn from(err: DseError) -> Self {
-        FlowError::Dse(err)
+        match err {
+            // Cancellation surfaces as one typed variant regardless of
+            // which layer noticed the tripped token, so callers match on
+            // `FlowError::Cancelled` / `FlowError::DeadlineExceeded`
+            // instead of digging through stage-specific wrappers.
+            DseError::Cancelled { completed, total } => FlowError::Cancelled { completed, total },
+            DseError::DeadlineExceeded { completed, total } => {
+                FlowError::DeadlineExceeded { completed, total }
+            }
+            other => FlowError::Dse(other),
+        }
     }
 }
 
@@ -105,6 +143,36 @@ mod tests {
         assert!(FlowError::EmptyDistilledSet
             .to_string()
             .contains("distillation"));
+    }
+
+    #[test]
+    fn dse_cancellation_surfaces_as_the_flow_level_variant() {
+        let e: FlowError = DseError::Cancelled {
+            completed: 2,
+            total: 9,
+        }
+        .into();
+        assert_eq!(
+            e,
+            FlowError::Cancelled {
+                completed: 2,
+                total: 9
+            }
+        );
+        assert!(e.to_string().contains("2/9"));
+        let e: FlowError = DseError::DeadlineExceeded {
+            completed: 8,
+            total: 9,
+        }
+        .into();
+        assert_eq!(
+            e,
+            FlowError::DeadlineExceeded {
+                completed: 8,
+                total: 9
+            }
+        );
+        assert!(e.to_string().contains("deadline"));
     }
 
     #[test]

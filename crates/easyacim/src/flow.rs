@@ -80,6 +80,11 @@ pub struct FlowOptions {
     /// [`Instrumented`] adapter recording per-stage spans (parented under
     /// the context's parent span) and `stage_seconds` histograms.
     pub trace: Option<TraceContext>,
+    /// Cooperative cancellation for the netlist/layout tail stages,
+    /// polled before every design.  The exploration stages carry their
+    /// own token inside [`ExploreOptions::cancel`] (usually a clone of
+    /// this one), where it is polled at generation boundaries.
+    pub cancel: Option<acim_moga::CancelToken>,
 }
 
 impl std::fmt::Debug for FlowOptions {
@@ -89,6 +94,7 @@ impl std::fmt::Debug for FlowOptions {
             .field("chip", &self.chip)
             .field("observed", &self.observer.is_some())
             .field("traced", &self.trace.is_some())
+            .field("cancellable", &self.cancel.is_some())
             .finish()
     }
 }
@@ -164,6 +170,10 @@ impl TopFlowController {
                 explore = explore.with_observer(observer.clone());
                 netlist = netlist.with_observer(observer.clone());
                 layout = layout.with_observer(observer.clone());
+            }
+            if let Some(cancel) = &options.cancel {
+                netlist = netlist.with_cancel(cancel.clone());
+                layout = layout.with_cancel(cancel.clone());
             }
             let trace = options.trace.clone();
             Instrumented::new(explore, trace.clone())

@@ -26,9 +26,11 @@
 //!   (explore → distill → netlist → layout, plus the input-free chip
 //!   stage), chained with [`stage::Stage::then`],
 //! * [`service::ExplorationService`] is the **multi-tenant front door**:
-//!   it runs many concurrent exploration requests against shared
-//!   per-design-space evaluation caches and returns
-//!   [`service::SessionArchive`]s that warm-start follow-up requests,
+//!   a bounded, deadline-aware admission scheduler (fixed worker set,
+//!   priority queue, cooperative cancellation) runs many concurrent
+//!   exploration requests against shared per-design-space evaluation
+//!   caches and returns [`service::SessionArchive`]s that warm-start
+//!   follow-up requests,
 //! * the sub-crates are re-exported under [`prelude`] so downstream users
 //!   need a single dependency.
 //!
@@ -57,6 +59,7 @@ pub mod config;
 pub mod error;
 pub mod flow;
 pub mod report;
+mod sched;
 pub mod service;
 pub mod stage;
 
@@ -68,10 +71,15 @@ pub use report::{
     chip_frontier_table, chip_report, design_report, frontier_table, telemetry_section,
 };
 pub use service::{
-    ChipRequest, ExplorationRequest, ExplorationResponse, ExplorationService, JobHandle,
-    JobProgress, MacroRequest, ServiceConfig, SessionArchive,
+    ChipRequest, Deadline, ExplorationRequest, ExplorationResponse, ExplorationService, JobHandle,
+    JobProgress, MacroRequest, Priority, ServiceConfig, ServiceError, SessionArchive, SubmitError,
 };
 pub use stage::{Instrumented, ProgressObserver, Stage, StageProgress, TraceContext};
+
+// The cooperative-cancellation vocabulary of [`FlowOptions::cancel`] and
+// [`acim_dse::ExploreOptions::cancel`], re-exported so downstream users
+// can build and trip tokens without naming the MOGA crate.
+pub use acim_moga::{CancelReason, CancelToken};
 
 // The telemetry vocabulary of [`ExplorationService::telemetry`] and
 // [`FlowOptions::trace`], re-exported so downstream users can encode and
@@ -93,7 +101,8 @@ pub mod prelude {
     pub use acim_layout::{LayoutFlow, MacroLayout};
     pub use acim_model::{evaluate, DesignMetrics, ModelParams};
     pub use acim_moga::{
-        CacheStats, CacheStore, CachedProblem, EvalStats, Nsga2, Nsga2Config, PoolStats, Problem,
+        CacheStats, CacheStore, CachedProblem, CancelReason, CancelToken, EvalStats, Nsga2,
+        Nsga2Config, PoolStats, Problem,
     };
     pub use acim_netlist::{write_spice, NetlistGenerator};
     pub use acim_tech::Technology;
@@ -105,9 +114,10 @@ pub mod prelude {
     };
 
     pub use crate::{
-        ChipFlow, ChipFlowConfig, ChipFlowResult, ChipRequest, ExplorationRequest,
+        ChipFlow, ChipFlowConfig, ChipFlowResult, ChipRequest, Deadline, ExplorationRequest,
         ExplorationResponse, ExplorationService, FlowConfig, FlowOptions, FlowResult,
-        GeneratedDesign, Instrumented, JobHandle, JobProgress, MacroRequest, ServiceConfig,
-        SessionArchive, Stage, TopFlowController, TraceContext,
+        GeneratedDesign, Instrumented, JobHandle, JobProgress, MacroRequest, Priority,
+        ServiceConfig, ServiceError, SessionArchive, Stage, SubmitError, TopFlowController,
+        TraceContext,
     };
 }

@@ -2,8 +2,12 @@
 //!
 //! [`ExplorationService`] is the long-lived front door of the flow: it
 //! accepts many concurrent [`ExplorationRequest`]s (full macro flows or
-//! chip-composition runs), executes each on its own worker thread through
-//! the typed stages of [`crate::stage`], and owns one shared, concurrent
+//! chip-composition runs) through a **bounded, deadline-aware admission
+//! scheduler** — a fixed worker set sized off the shared evaluation
+//! pool's width drains a priority-ordered queue, so a burst of requests
+//! queues instead of spawning a thread herd, and a full queue rejects new
+//! work with backpressure ([`SubmitError::QueueFull`]) instead of
+//! accepting unbounded load.  The service owns one shared, concurrent
 //! evaluation cache **per design space** — so the second request over a
 //! space starts where the first left off instead of re-paying every
 //! objective evaluation.  Each finished request returns a
@@ -12,20 +16,33 @@
 //! population *and* the archive, so a warm run is provably no worse than
 //! the session it started from).
 //!
+//! Requests are built with the [`ExplorationRequest::macro_space`] /
+//! [`ExplorationRequest::chip_space`] builders, which attach scheduling
+//! class ([`Priority`]), an optional completion [`Deadline`], a
+//! warm-start session and a diagnostic label.  An admitted job is
+//! observed and controlled through its [`JobHandle`]: cooperative
+//! [`JobHandle::cancel`] (and deadline expiry) stops the job at its next
+//! generation / design boundary with a typed
+//! [`FlowError::Cancelled`] / [`FlowError::DeadlineExceeded`] carrying
+//! its partial progress.
+//!
 //! Sharing is safe because the caches are semantically lossless: entries
 //! are keyed by decode buckets, so a hit returns exactly the evaluation a
 //! cold run would recompute.  Concurrent requests therefore produce
 //! bit-identical frontiers to the same requests run serially — only the
-//! wall-clock and the hit/miss attribution change.
+//! wall-clock and the hit/miss attribution change.  Cancellation keeps
+//! that guarantee: an interrupted run's cache writes are a clean prefix
+//! of the uninterrupted run's, so surviving jobs still see exactly the
+//! entries a cold run would compute.
 //!
 //! # Example
 //!
 //! ```
-//! use easyacim::service::{ChipRequest, ExplorationRequest, ExplorationService};
+//! use easyacim::service::{ExplorationRequest, ExplorationService, Priority};
 //! use easyacim::ChipFlowConfig;
 //! use acim_chip::Network;
 //!
-//! # fn main() -> Result<(), easyacim::FlowError> {
+//! # fn main() -> Result<(), easyacim::ServiceError> {
 //! let mut config = ChipFlowConfig::for_network(Network::edge_cnn(1));
 //! config.dse.population_size = 16;
 //! config.dse.generations = 4;
@@ -33,17 +50,17 @@
 //!
 //! let service = ExplorationService::new();
 //! let first = service
-//!     .run(ExplorationRequest::Chip(ChipRequest::new(config.clone())))?
+//!     .run(ExplorationRequest::chip_space(config.clone()).label("cold"))?
 //!     .into_chip()
 //!     .expect("chip request yields a chip response");
 //!
 //! // Second request over the same space: answered from the shared cache,
-//! // warm-started from the first session's frontier.
-//! let request = ChipRequest::new(config).with_warm_start(first.session.clone());
-//! let second = service
-//!     .run(ExplorationRequest::Chip(request))?
-//!     .into_chip()
-//!     .unwrap();
+//! // warm-started from the first session's frontier, and admitted ahead
+//! // of any queued backlog.
+//! let request = ExplorationRequest::chip_space(config)
+//!     .warm_start(first.session.clone())
+//!     .priority(Priority::High);
+//! let second = service.run(request)?.into_chip().unwrap();
 //! assert!(second.result.engine.cache.hits > 0);
 //! # Ok(())
 //! # }
@@ -52,14 +69,14 @@
 use std::collections::HashMap;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
-use std::time::Instant;
+use std::time::{Duration, Instant};
 
 use acim_chip::MacroMetricsCache;
 use acim_dse::{
     CacheStore, ChipDseConfig, ChipExplorer, DesignSpaceExplorer, DseConfig, ExploreOptions,
 };
 use acim_model::ModelParams;
-use acim_moga::EvalStats;
+use acim_moga::{CancelReason, CancelToken, EvalStats};
 use acim_telemetry::{
     Counter, Gauge, Histogram, HistogramSnapshot, Registry, SpanId, SpanText, Telemetry,
     TelemetrySnapshot,
@@ -69,12 +86,15 @@ use crate::chip::{ChipFlowConfig, ChipFlowResult};
 use crate::config::FlowConfig;
 use crate::error::FlowError;
 use crate::flow::{FlowOptions, FlowResult, TopFlowController};
+use crate::sched::{AdmitError, JobSlot, Scheduler, Ticket};
 use crate::stage::{ProgressObserver, StageProgress, TraceContext};
+
+pub use crate::sched::{Deadline, Priority};
 
 /// A finished session's Pareto archive, re-encoded as genomes over its
 /// design space.  Feed it back into the next request over the **same**
-/// space via [`MacroRequest::with_warm_start`] /
-/// [`ChipRequest::with_warm_start`] to seed the initial population.
+/// space via [`ExplorationRequest::warm_start`] to seed the initial
+/// population.
 #[derive(Debug, Clone)]
 pub struct SessionArchive {
     space: String,
@@ -107,82 +127,145 @@ impl SessionArchive {
     }
 }
 
+/// The scheduling attributes of one request: priority class, optional
+/// completion deadline, diagnostic label.  Attached through the
+/// [`ExplorationRequest`] builder methods.
+#[derive(Debug, Clone, Default)]
+pub(crate) struct Admission {
+    pub(crate) priority: Priority,
+    pub(crate) deadline: Option<Deadline>,
+    pub(crate) label: Option<String>,
+}
+
 /// A full macro-flow request: exploration → distillation → netlist →
 /// layout (→ chip composition when the config carries a chip stage).
+/// Built through [`ExplorationRequest::macro_space`].
 #[derive(Debug, Clone)]
 pub struct MacroRequest {
     /// The flow configuration.
     pub config: FlowConfig,
     /// Optional warm-start session over the same macro design space.
     pub warm_start: Option<SessionArchive>,
+    pub(crate) admission: Admission,
 }
 
 impl MacroRequest {
-    /// Creates a cold request.
-    pub fn new(config: FlowConfig) -> Self {
+    pub(crate) fn new(config: FlowConfig) -> Self {
         Self {
             config,
             warm_start: None,
+            admission: Admission::default(),
         }
-    }
-
-    /// Warm-starts the request from a previous session's archive.
-    #[must_use]
-    pub fn with_warm_start(mut self, session: SessionArchive) -> Self {
-        self.warm_start = Some(session);
-        self
     }
 }
 
 /// A chip-composition request: multi-macro co-exploration (and optional
 /// behavioural validation) without the macro netlist/layout stages.
+/// Built through [`ExplorationRequest::chip_space`].
 #[derive(Debug, Clone)]
 pub struct ChipRequest {
     /// The chip-stage configuration.
     pub config: ChipFlowConfig,
     /// Optional warm-start session over the same chip design space.
     pub warm_start: Option<SessionArchive>,
+    pub(crate) admission: Admission,
 }
 
 impl ChipRequest {
-    /// Creates a cold request.
-    pub fn new(config: ChipFlowConfig) -> Self {
+    pub(crate) fn new(config: ChipFlowConfig) -> Self {
         Self {
             config,
             warm_start: None,
+            admission: Admission::default(),
         }
-    }
-
-    /// Warm-starts the request from a previous session's archive.
-    #[must_use]
-    pub fn with_warm_start(mut self, session: SessionArchive) -> Self {
-        self.warm_start = Some(session);
-        self
     }
 }
 
-/// One unit of work submitted to the service.
+/// One unit of work submitted to the service, built with
+/// [`ExplorationRequest::macro_space`] or
+/// [`ExplorationRequest::chip_space`] and refined with the chainable
+/// builder methods:
+///
+/// ```
+/// use easyacim::service::{Deadline, ExplorationRequest, Priority};
+/// use easyacim::FlowConfig;
+/// use std::time::Duration;
+///
+/// let request = ExplorationRequest::macro_space(FlowConfig::new(4 * 1024))
+///     .priority(Priority::High)
+///     .deadline(Deadline::within(Duration::from_secs(60)))
+///     .label("macro-4k-interactive");
+/// ```
 // A macro request (a whole `FlowConfig`) is naturally bigger than a chip
-// request; requests are moved once into a worker thread, so boxing the
+// request; requests are moved once into a scheduler worker, so boxing the
 // large variant would buy nothing and cost every caller a dereference.
 #[allow(clippy::large_enum_variant)]
 #[derive(Debug, Clone)]
 pub enum ExplorationRequest {
     /// A full macro flow ([`MacroRequest`]).
+    #[non_exhaustive]
     Macro(MacroRequest),
     /// A chip-composition run ([`ChipRequest`]).
+    #[non_exhaustive]
     Chip(ChipRequest),
 }
 
 impl ExplorationRequest {
-    /// Shorthand for a cold macro-flow request.
-    pub fn macro_flow(config: FlowConfig) -> Self {
+    /// A cold request over a macro design space: the full flow of
+    /// `config` (exploration → distillation → netlist → layout, plus the
+    /// chip stage when configured).
+    pub fn macro_space(config: FlowConfig) -> Self {
         Self::Macro(MacroRequest::new(config))
     }
 
-    /// Shorthand for a cold chip-composition request.
-    pub fn chip(config: ChipFlowConfig) -> Self {
+    /// A cold request over a chip design space: multi-macro
+    /// co-exploration without the macro netlist/layout stages.
+    pub fn chip_space(config: ChipFlowConfig) -> Self {
         Self::Chip(ChipRequest::new(config))
+    }
+
+    fn admission_mut(&mut self) -> &mut Admission {
+        match self {
+            ExplorationRequest::Macro(request) => &mut request.admission,
+            ExplorationRequest::Chip(request) => &mut request.admission,
+        }
+    }
+
+    /// Sets the scheduling class (default [`Priority::Normal`]): the
+    /// admission queue always dequeues higher priorities first.
+    #[must_use]
+    pub fn priority(mut self, priority: Priority) -> Self {
+        self.admission_mut().priority = priority;
+        self
+    }
+
+    /// Sets a completion deadline.  A job whose deadline passes stops
+    /// cooperatively at its next generation / design boundary and fails
+    /// with [`FlowError::DeadlineExceeded`]; queue wait counts against
+    /// the deadline.
+    #[must_use]
+    pub fn deadline(mut self, deadline: Deadline) -> Self {
+        self.admission_mut().deadline = Some(deadline);
+        self
+    }
+
+    /// Warm-starts the request from a previous session's archive over the
+    /// **same** design space.
+    #[must_use]
+    pub fn warm_start(mut self, session: SessionArchive) -> Self {
+        match &mut self {
+            ExplorationRequest::Macro(request) => request.warm_start = Some(session),
+            ExplorationRequest::Chip(request) => request.warm_start = Some(session),
+        }
+        self
+    }
+
+    /// Attaches a diagnostic label, carried on the [`JobHandle`] and the
+    /// request's root telemetry span.
+    #[must_use]
+    pub fn label(mut self, label: impl Into<String>) -> Self {
+        self.admission_mut().label = Some(label.into());
+        self
     }
 }
 
@@ -276,6 +359,20 @@ impl JobProgress {
         } else {
             (self.completed as f64 / self.total as f64).min(1.0)
         }
+    }
+}
+
+impl std::fmt::Display for JobProgress {
+    /// Renders `completed/total generations (NN%)` — e.g.
+    /// `12/40 generations (30%)`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "{}/{} generations ({:.0}%)",
+            self.completed,
+            self.total,
+            self.fraction() * 100.0
+        )
     }
 }
 
@@ -399,6 +496,10 @@ struct ServiceInstruments {
     chip_requests: KindInstruments,
     queue: Gauge,
     active: Gauge,
+    workers: Gauge,
+    rejected_full: Counter,
+    rejected_shutdown: Counter,
+    deadline_misses: Counter,
     explore_generation_seconds: Histogram,
     chip_generation_seconds: Histogram,
     cached_evaluations: Gauge,
@@ -430,6 +531,28 @@ impl ServiceInstruments {
             active: registry.gauge(
                 "service_active_jobs",
                 "Jobs currently executing on a worker thread.",
+                &[],
+            ),
+            workers: registry.gauge(
+                "service_worker_threads",
+                "Fixed worker-thread count of the admission scheduler \
+                 (the hard bound on service_active_jobs).",
+                &[],
+            ),
+            rejected_full: registry.counter(
+                "service_rejected_total",
+                "Submissions the admission scheduler rejected, per reason.",
+                &[("reason", "queue_full")],
+            ),
+            rejected_shutdown: registry.counter(
+                "service_rejected_total",
+                "Submissions the admission scheduler rejected, per reason.",
+                &[("reason", "shutting_down")],
+            ),
+            deadline_misses: registry.counter(
+                "service_deadline_misses_total",
+                "Jobs that failed with DeadlineExceeded (before or during \
+                 execution).",
                 &[],
             ),
             explore_generation_seconds: generation_seconds("explore"),
@@ -473,13 +596,16 @@ impl ServiceInstruments {
     }
 }
 
-/// A handle to one in-flight request: observe its progress, then
-/// [`JobHandle::join`] it for the response.
+/// A handle to one admitted request: observe its progress, cancel it
+/// cooperatively, then [`JobHandle::join`] it for the response.
 pub struct JobHandle {
     id: u64,
     space: String,
+    label: Option<String>,
+    priority: Priority,
+    cancel: CancelToken,
     progress: Arc<ProgressState>,
-    thread: std::thread::JoinHandle<Result<ExplorationResponse, FlowError>>,
+    slot: Arc<JobSlot<Result<ExplorationResponse, FlowError>>>,
 }
 
 impl JobHandle {
@@ -492,6 +618,26 @@ impl JobHandle {
     /// of the shared cache it reads and writes.
     pub fn space(&self) -> &str {
         &self.space
+    }
+
+    /// The diagnostic label attached at submission, if any.
+    pub fn label(&self) -> Option<&str> {
+        self.label.as_deref()
+    }
+
+    /// The scheduling class the job was admitted with.
+    pub fn priority(&self) -> Priority {
+        self.priority
+    }
+
+    /// Requests cooperative cancellation: the job stops at its next
+    /// generation / design boundary (within one generation of the
+    /// underlying explorations) and fails with [`FlowError::Cancelled`]
+    /// carrying its partial progress.  A job still queued fails the same
+    /// way without running; a job that already finished is unaffected.
+    /// Idempotent.
+    pub fn cancel(&self) {
+        self.cancel.cancel();
     }
 
     /// Snapshot of the job's progress (built on the per-generation
@@ -510,25 +656,54 @@ impl JobHandle {
         JobProgress { completed, total }
     }
 
-    /// Returns `true` once the worker thread has finished (successfully
-    /// or not); [`JobHandle::join`] will not block after this.
+    /// Returns `true` once the job has finished (successfully, with an
+    /// error, or by panicking); the join methods will not block after
+    /// this.
     pub fn is_finished(&self) -> bool {
-        self.thread.is_finished()
+        self.slot.is_finished()
     }
 
     /// Waits for the job and returns its response.
     ///
     /// # Errors
     ///
-    /// Returns the [`FlowError`] the job failed with.
+    /// Returns the [`FlowError`] the job failed with —
+    /// [`FlowError::Cancelled`] / [`FlowError::DeadlineExceeded`] when it
+    /// was stopped cooperatively.
     ///
     /// # Panics
     ///
-    /// Re-raises a panic from the job's worker thread.
+    /// Re-raises a panic from the job.
     pub fn join(self) -> Result<ExplorationResponse, FlowError> {
-        match self.thread.join() {
-            Ok(result) => result,
-            Err(payload) => std::panic::resume_unwind(payload),
+        self.slot.take_blocking()
+    }
+
+    /// Returns the job's result if it already finished, or the handle
+    /// back (`Err`) while it is still queued or running.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises a panic from the job.
+    pub fn try_join(self) -> Result<Result<ExplorationResponse, FlowError>, Self> {
+        match self.slot.try_take() {
+            Some(result) => Ok(result),
+            None => Err(self),
+        }
+    }
+
+    /// Waits up to `timeout` for the job's result, returning the handle
+    /// back (`Err`) on timeout.
+    ///
+    /// # Panics
+    ///
+    /// Re-raises a panic from the job.
+    pub fn join_timeout(
+        self,
+        timeout: Duration,
+    ) -> Result<Result<ExplorationResponse, FlowError>, Self> {
+        match self.slot.take_timeout(timeout) {
+            Some(result) => Ok(result),
+            None => Err(self),
         }
     }
 }
@@ -538,9 +713,108 @@ impl std::fmt::Debug for JobHandle {
         f.debug_struct("JobHandle")
             .field("id", &self.id)
             .field("space", &self.space)
+            .field("label", &self.label)
+            .field("priority", &self.priority)
+            .field("cancelled", &self.cancel.is_triggered())
             .field("progress", &self.progress())
             .field("finished", &self.is_finished())
             .finish()
+    }
+}
+
+/// Why [`ExplorationService::submit`] refused a request.  Admission
+/// failures are deliberately **not** [`FlowError`]s: a rejected request
+/// never entered the system, so callers can retry/back off on
+/// [`SubmitError::QueueFull`] without conflating it with a job that ran
+/// and failed.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SubmitError {
+    /// The bounded admission queue is at capacity; retry after backing
+    /// off (or raise [`ServiceConfig::queue_capacity`]).
+    QueueFull {
+        /// Queue depth at rejection time (== the configured capacity).
+        depth: usize,
+    },
+    /// [`ExplorationService::shutdown`] has started; the service accepts
+    /// no new work.
+    ShuttingDown,
+    /// The request itself is unrunnable (inconsistent configuration,
+    /// warm-start session from a different space) — rejected eagerly,
+    /// before touching the queue.
+    Invalid(FlowError),
+}
+
+impl std::fmt::Display for SubmitError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            SubmitError::QueueFull { depth } => {
+                write!(f, "admission queue full ({depth} jobs queued)")
+            }
+            SubmitError::ShuttingDown => write!(f, "service is shutting down"),
+            SubmitError::Invalid(err) => write!(f, "invalid request: {err}"),
+        }
+    }
+}
+
+impl std::error::Error for SubmitError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            SubmitError::Invalid(err) => Some(err),
+            _ => None,
+        }
+    }
+}
+
+impl From<FlowError> for SubmitError {
+    fn from(err: FlowError) -> Self {
+        SubmitError::Invalid(err)
+    }
+}
+
+/// Error of the blocking [`ExplorationService::run`] path, which spans
+/// both phases of a request: admission ([`SubmitError`]) and execution
+/// ([`FlowError`]).  An eagerly-rejected invalid request surfaces as
+/// [`ServiceError::Flow`] (the underlying [`FlowError`]), so matching on
+/// configuration errors works the same whether they were caught before
+/// or during the run.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServiceError {
+    /// The request was refused at admission (queue full / shutting down).
+    Submit(SubmitError),
+    /// The job ran (or was validated) and failed.
+    Flow(FlowError),
+}
+
+impl std::fmt::Display for ServiceError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            ServiceError::Submit(err) => write!(f, "submission rejected: {err}"),
+            ServiceError::Flow(err) => err.fmt(f),
+        }
+    }
+}
+
+impl std::error::Error for ServiceError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ServiceError::Submit(err) => Some(err),
+            ServiceError::Flow(err) => Some(err),
+        }
+    }
+}
+
+impl From<SubmitError> for ServiceError {
+    fn from(err: SubmitError) -> Self {
+        match err {
+            SubmitError::Invalid(flow) => ServiceError::Flow(flow),
+            other => ServiceError::Submit(other),
+        }
+    }
+}
+
+impl From<FlowError> for ServiceError {
+    fn from(err: FlowError) -> Self {
+        ServiceError::Flow(err)
     }
 }
 
@@ -629,6 +903,15 @@ pub struct ServiceConfig {
     /// Capacity bound of each per-parameter-set macro-metric cache
     /// (distinct macro shapes).  `None` = unbounded.
     pub macro_metric_capacity: Option<usize>,
+    /// Worker threads of the admission scheduler (the hard bound on
+    /// concurrently executing jobs).  `None` = the width of the shared
+    /// evaluation pool (`rayon::current_num_threads()`) — one request per
+    /// pool lane, so the pool stays busy without oversubscribing it.
+    pub workers: Option<usize>,
+    /// Capacity of the bounded admission queue; submissions beyond it are
+    /// rejected with [`SubmitError::QueueFull`].  `None` =
+    /// `max(16, 4 × workers)`.
+    pub queue_capacity: Option<usize>,
     /// Record telemetry (request spans, latency histograms, queue/cache
     /// gauges — see [`ExplorationService::telemetry`]).  On by default;
     /// when off the service carries a disabled [`Telemetry`] handle,
@@ -643,6 +926,8 @@ impl Default for ServiceConfig {
         Self {
             cache_capacity: None,
             macro_metric_capacity: None,
+            workers: None,
+            queue_capacity: None,
             telemetry: true,
         }
     }
@@ -666,17 +951,36 @@ impl ServiceConfig {
         self.telemetry = false;
         self
     }
+
+    /// Sets the scheduler's worker-thread count (clamped to at least 1).
+    #[must_use]
+    pub fn with_workers(mut self, workers: usize) -> Self {
+        self.workers = Some(workers);
+        self
+    }
+
+    /// Sets the admission-queue capacity (clamped to at least 1).
+    #[must_use]
+    pub fn with_queue_capacity(mut self, capacity: usize) -> Self {
+        self.queue_capacity = Some(capacity);
+        self
+    }
 }
 
 /// The multi-tenant exploration front-end: shared per-space evaluation
 /// caches, a shared per-parameter-set **macro-metric** cache underneath
-/// them, one worker thread per request, warm-start sessions.
+/// them, a bounded deadline-aware admission scheduler with a fixed worker
+/// set, warm-start sessions.
 ///
-/// The service is cheap to construct and internally `Arc`-shared with its
-/// worker threads; share one instance per process (or per tenant class)
-/// to maximise cache reuse.  Both cache registries recover poisoned locks
-/// (see [`CacheStore`]): a panicking request never takes the service — or
-/// any other tenant — down with it.
+/// The service is cheap to construct; share one instance per process (or
+/// per tenant class) to maximise cache reuse.  Both cache registries
+/// recover poisoned locks (see [`CacheStore`]), and the scheduler's
+/// workers latch job panics into the joining [`JobHandle`]: a panicking
+/// request never takes the service — or any other tenant — down with it.
+///
+/// Dropping the service shuts it down (see
+/// [`ExplorationService::shutdown`]): already-admitted jobs run to
+/// completion, then the workers are joined.
 pub struct ExplorationService {
     config: ServiceConfig,
     caches: Arc<Mutex<HashMap<String, CacheStore>>>,
@@ -685,6 +989,7 @@ pub struct ExplorationService {
     instruments: ServiceInstruments,
     space_instruments: Mutex<HashMap<String, SpaceInstruments>>,
     next_job: AtomicU64,
+    scheduler: Scheduler<Result<ExplorationResponse, FlowError>>,
 }
 
 impl Default for ExplorationService {
@@ -694,13 +999,14 @@ impl Default for ExplorationService {
 }
 
 impl ExplorationService {
-    /// Creates a service with empty, unbounded caches.
+    /// Creates a service with empty, unbounded caches and default
+    /// scheduler sizing (see [`ServiceConfig`]).
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Creates a service whose caches honour the capacity bounds of
-    /// `config`.
+    /// Creates a service honouring the capacity bounds and scheduler
+    /// sizing of `config`.
     pub fn with_config(config: ServiceConfig) -> Self {
         let telemetry = if config.telemetry {
             Telemetry::new()
@@ -708,6 +1014,13 @@ impl ExplorationService {
             Telemetry::disabled()
         };
         let instruments = ServiceInstruments::new(&telemetry);
+        let workers = config
+            .workers
+            .unwrap_or_else(rayon::current_num_threads)
+            .max(1);
+        let queue_capacity = config.queue_capacity.unwrap_or(16.max(4 * workers));
+        let scheduler = Scheduler::new(workers, queue_capacity, "easyacim");
+        instruments.workers.set(scheduler.worker_count() as f64);
         Self {
             config,
             caches: Arc::default(),
@@ -716,12 +1029,39 @@ impl ExplorationService {
             instruments,
             space_instruments: Mutex::new(HashMap::new()),
             next_job: AtomicU64::new(0),
+            scheduler,
         }
     }
 
     /// The capacity policy in use.
     pub fn config(&self) -> &ServiceConfig {
         &self.config
+    }
+
+    /// The scheduler's fixed worker-thread count — the hard bound on
+    /// concurrently executing jobs.
+    pub fn worker_count(&self) -> usize {
+        self.scheduler.worker_count()
+    }
+
+    /// The admission-queue capacity.
+    pub fn queue_capacity(&self) -> usize {
+        self.scheduler.capacity()
+    }
+
+    /// Jobs admitted but not yet claimed by a worker.
+    pub fn queue_depth(&self) -> usize {
+        self.scheduler.queue_depth()
+    }
+
+    /// Shuts the service down deterministically: stops admission
+    /// (subsequent [`ExplorationService::submit`] calls return
+    /// [`SubmitError::ShuttingDown`]), drains the queue — every
+    /// already-admitted job runs to completion, in priority order — and
+    /// joins the worker threads.  Idempotent; also invoked by `Drop`.
+    /// Outstanding [`JobHandle`]s stay valid and joinable afterwards.
+    pub fn shutdown(&self) {
+        self.scheduler.shutdown();
     }
 
     fn lock_caches(&self) -> MutexGuard<'_, HashMap<String, CacheStore>> {
@@ -863,14 +1203,26 @@ impl ExplorationService {
     }
 
     /// Clones the pre-registered per-kind request instruments and opens
-    /// the root `request` span; counts the submission.
-    fn request_instruments(&self, kind: &'static str, id: u64, space: &str) -> RequestInstruments {
+    /// the root `request` span; counts the admission.  Called only after
+    /// the scheduler reserved a queue slot, so rejected submissions never
+    /// record a span or perturb the queue gauge.
+    fn request_instruments(
+        &self,
+        kind: &'static str,
+        id: u64,
+        space: &str,
+        admission: &Admission,
+    ) -> RequestInstruments {
         let kind_instruments = self.instruments.kind(kind);
         kind_instruments.requests.inc();
         let mut root = self.telemetry.span("request");
         root.attr("kind", kind);
         root.attr("job", id.to_string());
         root.attr("space", space.to_string());
+        root.attr("priority", admission.priority.to_string());
+        if let Some(label) = &admission.label {
+            root.attr("label", label.clone());
+        }
         self.instruments.queue.inc();
         RequestInstruments {
             root,
@@ -909,17 +1261,22 @@ impl ExplorationService {
         })
     }
 
-    /// Submits a request and returns a handle to the in-flight job.
+    /// Submits a request to the admission scheduler and returns a handle
+    /// to the admitted job.
     ///
-    /// Configuration problems (invalid config, warm-start session from a
-    /// different space) are reported eagerly, before a thread is spawned;
-    /// runtime failures surface from [`JobHandle::join`].
+    /// Request problems (invalid config, warm-start session from a
+    /// different space) are reported eagerly as
+    /// [`SubmitError::Invalid`] before touching the queue; a full queue
+    /// or a shutting-down service rejects with backpressure; runtime
+    /// failures surface from [`JobHandle::join`].
     ///
     /// # Errors
     ///
-    /// Returns [`FlowError::InvalidConfig`] or
-    /// [`FlowError::WarmStartMismatch`] for an unrunnable request.
-    pub fn submit(&self, request: ExplorationRequest) -> Result<JobHandle, FlowError> {
+    /// [`SubmitError::Invalid`] for an unrunnable request,
+    /// [`SubmitError::QueueFull`] when the bounded queue is at capacity,
+    /// [`SubmitError::ShuttingDown`] after
+    /// [`ExplorationService::shutdown`] started.
+    pub fn submit(&self, request: ExplorationRequest) -> Result<JobHandle, SubmitError> {
         let id = self.next_job.fetch_add(1, Ordering::Relaxed);
         match request {
             ExplorationRequest::Macro(request) => self.submit_macro(id, request),
@@ -933,9 +1290,26 @@ impl ExplorationService {
     ///
     /// # Errors
     ///
-    /// Returns the [`FlowError`] of either phase.
-    pub fn run(&self, request: ExplorationRequest) -> Result<ExplorationResponse, FlowError> {
-        self.submit(request)?.join()
+    /// Returns the [`ServiceError`] of either phase; an eagerly-rejected
+    /// invalid request surfaces as [`ServiceError::Flow`].
+    pub fn run(&self, request: ExplorationRequest) -> Result<ExplorationResponse, ServiceError> {
+        let handle = self.submit(request).map_err(ServiceError::from)?;
+        handle.join().map_err(ServiceError::Flow)
+    }
+
+    /// Reserves one admission-queue slot, mapping a refusal to
+    /// [`SubmitError`] and counting it in `service_rejected_total`.
+    fn reserve_admission(&self) -> Result<Ticket, SubmitError> {
+        self.scheduler.reserve().map_err(|err| match err {
+            AdmitError::QueueFull { depth } => {
+                self.instruments.rejected_full.inc();
+                SubmitError::QueueFull { depth }
+            }
+            AdmitError::ShuttingDown => {
+                self.instruments.rejected_shutdown.inc();
+                SubmitError::ShuttingDown
+            }
+        })
     }
 
     /// Builds the progress state of a job totalling `generations`
@@ -1018,21 +1392,83 @@ impl ExplorationService {
         (progress, observer)
     }
 
-    fn submit_macro(&self, id: u64, request: MacroRequest) -> Result<JobHandle, FlowError> {
-        let controller = TopFlowController::new(request.config)?;
+    /// The cancellation token of one admission: carries the deadline when
+    /// the request set one, so deadline expiry and explicit
+    /// [`JobHandle::cancel`] trip the same token.
+    fn cancel_token(admission: &Admission) -> CancelToken {
+        match admission.deadline {
+            Some(deadline) => CancelToken::with_deadline(deadline.instant()),
+            None => CancelToken::new(),
+        }
+    }
+
+    /// The typed error of a job whose token tripped **before** it started
+    /// (cancelled or deadline-expired while queued).
+    fn pre_run_error(reason: CancelReason, total: usize) -> FlowError {
+        match reason {
+            CancelReason::Cancelled => FlowError::Cancelled {
+                completed: 0,
+                total,
+            },
+            CancelReason::DeadlineExceeded => FlowError::DeadlineExceeded {
+                completed: 0,
+                total,
+            },
+        }
+    }
+
+    /// Wraps a job body with the pre-run cancellation check and the
+    /// deadline-miss counter, producing the closure the scheduler's
+    /// worker runs.
+    fn job_closure(
+        &self,
+        instruments: RequestInstruments,
+        cancel: CancelToken,
+        total: usize,
+        body: impl FnOnce() -> Result<ExplorationResponse, FlowError> + Send + 'static,
+    ) -> Box<dyn FnOnce() -> Result<ExplorationResponse, FlowError> + Send> {
+        let deadline_misses = self.instruments.deadline_misses.clone();
+        Box::new(move || {
+            let result = instruments.observe(move || {
+                if let Some(reason) = cancel.status() {
+                    return Err(Self::pre_run_error(reason, total));
+                }
+                body()
+            });
+            if matches!(result, Err(FlowError::DeadlineExceeded { .. })) {
+                deadline_misses.inc();
+            }
+            result
+        })
+    }
+
+    fn submit_macro(&self, id: u64, request: MacroRequest) -> Result<JobHandle, SubmitError> {
+        let admission = request.admission;
+        let controller = TopFlowController::new(request.config).map_err(SubmitError::Invalid)?;
         let config = controller.config().clone();
         let space = macro_space_signature(&config.dse);
-        let warm_start = check_session(&request.warm_start, &space)?;
-        // Built eagerly (rejecting a bad exploration config before any
-        // thread exists) and reused by the worker for session re-encoding.
-        let session_explorer = DesignSpaceExplorer::new(config.dse.clone())?;
+        let warm_start =
+            check_session(&request.warm_start, &space).map_err(SubmitError::Invalid)?;
+        // Built eagerly (rejecting a bad exploration config before it
+        // touches the queue) and reused by the worker for session
+        // re-encoding.
+        let session_explorer =
+            DesignSpaceExplorer::new(config.dse.clone()).map_err(FlowError::from)?;
         let chip_session_explorer = match &config.chip {
-            Some(chip) => Some(ChipExplorer::new(chip.dse.clone())?),
+            Some(chip) => Some(ChipExplorer::new(chip.dse.clone()).map_err(FlowError::from)?),
             None => None,
         };
+        // Everything fallible is done: claim a queue slot (or reject with
+        // backpressure) before building instruments, so a rejected
+        // request records no span and perturbs no gauge.
+        let ticket = self.reserve_admission()?;
 
+        let cancel = Self::cancel_token(&admission);
         let mut total = config.dse.generations;
-        let mut chip_options = ExploreOptions::default();
+        let mut chip_options = ExploreOptions {
+            cancel: Some(cancel.clone()),
+            ..Default::default()
+        };
         if let Some(chip) = &config.chip {
             total += chip.dse.generations;
             chip_options.cache = Some(self.store_for(&chip_space_signature(&chip.dse)));
@@ -1042,7 +1478,7 @@ impl ExplorationService {
             // per-macro metrics the macro exploration just derived.
             chip_options.macro_cache = Some(self.macro_store_for(&chip.dse.params));
         }
-        let instruments = self.request_instruments("macro", id, &space);
+        let instruments = self.request_instruments("macro", id, &space, &admission);
         let parent = instruments.root.as_parent();
         let (progress, observer) = self.generation_progress(total, parent);
         let options = FlowOptions {
@@ -1050,11 +1486,13 @@ impl ExplorationService {
                 cache: Some(self.store_for(&space)),
                 macro_cache: Some(self.macro_store_for(&config.dse.params)),
                 warm_start,
+                cancel: Some(cancel.clone()),
                 ..Default::default()
             },
             chip: chip_options,
             observer: Some(observer),
             trace: self.trace_context(parent),
+            cancel: Some(cancel.clone()),
         };
 
         let job_space = space.clone();
@@ -1063,89 +1501,100 @@ impl ExplorationService {
             .chip
             .as_ref()
             .and_then(|chip| self.space_instruments_for(&chip_space_signature(&chip.dse)));
-        let thread = std::thread::Builder::new()
-            .name(format!("easyacim-job-{id}"))
-            .spawn(move || -> Result<ExplorationResponse, FlowError> {
-                instruments.observe(move || {
-                    let result = controller.run_with(&options)?;
-                    if let Some(outcome) = &space_outcome {
-                        outcome.record(&result.engine);
+        let body = move || -> Result<ExplorationResponse, FlowError> {
+            let result = controller.run_with(&options)?;
+            if let Some(outcome) = &space_outcome {
+                outcome.record(&result.engine);
+            }
+            let session =
+                SessionArchive::new(space, session_explorer.session_genomes(&result.frontier));
+            let chip_session = match (&config.chip, &result.chip, &chip_session_explorer) {
+                (Some(chip_config), Some(chip_result), Some(explorer)) => {
+                    let chip_space = chip_space_signature(&chip_config.dse);
+                    if let Some(outcome) = &chip_outcome {
+                        outcome.record(&chip_result.engine);
                     }
-                    let session = SessionArchive::new(
-                        space,
-                        session_explorer.session_genomes(&result.frontier),
-                    );
-                    let chip_session = match (&config.chip, &result.chip, &chip_session_explorer) {
-                        (Some(chip_config), Some(chip_result), Some(explorer)) => {
-                            let chip_space = chip_space_signature(&chip_config.dse);
-                            if let Some(outcome) = &chip_outcome {
-                                outcome.record(&chip_result.engine);
-                            }
-                            Some(SessionArchive::new(
-                                chip_space,
-                                explorer.session_genomes(&chip_result.front),
-                            ))
-                        }
-                        _ => None,
-                    };
-                    Ok(ExplorationResponse::Macro(MacroResponse {
-                        result,
-                        session,
-                        chip_session,
-                    }))
-                })
-            })
-            .expect("spawn exploration worker thread");
+                    Some(SessionArchive::new(
+                        chip_space,
+                        explorer.session_genomes(&chip_result.front),
+                    ))
+                }
+                _ => None,
+            };
+            Ok(ExplorationResponse::Macro(MacroResponse {
+                result,
+                session,
+                chip_session,
+            }))
+        };
+        let work = self.job_closure(instruments, cancel.clone(), total, body);
+        let slot = JobSlot::new();
+        self.scheduler
+            .enqueue(ticket, admission.priority, slot.clone(), work);
 
         Ok(JobHandle {
             id,
             space: job_space,
+            label: admission.label,
+            priority: admission.priority,
+            cancel,
             progress,
-            thread,
+            slot,
         })
     }
 
-    fn submit_chip(&self, id: u64, request: ChipRequest) -> Result<JobHandle, FlowError> {
+    fn submit_chip(&self, id: u64, request: ChipRequest) -> Result<JobHandle, SubmitError> {
+        let admission = request.admission;
         // Built eagerly (rejecting an inconsistent configuration before
-        // any thread exists) and reused by the worker for session
+        // it touches the queue) and reused by the worker for session
         // re-encoding.
-        let session_explorer = ChipExplorer::new(request.config.dse.clone())?;
+        let session_explorer =
+            ChipExplorer::new(request.config.dse.clone()).map_err(FlowError::from)?;
         let config = request.config;
         let space = chip_space_signature(&config.dse);
+        let warm_start =
+            check_session(&request.warm_start, &space).map_err(SubmitError::Invalid)?;
+        let ticket = self.reserve_admission()?;
+
+        let cancel = Self::cancel_token(&admission);
         let options = ExploreOptions {
             cache: Some(self.store_for(&space)),
             macro_cache: Some(self.macro_store_for(&config.dse.params)),
-            warm_start: check_session(&request.warm_start, &space)?,
+            warm_start,
+            cancel: Some(cancel.clone()),
             ..Default::default()
         };
-        let instruments = self.request_instruments("chip", id, &space);
+        let total = config.dse.generations;
+        let instruments = self.request_instruments("chip", id, &space, &admission);
         let parent = instruments.root.as_parent();
-        let (progress, observer) = self.generation_progress(config.dse.generations, parent);
+        let (progress, observer) = self.generation_progress(total, parent);
         let trace = self.trace_context(parent);
 
         let job_space = space.clone();
         let space_outcome = self.space_instruments_for(&space);
-        let thread = std::thread::Builder::new()
-            .name(format!("easyacim-job-{id}"))
-            .spawn(move || -> Result<ExplorationResponse, FlowError> {
-                instruments.observe(move || {
-                    let flow = crate::chip::ChipFlow::new(config);
-                    let result = flow.run_traced(&options, Some(observer), trace)?;
-                    if let Some(outcome) = &space_outcome {
-                        outcome.record(&result.engine);
-                    }
-                    let session =
-                        SessionArchive::new(space, session_explorer.session_genomes(&result.front));
-                    Ok(ExplorationResponse::Chip(ChipResponse { result, session }))
-                })
-            })
-            .expect("spawn exploration worker thread");
+        let body = move || -> Result<ExplorationResponse, FlowError> {
+            let flow = crate::chip::ChipFlow::new(config);
+            let result = flow.run_traced(&options, Some(observer), trace)?;
+            if let Some(outcome) = &space_outcome {
+                outcome.record(&result.engine);
+            }
+            let session =
+                SessionArchive::new(space, session_explorer.session_genomes(&result.front));
+            Ok(ExplorationResponse::Chip(ChipResponse { result, session }))
+        };
+        let work = self.job_closure(instruments, cancel.clone(), total, body);
+        let slot = JobSlot::new();
+        self.scheduler
+            .enqueue(ticket, admission.priority, slot.clone(), work);
 
         Ok(JobHandle {
             id,
             space: job_space,
+            label: admission.label,
+            priority: admission.priority,
+            cancel,
             progress,
-            thread,
+            slot,
         })
     }
 }
@@ -1154,6 +1603,9 @@ impl std::fmt::Debug for ExplorationService {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ExplorationService")
             .field("config", &self.config)
+            .field("workers", &self.worker_count())
+            .field("queue_capacity", &self.queue_capacity())
+            .field("queue_depth", &self.queue_depth())
             .field("spaces", &self.spaces())
             .field("cached_evaluations", &self.cached_evaluations())
             .field("cached_macro_metrics", &self.cached_macro_metrics())
@@ -1178,11 +1630,29 @@ mod tests {
         config
     }
 
+    /// A chip config whose exploration runs long enough to observe,
+    /// cancel, or pin a worker with — always cancel jobs built from this.
+    fn long_chip_config() -> ChipFlowConfig {
+        let mut config = quick_chip_config();
+        config.dse.generations = 50_000;
+        config
+    }
+
+    /// Submits `request` and spins until its exploration has visibly
+    /// started (at least one generation completed).
+    fn submit_running(service: &ExplorationService, request: ExplorationRequest) -> JobHandle {
+        let handle = service.submit(request).unwrap();
+        while handle.progress().completed == 0 {
+            std::thread::yield_now();
+        }
+        handle
+    }
+
     #[test]
     fn chip_request_round_trips_and_reuses_the_cache() {
         let service = ExplorationService::new();
         let first = service
-            .run(ExplorationRequest::chip(quick_chip_config()))
+            .run(ExplorationRequest::chip_space(quick_chip_config()))
             .unwrap()
             .into_chip()
             .unwrap();
@@ -1197,7 +1667,7 @@ mod tests {
         // Identical second request: every evaluation is a cross-request
         // cache hit and no new entries appear.
         let second = service
-            .run(ExplorationRequest::chip(quick_chip_config()))
+            .run(ExplorationRequest::chip_space(quick_chip_config()))
             .unwrap()
             .into_chip()
             .unwrap();
@@ -1211,20 +1681,20 @@ mod tests {
     fn warm_start_sessions_are_space_checked() {
         let service = ExplorationService::new();
         let response = service
-            .run(ExplorationRequest::chip(quick_chip_config()))
+            .run(ExplorationRequest::chip_space(quick_chip_config()))
             .unwrap();
         let session = response.session().clone();
 
         // Same space: accepted.
-        let ok = ChipRequest::new(quick_chip_config()).with_warm_start(session.clone());
-        assert!(service.submit(ExplorationRequest::Chip(ok)).is_ok());
+        let ok = ExplorationRequest::chip_space(quick_chip_config()).warm_start(session.clone());
+        assert!(service.submit(ok).is_ok());
 
         // Different space (other buffer catalogue): rejected eagerly.
         let mut other = quick_chip_config();
         other.dse.buffer_kib = vec![16, 64];
-        let bad = ChipRequest::new(other).with_warm_start(session);
-        match service.submit(ExplorationRequest::Chip(bad)) {
-            Err(FlowError::WarmStartMismatch { requested, session }) => {
+        let bad = ExplorationRequest::chip_space(other).warm_start(session);
+        match service.submit(bad) {
+            Err(SubmitError::Invalid(FlowError::WarmStartMismatch { requested, session })) => {
                 assert_ne!(requested, session);
             }
             other => panic!("expected WarmStartMismatch, got {other:?}"),
@@ -1232,12 +1702,18 @@ mod tests {
     }
 
     #[test]
-    fn job_handles_report_progress_and_space() {
+    fn job_handles_report_progress_space_and_admission() {
         let service = ExplorationService::new();
         let handle = service
-            .submit(ExplorationRequest::chip(quick_chip_config()))
+            .submit(
+                ExplorationRequest::chip_space(quick_chip_config())
+                    .priority(Priority::High)
+                    .label("smoke"),
+            )
             .unwrap();
         assert!(handle.space().starts_with("chip/"));
+        assert_eq!(handle.label(), Some("smoke"));
+        assert_eq!(handle.priority(), Priority::High);
         let total = handle.progress().total;
         assert_eq!(total, 5);
         let response = handle.join().unwrap();
@@ -1249,19 +1725,23 @@ mod tests {
         let service = ExplorationService::new();
         let mut config = quick_chip_config();
         config.dse.population_size = 7;
-        assert!(service.submit(ExplorationRequest::chip(config)).is_err());
+        assert!(matches!(
+            service.submit(ExplorationRequest::chip_space(config)),
+            Err(SubmitError::Invalid(_))
+        ));
         let mut flow = FlowConfig::new(4 * 1024);
         flow.dse.population_size = 2;
-        assert!(service
-            .submit(ExplorationRequest::macro_flow(flow))
-            .is_err());
+        assert!(matches!(
+            service.submit(ExplorationRequest::macro_space(flow)),
+            Err(SubmitError::Invalid(_))
+        ));
     }
 
     #[test]
     fn finished_jobs_report_complete_progress() {
         let service = ExplorationService::new();
         let handle = service
-            .submit(ExplorationRequest::chip(quick_chip_config()))
+            .submit(ExplorationRequest::chip_space(quick_chip_config()))
             .unwrap();
         while !handle.is_finished() {
             std::thread::sleep(std::time::Duration::from_millis(2));
@@ -1275,10 +1755,254 @@ mod tests {
     }
 
     #[test]
+    fn queue_full_rejections_are_deterministic_at_capacity() {
+        let service = ExplorationService::with_config(
+            ServiceConfig::default()
+                .with_workers(1)
+                .with_queue_capacity(2),
+        );
+        assert_eq!(service.worker_count(), 1);
+        assert_eq!(service.queue_capacity(), 2);
+        // Pin the single worker, then fill the queue to capacity.
+        let pinned = submit_running(&service, ExplorationRequest::chip_space(long_chip_config()));
+        let queued_a = service
+            .submit(ExplorationRequest::chip_space(quick_chip_config()))
+            .unwrap();
+        let queued_b = service
+            .submit(ExplorationRequest::chip_space(quick_chip_config()))
+            .unwrap();
+        assert_eq!(service.queue_depth(), 2);
+        // Deterministic backpressure: the next submission must be
+        // rejected with the queue depth, regardless of priority.
+        match service
+            .submit(ExplorationRequest::chip_space(quick_chip_config()).priority(Priority::High))
+        {
+            Err(SubmitError::QueueFull { depth }) => assert_eq!(depth, 2),
+            other => panic!("expected QueueFull, got {other:?}"),
+        }
+        let snapshot = service.telemetry();
+        assert_eq!(
+            snapshot.counter("service_rejected_total", &[("reason", "queue_full")]),
+            Some(1)
+        );
+        pinned.cancel();
+        assert!(matches!(pinned.join(), Err(FlowError::Cancelled { .. })));
+        queued_a.join().unwrap();
+        queued_b.join().unwrap();
+    }
+
+    #[test]
+    fn high_priority_jobs_bypass_the_queued_backlog() {
+        let service = ExplorationService::with_config(
+            ServiceConfig::default()
+                .with_workers(1)
+                .with_queue_capacity(16),
+        );
+        // Pin the single worker so the backlog's dequeue order is decided
+        // by the priority heap, not by arrival timing.
+        let pinned = submit_running(&service, ExplorationRequest::chip_space(long_chip_config()));
+        let low_a = service
+            .submit(
+                ExplorationRequest::chip_space(quick_chip_config())
+                    .priority(Priority::Low)
+                    .label("low-a"),
+            )
+            .unwrap();
+        let low_b = service
+            .submit(
+                ExplorationRequest::chip_space(quick_chip_config())
+                    .priority(Priority::Low)
+                    .label("low-b"),
+            )
+            .unwrap();
+        let high = service
+            .submit(
+                ExplorationRequest::chip_space(quick_chip_config())
+                    .priority(Priority::High)
+                    .label("high"),
+            )
+            .unwrap();
+        pinned.cancel();
+        assert!(pinned.join().is_err());
+        low_a.join().unwrap();
+        low_b.join().unwrap();
+        high.join().unwrap();
+        // Execution order from the span record: with one worker, jobs
+        // complete in the order they were dequeued, so the root span of
+        // the high-priority job must close before either low-priority
+        // job's (which keep FIFO order between themselves).  The roots'
+        // *start* times carry no order — they open at submission.
+        let snapshot = service.telemetry();
+        let request_end = |label: &str| -> u64 {
+            let root = snapshot
+                .spans
+                .iter()
+                .find(|s| {
+                    s.name == "request"
+                        && s.attributes
+                            .iter()
+                            .any(|(k, v)| k.as_ref() == "label" && v.as_ref() == label)
+                })
+                .unwrap_or_else(|| panic!("root span of {label}"));
+            root.start_us + root.duration_us
+        };
+        let high_end = request_end("high");
+        let low_a_end = request_end("low-a");
+        let low_b_end = request_end("low-b");
+        assert!(
+            high_end < low_a_end && high_end < low_b_end,
+            "high ({high_end}) must finish before low-a ({low_a_end}) and low-b ({low_b_end})"
+        );
+        assert!(low_a_end < low_b_end, "equal-priority jobs keep FIFO order");
+    }
+
+    #[test]
+    fn cancellation_stops_a_running_job_within_a_generation() {
+        let service = ExplorationService::new();
+        let handle = submit_running(&service, ExplorationRequest::chip_space(long_chip_config()));
+        handle.cancel();
+        // Idempotent.
+        handle.cancel();
+        match handle.join() {
+            Err(FlowError::Cancelled { completed, total }) => {
+                assert!(completed >= 1, "ran at least one generation");
+                assert!(completed < total, "stopped before the full budget");
+                assert_eq!(total, 50_000);
+            }
+            other => panic!("expected Cancelled, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn expired_deadline_fails_a_queued_job_without_running_it() {
+        let service = ExplorationService::new();
+        let handle = service
+            .submit(
+                ExplorationRequest::chip_space(long_chip_config())
+                    .deadline(Deadline::at(Instant::now() - Duration::from_millis(1))),
+            )
+            .unwrap();
+        match handle.join() {
+            Err(FlowError::DeadlineExceeded { completed, total }) => {
+                assert_eq!(completed, 0, "never started");
+                assert_eq!(total, 50_000);
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        let snapshot = service.telemetry();
+        assert_eq!(
+            snapshot.counter("service_deadline_misses_total", &[]),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn mid_run_deadline_stops_the_job_and_counts_the_miss() {
+        let service = ExplorationService::new();
+        let handle = service
+            .submit(
+                ExplorationRequest::chip_space(long_chip_config())
+                    .deadline(Deadline::within(Duration::from_millis(80))),
+            )
+            .unwrap();
+        match handle.join() {
+            Err(FlowError::DeadlineExceeded { completed, total }) => {
+                assert!(completed <= total);
+            }
+            other => panic!("expected DeadlineExceeded, got {other:?}"),
+        }
+        let snapshot = service.telemetry();
+        assert_eq!(
+            snapshot.counter("service_deadline_misses_total", &[]),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn shutdown_drains_the_queue_and_rejects_new_work() {
+        let service = ExplorationService::with_config(
+            ServiceConfig::default()
+                .with_workers(1)
+                .with_queue_capacity(16),
+        );
+        let handles: Vec<_> = (0..3)
+            .map(|_| {
+                service
+                    .submit(ExplorationRequest::chip_space(quick_chip_config()))
+                    .unwrap()
+            })
+            .collect();
+        service.shutdown();
+        // Every admitted job ran to completion before shutdown returned…
+        for handle in handles {
+            assert!(handle.is_finished());
+            handle.join().unwrap();
+        }
+        assert_eq!(service.queue_depth(), 0);
+        // …and new work is rejected from then on.  Idempotent.
+        assert!(matches!(
+            service.submit(ExplorationRequest::chip_space(quick_chip_config())),
+            Err(SubmitError::ShuttingDown)
+        ));
+        service.shutdown();
+        let snapshot = service.telemetry();
+        assert_eq!(
+            snapshot.counter("service_rejected_total", &[("reason", "shutting_down")]),
+            Some(1)
+        );
+    }
+
+    #[test]
+    fn try_join_and_join_timeout_hand_the_handle_back() {
+        let service = ExplorationService::new();
+        let mut handle =
+            submit_running(&service, ExplorationRequest::chip_space(long_chip_config()));
+        handle = handle.try_join().expect_err("job still running");
+        handle = handle
+            .join_timeout(Duration::from_millis(5))
+            .expect_err("job outlives the timeout");
+        handle.cancel();
+        let result = handle
+            .join_timeout(Duration::from_secs(60))
+            .expect("cancelled job finishes within a generation");
+        assert!(matches!(result, Err(FlowError::Cancelled { .. })));
+
+        let finished = service
+            .submit(ExplorationRequest::chip_space(quick_chip_config()))
+            .unwrap();
+        while !finished.is_finished() {
+            std::thread::sleep(Duration::from_millis(2));
+        }
+        finished.try_join().expect("finished job").unwrap();
+    }
+
+    #[test]
+    fn submit_errors_display_and_convert() {
+        let full = SubmitError::QueueFull { depth: 7 };
+        assert!(full.to_string().contains("7"));
+        assert!(SubmitError::ShuttingDown.to_string().contains("shutting"));
+        let invalid: SubmitError = FlowError::EmptyDistilledSet.into();
+        assert!(invalid.to_string().contains("invalid request"));
+        // run()'s error flattening: Invalid surfaces as Flow, admission
+        // failures as Submit.
+        assert_eq!(
+            ServiceError::from(invalid),
+            ServiceError::Flow(FlowError::EmptyDistilledSet)
+        );
+        assert_eq!(
+            ServiceError::from(SubmitError::ShuttingDown),
+            ServiceError::Submit(SubmitError::ShuttingDown)
+        );
+        assert!(ServiceError::from(SubmitError::QueueFull { depth: 3 })
+            .to_string()
+            .contains("submission rejected"));
+    }
+
+    #[test]
     fn telemetry_snapshot_exposes_request_cache_and_pool_series() {
         let service = ExplorationService::new();
         let response = service
-            .run(ExplorationRequest::chip(quick_chip_config()))
+            .run(ExplorationRequest::chip_space(quick_chip_config()))
             .unwrap()
             .into_chip()
             .unwrap();
@@ -1352,7 +2076,7 @@ mod tests {
         // time.
         let service = ExplorationService::with_config(ServiceConfig::bounded(16, 4));
         service
-            .run(ExplorationRequest::chip(quick_chip_config()))
+            .run(ExplorationRequest::chip_space(quick_chip_config()))
             .unwrap();
         let snapshot = service.telemetry();
         let evictions = service.total_evictions();
@@ -1368,7 +2092,7 @@ mod tests {
         let service = ExplorationService::with_config(ServiceConfig::default().without_telemetry());
         assert!(!service.telemetry_handle().is_enabled());
         service
-            .run(ExplorationRequest::chip(quick_chip_config()))
+            .run(ExplorationRequest::chip_space(quick_chip_config()))
             .unwrap();
         let snapshot = service.telemetry();
         assert!(snapshot.is_empty());
@@ -1392,5 +2116,19 @@ mod tests {
             total: 0,
         };
         assert_eq!(empty.fraction(), 0.0);
+    }
+
+    #[test]
+    fn job_progress_displays_human_readably() {
+        let progress = JobProgress {
+            completed: 12,
+            total: 40,
+        };
+        assert_eq!(progress.to_string(), "12/40 generations (30%)");
+        let empty = JobProgress {
+            completed: 0,
+            total: 0,
+        };
+        assert_eq!(empty.to_string(), "0/0 generations (0%)");
     }
 }

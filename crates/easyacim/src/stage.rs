@@ -30,7 +30,7 @@ use acim_dse::{
     UserRequirements,
 };
 use acim_layout::LayoutFlow;
-use acim_moga::EvalStats;
+use acim_moga::{CancelReason, CancelToken, EvalStats};
 use acim_netlist::{design_stats, write_spice, Design, DesignStats, NetlistGenerator};
 use acim_tech::Technology;
 use acim_telemetry::{Histogram, SpanId, Telemetry};
@@ -55,6 +55,15 @@ pub struct StageProgress {
 /// work.  `Arc` so one observer can watch several concurrently running
 /// stages (the service's job handles are built on this).
 pub type ProgressObserver = Arc<dyn Fn(StageProgress) + Send + Sync>;
+
+/// Maps a tripped [`CancelToken`] to the matching [`FlowError`] variant,
+/// tagging it with the interrupted stage's partial progress.
+fn cancel_error(reason: CancelReason, completed: usize, total: usize) -> FlowError {
+    match reason {
+        CancelReason::Cancelled => FlowError::Cancelled { completed, total },
+        CancelReason::DeadlineExceeded => FlowError::DeadlineExceeded { completed, total },
+    }
+}
 
 /// One typed step of the EasyACIM flow.
 ///
@@ -443,6 +452,7 @@ pub struct NetlistStage<'a> {
     emit_spice: bool,
     limit: usize,
     observer: Option<ProgressObserver>,
+    cancel: Option<CancelToken>,
 }
 
 impl<'a> NetlistStage<'a> {
@@ -453,6 +463,7 @@ impl<'a> NetlistStage<'a> {
             emit_spice,
             limit,
             observer: None,
+            cancel: None,
         }
     }
 
@@ -460,6 +471,13 @@ impl<'a> NetlistStage<'a> {
     #[must_use]
     pub fn with_observer(mut self, observer: ProgressObserver) -> Self {
         self.observer = Some(observer);
+        self
+    }
+
+    /// Attaches a cancellation token, polled before every design.
+    #[must_use]
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = Some(cancel);
         self
     }
 }
@@ -490,6 +508,9 @@ impl Stage for NetlistStage<'_> {
         let generator = NetlistGenerator::new(self.library);
         let mut netlists = Vec::with_capacity(limit);
         for (index, point) in input.distilled.iter().take(limit).enumerate() {
+            if let Some(reason) = self.cancel.as_ref().and_then(CancelToken::status) {
+                return Err(cancel_error(reason, index, limit));
+            }
             let start = Instant::now();
             let netlist = generator.generate(&point.spec)?;
             let stats = design_stats(&netlist, self.library)?;
@@ -528,6 +549,7 @@ pub struct LayoutStage<'a> {
     technology: &'a Technology,
     library: &'a CellLibrary,
     observer: Option<ProgressObserver>,
+    cancel: Option<CancelToken>,
 }
 
 impl<'a> LayoutStage<'a> {
@@ -537,6 +559,7 @@ impl<'a> LayoutStage<'a> {
             technology,
             library,
             observer: None,
+            cancel: None,
         }
     }
 
@@ -544,6 +567,13 @@ impl<'a> LayoutStage<'a> {
     #[must_use]
     pub fn with_observer(mut self, observer: ProgressObserver) -> Self {
         self.observer = Some(observer);
+        self
+    }
+
+    /// Attaches a cancellation token, polled before every design.
+    #[must_use]
+    pub fn with_cancel(mut self, cancel: CancelToken) -> Self {
+        self.cancel = Some(cancel);
         self
     }
 }
@@ -567,6 +597,9 @@ impl Stage for LayoutStage<'_> {
         let total = input.netlists.len();
         let mut designs = Vec::with_capacity(total);
         for (index, netlisted) in input.netlists.into_iter().enumerate() {
+            if let Some(reason) = self.cancel.as_ref().and_then(CancelToken::status) {
+                return Err(cancel_error(reason, index, total));
+            }
             let start = Instant::now();
             let layout = flow.generate(&netlisted.point.spec)?;
             designs.push(GeneratedDesign {

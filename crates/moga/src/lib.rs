@@ -75,6 +75,7 @@
 
 pub mod archive;
 pub mod cached;
+pub mod cancel;
 pub mod clock;
 pub mod crowding;
 pub mod dominance;
@@ -89,6 +90,7 @@ pub mod shared_cache;
 
 pub use archive::ParetoArchive;
 pub use cached::{CacheCounters, CacheStats, CacheStore, CachedProblem};
+pub use cancel::{CancelReason, CancelToken};
 pub use clock::{ClockMap, TryInsert};
 pub use crowding::assign_crowding_distance;
 pub use dominance::{constrained_dominates, dominates, fast_non_dominated_sort};

@@ -9,6 +9,7 @@
 //! exactly the genomes the historical one-at-a-time loop did — seeded runs
 //! produce bit-identical Pareto fronts either way.
 
+use std::ops::ControlFlow;
 use std::time::Instant;
 
 use rand::rngs::StdRng;
@@ -160,7 +161,10 @@ impl EvalStats {
 pub struct Nsga2Result {
     /// Final population after the last environmental selection.
     pub population: Vec<Individual>,
-    /// Number of generations executed.
+    /// Number of generations executed.  Equals the configured generation
+    /// budget unless the observer stopped the loop early with
+    /// [`ControlFlow::Break`], in which case it counts the generations
+    /// that actually ran.
     pub generations: usize,
     /// Evaluation-engine statistics of the run.  The optimiser cannot see
     /// a cache, so [`EvalStats::cache`] stays at its zero default; a
@@ -250,14 +254,25 @@ impl<P: Problem> Nsga2<P> {
 
     /// Runs the optimisation and returns the final population.
     pub fn run(&self) -> Nsga2Result {
-        self.run_with_observer(|_, _| {})
+        self.run_with_observer(|_, _| ControlFlow::Continue(()))
     }
 
     /// Runs the optimisation, invoking `observer(generation, population)`
-    /// after every environmental selection (used for convergence studies).
+    /// after every environmental selection (used for convergence studies
+    /// and progress reporting).
+    ///
+    /// The observer's return value steers the loop: [`ControlFlow::Break`]
+    /// stops the run at that generation boundary — the **cooperative
+    /// cancellation** hook the service scheduler uses for
+    /// `JobHandle::cancel()` and deadline expiry.  A broken run returns the
+    /// population exactly as it stood after the observed generation's
+    /// environmental selection, so everything executed so far (archives,
+    /// cache fills, statistics) is identical to the same prefix of an
+    /// uninterrupted run; [`Nsga2Result::generations`] reports how many
+    /// generations actually ran.
     pub fn run_with_observer<F>(&self, mut observer: F) -> Nsga2Result
     where
-        F: FnMut(usize, &[Individual]),
+        F: FnMut(usize, &[Individual]) -> ControlFlow<()>,
     {
         let mut rng = StdRng::seed_from_u64(self.seed);
         let n_var = self.problem.num_variables();
@@ -311,6 +326,7 @@ impl<P: Problem> Nsga2<P> {
             assign_crowding_distance(&mut population, front);
         }
 
+        let mut executed_generations = 0usize;
         for generation in 0..self.config.generations {
             let generation_start = Instant::now();
             // Variation: collect the whole offspring cohort first (no
@@ -373,12 +389,15 @@ impl<P: Problem> Nsga2<P> {
                 assign_crowding_distance(&mut population, front);
             }
             generation_seconds.push(generation_start.elapsed().as_secs_f64());
-            observer(generation, &population);
+            executed_generations = generation + 1;
+            if observer(generation, &population).is_break() {
+                break;
+            }
         }
 
         Nsga2Result {
             population,
-            generations: self.config.generations,
+            generations: executed_generations,
             engine: EvalStats {
                 evaluations,
                 eval_seconds,
@@ -494,15 +513,56 @@ mod tests {
     #[test]
     fn observer_sees_every_generation() {
         let mut seen = Vec::new();
-        let _ = Nsga2::new(Zdt1, small_config())
+        let result = Nsga2::new(Zdt1, small_config())
             .with_seed(9)
             .run_with_observer(|generation, pop| {
                 assert_eq!(pop.len(), 40);
                 seen.push(generation);
+                ControlFlow::Continue(())
             });
         assert_eq!(seen.len(), 40);
         assert_eq!(seen[0], 0);
         assert_eq!(*seen.last().unwrap(), 39);
+        assert_eq!(result.generations, 40);
+    }
+
+    #[test]
+    fn breaking_observer_stops_at_the_generation_boundary() {
+        let mut seen = Vec::new();
+        let result = Nsga2::new(Zdt1, small_config())
+            .with_seed(9)
+            .run_with_observer(|generation, _pop| {
+                seen.push(generation);
+                if generation == 6 {
+                    ControlFlow::Break(())
+                } else {
+                    ControlFlow::Continue(())
+                }
+            });
+        // The loop stops after the observed generation completes: seven
+        // generations ran (0..=6), none after the break.
+        assert_eq!(seen, vec![0, 1, 2, 3, 4, 5, 6]);
+        assert_eq!(result.generations, 7);
+        assert_eq!(result.engine.generation_seconds.len(), 7);
+        assert_eq!(result.population.len(), 40);
+        // An interrupted run's population is the same prefix an
+        // uninterrupted run passed through: compare against the full run's
+        // observer snapshot at generation 6.
+        let mut snapshot: Vec<Vec<f64>> = Vec::new();
+        let _ = Nsga2::new(Zdt1, small_config())
+            .with_seed(9)
+            .run_with_observer(|generation, pop| {
+                if generation == 6 {
+                    snapshot = pop.iter().map(|ind| ind.objectives.to_vec()).collect();
+                }
+                ControlFlow::Continue(())
+            });
+        let broken: Vec<Vec<f64>> = result
+            .population
+            .iter()
+            .map(|ind| ind.objectives.to_vec())
+            .collect();
+        assert_eq!(broken, snapshot);
     }
 
     #[test]

@@ -17,18 +17,22 @@
 //! # bound the shared caches (exercises CLOCK eviction; the CI smoke job
 //! # runs this to prove bounded caches change counters, not results):
 //! cargo run --release --example exploration_service -- --quick --cache-cap 48
+//! # oversubscribe the worker set ~4x and prove — via the telemetry
+//! # gauges — that the scheduler never runs more jobs than workers:
+//! cargo run --release --example exploration_service -- --quick --oversubscribe
 //! # dump the service's telemetry (Prometheus text exposition) at exit:
 //! cargo run --release --example exploration_service -- --quick --telemetry
 //! ```
 
 use easyacim::chip_report;
 use easyacim::prelude::*;
-use easyacim::service::{ChipRequest, ExplorationRequest, ExplorationService, ServiceConfig};
+use easyacim::service::{ExplorationRequest, ExplorationService, ServiceConfig};
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
     let args: Vec<String> = std::env::args().collect();
     let quick = args.iter().any(|arg| arg == "--quick");
     let telemetry = args.iter().any(|arg| arg == "--telemetry");
+    let oversubscribe = args.iter().any(|arg| arg == "--oversubscribe");
     let cache_cap: Option<usize> = args.iter().position(|arg| arg == "--cache-cap").map(|i| {
         let cap: usize = args
             .get(i + 1)
@@ -72,26 +76,69 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         }
         None => ExplorationService::new(),
     };
-    let handles = vec![
-        service.submit(ExplorationRequest::macro_flow(flow))?,
-        service.submit(ExplorationRequest::chip(chip.clone()))?,
-        service.submit(ExplorationRequest::chip(chip.clone()))?,
+    println!(
+        "scheduler: {} workers, admission queue capacity {}",
+        service.worker_count(),
+        service.queue_capacity(),
+    );
+
+    // The baseline workload: one high-priority macro flow plus two
+    // identical chip requests.  With `--oversubscribe`, pile enough
+    // extra chip jobs on top to oversubscribe the worker set ~4x — the
+    // bounded scheduler queues the excess instead of spawning threads.
+    let mut handles = vec![
+        service.submit(
+            ExplorationRequest::macro_space(flow)
+                .priority(Priority::High)
+                .label("macro"),
+        )?,
+        service.submit(ExplorationRequest::chip_space(chip.clone()).label("chip-a"))?,
+        service.submit(ExplorationRequest::chip_space(chip.clone()).label("chip-b"))?,
     ];
+    if oversubscribe {
+        let extra = (service.worker_count() * 4)
+            .saturating_sub(handles.len())
+            .min(service.queue_capacity());
+        for i in 0..extra {
+            handles.push(
+                service.submit(
+                    ExplorationRequest::chip_space(chip.clone())
+                        .priority(Priority::Low)
+                        .label(format!("backlog-{i}")),
+                )?,
+            );
+        }
+    }
     println!("submitted {} concurrent requests:", handles.len());
     for handle in &handles {
-        println!("  job {} over space {}", handle.id(), handle.space());
+        println!(
+            "  job {} over space {} ({}, priority {})",
+            handle.id(),
+            handle.space(),
+            handle.label().unwrap_or("unlabelled"),
+            handle.priority(),
+        );
     }
 
     // Observe progress until every job finishes (the handles' counters
-    // are fed by the per-generation observer of the NSGA-II loop).
+    // are fed by the per-generation observer of the NSGA-II loop).  The
+    // `service_active_jobs` gauge must never exceed the worker count —
+    // that is the scheduler's whole admission-control contract.
+    let mut max_active: f64 = 0.0;
     loop {
         let all_done = handles.iter().all(easyacim::JobHandle::is_finished);
+        let snapshot = service.telemetry();
+        if let Some(active) = snapshot.gauge("service_active_jobs", &[]) {
+            max_active = max_active.max(active);
+            assert!(
+                active <= service.worker_count() as f64,
+                "active jobs ({active}) exceeded the worker set ({})",
+                service.worker_count()
+            );
+        }
         let status: Vec<String> = handles
             .iter()
-            .map(|handle| {
-                let progress = handle.progress();
-                format!("job {} {:>3.0}%", handle.id(), progress.fraction() * 100.0)
-            })
+            .map(|handle| format!("job {} {}", handle.id(), handle.progress()))
             .collect();
         println!("progress: {}", status.join("  "));
         if all_done {
@@ -102,6 +149,18 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         } else {
             250
         }));
+    }
+    if oversubscribe {
+        assert!(
+            max_active >= 1.0,
+            "the gauge never observed a running job — sampling too coarse"
+        );
+        println!(
+            "oversubscription held: max {max_active:.0} active jobs across {} submissions \
+             (worker set: {})",
+            handles.len(),
+            service.worker_count(),
+        );
     }
 
     let mut chip_session = None;
@@ -158,9 +217,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "\nwarm-starting a follow-up chip request from {} archived genomes",
         session.len()
     );
-    let warm_request = ChipRequest::new(chip).with_warm_start(session);
     let warm = service
-        .run(ExplorationRequest::Chip(warm_request))?
+        .run(
+            ExplorationRequest::chip_space(chip)
+                .warm_start(session)
+                .priority(Priority::High)
+                .label("warm"),
+        )?
         .into_chip()
         .expect("chip request yields a chip response");
     println!(

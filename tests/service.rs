@@ -12,9 +12,7 @@
 
 use acim_moga::hypervolume_monte_carlo;
 use easyacim::prelude::*;
-use easyacim::service::{
-    ChipRequest, ExplorationRequest, ExplorationService, MacroRequest, ServiceConfig,
-};
+use easyacim::service::{ExplorationRequest, ExplorationService, ServiceConfig};
 
 fn quick_flow_config() -> FlowConfig {
     let mut config = FlowConfig::new(4 * 1024);
@@ -60,7 +58,7 @@ fn service_macro_request_is_bit_identical_to_top_flow_controller() {
 
     let service = ExplorationService::new();
     let response = service
-        .run(ExplorationRequest::macro_flow(quick_flow_config()))
+        .run(ExplorationRequest::macro_space(quick_flow_config()))
         .unwrap()
         .into_macro()
         .unwrap();
@@ -83,7 +81,7 @@ fn service_chip_request_is_bit_identical_to_chip_flow() {
     let direct = ChipFlow::new(quick_chip_config()).run().unwrap();
     let service = ExplorationService::new();
     let response = service
-        .run(ExplorationRequest::chip(quick_chip_config()))
+        .run(ExplorationRequest::chip_space(quick_chip_config()))
         .unwrap()
         .into_chip()
         .unwrap();
@@ -98,7 +96,7 @@ fn service_chip_request_is_bit_identical_to_chip_flow() {
 fn consecutive_requests_share_the_cache_across_requests() {
     let service = ExplorationService::new();
     let first = service
-        .run(ExplorationRequest::chip(quick_chip_config()))
+        .run(ExplorationRequest::chip_space(quick_chip_config()))
         .unwrap()
         .into_chip()
         .unwrap();
@@ -109,7 +107,7 @@ fn consecutive_requests_share_the_cache_across_requests() {
     // The second identical request replays the same trajectory: every
     // evaluation is answered by an entry the first request wrote.
     let second = service
-        .run(ExplorationRequest::chip(quick_chip_config()))
+        .run(ExplorationRequest::chip_space(quick_chip_config()))
         .unwrap()
         .into_chip()
         .unwrap();
@@ -127,23 +125,15 @@ fn consecutive_requests_share_the_cache_across_requests() {
 fn warm_start_is_deterministic_and_no_worse_than_cold() {
     let service = ExplorationService::new();
     let cold = service
-        .run(ExplorationRequest::chip(quick_chip_config()))
+        .run(ExplorationRequest::chip_space(quick_chip_config()))
         .unwrap()
         .into_chip()
         .unwrap();
 
     let warm_request =
-        || ChipRequest::new(quick_chip_config()).with_warm_start(cold.session.clone());
-    let warm_a = service
-        .run(ExplorationRequest::Chip(warm_request()))
-        .unwrap()
-        .into_chip()
-        .unwrap();
-    let warm_b = service
-        .run(ExplorationRequest::Chip(warm_request()))
-        .unwrap()
-        .into_chip()
-        .unwrap();
+        || ExplorationRequest::chip_space(quick_chip_config()).warm_start(cold.session.clone());
+    let warm_a = service.run(warm_request()).unwrap().into_chip().unwrap();
+    let warm_b = service.run(warm_request()).unwrap().into_chip().unwrap();
     // Warm-started runs over an identical seeded space are
     // bit-deterministic.
     assert_same_chip_frontier(&warm_a.result.front, &warm_b.result.front);
@@ -202,17 +192,17 @@ fn concurrent_requests_match_the_same_requests_run_serially() {
 
     let serial_service = ExplorationService::new();
     let serial_macro = serial_service
-        .run(ExplorationRequest::macro_flow(quick_flow_config()))
+        .run(ExplorationRequest::macro_space(quick_flow_config()))
         .unwrap()
         .into_macro()
         .unwrap();
     let serial_small = serial_service
-        .run(ExplorationRequest::chip(chip_small.clone()))
+        .run(ExplorationRequest::chip_space(chip_small.clone()))
         .unwrap()
         .into_chip()
         .unwrap();
     let serial_large = serial_service
-        .run(ExplorationRequest::chip(chip_large.clone()))
+        .run(ExplorationRequest::chip_space(chip_large.clone()))
         .unwrap()
         .into_chip()
         .unwrap();
@@ -220,16 +210,16 @@ fn concurrent_requests_match_the_same_requests_run_serially() {
     let concurrent = ExplorationService::new();
     let handles = vec![
         concurrent
-            .submit(ExplorationRequest::macro_flow(quick_flow_config()))
+            .submit(ExplorationRequest::macro_space(quick_flow_config()))
             .unwrap(),
         concurrent
-            .submit(ExplorationRequest::chip(chip_small.clone()))
+            .submit(ExplorationRequest::chip_space(chip_small.clone()))
             .unwrap(),
         concurrent
-            .submit(ExplorationRequest::chip(chip_small))
+            .submit(ExplorationRequest::chip_space(chip_small))
             .unwrap(),
         concurrent
-            .submit(ExplorationRequest::chip(chip_large))
+            .submit(ExplorationRequest::chip_space(chip_large))
             .unwrap(),
     ];
     let mut responses: Vec<ExplorationResponse> = handles
@@ -258,16 +248,14 @@ fn concurrent_requests_match_the_same_requests_run_serially() {
 fn warm_started_macro_flow_round_trips_through_the_service() {
     let service = ExplorationService::new();
     let cold = service
-        .run(ExplorationRequest::macro_flow(quick_flow_config()))
+        .run(ExplorationRequest::macro_space(quick_flow_config()))
         .unwrap()
         .into_macro()
         .unwrap();
     assert!(!cold.session.is_empty());
 
     let warm = service
-        .run(ExplorationRequest::Macro(
-            MacroRequest::new(quick_flow_config()).with_warm_start(cold.session.clone()),
-        ))
+        .run(ExplorationRequest::macro_space(quick_flow_config()).warm_start(cold.session.clone()))
         .unwrap()
         .into_macro()
         .unwrap();
@@ -291,7 +279,7 @@ fn macro_metric_cache_is_shared_across_mixed_macro_and_chip_sessions() {
     // are hits for the chip exploration that follows.
     let service = ExplorationService::new();
     let macro_response = service
-        .run(ExplorationRequest::macro_flow(quick_flow_config()))
+        .run(ExplorationRequest::macro_space(quick_flow_config()))
         .unwrap()
         .into_macro()
         .unwrap();
@@ -300,7 +288,7 @@ fn macro_metric_cache_is_shared_across_mixed_macro_and_chip_sessions() {
     assert!(service.cached_macro_metrics() > 0);
 
     let chip_response = service
-        .run(ExplorationRequest::chip(quick_chip_config()))
+        .run(ExplorationRequest::chip_space(quick_chip_config()))
         .unwrap()
         .into_chip()
         .unwrap();
@@ -322,7 +310,7 @@ fn macro_metric_cache_is_shared_across_mixed_macro_and_chip_sessions() {
     // its macros itself — the mixed session above saved that work.
     let cold = ExplorationService::new();
     let cold_chip = cold
-        .run(ExplorationRequest::chip(quick_chip_config()))
+        .run(ExplorationRequest::chip_space(quick_chip_config()))
         .unwrap()
         .into_chip()
         .unwrap();
@@ -334,7 +322,7 @@ fn macro_metric_cache_is_shared_across_mixed_macro_and_chip_sessions() {
 fn bounded_service_evicts_without_changing_frontiers() {
     let unbounded = ExplorationService::new();
     let reference = unbounded
-        .run(ExplorationRequest::chip(quick_chip_config()))
+        .run(ExplorationRequest::chip_space(quick_chip_config()))
         .unwrap()
         .into_chip()
         .unwrap();
@@ -343,7 +331,7 @@ fn bounded_service_evicts_without_changing_frontiers() {
     let bounded = ExplorationService::with_config(ServiceConfig::bounded(16, 2));
     assert_eq!(bounded.config().cache_capacity, Some(16));
     let constrained = bounded
-        .run(ExplorationRequest::chip(quick_chip_config()))
+        .run(ExplorationRequest::chip_space(quick_chip_config()))
         .unwrap()
         .into_chip()
         .unwrap();
@@ -360,9 +348,10 @@ fn bounded_service_evicts_without_changing_frontiers() {
     // Warm-starting over the bounded caches still dominates-or-equals:
     // rerun warm on the same bounded service.
     let warm = bounded
-        .run(ExplorationRequest::Chip(
-            ChipRequest::new(quick_chip_config()).with_warm_start(constrained.session.clone()),
-        ))
+        .run(
+            ExplorationRequest::chip_space(quick_chip_config())
+                .warm_start(constrained.session.clone()),
+        )
         .unwrap()
         .into_chip()
         .unwrap();
@@ -385,7 +374,7 @@ fn panicking_tenant_leaves_the_service_usable() {
     // and crashed every later request over the same design space.
     let service = ExplorationService::new();
     let handle = service
-        .submit(ExplorationRequest::chip(quick_chip_config()))
+        .submit(ExplorationRequest::chip_space(quick_chip_config()))
         .unwrap();
     let space = handle.space().to_string();
     let first = handle.join().unwrap().into_chip().unwrap();
@@ -403,7 +392,7 @@ fn panicking_tenant_leaves_the_service_usable() {
     // the (recovered) shared store, replays as pure hits, and produces
     // the identical frontier.
     let second = service
-        .run(ExplorationRequest::chip(quick_chip_config()))
+        .run(ExplorationRequest::chip_space(quick_chip_config()))
         .unwrap()
         .into_chip()
         .unwrap();
@@ -419,10 +408,10 @@ fn full_hit_replay_reports_finite_rates_and_clean_reports() {
     // 0.0 rather than leak NaN/inf into reports.
     let service = ExplorationService::new();
     let _ = service
-        .run(ExplorationRequest::chip(quick_chip_config()))
+        .run(ExplorationRequest::chip_space(quick_chip_config()))
         .unwrap();
     let replay = service
-        .run(ExplorationRequest::chip(quick_chip_config()))
+        .run(ExplorationRequest::chip_space(quick_chip_config()))
         .unwrap()
         .into_chip()
         .unwrap();
@@ -468,12 +457,12 @@ fn telemetry_is_observably_passive() {
     assert!(!disabled.telemetry_handle().is_enabled());
 
     let on_macro = enabled
-        .run(ExplorationRequest::macro_flow(quick_flow_config()))
+        .run(ExplorationRequest::macro_space(quick_flow_config()))
         .unwrap()
         .into_macro()
         .unwrap();
     let off_macro = disabled
-        .run(ExplorationRequest::macro_flow(quick_flow_config()))
+        .run(ExplorationRequest::macro_space(quick_flow_config()))
         .unwrap()
         .into_macro()
         .unwrap();
@@ -481,12 +470,12 @@ fn telemetry_is_observably_passive() {
     assert_same_macro_frontier(&on_macro.result.distilled, &off_macro.result.distilled);
 
     let on_chip = enabled
-        .run(ExplorationRequest::chip(quick_chip_config()))
+        .run(ExplorationRequest::chip_space(quick_chip_config()))
         .unwrap()
         .into_chip()
         .unwrap();
     let off_chip = disabled
-        .run(ExplorationRequest::chip(quick_chip_config()))
+        .run(ExplorationRequest::chip_space(quick_chip_config()))
         .unwrap()
         .into_chip()
         .unwrap();
@@ -506,4 +495,57 @@ fn telemetry_is_observably_passive() {
     assert!(off.is_empty());
     assert!(easyacim::prometheus_text(&off).is_empty());
     assert!(easyacim::json_text(&off).contains("\"metrics\":[]"));
+}
+
+#[test]
+fn cancelling_one_job_mid_run_leaves_survivors_bit_identical() {
+    use easyacim::FlowError;
+
+    // Control: the same request on a fresh, quiet service.
+    let control_service = ExplorationService::new();
+    let control = control_service
+        .run(ExplorationRequest::chip_space(quick_chip_config()))
+        .unwrap()
+        .into_chip()
+        .unwrap();
+
+    // Test: a long-budget job over the SAME design space (the space
+    // signature excludes budget fields, so both jobs share one cache) is
+    // cancelled mid-run while a surviving job runs concurrently.
+    let service = ExplorationService::with_config(ServiceConfig::default().with_workers(2));
+    let mut long_config = quick_chip_config();
+    long_config.dse.generations = 50_000;
+    let victim = service
+        .submit(ExplorationRequest::chip_space(long_config).label("victim"))
+        .unwrap();
+    while victim.progress().completed == 0 {
+        std::thread::yield_now();
+    }
+    let survivor = service
+        .submit(ExplorationRequest::chip_space(quick_chip_config()).label("survivor"))
+        .unwrap();
+    victim.cancel();
+    match victim.join() {
+        Err(FlowError::Cancelled { completed, total }) => {
+            assert!(completed >= 1 && completed < total);
+        }
+        other => panic!("expected Cancelled, got {other:?}"),
+    }
+    let survived = survivor.join().unwrap().into_chip().unwrap();
+    // The cancelled tenant's cache writes are a clean prefix of an
+    // uninterrupted run's, and cache entries are semantically lossless:
+    // the survivor's frontier is bit-identical to the no-cancellation
+    // control run, no matter how many of its evaluations were answered
+    // by entries the victim wrote before stopping.
+    assert_same_chip_frontier(&control.result.front, &survived.result.front);
+
+    // The shared cache stays consistent after the cancellation: an
+    // identical replay is answered entirely from it, bit-identically.
+    let replay = service
+        .run(ExplorationRequest::chip_space(quick_chip_config()))
+        .unwrap()
+        .into_chip()
+        .unwrap();
+    assert_eq!(replay.result.engine.cache.misses, 0);
+    assert_same_chip_frontier(&control.result.front, &replay.result.front);
 }
