@@ -179,6 +179,11 @@ pub enum RatioVerdict {
 /// Parses a `--max-ratio` spec: `numerator:denominator:max`, where the
 /// ids are `group/name` pairs (so `:` never collides with an id).
 ///
+/// A bound above 1.0 caps an overhead (instrumented may cost at most 5%
+/// over uninstrumented); a bound *below* 1.0 demands a speedup — the
+/// persistence gate's `restored:cold:0.67` requires the restored side to
+/// be at least 1.5x faster, so the bound only needs to be positive.
+///
 /// # Errors
 ///
 /// Returns a description of the malformed part.
@@ -194,8 +199,8 @@ pub fn parse_ratio_spec(text: &str) -> Result<RatioCheck, String> {
     let max: f64 = max
         .parse()
         .map_err(|_| format!("non-numeric ratio bound in spec: {text}"))?;
-    if max.is_nan() || max < 1.0 {
-        return Err(format!("ratio bound must be >= 1.0, got {max}"));
+    if max.is_nan() || max <= 0.0 {
+        return Err(format!("ratio bound must be > 0, got {max}"));
     }
     if numerator.is_empty() || denominator.is_empty() {
         return Err(format!("empty benchmark id in ratio spec: {text}"));
@@ -396,8 +401,17 @@ garbage line without fields\n\
         assert!(parse_ratio_spec("a:b:x")
             .unwrap_err()
             .contains("non-numeric"));
-        assert!(parse_ratio_spec("a:b:0.9").unwrap_err().contains(">= 1.0"));
+        assert!(parse_ratio_spec("a:b:0").unwrap_err().contains("> 0"));
+        assert!(parse_ratio_spec("a:b:-0.5").unwrap_err().contains("> 0"));
+        assert!(parse_ratio_spec("a:b:NaN").unwrap_err().contains("> 0"));
         assert!(parse_ratio_spec(":b:1.5").unwrap_err().contains("empty"));
+
+        // Sub-1.0 bounds demand a speedup rather than capping an overhead
+        // (the persistence gate's restored-vs-cold check).
+        let speedup =
+            parse_ratio_spec("persist/restored_first_request:persist/cold_first_request:0.67")
+                .expect("parses");
+        assert!((speedup.max - 0.67).abs() < 1e-12);
     }
 
     #[test]
@@ -474,6 +488,7 @@ garbage line without fields\n\
                 env!("CARGO_MANIFEST_DIR"),
                 "/benches/telemetry_baseline.json"
             ),
+            concat!(env!("CARGO_MANIFEST_DIR"), "/benches/persist_baseline.json"),
         ] {
             let text = std::fs::read_to_string(path)
                 .unwrap_or_else(|e| panic!("baseline {path} must exist: {e}"));

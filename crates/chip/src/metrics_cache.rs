@@ -115,6 +115,25 @@ impl MacroMetricsCache {
         self.shared.clear();
     }
 
+    /// Clones every cached macro derivation out of the map under one
+    /// lock round-trip — the export half of snapshot persistence.  Order
+    /// is unspecified; snapshot writers sort by [`SpecKey`] for
+    /// deterministic files.
+    pub fn export_entries(&self) -> Vec<(SpecKey, MacroMetrics)> {
+        self.shared.export_entries()
+    }
+
+    /// Merges metrics under one lock round-trip, first-wins (live
+    /// entries beat imported ones; under the one-cache-one-`ModelParams`
+    /// pairing either copy is bit-identical).  Bounded caches accept the
+    /// merge CLOCK-style.  Returns `(inserted, skipped)`.
+    pub fn import_entries(
+        &self,
+        entries: impl IntoIterator<Item = (SpecKey, MacroMetrics)>,
+    ) -> (usize, usize) {
+        self.shared.bulk_insert(entries)
+    }
+
     /// Returns `true` when `other` is a handle to the same underlying map.
     pub fn shares_entries_with(&self, other: &MacroMetricsCache) -> bool {
         self.shared.shares_entries_with(&other.shared)

@@ -58,6 +58,7 @@ pub mod chip;
 pub mod config;
 pub mod error;
 pub mod flow;
+pub mod persistence;
 pub mod report;
 mod sched;
 pub mod service;
@@ -67,6 +68,7 @@ pub use chip::{ChipFlow, ChipFlowConfig, ChipFlowResult};
 pub use config::FlowConfig;
 pub use error::FlowError;
 pub use flow::{FlowOptions, FlowResult, GeneratedDesign, TopFlowController};
+pub use persistence::{RestoreReport, SnapshotReport};
 pub use report::{
     chip_frontier_table, chip_report, design_report, frontier_table, telemetry_section,
 };
@@ -80,6 +82,11 @@ pub use stage::{Instrumented, ProgressObserver, Stage, StageProgress, TraceConte
 // [`acim_dse::ExploreOptions::cancel`], re-exported so downstream users
 // can build and trip tokens without naming the MOGA crate.
 pub use acim_moga::{CancelReason, CancelToken};
+
+// The typed error vocabulary of [`service::ExplorationService::restore`],
+// re-exported so downstream users can match rejection reasons without
+// naming the persistence crate.
+pub use acim_persist::PersistError;
 
 // The telemetry vocabulary of [`ExplorationService::telemetry`] and
 // [`FlowOptions::trace`], re-exported so downstream users can encode and
@@ -116,8 +123,8 @@ pub mod prelude {
     pub use crate::{
         ChipFlow, ChipFlowConfig, ChipFlowResult, ChipRequest, Deadline, ExplorationRequest,
         ExplorationResponse, ExplorationService, FlowConfig, FlowOptions, FlowResult,
-        GeneratedDesign, Instrumented, JobHandle, JobProgress, MacroRequest, Priority,
-        ServiceConfig, ServiceError, SessionArchive, Stage, SubmitError, TopFlowController,
-        TraceContext,
+        GeneratedDesign, Instrumented, JobHandle, JobProgress, MacroRequest, PersistError,
+        Priority, RestoreReport, ServiceConfig, ServiceError, SessionArchive, SnapshotReport,
+        Stage, SubmitError, TopFlowController, TraceContext,
     };
 }

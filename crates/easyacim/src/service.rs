@@ -67,6 +67,7 @@
 //! ```
 
 use std::collections::HashMap;
+use std::path::Path;
 use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
@@ -77,6 +78,7 @@ use acim_dse::{
 };
 use acim_model::ModelParams;
 use acim_moga::{CancelReason, CancelToken, EvalStats};
+use acim_persist::{PersistError, Snapshot};
 use acim_telemetry::{
     Counter, Gauge, Histogram, HistogramSnapshot, Registry, SpanId, SpanText, Telemetry,
     TelemetrySnapshot,
@@ -86,6 +88,7 @@ use crate::chip::{ChipFlowConfig, ChipFlowResult};
 use crate::config::FlowConfig;
 use crate::error::FlowError;
 use crate::flow::{FlowOptions, FlowResult, TopFlowController};
+use crate::persistence::{self, RestoreReport, SnapshotReport};
 use crate::sched::{AdmitError, JobSlot, Scheduler, Ticket};
 use crate::stage::{ProgressObserver, StageProgress, TraceContext};
 
@@ -507,6 +510,11 @@ struct ServiceInstruments {
     cache_evictions: Gauge,
     pool_tasks: Counter,
     pool_steals: Counter,
+    snapshot_seconds: Histogram,
+    restore_seconds: Histogram,
+    restored_archives: Counter,
+    restored_evaluations: Counter,
+    restored_macro_metrics: Counter,
     stages: Arc<crate::stage::StageHistograms>,
 }
 
@@ -581,6 +589,33 @@ impl ServiceInstruments {
             pool_steals: registry.counter(
                 "pool_steals_total",
                 "Ranges claimed by work-stealing on the shared pool (process-wide).",
+                &[],
+            ),
+            snapshot_seconds: registry.histogram(
+                "service_snapshot_seconds",
+                "Wall-clock seconds per snapshot export + atomic write.",
+                &[],
+            ),
+            restore_seconds: registry.histogram(
+                "service_restore_seconds",
+                "Wall-clock seconds per successful snapshot restore \
+                 (read + verify + merge).",
+                &[],
+            ),
+            restored_archives: registry.counter(
+                "service_restored_archives",
+                "Session archives merged into the registry by snapshot \
+                 restores.",
+                &[],
+            ),
+            restored_evaluations: registry.counter(
+                "service_restored_evaluations",
+                "Evaluation-cache entries merged by snapshot restores.",
+                &[],
+            ),
+            restored_macro_metrics: registry.counter(
+                "service_restored_macro_metrics",
+                "Macro-metric entries merged by snapshot restores.",
                 &[],
             ),
             stages: Arc::new(crate::stage::StageHistograms::resolve(telemetry)),
@@ -854,6 +889,21 @@ fn params_signature(params: &ModelParams) -> String {
     format!("params/#{:016x}", fnv1a(&format!("{params:?}")))
 }
 
+/// Records a finished job's session archive(s) in the service registry,
+/// last-writer-wins per space — the registry always holds each space's
+/// most recent frontier, which is what a snapshot should capture.
+fn record_archives(
+    registry: &Mutex<HashMap<String, SessionArchive>>,
+    session: &SessionArchive,
+    chip_session: Option<&SessionArchive>,
+) {
+    let mut archives = registry.lock().unwrap_or_else(PoisonError::into_inner);
+    archives.insert(session.space().to_string(), session.clone());
+    if let Some(chip) = chip_session {
+        archives.insert(chip.space().to_string(), chip.clone());
+    }
+}
+
 /// Signature of a chip design space (see [`macro_space_signature`]).
 fn chip_space_signature(config: &ChipDseConfig) -> String {
     let defining = format!(
@@ -985,6 +1035,7 @@ pub struct ExplorationService {
     config: ServiceConfig,
     caches: Arc<Mutex<HashMap<String, CacheStore>>>,
     macro_caches: Arc<Mutex<HashMap<String, MacroMetricsCache>>>,
+    session_archives: Arc<Mutex<HashMap<String, SessionArchive>>>,
     telemetry: Telemetry,
     instruments: ServiceInstruments,
     space_instruments: Mutex<HashMap<String, SpaceInstruments>>,
@@ -1025,6 +1076,7 @@ impl ExplorationService {
             config,
             caches: Arc::default(),
             macro_caches: Arc::default(),
+            session_archives: Arc::default(),
             telemetry,
             instruments,
             space_instruments: Mutex::new(HashMap::new()),
@@ -1076,6 +1128,12 @@ impl ExplorationService {
             .unwrap_or_else(PoisonError::into_inner)
     }
 
+    fn lock_session_archives(&self) -> MutexGuard<'_, HashMap<String, SessionArchive>> {
+        self.session_archives
+            .lock()
+            .unwrap_or_else(PoisonError::into_inner)
+    }
+
     /// The shared store of one design space, creating it (with the
     /// configured bound) when a request over that space first arrives.
     fn store_for(&self, space: &str) -> CacheStore {
@@ -1091,8 +1149,15 @@ impl ExplorationService {
     /// The shared macro-metric cache of one parameter set, creating it
     /// (with the configured bound) on first use.
     fn macro_store_for(&self, params: &ModelParams) -> MacroMetricsCache {
+        self.macro_store_for_signature(&params_signature(params))
+    }
+
+    /// [`ExplorationService::macro_store_for`] keyed directly by
+    /// signature — the restore path merges snapshot sections without ever
+    /// reconstructing the `ModelParams` they were recorded under.
+    fn macro_store_for_signature(&self, signature: &str) -> MacroMetricsCache {
         self.lock_macro_caches()
-            .entry(params_signature(params))
+            .entry(signature.to_string())
             .or_insert_with(|| match self.config.macro_metric_capacity {
                 Some(capacity) => MacroMetricsCache::bounded(capacity),
                 None => MacroMetricsCache::new(),
@@ -1120,6 +1185,29 @@ impl ExplorationService {
             .cloned()
     }
 
+    /// The most recent [`SessionArchive`] of every design space the
+    /// service has finished a job over, sorted by space signature.
+    ///
+    /// The registry keeps exactly one archive per space —
+    /// last-writer-wins, so a space explored five times is represented by
+    /// its freshest frontier.  This is what
+    /// [`ExplorationService::snapshot`] persists; it is also the handle
+    /// for warm-starting a request without holding onto the original
+    /// response.
+    pub fn archives(&self) -> Vec<SessionArchive> {
+        let registry = self.lock_session_archives();
+        let mut archives: Vec<SessionArchive> = registry.values().cloned().collect();
+        drop(registry);
+        archives.sort_by(|a, b| a.space().cmp(b.space()));
+        archives
+    }
+
+    /// The most recent [`SessionArchive`] recorded over one design space
+    /// (use a [`JobHandle::space`] or a snapshot report as the key).
+    pub fn archive(&self, space: &str) -> Option<SessionArchive> {
+        self.lock_session_archives().get(space).cloned()
+    }
+
     /// Total distinct designs cached across every design space.
     pub fn cached_evaluations(&self) -> usize {
         self.lock_caches().values().map(CacheStore::len).sum()
@@ -1143,6 +1231,168 @@ impl ExplorationService {
             .map(MacroMetricsCache::evictions)
             .sum();
         stores + macros
+    }
+
+    /// Persists everything warm about this service — every session
+    /// archive, every evaluation cache, every macro-metric cache — to one
+    /// checksummed `acim-persist` container at `path`.
+    ///
+    /// The write is atomic (temp file + rename): a crash mid-snapshot
+    /// leaves either the previous file or no file, never a torn one.
+    /// Sections are sorted (spaces, then entries within each space), so
+    /// two services holding the same entries snapshot to byte-identical
+    /// files.  Each cache is exported under its own lock; concurrent jobs
+    /// may add entries between exports, which is harmless — every cached
+    /// value is a pure function of its key, so a snapshot is always a
+    /// consistent "at least these entries existed" set.
+    ///
+    /// Records `service_snapshot_seconds` and returns a
+    /// [`SnapshotReport`] of what was written.
+    ///
+    /// # Errors
+    ///
+    /// [`PersistError::Io`] when the file cannot be written, or
+    /// [`PersistError::InvalidRecord`] if an archive holds ragged genomes
+    /// (impossible for archives this service recorded).  The target path
+    /// is untouched on error.
+    pub fn snapshot(&self, path: impl AsRef<Path>) -> Result<SnapshotReport, PersistError> {
+        let started = Instant::now();
+        let mut snapshot = Snapshot::new();
+        for archive in self.archives() {
+            snapshot
+                .archives
+                .push(persistence::archive_record(&archive));
+        }
+        for space in self.spaces() {
+            if let Some(store) = self.cache_store(&space) {
+                snapshot
+                    .eval_caches
+                    .push(persistence::eval_cache_record(&space, &store));
+            }
+        }
+        let mut signatures: Vec<String> = self.lock_macro_caches().keys().cloned().collect();
+        signatures.sort();
+        for signature in signatures {
+            let cache = self.lock_macro_caches().get(&signature).cloned();
+            if let Some(cache) = cache {
+                snapshot
+                    .macro_caches
+                    .push(persistence::macro_cache_record(&signature, &cache));
+            }
+        }
+        let bytes = snapshot.write(path)?;
+        let elapsed = started.elapsed();
+        self.instruments
+            .snapshot_seconds
+            .observe(elapsed.as_secs_f64());
+        Ok(SnapshotReport {
+            archives: snapshot.archives.len(),
+            genomes: snapshot.genome_count(),
+            eval_caches: snapshot.eval_caches.len(),
+            evaluations: snapshot.evaluation_count(),
+            macro_caches: snapshot.macro_caches.len(),
+            macro_metrics: snapshot.macro_metric_count(),
+            bytes,
+            elapsed,
+        })
+    }
+
+    /// Merges a [`ExplorationService::snapshot`] file back into this
+    /// service's registries, first-wins: entries the live service already
+    /// knows are kept (they are at least as fresh), everything else is
+    /// imported.  Bounded caches absorb imports CLOCK-style, evicting
+    /// beyond capacity exactly like any other insert.
+    ///
+    /// Restore is **all-or-nothing before the merge**: the file is fully
+    /// read, decoded, checksum-verified, and signature-validated first,
+    /// and any failure — truncation, flipped bytes, wrong magic, a future
+    /// format version, foreign signatures — returns the typed
+    /// [`PersistError`], bumps
+    /// `service_restore_rejected_total{reason=…}`, and leaves every
+    /// registry untouched: the service continues exactly as if starting
+    /// cold.  A snapshot recorded over *different-but-well-formed* spaces
+    /// restores fine; its entries are simply never looked up.
+    ///
+    /// On success records `service_restore_seconds` and the
+    /// `service_restored_{archives,evaluations,macro_metrics}` counters,
+    /// and returns a [`RestoreReport`].
+    pub fn restore(&self, path: impl AsRef<Path>) -> Result<RestoreReport, PersistError> {
+        let path = path.as_ref();
+        let started = Instant::now();
+        let outcome = (|| {
+            let raw = std::fs::read(path).map_err(|err| PersistError::io("read", path, &err))?;
+            let snapshot = Snapshot::from_bytes(&raw)?;
+            persistence::validate_signatures(&snapshot)?;
+            Ok((snapshot, raw.len() as u64))
+        })();
+        let (snapshot, bytes) = match outcome {
+            Ok(decoded) => decoded,
+            Err(err) => {
+                self.count_restore_rejection(&err);
+                return Err(err);
+            }
+        };
+
+        let mut report = RestoreReport {
+            bytes,
+            ..RestoreReport::default()
+        };
+        {
+            let mut registry = self.lock_session_archives();
+            for record in &snapshot.archives {
+                if registry.contains_key(&record.space) {
+                    report.skipped_archives += 1;
+                } else {
+                    registry.insert(
+                        record.space.clone(),
+                        persistence::archive_from_record(record),
+                    );
+                    report.archives += 1;
+                }
+            }
+        }
+        for record in snapshot.eval_caches {
+            let store = self.store_for(&record.space);
+            let (inserted, skipped) =
+                store.import_entries(record.entries.into_iter().map(persistence::eval_entry));
+            report.evaluations += inserted;
+            report.skipped_evaluations += skipped;
+        }
+        for record in snapshot.macro_caches {
+            let cache = self.macro_store_for_signature(&record.params);
+            let (inserted, skipped) =
+                cache.import_entries(record.entries.into_iter().map(persistence::macro_entry));
+            report.macro_metrics += inserted;
+            report.skipped_macro_metrics += skipped;
+        }
+        report.elapsed = started.elapsed();
+        self.instruments
+            .restore_seconds
+            .observe(report.elapsed.as_secs_f64());
+        self.instruments
+            .restored_archives
+            .add(report.archives as u64);
+        self.instruments
+            .restored_evaluations
+            .add(report.evaluations as u64);
+        self.instruments
+            .restored_macro_metrics
+            .add(report.macro_metrics as u64);
+        Ok(report)
+    }
+
+    /// Counts one rejected restore under its typed reason.  Registered
+    /// lazily — the label set is data-dependent, and a healthy deployment
+    /// never mints any of these series.
+    fn count_restore_rejection(&self, err: &PersistError) {
+        self.telemetry
+            .registry()
+            .counter(
+                "service_restore_rejected_total",
+                "Snapshot restores rejected before any merge, per reason.",
+                &[("reason", err.reason())],
+            )
+            .inc();
     }
 
     /// The service's telemetry handle — registry plus span recorder.
@@ -1501,6 +1751,7 @@ impl ExplorationService {
             .chip
             .as_ref()
             .and_then(|chip| self.space_instruments_for(&chip_space_signature(&chip.dse)));
+        let archive_registry = Arc::clone(&self.session_archives);
         let body = move || -> Result<ExplorationResponse, FlowError> {
             let result = controller.run_with(&options)?;
             if let Some(outcome) = &space_outcome {
@@ -1521,6 +1772,7 @@ impl ExplorationService {
                 }
                 _ => None,
             };
+            record_archives(&archive_registry, &session, chip_session.as_ref());
             Ok(ExplorationResponse::Macro(MacroResponse {
                 result,
                 session,
@@ -1572,6 +1824,7 @@ impl ExplorationService {
 
         let job_space = space.clone();
         let space_outcome = self.space_instruments_for(&space);
+        let archive_registry = Arc::clone(&self.session_archives);
         let body = move || -> Result<ExplorationResponse, FlowError> {
             let flow = crate::chip::ChipFlow::new(config);
             let result = flow.run_traced(&options, Some(observer), trace)?;
@@ -1580,6 +1833,7 @@ impl ExplorationService {
             }
             let session =
                 SessionArchive::new(space, session_explorer.session_genomes(&result.front));
+            record_archives(&archive_registry, &session, None);
             Ok(ExplorationResponse::Chip(ChipResponse { result, session }))
         };
         let work = self.job_closure(instruments, cancel.clone(), total, body);

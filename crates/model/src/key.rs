@@ -36,6 +36,28 @@ impl SpecKey {
             adc_bits: spec.adc_bits(),
         }
     }
+
+    /// The key's four dimension words `[H, W, L, B_ADC]` — the
+    /// persistence codec (`acim-persist` stores macro-cache keys as
+    /// exactly these words).
+    pub fn to_words(self) -> [u32; 4] {
+        [self.height, self.width, self.local_array, self.adc_bits]
+    }
+
+    /// Rebuilds a key from [`SpecKey::to_words`] output.  Deliberately
+    /// unvalidated: a key is an identity, not a specification — words
+    /// that never came from a real `AcimSpec` simply name a macro no
+    /// lookup will ever ask for, which is harmless (exactly as a stale
+    /// cache entry would be).
+    pub fn from_words(words: [u32; 4]) -> Self {
+        let [height, width, local_array, adc_bits] = words;
+        Self {
+            height,
+            width,
+            local_array,
+            adc_bits,
+        }
+    }
 }
 
 impl From<&AcimSpec> for SpecKey {
@@ -68,6 +90,19 @@ mod tests {
         assert_ne!(SpecKey::of(&a), SpecKey::of(&c));
         assert_ne!(SpecKey::of(&a), SpecKey::of(&d));
         assert_eq!(SpecKey::from(&a), SpecKey::of(&a));
+    }
+
+    #[test]
+    fn words_round_trip_the_key_exactly() {
+        let spec = AcimSpec::from_dimensions(128, 32, 4, 3).unwrap();
+        let key = SpecKey::of(&spec);
+        assert_eq!(key.to_words(), [128, 32, 4, 3]);
+        assert_eq!(SpecKey::from_words(key.to_words()), key);
+        // Words that never came from a spec still form a usable (if
+        // never-matched) identity.
+        let alien = SpecKey::from_words([7, 0, 9999, 42]);
+        assert_ne!(alien, key);
+        assert_eq!(alien.to_words(), [7, 0, 9999, 42]);
     }
 
     #[test]

@@ -248,6 +248,24 @@ impl CacheStore {
         self.shared.clear();
     }
 
+    /// Clones every cached evaluation out of the store under one lock
+    /// round-trip — the export half of snapshot persistence.  Order is
+    /// unspecified; snapshot writers sort by key for deterministic files.
+    pub fn export_entries(&self) -> Vec<(Vec<i64>, Evaluation)> {
+        self.shared.export_entries()
+    }
+
+    /// Merges evaluations under one lock round-trip, first-wins (live
+    /// entries beat imported ones; values are pure functions of their
+    /// keys, so either copy is bit-identical).  Bounded stores accept the
+    /// merge CLOCK-style.  Returns `(inserted, skipped)`.
+    pub fn import_entries(
+        &self,
+        entries: impl IntoIterator<Item = (Vec<i64>, Evaluation)>,
+    ) -> (usize, usize) {
+        self.shared.bulk_insert(entries)
+    }
+
     /// Returns `true` when `other` is a handle to the same underlying map.
     pub fn shares_entries_with(&self, other: &CacheStore) -> bool {
         self.shared.shares_entries_with(&other.shared)

@@ -196,6 +196,23 @@ impl<K: Eq + Hash + Clone, V> ClockMap<K, V> {
             }
         }
     }
+
+    /// Iterates over every live entry in unspecified order.  Reference
+    /// bits are **not** touched: exporting a bounded map (for a snapshot)
+    /// must not make every entry look recently used and distort the
+    /// eviction order it leaves behind.
+    pub fn iter(&self) -> impl Iterator<Item = (&K, &V)> {
+        let (unbounded, bounded) = match &self.inner {
+            Inner::Unbounded(map) => (Some(map.iter()), None),
+            Inner::Bounded(clock) => (None, Some(clock.slots.iter())),
+        };
+        unbounded.into_iter().flatten().chain(
+            bounded
+                .into_iter()
+                .flatten()
+                .map(|slot| (&slot.key, &slot.value)),
+        )
+    }
 }
 
 impl<K: Eq + Hash + Clone, V> BoundedClock<K, V> {
@@ -345,6 +362,31 @@ mod tests {
         );
         assert_eq!(bounded.len(), 2);
         assert_eq!(bounded.evictions(), 1);
+    }
+
+    #[test]
+    fn iter_visits_every_entry_without_touching_reference_bits() {
+        let mut unbounded: ClockMap<u32, u32> = ClockMap::unbounded();
+        unbounded.insert(1, 10);
+        unbounded.insert(2, 20);
+        let mut entries: Vec<(u32, u32)> = unbounded.iter().map(|(k, v)| (*k, *v)).collect();
+        entries.sort_unstable();
+        assert_eq!(entries, vec![(1, 10), (2, 20)]);
+
+        let mut bounded: ClockMap<u32, u32> = ClockMap::bounded(3);
+        bounded.insert(1, 1);
+        bounded.insert(2, 2);
+        bounded.insert(3, 3);
+        // One sweep clears every second-chance bit…
+        bounded.insert(4, 4);
+        assert_eq!(bounded.evictions(), 1);
+        // …then iterating must not set any bit: the next insert still
+        // evicts the hand's next unreferenced slot, exactly as if the
+        // export had never happened.
+        assert_eq!(bounded.iter().count(), 3);
+        bounded.insert(5, 5);
+        assert_eq!(bounded.evictions(), 2);
+        assert_eq!(bounded.len(), 3);
     }
 
     #[test]

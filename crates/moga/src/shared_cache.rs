@@ -155,6 +155,39 @@ impl<K: Eq + Hash + Clone, V> SharedCache<K, V> {
         self.lock().clear();
     }
 
+    /// Clones every live entry out of the map under one lock round-trip
+    /// — the export half of snapshot persistence.  Order is unspecified
+    /// (snapshot writers sort for determinism); reference bits are not
+    /// touched, so exporting a bounded cache does not distort its
+    /// eviction order.
+    pub fn export_entries(&self) -> Vec<(K, V)>
+    where
+        V: Clone,
+    {
+        self.lock()
+            .iter()
+            .map(|(key, value)| (key.clone(), value.clone()))
+            .collect()
+    }
+
+    /// Merges entries under one lock round-trip, first-wins: an entry
+    /// whose key is already present is skipped (live entries are fresher
+    /// than a snapshot's, and every writer derives values
+    /// deterministically from keys anyway).  Bounded caches accept the
+    /// merge CLOCK-style — beyond capacity the import evicts, exactly
+    /// like any other insert.  Returns `(inserted, skipped)`.
+    pub fn bulk_insert(&self, entries: impl IntoIterator<Item = (K, V)>) -> (usize, usize) {
+        let mut map = self.lock();
+        let (mut inserted, mut skipped) = (0, 0);
+        for (key, value) in entries {
+            match map.try_insert(key, value) {
+                TryInsert::Inserted { .. } => inserted += 1,
+                TryInsert::AlreadyPresent => skipped += 1,
+            }
+        }
+        (inserted, skipped)
+    }
+
     /// Returns `true` when `other` is a handle to the same underlying map.
     pub fn shares_entries_with(&self, other: &SharedCache<K, V>) -> bool {
         Arc::ptr_eq(&self.entries, &other.entries)
@@ -246,6 +279,32 @@ mod tests {
         cache.insert(vec![1, 2], 0.5);
         let key: &[i64] = &[1, 2];
         assert_eq!(cache.get(key), Some(0.5));
+    }
+
+    #[test]
+    fn export_and_bulk_insert_round_trip_first_wins() {
+        let cache: SharedCache<u32, u32> = SharedCache::new();
+        cache.insert(1, 10);
+        cache.insert(2, 20);
+        let mut exported = cache.export_entries();
+        exported.sort_unstable();
+        assert_eq!(exported, vec![(1, 10), (2, 20)]);
+
+        // Merging into a cache that already knows key 2 keeps the live
+        // value and reports the skip.
+        let target: SharedCache<u32, u32> = SharedCache::new();
+        target.insert(2, 99);
+        let (inserted, skipped) = target.bulk_insert(exported);
+        assert_eq!((inserted, skipped), (1, 1));
+        assert_eq!(target.get(&2), Some(99), "live entries win over imports");
+        assert_eq!(target.get(&1), Some(10));
+
+        // A bounded target absorbs what fits and evicts beyond capacity.
+        let bounded: SharedCache<u32, u32> = SharedCache::bounded(2);
+        let (inserted, _) = bounded.bulk_insert((0..5).map(|i| (i, i)));
+        assert_eq!(inserted, 5);
+        assert_eq!(bounded.len(), 2);
+        assert_eq!(bounded.evictions(), 3);
     }
 
     #[test]

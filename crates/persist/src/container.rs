@@ -1,0 +1,232 @@
+//! The outer container: magic, version, checksummed section table,
+//! checksummed payloads.
+//!
+//! Verification is strictly outside-in — magic, version, header
+//! checksum, exact total length, then one CRC per payload — so nothing
+//! is ever decoded from bytes the checksums have not vouched for, and a
+//! flipped byte *anywhere* in the file surfaces as a typed error before
+//! any section codec runs.  The version check deliberately precedes the
+//! header checksum: a future format may well change the header layout
+//! itself, and [`crate::PersistError::UnsupportedVersion`] is the honest
+//! diagnosis then, not a checksum mismatch.
+
+use crate::crc::crc32;
+use crate::error::PersistError;
+
+pub(crate) const MAGIC: [u8; 8] = *b"ACIMSNAP";
+
+/// The newest container layout this crate reads and the only one it
+/// writes.  Bumps on any layout change, including new section kinds.
+pub const FORMAT_VERSION: u32 = 1;
+
+/// Fixed prefix before the section table: magic + version + count.
+const FIXED_PREFIX: usize = 16;
+/// Bytes per section-table entry: kind (4) + length (8) + CRC (4).
+const TABLE_ENTRY: usize = 16;
+/// Hard sanity bound on the section count — a registry holds a handful
+/// of spaces, not millions; anything larger is a corrupt header.
+const MAX_SECTIONS: u32 = 1 << 20;
+
+/// One encoded section: its kind tag and payload bytes.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub(crate) struct Section {
+    pub(crate) kind: u32,
+    pub(crate) payload: Vec<u8>,
+}
+
+/// Serializes sections into one self-verifying byte container.
+pub(crate) fn encode(sections: &[Section]) -> Vec<u8> {
+    let payload_len: usize = sections.iter().map(|s| s.payload.len()).sum();
+    let header_len = FIXED_PREFIX + TABLE_ENTRY * sections.len() + 4;
+    let mut bytes = Vec::with_capacity(header_len + payload_len);
+    bytes.extend_from_slice(&MAGIC);
+    bytes.extend_from_slice(&FORMAT_VERSION.to_le_bytes());
+    bytes.extend_from_slice(&(sections.len() as u32).to_le_bytes());
+    for section in sections {
+        bytes.extend_from_slice(&section.kind.to_le_bytes());
+        bytes.extend_from_slice(&(section.payload.len() as u64).to_le_bytes());
+        bytes.extend_from_slice(&crc32(&section.payload).to_le_bytes());
+    }
+    let header_crc = crc32(&bytes);
+    bytes.extend_from_slice(&header_crc.to_le_bytes());
+    for section in sections {
+        bytes.extend_from_slice(&section.payload);
+    }
+    bytes
+}
+
+/// Verifies the container outside-in and returns `(kind, payload)` per
+/// section.  Payload slices borrow from `bytes`; their CRCs have already
+/// matched when this returns.
+///
+/// # Errors
+///
+/// Every structural defect maps to one typed [`PersistError`] — see the
+/// module docs for the verification order.
+pub(crate) fn decode(bytes: &[u8]) -> Result<Vec<(u32, &[u8])>, PersistError> {
+    if bytes.len() < FIXED_PREFIX {
+        return Err(PersistError::Truncated {
+            expected: FIXED_PREFIX as u64,
+            actual: bytes.len() as u64,
+        });
+    }
+    if bytes[..8] != MAGIC {
+        let mut found = [0u8; 8];
+        found.copy_from_slice(&bytes[..8]);
+        return Err(PersistError::BadMagic { found });
+    }
+    let version = u32::from_le_bytes(bytes[8..12].try_into().expect("4 bytes"));
+    if version != FORMAT_VERSION {
+        return Err(PersistError::UnsupportedVersion {
+            found: version,
+            supported: FORMAT_VERSION,
+        });
+    }
+    let count = u32::from_le_bytes(bytes[12..16].try_into().expect("4 bytes"));
+    if count > MAX_SECTIONS {
+        return Err(PersistError::HeaderCorrupt {
+            detail: format!("implausible section count {count}"),
+        });
+    }
+    let header_len = FIXED_PREFIX + TABLE_ENTRY * count as usize + 4;
+    if bytes.len() < header_len {
+        return Err(PersistError::Truncated {
+            expected: header_len as u64,
+            actual: bytes.len() as u64,
+        });
+    }
+    let stored_crc = u32::from_le_bytes(
+        bytes[header_len - 4..header_len]
+            .try_into()
+            .expect("4 bytes"),
+    );
+    if crc32(&bytes[..header_len - 4]) != stored_crc {
+        return Err(PersistError::HeaderChecksum);
+    }
+
+    // The table is now trusted: compute the exact total length.
+    let mut table = Vec::with_capacity(count as usize);
+    let mut total = header_len as u64;
+    for index in 0..count as usize {
+        let at = FIXED_PREFIX + TABLE_ENTRY * index;
+        let kind = u32::from_le_bytes(bytes[at..at + 4].try_into().expect("4 bytes"));
+        let len = u64::from_le_bytes(bytes[at + 4..at + 12].try_into().expect("8 bytes"));
+        let crc = u32::from_le_bytes(bytes[at + 12..at + 16].try_into().expect("4 bytes"));
+        total = total
+            .checked_add(len)
+            .ok_or_else(|| PersistError::HeaderCorrupt {
+                detail: "section lengths overflow".into(),
+            })?;
+        table.push((kind, len, crc));
+    }
+    if (bytes.len() as u64) < total {
+        return Err(PersistError::Truncated {
+            expected: total,
+            actual: bytes.len() as u64,
+        });
+    }
+    if (bytes.len() as u64) > total {
+        return Err(PersistError::HeaderCorrupt {
+            detail: format!(
+                "{} trailing bytes past the declared payloads",
+                bytes.len() as u64 - total
+            ),
+        });
+    }
+
+    let mut sections = Vec::with_capacity(table.len());
+    let mut offset = header_len;
+    for (index, (kind, len, crc)) in table.into_iter().enumerate() {
+        // `len` fits in usize: the sum fit in the file length above.
+        let payload = &bytes[offset..offset + len as usize];
+        if crc32(payload) != crc {
+            return Err(PersistError::SectionChecksum { index, kind });
+        }
+        sections.push((kind, payload));
+        offset += len as usize;
+    }
+    Ok(sections)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample() -> Vec<u8> {
+        encode(&[
+            Section {
+                kind: 1,
+                payload: b"alpha".to_vec(),
+            },
+            Section {
+                kind: 3,
+                payload: vec![0, 255, 7, 7],
+            },
+        ])
+    }
+
+    #[test]
+    fn round_trips_sections_in_order() {
+        let bytes = sample();
+        let sections = decode(&bytes).unwrap();
+        assert_eq!(sections.len(), 2);
+        assert_eq!(sections[0], (1, b"alpha".as_slice()));
+        assert_eq!(sections[1], (3, [0, 255, 7, 7].as_slice()));
+        // An empty container is valid too.
+        assert!(decode(&encode(&[])).unwrap().is_empty());
+    }
+
+    #[test]
+    fn every_truncation_is_a_typed_error() {
+        let bytes = sample();
+        for len in 0..bytes.len() {
+            let err = decode(&bytes[..len]).expect_err("truncation must fail");
+            assert!(
+                matches!(
+                    err,
+                    PersistError::Truncated { .. }
+                        | PersistError::BadMagic { .. }
+                        | PersistError::HeaderChecksum
+                ),
+                "prefix of {len} bytes: unexpected {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn every_single_byte_flip_is_a_typed_error() {
+        let bytes = sample();
+        for at in 0..bytes.len() {
+            let mut corrupted = bytes.clone();
+            corrupted[at] ^= 0x40;
+            decode(&corrupted).expect_err("a flipped byte must never decode");
+        }
+    }
+
+    #[test]
+    fn wrong_magic_future_version_and_trailing_bytes() {
+        let mut wrong_magic = sample();
+        wrong_magic[0] = b'X';
+        assert!(matches!(
+            decode(&wrong_magic),
+            Err(PersistError::BadMagic { .. })
+        ));
+
+        let mut future = sample();
+        future[8..12].copy_from_slice(&(FORMAT_VERSION + 1).to_le_bytes());
+        assert_eq!(
+            decode(&future).unwrap_err(),
+            PersistError::UnsupportedVersion {
+                found: FORMAT_VERSION + 1,
+                supported: FORMAT_VERSION
+            }
+        );
+
+        let mut trailing = sample();
+        trailing.push(0);
+        assert!(matches!(
+            decode(&trailing),
+            Err(PersistError::HeaderCorrupt { .. })
+        ));
+    }
+}

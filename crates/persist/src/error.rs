@@ -1,0 +1,225 @@
+//! The one typed error surface of the persistence tier.
+//!
+//! Every way a snapshot can fail to load — I/O, truncation, corruption,
+//! version skew, a signature that does not belong to this service — maps
+//! to exactly one [`PersistError`] variant, and [`PersistError::reason`]
+//! folds the variants onto the short stable labels the service's
+//! `service_restore_rejected_total{reason}` counter uses.  Decoding never
+//! panics: the corruption tests flip and truncate real snapshots
+//! byte-by-byte and require a typed error every time.
+
+use std::error::Error;
+use std::fmt;
+use std::path::Path;
+
+/// Errors produced while writing, reading, or decoding a snapshot.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum PersistError {
+    /// An operating-system error while reading or writing the file.
+    Io {
+        /// The failed operation (`"read"`, `"write"`, `"rename"`, …).
+        op: &'static str,
+        /// The path involved.
+        path: String,
+        /// The OS error message.
+        message: String,
+    },
+    /// The file ends before the structure it promises.
+    Truncated {
+        /// Bytes the structure requires.
+        expected: u64,
+        /// Bytes actually present.
+        actual: u64,
+    },
+    /// The file does not start with the `ACIMSNAP` magic.
+    BadMagic {
+        /// The first eight bytes found instead.
+        found: [u8; 8],
+    },
+    /// The file was written by a future (or unknown) format version.
+    UnsupportedVersion {
+        /// The version recorded in the file.
+        found: u32,
+        /// The newest version this reader understands.
+        supported: u32,
+    },
+    /// The header CRC does not match: the section table cannot be
+    /// trusted.
+    HeaderChecksum,
+    /// The header is structurally implausible (absurd section count,
+    /// overflowing lengths, trailing bytes past the declared payloads).
+    HeaderCorrupt {
+        /// What exactly is implausible.
+        detail: String,
+    },
+    /// A section payload's CRC does not match the table entry.
+    SectionChecksum {
+        /// Index of the section in the table.
+        index: usize,
+        /// The section kind recorded in the table.
+        kind: u32,
+    },
+    /// A section passed its CRC but does not decode as its kind claims
+    /// (unknown kind, ragged matrix, out-of-contract value, leftovers).
+    SectionCorrupt {
+        /// Index of the section in the table.
+        index: usize,
+        /// What exactly failed to decode.
+        detail: String,
+    },
+    /// An in-memory record cannot be encoded (e.g. a ragged genome
+    /// matrix) — a caller bug surfaced as an error, never a panic.
+    InvalidRecord {
+        /// What exactly is unencodable.
+        detail: String,
+    },
+    /// A decoded record carries a signature that cannot belong to the
+    /// registry it targets (wrong namespace prefix).
+    BadSignature {
+        /// The signature namespace the registry accepts.
+        expected: &'static str,
+        /// The signature found in the snapshot.
+        found: String,
+    },
+}
+
+impl PersistError {
+    /// Wraps an OS error with the operation and path it interrupted.
+    pub fn io(op: &'static str, path: &Path, err: &std::io::Error) -> Self {
+        PersistError::Io {
+            op,
+            path: path.display().to_string(),
+            message: err.to_string(),
+        }
+    }
+
+    /// A short, stable, low-cardinality label for the rejection-counter
+    /// telemetry (`service_restore_rejected_total{reason=…}`).
+    pub fn reason(&self) -> &'static str {
+        match self {
+            PersistError::Io { .. } => "io",
+            PersistError::Truncated { .. } => "truncated",
+            PersistError::BadMagic { .. } => "bad_magic",
+            PersistError::UnsupportedVersion { .. } => "unsupported_version",
+            PersistError::HeaderChecksum => "header_checksum",
+            PersistError::HeaderCorrupt { .. } => "header_corrupt",
+            PersistError::SectionChecksum { .. } => "section_checksum",
+            PersistError::SectionCorrupt { .. } => "section_corrupt",
+            PersistError::InvalidRecord { .. } => "invalid_record",
+            PersistError::BadSignature { .. } => "bad_signature",
+        }
+    }
+}
+
+impl fmt::Display for PersistError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            PersistError::Io { op, path, message } => {
+                write!(f, "snapshot {op} failed on `{path}`: {message}")
+            }
+            PersistError::Truncated { expected, actual } => {
+                write!(
+                    f,
+                    "snapshot truncated: need {expected} bytes, have {actual}"
+                )
+            }
+            PersistError::BadMagic { found } => {
+                write!(f, "not a snapshot: magic bytes {found:?}")
+            }
+            PersistError::UnsupportedVersion { found, supported } => {
+                write!(
+                    f,
+                    "snapshot format version {found} is newer than the \
+                     supported version {supported}"
+                )
+            }
+            PersistError::HeaderChecksum => {
+                write!(f, "snapshot header checksum mismatch")
+            }
+            PersistError::HeaderCorrupt { detail } => {
+                write!(f, "snapshot header corrupt: {detail}")
+            }
+            PersistError::SectionChecksum { index, kind } => {
+                write!(
+                    f,
+                    "snapshot section {index} (kind {kind}) checksum mismatch"
+                )
+            }
+            PersistError::SectionCorrupt { index, detail } => {
+                write!(f, "snapshot section {index} corrupt: {detail}")
+            }
+            PersistError::InvalidRecord { detail } => {
+                write!(f, "record cannot be encoded: {detail}")
+            }
+            PersistError::BadSignature { expected, found } => {
+                write!(
+                    f,
+                    "snapshot signature `{found}` does not belong to the \
+                     {expected} registry"
+                )
+            }
+        }
+    }
+}
+
+impl Error for PersistError {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reasons_are_distinct_and_displays_are_descriptive() {
+        let errors = [
+            PersistError::Io {
+                op: "read",
+                path: "x".into(),
+                message: "gone".into(),
+            },
+            PersistError::Truncated {
+                expected: 10,
+                actual: 3,
+            },
+            PersistError::BadMagic { found: [0; 8] },
+            PersistError::UnsupportedVersion {
+                found: 7,
+                supported: 1,
+            },
+            PersistError::HeaderChecksum,
+            PersistError::HeaderCorrupt { detail: "d".into() },
+            PersistError::SectionChecksum { index: 0, kind: 1 },
+            PersistError::SectionCorrupt {
+                index: 2,
+                detail: "d".into(),
+            },
+            PersistError::InvalidRecord { detail: "d".into() },
+            PersistError::BadSignature {
+                expected: "macro/chip",
+                found: "bogus".into(),
+            },
+        ];
+        let mut reasons: Vec<&str> = errors.iter().map(PersistError::reason).collect();
+        reasons.sort_unstable();
+        reasons.dedup();
+        assert_eq!(
+            reasons.len(),
+            errors.len(),
+            "reason labels must be distinct"
+        );
+        for error in &errors {
+            assert!(!error.to_string().is_empty());
+        }
+        assert!(PersistError::UnsupportedVersion {
+            found: 7,
+            supported: 1
+        }
+        .to_string()
+        .contains("version 7"));
+    }
+
+    #[test]
+    fn error_is_send_sync() {
+        fn assert_send_sync<T: Send + Sync>() {}
+        assert_send_sync::<PersistError>();
+    }
+}

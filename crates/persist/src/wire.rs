@@ -1,0 +1,166 @@
+//! Little-endian wire primitives: an appending writer and a
+//! bounds-checked cursor reader.
+//!
+//! The reader only ever runs on payloads whose CRC already matched, so a
+//! decode failure here means a *logically* malformed section (or a
+//! hand-crafted file with a freshly computed checksum) — it reports a
+//! detail string the container layer wraps into
+//! [`crate::PersistError::SectionCorrupt`].  Readers never trust a
+//! length prefix further than the bytes actually remaining, so a
+//! CRC-valid allocation bomb cannot reserve more memory than the file
+//! provides.
+
+/// An appending little-endian byte writer.
+#[derive(Debug, Default)]
+pub(crate) struct Writer {
+    buf: Vec<u8>,
+}
+
+impl Writer {
+    pub(crate) fn new() -> Self {
+        Self::default()
+    }
+
+    pub(crate) fn put_u32(&mut self, value: u32) {
+        self.buf.extend_from_slice(&value.to_le_bytes());
+    }
+
+    pub(crate) fn put_u64(&mut self, value: u64) {
+        self.buf.extend_from_slice(&value.to_le_bytes());
+    }
+
+    pub(crate) fn put_i64(&mut self, value: i64) {
+        self.buf.extend_from_slice(&value.to_le_bytes());
+    }
+
+    /// Bit-exact `f64`: the IEEE-754 pattern, so `-0.0` and NaN payloads
+    /// survive the round trip unchanged.
+    pub(crate) fn put_f64(&mut self, value: f64) {
+        self.put_u64(value.to_bits());
+    }
+
+    /// A `u32` byte-length prefix followed by the UTF-8 bytes.
+    pub(crate) fn put_str(&mut self, value: &str) {
+        // Signatures are short; a >4 GiB string cannot be a signature and
+        // would already be unencodable — saturate instead of panicking.
+        self.put_u32(u32::try_from(value.len()).unwrap_or(u32::MAX));
+        self.buf.extend_from_slice(value.as_bytes());
+    }
+
+    pub(crate) fn into_bytes(self) -> Vec<u8> {
+        self.buf
+    }
+}
+
+/// A bounds-checked little-endian cursor over one section payload.
+#[derive(Debug)]
+pub(crate) struct Reader<'a> {
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl<'a> Reader<'a> {
+    pub(crate) fn new(bytes: &'a [u8]) -> Self {
+        Self { bytes, pos: 0 }
+    }
+
+    pub(crate) fn remaining(&self) -> usize {
+        self.bytes.len() - self.pos
+    }
+
+    fn take(&mut self, len: usize) -> Result<&'a [u8], String> {
+        if self.remaining() < len {
+            return Err(format!(
+                "payload underrun: need {len} bytes at offset {}, have {}",
+                self.pos,
+                self.remaining()
+            ));
+        }
+        let slice = &self.bytes[self.pos..self.pos + len];
+        self.pos += len;
+        Ok(slice)
+    }
+
+    pub(crate) fn take_u32(&mut self) -> Result<u32, String> {
+        let bytes = self.take(4)?;
+        Ok(u32::from_le_bytes(bytes.try_into().expect("4 bytes")))
+    }
+
+    pub(crate) fn take_u64(&mut self) -> Result<u64, String> {
+        let bytes = self.take(8)?;
+        Ok(u64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+    }
+
+    pub(crate) fn take_i64(&mut self) -> Result<i64, String> {
+        let bytes = self.take(8)?;
+        Ok(i64::from_le_bytes(bytes.try_into().expect("8 bytes")))
+    }
+
+    pub(crate) fn take_f64(&mut self) -> Result<f64, String> {
+        Ok(f64::from_bits(self.take_u64()?))
+    }
+
+    pub(crate) fn take_str(&mut self) -> Result<String, String> {
+        let len = self.take_u32()? as usize;
+        let bytes = self.take(len)?;
+        String::from_utf8(bytes.to_vec())
+            .map_err(|_| format!("string at offset {} is not UTF-8", self.pos - len))
+    }
+
+    /// Asserts the payload is fully consumed — leftovers mean the section
+    /// lies about its own shape.
+    pub(crate) fn finish(self) -> Result<(), String> {
+        if self.remaining() == 0 {
+            Ok(())
+        } else {
+            Err(format!(
+                "{} unread bytes after the declared contents",
+                self.remaining()
+            ))
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn primitives_round_trip() {
+        let mut writer = Writer::new();
+        writer.put_u32(0xDEAD_BEEF);
+        writer.put_u64(u64::MAX - 1);
+        writer.put_i64(-42);
+        writer.put_f64(-0.0);
+        writer.put_f64(f64::from_bits(0x7FF8_0000_0000_1234)); // NaN payload
+        writer.put_str("params/#abc");
+        let bytes = writer.into_bytes();
+
+        let mut reader = Reader::new(&bytes);
+        assert_eq!(reader.take_u32().unwrap(), 0xDEAD_BEEF);
+        assert_eq!(reader.take_u64().unwrap(), u64::MAX - 1);
+        assert_eq!(reader.take_i64().unwrap(), -42);
+        assert_eq!(reader.take_f64().unwrap().to_bits(), (-0.0f64).to_bits());
+        assert_eq!(
+            reader.take_f64().unwrap().to_bits(),
+            0x7FF8_0000_0000_1234,
+            "NaN payload must survive bit-exactly"
+        );
+        assert_eq!(reader.take_str().unwrap(), "params/#abc");
+        reader.finish().unwrap();
+    }
+
+    #[test]
+    fn underruns_and_leftovers_are_errors() {
+        let mut reader = Reader::new(&[1, 2, 3]);
+        assert!(reader.take_u32().is_err(), "underrun must not panic");
+        let reader = Reader::new(&[0; 8]);
+        assert!(reader.finish().is_err(), "leftovers are an error");
+        // A length prefix larger than the payload is an underrun, not an
+        // allocation.
+        let mut bomb = Writer::new();
+        bomb.put_u32(u32::MAX);
+        let bytes = bomb.into_bytes();
+        assert!(Reader::new(&bytes).take_str().is_err());
+    }
+}

@@ -22,6 +22,10 @@
 //! cargo run --release --example exploration_service -- --quick --oversubscribe
 //! # dump the service's telemetry (Prometheus text exposition) at exit:
 //! cargo run --release --example exploration_service -- --quick --telemetry
+//! # persistence round trip: write a snapshot at exit, then restart from
+//! # it (the CI smoke job chains exactly these two invocations):
+//! cargo run --release --example exploration_service -- --quick --snapshot /tmp/easyacim.snap
+//! cargo run --release --example exploration_service -- --quick --restore /tmp/easyacim.snap
 //! ```
 
 use easyacim::chip_report;
@@ -42,6 +46,16 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         assert!(cap > 0, "--cache-cap takes a positive integer, got 0");
         cap
     });
+    let path_arg = |flag: &str| {
+        args.iter().position(|arg| arg == flag).map(|i| {
+            std::path::PathBuf::from(
+                args.get(i + 1)
+                    .unwrap_or_else(|| panic!("{flag} requires a path")),
+            )
+        })
+    };
+    let snapshot_path = path_arg("--snapshot");
+    let restore_path = path_arg("--restore");
     let (population_size, generations) = if quick { (16, 6) } else { (40, 24) };
 
     println!(
@@ -62,25 +76,40 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     chip.dse.generations = generations;
     chip.validate_best = false;
 
-    let service = match cache_cap {
+    let service_config = match cache_cap {
         // Evaluation caches at the requested bound; macro-metric caches
         // far smaller (they hold distinct macro *shapes*, a much smaller
         // population than distinct genomes).
         Some(cap) => {
-            let config = ServiceConfig::bounded(cap, (cap / 8).max(2));
             println!(
                 "bounded caches: {cap} evaluations / {} macro metrics per store",
                 (cap / 8).max(2)
             );
-            ExplorationService::with_config(config)
+            ServiceConfig::bounded(cap, (cap / 8).max(2))
         }
-        None => ExplorationService::new(),
+        None => ServiceConfig::default(),
     };
+    let service = ExplorationService::with_config(service_config);
     println!(
         "scheduler: {} workers, admission queue capacity {}",
         service.worker_count(),
         service.queue_capacity(),
     );
+
+    // Restore a previous process's snapshot before any work: caches and
+    // session archives merge in, and the requests below start warm.  Any
+    // unreadable or corrupted file is a typed rejection and a clean cold
+    // start — never a crash.
+    if let Some(path) = &restore_path {
+        match service.restore(path) {
+            Ok(report) => println!("restored {}: {report}", path.display()),
+            Err(err) => println!(
+                "restore of {} rejected ({}), continuing cold: {err}",
+                path.display(),
+                err.reason()
+            ),
+        }
+    }
 
     // The baseline workload: one high-priority macro flow plus two
     // identical chip requests.  With `--oversubscribe`, pile enough
@@ -164,6 +193,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     }
 
     let mut chip_session = None;
+    let chip_space = handles[1].space().to_string();
     for handle in handles {
         let id = handle.id();
         match handle.join()? {
@@ -219,7 +249,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     );
     let warm = service
         .run(
-            ExplorationRequest::chip_space(chip)
+            ExplorationRequest::chip_space(chip.clone())
                 .warm_start(session)
                 .priority(Priority::High)
                 .label("warm"),
@@ -237,6 +267,39 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         "warm run must reuse cross-request cache entries"
     );
     println!("\n{}", chip_report(&warm.result));
+
+    // Persistence round trip: snapshot everything warm about the service,
+    // then simulate a process restart — a brand-new service restores the
+    // file and re-runs the follow-up request, answered from the restored
+    // caches instead of from scratch.
+    if let Some(path) = &snapshot_path {
+        let report = service.snapshot(path)?;
+        println!("\nsnapshot written to {}: {report}", path.display());
+
+        let restarted = ExplorationService::with_config(service_config);
+        let restored = restarted.restore(path)?;
+        println!("\"restarted\" service restored: {restored}");
+        let archive = restarted
+            .archive(&chip_space)
+            .expect("the snapshot carried the chip space's session archive");
+        let rerun = restarted
+            .run(
+                ExplorationRequest::chip_space(chip)
+                    .warm_start(archive)
+                    .label("restored-warm"),
+            )?
+            .into_chip()
+            .expect("chip request yields a chip response");
+        println!(
+            "restored warm run: {} frontier chips, cache {}",
+            rerun.result.front.len(),
+            rerun.result.engine.cache,
+        );
+        assert!(
+            rerun.result.engine.cache.hits > 0,
+            "a restored service must answer the warm re-run from its caches"
+        );
+    }
 
     if telemetry {
         // Everything the service observed, in Prometheus text exposition
