@@ -12,9 +12,23 @@
 //! * **accuracy proxy** — the worst per-layer SNR after the requantisation
 //!   penalty of deep partial-sum accumulation.
 //!
-//! Layer evaluation is embarrassingly parallel and runs under `rayon`;
-//! every per-layer quantity is a pure function of `(chip, network, params)`
-//! so the parallel result is bit-identical to the sequential one.
+//! # Multi-tenant mixes
+//!
+//! The evaluator scores either one [`Network`] or a whole [`WorkloadMix`]
+//! ([`ChipEvaluator::evaluate_mix`]).  Both run the same core: the mix
+//! partitioner's rounds (see [`crate::partition`]) are costed one by one,
+//! each round's latency is the *shared* compute/traffic overlap of all
+//! member layers, and every tenant then rolls its rounds up into its own
+//! [`ChipMetrics`].  A single binary tenant produces exactly one
+//! one-member round per layer, so the single-network path is the
+//! degenerate mix bit for bit.  Per-macro derivations are shared across
+//! tenants automatically: the grid's macro metrics are folded once per
+//! chip (and once per [`MacroMetricsCache`] across chips), no matter how
+//! many tenants schedule onto them.
+//!
+//! Round evaluation is embarrassingly parallel and runs under `rayon`;
+//! every per-round quantity is a pure function of `(chip, mix, params)` so
+//! the parallel result is bit-identical to the sequential one.
 
 use std::collections::HashMap;
 use std::fmt;
@@ -28,8 +42,10 @@ use crate::error::ChipError;
 use crate::grid::MacroGrid;
 use crate::interconnect::ChipCostParams;
 use crate::metrics_cache::{MacroCacheClient, MacroMetrics, MacroMetricsCache};
-use crate::network::Network;
-use crate::partition::{partition_network, LayerPartition};
+use crate::network::{Network, WorkloadMix};
+use crate::partition::{
+    partition_streams, LayerPartition, MixPartition, RoundPartition, StreamSpec,
+};
 
 /// A complete chip specification: the macro grid plus the sizing of the
 /// shared global buffer.
@@ -75,11 +91,14 @@ impl fmt::Display for ChipSpec {
 pub struct LayerCost {
     /// Layer name.
     pub name: String,
-    /// Compute latency (slowest macro) in ns.
+    /// Compute latency of *this layer's* tiles (slowest macro) in ns.
     pub compute_ns: f64,
-    /// Buffer/NoC traffic latency in ns.
+    /// Buffer/NoC traffic latency of this layer's tiles in ns.
     pub traffic_ns: f64,
-    /// Layer latency in ns (compute/traffic overlap, plus NoC fill).
+    /// Latency of the layer's scheduling round in ns: shared
+    /// compute/traffic overlap of every co-scheduled layer, plus NoC fill.
+    /// Equals the layer's own overlap when it runs alone (single-network
+    /// evaluation).
     pub latency_ns: f64,
     /// Macro MAC energy in fJ.
     pub mac_energy_fj: f64,
@@ -109,10 +128,11 @@ impl LayerCost {
     }
 }
 
-/// Chip-level figures of merit for one network.
+/// Chip-level figures of merit for one network (or one tenant of a mix).
 #[derive(Debug, Clone, PartialEq)]
 pub struct ChipMetrics {
-    /// End-to-end latency of one inference in ns.
+    /// End-to-end latency of one inference in ns.  For a mix tenant this
+    /// includes the rounds it shares with other tenants.
     pub latency_ns: f64,
     /// Inferences per second.
     pub inferences_per_s: f64,
@@ -150,22 +170,194 @@ impl ChipMetrics {
     }
 }
 
-/// Evaluates chip specifications against networks with the analytic model.
+/// One tenant's share of a mix evaluation.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantMetrics {
+    /// Tenant name (its network's name).
+    pub name: String,
+    /// The tenant's arrival weight within the mix.
+    pub weight: f64,
+    /// The tenant's chip metrics under co-scheduling: latency includes
+    /// the rounds it shares, energy counts only its own tiles (plus its
+    /// leakage share), accuracy/utilization cover only its layers.
+    pub metrics: ChipMetrics,
+    /// How many per-tile macro-metric reads this tenant's costing
+    /// performed — every one served from the mix's once-per-distinct-macro
+    /// derivation, so the count is the tenant's share of the shared-macro
+    /// reuse a report attributes per tenant.
+    pub macro_reads: usize,
+}
+
+/// How a mix's per-tenant metrics aggregate into DSE objectives.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum MixObjective {
+    /// Optimise the worst tenant on each axis: worst accuracy, worst
+    /// throughput, highest per-inference energy (area is chip-global).
+    /// The conservative default — no tenant is sacrificed.
+    #[default]
+    WorstTenant,
+    /// Optimise the arrival-weighted mean of each axis — the
+    /// traffic-averaged view, which lets a rare heavyweight trade off
+    /// against frequent light tenants.
+    WeightedMean,
+}
+
+/// Figures of merit for a whole [`WorkloadMix`] on one chip.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MixMetrics {
+    /// Per-tenant breakdown, in mix order.
+    pub tenants: Vec<TenantMetrics>,
+    /// End-to-end latency of one co-scheduled round-trip through every
+    /// tenant (the schedule makespan) in ns.
+    pub makespan_ns: f64,
+    /// Total energy of one mix inference in pJ: every tenant's tiles plus
+    /// buffer leakage over the makespan.
+    pub total_energy_pj: f64,
+    /// Total chip area in MF² (shared by all tenants).
+    pub area_mf2: f64,
+}
+
+impl MixMetrics {
+    /// Returns `true` for the degenerate single-tenant evaluation.
+    pub fn is_single(&self) -> bool {
+        self.tenants.len() == 1
+    }
+
+    /// Aggregated objectives in the chip ordering
+    /// `[−accuracy, −throughput, energy, area]`.
+    ///
+    /// For a single tenant both variants reduce bit-exactly to that
+    /// tenant's [`ChipMetrics::objective_array`]: the min/max folds return
+    /// the lone element unchanged, and the weighted mean multiplies and
+    /// divides by the tenant's own weight sum.
+    pub fn objectives(&self, objective: MixObjective) -> [f64; 4] {
+        match objective {
+            MixObjective::WorstTenant => [
+                -self
+                    .tenants
+                    .iter()
+                    .map(|t| t.metrics.accuracy_db)
+                    .fold(f64::INFINITY, f64::min),
+                -self
+                    .tenants
+                    .iter()
+                    .map(|t| t.metrics.throughput_tops)
+                    .fold(f64::INFINITY, f64::min),
+                self.tenants
+                    .iter()
+                    .map(|t| t.metrics.energy_per_inference_pj)
+                    .fold(f64::NEG_INFINITY, f64::max),
+                self.area_mf2,
+            ],
+            MixObjective::WeightedMean => {
+                let total_weight: f64 = self.tenants.iter().map(|t| t.weight).sum();
+                let mean = |value: fn(&TenantMetrics) -> f64| -> f64 {
+                    self.tenants
+                        .iter()
+                        .map(|t| t.weight * value(t))
+                        .sum::<f64>()
+                        / total_weight
+                };
+                [
+                    -mean(|t| t.metrics.accuracy_db),
+                    -mean(|t| t.metrics.throughput_tops),
+                    mean(|t| t.metrics.energy_per_inference_pj),
+                    self.area_mf2,
+                ]
+            }
+        }
+    }
+
+    /// A mix-level [`ChipMetrics`] view for reporting: the single tenant's
+    /// metrics unchanged, or (for real mixes) makespan latency, aggregate
+    /// throughput over the makespan, total energy, worst-tenant accuracy
+    /// and the concatenated tenant-prefixed layer breakdown.
+    pub fn combined(&self) -> ChipMetrics {
+        if let [tenant] = self.tenants.as_slice() {
+            return tenant.metrics.clone();
+        }
+        let layers: Vec<LayerCost> = self
+            .tenants
+            .iter()
+            .flat_map(|tenant| {
+                tenant.metrics.layers.iter().map(|layer| LayerCost {
+                    name: format!("{}/{}", tenant.name, layer.name),
+                    ..layer.clone()
+                })
+            })
+            .collect();
+        // Useful MACs recovered from each tenant's own throughput
+        // accounting: T = 2·macs/latency/1000.
+        let total_macs: f64 = self
+            .tenants
+            .iter()
+            .map(|t| t.metrics.throughput_tops * t.metrics.latency_ns * 1000.0 / 2.0)
+            .sum();
+        let accuracy_db = self
+            .tenants
+            .iter()
+            .map(|t| t.metrics.accuracy_db)
+            .fold(f64::INFINITY, f64::min);
+        let mean_utilization = if layers.is_empty() {
+            0.0
+        } else {
+            layers.iter().map(|l| l.utilization).sum::<f64>() / layers.len() as f64
+        };
+        ChipMetrics {
+            latency_ns: self.makespan_ns,
+            inferences_per_s: 1e9 / self.makespan_ns,
+            throughput_tops: 2.0 * total_macs / self.makespan_ns / 1000.0,
+            energy_per_inference_pj: self.total_energy_pj,
+            area_mf2: self.area_mf2,
+            accuracy_db,
+            mean_utilization,
+            layers,
+        }
+    }
+}
+
+/// One tenant's borrowed scheduling view: the stream plus its weight.
+#[derive(Debug, Clone, Copy)]
+struct TenantStream<'a> {
+    stream: StreamSpec<'a>,
+    weight: f64,
+}
+
+/// Costs of one scheduling round: the shared round latency plus each
+/// member's tenant-attributed [`LayerCost`].
+struct RoundCost {
+    latency_ns: f64,
+    members: Vec<(usize, LayerCost)>,
+}
+
+/// One member layer's cost body before round-level overlap: everything in
+/// [`LayerCost`] except the final latency, plus the round inputs.
+struct MemberCost {
+    cost: LayerCost,
+    traffic_bits: f64,
+    fill_hops: usize,
+}
+
+/// Evaluates chip specifications against networks — or whole workload
+/// mixes — with the analytic model.
 ///
 /// # Macro-metric reuse
 ///
 /// Per-macro work (the closed-form [`acim_model::DesignMetrics`] and the
-/// macro cycle time) is folded two ways before it is recomputed:
+/// macro cycle time) is folded three ways before it is recomputed:
 ///
 /// 1. **within one chip**, duplicate grid positions share one derivation —
 ///    a uniform `R × C` grid derives its macro once, not `R · C` times;
-/// 2. **across chips and requests**, an optional shared
+/// 2. **across the tenants of a mix**, the per-chip fold happens once for
+///    the whole mix, so `T` tenants sharing a grid still derive each
+///    distinct macro exactly once;
+/// 3. **across chips and requests**, an optional shared
 ///    [`MacroMetricsCache`] (see [`ChipEvaluator::with_macro_cache`])
 ///    answers macros any evaluation over the same [`ModelParams`] already
 ///    derived, with per-evaluator hit/miss attribution
 ///    ([`ChipEvaluator::macro_cache_stats`]).
 ///
-/// Both folds are semantically lossless: the metrics are pure functions
+/// All folds are semantically lossless: the metrics are pure functions
 /// of `(spec, params)`, so evaluation results are bit-identical with and
 /// without them.
 #[derive(Debug, Clone)]
@@ -235,9 +427,9 @@ impl ChipEvaluator {
     /// Hit/miss/eviction attribution of this evaluator (and its clones)
     /// against the installed macro-metric cache.  One lookup is counted
     /// per **distinct** macro per evaluated chip; duplicate grid
-    /// positions are folded before the cache is consulted, so the
-    /// counters measure cross-chip reuse, not grid shape.  All zeros when
-    /// no cache is installed.
+    /// positions — and duplicate tenants of a mix — are folded before the
+    /// cache is consulted, so the counters measure cross-chip reuse, not
+    /// grid shape or mix width.  All zeros when no cache is installed.
     pub fn macro_cache_stats(&self) -> CacheStats {
         self.macro_client.stats()
     }
@@ -276,7 +468,7 @@ impl ChipEvaluator {
         Ok(metrics)
     }
 
-    /// Evaluates one chip on one network, fanning the per-layer costs out
+    /// Evaluates one chip on one network, fanning the per-round costs out
     /// across worker threads.
     ///
     /// # Errors
@@ -290,9 +482,9 @@ impl ChipEvaluator {
     /// Evaluates one chip on one network without spawning worker threads.
     ///
     /// Bit-identical to [`ChipEvaluator::evaluate`] (the parallel map is
-    /// order-preserving over pure per-layer functions).  Batch callers use
+    /// order-preserving over pure per-round functions).  Batch callers use
     /// this inside their own population-level fan-out: parallelising
-    /// across chips scales better than across a handful of layers, and
+    /// across chips scales better than across a handful of rounds, and
     /// nesting both oversubscribes the cores.
     ///
     /// # Errors
@@ -313,32 +505,175 @@ impl ChipEvaluator {
         network: &Network,
         parallel: bool,
     ) -> Result<ChipMetrics, ChipError> {
+        if network.is_empty() {
+            return Err(ChipError::invalid_config(
+                "network",
+                "network must have at least one layer",
+            ));
+        }
+        // The single network is the degenerate one-tenant mix: same core,
+        // no clones, bit-identical rollup.
+        let mix = self.evaluate_streams_impl(
+            chip,
+            &[TenantStream {
+                stream: StreamSpec::binary(network),
+                weight: 1.0,
+            }],
+            parallel,
+        )?;
+        let tenant = mix.tenants.into_iter().next().expect("one tenant in");
+        Ok(tenant.metrics)
+    }
+
+    /// Evaluates one chip on a whole workload mix, fanning the per-round
+    /// costs out across worker threads.
+    ///
+    /// Shared macros are derived once for the whole mix (and reused across
+    /// chips through the optional [`MacroMetricsCache`]); each tenant's
+    /// rollup covers only its own layers, with round latencies shared.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChipError`] when the mix fails
+    /// [`WorkloadMix::validate`] or a macro specification fails the
+    /// estimation model.
+    pub fn evaluate_mix(
+        &self,
+        chip: &ChipSpec,
+        mix: &WorkloadMix,
+    ) -> Result<MixMetrics, ChipError> {
+        self.evaluate_mix_impl(chip, mix, true)
+    }
+
+    /// Evaluates one chip on a mix without spawning worker threads;
+    /// bit-identical to [`ChipEvaluator::evaluate_mix`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChipError`] when the mix fails
+    /// [`WorkloadMix::validate`] or a macro specification fails the
+    /// estimation model.
+    pub fn evaluate_mix_serial(
+        &self,
+        chip: &ChipSpec,
+        mix: &WorkloadMix,
+    ) -> Result<MixMetrics, ChipError> {
+        self.evaluate_mix_impl(chip, mix, false)
+    }
+
+    fn evaluate_mix_impl(
+        &self,
+        chip: &ChipSpec,
+        mix: &WorkloadMix,
+        parallel: bool,
+    ) -> Result<MixMetrics, ChipError> {
+        mix.validate()?;
+        let tenants: Vec<TenantStream<'_>> = mix
+            .tenants()
+            .iter()
+            .map(|tenant| TenantStream {
+                stream: StreamSpec {
+                    network: &tenant.network,
+                    activation_bits: tenant.quant.activation_bits,
+                },
+                weight: tenant.weight,
+            })
+            .collect();
+        self.evaluate_streams_impl(chip, &tenants, parallel)
+    }
+
+    /// The shared evaluation core: schedules the streams, costs every
+    /// round (in parallel when asked), and rolls the rounds up per tenant
+    /// and for the mix.
+    fn evaluate_streams_impl(
+        &self,
+        chip: &ChipSpec,
+        tenants: &[TenantStream<'_>],
+        parallel: bool,
+    ) -> Result<MixMetrics, ChipError> {
         let grid = &chip.grid;
-        // One derivation per distinct macro (cache-assisted when a shared
-        // macro-metric cache is installed), fanned back out to every grid
-        // position.
+        // One derivation per distinct macro for the whole mix
+        // (cache-assisted when a shared macro-metric cache is installed),
+        // fanned back out to every grid position.
         let macro_metrics = self.grid_macro_metrics(grid)?;
         let cycle_ns: Vec<f64> = macro_metrics.iter().map(|m| m.cycle_ns).collect();
-        let partition = partition_network(grid, network, &cycle_ns)?;
+        let streams: Vec<StreamSpec<'_>> = tenants.iter().map(|t| t.stream).collect();
+        let partition = partition_streams(grid, &streams, &cycle_ns)?;
 
-        // Per-layer costs are independent — evaluate them in parallel on
+        // Per-round costs are independent — evaluate them in parallel on
         // scoped work-stealing helpers (unless the caller already
-        // parallelises at a coarser grain, as the batch path does).
+        // parallelises at a coarser grain, as the batch paths do).
         // Order is preserved by `collect`, keeping results deterministic.
-        let layers: Vec<LayerCost> = if parallel {
+        let round_costs: Vec<RoundCost> = if parallel {
             partition
-                .layers
+                .rounds
                 .par_iter()
-                .map(|placement| self.layer_cost(chip, network, placement, &macro_metrics))
+                .map(|round| self.round_cost(chip, tenants, round, &partition, &macro_metrics))
                 .collect()
         } else {
             partition
-                .layers
+                .rounds
                 .iter()
-                .map(|placement| self.layer_cost(chip, network, placement, &macro_metrics))
+                .map(|round| self.round_cost(chip, tenants, round, &partition, &macro_metrics))
                 .collect()
         };
 
+        let makespan_ns = round_costs
+            .iter()
+            .map(|r| r.latency_ns)
+            .sum::<f64>()
+            .max(f64::MIN_POSITIVE);
+        let area_mf2 = self.chip_area_f2(chip, &macro_metrics) / 1e6;
+
+        // Hand each member cost back to its tenant, in round order.
+        let mut tenant_layers: Vec<Vec<LayerCost>> = tenants
+            .iter()
+            .map(|t| Vec::with_capacity(t.stream.network.len()))
+            .collect();
+        for round in round_costs {
+            for (tenant_index, cost) in round.members {
+                tenant_layers[tenant_index].push(cost);
+            }
+        }
+
+        let mix_layer_energy_fj: f64 = tenant_layers
+            .iter()
+            .map(|layers| layers.iter().map(LayerCost::energy_fj).sum::<f64>())
+            .sum();
+        let mix_leakage_fj =
+            self.cost.buffer.leakage_fj_per_ns_per_kib * chip.buffer_kib as f64 * makespan_ns;
+
+        let tenant_metrics = tenants
+            .iter()
+            .zip(tenant_layers)
+            .enumerate()
+            .map(|(tenant_index, (tenant, layers))| TenantMetrics {
+                name: tenant.stream.network.name.clone(),
+                weight: tenant.weight,
+                metrics: self.rollup_metrics(chip, tenant.stream.network, layers, area_mf2),
+                macro_reads: partition.streams[tenant_index].total_tiles(),
+            })
+            .collect();
+
+        Ok(MixMetrics {
+            tenants: tenant_metrics,
+            makespan_ns,
+            total_energy_pj: (mix_layer_energy_fj + mix_leakage_fj) / 1000.0,
+            area_mf2,
+        })
+    }
+
+    /// Rolls one tenant's round costs up into its chip metrics.  This is
+    /// the pre-mix single-network aggregation, unchanged: summed round
+    /// latencies, own energy plus leakage over the tenant's latency, worst
+    /// own SNR, mean own utilization.
+    fn rollup_metrics(
+        &self,
+        chip: &ChipSpec,
+        network: &Network,
+        layers: Vec<LayerCost>,
+        area_mf2: f64,
+    ) -> ChipMetrics {
         let compute_latency_ns: f64 = layers.iter().map(|l| l.latency_ns).sum();
         let latency_ns = compute_latency_ns.max(f64::MIN_POSITIVE);
         let leakage_fj =
@@ -354,16 +689,16 @@ impl ChipEvaluator {
         let mean_utilization =
             layers.iter().map(|l| l.utilization).sum::<f64>() / layers.len() as f64;
 
-        Ok(ChipMetrics {
+        ChipMetrics {
             latency_ns,
             inferences_per_s: 1e9 / latency_ns,
             throughput_tops,
             energy_per_inference_pj: energy_fj / 1000.0,
-            area_mf2: self.chip_area_f2(chip, &macro_metrics) / 1e6,
+            area_mf2,
             accuracy_db,
             mean_utilization,
             layers,
-        })
+        }
     }
 
     /// Total chip area in F²: macro arrays + buffer + routers + adders.
@@ -390,14 +725,59 @@ impl ChipEvaluator {
         macro_area + buffer_area + router_area + adder_area
     }
 
-    /// Costs one layer's placement.
-    fn layer_cost(
+    /// Costs one scheduling round: each member layer's own energies and
+    /// traffic, then the shared round latency — the slowest macro of the
+    /// round's *combined* schedule overlapped with the members' combined
+    /// traffic, plus the farthest member's NoC fill.
+    fn round_cost(
+        &self,
+        chip: &ChipSpec,
+        tenants: &[TenantStream<'_>],
+        round: &RoundPartition,
+        partition: &MixPartition,
+        macro_metrics: &[MacroMetrics],
+    ) -> RoundCost {
+        let mut members = Vec::with_capacity(round.members.len());
+        let mut traffic_bits = 0.0f64;
+        let mut fill_hops = 0usize;
+        for &tenant_index in &round.members {
+            let placement = &partition.streams[tenant_index].layers[round.round];
+            let member = self.member_cost(
+                chip,
+                tenants[tenant_index].stream.network,
+                placement,
+                macro_metrics,
+            );
+            traffic_bits += member.traffic_bits;
+            fill_hops = fill_hops.max(member.fill_hops);
+            members.push((tenant_index, member.cost));
+        }
+
+        let round_compute_ns = round.compute_ns();
+        let traffic_ns = traffic_bits / self.cost.buffer.bandwidth_bits_per_ns;
+        // Double buffering overlaps compute and traffic; the mesh adds a
+        // pipeline-fill delay to the farthest used macro.
+        let fill_ns = fill_hops as f64 * self.cost.interconnect.hop_latency_ns;
+        let latency_ns = round_compute_ns.max(traffic_ns) + fill_ns;
+        for (_, cost) in &mut members {
+            cost.latency_ns = latency_ns;
+        }
+        RoundCost {
+            latency_ns,
+            members,
+        }
+    }
+
+    /// Costs one member layer's placement: everything that is purely its
+    /// own — energies, SNR, utilization, its private compute/traffic
+    /// figures — leaving the shared round latency to [`Self::round_cost`].
+    fn member_cost(
         &self,
         chip: &ChipSpec,
         network: &Network,
         placement: &LayerPartition,
         macro_metrics: &[MacroMetrics],
-    ) -> LayerCost {
+    ) -> MemberCost {
         let layer = &network.layers[placement.layer];
         let (outputs, dot_length) = placement.shape;
         let weight_bits = (outputs * dot_length) as f64;
@@ -444,18 +824,14 @@ impl ChipEvaluator {
         let noc_energy_fj = noc_bit_hops * self.cost.interconnect.hop_energy_fj_per_bit;
 
         let compute_ns = placement.compute_ns();
-        let traffic_ns =
-            (buffer_read_bits + buffer_write_bits) / self.cost.buffer.bandwidth_bits_per_ns;
-        // Double buffering overlaps compute and traffic; the mesh adds a
-        // pipeline-fill delay to the farthest used macro.
-        let fill_ns = placement
+        let traffic_bits = buffer_read_bits + buffer_write_bits;
+        let traffic_ns = traffic_bits / self.cost.buffer.bandwidth_bits_per_ns;
+        let fill_hops = placement
             .tiles
             .iter()
             .map(|t| chip.grid.hops_from_buffer(t.macro_index))
             .max()
-            .unwrap_or(0) as f64
-            * self.cost.interconnect.hop_latency_ns;
-        let latency_ns = compute_ns.max(traffic_ns) + fill_ns;
+            .unwrap_or(0);
 
         // Accuracy proxy: the worst macro SNR on this layer, degraded by
         // the requantisation loss of accumulating many chunks.
@@ -469,24 +845,28 @@ impl ChipEvaluator {
             })
             .fold(f64::INFINITY, f64::min);
 
-        LayerCost {
-            name: layer.name.clone(),
-            compute_ns,
-            traffic_ns,
-            latency_ns,
-            mac_energy_fj,
-            accumulation_energy_fj,
-            buffer_energy_fj,
-            noc_energy_fj,
-            refetch_factor: refetch_factor as usize,
-            snr_db,
-            utilization: (weight_bits / issued_macs).min(1.0),
+        MemberCost {
+            cost: LayerCost {
+                name: layer.name.clone(),
+                compute_ns,
+                traffic_ns,
+                latency_ns: 0.0, // set by round_cost once the round closes
+                mac_energy_fj,
+                accumulation_energy_fj,
+                buffer_energy_fj,
+                noc_energy_fj,
+                refetch_factor: refetch_factor as usize,
+                snr_db,
+                utilization: (weight_bits / issued_macs).min(1.0),
+            },
+            traffic_bits,
+            fill_hops,
         }
     }
 
     /// Evaluates many chips at once (used by the DSE problem); one
     /// work-stealing task **per chip**, so a large grid or deep network on
-    /// one chip does not stall the rest of the batch (each chip's layers
+    /// one chip does not stall the rest of the batch (each chip's rounds
     /// are still costed serially to avoid nested fan-out).  The tasks
     /// borrow the caller's slice in place on the scoped executor — no
     /// per-batch clones of the specs, evaluator or network.  Deterministic
@@ -502,6 +882,21 @@ impl ChipEvaluator {
             .map(|chip| self.evaluate_serial(chip, network))
             .collect()
     }
+
+    /// Mix counterpart of [`ChipEvaluator::evaluate_batch`]: one
+    /// work-stealing task per chip, each scoring the whole mix serially.
+    /// Deterministic in input order.
+    pub fn evaluate_mix_batch(
+        &self,
+        chips: &[ChipSpec],
+        mix: &WorkloadMix,
+    ) -> Vec<Result<MixMetrics, ChipError>> {
+        chips
+            .par_iter()
+            .with_max_len(1)
+            .map(|chip| self.evaluate_mix_serial(chip, mix))
+            .collect()
+    }
 }
 
 /// Convenience: partitions and evaluates in one call with default
@@ -512,6 +907,15 @@ impl ChipEvaluator {
 /// Returns [`ChipError`] when evaluation fails.
 pub fn evaluate_chip(chip: &ChipSpec, network: &Network) -> Result<ChipMetrics, ChipError> {
     ChipEvaluator::s28_default().evaluate(chip, network)
+}
+
+/// Convenience: evaluates a whole mix with default parameters.
+///
+/// # Errors
+///
+/// Returns [`ChipError`] when evaluation fails.
+pub fn evaluate_chip_mix(chip: &ChipSpec, mix: &WorkloadMix) -> Result<MixMetrics, ChipError> {
+    ChipEvaluator::s28_default().evaluate_mix(chip, mix)
 }
 
 #[cfg(test)]
@@ -693,5 +1097,164 @@ mod tests {
         let evaluator = ChipEvaluator::s28_default();
         let empty = Network::new("empty", vec![]);
         assert!(evaluator.evaluate(&chip(1, 1, 32), &empty).is_err());
+    }
+
+    #[test]
+    fn single_tenant_mix_is_bit_identical_to_network_path() {
+        let evaluator = ChipEvaluator::s28_default();
+        for (c, net) in [
+            (chip(2, 2, 64), Network::edge_cnn(2)),
+            (chip(1, 2, 8), Network::transformer_block()),
+            (chip(3, 1, 16), Network::snn_pipeline()),
+        ] {
+            let single = evaluator.evaluate(&c, &net).unwrap();
+            let mix = evaluator
+                .evaluate_mix(&c, &WorkloadMix::single(net.clone()))
+                .unwrap();
+            assert!(mix.is_single());
+            assert_eq!(mix.tenants[0].metrics, single);
+            assert_eq!(mix.tenants[0].name, net.name);
+            assert_eq!(mix.makespan_ns.to_bits(), single.latency_ns.to_bits());
+            assert_eq!(
+                mix.total_energy_pj.to_bits(),
+                single.energy_per_inference_pj.to_bits()
+            );
+            assert_eq!(mix.area_mf2.to_bits(), single.area_mf2.to_bits());
+            // Both objective aggregations reduce to the tenant's own.
+            let expected = single.objective_array();
+            for mode in [MixObjective::WorstTenant, MixObjective::WeightedMean] {
+                let got = mix.objectives(mode);
+                for (g, e) in got.iter().zip(expected.iter()) {
+                    assert_eq!(g.to_bits(), e.to_bits(), "{mode:?}");
+                }
+            }
+            assert_eq!(mix.combined(), single);
+        }
+    }
+
+    #[test]
+    fn mix_evaluation_produces_per_tenant_metrics() {
+        let mix = WorkloadMix::edge_mix();
+        let metrics = evaluate_chip_mix(&chip(2, 2, 64), &mix).unwrap();
+        assert_eq!(metrics.tenants.len(), 3);
+        for tenant in &metrics.tenants {
+            assert!(tenant.metrics.latency_ns > 0.0);
+            assert!(tenant.metrics.throughput_tops > 0.0);
+            assert!(tenant.metrics.energy_per_inference_pj > 0.0);
+            assert!(tenant.metrics.accuracy_db.is_finite());
+            // Co-scheduling can only extend a tenant's latency relative to
+            // running alone on the same chip.
+            let alone = evaluate_chip(&chip(2, 2, 64), &find_net(&mix, &tenant.name)).unwrap();
+            assert!(
+                tenant.metrics.latency_ns >= alone.latency_ns,
+                "{}: {} < {}",
+                tenant.name,
+                tenant.metrics.latency_ns,
+                alone.latency_ns
+            );
+        }
+        // The makespan is at least every tenant's co-scheduled latency.
+        for tenant in &metrics.tenants {
+            assert!(metrics.makespan_ns >= tenant.metrics.latency_ns - 1e-9);
+        }
+        let combined = metrics.combined();
+        assert_eq!(
+            combined.layers.len(),
+            metrics
+                .tenants
+                .iter()
+                .map(|t| t.metrics.layers.len())
+                .sum::<usize>()
+        );
+        assert!(combined.layers[0].name.contains('/'));
+    }
+
+    fn find_net(mix: &WorkloadMix, name: &str) -> Network {
+        mix.tenants()
+            .iter()
+            .find(|t| t.name() == name)
+            .unwrap()
+            .network
+            .clone()
+    }
+
+    #[test]
+    fn mix_parallel_serial_and_batch_agree() {
+        let mix = WorkloadMix::edge_mix();
+        let chips = vec![chip(1, 1, 32), chip(2, 2, 64), chip(1, 2, 16)];
+        let evaluator = ChipEvaluator::s28_default();
+        let batch = evaluator.evaluate_mix_batch(&chips, &mix);
+        for (c, result) in chips.iter().zip(batch) {
+            let parallel = evaluator.evaluate_mix(c, &mix).unwrap();
+            let serial = evaluator.evaluate_mix_serial(c, &mix).unwrap();
+            assert_eq!(parallel, serial);
+            assert_eq!(result.unwrap(), parallel);
+        }
+    }
+
+    #[test]
+    fn mix_derives_shared_macros_once() {
+        let mix = WorkloadMix::edge_mix();
+        let cache = crate::MacroMetricsCache::new();
+        let reusing = ChipEvaluator::s28_default().with_macro_cache(cache.clone());
+        reusing.evaluate_mix(&chip(2, 2, 64), &mix).unwrap();
+        // Three tenants on one uniform grid: one lookup, one derivation —
+        // the per-chip fold runs once for the whole mix.
+        let stats = reusing.macro_cache_stats();
+        assert_eq!((stats.hits, stats.misses), (0, 1));
+        assert_eq!(cache.len(), 1);
+        // A second chip over the same macro hits.
+        reusing.evaluate_mix(&chip(1, 2, 32), &mix).unwrap();
+        assert_eq!(reusing.macro_cache_stats().hits, 1);
+    }
+
+    #[test]
+    fn worst_tenant_and_weighted_mean_aggregate_differently() {
+        let mix = WorkloadMix::new("skewed")
+            .with_tenant(Network::edge_cnn(2), 10.0)
+            .with_tenant(Network::transformer_block(), 0.1);
+        let metrics = evaluate_chip_mix(&chip(2, 2, 64), &mix).unwrap();
+        let worst = metrics.objectives(MixObjective::WorstTenant);
+        let mean = metrics.objectives(MixObjective::WeightedMean);
+        // Worst-tenant accuracy is at most (≥ in minimisation form) the
+        // weighted mean, and the two modes genuinely differ on this mix.
+        assert!(worst[0] >= mean[0]);
+        assert_ne!(worst, mean);
+        // Area is chip-global in both.
+        assert_eq!(worst[3].to_bits(), mean[3].to_bits());
+    }
+
+    #[test]
+    fn quantized_tenant_pays_cycles_and_slows_the_round() {
+        let base = WorkloadMix::new("base")
+            .with_tenant(Network::edge_cnn(1), 1.0)
+            .with_tenant(Network::transformer_block(), 1.0);
+        let quant = WorkloadMix::new("quant")
+            .with_tenant(Network::edge_cnn(1), 1.0)
+            .with_quantized_tenant(Network::transformer_block(), 1.0, 8);
+        let c = chip(2, 2, 64);
+        let b = evaluate_chip_mix(&c, &base).unwrap();
+        let q = evaluate_chip_mix(&c, &quant).unwrap();
+        assert!(q.makespan_ns > b.makespan_ns);
+        // The quantized tenant's own energy grows with its issued cycles…
+        assert!(
+            q.tenants[1].metrics.energy_per_inference_pj
+                > b.tenants[1].metrics.energy_per_inference_pj
+        );
+        // …and the co-scheduled CNN tenant's latency suffers too.
+        assert!(q.tenants[0].metrics.latency_ns >= b.tenants[0].metrics.latency_ns);
+    }
+
+    #[test]
+    fn invalid_mixes_are_rejected() {
+        let evaluator = ChipEvaluator::s28_default();
+        let c = chip(1, 1, 32);
+        assert!(evaluator
+            .evaluate_mix(&c, &WorkloadMix::new("empty"))
+            .is_err());
+        let dup = WorkloadMix::new("dup")
+            .with_tenant(Network::edge_cnn(1), 1.0)
+            .with_tenant(Network::edge_cnn(1), 1.0);
+        assert!(evaluator.evaluate_mix(&c, &dup).is_err());
     }
 }

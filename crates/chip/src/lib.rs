@@ -10,11 +10,11 @@
 //! network objectives:
 //!
 //! * [`grid`] — a mesh of (possibly heterogeneous) macro instances,
-//! * [`network`] — whole-network workloads built from the single-MVM
-//!   generators of `acim-workloads`,
+//! * [`network`] — whole-network workloads and multi-tenant
+//!   [`WorkloadMix`]es (re-exported from `acim-workloads`),
 //! * [`partition`] — deterministic least-finish-time tiling of every
-//!   layer across the grid (the multi-macro generalisation of
-//!   `acim-workloads::mapping`),
+//!   layer across the grid, co-scheduling the streams of a mix round by
+//!   round (the multi-macro generalisation of `acim-workloads::mapping`),
 //! * [`interconnect`] — mesh, global-buffer and digital-accumulation cost
 //!   parameters,
 //! * [`evaluate`] — the analytic chip evaluator: throughput, energy per
@@ -59,10 +59,18 @@ pub mod partition;
 pub mod simulate;
 
 pub use error::ChipError;
-pub use evaluate::{evaluate_chip, ChipEvaluator, ChipMetrics, ChipSpec, LayerCost};
+pub use evaluate::{
+    evaluate_chip, evaluate_chip_mix, ChipEvaluator, ChipMetrics, ChipSpec, LayerCost, MixMetrics,
+    MixObjective, TenantMetrics,
+};
 pub use grid::MacroGrid;
 pub use interconnect::{AccumulatorParams, BufferParams, ChipCostParams, InterconnectParams};
 pub use metrics_cache::{MacroCacheClient, MacroMetrics, MacroMetricsCache};
-pub use network::{LayerKind, Network, NetworkLayer};
-pub use partition::{partition_network, LayerPartition, Partition, TileAssignment};
-pub use simulate::{simulate_network, ChipSimReport, LayerSimReport};
+pub use network::{LayerKind, Network, NetworkLayer, Tenant, TenantQuant, WorkloadMix};
+pub use partition::{
+    partition_mix, partition_network, partition_streams, LayerPartition, MixPartition, Partition,
+    RoundPartition, StreamSpec, TileAssignment,
+};
+pub use simulate::{
+    simulate_mix, simulate_network, ChipSimReport, LayerSimReport, MixSimReport, TenantSimReport,
+};

@@ -1,27 +1,40 @@
-//! Partitioning a network's layers across the macro grid.
+//! Partitioning network layers — one network or a multi-tenant mix —
+//! across the macro grid.
 //!
 //! This generalises `acim-workloads::mapping` from one matrix on one macro
-//! to a whole network on a grid: each layer's weight matrix is cut into
+//! to whole networks on a grid: each layer's weight matrix is cut into
 //! **output tiles** (a contiguous run of output rows no wider than the
 //! target macro's column count `W`), and every tile costs
-//! `ceil(D / N)` MAC+conversion cycles on its macro, where `D` is the
-//! layer's dot-product length and `N` the macro's per-cycle dot-product
-//! length.  Tiles of one layer run concurrently on different macros; layers
-//! run sequentially because layer `i + 1` consumes layer `i`'s outputs.
+//! `ceil(D / N) · activation_bits` MAC+conversion cycles on its macro,
+//! where `D` is the layer's dot-product length, `N` the macro's per-cycle
+//! dot-product length, and `activation_bits` the tenant's bit-serial
+//! activation width (1 for the binary default).
 //!
 //! Tiles are placed with deterministic least-finish-time scheduling: the
 //! next tile goes to the macro that currently finishes earliest (ties
 //! broken by macro index), using per-macro cycle times so heterogeneous
 //! grids balance by *time*, not cycle count.
+//!
+//! # Co-scheduled streams
+//!
+//! A [`WorkloadMix`] schedules in **rounds**: round `r` co-schedules layer
+//! `r` of every tenant that still has one, because layer `r + 1` of each
+//! tenant consumes layer `r`'s outputs while different tenants are
+//! independent.  Within a round, tenants place their tiles in mix order
+//! onto *shared* per-macro finish times, so a macro loaded by one tenant
+//! repels the next tenant's tiles; round boundaries are barriers.  A mix
+//! with one binary tenant degenerates exactly to the single-network
+//! placement: each round then holds one layer on fresh finish times —
+//! [`partition_network`] *is* that degenerate call.
 
 use crate::error::ChipError;
 use crate::grid::MacroGrid;
-use crate::network::Network;
+use crate::network::{Network, WorkloadMix};
 
 /// One tile of one layer assigned to one macro.
 #[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TileAssignment {
-    /// Index of the layer in the network.
+    /// Index of the layer in its network (equals the scheduling round).
     pub layer: usize,
     /// Tile ordinal within the layer.
     pub tile: usize,
@@ -32,14 +45,15 @@ pub struct TileAssignment {
     /// Flat index of the macro executing the tile.
     pub macro_index: usize,
     /// MAC+conversion cycles the tile costs on that macro
-    /// (`ceil(D / N)`).
+    /// (`ceil(D / N) · activation_bits`).
     pub cycles: u64,
 }
 
-/// The placement of one layer: its tiles and the per-macro busy time.
+/// The placement of one layer: its tiles and the per-macro busy time
+/// attributable to *this* layer (other round members excluded).
 #[derive(Debug, Clone, PartialEq)]
 pub struct LayerPartition {
-    /// Index of the layer in the network.
+    /// Index of the layer in its network.
     pub layer: usize,
     /// MVM shape `(outputs, dot_length)` of the layer.
     pub shape: (usize, usize),
@@ -75,11 +89,73 @@ impl Partition {
     }
 }
 
+/// One co-scheduled layer stream: a network plus the activation bit-width
+/// its tenant runs at.  The borrowed form lets the evaluator schedule a
+/// mix — or a single network wrapped on the stack — without cloning.
+#[derive(Debug, Clone, Copy)]
+pub struct StreamSpec<'a> {
+    /// The stream's network.
+    pub network: &'a Network,
+    /// Bit-serial activation width (`>= 1`); scales every tile's cycles.
+    pub activation_bits: u32,
+}
+
+impl<'a> StreamSpec<'a> {
+    /// A binary-activation stream.
+    pub fn binary(network: &'a Network) -> Self {
+        Self {
+            network,
+            activation_bits: 1,
+        }
+    }
+}
+
+/// One scheduling round of a mix: the shared per-macro finish times all
+/// member layers accumulated together.
+#[derive(Debug, Clone, PartialEq)]
+pub struct RoundPartition {
+    /// Round index (== the layer index each member contributed).
+    pub round: usize,
+    /// Stream indices participating in the round, in mix order.
+    pub members: Vec<usize>,
+    /// Shared busy time in ns per macro across all members.
+    pub busy_ns: Vec<f64>,
+}
+
+impl RoundPartition {
+    /// The round's compute latency: the slowest macro's shared busy time.
+    pub fn compute_ns(&self) -> f64 {
+        self.busy_ns.iter().copied().fold(0.0, f64::max)
+    }
+}
+
+/// The placement of a whole mix onto a grid: per-stream placements plus
+/// the round-level shared schedule.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MixPartition {
+    /// Per-stream placements, in mix order.  `streams[t].layers[r]` is
+    /// tenant `t`'s layer in round `r`; its `busy_ns` holds only that
+    /// tenant's share of the round.
+    pub streams: Vec<Partition>,
+    /// The rounds, in schedule order.
+    pub rounds: Vec<RoundPartition>,
+}
+
+impl MixPartition {
+    /// Total tiles across all streams.
+    pub fn total_tiles(&self) -> usize {
+        self.streams.iter().map(Partition::total_tiles).sum()
+    }
+}
+
 /// Partitions every layer of `network` across `grid`.
 ///
 /// `cycle_time_ns[m]` is the conversion-cycle time of macro `m`; callers
 /// derive it from the estimation model (fast path) or the behavioural
 /// timing model (validation path) so both agree on the placement.
+///
+/// This is the degenerate single-stream case of [`partition_streams`];
+/// the placement is bit-identical to scheduling a one-tenant mix.
 ///
 /// # Errors
 ///
@@ -94,6 +170,58 @@ pub fn partition_network(
         return Err(ChipError::invalid_config(
             "network",
             "network must have at least one layer",
+        ));
+    }
+    let mut mix = partition_streams(grid, &[StreamSpec::binary(network)], cycle_time_ns)?;
+    Ok(mix.streams.pop().expect("one stream in, one partition out"))
+}
+
+/// Partitions a [`WorkloadMix`] across `grid` (see [`partition_streams`]).
+///
+/// # Errors
+///
+/// Returns [`ChipError::Workload`] when the mix fails
+/// [`WorkloadMix::validate`], and [`ChipError::InvalidConfig`] for grid or
+/// cycle-time mismatches.
+pub fn partition_mix(
+    grid: &MacroGrid,
+    mix: &WorkloadMix,
+    cycle_time_ns: &[f64],
+) -> Result<MixPartition, ChipError> {
+    mix.validate()?;
+    let streams: Vec<StreamSpec<'_>> = mix
+        .tenants()
+        .iter()
+        .map(|tenant| StreamSpec {
+            network: &tenant.network,
+            activation_bits: tenant.quant.activation_bits,
+        })
+        .collect();
+    partition_streams(grid, &streams, cycle_time_ns)
+}
+
+/// Co-schedules several layer streams onto one grid, round by round.
+///
+/// Round `r` places layer `r` of every stream that has one, streams in
+/// input order, tiles least-finish-time on the round's *shared* per-macro
+/// finish times.  Each stream's [`LayerPartition::busy_ns`] keeps only
+/// that stream's contribution, so per-tenant and round-level accounting
+/// both fall out of one pass.
+///
+/// # Errors
+///
+/// Returns [`ChipError::InvalidConfig`] when there are no streams, a
+/// stream is empty or degenerate, `activation_bits` is zero, or
+/// `cycle_time_ns` does not match the grid.
+pub fn partition_streams(
+    grid: &MacroGrid,
+    streams: &[StreamSpec<'_>],
+    cycle_time_ns: &[f64],
+) -> Result<MixPartition, ChipError> {
+    if streams.is_empty() {
+        return Err(ChipError::invalid_config(
+            "streams",
+            "at least one stream is required",
         ));
     }
     if cycle_time_ns.len() != grid.num_macros() {
@@ -112,57 +240,107 @@ pub fn partition_network(
             format!("cycle times must be positive and finite, got {bad}"),
         ));
     }
-
-    let mut layers = Vec::with_capacity(network.len());
-    for (layer_index, layer) in network.layers.iter().enumerate() {
-        let (outputs, dot_length) = layer.shape();
-        if outputs == 0 || dot_length == 0 {
+    for stream in streams {
+        if stream.network.is_empty() {
             return Err(ChipError::invalid_config(
-                "layer",
+                "streams",
+                format!("network `{}` has no layers", stream.network.name),
+            ));
+        }
+        if stream.activation_bits == 0 {
+            return Err(ChipError::invalid_config(
+                "streams",
                 format!(
-                    "layer `{}` has a degenerate {outputs}x{dot_length} shape",
-                    layer.name
+                    "network `{}` has activation_bits == 0; must be >= 1",
+                    stream.network.name
                 ),
             ));
         }
+    }
 
-        let mut busy_ns = vec![0.0f64; grid.num_macros()];
-        let mut tiles = Vec::new();
-        let mut row_base = 0usize;
-        let mut tile = 0usize;
-        while row_base < outputs {
-            // Least-finish-time macro, ties broken by index for determinism.
-            let macro_index = (0..grid.num_macros())
-                .min_by(|&a, &b| {
-                    busy_ns[a]
-                        .partial_cmp(&busy_ns[b])
-                        .expect("busy times are finite")
-                })
-                .expect("grid is non-empty");
-            let spec = grid.spec(macro_index);
-            let rows = (outputs - row_base).min(spec.width());
-            let cycles = dot_length.div_ceil(spec.dot_product_length()) as u64;
-            busy_ns[macro_index] += cycles as f64 * cycle_time_ns[macro_index];
-            tiles.push(TileAssignment {
-                layer: layer_index,
-                tile,
-                row_base,
-                rows,
-                macro_index,
-                cycles,
+    let num_macros = grid.num_macros();
+    let num_rounds = streams
+        .iter()
+        .map(|s| s.network.len())
+        .max()
+        .expect("streams is non-empty");
+    let mut partitions: Vec<Partition> = streams
+        .iter()
+        .map(|s| Partition {
+            layers: Vec::with_capacity(s.network.len()),
+        })
+        .collect();
+    let mut rounds = Vec::with_capacity(num_rounds);
+
+    for round in 0..num_rounds {
+        let mut round_busy = vec![0.0f64; num_macros];
+        let mut members = Vec::new();
+        for (stream_index, stream) in streams.iter().enumerate() {
+            let Some(layer) = stream.network.layers.get(round) else {
+                continue;
+            };
+            members.push(stream_index);
+            let (outputs, dot_length) = layer.shape();
+            if outputs == 0 || dot_length == 0 {
+                return Err(ChipError::invalid_config(
+                    "layer",
+                    format!(
+                        "layer `{}` of `{}` has a degenerate {outputs}x{dot_length} shape",
+                        layer.name, stream.network.name
+                    ),
+                ));
+            }
+
+            let mut busy_ns = vec![0.0f64; num_macros];
+            let mut tiles = Vec::new();
+            let mut row_base = 0usize;
+            let mut tile = 0usize;
+            while row_base < outputs {
+                // Least-finish-time macro on the round's shared finish
+                // times, ties broken by index for determinism.
+                let macro_index = (0..num_macros)
+                    .min_by(|&a, &b| {
+                        round_busy[a]
+                            .partial_cmp(&round_busy[b])
+                            .expect("busy times are finite")
+                    })
+                    .expect("grid is non-empty");
+                let spec = grid.spec(macro_index);
+                let rows = (outputs - row_base).min(spec.width());
+                let cycles = dot_length.div_ceil(spec.dot_product_length()) as u64
+                    * u64::from(stream.activation_bits);
+                let delta_ns = cycles as f64 * cycle_time_ns[macro_index];
+                round_busy[macro_index] += delta_ns;
+                busy_ns[macro_index] += delta_ns;
+                tiles.push(TileAssignment {
+                    layer: round,
+                    tile,
+                    row_base,
+                    rows,
+                    macro_index,
+                    cycles,
+                });
+                row_base += rows;
+                tile += 1;
+            }
+
+            partitions[stream_index].layers.push(LayerPartition {
+                layer: round,
+                shape: (outputs, dot_length),
+                tiles,
+                busy_ns,
             });
-            row_base += rows;
-            tile += 1;
         }
-
-        layers.push(LayerPartition {
-            layer: layer_index,
-            shape: (outputs, dot_length),
-            tiles,
-            busy_ns,
+        rounds.push(RoundPartition {
+            round,
+            members,
+            busy_ns: round_busy,
         });
     }
-    Ok(Partition { layers })
+    Ok(MixPartition {
+        streams: partitions,
+        rounds,
+    })
 }
 
 #[cfg(test)]
@@ -254,5 +432,91 @@ mod tests {
         assert!(partition_network(&grid, &network, &[5.0, 5.0]).is_err());
         assert!(partition_network(&grid, &network, &[0.0]).is_err());
         assert!(partition_network(&grid, &network, &[f64::NAN]).is_err());
+        assert!(partition_streams(&grid, &[], &[5.0]).is_err());
+        assert!(partition_streams(
+            &grid,
+            &[StreamSpec {
+                network: &network,
+                activation_bits: 0
+            }],
+            &[5.0]
+        )
+        .is_err());
+        let bad_mix = WorkloadMix::new("empty");
+        assert!(partition_mix(&grid, &bad_mix, &[5.0]).is_err());
+    }
+
+    #[test]
+    fn single_stream_matches_partition_network_exactly() {
+        let grid =
+            MacroGrid::from_specs(1, 2, vec![spec(64, 16, 4, 4), spec(128, 32, 8, 3)]).unwrap();
+        let network = Network::edge_cnn(2);
+        let cycle = [7.25, 3.5];
+        let single = partition_network(&grid, &network, &cycle).unwrap();
+        let mix = partition_mix(&grid, &WorkloadMix::single(network.clone()), &cycle).unwrap();
+        assert_eq!(mix.streams.len(), 1);
+        assert_eq!(mix.streams[0], single);
+        for (round, placement) in mix.rounds.iter().zip(&single.layers) {
+            assert_eq!(round.members, vec![0]);
+            assert_eq!(round.busy_ns, placement.busy_ns);
+        }
+    }
+
+    #[test]
+    fn rounds_share_finish_times_across_tenants() {
+        let grid = uniform_grid(1, 2);
+        // Two single-layer tenants, each with one tile: the second
+        // tenant's tile must avoid the macro the first tenant loaded.
+        let layer = Network::edge_cnn(1).layers[0].clone();
+        let mut second = Network::new("tenant_b", vec![layer.clone()]);
+        second.layers[0].name = "b0".into();
+        let mix = WorkloadMix::new("pair")
+            .with_tenant(Network::new("tenant_a", vec![layer]), 1.0)
+            .with_tenant(second, 1.0);
+        let partition = partition_mix(&grid, &mix, &[5.0, 5.0]).unwrap();
+        let a_tile = partition.streams[0].layers[0].tiles[0];
+        let b_tile = partition.streams[1].layers[0].tiles[0];
+        assert_eq!(a_tile.macro_index, 0);
+        assert_eq!(b_tile.macro_index, 1, "tenant B must dodge tenant A");
+        // The round's shared busy is the sum of both tenants' shares.
+        let round = &partition.rounds[0];
+        for m in 0..2 {
+            assert_eq!(
+                round.busy_ns[m],
+                partition.streams[0].layers[0].busy_ns[m]
+                    + partition.streams[1].layers[0].busy_ns[m]
+            );
+        }
+    }
+
+    #[test]
+    fn quantized_tenant_scales_cycles_linearly() {
+        let grid = uniform_grid(1, 1);
+        let network = Network::new("one", vec![Network::edge_cnn(1).layers[0].clone()]);
+        let binary = partition_mix(&grid, &WorkloadMix::single(network.clone()), &[5.0]).unwrap();
+        let quant = partition_mix(
+            &grid,
+            &WorkloadMix::new("q4").with_quantized_tenant(network, 1.0, 4),
+            &[5.0],
+        )
+        .unwrap();
+        let base = binary.streams[0].layers[0].tiles[0].cycles;
+        assert_eq!(quant.streams[0].layers[0].tiles[0].cycles, base * 4);
+    }
+
+    #[test]
+    fn uneven_depths_drop_finished_tenants_from_later_rounds() {
+        let grid = uniform_grid(2, 2);
+        let mix = WorkloadMix::new("uneven")
+            .with_tenant(Network::edge_cnn(2), 1.0) // 4 layers
+            .with_tenant(Network::snn_pipeline(), 1.0); // 2 layers
+        let partition = partition_mix(&grid, &mix, &[5.0; 4]).unwrap();
+        assert_eq!(partition.rounds.len(), 4);
+        assert_eq!(partition.rounds[0].members, vec![0, 1]);
+        assert_eq!(partition.rounds[1].members, vec![0, 1]);
+        assert_eq!(partition.rounds[2].members, vec![0]);
+        assert_eq!(partition.rounds[3].members, vec![0]);
+        assert_eq!(partition.streams[0].layers.len(), 4);
+        assert_eq!(partition.streams[1].layers.len(), 2);
     }
 }

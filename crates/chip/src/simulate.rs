@@ -17,8 +17,8 @@ use acim_workloads::run_output_tile;
 
 use crate::error::ChipError;
 use crate::evaluate::ChipSpec;
-use crate::network::Network;
-use crate::partition::partition_network;
+use crate::network::{Network, WorkloadMix};
+use crate::partition::{partition_mix, partition_network};
 
 /// Measured behaviour of one layer on the grid.
 #[derive(Debug, Clone, PartialEq)]
@@ -154,6 +154,226 @@ pub fn simulate_network(
     })
 }
 
+/// Measured behaviour of one tenant of a co-scheduled mix.
+#[derive(Debug, Clone, PartialEq)]
+pub struct TenantSimReport {
+    /// Tenant name (its network's name).
+    pub name: String,
+    /// The tenant's own rollup.  Layer `latency_ns` is the latency of the
+    /// layer's *round* (the shared finish time of every co-scheduled
+    /// layer), so `total_latency_ns` covers the rounds this tenant
+    /// participates in.
+    pub report: ChipSimReport,
+}
+
+/// Measured behaviour of a whole [`WorkloadMix`] on a chip.
+#[derive(Debug, Clone, PartialEq)]
+pub struct MixSimReport {
+    /// Per-tenant reports, in mix order.
+    pub tenants: Vec<TenantSimReport>,
+    /// Total MAC+conversion cycles across all tenants (exact integer sum,
+    /// so it always equals the sum of the tenants' own totals).
+    pub total_cycles: u64,
+    /// End-to-end makespan of the co-scheduled mix in ns: the sum of all
+    /// round latencies.
+    pub makespan_ns: f64,
+    /// Sum of measured macro energies in fJ.  Accumulated in
+    /// tenant-*name* order internally, so it is exactly invariant under
+    /// tenant reordering (unlike latencies, which depend on placement).
+    pub total_energy_fj: f64,
+}
+
+impl MixSimReport {
+    /// The worst relative error over every tenant's layers.
+    pub fn max_relative_error(&self) -> f64 {
+        self.tenants
+            .iter()
+            .map(|t| t.report.max_relative_error())
+            .fold(0.0, f64::max)
+    }
+}
+
+/// FNV-1a hash of a tenant name, mixed into the seed so each tenant's
+/// workloads and noise streams are independent of its position in the mix.
+fn tenant_seed(seed: u64, name: &str) -> u64 {
+    let mut hash = 0xcbf2_9ce4_8422_2325u64;
+    for byte in name.as_bytes() {
+        hash ^= u64::from(*byte);
+        hash = hash.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    seed ^ hash
+}
+
+/// One measured layer before round rollup: its own totals plus the
+/// per-tile (macro, cycles) schedule the round latencies are built from.
+struct MeasuredLayer {
+    name: String,
+    cycles: u64,
+    tiles: usize,
+    macros_used: usize,
+    relative_error: f64,
+    energy_fj: f64,
+    tile_macro_cycles: Vec<(usize, u64)>,
+}
+
+/// Runs a whole co-scheduled [`WorkloadMix`] on `chip` behaviourally.
+///
+/// Each tenant's layers lower to concrete workloads seeded by
+/// `(seed, tenant name, layer)`, and every *tile* drives its own
+/// behavioural macro instance seeded by `(seed, tenant name, layer, tile)`
+/// — deliberately independent of which grid macro the tile lands on.  On a
+/// uniform grid this makes every per-tenant measurement except latency
+/// (cycles, energy, relative error) exactly invariant under tenant
+/// reordering, because reordering only moves tiles between identical
+/// macros.  Latencies *do* depend on placement: round latency is the
+/// slowest macro of the round's combined schedule.
+///
+/// A tenant quantised to `q` activation bits replays the same binary
+/// schedule once per bit-plane: its measured cycles and energy scale by
+/// `q`, matching the analytic partitioner's cycle accounting.
+///
+/// [`simulate_network`] is unchanged by mix support (its per-macro
+/// grouping and historical seeding are kept so existing validation runs
+/// reproduce bit for bit); it remains the validation path for single
+/// networks.
+///
+/// # Errors
+///
+/// Returns [`ChipError`] when the mix fails [`WorkloadMix::validate`], a
+/// layer cannot be lowered, or a macro simulation rejects its tiles.
+pub fn simulate_mix(
+    chip: &ChipSpec,
+    mix: &WorkloadMix,
+    seed: u64,
+) -> Result<MixSimReport, ChipError> {
+    let grid = &chip.grid;
+    let tech = Technology::s28();
+    let noise = NoiseConfig::realistic();
+    let cycle_ns: Vec<f64> = grid
+        .specs()
+        .iter()
+        .map(|spec| {
+            acim_arch::TimingModel::s28_default()
+                .cycle_time(spec.adc_bits())
+                .value()
+                / 1000.0
+        })
+        .collect();
+    let partition = partition_mix(grid, mix, &cycle_ns)?;
+
+    // Measure every tenant's layers first; round latencies are assembled
+    // afterwards from the recorded per-tile schedules.
+    let mut measured: Vec<Vec<MeasuredLayer>> = Vec::with_capacity(mix.len());
+    for (tenant_index, tenant) in mix.tenants().iter().enumerate() {
+        let tseed = tenant_seed(seed, tenant.name());
+        let bits = u64::from(tenant.quant.activation_bits);
+        let mut layers = Vec::with_capacity(tenant.network.len());
+        for placement in &partition.streams[tenant_index].layers {
+            let layer = &tenant.network.layers[placement.layer];
+            let workload = layer.to_workload(tseed ^ (placement.layer as u64 + 1))?;
+            let ideal = workload.ideal_binary_outputs();
+            let (outputs, dot_length) = placement.shape;
+
+            let mut total_error = 0.0f64;
+            let mut cycles = 0u64;
+            let mut energy_fj = 0.0f64;
+            let mut tile_macro_cycles = Vec::with_capacity(placement.tiles.len());
+            for (tile_index, tile) in placement.tiles.iter().enumerate() {
+                let spec = grid.spec(tile.macro_index);
+                let mut macro_sim = AcimMacro::new(
+                    spec,
+                    &tech,
+                    noise,
+                    tseed ^ ((placement.layer as u64) << 16) ^ (tile_index as u64 + 1),
+                )?;
+                let (accumulated, tile_cycles) =
+                    run_output_tile(&mut macro_sim, spec, &workload, tile.row_base, tile.rows)?;
+                cycles += tile_cycles * bits;
+                tile_macro_cycles.push((tile.macro_index, tile_cycles * bits));
+                for (c, acc) in accumulated.iter().enumerate() {
+                    let exact = f64::from(ideal[tile.row_base + c]);
+                    total_error += (acc - exact).abs();
+                }
+                energy_fj += macro_sim.stats().energy.total().value() * bits as f64;
+            }
+
+            layers.push(MeasuredLayer {
+                name: layer.name.clone(),
+                cycles,
+                tiles: placement.tiles.len(),
+                macros_used: placement.macros_used(),
+                relative_error: total_error / outputs as f64 / dot_length as f64,
+                energy_fj,
+                tile_macro_cycles,
+            });
+        }
+        measured.push(layers);
+    }
+
+    // Round latencies: the slowest macro of each round's combined
+    // measured schedule, mirroring the analytic evaluator's barriers.
+    let mut round_latency = vec![0.0f64; partition.rounds.len()];
+    for round in &partition.rounds {
+        let mut busy = vec![0.0f64; grid.num_macros()];
+        for &tenant_index in &round.members {
+            for &(macro_index, tile_cycles) in
+                &measured[tenant_index][round.round].tile_macro_cycles
+            {
+                busy[macro_index] += tile_cycles as f64 * cycle_ns[macro_index];
+            }
+        }
+        round_latency[round.round] = busy.iter().copied().fold(0.0, f64::max);
+    }
+    let makespan_ns: f64 = round_latency.iter().sum();
+
+    let tenants: Vec<TenantSimReport> = mix
+        .tenants()
+        .iter()
+        .zip(measured)
+        .map(|(tenant, layers)| {
+            let layers: Vec<LayerSimReport> = layers
+                .into_iter()
+                .enumerate()
+                .map(|(round, m)| LayerSimReport {
+                    name: m.name,
+                    cycles: m.cycles,
+                    tiles: m.tiles,
+                    macros_used: m.macros_used,
+                    relative_error: m.relative_error,
+                    energy_fj: m.energy_fj,
+                    latency_ns: round_latency[round],
+                })
+                .collect();
+            TenantSimReport {
+                name: tenant.name().to_string(),
+                report: ChipSimReport {
+                    total_latency_ns: layers.iter().map(|l| l.latency_ns).sum(),
+                    total_energy_fj: layers.iter().map(|l| l.energy_fj).sum(),
+                    layers,
+                },
+            }
+        })
+        .collect();
+
+    let total_cycles = tenants
+        .iter()
+        .flat_map(|t| t.report.layers.iter())
+        .map(|l| l.cycles)
+        .sum();
+    // Name-sorted accumulation keeps the aggregate energy bit-invariant
+    // under tenant reordering.
+    let mut by_name: Vec<&TenantSimReport> = tenants.iter().collect();
+    by_name.sort_by(|a, b| a.name.cmp(&b.name));
+    let total_energy_fj = by_name.iter().map(|t| t.report.total_energy_fj).sum();
+
+    Ok(MixSimReport {
+        tenants,
+        total_cycles,
+        makespan_ns,
+        total_energy_fj,
+    })
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -225,5 +445,80 @@ mod tests {
         let four = simulate_network(&chip(2, 2), &network, 2).unwrap();
         assert!(four.layers[0].macros_used > 1);
         assert!(four.total_latency_ns < one.total_latency_ns);
+    }
+
+    #[test]
+    fn mix_simulation_reports_per_tenant_behaviour() {
+        let mix = WorkloadMix::new("duo")
+            .with_tenant(Network::edge_cnn(1), 2.0)
+            .with_tenant(Network::snn_pipeline(), 1.0);
+        let report = simulate_mix(&chip(2, 2), &mix, 11).unwrap();
+        assert_eq!(report.tenants.len(), 2);
+        let per_tenant_cycles: u64 = report
+            .tenants
+            .iter()
+            .flat_map(|t| t.report.layers.iter())
+            .map(|l| l.cycles)
+            .sum();
+        assert_eq!(report.total_cycles, per_tenant_cycles);
+        assert!(report.total_cycles > 0);
+        assert!(report.makespan_ns > 0.0);
+        assert!(report.total_energy_fj > 0.0);
+        assert!(report.max_relative_error() < 0.2);
+        for tenant in &report.tenants {
+            assert!(tenant.report.total_latency_ns <= report.makespan_ns + 1e-9);
+            for layer in &tenant.report.layers {
+                assert!(layer.cycles > 0);
+                assert!(layer.energy_fj > 0.0);
+                assert!(layer.latency_ns > 0.0);
+            }
+        }
+    }
+
+    #[test]
+    fn mix_simulation_is_deterministic_per_seed() {
+        let mix = WorkloadMix::edge_mix();
+        let a = simulate_mix(&chip(2, 2), &mix, 3).unwrap();
+        let b = simulate_mix(&chip(2, 2), &mix, 3).unwrap();
+        let c = simulate_mix(&chip(2, 2), &mix, 4).unwrap();
+        assert_eq!(a, b);
+        assert_ne!(a, c);
+    }
+
+    #[test]
+    fn tenant_order_does_not_change_measurements_on_uniform_grids() {
+        let forward = WorkloadMix::new("fwd")
+            .with_tenant(Network::edge_cnn(1), 1.0)
+            .with_tenant(Network::transformer_block(), 1.0);
+        let reversed = WorkloadMix::new("rev")
+            .with_tenant(Network::transformer_block(), 1.0)
+            .with_tenant(Network::edge_cnn(1), 1.0);
+        let f = simulate_mix(&chip(2, 2), &forward, 17).unwrap();
+        let r = simulate_mix(&chip(2, 2), &reversed, 17).unwrap();
+        assert_eq!(f.total_cycles, r.total_cycles);
+        assert_eq!(f.total_energy_fj.to_bits(), r.total_energy_fj.to_bits());
+        for tenant in &f.tenants {
+            let twin = r.tenants.iter().find(|t| t.name == tenant.name).unwrap();
+            assert_eq!(
+                tenant.report.total_energy_fj.to_bits(),
+                twin.report.total_energy_fj.to_bits(),
+                "{}",
+                tenant.name
+            );
+            for (a, b) in tenant.report.layers.iter().zip(&twin.report.layers) {
+                assert_eq!(a.cycles, b.cycles);
+                assert_eq!(a.relative_error.to_bits(), b.relative_error.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_tenant_replays_bit_planes() {
+        let binary = WorkloadMix::new("b").with_tenant(Network::snn_pipeline(), 1.0);
+        let quant = WorkloadMix::new("q").with_quantized_tenant(Network::snn_pipeline(), 1.0, 4);
+        let b = simulate_mix(&chip(2, 2), &binary, 9).unwrap();
+        let q = simulate_mix(&chip(2, 2), &quant, 9).unwrap();
+        assert_eq!(q.total_cycles, 4 * b.total_cycles);
+        assert!(q.makespan_ns > b.makespan_ns);
     }
 }

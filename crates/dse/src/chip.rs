@@ -4,12 +4,16 @@
 //! The macro-level problem of [`crate::problem`] asks "what is the best
 //! (H, W, L, B_ADC)?"; this module asks the question the chip architect
 //! actually has: "what macro, **how many of them**, and **how much global
-//! buffer** serve this network best?"  The genome extends the three macro
+//! buffer** serve this workload best?"  The genome extends the three macro
 //! genes with three chip genes (grid rows, grid cols, buffer capacity),
-//! and each candidate is scored by `acim-chip`'s analytic evaluator.
+//! and each candidate is scored by `acim-chip`'s analytic evaluator —
+//! against one network, or against a whole co-scheduled multi-tenant
+//! [`WorkloadMix`] with worst-tenant or weighted-mean objective
+//! aggregation ([`MixObjective`]) and an optional Monte-Carlo
+//! device-variation yield constraint ([`RobustnessConfig`]).
 //!
 //! Two levels of parallelism keep the exploration agile: within one chip,
-//! per-layer objective evaluation runs in parallel under `rayon`; across
+//! per-round objective evaluation runs in parallel under `rayon`; across
 //! the population, [`ChipDesignProblem`]'s
 //! [`Problem::evaluate_batch`] fans a whole NSGA-II generation out over
 //! the cores (order-preserving, so exploration remains bit-reproducible
@@ -25,7 +29,7 @@ use std::ops::ControlFlow;
 
 use acim_chip::{
     ChipCostParams, ChipError, ChipEvaluator, ChipMetrics, ChipSpec, MacroGrid, MacroMetricsCache,
-    Network,
+    MixMetrics, MixObjective, Network, TenantMetrics, WorkloadMix,
 };
 use acim_model::ModelParams;
 use acim_moga::{
@@ -37,6 +41,7 @@ use rayon::prelude::*;
 use crate::encoding::{gene_from_index, index_from_gene, DesignEncoding};
 use crate::error::DseError;
 use crate::explorer::{pool_stats_since, ExploreOptions};
+use crate::robustness::{RobustnessConfig, RobustnessSweep};
 
 /// Configuration of one chip-level exploration run.
 #[derive(Debug, Clone)]
@@ -57,8 +62,17 @@ pub struct ChipDseConfig {
     /// its own (H, L, B_ADC) genes, so NSGA-II can mix macro shapes across
     /// the chip; when `false` (the default) all positions share one macro.
     pub heterogeneous: bool,
-    /// The target network.
-    pub network: Network,
+    /// The target workload: one network or a whole co-scheduled
+    /// multi-tenant mix (see [`WorkloadMix`]).
+    pub mix: WorkloadMix,
+    /// How the per-tenant metrics of a mix aggregate into objectives.
+    /// Irrelevant for single-tenant mixes (both modes reduce to the
+    /// tenant's own objectives, bit for bit).
+    pub objective: MixObjective,
+    /// Optional Monte-Carlo device-variation sweep: when set, chips whose
+    /// SNR yield under the perturbed corners falls below the target become
+    /// constraint-infeasible (see [`RobustnessConfig`]).
+    pub robustness: Option<RobustnessConfig>,
     /// NSGA-II population size.
     pub population_size: usize,
     /// NSGA-II generation count.
@@ -72,8 +86,8 @@ pub struct ChipDseConfig {
 }
 
 impl ChipDseConfig {
-    /// A default configuration targeting `network`.
-    pub fn for_network(network: Network) -> Self {
+    /// A default configuration targeting a multi-tenant `mix`.
+    pub fn for_mix(mix: WorkloadMix) -> Self {
         Self {
             array_size: 4 * 1024,
             min_height: 16,
@@ -82,13 +96,23 @@ impl ChipDseConfig {
             grid_cols: vec![1, 2, 3, 4],
             buffer_kib: vec![4, 8, 16, 32, 64, 128],
             heterogeneous: false,
-            network,
+            mix,
+            objective: MixObjective::default(),
+            robustness: None,
             population_size: 60,
             generations: 40,
             seed: 0xC41F,
             params: ModelParams::s28_default(),
             cost: ChipCostParams::s28_default(),
         }
+    }
+
+    /// A default configuration targeting one `network` — exactly
+    /// [`ChipDseConfig::for_mix`] over the degenerate single-tenant mix,
+    /// which the whole stack scores bit-identically to the pre-mix
+    /// single-network path.
+    pub fn for_network(network: Network) -> Self {
+        Self::for_mix(WorkloadMix::single(network))
     }
 }
 
@@ -98,8 +122,14 @@ impl ChipDseConfig {
 pub struct ChipDesignPoint {
     /// The chip (macro grid + buffer).
     pub chip: ChipSpec,
-    /// The chip-level metrics.
+    /// The chip-level metrics.  For a multi-tenant mix this is the
+    /// mix-level view ([`MixMetrics::combined`]): makespan latency,
+    /// aggregate throughput, total energy, worst-tenant accuracy.  For a
+    /// single tenant it is that tenant's metrics, unchanged.
     pub metrics: ChipMetrics,
+    /// Per-tenant breakdown, in mix order (one entry for single-network
+    /// explorations).
+    pub tenants: Vec<TenantMetrics>,
 }
 
 impl ChipDesignPoint {
@@ -110,7 +140,7 @@ impl ChipDesignPoint {
 
     /// CSV header matching [`ChipDesignPoint::to_csv_row`].
     pub fn csv_header() -> &'static str {
-        "grid_rows,grid_cols,height,width,local_array,adc_bits,distinct_macros,macro_set,buffer_kib,accuracy_db,throughput_tops,energy_per_inference_pj,area_mf2,latency_ns"
+        "grid_rows,grid_cols,height,width,local_array,adc_bits,distinct_macros,macro_set,buffer_kib,accuracy_db,throughput_tops,energy_per_inference_pj,area_mf2,latency_ns,tenants"
     }
 
     /// Serialises the point as one CSV row.  The per-macro columns read
@@ -130,7 +160,7 @@ impl ChipDesignPoint {
             "mixed,mixed,mixed,mixed".into()
         };
         format!(
-            "{},{},{},{},{},{},{:.3},{:.4},{:.2},{:.2},{:.1}",
+            "{},{},{},{},{},{},{:.3},{:.4},{:.2},{:.2},{:.1},{}",
             self.chip.grid.rows(),
             self.chip.grid.cols(),
             macro_columns,
@@ -142,7 +172,18 @@ impl ChipDesignPoint {
             self.metrics.energy_per_inference_pj,
             self.metrics.area_mf2,
             self.metrics.latency_ns,
+            self.tenant_set(),
         )
+    }
+
+    /// Compact `|`-separated per-tenant summary (CSV-safe: no commas),
+    /// e.g. `edge_cnn@23.9dB|transformer_block@18.5dB`.
+    pub fn tenant_set(&self) -> String {
+        self.tenants
+            .iter()
+            .map(|t| format!("{}@{:.1}dB", t.name, t.metrics.accuracy_db))
+            .collect::<Vec<_>>()
+            .join("|")
     }
 
     /// Compact `|`-separated description of the distinct macro shapes on
@@ -181,7 +222,8 @@ impl fmt::Display for ChipDesignPoint {
 }
 
 /// The chip design problem: macro (H, L, B_ADC) plus grid rows, grid cols
-/// and buffer capacity, evaluated against one network.
+/// and buffer capacity, evaluated against one workload mix (a
+/// single-tenant mix for classic single-network exploration).
 ///
 /// # Genome layout
 ///
@@ -208,7 +250,9 @@ pub struct ChipDesignProblem {
     max_tiles: usize,
     heterogeneous: bool,
     evaluator: ChipEvaluator,
-    network: Network,
+    mix: WorkloadMix,
+    objective: MixObjective,
+    robustness: Option<RobustnessSweep>,
 }
 
 impl ChipDesignProblem {
@@ -235,11 +279,18 @@ impl ChipDesignProblem {
                 )));
             }
         }
-        if config.network.is_empty() {
-            return Err(DseError::InvalidConfig("network must have layers".into()));
-        }
+        config
+            .mix
+            .validate()
+            .map_err(|e| DseError::InvalidConfig(format!("workload mix: {e}")))?;
         let evaluator = ChipEvaluator::new(config.params, config.cost)
             .map_err(|e| DseError::InvalidConfig(e.to_string()))?;
+        // The Monte-Carlo corners are hoisted here, once per problem —
+        // genome evaluations only run the batch kernel over them.
+        let robustness = config
+            .robustness
+            .map(|rc| RobustnessSweep::new(rc, &config.params))
+            .transpose()?;
         let max_tiles = if config.heterogeneous {
             config.grid_rows.iter().max().copied().unwrap_or(1)
                 * config.grid_cols.iter().max().copied().unwrap_or(1)
@@ -254,7 +305,9 @@ impl ChipDesignProblem {
             max_tiles,
             heterogeneous: config.heterogeneous,
             evaluator,
-            network: config.network.clone(),
+            mix: config.mix.clone(),
+            objective: config.objective,
+            robustness,
         })
     }
 
@@ -292,9 +345,20 @@ impl ChipDesignProblem {
         &self.encoding
     }
 
-    /// The target network.
-    pub fn network(&self) -> &Network {
-        &self.network
+    /// The target workload mix (a single-tenant mix for single-network
+    /// explorations).
+    pub fn mix(&self) -> &WorkloadMix {
+        &self.mix
+    }
+
+    /// The objective aggregation mode for multi-tenant mixes.
+    pub fn objective(&self) -> MixObjective {
+        self.objective
+    }
+
+    /// The hoisted device-variation sweep, when robustness is enabled.
+    pub fn robustness(&self) -> Option<&RobustnessSweep> {
+        self.robustness.as_ref()
     }
 
     /// Decodes the chip genes into `(rows, cols, buffer_kib)`.
@@ -417,19 +481,34 @@ impl ChipDesignProblem {
         }
     }
 
-    /// The full genome → objectives path, with the per-layer fan-out
+    /// The full genome → objectives path, with the per-round fan-out
     /// toggled by the caller (on for one-off evaluations, off inside the
     /// population-parallel batch).  Both settings are bit-identical.
-    fn evaluate_genome(&self, genes: &[f64], parallel_layers: bool) -> Evaluation {
+    fn evaluate_genome(&self, genes: &[f64], parallel_rounds: bool) -> Evaluation {
         match self.decode_chip(genes) {
             Ok(chip) => {
-                let result = if parallel_layers {
-                    self.evaluator.evaluate(&chip, &self.network)
+                let result = if parallel_rounds {
+                    self.evaluator.evaluate_mix(&chip, &self.mix)
                 } else {
-                    self.evaluator.evaluate_serial(&chip, &self.network)
+                    self.evaluator.evaluate_mix_serial(&chip, &self.mix)
                 };
                 match result {
-                    Ok(metrics) => Evaluation::unconstrained(metrics.objective_array()),
+                    Ok(metrics) => {
+                        let objectives = metrics.objectives(self.objective);
+                        // The yield sweep only runs for chips that are
+                        // otherwise feasible; zero violation keeps the
+                        // evaluation unconstrained, so robustness-off and
+                        // robustness-trivially-satisfied runs agree.
+                        let violation = self
+                            .robustness
+                            .as_ref()
+                            .map_or(0.0, |sweep| sweep.violation(&chip));
+                        if violation > 0.0 {
+                            Evaluation::new(objectives, violation)
+                        } else {
+                            Evaluation::unconstrained(objectives)
+                        }
+                    }
                     // Model failures are heavily infeasible rather than
                     // fatal, matching AcimDesignProblem.
                     Err(_) => Evaluation::new([f64::MAX; 4], 10.0),
@@ -443,17 +522,33 @@ impl ChipDesignProblem {
     /// Decodes a genome into a full [`ChipDesignPoint`] when feasible.
     pub fn decode_point(&self, genes: &[f64]) -> Option<ChipDesignPoint> {
         let chip = self.decode_chip(genes).ok()?;
-        let metrics = self.evaluator.evaluate(&chip, &self.network).ok()?;
-        Some(ChipDesignPoint { chip, metrics })
+        let mix_metrics = self.evaluator.evaluate_mix(&chip, &self.mix).ok()?;
+        let metrics = mix_metrics.combined();
+        Some(ChipDesignPoint {
+            chip,
+            metrics,
+            tenants: mix_metrics.tenants,
+        })
     }
 
-    /// Evaluates one chip explicitly (used by benches and reports).
+    /// Evaluates one chip explicitly (used by benches and reports): the
+    /// mix-level combined metrics, which for single-tenant problems are
+    /// that tenant's metrics unchanged.
     ///
     /// # Errors
     ///
     /// Returns [`ChipError`] when the evaluation fails.
     pub fn evaluate_chip(&self, chip: &ChipSpec) -> Result<ChipMetrics, ChipError> {
-        self.evaluator.evaluate(chip, &self.network)
+        Ok(self.evaluator.evaluate_mix(chip, &self.mix)?.combined())
+    }
+
+    /// Evaluates one chip explicitly with the full per-tenant breakdown.
+    ///
+    /// # Errors
+    ///
+    /// Returns [`ChipError`] when the evaluation fails.
+    pub fn evaluate_chip_mix(&self, chip: &ChipSpec) -> Result<MixMetrics, ChipError> {
+        self.evaluator.evaluate_mix(chip, &self.mix)
     }
 }
 
@@ -884,7 +979,18 @@ mod tests {
         assert!(ChipDesignProblem::new(&config).is_err());
 
         let mut config = quick_config();
-        config.network = Network::new("empty", vec![]);
+        config.mix = WorkloadMix::single(Network::new("empty", vec![]));
+        assert!(ChipDesignProblem::new(&config).is_err());
+
+        let mut config = quick_config();
+        config.mix = WorkloadMix::new("no-tenants");
+        assert!(ChipDesignProblem::new(&config).is_err());
+
+        let mut config = quick_config();
+        config.robustness = Some(crate::robustness::RobustnessConfig {
+            samples: 0,
+            ..Default::default()
+        });
         assert!(ChipDesignProblem::new(&config).is_err());
     }
 
@@ -1200,6 +1306,150 @@ mod tests {
                 .decode_point(seed)
                 .expect("session genome decodes");
             assert_eq!(decoded.objective_vector(), point.objective_vector());
+        }
+    }
+
+    fn mix_config() -> ChipDseConfig {
+        ChipDseConfig {
+            population_size: 16,
+            generations: 5,
+            grid_rows: vec![1, 2],
+            grid_cols: vec![1, 2],
+            buffer_kib: vec![8, 32],
+            ..ChipDseConfig::for_mix(
+                WorkloadMix::new("duo")
+                    .with_tenant(Network::edge_cnn(1), 1.0)
+                    .with_tenant(Network::snn_pipeline(), 2.0),
+            )
+        }
+    }
+
+    #[test]
+    fn single_tenant_mix_explores_bit_identically_to_for_network() {
+        let network_front = ChipExplorer::new(quick_config())
+            .unwrap()
+            .explore()
+            .unwrap();
+        let mix_front = ChipExplorer::new(ChipDseConfig {
+            population_size: 24,
+            generations: 10,
+            grid_rows: vec![1, 2],
+            grid_cols: vec![1, 2],
+            buffer_kib: vec![8, 32],
+            ..ChipDseConfig::for_mix(WorkloadMix::single(Network::edge_cnn(1)))
+        })
+        .unwrap()
+        .explore()
+        .unwrap();
+        assert_eq!(network_front.len(), mix_front.len());
+        for (a, b) in network_front.iter().zip(mix_front.iter()) {
+            assert_eq!(a.chip, b.chip);
+            for (x, y) in a.objective_vector().iter().zip(b.objective_vector()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+            assert_eq!(a.tenants.len(), 1);
+        }
+    }
+
+    #[test]
+    fn mix_exploration_carries_per_tenant_metrics() {
+        let frontier = ChipExplorer::new(mix_config()).unwrap().explore().unwrap();
+        assert!(!frontier.is_empty());
+        for point in frontier.iter() {
+            assert_eq!(point.tenants.len(), 2);
+            for tenant in &point.tenants {
+                assert!(tenant.metrics.latency_ns > 0.0);
+                assert!(tenant.metrics.accuracy_db.is_finite());
+            }
+            let row = point.to_csv_row();
+            assert_eq!(
+                row.split(',').count(),
+                ChipDesignPoint::csv_header().split(',').count()
+            );
+            assert!(row.contains('@'), "tenant column present: {row}");
+        }
+    }
+
+    #[test]
+    fn objective_modes_both_explore_deterministically() {
+        for objective in [MixObjective::WorstTenant, MixObjective::WeightedMean] {
+            let config = ChipDseConfig {
+                objective,
+                ..mix_config()
+            };
+            let a = ChipExplorer::new(config.clone())
+                .unwrap()
+                .explore()
+                .unwrap();
+            let b = ChipExplorer::new(config).unwrap().explore().unwrap();
+            assert!(!a.is_empty());
+            assert_eq!(a.len(), b.len());
+            for (x, y) in a.iter().zip(b.iter()) {
+                assert_eq!(x.objective_vector(), y.objective_vector());
+            }
+        }
+    }
+
+    #[test]
+    fn trivially_satisfied_robustness_leaves_the_frontier_bit_identical() {
+        let plain = ChipExplorer::new(mix_config()).unwrap().explore().unwrap();
+        let robust = ChipExplorer::new(ChipDseConfig {
+            robustness: Some(RobustnessConfig {
+                min_snr_db: -1000.0,
+                ..Default::default()
+            }),
+            ..mix_config()
+        })
+        .unwrap()
+        .explore()
+        .unwrap();
+        assert_eq!(plain.len(), robust.len());
+        for (a, b) in plain.iter().zip(robust.iter()) {
+            assert_eq!(a.chip, b.chip);
+            for (x, y) in a.objective_vector().iter().zip(b.objective_vector()) {
+                assert_eq!(x.to_bits(), y.to_bits());
+            }
+        }
+    }
+
+    #[test]
+    fn impossible_yield_target_empties_the_design_space() {
+        let result = ChipExplorer::new(ChipDseConfig {
+            robustness: Some(RobustnessConfig {
+                min_snr_db: 10_000.0,
+                min_yield: 1.0,
+                ..Default::default()
+            }),
+            ..mix_config()
+        })
+        .unwrap()
+        .explore();
+        assert!(matches!(result, Err(DseError::EmptyDesignSpace { .. })));
+    }
+
+    #[test]
+    fn yield_constraint_prunes_fragile_chips() {
+        // Pick an SNR floor between the best and worst macro corners so
+        // the sweep genuinely separates designs.
+        let config = ChipDseConfig {
+            robustness: Some(RobustnessConfig {
+                min_snr_db: 18.0,
+                min_yield: 0.95,
+                sigma: 0.1,
+                samples: 32,
+                ..Default::default()
+            }),
+            ..mix_config()
+        };
+        let explorer = ChipExplorer::new(config).unwrap();
+        let sweep = explorer.problem().robustness().expect("sweep installed");
+        if let Ok(frontier) = explorer.explore() {
+            for point in frontier.iter() {
+                assert!(
+                    sweep.yield_for(&point.chip) >= 0.95,
+                    "frontier chip misses the yield target: {point}"
+                );
+            }
         }
     }
 

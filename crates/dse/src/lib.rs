@@ -55,6 +55,7 @@ pub mod enumerate;
 pub mod error;
 pub mod explorer;
 pub mod problem;
+pub mod robustness;
 pub mod solution;
 pub mod sweep;
 
@@ -70,5 +71,6 @@ pub use enumerate::enumerate_design_space;
 pub use error::DseError;
 pub use explorer::{DesignSpaceExplorer, DseConfig, ExploreOptions, ParetoFrontierSet};
 pub use problem::AcimDesignProblem;
+pub use robustness::{RobustnessConfig, RobustnessSweep};
 pub use solution::DesignPoint;
 pub use sweep::{sweep_by_array_size, sweep_by_parameter, SweepSeries};

@@ -10,7 +10,7 @@
 
 use std::time::Duration;
 
-use acim_chip::{ChipSimReport, Network};
+use acim_chip::{ChipSimReport, MixSimReport, Network, WorkloadMix};
 use acim_dse::{ChipDesignPoint, ChipDseConfig, ExploreOptions};
 use acim_moga::EvalStats;
 
@@ -40,6 +40,17 @@ impl ChipFlowConfig {
             validation_seed: 0xC812,
         }
     }
+
+    /// Default chip stage for a multi-tenant workload mix: co-explore,
+    /// then validate the best chip behaviourally with the interleaved
+    /// stream simulator.
+    pub fn for_mix(mix: WorkloadMix) -> Self {
+        Self {
+            dse: ChipDseConfig::for_mix(mix),
+            validate_best: true,
+            validation_seed: 0xC812,
+        }
+    }
 }
 
 /// The result of the chip-composition stage.
@@ -53,8 +64,14 @@ pub struct ChipFlowResult {
     /// Wall-clock time of the chip exploration.
     pub exploration_time: Duration,
     /// The behavioural validation of the best-throughput chip, when
-    /// requested.
+    /// requested — the single-network simulator's report (set for
+    /// single-tenant explorations).
     pub validation: Option<ChipSimReport>,
+    /// The behavioural validation of the best-throughput chip for
+    /// multi-tenant explorations: the interleaved stream simulator's
+    /// per-tenant report.  Exactly one of `validation` / `mix_validation`
+    /// is set when validation is requested.
+    pub mix_validation: Option<MixSimReport>,
 }
 
 impl ChipFlowResult {

@@ -71,6 +71,7 @@ pub use flow::{FlowOptions, FlowResult, GeneratedDesign, TopFlowController};
 pub use persistence::{RestoreReport, SnapshotReport};
 pub use report::{
     chip_frontier_table, chip_report, design_report, frontier_table, telemetry_section,
+    tenant_table,
 };
 pub use service::{
     ChipRequest, Deadline, ExplorationRequest, ExplorationResponse, ExplorationService, JobHandle,
@@ -98,12 +99,13 @@ pub mod prelude {
     pub use acim_arch::{AcimMacro, AcimSpec, NoiseConfig};
     pub use acim_cell::{CellKind, CellLibrary};
     pub use acim_chip::{
-        evaluate_chip, simulate_network, ChipEvaluator, ChipMetrics, ChipSpec, MacroGrid,
-        MacroMetricsCache, Network,
+        evaluate_chip, evaluate_chip_mix, simulate_mix, simulate_network, ChipEvaluator,
+        ChipMetrics, ChipSpec, MacroGrid, MacroMetricsCache, MixMetrics, MixObjective,
+        MixSimReport, Network, Tenant, TenantMetrics, TenantQuant, WorkloadMix,
     };
     pub use acim_dse::{
         ChipDesignPoint, ChipDseConfig, ChipExplorer, DesignPoint, DesignSpaceExplorer, DseConfig,
-        ExploreOptions, UserRequirements,
+        ExploreOptions, RobustnessConfig, RobustnessSweep, UserRequirements,
     };
     pub use acim_layout::{LayoutFlow, MacroLayout};
     pub use acim_model::{evaluate, DesignMetrics, ModelParams};

@@ -1,5 +1,6 @@
 //! Human-readable reports of flow results.
 
+use acim_chip::TenantMetrics;
 use acim_dse::{ChipDesignPoint, DesignPoint};
 use acim_telemetry::{Histogram, MetricValue, TelemetrySnapshot};
 
@@ -104,14 +105,54 @@ pub fn chip_frontier_table(points: &[ChipDesignPoint]) -> String {
     out
 }
 
+/// Formats the per-tenant breakdown of one frontier chip as an aligned
+/// text table, one row per tenant.  Empty for single-tenant points, so
+/// single-network reports are unchanged.
+pub fn tenant_table(tenants: &[TenantMetrics]) -> String {
+    if tenants.len() < 2 {
+        return String::new();
+    }
+    let mut out = String::new();
+    out.push_str("tenant              weight | acc(dB)  T(TOPS)  E(pJ/inf)   lat(ns)  util\n");
+    out.push_str("------------------------------------------------------------------------\n");
+    for t in tenants {
+        out.push_str(&format!(
+            "{:<18} {:>6.1}  | {:>7.1} {:>8.3} {:>10.1} {:>9.1} {:>5.2}\n",
+            t.name,
+            t.weight,
+            t.metrics.accuracy_db,
+            t.metrics.throughput_tops,
+            t.metrics.energy_per_inference_pj,
+            t.metrics.latency_ns,
+            t.metrics.mean_utilization,
+        ));
+    }
+    out
+}
+
 /// One report line for the macro-metric reuse layer, empty when the run
 /// had no macro-metric cache (so cold single-run reports are unchanged).
-fn macro_cache_line(engine: &acim_moga::EvalStats) -> String {
+/// For a multi-tenant run, `tenants` (the best chip's per-tenant
+/// breakdown) appends each tenant's share of the reuse: its per-tile
+/// macro-metric reads, all served from the chip's once-per-distinct-macro
+/// derivation.  Counts only — the line stays `NaN`/`inf`-free even for
+/// full-cache-hit replays whose timing stats are all zero.
+fn macro_cache_line(engine: &acim_moga::EvalStats, tenants: Option<&[TenantMetrics]>) -> String {
     if engine.macro_cache.total() == 0 {
-        String::new()
-    } else {
-        format!("macro-metric reuse: {}\n", engine.macro_cache)
+        return String::new();
     }
+    let mut line = format!("macro-metric reuse: {}", engine.macro_cache);
+    if let Some(tenants) = tenants {
+        if tenants.len() > 1 {
+            let shares: Vec<String> = tenants
+                .iter()
+                .map(|t| format!("{} {} reads", t.name, t.macro_reads))
+                .collect();
+            line.push_str(&format!(" (best chip, per tenant: {})", shares.join(", ")));
+        }
+    }
+    line.push('\n');
+    line
 }
 
 /// The always-rendered `telemetry:` report line: generation-latency
@@ -198,12 +239,20 @@ pub fn chip_report(result: &ChipFlowResult) -> String {
         result.engine.cache,
         result.engine.mean_generation_seconds() * 1e3,
         result.engine.pool,
-        macro_cache_line(&result.engine),
+        macro_cache_line(
+            &result.engine,
+            result.best_throughput().map(|p| p.tenants.as_slice()),
+        ),
         telemetry_line(&result.engine),
         chip_frontier_table(&result.front),
     );
     if let Some(best) = result.best_throughput() {
         out.push_str(&format!("best throughput: {best}\n"));
+        let tenants = tenant_table(&best.tenants);
+        if !tenants.is_empty() {
+            out.push_str("per-tenant breakdown (best-throughput chip):\n");
+            out.push_str(&tenants);
+        }
     }
     if let Some(best) = result.best_energy() {
         out.push_str(&format!("best energy    : {best}\n"));
@@ -225,6 +274,25 @@ pub fn chip_report(result: &ChipFlowResult) -> String {
             ));
         }
     }
+    if let Some(validation) = &result.mix_validation {
+        out.push_str(&format!(
+            "behavioural validation (interleaved streams): {} tenants, {} total cycles, \
+             makespan {:.1} ns, max relative error {:.4}\n",
+            validation.tenants.len(),
+            validation.total_cycles,
+            validation.makespan_ns,
+            validation.max_relative_error(),
+        ));
+        for tenant in &validation.tenants {
+            out.push_str(&format!(
+                "  {:<18} {} layers, {:>6} cycles, err {:.4}\n",
+                tenant.name,
+                tenant.report.layers.len(),
+                tenant.report.layers.iter().map(|l| l.cycles).sum::<u64>(),
+                tenant.report.max_relative_error(),
+            ));
+        }
+    }
     out
 }
 
@@ -243,7 +311,7 @@ pub fn flow_summary(result: &FlowResult) -> String {
         result.engine.cache,
         result.engine.pool,
         result.total_time.as_secs_f64(),
-        macro_cache_line(&result.engine),
+        macro_cache_line(&result.engine, None),
         telemetry_line(&result.engine),
     );
     for design in &result.designs {
@@ -296,6 +364,53 @@ mod tests {
         let line = telemetry_line(&engine);
         assert!(line.starts_with("telemetry:"));
         assert!(!line.contains("NaN") && !line.contains("inf"));
+    }
+
+    #[test]
+    fn tenant_table_renders_only_for_mixes() {
+        let tenant = |name: &str, weight: f64, reads: usize| TenantMetrics {
+            name: name.into(),
+            weight,
+            metrics: acim_chip::ChipMetrics {
+                latency_ns: 100.0,
+                inferences_per_s: 1e7,
+                throughput_tops: 0.5,
+                energy_per_inference_pj: 42.0,
+                area_mf2: 1.0,
+                accuracy_db: 18.0,
+                mean_utilization: 0.75,
+                layers: Vec::new(),
+            },
+            macro_reads: reads,
+        };
+        assert!(tenant_table(&[tenant("solo", 1.0, 4)]).is_empty());
+        let table = tenant_table(&[tenant("cnn", 2.0, 8), tenant("snn", 4.0, 3)]);
+        assert_eq!(table.lines().count(), 2 + 2);
+        assert!(table.contains("cnn"));
+        assert!(table.contains("snn"));
+
+        // The reuse line breaks the best chip's reads down per tenant and
+        // stays NaN/inf-free even when every timing stat is zero (a
+        // full-cache-hit replay).
+        let engine = acim_moga::EvalStats {
+            macro_cache: acim_moga::CacheStats {
+                hits: 7,
+                misses: 0,
+                evictions: 0,
+            },
+            ..Default::default()
+        };
+        let line = macro_cache_line(
+            &engine,
+            Some(&[tenant("cnn", 2.0, 8), tenant("snn", 4.0, 3)]),
+        );
+        assert!(line.starts_with("macro-metric reuse:"));
+        assert!(line.contains("cnn 8 reads"));
+        assert!(line.contains("snn 3 reads"));
+        assert!(!line.contains("NaN") && !line.contains("inf"));
+        // Single-tenant runs keep the pre-mix line verbatim.
+        let single = macro_cache_line(&engine, Some(&[tenant("solo", 1.0, 4)]));
+        assert!(!single.contains("reads"));
     }
 
     #[test]

@@ -17,7 +17,8 @@
 //! the session it started from).
 //!
 //! Requests are built with the [`ExplorationRequest::macro_space`] /
-//! [`ExplorationRequest::chip_space`] builders, which attach scheduling
+//! [`ExplorationRequest::chip_space`] /
+//! [`ExplorationRequest::mix_space`] builders, which attach scheduling
 //! class ([`Priority`]), an optional completion [`Deadline`], a
 //! warm-start session and a diagnostic label.  An admitted job is
 //! observed and controlled through its [`JobHandle`]: cooperative
@@ -72,7 +73,7 @@ use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
 use std::sync::{Arc, Mutex, MutexGuard, PoisonError};
 use std::time::{Duration, Instant};
 
-use acim_chip::MacroMetricsCache;
+use acim_chip::{MacroMetricsCache, WorkloadMix};
 use acim_dse::{
     CacheStore, ChipDseConfig, ChipExplorer, DesignSpaceExplorer, DseConfig, ExploreOptions,
 };
@@ -225,6 +226,16 @@ impl ExplorationRequest {
     /// co-exploration without the macro netlist/layout stages.
     pub fn chip_space(config: ChipFlowConfig) -> Self {
         Self::Chip(ChipRequest::new(config))
+    }
+
+    /// A cold request co-scheduling a multi-tenant [`WorkloadMix`]: the
+    /// default chip-composition stage over `mix` (exploration plus
+    /// behavioural validation of the best chip with the interleaved
+    /// stream simulator).  Shorthand for
+    /// `chip_space(ChipFlowConfig::for_mix(mix))`; tune the exploration
+    /// by building the [`ChipFlowConfig`] explicitly.
+    pub fn mix_space(mix: WorkloadMix) -> Self {
+        Self::Chip(ChipRequest::new(ChipFlowConfig::for_mix(mix)))
     }
 
     fn admission_mut(&mut self) -> &mut Admission {
@@ -463,6 +474,62 @@ impl SpaceInstruments {
             self.hits.get() as f64 / total as f64
         };
         self.hit_rate.set(rate);
+    }
+}
+
+/// The multi-tenant instruments of one chip design space: a tenant-count
+/// gauge plus one latency histogram per tenant, pre-resolved at
+/// submission so the worker only touches atomic handles.  Recorded from
+/// the best-throughput frontier point of each finished request — the
+/// chip a deployment of this space would actually tape out.
+#[derive(Clone)]
+struct TenantInstruments {
+    latency: Vec<(String, Histogram)>,
+}
+
+impl TenantInstruments {
+    fn new(registry: &Registry, space: &str, mix: &WorkloadMix) -> Self {
+        // The tenant count is a static property of the space: set at
+        // registration, re-set (idempotently) on every submission over
+        // the space.  The registry keeps the series alive; no handle is
+        // retained.
+        registry
+            .gauge(
+                "chip_tenants",
+                "Tenant count of the workload mix a chip space co-schedules.",
+                &[("space", space)],
+            )
+            .set(mix.len() as f64);
+        let latency = mix
+            .tenants()
+            .iter()
+            .map(|tenant| {
+                (
+                    tenant.name().to_string(),
+                    registry.histogram(
+                        "chip_tenant_latency_seconds",
+                        "Per-tenant inference latency of the best-throughput \
+                         frontier chip, observed once per finished request.",
+                        &[("space", space), ("tenant", tenant.name())],
+                    ),
+                )
+            })
+            .collect();
+        Self { latency }
+    }
+
+    /// Records every tenant's latency on the best-throughput frontier
+    /// point of a finished chip request.  An empty frontier (cancelled
+    /// run) records nothing.
+    fn record(&self, result: &ChipFlowResult) {
+        let Some(best) = result.best_throughput() else {
+            return;
+        };
+        for (name, histogram) in &self.latency {
+            if let Some(tenant) = best.tenants.iter().find(|t| &t.name == name) {
+                histogram.observe(tenant.metrics.latency_ns * 1e-9);
+            }
+        }
     }
 }
 
@@ -905,19 +972,29 @@ fn record_archives(
 }
 
 /// Signature of a chip design space (see [`macro_space_signature`]).
+/// The workload mix (tenant networks, weights, quantisation), the
+/// objective aggregation mode and the robustness sweep all define the
+/// space: two requests differing in any of them must not share genome
+/// caches or warm starts.
 fn chip_space_signature(config: &ChipDseConfig) -> String {
     let defining = format!(
-        "{:?}/{:?}/{:?}/{:?}/{:?}",
-        config.grid_rows, config.grid_cols, config.buffer_kib, config.params, config.cost
+        "{:?}/{:?}/{:?}/{:?}/{:?}/{:?}/{:?}",
+        config.grid_rows,
+        config.grid_cols,
+        config.buffer_kib,
+        config.params,
+        config.cost,
+        config.objective,
+        config.robustness,
     );
     format!(
         "chip/{}/{}x[{}..{}]/het={}/#{:016x}",
-        config.network.name,
+        config.mix.name,
         config.array_size,
         config.min_height,
         config.max_height,
         config.heterogeneous,
-        fnv1a(&format!("{:?}/{defining}", config.network))
+        fnv1a(&format!("{:?}/{defining}", config.mix))
     )
 }
 
@@ -1499,6 +1576,16 @@ impl ExplorationService {
         )
     }
 
+    /// The multi-tenant instruments of a chip space (tenant-count gauge,
+    /// per-tenant latency histograms), `None` when telemetry is disabled.
+    /// The registry de-duplicates series, so repeated requests over the
+    /// same space share one set of handles.
+    fn tenant_instruments_for(&self, space: &str, mix: &WorkloadMix) -> Option<TenantInstruments> {
+        self.telemetry
+            .is_enabled()
+            .then(|| TenantInstruments::new(self.telemetry.registry(), space, mix))
+    }
+
     /// The trace context instrumenting one request's stages, `None` when
     /// telemetry is disabled (stages then run as pure pass-throughs).
     fn trace_context(&self, parent: Option<SpanId>) -> Option<TraceContext> {
@@ -1824,12 +1911,16 @@ impl ExplorationService {
 
         let job_space = space.clone();
         let space_outcome = self.space_instruments_for(&space);
+        let tenant_outcome = self.tenant_instruments_for(&space, &config.dse.mix);
         let archive_registry = Arc::clone(&self.session_archives);
         let body = move || -> Result<ExplorationResponse, FlowError> {
             let flow = crate::chip::ChipFlow::new(config);
             let result = flow.run_traced(&options, Some(observer), trace)?;
             if let Some(outcome) = &space_outcome {
                 outcome.record(&result.engine);
+            }
+            if let Some(outcome) = &tenant_outcome {
+                outcome.record(&result);
             }
             let session =
                 SessionArchive::new(space, session_explorer.session_genomes(&result.front));
@@ -1882,6 +1973,85 @@ mod tests {
         config.dse.buffer_kib = vec![8, 32];
         config.validate_best = false;
         config
+    }
+
+    /// A two-tenant mix request (CNN + SNN), trimmed to the quick
+    /// exploration settings of [`quick_chip_config`] but keeping the
+    /// builder's behavioural validation on.
+    fn quick_mix_request() -> ExplorationRequest {
+        let mix = WorkloadMix::new("duo")
+            .with_tenant(Network::edge_cnn(1), 1.0)
+            .with_tenant(Network::snn_pipeline(), 2.0);
+        let mut request = ExplorationRequest::mix_space(mix);
+        let ExplorationRequest::Chip(chip) = &mut request else {
+            panic!("mix_space builds a chip request");
+        };
+        chip.config.dse.population_size = 16;
+        chip.config.dse.generations = 5;
+        chip.config.dse.grid_rows = vec![1, 2];
+        chip.config.dse.grid_cols = vec![1, 2];
+        chip.config.dse.buffer_kib = vec![8, 32];
+        request
+    }
+
+    #[test]
+    fn mix_requests_flow_end_to_end_with_tenant_telemetry() {
+        let service = ExplorationService::new();
+        let response = service
+            .run(quick_mix_request())
+            .unwrap()
+            .into_chip()
+            .unwrap();
+        assert!(!response.result.front.is_empty());
+        // Every frontier point carries the per-tenant breakdown.
+        for point in &response.result.front {
+            assert_eq!(point.tenants.len(), 2);
+        }
+        // Validation ran on the interleaved stream simulator, not the
+        // single-network path.
+        let validation = response
+            .result
+            .mix_validation
+            .as_ref()
+            .expect("mix validation requested");
+        assert_eq!(validation.tenants.len(), 2);
+        assert!(validation.total_cycles > 0);
+        assert!(response.result.validation.is_none());
+        // Telemetry: the space's tenant-count gauge and one latency
+        // histogram per tenant, observed from the best-throughput point.
+        let space = response.session.space().to_string();
+        let snapshot = service.telemetry();
+        assert_eq!(
+            snapshot.gauge("chip_tenants", &[("space", space.as_str())]),
+            Some(2.0)
+        );
+        for tenant in ["edge_cnn_d1", "snn_pipeline"] {
+            let histogram = snapshot
+                .histogram(
+                    "chip_tenant_latency_seconds",
+                    &[("space", space.as_str()), ("tenant", tenant)],
+                )
+                .unwrap_or_else(|| panic!("latency series for {tenant}"));
+            assert_eq!(histogram.count, 1);
+            assert!(histogram.sum > 0.0);
+        }
+
+        // A second identical mix request reuses the space's shared cache
+        // and folds into the same tenant series.
+        let second = service
+            .run(quick_mix_request())
+            .unwrap()
+            .into_chip()
+            .unwrap();
+        assert_eq!(second.result.engine.cache.misses, 0);
+        let snapshot = service.telemetry();
+        let histogram = snapshot
+            .histogram(
+                "chip_tenant_latency_seconds",
+                &[("space", space.as_str()), ("tenant", "snn_pipeline")],
+            )
+            .unwrap();
+        assert_eq!(histogram.count, 2);
     }
 
     /// A chip config whose exploration runs long enough to observe,

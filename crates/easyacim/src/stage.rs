@@ -24,7 +24,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use acim_cell::CellLibrary;
-use acim_chip::simulate_network;
+use acim_chip::{simulate_mix, simulate_network};
 use acim_dse::{
     ChipExplorer, DesignPoint, DesignSpaceExplorer, DseConfig, ExploreOptions, ParetoFrontierSet,
     UserRequirements,
@@ -707,15 +707,22 @@ impl Stage for ChipStage {
             engine,
             exploration_time,
             validation: None,
+            mix_validation: None,
         };
         if self.config.validate_best {
             if let Some(best) = result.best_throughput() {
-                let report = simulate_network(
-                    &best.chip,
-                    explorer.problem().network(),
-                    self.config.validation_seed,
-                )?;
-                result.validation = Some(report);
+                let mix = explorer.problem().mix();
+                // Single-tenant flows keep the historical single-network
+                // simulator (and its exact seeded outputs); real mixes
+                // validate through the interleaved stream simulator.
+                if let [tenant] = mix.tenants() {
+                    let report =
+                        simulate_network(&best.chip, &tenant.network, self.config.validation_seed)?;
+                    result.validation = Some(report);
+                } else {
+                    let report = simulate_mix(&best.chip, mix, self.config.validation_seed)?;
+                    result.mix_validation = Some(report);
+                }
             }
         }
         Ok(result)

@@ -13,6 +13,11 @@
 //! * [`quantize`] — binarisation / bit-slicing of activations and weights,
 //! * [`cnn`], [`transformer`], [`snn`] — synthetic layer workloads that
 //!   generate realistic MVM shapes,
+//! * [`network`] — ordered multi-layer networks built from those
+//!   generators (consumed by the chip layer in `acim-chip`),
+//! * [`mix`] — multi-tenant [`WorkloadMix`]es: named networks with
+//!   arrival weights and per-tenant quantization, co-scheduled on one
+//!   chip,
 //! * [`mapping`] — tiling of an arbitrary MVM onto the (H, W, L, B_ADC)
 //!   macro, cycle/energy accounting and accuracy measurement,
 //! * [`requirements`] — per-application requirement profiles used by the
@@ -40,6 +45,8 @@
 pub mod cnn;
 pub mod error;
 pub mod mapping;
+pub mod mix;
+pub mod network;
 pub mod quantize;
 pub mod requirements;
 pub mod snn;
@@ -49,6 +56,8 @@ pub mod transformer;
 pub use cnn::CnnLayer;
 pub use error::WorkloadError;
 pub use mapping::{run_output_tile, MacroMapper, MappingReport};
+pub use mix::{Tenant, TenantQuant, WorkloadMix};
+pub use network::{LayerKind, Network, NetworkLayer};
 pub use quantize::{binarize_activations, binarize_weights, BinaryMvm};
 pub use requirements::ApplicationProfile;
 pub use snn::SnnLayer;

@@ -1,63 +1,141 @@
-//! Mapping application workloads onto candidate macros (Figure 1's
-//! motivation, measured): a transformer attention projection, a CNN layer
-//! and an SNN timestep are run on the behavioural simulator of two very
-//! different design points, showing why a single fixed macro cannot serve
-//! all three applications well.
+//! Mapping a multi-tenant application mix onto one chip (Figure 1's
+//! motivation, measured end-to-end): a recognition CNN and a transformer
+//! attention block time-share a macro grid.  The example scores the mix
+//! on a fixed chip (co-scheduled vs. each tenant alone), proves the
+//! mix-of-one path is bit-identical to the single-network evaluator, then
+//! runs a mix-aware chip exploration through the service and prints the
+//! per-tenant report and telemetry rows.
 //!
 //! ```bash
-//! cargo run --release --example application_mapping
+//! cargo run --release --example application_mapping -- --quick
 //! ```
 
 use easyacim::prelude::*;
+use easyacim::report::chip_report;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // Two corners of the 16 kb design space: an accuracy-oriented point
-    // (high B_ADC, short dot product) and an efficiency-oriented point
-    // (low B_ADC, long dot product).
-    let accurate = AcimSpec::from_dimensions(128, 128, 8, 4)?;
-    let efficient = AcimSpec::from_dimensions(512, 32, 4, 2)?;
-    let params = ModelParams::s28_default();
+    // `--quick` shrinks the exploration budget so CI can exercise the
+    // whole mix path (scheduling, per-tenant scoring, service, report,
+    // telemetry) in seconds.
+    let quick = std::env::args().any(|arg| arg == "--quick");
 
-    println!("candidate macros:");
-    for (name, spec) in [
-        ("accuracy-oriented", &accurate),
-        ("efficiency-oriented", &efficient),
-    ] {
-        let metrics = evaluate(spec, &params)?;
+    // The deployment of the paper's Figure 1 that actually shares a chip:
+    // bulk CNN recognition traffic plus an occasional transformer block.
+    // Weights are relative arrival rates.
+    let cnn = Network::edge_cnn(2);
+    let transformer = Network::transformer_block();
+    let mix = WorkloadMix::new("cnn+transformer")
+        .with_tenant(cnn.clone(), 2.0)
+        .with_tenant(transformer.clone(), 1.0);
+
+    // --- 1. One fixed chip, each tenant alone vs. co-scheduled. --------
+    let chip = ChipSpec::new(
+        MacroGrid::uniform(2, 2, AcimSpec::from_dimensions(128, 32, 4, 4)?)?,
+        64,
+    )?;
+    println!(
+        "fixed chip: {}x{} grid of 128x32 L=4 B=4 macros, {} KiB buffer",
+        chip.grid.rows(),
+        chip.grid.cols(),
+        chip.buffer_kib
+    );
+
+    let mut sequential_ns = 0.0;
+    for (name, network) in [("cnn", &cnn), ("transformer", &transformer)] {
+        let alone = evaluate_chip(&chip, network)?;
+        sequential_ns += alone.latency_ns;
         println!(
-            "  {name:<22} {spec}  SNR {:.1} dB, {:.0} TOPS/W, {:.0} F2/bit",
-            metrics.snr_db, metrics.tops_per_watt, metrics.area_f2_per_bit
+            "  {name:<12} alone: {:>8.1} ns, {:.3} TOPS, {:.1} pJ/inf",
+            alone.latency_ns, alone.throughput_tops, alone.energy_per_inference_pj
+        );
+        // The refactor's safety net: a mix of one tenant is bit-identical
+        // to the single-network path.
+        let single = evaluate_chip_mix(&chip, &WorkloadMix::single(network.clone()))?.combined();
+        assert_eq!(
+            single.latency_ns.to_bits(),
+            alone.latency_ns.to_bits(),
+            "mix-of-one must stay bit-identical"
         );
     }
+
+    let co = evaluate_chip_mix(&chip, &mix)?;
+    println!(
+        "  co-scheduled: makespan {:>8.1} ns (sequential would be {:.1} ns), {:.1} pJ total",
+        co.makespan_ns, sequential_ns, co.total_energy_pj
+    );
+    for tenant in &co.tenants {
+        println!(
+            "    {:<18} w={:<4} {:>8.1} ns, {:.3} TOPS, acc {:.1} dB, {} macro reads",
+            tenant.name,
+            tenant.weight,
+            tenant.metrics.latency_ns,
+            tenant.metrics.throughput_tops,
+            tenant.metrics.accuracy_db,
+            tenant.macro_reads
+        );
+    }
+    assert_eq!(co.tenants.len(), 2);
     println!();
 
-    println!(
-        "{:<14} {:<22} {:>10} {:>12} {:>12} {:>14} {:>10}",
-        "application", "macro", "cycles", "latency(ns)", "energy(nJ)", "rel. error", "meets?"
-    );
-    for profile in ApplicationProfile::all() {
-        let workload = profile.representative_workload(2024)?;
-        for (name, spec) in [
-            ("accuracy-oriented", &accurate),
-            ("efficiency-oriented", &efficient),
-        ] {
-            let report = MacroMapper::new(spec)?.run(&workload, 7)?;
-            let meets = report.relative_error <= profile.max_relative_error();
-            println!(
-                "{:<14} {:<22} {:>10} {:>12.1} {:>12.3} {:>14.4} {:>10}",
-                profile.name(),
-                name,
-                report.cycles,
-                report.latency_ns,
-                report.energy_fj / 1e6,
-                report.relative_error,
-                if meets { "yes" } else { "no" }
-            );
-        }
+    // --- 2. Mix-aware chip exploration through the service. ------------
+    let mut config = ChipFlowConfig::for_mix(mix.clone());
+    if quick {
+        config.dse.population_size = 16;
+        config.dse.generations = 5;
+        config.dse.grid_rows = vec![1, 2];
+        config.dse.grid_cols = vec![1, 2];
+        config.dse.buffer_kib = vec![8, 32];
     }
-    println!();
-    println!("the accuracy-oriented macro serves the transformer but wastes energy on the SNN;");
-    println!("the efficiency-oriented macro is the other way round - the gap EasyACIM closes by");
-    println!("generating a purpose-built macro per application from the same synthesizable architecture.");
+
+    let service = ExplorationService::new();
+    let response = service
+        .run(ExplorationRequest::chip_space(config).label("cnn+transformer-mix"))?
+        .into_chip()
+        .expect("chip request yields a chip response");
+
+    let report = chip_report(&response.result);
+    print!("{report}");
+    assert!(!response.result.front.is_empty());
+    for point in &response.result.front {
+        assert_eq!(
+            point.tenants.len(),
+            2,
+            "every frontier point carries both tenants"
+        );
+    }
+    assert!(report.contains("per-tenant breakdown"));
+    let validation = response
+        .result
+        .mix_validation
+        .as_ref()
+        .expect("mix validation runs the interleaved stream simulator");
+    assert_eq!(validation.tenants.len(), 2);
+    assert!(validation.max_relative_error() < 0.5);
+
+    // The service telemetry carries the multi-tenant rows: a tenant-count
+    // gauge per chip space and a latency histogram per tenant.
+    let space = response.session.space().to_string();
+    let snapshot = service.telemetry();
+    assert_eq!(
+        snapshot.gauge("chip_tenants", &[("space", space.as_str())]),
+        Some(2.0)
+    );
+    for tenant in [cnn.name.as_str(), transformer.name.as_str()] {
+        let histogram = snapshot
+            .histogram(
+                "chip_tenant_latency_seconds",
+                &[("space", space.as_str()), ("tenant", tenant)],
+            )
+            .expect("per-tenant latency series");
+        assert_eq!(histogram.count, 1);
+        println!(
+            "telemetry: chip_tenant_latency_seconds{{tenant={tenant}}} sum {:.1} ns",
+            histogram.sum * 1e9
+        );
+    }
+    println!(
+        "multi-tenant mix demo passed: {} frontier chips",
+        response.result.front.len()
+    );
     Ok(())
 }
